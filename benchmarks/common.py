@@ -1,0 +1,207 @@
+"""Shared fixtures for the table/figure benchmarks.
+
+Datasets are deterministic, and trained model weights are cached on disk
+(``benchmarks/.cache``), so the per-table benchmarks can share models and a
+re-run is cheap.  Scale is controlled by ``REPRO_BENCH_SCALE``:
+
+* ``smoke``   — minimal sizes, minutes total (CI);
+* ``default`` — representative subset of every table (the shipped numbers);
+* ``full``    — every Table-2 row (all 26 architectures), long.
+
+Each benchmark writes its rendered table into ``benchmarks/results/`` so
+EXPERIMENTS.md can reference concrete outputs.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from pathlib import Path
+
+import numpy as np
+
+import repro.nn as nn
+from repro.core import (TRAIN_CONFIG, train_classification_model,
+                        train_detection_model, train_segmentation_model)
+from repro.data import (make_classification_dataset, make_detection_dataset,
+                        make_nlp_suite, make_segmentation_dataset,
+                        make_tts_dataset)
+from repro.detection import DetTrainConfig, FasterRCNNLite, RetinaNetLite
+from repro.models import create_model, family_of
+from repro.nlp import LMTrainConfig, create_lm, train_lm
+from repro.segmentation import SegTrainConfig, create_segmenter
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "default")
+ROOT = Path(__file__).resolve().parent
+CACHE_DIR = ROOT / ".cache"
+RESULTS_DIR = ROOT / "results"
+CACHE_DIR.mkdir(exist_ok=True)
+RESULTS_DIR.mkdir(exist_ok=True)
+
+_MEM: dict[str, object] = {}
+
+
+def write_result(name: str, text: str) -> None:
+    """Persist a rendered table/figure and echo it to stdout."""
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n===== {name} =====\n{text}")
+
+
+def _sizes():
+    if SCALE == "smoke":
+        return dict(cls_n=160, cls_train=120, det_n=40, det_train=30,
+                    seg_n=24, seg_train=18, epochs=10, det_epochs=8,
+                    seg_epochs=6, nlp_items=20, lm_epochs=6)
+    return dict(cls_n=600, cls_train=400, det_n=70, det_train=52,
+                seg_n=48, seg_train=36, epochs=40, det_epochs=14,
+                seg_epochs=12, nlp_items=50, lm_epochs=12)
+
+
+SIZES = _sizes()
+
+#: Table-2 rows exercised at each scale (full = all 26 paper rows).
+CLS_MODELS_DEFAULT = ["mcunet-293kb", "resnet18x0.25", "resnet-18",
+                      "resnet-50", "mobilenetv2-0.5", "vit-tiny"]
+CLS_MODELS_SMOKE = ["resnet18x0.25", "mcunet-293kb"]
+
+
+def cls_model_list() -> list[str]:
+    if SCALE == "smoke":
+        return CLS_MODELS_SMOKE
+    if SCALE == "full":
+        from repro.models import model_names
+        return model_names()
+    return CLS_MODELS_DEFAULT
+
+
+def _memo(key: str, build):
+    if key not in _MEM:
+        _MEM[key] = build()
+    return _MEM[key]
+
+
+def get_cls_dataset():
+    def build():
+        ds = make_classification_dataset(n=SIZES["cls_n"], native_size=48,
+                                         input_size=32, seed=0)
+        return ds.split(SIZES["cls_train"])
+    return _memo("cls_ds", build)
+
+
+def get_det_dataset():
+    def build():
+        ds = make_detection_dataset(n=SIZES["det_n"], size=48, seed=0,
+                                    max_objects=2)
+        return ds.split(SIZES["det_train"])
+    return _memo("det_ds", build)
+
+
+def get_seg_dataset():
+    def build():
+        ds = make_segmentation_dataset(n=SIZES["seg_n"], size=40, seed=0)
+        return ds.split(SIZES["seg_train"])
+    return _memo("seg_ds", build)
+
+
+def get_nlp_suite():
+    return _memo("nlp", lambda: make_nlp_suite(
+        n_per_task=SIZES["nlp_items"], seed=0))
+
+
+def get_tts_dataset():
+    return _memo("tts", lambda: make_tts_dataset(n=24, seed=0))
+
+
+def classifier_train_config(name: str) -> nn.TrainConfig:
+    epochs = SIZES["epochs"]
+    if family_of(name) in ("vit", "swin"):
+        return nn.TrainConfig(epochs=epochs + 15, batch_size=32, lr=3e-3,
+                              optimizer="adam", weight_decay=1e-4)
+    return nn.TrainConfig(epochs=epochs, batch_size=32, lr=0.1,
+                          weight_decay=1e-4)
+
+
+def cached_model(key: str, build_model, train_fn):
+    """Public disk-cached trainer for the per-table mitigation models."""
+    return _cached_model(key, build_model, train_fn)
+
+
+def _cached_model(key: str, build_model, train_fn):
+    """Disk-cached trained model: rebuild architecture, reload weights."""
+    path = CACHE_DIR / f"{SCALE}-{key}.pkl"
+    model = build_model()
+    if path.exists():
+        with open(path, "rb") as fh:
+            model.load_state_dict(pickle.load(fh))
+        model.eval()
+        return model
+    train_fn(model)
+    with open(path, "wb") as fh:
+        pickle.dump(model.state_dict(), fh)
+    return model
+
+
+def get_trained_classifier(name: str):
+    train, _ = get_cls_dataset()
+
+    def build():
+        return create_model(name, num_classes=train.num_classes, seed=0)
+
+    def train_it(model):
+        from repro.core.pipeline import preprocess_dataset
+        x = preprocess_dataset(train.streams, train.input_size, TRAIN_CONFIG)
+        nn.train_classifier(model, x, train.labels, classifier_train_config(name))
+
+    return _memo(f"cls:{name}", lambda: _cached_model(f"cls-{name}", build,
+                                                      train_it))
+
+
+def get_trained_detector(kind: str, backbone: str):
+    train, _ = get_det_dataset()
+
+    def build():
+        cls = RetinaNetLite if kind == "retinanet" else FasterRCNNLite
+        return cls(backbone=backbone, num_classes=3, fpn_channels=12, seed=0)
+
+    def train_it(model):
+        train_detection_model(model, train,
+                              DetTrainConfig(epochs=SIZES["det_epochs"],
+                                             batch_size=8, lr=4e-3))
+
+    key = f"det-{kind}-{backbone}"
+    return _memo(key, lambda: _cached_model(key, build, train_it))
+
+
+def get_trained_segmenter(name: str):
+    train, _ = get_seg_dataset()
+
+    def build():
+        return create_segmenter(name, num_classes=train.num_classes, seed=0)
+
+    def train_it(model):
+        train_segmentation_model(model, train,
+                                 SegTrainConfig(epochs=SIZES["seg_epochs"],
+                                                batch_size=8, lr=5e-3))
+
+    return _memo(f"seg:{name}", lambda: _cached_model(f"seg-{name}", build,
+                                                      train_it))
+
+
+def get_trained_lm(name: str):
+    grammar, _ = get_nlp_suite()
+
+    def build():
+        return create_lm(name, vocab_size=grammar.vocab_size, seed=0)
+
+    def train_it(model):
+        corpus = grammar.corpus(n_sequences=300, length=20, seed=1)
+        train_lm(model, corpus, LMTrainConfig(epochs=SIZES["lm_epochs"],
+                                              batch_size=32))
+
+    return _memo(f"lm:{name}", lambda: _cached_model(f"lm-{name}", build,
+                                                     train_it))
+
+
+def lm_calib_corpus():
+    grammar, _ = get_nlp_suite()
+    return grammar.corpus(n_sequences=32, length=20, seed=7)

@@ -1,0 +1,71 @@
+"""Ablation B: INT8 design choices — granularity and calibration budget.
+
+The paper reports a single INT8 column per model; real deployment toolchains
+expose two knobs that move that number, which this ablation sweeps:
+
+* weight-quantisation granularity (per-output-channel vs per-tensor) —
+  per-channel should dominate, especially for depthwise convolutions whose
+  channel ranges vary wildly;
+* calibration set size — MinMax activation ranges from too few samples clip
+  or over-cover the true activation distribution.
+"""
+
+import numpy as np
+
+from common import get_cls_dataset, get_trained_classifier, write_result
+from repro.core import TRAIN_CONFIG, preprocess_dataset
+from repro.nn import Tensor, evaluate_classifier, quantize_model_int8
+
+MODELS = ["resnet18x0.25", "mobilenetv2-0.5"]
+CALIB_SIZES = [4, 16, 64]
+
+
+def _calibrator(x, n):
+    def calibrate(model):
+        model(Tensor(x[:n]))
+    return calibrate
+
+
+def _run_ablation():
+    train, val = get_cls_dataset()
+    x_train = preprocess_dataset(train.streams, train.input_size, TRAIN_CONFIG)
+    x_val = preprocess_dataset(val.streams, val.input_size, TRAIN_CONFIG)
+    rows = {}
+    for name in MODELS:
+        model = get_trained_classifier(name)
+        base = evaluate_classifier(model, x_val, val.labels)
+        row = {"fp32": base}
+        for gran in ("per_channel", "per_tensor"):
+            q = quantize_model_int8(model, _calibrator(x_train, 32),
+                                    weight_granularity=gran)
+            row[gran] = base - evaluate_classifier(q, x_val, val.labels)
+        for n in CALIB_SIZES:
+            q = quantize_model_int8(model, _calibrator(x_train, n))
+            row[f"calib{n}"] = base - evaluate_classifier(q, x_val, val.labels)
+        rows[name] = row
+    return rows
+
+
+def _render(rows):
+    lines = ["Ablation B: INT8 granularity & calibration size (ΔACC, lower "
+             "is better)"]
+    cols = ["per_channel", "per_tensor"] + [f"calib{n}" for n in CALIB_SIZES]
+    header = f"{'model':<18} {'fp32':>6} " + " ".join(f"{c:>12}" for c in cols)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name, row in rows.items():
+        cells = " ".join(f"{row[c]:>12.2f}" for c in cols)
+        lines.append(f"{name:<18} {row['fp32']:>6.2f} {cells}")
+    return "\n".join(lines)
+
+
+def test_ablation_quant(benchmark):
+    rows = benchmark.pedantic(_run_ablation, rounds=1, iterations=1)
+    write_result("ablation_quant", _render(rows))
+    for name, row in rows.items():
+        # Per-channel weight quantisation should never lose noticeably more
+        # accuracy than per-tensor (it has strictly finer scales).
+        assert row["per_channel"] <= row["per_tensor"] + 1.0, name
+        # A tiny calibration set may hurt, but with 64 samples INT8 should be
+        # close to the paper's near-zero CNN degradation.
+        assert row["calib64"] <= 5.0, name

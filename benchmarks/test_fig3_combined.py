@@ -1,0 +1,42 @@
+"""Figure 3: worst-case study — noises stacked one step at a time.
+
+(a) ResNet-50 classification: Δ grows as decode → +resize → +color → +INT8 →
++ceil stack.  (b) Faster-RCNN detection: same, plus upsample and
+post-processing.  Asserted shape: the cumulative curve ends far above the
+first step (combination matters).
+"""
+
+from common import (get_cls_dataset, get_det_dataset, get_trained_classifier,
+                    get_trained_detector, write_result)
+from repro.core import (evaluate_classification, evaluate_detection,
+                        render_curve, worst_case_curve)
+
+
+def _run_fig3():
+    _, cls_val = get_cls_dataset()
+    cls_model = get_trained_classifier("resnet-50")
+    cls_curve = worst_case_curve(
+        evaluate_classification, cls_model, cls_val,
+        ["decoder", "resize", "color", "precision", "ceil_mode"])
+
+    _, det_val = get_det_dataset()
+    det_model = get_trained_detector("rcnn", "resnet-50")
+    det_curve = worst_case_curve(
+        evaluate_detection, det_model, det_val,
+        ["decoder", "resize", "color", "precision", "ceil_mode",
+         "upsample", "proposal"])
+    return cls_curve, det_curve
+
+
+def test_fig3_combined(benchmark):
+    cls_curve, det_curve = benchmark.pedantic(_run_fig3, rounds=1, iterations=1)
+    text = ("Fig 3a: ResNet-50 classification\n"
+            + render_curve(cls_curve, "ACC")
+            + "\n\nFig 3b: Faster-RCNN ResNet-50 detection\n"
+            + render_curve(det_curve, "mAP"))
+    write_result("fig3_combined", text)
+    # The full stack hurts more than the first (decoder-only) step.
+    assert cls_curve[-1][1] >= cls_curve[0][1]
+    assert det_curve[-1][1] >= det_curve[0][1]
+    # And the final combined drop is substantial for detection (paper: 10.67).
+    assert det_curve[-1][1] > 0.5

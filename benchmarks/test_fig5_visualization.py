@@ -1,0 +1,29 @@
+"""Figure 5: visualising SysNoise as rescaled difference maps."""
+
+import numpy as np
+
+from common import get_cls_dataset, write_result
+from repro.viz import ascii_heatmap, noise_difference_maps, noise_statistics
+
+
+def _run_fig5():
+    train, _ = get_cls_dataset()
+    panels = noise_difference_maps(train.streams[0], input_size=32)
+    return panels, noise_statistics(panels)
+
+
+def test_fig5_visualization(benchmark):
+    panels, stats = benchmark.pedantic(_run_fig5, rounds=1, iterations=1)
+    blocks = []
+    for name, panel in panels.items():
+        s = stats[name]
+        blocks.append(f"--- {name} (mean {s['mean']:.2f}, "
+                      f"nonzero {s['nonzero_fraction']:.2f}) ---\n"
+                      + ascii_heatmap(panel))
+    write_result("fig5_visualization", "\n\n".join(blocks))
+    # Paper observations: resize noise is dense/structured; decode noise is
+    # sparser; all four panels are non-trivial.
+    assert set(panels) == {"decode", "resize", "color", "int8"}
+    assert stats["resize"]["nonzero_fraction"] >= stats["decode"]["nonzero_fraction"]
+    for s in stats.values():
+        assert s["mean"] >= 0.0

@@ -1,0 +1,52 @@
+"""Table 10 (Appendix C): text-to-speech SysNoise (MSE).
+
+FastSpeech-lite and Tacotron-lite, measured under precision noise, STFT
+noise, and their combination.  Paper shapes: each noise adds MSE and the
+combination is the worst.
+"""
+
+from common import get_tts_dataset, write_result
+from repro.audio import FastSpeechLite, TacotronLite, TTSTrainConfig, train_tts, tts_mse
+
+
+def _run_table10():
+    ds = get_tts_dataset()
+    rows = {}
+    for label, cls in [("fastspeech2", FastSpeechLite),
+                       ("tacotron2", TacotronLite)]:
+        model = cls(dim=20, seed=0)
+        train_tts(model, ds, TTSTrainConfig(epochs=25, lr=5e-3))
+        clean = tts_mse(model, ds)
+        rows[label] = {
+            "clean": clean,
+            "fp16": tts_mse(model, ds, precision="fp16") - clean,
+            "int8": tts_mse(model, ds, precision="int8") - clean,
+            "stft": tts_mse(model, ds, stft_variant="deployed") - clean,
+            "combined": tts_mse(model, ds, precision="int8",
+                                stft_variant="deployed") - clean,
+        }
+    return rows
+
+
+def _render(rows):
+    lines = ["Table 10: TTS SysNoise — added MSE over clean",
+             "model".ljust(14) + "clean".ljust(10) + "fp16".ljust(10)
+             + "int8".ljust(10) + "stft".ljust(10) + "combined"]
+    for label, row in rows.items():
+        lines.append(label.ljust(14)
+                     + f"{row['clean']:.4f}".ljust(10)
+                     + f"{row['fp16']:.4f}".ljust(10)
+                     + f"{row['int8']:.4f}".ljust(10)
+                     + f"{row['stft']:.4f}".ljust(10)
+                     + f"{row['combined']:.4f}")
+    return "\n".join(lines)
+
+
+def test_table10_tts(benchmark):
+    rows = benchmark.pedantic(_run_table10, rounds=1, iterations=1)
+    write_result("table10_tts", _render(rows))
+    for label, row in rows.items():
+        assert row["int8"] >= 0.0, label                 # precision adds MSE
+        assert row["stft"] >= -1e-6, label               # STFT flip adds MSE
+        # Combined >= the larger individual noise (paper: 4.12 vs 2.14).
+        assert row["combined"] >= max(row["int8"], row["stft"]) - 1e-3, label

@@ -1,0 +1,16 @@
+"""Table 1: the SysNoise taxonomy (stage, task, dependence, categories)."""
+
+from common import write_result
+from repro.core import NOISE_TAXONOMY, render_taxonomy
+
+
+def test_table1_taxonomy(benchmark):
+    def run():
+        text = render_taxonomy()
+        write_result("table1_taxonomy", text)
+        return text
+
+    text = benchmark.pedantic(run, rounds=1, iterations=1)
+    # The seven paper rows, with their category counts.
+    assert sum(s.num_categories for s in NOISE_TAXONOMY) == 26
+    assert "resize" in text and "Very High" in text

@@ -1,0 +1,56 @@
+"""Table 2: ImageNet-classification SysNoise benchmark.
+
+For each zoo architecture: clean accuracy, ΔACC per noise type (mean and max
+for decoder/resize/precision), and the all-noises Combined column.  The paper
+shapes asserted here: resize is the strongest pre-processing noise, ceil mode
+hits ResNets, and Combined exceeds every single noise for ResNets.
+"""
+
+import numpy as np
+
+from common import cls_model_list, get_cls_dataset, get_trained_classifier, write_result
+from repro.core import (CLS_NOISES, evaluate_classification, family_summaries,
+                        noise_row, render_family_table, render_table)
+from repro.models import family_of
+
+
+def _run_table2():
+    _, val = get_cls_dataset()
+    rows = {}
+    for name in cls_model_list():
+        model = get_trained_classifier(name)
+        skip = set() if family_of(name) == "resnet" else {"ceil_mode"}
+        rows[name] = noise_row(evaluate_classification, model, val,
+                               CLS_NOISES, skip=skip)
+    return rows
+
+
+def test_table2_classification(benchmark):
+    rows = benchmark.pedantic(_run_table2, rounds=1, iterations=1)
+    table = render_table(rows, CLS_NOISES, "ACC",
+                         "Table 2: classification SysNoise (ΔACC)")
+    families = family_summaries(rows, family_of)
+    table += ("\n\narchitecture-wise aggregation (paper §4.2):\n"
+              + render_family_table(families))
+    write_result("table2_classification", table)
+
+    # Paper-shape assertions only apply to non-degenerate models (always the
+    # case at default/full scale; smoke-scale models can be at chance level).
+    trained = {k: v for k, v in rows.items() if v["trained"] > 40.0}
+    resnets = {k: v for k, v in trained.items() if family_of(k) == "resnet"}
+    for name, row in resnets.items():
+        # Combined noise exceeds any single mean delta (paper: 3.95 vs <=1.24
+        # for ResNet-50).
+        singles = [r.mean_delta for r in row["noises"].values() if r is not None]
+        assert row["combined"] >= max(singles) - 0.5, name
+    # FP16 is harmless everywhere (paper: |Δ| <= 0.05).
+    for name, row in rows.items():
+        prec = row["noises"]["precision"]
+        fp16_delta = prec.deltas[0]
+        assert abs(fp16_delta) < 1.5, (name, fp16_delta)
+    # Resize is a stronger noise than decoder on max-delta, for most models.
+    if trained:
+        stronger = sum(row["noises"]["resize"].max_delta
+                       >= row["noises"]["decoder"].max_delta
+                       for row in trained.values())
+        assert stronger >= len(trained) / 2

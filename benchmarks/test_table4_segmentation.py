@@ -1,0 +1,34 @@
+"""Table 4: Cityscapes segmentation SysNoise benchmark (ΔmIoU).
+
+DeepLabV3-lite (ResNet-50/101 backbones, with the ceil-mode door) and U-Net
+(no max-pool, so no ceil-mode entry).  Paper shapes: decode/resize ≈ 0 for
+segmentation, upsample dominates.
+"""
+
+from common import get_seg_dataset, get_trained_segmenter, write_result
+from repro.core import SEG_NOISES, evaluate_segmentation, noise_row, render_table
+
+
+def _run_table4():
+    _, val = get_seg_dataset()
+    rows = {}
+    for name in ("deeplab-resnet50", "deeplab-resnet101", "unet"):
+        model = get_trained_segmenter(name)
+        skip = {"ceil_mode"} if name == "unet" else set()
+        rows[name] = noise_row(evaluate_segmentation, model, val, SEG_NOISES,
+                               skip=skip)
+    return rows
+
+
+def test_table4_segmentation(benchmark):
+    rows = benchmark.pedantic(_run_table4, rounds=1, iterations=1)
+    write_result("table4_segmentation",
+                 render_table(rows, SEG_NOISES, "mIoU",
+                              "Table 4: segmentation SysNoise (ΔmIoU)"))
+    for name, row in rows.items():
+        noises = row["noises"]
+        # Upsample is the dominant segmentation noise (paper: 2.7-3.9 mIoU
+        # vs ~0 for decode).
+        assert (abs(noises["upsample"].mean_delta)
+                >= abs(noises["decoder"].mean_delta) - 0.5), name
+    assert rows["unet"]["noises"]["ceil_mode"] is None

@@ -1,0 +1,44 @@
+"""Table 5: NLP data-precision SysNoise (OPT family × four tasks).
+
+FP32 accuracy plus ΔACC under FP16 and INT8 per task.  Paper shapes: FP16 is
+essentially free everywhere; INT8 deltas are small and dataset-dependent.
+"""
+
+import numpy as np
+
+from common import SCALE, get_nlp_suite, get_trained_lm, lm_calib_corpus, write_result
+from repro.nlp import nlp_precision_table
+
+
+def _run_table5():
+    _, tasks = get_nlp_suite()
+    names = ["opt-125m", "opt-350m"] if SCALE == "smoke" else \
+        ["opt-125m", "opt-350m", "opt-1.3b", "opt-2.7b"]
+    models = {n: get_trained_lm(n) for n in names}
+    return nlp_precision_table(models, tasks, lm_calib_corpus())
+
+
+def _render(table):
+    lines = ["Table 5: NLP SysNoise — FP32 ACC / ΔACC(FP16) / ΔACC(INT8)"]
+    tasks = list(next(iter(table.values())))
+    header = "model".ljust(12) + "".join(t.ljust(26) for t in tasks)
+    lines.append(header)
+    for model, row in table.items():
+        cells = [f"{row[t]['fp32']:.2f}/{row[t]['fp16_delta']:+.2f}/"
+                 f"{row[t]['int8_delta']:+.2f}".ljust(26) for t in tasks]
+        lines.append(model.ljust(12) + "".join(cells))
+    return "\n".join(lines)
+
+
+def test_table5_nlp(benchmark):
+    table = benchmark.pedantic(_run_table5, rounds=1, iterations=1)
+    write_result("table5_nlp", _render(table))
+    fp16_deltas, int8_deltas = [], []
+    for row in table.values():
+        for cell in row.values():
+            fp16_deltas.append(abs(cell["fp16_delta"]))
+            int8_deltas.append(abs(cell["int8_delta"]))
+    # FP16 is nearly free (paper: |Δ| <= 0.16 across the whole table).
+    assert np.mean(fp16_deltas) <= 2.0
+    # INT8 error is at least as large as FP16 error on average.
+    assert np.mean(int8_deltas) >= np.mean(fp16_deltas) - 0.1

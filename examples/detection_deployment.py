@@ -1,0 +1,60 @@
+"""Detection deployment example: upsample + box-decode SysNoise.
+
+Trains a RetinaNet-lite on synthetic scenes, then deploys it on a backend
+that (a) only implements bilinear FPN upsampling and (b) uses the other
+``ALIGNED_FLAG`` convention in box decoding — the two detection-specific
+noises of the paper's Table 3 — and shows what happens to mAP and to the
+actual boxes.
+
+Run:  python examples/detection_deployment.py
+"""
+
+import numpy as np
+
+from repro.core import (TRAIN_CONFIG, evaluate_detection, preprocess_dataset,
+                        train_detection_model)
+from repro.data import make_detection_dataset
+from repro.detection import DetTrainConfig, RetinaNetLite
+
+
+def main():
+    print("Generating synthetic detection scenes...")
+    ds = make_detection_dataset(n=70, size=48, seed=0, max_objects=2)
+    train, val = ds.split(52)
+
+    print("Training RetinaNet-lite (nearest FPN upsample, offset=0)...")
+    model = RetinaNetLite(backbone="resnet-34", num_classes=3,
+                          fpn_channels=12, seed=0)
+    train_detection_model(model, train,
+                          DetTrainConfig(epochs=14, batch_size=8, lr=4e-3))
+
+    configs = {
+        "training system": TRAIN_CONFIG,
+        "+ bilinear upsample": TRAIN_CONFIG.with_(upsample_mode="bilinear"),
+        "+ aligned offset": TRAIN_CONFIG.with_(upsample_mode="bilinear",
+                                               aligned_offset=1.0),
+        "+ ceil mode": TRAIN_CONFIG.with_(upsample_mode="bilinear",
+                                          aligned_offset=1.0, ceil_mode=True),
+    }
+    print("\nmAP under progressively mismatched deployment systems:")
+    for label, cfg in configs.items():
+        mAP = evaluate_detection(model, val, cfg)
+        print(f"  {label:<22} mAP = {mAP:6.2f}")
+
+    # Show one image's boxes moving under the offset flip.
+    x = preprocess_dataset(val.streams[:1], val.input_size, TRAIN_CONFIG)
+    base = model.predict(x, score_threshold=0.3)[0]
+    model.aligned_offset = 1.0
+    shifted = model.predict(x, score_threshold=0.3)[0]
+    model.aligned_offset = 0.0
+    print("\nTop detection on the first validation image:")
+    if len(base) and len(shifted):
+        print(f"  offset=0: class {int(base[0, 0])} "
+              f"box {np.round(base[0, 2:], 1)}")
+        print(f"  offset=1: class {int(shifted[0, 0])} "
+              f"box {np.round(shifted[0, 2:], 1)}")
+        print("  (the one-pixel convention mismatch of paper Fig. 1d)")
+
+
+if __name__ == "__main__":
+    main()

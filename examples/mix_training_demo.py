@@ -1,0 +1,43 @@
+"""Mix training (paper Algorithm 1): robustness to resize SysNoise.
+
+Trains the same architecture twice — once on a single resize kernel, once
+sampling a random kernel per batch — and prints the cross-variant accuracy
+matrix.  The mix-trained row should be visibly flatter (smaller std), the
+paper's Table 7 result.
+
+Run:  python examples/mix_training_demo.py
+"""
+
+import repro.nn as nn
+from repro.data import make_classification_dataset
+from repro.mitigation import cross_variant_matrix, train_with_mix
+
+RESIZES = ["pillow-bilinear", "pillow-nearest", "cv-bilinear", "cv-nearest"]
+
+
+def main():
+    ds = make_classification_dataset(n=240, native_size=40, input_size=32,
+                                     seed=0)
+    cfg = lambda: nn.TrainConfig(epochs=30, batch_size=32, lr=0.1)
+
+    print("Training fixed-resize model (pillow-bilinear only)...")
+    fixed = train_with_mix("resnet18x0.25", ds, resizes=None, cfg=cfg())
+    print("Training mix-resize model (random kernel per batch)...")
+    mixed = train_with_mix("resnet18x0.25", ds, resizes=RESIZES, cfg=cfg())
+
+    table = cross_variant_matrix({"fixed": fixed, "mix": mixed}, ds,
+                                 RESIZES, axis="resize")
+    print("\nAccuracy per test-time resize kernel:")
+    header = "model".ljust(8) + "".join(r.ljust(17) for r in RESIZES) \
+        + "mean".ljust(8) + "std"
+    print(header)
+    for label, row in table.items():
+        cells = "".join(f"{row['accs'][r]:.2f}".ljust(17) for r in RESIZES)
+        print(label.ljust(8) + cells
+              + f"{row['mean']:.2f}".ljust(8) + f"{row['std']:.3f}")
+    print("\nMix training flattens the row (smaller std) without giving up "
+          "mean accuracy — paper Table 7.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""NLP precision noise: the paper's Table-5 protocol on a tiny LM family.
+
+Language pipelines have little pre/post-processing SysNoise, so the paper
+measures only data-precision noise on OPT models across four multiple-choice
+tasks.  This example trains two sizes of the decoder-only LM stand-in on the
+synthetic grammar and reports FP32 accuracy with FP16/INT8 deltas per task —
+showing the paper's finding that precision noise in NLP is small and
+dataset-dependent rather than uniformly harmful.
+
+Run:  python examples/nlp_precision.py
+"""
+
+from repro.data import make_nlp_suite
+from repro.nlp import (LMTrainConfig, create_lm, evaluate_task,
+                       evaluate_task_under_precision, train_lm)
+
+
+def main():
+    print("Building the synthetic grammar + four multiple-choice tasks...")
+    grammar, tasks = make_nlp_suite(n_per_task=40, seed=0)
+    corpus = grammar.corpus(n_sequences=300, length=20, seed=1)
+    calib = grammar.corpus(n_sequences=32, length=20, seed=7)
+
+    for size in ("opt-125m", "opt-350m"):
+        print(f"\nTraining {size} on the grammar corpus...")
+        model = create_lm(size, vocab_size=grammar.vocab_size, seed=0)
+        train_lm(model, corpus, LMTrainConfig(epochs=10, batch_size=32))
+
+        print(f"{'task':<14} {'FP32':>7} {'ΔFP16':>7} {'ΔINT8':>7}")
+        for name, task in tasks.items():
+            fp32 = evaluate_task(model, task)
+            d16 = fp32 - evaluate_task_under_precision(model, task, "fp16")
+            d8 = fp32 - evaluate_task_under_precision(model, task, "int8",
+                                                      calib)
+            print(f"{name:<14} {fp32:7.2f} {d16:+7.2f} {d8:+7.2f}")
+
+    print("\nAs in the paper: FP16 is nearly free, and INT8 deltas vary by "
+          "task rather than growing uniformly with model size.")
+
+
+if __name__ == "__main__":
+    main()

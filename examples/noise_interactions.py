@@ -1,0 +1,44 @@
+"""Noise interactions: when do two SysNoises overlap vs magnify?
+
+The paper's Fig. 3 stacks noises in one fixed order and observes that some
+steps add less than their standalone damage (overlap) while others add more
+(magnification).  This example measures the full pairwise interaction matrix
+Δ(a∧b) − Δ(a) − Δ(b) on a freshly trained classifier, so both regimes are
+visible at once instead of being entangled in a single stacking order.
+
+Run:  python examples/noise_interactions.py
+"""
+
+import repro.nn as nn
+from repro.core import (evaluate_classification, pairwise_interaction,
+                        render_interaction, train_classification_model,
+                        worst_case_curve, render_curve, CLS_NOISES)
+from repro.data import make_classification_dataset
+
+
+def main():
+    print("Training resnet-18 under the training-system pipeline...")
+    ds = make_classification_dataset(n=300, native_size=48, input_size=32,
+                                     seed=0)
+    train, val = ds.split(220)
+    model = train_classification_model(
+        "resnet-18", train, nn.TrainConfig(epochs=30, batch_size=32, lr=0.1))
+
+    print("\n1) The paper's Fig.-3 view — one fixed stacking order:")
+    curve = worst_case_curve(evaluate_classification, model, val, CLS_NOISES)
+    print(render_curve(curve, "ACC"))
+
+    print("\n2) The full pairwise view (ablation E):")
+    matrix = pairwise_interaction(
+        evaluate_classification, model, val,
+        ["decoder", "resize", "color", "precision", "ceil_mode"])
+    print(render_interaction(matrix))
+
+    print("\nNegative off-diagonal cells are overlapping noises (mostly "
+          "pre-processing pairs); positive cells are mutual magnification — "
+          "the paper's INT8/ceil-mode observation, without the stacking-"
+          "order confound.")
+
+
+if __name__ == "__main__":
+    main()

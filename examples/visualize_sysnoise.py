@@ -1,0 +1,32 @@
+"""Visualise SysNoise (paper Fig. 5): per-noise pixel difference maps.
+
+Encodes one synthetic image, then renders the |clean − noised| map for the
+decoder, resize, colour-mode, and INT8 noises as terminal heatmaps.
+
+Run:  python examples/visualize_sysnoise.py
+"""
+
+from repro.data import make_classification_dataset
+from repro.viz import ascii_heatmap, noise_difference_maps, noise_statistics
+
+
+def main():
+    ds = make_classification_dataset(n=4, native_size=48, input_size=32,
+                                     seed=3)
+    panels = noise_difference_maps(ds.streams[0], input_size=32)
+    stats = noise_statistics(panels)
+
+    for name, panel in panels.items():
+        s = stats[name]
+        print(f"\n=== {name} noise "
+              f"(mean |Δ| {s['mean']:.2f}, "
+              f"{100 * s['nonzero_fraction']:.0f}% of pixels touched) ===")
+        print(ascii_heatmap(panel))
+
+    print("\nPaper Fig. 5 observations to look for: resize/colour noise "
+          "concentrates on object edges; decoder noise is sparse and "
+          "irregular; INT8 noise has no obvious spatial pattern.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,20 @@
+"""repro — reproduction of *SysNoise: Exploring and Benchmarking
+Training-Deployment System Inconsistency* (MLSys 2023).
+
+Subpackages
+-----------
+``repro.nn``           NumPy autograd + layers + quantisation (the "runtime").
+``repro.image``        JPEG codec, resize kernels, colour-space conversion.
+``repro.data``         Synthetic datasets standing in for ImageNet/COCO/etc.
+``repro.models``       Tiny faithful model-zoo families.
+``repro.detection``    Anchors, bbox coding, NMS, FPN, detectors, mAP.
+``repro.segmentation`` U-Net / DeepLab-lite, mIoU.
+``repro.nlp``          Decoder-only LM + multiple-choice tasks.
+``repro.audio``        STFT variants + toy TTS.
+``repro.backend``      Deployment graph IR, exporter, vendor-style executors.
+``repro.core``         The SysNoise registry, pipeline, and benchmark runner.
+``repro.mitigation``   Mix training, augmentation, adversarial training, TENT.
+``repro.viz``          Difference-map visualisation (paper Fig. 5).
+"""
+
+__version__ = "1.0.0"

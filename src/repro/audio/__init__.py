@@ -1,0 +1,13 @@
+"""Audio substrate: STFT variants + toy TTS models (paper Appendix C)."""
+
+from .stft import (STFT_VARIANTS, mel_filterbank, mel_spectrogram,
+                   stft_deployed, stft_reference)
+from .tts import (FRAMES_PER_TOKEN, FastSpeechLite, TacotronLite,
+                  TTSTrainConfig, mel_targets, train_tts, tts_mse)
+
+__all__ = [
+    "stft_reference", "stft_deployed", "STFT_VARIANTS", "mel_filterbank",
+    "mel_spectrogram",
+    "FastSpeechLite", "TacotronLite", "TTSTrainConfig", "train_tts",
+    "tts_mse", "mel_targets", "FRAMES_PER_TOKEN",
+]

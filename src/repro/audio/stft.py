@@ -1,0 +1,81 @@
+"""STFT implementations with deployment-level disagreement (paper Appendix C).
+
+The paper's text-to-speech appendix finds that *different STFT operator
+implementations* in the deployment stack introduce SysNoise.  Real stacks
+disagree on: window symmetry (periodic vs symmetric Hann), accumulation
+precision (float32 vs float64), and magnitude computation order.  The two
+variants here reproduce exactly those axes:
+
+``stft_reference``   float64, periodic Hann (librosa/torch.stft behaviour);
+``stft_deployed``    float32, *symmetric* Hann, magnitude computed as
+                     sqrt(re² + im²) in float32 (a common DSP-kernel recipe).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["stft_reference", "stft_deployed", "STFT_VARIANTS", "mel_filterbank",
+           "mel_spectrogram"]
+
+
+def _frame(signal: np.ndarray, n_fft: int, hop: int) -> np.ndarray:
+    n_frames = 1 + max(0, (len(signal) - n_fft)) // hop
+    idx = np.arange(n_fft)[None, :] + hop * np.arange(n_frames)[:, None]
+    return signal[idx]
+
+
+def stft_reference(signal: np.ndarray, n_fft: int = 128, hop: int = 64) -> np.ndarray:
+    """Magnitude STFT, float64, periodic Hann window."""
+    window = 0.5 - 0.5 * np.cos(2 * np.pi * np.arange(n_fft) / n_fft)
+    frames = _frame(signal.astype(np.float64), n_fft, hop) * window
+    return np.abs(np.fft.rfft(frames, axis=-1))
+
+
+def stft_deployed(signal: np.ndarray, n_fft: int = 128, hop: int = 64) -> np.ndarray:
+    """Magnitude STFT, float32, symmetric Hann, float32 magnitude math."""
+    window = (0.5 - 0.5 * np.cos(2 * np.pi * np.arange(n_fft)
+                                 / (n_fft - 1))).astype(np.float32)
+    frames = _frame(signal.astype(np.float32), n_fft, hop) * window
+    spec = np.fft.rfft(frames.astype(np.float32), axis=-1)
+    re = spec.real.astype(np.float32)
+    im = spec.imag.astype(np.float32)
+    return np.sqrt(re * re + im * im).astype(np.float64)
+
+
+STFT_VARIANTS = {"reference": stft_reference, "deployed": stft_deployed}
+
+
+def mel_filterbank(n_mels: int, n_fft: int, sample_rate: int) -> np.ndarray:
+    """Triangular mel filterbank (n_mels, n_fft//2 + 1)."""
+    def hz_to_mel(f):
+        return 2595.0 * np.log10(1.0 + f / 700.0)
+
+    def mel_to_hz(m):
+        return 700.0 * (10.0 ** (m / 2595.0) - 1.0)
+
+    n_bins = n_fft // 2 + 1
+    fmax = sample_rate / 2
+    mels = np.linspace(0, hz_to_mel(fmax), n_mels + 2)
+    freqs = mel_to_hz(mels)
+    bins = np.floor((n_fft + 1) * freqs / sample_rate).astype(int)
+    fb = np.zeros((n_mels, n_bins))
+    for i in range(n_mels):
+        lo, mid, hi = bins[i], bins[i + 1], bins[i + 2]
+        if mid > lo:
+            fb[i, lo:mid] = (np.arange(lo, mid) - lo) / (mid - lo)
+        if hi > mid:
+            fb[i, mid:hi] = (hi - np.arange(mid, hi)) / (hi - mid)
+    return fb
+
+
+def mel_spectrogram(signal: np.ndarray, variant: str = "reference",
+                    n_fft: int = 128, hop: int = 64, n_mels: int = 16,
+                    sample_rate: int = 4000) -> np.ndarray:
+    """Log-mel spectrogram (frames, n_mels) via the named STFT variant."""
+    if variant not in STFT_VARIANTS:
+        raise ValueError(f"unknown STFT variant {variant!r}")
+    mag = STFT_VARIANTS[variant](signal, n_fft, hop)
+    fb = mel_filterbank(n_mels, n_fft, sample_rate)
+    mel = mag @ fb.T
+    return np.log(mel + 1e-5)

@@ -1,0 +1,135 @@
+"""Toy TTS models + the Table 10 SysNoise measurement.
+
+Two architectures stand in for FastSpeech 2 and Tacotron 2:
+
+* **FastSpeechLite** — parallel (non-autoregressive): each phoneme embedding
+  is mapped by an MLP directly to its block of mel frames;
+* **TacotronLite**  — sequential flavour: embeddings pass through a causal
+  conv over the token sequence before frame expansion (so each frame depends
+  on past context, a lightweight autoregressive analogue).
+
+Both are trained to regress log-mel targets computed with the *reference*
+STFT.  At deployment, Table 10 measures the MSE added by (a) casting the
+model to FP16/INT8 and (b) computing features with the *deployed* STFT
+variant — and their combination.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro.nn as nn
+from repro.nn import Tensor, no_grad
+
+from ..data.audio import PHONEME_COUNT, SAMPLE_RATE, TOKEN_SAMPLES, TTSDataset
+from .stft import mel_spectrogram
+
+__all__ = ["FastSpeechLite", "TacotronLite", "TTSTrainConfig", "train_tts",
+           "tts_mse", "FRAMES_PER_TOKEN", "mel_targets"]
+
+N_FFT, HOP, N_MELS = 128, 64, 16
+# Frames contributed by one token's samples (see data.audio.TOKEN_SAMPLES).
+FRAMES_PER_TOKEN = TOKEN_SAMPLES // HOP
+
+
+class FastSpeechLite(nn.Module):
+    """Parallel token → mel-frame-block regressor."""
+
+    def __init__(self, dim: int = 24, seed: int = 0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.emb = nn.Embedding(PHONEME_COUNT, dim, rng=rng)
+        self.fc1 = nn.Linear(dim, 2 * dim, rng=rng)
+        self.fc2 = nn.Linear(2 * dim, FRAMES_PER_TOKEN * N_MELS, rng=rng)
+
+    def forward(self, tokens: np.ndarray) -> Tensor:
+        """tokens (L,) -> mel (L * FRAMES_PER_TOKEN, N_MELS)."""
+        x = self.emb(np.asarray(tokens))                   # (L, D)
+        out = self.fc2(self.fc1(x).relu())                 # (L, F*M)
+        return out.reshape(len(tokens) * FRAMES_PER_TOKEN, N_MELS)
+
+
+class TacotronLite(nn.Module):
+    """Sequential flavour: causal mixing over tokens before frame expansion."""
+
+    def __init__(self, dim: int = 24, seed: int = 0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.emb = nn.Embedding(PHONEME_COUNT, dim, rng=rng)
+        self.mix_prev = nn.Linear(dim, dim, rng=rng)       # context from t-1
+        self.mix_cur = nn.Linear(dim, dim, rng=rng)
+        self.fc = nn.Linear(dim, FRAMES_PER_TOKEN * N_MELS, rng=rng)
+
+    def forward(self, tokens: np.ndarray) -> Tensor:
+        tokens = np.asarray(tokens)
+        x = self.emb(tokens)                               # (L, D)
+        prev = np.concatenate([[0], tokens[:-1]])
+        ctx = self.emb(prev)
+        h = (self.mix_cur(x) + self.mix_prev(ctx)).relu()
+        return self.fc(h).reshape(len(tokens) * FRAMES_PER_TOKEN, N_MELS)
+
+
+def mel_targets(waveform: np.ndarray, n_tokens: int,
+                variant: str = "reference") -> np.ndarray:
+    """Log-mel target matrix aligned to the model's frame grid."""
+    mel = mel_spectrogram(waveform, variant=variant, n_fft=N_FFT, hop=HOP,
+                          n_mels=N_MELS, sample_rate=SAMPLE_RATE)
+    return mel[:n_tokens * FRAMES_PER_TOKEN]
+
+
+class TTSTrainConfig:
+    def __init__(self, epochs: int = 40, lr: float = 3e-3, seed: int = 0):
+        self.epochs, self.lr, self.seed = epochs, lr, seed
+
+
+def train_tts(model: nn.Module, dataset: TTSDataset,
+              cfg: TTSTrainConfig | None = None) -> list[float]:
+    """MSE regression onto reference-STFT log-mel targets."""
+    cfg = cfg or TTSTrainConfig()
+    rng = np.random.default_rng(cfg.seed)
+    opt = nn.Adam(model.parameters(), lr=cfg.lr)
+    targets = [mel_targets(w, len(t))
+               for t, w in zip(dataset.token_seqs, dataset.waveforms)]
+    history = []
+    model.train()
+    for _ in range(cfg.epochs):
+        order = rng.permutation(len(dataset))
+        losses = []
+        for i in order:
+            pred = model(dataset.token_seqs[i])
+            # Frame counts can differ by 1 at the tail; align conservatively.
+            n = min(pred.shape[0], targets[i].shape[0])
+            loss = ((pred[:n] - Tensor(targets[i][:n])) ** 2).mean()
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+            losses.append(loss.item())
+        history.append(float(np.mean(losses)))
+    model.eval()
+    return history
+
+
+def tts_mse(model: nn.Module, dataset: TTSDataset, *,
+            precision: str = "fp32", stft_variant: str = "reference",
+            calib_tokens: np.ndarray | None = None) -> float:
+    """Mean MSE between model output and deployment-side log-mel targets.
+
+    ``precision`` converts the model (FP16/INT8); ``stft_variant`` selects the
+    deployment STFT used for the comparison targets.  Matches the Table 10
+    protocol: MSE grows when either side of the pipeline changes.
+    """
+    from repro.nn import apply_precision
+    calibrate = None
+    if precision == "int8":
+        toks = calib_tokens if calib_tokens is not None else dataset.token_seqs[0]
+        calibrate = lambda m: m(toks)
+    qmodel = apply_precision(model, precision, calibrate)
+    qmodel.eval()
+    errs = []
+    with no_grad():
+        for tokens, wave in zip(dataset.token_seqs, dataset.waveforms):
+            pred = qmodel(tokens).data
+            target = mel_targets(wave, len(tokens), variant=stft_variant)
+            n = min(len(pred), len(target))
+            errs.append(float(((pred[:n] - target[:n]) ** 2).mean()))
+    return float(np.mean(errs))

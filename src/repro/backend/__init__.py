@@ -1,0 +1,52 @@
+"""Deployment inference-engine substrate: graph IR, exporter, backends.
+
+The SysNoise paper's deployment targets (TensorRT, SNPE, CANN) are vendor
+graph compilers: the trained model is exported once to a portable graph and
+each backend executes it with its own operator kernels.  This package builds
+that entire layer from scratch:
+
+* :mod:`~repro.backend.ir`       — the graph IR and builder;
+* :mod:`~repro.backend.export`   — ``repro.nn`` → graph lowering (ONNX role);
+* :mod:`~repro.backend.executor` — reference backend + configurable vendor
+  personas (``gpu-fp16``, ``dsp``, ``npu-bilinear``);
+* :mod:`~repro.backend.passes`   — load-time rewrites (conv+BN fusion, DCE);
+* :mod:`~repro.backend.compare`  — per-layer divergence localisation and
+  end-to-end Δ-accuracy under a backend.
+
+Quick use::
+
+    graph = export_module(trained_model)
+    ref   = accuracy_under_backend(graph, x, y, "reference")
+    fp16  = accuracy_under_backend(graph, x, y, "gpu-fp16")
+    print(diff_report(backend_diff(graph, x, "reference", "dsp")))
+"""
+
+from .compare import (LayerDiff, accuracy_under_backend, backend_diff,
+                      diff_report, first_divergence, predict)
+from .executor import (BACKEND_PRESETS, BackendOptions, DeploymentExecutor,
+                       Executor, ReferenceExecutor, create_backend)
+from .export import (ExportError, export_classifier, export_module,
+                     register_handler, supported_module_types)
+from .ir import Graph, GraphBuilder, GraphError, Node, OP_SCHEMA
+from .passes import (DEFAULT_PASSES, dead_code_elimination, eliminate_identity,
+                     fold_constants, fuse_conv_bn, optimize)
+from .profile import GraphProfile, OpProfile, profile_graph, render_profile
+from .quantize import calibrate_ranges, quantize_graph
+from .serialize import GRAPH_FORMAT_VERSION, load_graph, save_graph
+from .shapes import ShapeError, infer_shapes, summary_with_shapes
+
+__all__ = [
+    "Graph", "GraphBuilder", "GraphError", "Node", "OP_SCHEMA",
+    "ExportError", "export_module", "export_classifier", "register_handler",
+    "supported_module_types",
+    "Executor", "ReferenceExecutor", "DeploymentExecutor", "BackendOptions",
+    "BACKEND_PRESETS", "create_backend",
+    "eliminate_identity", "fuse_conv_bn", "dead_code_elimination",
+    "fold_constants", "optimize", "DEFAULT_PASSES",
+    "LayerDiff", "backend_diff", "first_divergence", "diff_report",
+    "accuracy_under_backend", "predict",
+    "save_graph", "load_graph", "GRAPH_FORMAT_VERSION",
+    "infer_shapes", "summary_with_shapes", "ShapeError",
+    "OpProfile", "GraphProfile", "profile_graph", "render_profile",
+    "quantize_graph", "calibrate_ranges",
+]

@@ -1,0 +1,111 @@
+"""Cross-backend numerical comparison — localising where deployments diverge.
+
+The paper observes that vendor operator libraries "often fail to produce the
+same results" but treats them as black boxes.  With both backends implemented
+here we can open the box: :func:`backend_diff` runs the same graph on the
+same batch under two executors and reports, per layer, how far the
+activations have drifted.  :func:`accuracy_under_backend` closes the loop by
+scoring a classifier graph end-to-end under a given backend, which is the
+Δ-accuracy quantity the benchmark tables report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .executor import Executor, ReferenceExecutor, create_backend
+from .ir import Graph
+
+__all__ = ["LayerDiff", "backend_diff", "first_divergence", "diff_report",
+           "accuracy_under_backend", "predict"]
+
+
+@dataclass(frozen=True)
+class LayerDiff:
+    """Activation disagreement at one graph node."""
+
+    layer: str
+    op: str
+    shape: tuple[int, ...]
+    max_abs: float
+    mean_abs: float
+    rel: float            # max_abs / (max |reference| + eps)
+
+    def __str__(self) -> str:
+        return (f"{self.layer:32s} {self.op:14s} max={self.max_abs:.3e} "
+                f"mean={self.mean_abs:.3e} rel={self.rel:.3e}")
+
+
+def backend_diff(graph: Graph, x: np.ndarray,
+                 backend_a: Executor | str = "reference",
+                 backend_b: Executor | str = "gpu-fp16") -> list[LayerDiff]:
+    """Per-layer activation diffs between two backends on the same batch.
+
+    Layers are matched by node *name*; fusion may remove nodes from one side
+    (a fused conv+bn only reports at the fused node), so only names present
+    in both executions are compared — mirroring how one debugs a real
+    TensorRT-vs-PyTorch mismatch layer by layer.
+    """
+    exec_a = _as_executor(backend_a)
+    exec_b = _as_executor(backend_b)
+    exec_a.keep_intermediates = True
+    exec_b.keep_intermediates = True
+    exec_a.run(graph, x)
+    exec_b.run(graph, x)
+    ops_by_name = {n.name or n.output: n.op for n in graph.nodes}
+    diffs = []
+    for name, ref in exec_a.intermediates.items():
+        # Fused executions report the conv under "<name>+bn".
+        other = exec_b.intermediates.get(name)
+        if other is None:
+            other = exec_b.intermediates.get(name + "+bn")
+        if other is None or ref.shape != other.shape:
+            continue
+        delta = np.abs(ref.astype(np.float64) - other.astype(np.float64))
+        denom = float(np.abs(ref).max()) + 1e-12
+        diffs.append(LayerDiff(layer=name, op=ops_by_name.get(name, "?"),
+                               shape=tuple(ref.shape),
+                               max_abs=float(delta.max()),
+                               mean_abs=float(delta.mean()),
+                               rel=float(delta.max() / denom)))
+    return diffs
+
+
+def first_divergence(diffs: list[LayerDiff], rel_tol: float = 1e-6) -> LayerDiff | None:
+    """The first layer (in execution order) whose relative error exceeds tol."""
+    for d in diffs:
+        if d.rel > rel_tol:
+            return d
+    return None
+
+
+def diff_report(diffs: list[LayerDiff], top: int = 10) -> str:
+    """Readable report: worst layers by relative error, plus the onset layer."""
+    if not diffs:
+        return "no comparable layers"
+    worst = sorted(diffs, key=lambda d: d.rel, reverse=True)[:top]
+    lines = [f"{len(diffs)} layers compared; {top} worst by relative error:"]
+    lines += [f"  {d}" for d in worst]
+    onset = first_divergence(diffs)
+    if onset is not None:
+        lines.append(f"first divergence at: {onset.layer} (rel={onset.rel:.3e})")
+    return "\n".join(lines)
+
+
+def _as_executor(backend: Executor | str) -> Executor:
+    return backend if isinstance(backend, Executor) else create_backend(backend)
+
+
+def predict(graph: Graph, x: np.ndarray,
+            backend: Executor | str = "reference") -> np.ndarray:
+    """Class predictions of a classifier graph under a backend."""
+    logits = _as_executor(backend).run(graph, x)
+    return logits.argmax(axis=1)
+
+
+def accuracy_under_backend(graph: Graph, x: np.ndarray, labels: np.ndarray,
+                           backend: Executor | str) -> float:
+    """Top-1 accuracy (percent) of a classifier graph under a backend."""
+    return float((predict(graph, x, backend) == labels).mean() * 100.0)

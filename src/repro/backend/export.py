@@ -1,0 +1,460 @@
+"""Export trained ``repro.nn`` models to the backend :class:`~repro.backend.ir.Graph`.
+
+The exporter plays the ONNX role in the paper's training→deployment pipeline:
+the PyTorch-side model is lowered once to a portable graph, and the vendor
+backends each execute that *same* graph with their own kernels.
+
+Lowering uses a symbolic registry, exactly like ``torch.onnx``: each module
+type registers a handler that emits the corresponding subgraph.  Handlers
+exist for every primitive layer in :mod:`repro.nn` and for the composite
+blocks of every family in the model zoo: the CNNs (ResNet basic/bottleneck,
+MobileNetV2 inverted residual, EfficientNet MBConv+SE, RegNetX bottleneck)
+and the transformers (ViT with CLS token and position embeddings, Swin with
+shifted-window attention and patch merging — attention lowers to primitive
+matmul/softmax/reshape ops, so backend kernel choices apply inside it).
+Modules without a handler raise :class:`ExportError` with a clear message.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+import repro.nn as nn
+
+from .ir import Graph, GraphBuilder
+
+__all__ = ["ExportError", "export_module", "export_classifier",
+           "register_handler", "supported_module_types"]
+
+
+class ExportError(NotImplementedError):
+    """Raised when a module type has no lowering handler."""
+
+
+#: module type -> handler(builder, module, input_value, name) -> output_value
+_HANDLERS: dict[type, Callable] = {}
+
+
+def register_handler(module_type: type):
+    """Decorator registering a lowering handler for ``module_type``."""
+    def deco(fn):
+        _HANDLERS[module_type] = fn
+        return fn
+    return deco
+
+
+def supported_module_types() -> list[str]:
+    return sorted(t.__name__ for t in _HANDLERS)
+
+
+def _lower(b: GraphBuilder, module: nn.Module, x: str, name: str) -> str:
+    """Dispatch a module to its handler (walking the MRO for subclasses)."""
+    for klass in type(module).__mro__:
+        handler = _HANDLERS.get(klass)
+        if handler is not None:
+            return handler(b, module, x, name)
+    raise ExportError(
+        f"no export handler for {type(module).__name__} (at {name!r}); "
+        f"supported: {supported_module_types()}")
+
+
+def export_module(module: nn.Module, name: str = "model") -> Graph:
+    """Lower a module tree to a validated graph.
+
+    The module must be a pure feed-forward image model (NCHW in).  Weights
+    are *copied* into the graph's initializers, so later training does not
+    mutate the exported artefact.
+    """
+    module.eval()
+    b = GraphBuilder(name=name)
+    out = _lower(b, module, b.graph.input, name)
+    return b.finish(out)
+
+
+def export_classifier(model: nn.Module, name: str = "classifier") -> Graph:
+    """Alias of :func:`export_module` kept for API symmetry with the zoo."""
+    return export_module(model, name)
+
+
+# ---------------------------------------------------------------------------
+# Weight helpers
+# ---------------------------------------------------------------------------
+
+def _init(b: GraphBuilder, name: str, value: np.ndarray) -> str:
+    return b.add_initializer(name, np.asarray(value, dtype=np.float64).copy())
+
+
+# ---------------------------------------------------------------------------
+# Primitive layers
+# ---------------------------------------------------------------------------
+
+@register_handler(nn.Conv2d)
+def _conv2d(b, mod: nn.Conv2d, x, name):
+    ins = [x, _init(b, f"{name}.weight", mod.weight.data)]
+    if mod.bias is not None:
+        ins.append(_init(b, f"{name}.bias", mod.bias.data))
+    return b.emit("conv2d", ins, name=name,
+                  attrs=dict(stride=mod.stride, padding=mod.padding,
+                             dilation=mod.dilation, groups=mod.groups))
+
+
+@register_handler(nn.Linear)
+def _linear(b, mod: nn.Linear, x, name):
+    ins = [x, _init(b, f"{name}.weight", mod.weight.data)]
+    if mod.bias is not None:
+        ins.append(_init(b, f"{name}.bias", mod.bias.data))
+    return b.emit("linear", ins, name=name)
+
+
+@register_handler(nn.BatchNorm2d)
+def _batchnorm(b, mod: nn.BatchNorm2d, x, name):
+    ins = [x,
+           _init(b, f"{name}.gamma", mod.weight.data),
+           _init(b, f"{name}.beta", mod.bias.data),
+           _init(b, f"{name}.mean", mod.running_mean),
+           _init(b, f"{name}.var", mod.running_var)]
+    return b.emit("batchnorm", ins, name=name, attrs=dict(eps=mod.eps))
+
+
+@register_handler(nn.LayerNorm)
+def _layernorm(b, mod: nn.LayerNorm, x, name):
+    ins = [x,
+           _init(b, f"{name}.gamma", mod.weight.data),
+           _init(b, f"{name}.beta", mod.bias.data)]
+    return b.emit("layernorm", ins, name=name, attrs=dict(eps=mod.eps))
+
+
+@register_handler(nn.MaxPool2d)
+def _maxpool(b, mod: nn.MaxPool2d, x, name):
+    return b.emit("maxpool", [x], name=name,
+                  attrs=dict(kernel_size=mod.kernel_size, stride=mod.stride,
+                             padding=mod.padding, ceil_mode=mod.ceil_mode))
+
+
+@register_handler(nn.AvgPool2d)
+def _avgpool(b, mod: nn.AvgPool2d, x, name):
+    return b.emit("avgpool", [x], name=name,
+                  attrs=dict(kernel_size=mod.kernel_size, stride=mod.stride,
+                             padding=mod.padding, ceil_mode=mod.ceil_mode))
+
+
+@register_handler(nn.Upsample)
+def _upsample(b, mod: nn.Upsample, x, name):
+    if mod.scale_factor is None:
+        raise ExportError(f"Upsample at {name!r} uses size=, which the "
+                          f"graph IR does not carry; use scale_factor")
+    return b.emit("upsample", [x], name=name,
+                  attrs=dict(mode=mod.mode, scale_factor=mod.scale_factor))
+
+
+@register_handler(nn.ReLU)
+def _relu(b, mod, x, name):
+    return b.emit("relu", [x], name=name)
+
+
+@register_handler(nn.GELU)
+def _gelu(b, mod, x, name):
+    return b.emit("gelu", [x], name=name)
+
+
+@register_handler(nn.Sigmoid)
+def _sigmoid(b, mod, x, name):
+    return b.emit("sigmoid", [x], name=name)
+
+
+@register_handler(nn.Identity)
+def _identity(b, mod, x, name):
+    return b.emit("identity", [x], name=name)
+
+
+@register_handler(nn.Flatten)
+def _flatten(b, mod, x, name):
+    return b.emit("flatten", [x], name=name)
+
+
+@register_handler(nn.Sequential)
+def _sequential(b, mod: nn.Sequential, x, name):
+    for i, layer in enumerate(mod):
+        x = _lower(b, layer, x, f"{name}.{i}")
+    return x
+
+
+# ---------------------------------------------------------------------------
+# Zoo composite blocks — these mirror each block's forward() exactly
+# ---------------------------------------------------------------------------
+
+def _relu_after(b, x, name):
+    return b.emit("relu", [x], name=f"{name}.relu")
+
+
+def _import_zoo():
+    """Deferred import so repro.backend does not hard-depend on repro.models."""
+    from repro.models.mobile import (InvertedResidual, MBConvSE, SqueezeExcite,
+                                     _MobileStyleNet, _RegNet, _RegNetBlock)
+    from repro.models.resnet import BasicBlock, Bottleneck, ResNet
+    return dict(BasicBlock=BasicBlock, Bottleneck=Bottleneck, ResNet=ResNet,
+                InvertedResidual=InvertedResidual, MBConvSE=MBConvSE,
+                SqueezeExcite=SqueezeExcite, MobileStyleNet=_MobileStyleNet,
+                RegNet=_RegNet, RegNetBlock=_RegNetBlock)
+
+
+def _register_zoo_handlers():
+    zoo = _import_zoo()
+
+    @register_handler(zoo["BasicBlock"])
+    def _basic(b, mod, x, name):
+        out = _lower(b, mod.conv1, x, f"{name}.conv1")
+        out = _relu_after(b, out, f"{name}.conv1")
+        out = _lower(b, mod.conv2, out, f"{name}.conv2")
+        short = _lower(b, mod.short, x, f"{name}.short")
+        out = b.emit("add", [out, short], name=f"{name}.add")
+        return _relu_after(b, out, name)
+
+    @register_handler(zoo["Bottleneck"])
+    def _bottleneck(b, mod, x, name):
+        out = _lower(b, mod.conv1, x, f"{name}.conv1")
+        out = _relu_after(b, out, f"{name}.conv1")
+        out = _lower(b, mod.conv2, out, f"{name}.conv2")
+        out = _relu_after(b, out, f"{name}.conv2")
+        out = _lower(b, mod.conv3, out, f"{name}.conv3")
+        short = _lower(b, mod.short, x, f"{name}.short")
+        out = b.emit("add", [out, short], name=f"{name}.add")
+        return _relu_after(b, out, name)
+
+    @register_handler(zoo["RegNetBlock"])
+    def _regnet_block(b, mod, x, name):
+        out = _lower(b, mod.conv1, x, f"{name}.conv1")
+        out = _relu_after(b, out, f"{name}.conv1")
+        out = _lower(b, mod.conv2, out, f"{name}.conv2")
+        out = _relu_after(b, out, f"{name}.conv2")
+        out = _lower(b, mod.conv3, out, f"{name}.conv3")
+        short = _lower(b, mod.short, x, f"{name}.short")
+        out = b.emit("add", [out, short], name=f"{name}.add")
+        return _relu_after(b, out, name)
+
+    @register_handler(zoo["SqueezeExcite"])
+    def _se(b, mod, x, name):
+        s = b.emit("global_avgpool", [x], name=f"{name}.gap")
+        s = _lower(b, mod.fc1, s, f"{name}.fc1")
+        s = b.emit("relu", [s], name=f"{name}.relu")
+        s = _lower(b, mod.fc2, s, f"{name}.fc2")
+        s = b.emit("sigmoid", [s], name=f"{name}.gate")
+        # (N, C) gate -> (N, C, 1, 1) so the mul broadcasts over H, W.
+        s = b.emit("reshape", [s], name=f"{name}.reshape",
+                   attrs=dict(shape=(0, -1, 1, 1)))
+        return b.emit("mul", [x, s], name=f"{name}.scale")
+
+    def _inverted_core(b, mod, x, name, with_se: bool):
+        out = x
+        if not isinstance(mod.expand, nn.Identity):
+            out = _lower(b, mod.expand, out, f"{name}.expand")
+            out = _relu_after(b, out, f"{name}.expand")
+        out = _lower(b, mod.depthwise, out, f"{name}.depthwise")
+        out = _relu_after(b, out, f"{name}.depthwise")
+        if with_se:
+            out = _lower(b, mod.se, out, f"{name}.se")
+        out = _lower(b, mod.project, out, f"{name}.project")
+        if mod.use_res:
+            out = b.emit("add", [out, x], name=f"{name}.add")
+        return out
+
+    @register_handler(zoo["InvertedResidual"])
+    def _inverted(b, mod, x, name):
+        return _inverted_core(b, mod, x, name, with_se=False)
+
+    @register_handler(zoo["MBConvSE"])
+    def _mbconv(b, mod, x, name):
+        return _inverted_core(b, mod, x, name, with_se=True)
+
+    @register_handler(zoo["ResNet"])
+    def _resnet(b, mod, x, name):
+        out = _lower(b, mod.stem, x, f"{name}.stem")
+        out = _relu_after(b, out, f"{name}.stem")
+        out = _lower(b, mod.pool, out, f"{name}.pool")
+        out = _lower(b, mod.stages, out, f"{name}.stages")
+        out = b.emit("global_avgpool", [out], name=f"{name}.gap")
+        return _lower(b, mod.head, out, f"{name}.head")
+
+    def _mobile_style(b, mod, x, name):
+        out = _lower(b, mod.stem, x, f"{name}.stem")
+        out = _relu_after(b, out, f"{name}.stem")
+        out = _lower(b, mod.blocks, out, f"{name}.blocks")
+        out = b.emit("global_avgpool", [out], name=f"{name}.gap")
+        return _lower(b, mod.head, out, f"{name}.head")
+
+    register_handler(zoo["MobileStyleNet"])(_mobile_style)
+    register_handler(zoo["RegNet"])(_mobile_style)
+
+
+# ---------------------------------------------------------------------------
+# Transformer families (ViT, Swin)
+#
+# Attention lowers to primitive IR ops (matmul / transpose / reshape /
+# softmax / concat / slice), so the vendor backends' matmul accumulation
+# order and fast-softmax kernels apply inside attention — the transformer
+# analogue of the paper's CNN inference noise.
+# ---------------------------------------------------------------------------
+
+def _lower_patch_embed(b: GraphBuilder, mod, x: str, name: str) -> str:
+    out = _lower(b, mod.proj, x, f"{name}.proj")       # (B, D, H', W')
+    out = b.emit("reshape", [out], name=f"{name}.flatten",
+                 attrs=dict(shape=(0, 0, -1)))          # (B, D, N)
+    return b.emit("transpose", [out], name=f"{name}.tokens",
+                  attrs=dict(perm=(0, 2, 1)))           # (B, N, D)
+
+
+def _lower_attention(b: GraphBuilder, mod, x: str, name: str) -> str:
+    def split(value: str, label: str) -> str:
+        v = b.emit("reshape", [value], name=f"{label}.split",
+                   attrs=dict(shape=(0, 0, mod.heads, mod.dh)))
+        return b.emit("transpose", [v], name=f"{label}.perm",
+                      attrs=dict(perm=(0, 2, 1, 3)))    # (B, h, N, dh)
+
+    q = split(_lower(b, mod.q, x, f"{name}.q"), f"{name}.q")
+    k = split(_lower(b, mod.k, x, f"{name}.k"), f"{name}.k")
+    v = split(_lower(b, mod.v, x, f"{name}.v"), f"{name}.v")
+    scores = b.emit("matmul", [q, k], name=f"{name}.scores",
+                    attrs=dict(transpose_b=True))
+    scores = b.emit("scale", [scores], name=f"{name}.scale",
+                    attrs=dict(factor=mod.scale))
+    attn = b.emit("softmax", [scores], name=f"{name}.softmax",
+                  attrs=dict(axis=-1))
+    out = b.emit("matmul", [attn, v], name=f"{name}.context",
+                 attrs=dict(transpose_b=False))
+    out = b.emit("transpose", [out], name=f"{name}.merge.perm",
+                 attrs=dict(perm=(0, 2, 1, 3)))
+    out = b.emit("reshape", [out], name=f"{name}.merge",
+                 attrs=dict(shape=(0, 0, -1)))          # (B, N, D)
+    return _lower(b, mod.proj, out, f"{name}.proj")
+
+
+def _lower_mlp(b: GraphBuilder, mod, x: str, name: str) -> str:
+    """The norm2 → fc1 → gelu → fc2 → residual tail shared by all blocks."""
+    out = _lower(b, mod.norm2, x, f"{name}.norm2")
+    out = _lower(b, mod.fc1, out, f"{name}.fc1")
+    out = b.emit("gelu", [out], name=f"{name}.gelu")
+    out = _lower(b, mod.fc2, out, f"{name}.fc2")
+    return b.emit("add", [x, out], name=f"{name}.add_mlp")
+
+
+def _lower_roll(b: GraphBuilder, x: str, shift: int, axis: int, size: int,
+                name: str) -> str:
+    """Cyclic shift via slice + concat, mirroring vit._roll exactly."""
+    shift = shift % size
+    if shift == 0:
+        return x
+    head = b.emit("slice", [x], name=f"{name}.wrap",
+                  attrs=dict(axis=axis, start=size - shift, stop=size))
+    tail = b.emit("slice", [x], name=f"{name}.body",
+                  attrs=dict(axis=axis, start=0, stop=size - shift))
+    return b.emit("concat", [head, tail], name=f"{name}.roll",
+                  attrs=dict(axis=axis))
+
+
+def _register_transformer_handlers():
+    from repro.models.vit import (MultiHeadAttention, PatchEmbed,
+                                  PatchMerging, SwinBlock, SwinTransformer,
+                                  TransformerBlock, VisionTransformer)
+
+    register_handler(PatchEmbed)(_lower_patch_embed)
+    register_handler(MultiHeadAttention)(_lower_attention)
+
+    @register_handler(TransformerBlock)
+    def _block(b, mod, x, name):
+        out = _lower(b, mod.norm1, x, f"{name}.norm1")
+        out = _lower(b, mod.attn, out, f"{name}.attn")
+        out = b.emit("add", [x, out], name=f"{name}.add_attn")
+        return _lower_mlp(b, mod, out, name)
+
+    @register_handler(VisionTransformer)
+    def _vit(b, mod, x, name):
+        tokens = _lower(b, mod.embed, x, f"{name}.embed")
+        cls_init = _init(b, f"{name}.cls_token", mod.cls_token.data)
+        cls = b.emit("expand_like", [tokens, cls_init], name=f"{name}.cls")
+        tokens = b.emit("concat", [cls, tokens], name=f"{name}.cat",
+                        attrs=dict(axis=1))
+        pos = _init(b, f"{name}.pos_embed", mod.pos_embed.data)
+        tokens = b.emit("add", [tokens, pos], name=f"{name}.pos")
+        tokens = _lower(b, mod.blocks, tokens, f"{name}.blocks")
+        tokens = _lower(b, mod.norm, tokens, f"{name}.norm")
+        pooled = b.emit("slice", [tokens], name=f"{name}.cls_out",
+                        attrs=dict(axis=1, start=0, stop=1))
+        pooled = b.emit("reshape", [pooled], name=f"{name}.squeeze",
+                        attrs=dict(shape=(0, -1)))
+        return _lower(b, mod.head, pooled, f"{name}.head")
+
+    def _window_attention(b, mod, x, name, h, w, d):
+        ws = mod.window
+        nh, nw = h // ws, w // ws
+        out = b.emit("reshape", [x], name=f"{name}.win.split",
+                     attrs=dict(shape=(0, nh, ws, nw, ws, d)))
+        out = b.emit("transpose", [out], name=f"{name}.win.perm",
+                     attrs=dict(perm=(0, 1, 3, 2, 4, 5)))
+        out = b.emit("reshape", [out], name=f"{name}.win.tokens",
+                     attrs=dict(shape=(-1, ws * ws, d)))
+        out = _lower_attention(b, mod.attn, out, f"{name}.attn")
+        out = b.emit("reshape", [out], name=f"{name}.win.back",
+                     attrs=dict(shape=(-1, nh, nw, ws, ws, d)))
+        out = b.emit("transpose", [out], name=f"{name}.win.unperm",
+                     attrs=dict(perm=(0, 1, 3, 2, 4, 5)))
+        return b.emit("reshape", [out], name=f"{name}.win.merge",
+                      attrs=dict(shape=(0, h, w, d)))
+
+    def _lower_swin_block(b, mod, x, name, h, w, d):
+        out = _lower(b, mod.norm1, x, f"{name}.norm1")
+        if mod.shift:
+            out = _lower_roll(b, out, -mod.shift, 1, h, f"{name}.fwd.r")
+            out = _lower_roll(b, out, -mod.shift, 2, w, f"{name}.fwd.c")
+        out = _window_attention(b, mod, out, name, h, w, d)
+        if mod.shift:
+            out = _lower_roll(b, out, mod.shift, 1, h, f"{name}.bwd.r")
+            out = _lower_roll(b, out, mod.shift, 2, w, f"{name}.bwd.c")
+        out = b.emit("add", [x, out], name=f"{name}.add_attn")
+        return _lower_mlp(b, mod, out, name)
+
+    def _lower_patch_merging(b, mod, x, name, h, w, d):
+        out = b.emit("reshape", [x], name=f"{name}.quad",
+                     attrs=dict(shape=(0, h // 2, 2, w // 2, 2, d)))
+        out = b.emit("transpose", [out], name=f"{name}.perm",
+                     attrs=dict(perm=(0, 1, 3, 2, 4, 5)))
+        out = b.emit("reshape", [out], name=f"{name}.cat",
+                     attrs=dict(shape=(0, h // 2, w // 2, 4 * d)))
+        return _lower(b, mod.reduce, out, f"{name}.reduce")
+
+    @register_handler(SwinBlock)
+    def _swin_block_standalone(b, mod, x, name):
+        raise ExportError(
+            f"SwinBlock at {name!r} cannot be lowered standalone — its "
+            f"window partition needs static spatial dims; export the full "
+            f"SwinTransformer instead")
+
+    register_handler(PatchMerging)(_swin_block_standalone)
+
+    @register_handler(SwinTransformer)
+    def _swin(b, mod, x, name):
+        tokens = _lower(b, mod.embed, x, f"{name}.embed")   # (B, N, D)
+        g = mod.grid
+        d = mod.embed.proj.weight.shape[0]
+        fmap = b.emit("reshape", [tokens], name=f"{name}.grid",
+                      attrs=dict(shape=(0, g, g, d)))
+        for i, block in enumerate(mod.stage1):
+            fmap = _lower_swin_block(b, block, fmap, f"{name}.stage1.{i}",
+                                     g, g, d)
+        fmap = _lower_patch_merging(b, mod.merge, fmap, f"{name}.merge",
+                                    g, g, d)
+        g2, d2 = g // 2, d * 2
+        for i, block in enumerate(mod.stage2):
+            fmap = _lower_swin_block(b, block, fmap, f"{name}.stage2.{i}",
+                                     g2, g2, d2)
+        pooled = b.emit("reshape", [fmap], name=f"{name}.pool.tokens",
+                        attrs=dict(shape=(0, -1, d2)))
+        pooled = b.emit("mean", [pooled], name=f"{name}.pool",
+                        attrs=dict(axis=1))
+        pooled = _lower(b, mod.norm, pooled, f"{name}.norm")
+        return _lower(b, mod.head, pooled, f"{name}.head")
+
+
+_register_zoo_handlers()
+_register_transformer_handlers()

@@ -1,0 +1,146 @@
+"""Graph optimisation passes, as run by a deployment compiler at load time.
+
+Vendor toolchains rewrite the imported graph before executing it — folding
+batch norms into convolutions, stripping identities, pruning dead nodes.
+These rewrites are *mathematically* neutral but not *numerically* neutral:
+conv+BN fusion, for instance, bakes the BN scale into the conv weights, which
+changes the floating-point rounding at reduced precision.  That is precisely
+how one flavour of model-inference SysNoise arises, so the passes here are
+both an optimisation layer and a noise source the benchmark can toggle.
+
+All passes are pure: they return a new :class:`~repro.backend.ir.Graph` and
+never mutate their input.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .ir import Graph, Node
+
+__all__ = ["eliminate_identity", "fuse_conv_bn", "dead_code_elimination",
+           "fold_constants", "optimize", "DEFAULT_PASSES"]
+
+
+def _clone(graph: Graph, nodes: list[Node] | None = None,
+           initializers: dict | None = None) -> Graph:
+    return Graph(name=graph.name, input=graph.input, output=graph.output,
+                 nodes=list(graph.nodes) if nodes is None else nodes,
+                 initializers=dict(graph.initializers)
+                 if initializers is None else initializers)
+
+
+def eliminate_identity(graph: Graph) -> Graph:
+    """Remove ``identity`` nodes, rewiring their users to the source value."""
+    alias: dict[str, str] = {}
+    kept: list[Node] = []
+    for node in graph.nodes:
+        inputs = tuple(alias.get(v, v) for v in node.inputs)
+        if node.op == "identity":
+            alias[node.output] = inputs[0]
+            continue
+        kept.append(Node(node.op, inputs, node.output, node.attrs, node.name))
+    out = _clone(graph, nodes=kept)
+    out.output = alias.get(graph.output, graph.output)
+    out.validate()
+    return out
+
+
+def fuse_conv_bn(graph: Graph) -> Graph:
+    """Fold ``batchnorm(conv(x))`` into a single conv with rescaled weights.
+
+    Standard deployment-compiler rewrite: with BN statistics ``(γ, β, μ, σ²)``
+    the fused conv has ``W' = W·γ/√(σ²+ε)`` per output channel and
+    ``b' = β + (b − μ)·γ/√(σ²+ε)``.  Only applied when the conv output has no
+    other user (otherwise both values stay live).
+    """
+    inits = dict(graph.initializers)
+    producers = {n.output: n for n in graph.nodes}
+    use_count: dict[str, int] = {}
+    for n in graph.nodes:
+        for v in n.inputs:
+            use_count[v] = use_count.get(v, 0) + 1
+
+    fused_away: set[str] = set()          # conv nodes replaced by fused copies
+    new_nodes: list[Node] = []
+    for node in graph.nodes:
+        if node.op == "batchnorm":
+            src = producers.get(node.inputs[0])
+            if (src is not None and src.op == "conv2d"
+                    and src.output not in (graph.output,)
+                    and use_count.get(src.output, 0) == 1):
+                gamma, beta, mean, var = (inits[v] for v in node.inputs[1:5])
+                scale = gamma / np.sqrt(var + node.attrs["eps"])
+                w = inits[src.inputs[1]]
+                bias = inits[src.inputs[2]] if len(src.inputs) > 2 else \
+                    np.zeros(w.shape[0])
+                w_name = src.inputs[1] + ".fused"
+                b_name = (src.inputs[2] if len(src.inputs) > 2
+                          else src.output) + ".bias.fused"
+                inits[w_name] = w * scale.reshape(-1, 1, 1, 1)
+                inits[b_name] = beta + (bias - mean) * scale
+                fused = Node("conv2d", (src.inputs[0], w_name, b_name),
+                             node.output, src.attrs,
+                             name=(src.name or node.name) + "+bn")
+                # Drop the original conv node we already emitted.
+                new_nodes = [n for n in new_nodes if n is not src]
+                fused_away.add(src.output)
+                new_nodes.append(fused)
+                continue
+        new_nodes.append(node)
+    out = _clone(graph, nodes=new_nodes, initializers=inits)
+    out = dead_code_elimination(out)
+    out.validate()
+    return out
+
+
+def dead_code_elimination(graph: Graph) -> Graph:
+    """Drop nodes (and initializers) that do not feed the graph output."""
+    live: set[str] = {graph.output}
+    kept_rev: list[Node] = []
+    for node in reversed(graph.nodes):
+        if node.output in live:
+            kept_rev.append(node)
+            live.update(node.inputs)
+    kept = list(reversed(kept_rev))
+    inits = {k: v for k, v in graph.initializers.items() if k in live}
+    out = _clone(graph, nodes=kept, initializers=inits)
+    out.validate()
+    return out
+
+
+def fold_constants(graph: Graph) -> Graph:
+    """Evaluate nodes whose every input is a constant/initializer.
+
+    Uses the reference executor's kernels, so folding is numerically the
+    reference semantics (as constant folding in a compiler is).
+    """
+    from .executor import ReferenceExecutor
+    ref = ReferenceExecutor()
+    inits = dict(graph.initializers)
+    kept: list[Node] = []
+    for node in graph.nodes:
+        if node.op == "constant":
+            inits[node.output] = np.asarray(node.attrs["value"])
+            continue
+        if node.inputs and all(v in inits for v in node.inputs):
+            args = [inits[v] for v in node.inputs]
+            inits[node.output] = ref.run_node(node, args)
+            continue
+        kept.append(node)
+    out = _clone(graph, nodes=kept, initializers=inits)
+    out = dead_code_elimination(out)
+    out.validate()
+    return out
+
+
+#: The standard load-time pipeline, in order.
+DEFAULT_PASSES = (eliminate_identity, fold_constants, fuse_conv_bn,
+                  dead_code_elimination)
+
+
+def optimize(graph: Graph, passes=DEFAULT_PASSES) -> Graph:
+    """Run a pass pipeline, validating after each stage."""
+    for p in passes:
+        graph = p(graph)
+    return graph

@@ -1,0 +1,97 @@
+"""Graph serialisation: save/load deployment graphs as a single ``.npz``.
+
+The exported graph is the deployment artefact — the thing actually shipped
+to the target device — so it needs a durable format.  Structure (nodes,
+attrs, input/output names) is stored as a JSON document; weight initializers
+are stored as native compressed arrays.  Array-valued attributes (only
+``constant`` nodes have them) are spilled into the array section and
+referenced from the JSON by key.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from .ir import Graph, GraphError, Node
+
+__all__ = ["save_graph", "load_graph", "GRAPH_FORMAT_VERSION"]
+
+GRAPH_FORMAT_VERSION = 1
+_META_KEY = "__graph_json__"
+_ATTR_PREFIX = "__attr__"
+
+
+def _encode_attrs(attrs: dict, arrays: dict, node_index: int) -> dict:
+    """JSON-safe attrs; ndarray values spill into ``arrays`` by reference."""
+    out = {}
+    for key, value in attrs.items():
+        if isinstance(value, np.ndarray):
+            ref = f"{_ATTR_PREFIX}{node_index}.{key}"
+            arrays[ref] = value
+            out[key] = {"__array_ref__": ref}
+        elif isinstance(value, tuple):
+            out[key] = {"__tuple__": list(value)}
+        elif isinstance(value, (np.bool_, np.integer, np.floating)):
+            out[key] = value.item()
+        else:
+            out[key] = value
+    return out
+
+
+def _decode_attrs(attrs: dict, arrays: dict) -> dict:
+    out = {}
+    for key, value in attrs.items():
+        if isinstance(value, dict) and "__array_ref__" in value:
+            out[key] = arrays[value["__array_ref__"]]
+        elif isinstance(value, dict) and "__tuple__" in value:
+            out[key] = tuple(value["__tuple__"])
+        else:
+            out[key] = value
+    return out
+
+
+def save_graph(graph: Graph, path: str | Path) -> Path:
+    """Serialise a validated graph to ``path`` (.npz)."""
+    graph.validate()
+    arrays: dict[str, np.ndarray] = dict(graph.initializers)
+    doc = {
+        "version": GRAPH_FORMAT_VERSION,
+        "name": graph.name,
+        "input": graph.input,
+        "output": graph.output,
+        "nodes": [
+            {"op": n.op, "inputs": list(n.inputs), "output": n.output,
+             "attrs": _encode_attrs(n.attrs, arrays, i), "name": n.name}
+            for i, n in enumerate(graph.nodes)
+        ],
+        "initializer_names": sorted(graph.initializers),
+    }
+    path = Path(path)
+    np.savez_compressed(path, **arrays,
+                        **{_META_KEY: np.frombuffer(
+                            json.dumps(doc).encode(), dtype=np.uint8)})
+    return path if path.suffix == ".npz" else path.with_name(path.name + ".npz")
+
+
+def load_graph(path: str | Path) -> Graph:
+    """Load and validate a graph written by :func:`save_graph`."""
+    with np.load(Path(path)) as data:
+        if _META_KEY not in data:
+            raise GraphError(f"{path}: not a repro graph file")
+        doc = json.loads(bytes(data[_META_KEY]).decode())
+        arrays = {k: data[k] for k in data.files if k != _META_KEY}
+    if doc.get("version") != GRAPH_FORMAT_VERSION:
+        raise GraphError(f"{path}: graph format version "
+                         f"{doc.get('version')!r}, expected "
+                         f"{GRAPH_FORMAT_VERSION}")
+    nodes = [Node(n["op"], tuple(n["inputs"]), n["output"],
+                  _decode_attrs(n["attrs"], arrays), n["name"])
+             for n in doc["nodes"]]
+    inits = {name: arrays[name] for name in doc["initializer_names"]}
+    graph = Graph(name=doc["name"], input=doc["input"], output=doc["output"],
+                  nodes=nodes, initializers=inits)
+    graph.validate()
+    return graph

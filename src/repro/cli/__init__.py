@@ -1,0 +1,55 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+The CLI wraps the library's main entry points so the benchmark can be driven
+without writing Python:
+
+=================  ==========================================================
+``list-noises``    The Table-1 taxonomy and the deployment variants per type.
+``list-models``    The model zoo (family, parameter count, capability flags).
+``list-backends``  Vendor backend personas and their implementation options.
+``sweep``          Train a zoo classifier on the synthetic task and measure
+                   ΔACC per noise type (one Table-2 row).
+``worst-case``     The Fig.-3 cumulative noise-stacking curve for one model.
+``interaction``    Pairwise noise-interaction matrix (ablation E).
+``export``         Lower a model to the deployment graph (.npz); supports
+                   ``--optimize`` (compiler passes) and ``--int8`` (QDQ).
+``profile``        Per-op FLOPs/params/shape report, optional wall time.
+``backend-diff``   Export a model to the graph IR and localise where two
+                   backends diverge, layer by layer.
+``visualize``      The Fig.-5 difference maps as terminal heatmaps (optionally
+                   saved as ``.npy``).
+``report``         Concatenate the rendered tables under benchmarks/results.
+=================  ==========================================================
+
+Every command accepts ``--help``.  Exit status is 0 on success, 2 on bad
+arguments (argparse convention).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import backends_cmd, evaluate_cmd, info_cmd, report_cmd
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SysNoise benchmark CLI (MLSys 2023 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+    for module in (info_cmd, evaluate_cmd, backends_cmd, report_cmd):
+        module.register(sub)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code instead of raising SystemExit."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":           # pragma: no cover
+    sys.exit(main())

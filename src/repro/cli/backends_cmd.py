@@ -1,0 +1,165 @@
+"""Backend CLI commands: backend-diff (per-layer divergence) and visualize."""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+__all__ = ["register"]
+
+
+def register(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("backend-diff",
+                       help="localise where two deployment backends diverge")
+    p.add_argument("--model", default="resnet18x0.25")
+    p.add_argument("--backend", default="gpu-fp16",
+                   help="deployment persona to compare against reference")
+    p.add_argument("--batch", type=int, default=4)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--top", type=int, default=8,
+                   help="layers shown in the report")
+    p.set_defaults(func=cmd_backend_diff)
+
+    p = sub.add_parser("export",
+                       help="export a zoo model to a deployment graph (.npz)")
+    p.add_argument("--model", default="resnet18x0.25")
+    p.add_argument("--out", required=True, help="output .npz path")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--optimize", action="store_true",
+                   help="run the load-time pass pipeline before saving")
+    p.add_argument("--int8", action="store_true",
+                   help="compiler-side INT8: quantise weights and insert "
+                        "QDQ nodes (calibrated on a synthetic batch)")
+    p.add_argument("--checkpoint", default=None,
+                   help="load trained weights (.npz) before exporting")
+    p.set_defaults(func=cmd_export)
+
+    p = sub.add_parser("profile",
+                       help="per-op FLOPs/params/shape profile of a model")
+    p.add_argument("--model", default="resnet18x0.25")
+    p.add_argument("--top", type=int, default=8)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--shapes", action="store_true",
+                   help="also print the full shape-annotated graph")
+    p.add_argument("--time", action="store_true",
+                   help="measure reference-backend wall time on a demo batch")
+    p.set_defaults(func=cmd_profile)
+
+    p = sub.add_parser("visualize",
+                       help="Fig.-5 noise difference maps as terminal heatmaps")
+    p.add_argument("--image-seed", type=int, default=0)
+    p.add_argument("--size", type=int, default=32)
+    p.add_argument("--out", default=None,
+                   help="directory to also save the panels as .npy arrays")
+    p.set_defaults(func=cmd_visualize)
+
+
+def cmd_backend_diff(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.backend import (BACKEND_PRESETS, ExportError, backend_diff,
+                               diff_report, export_module)
+    from repro.models import create_model
+
+    if args.backend not in BACKEND_PRESETS or args.backend == "reference":
+        choices = sorted(set(BACKEND_PRESETS) - {"reference"})
+        print(f"error: --backend must be one of {choices}")
+        return 2
+    try:
+        model = create_model(args.model, seed=args.seed)
+        graph = export_module(model, args.model)
+    except (ValueError, ExportError) as exc:
+        print(f"error: {exc}")
+        return 2
+    rng = np.random.default_rng(args.seed)
+    x = rng.normal(size=(args.batch, 3, 32, 32))
+    diffs = backend_diff(graph, x, "reference", args.backend)
+    print(f"{args.model}: reference vs {args.backend} "
+          f"({len(graph.nodes)} graph nodes)")
+    print(diff_report(diffs, top=args.top))
+    return 0
+
+
+def cmd_export(args: argparse.Namespace) -> int:
+    from repro.backend import ExportError, export_module, optimize, save_graph
+    from repro.models import create_model
+    from repro.nn import CheckpointError, load_checkpoint
+
+    try:
+        model = create_model(args.model, seed=args.seed)
+    except ValueError as exc:
+        print(f"error: {exc}")
+        return 2
+    if args.checkpoint:
+        try:
+            load_checkpoint(model, args.checkpoint)
+        except (CheckpointError, FileNotFoundError) as exc:
+            print(f"error: {exc}")
+            return 2
+    try:
+        graph = export_module(model, args.model)
+    except ExportError as exc:
+        print(f"error: {exc}")
+        return 2
+    if args.optimize:
+        graph = optimize(graph)
+    if args.int8:
+        import numpy as np
+
+        from repro.backend import quantize_graph
+        calib = np.random.default_rng(args.seed).normal(
+            size=(16, 3, 32, 32)) * 0.25
+        graph = quantize_graph(graph, calib)
+    path = save_graph(graph, args.out)
+    print(f"exported {args.model}: {len(graph.nodes)} nodes, "
+          f"{graph.num_parameters()} params -> {path}")
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.backend import (ExportError, export_module, profile_graph,
+                               render_profile, summary_with_shapes)
+    from repro.models import create_model
+
+    try:
+        model = create_model(args.model, seed=args.seed)
+        graph = export_module(model, args.model)
+    except (ValueError, ExportError) as exc:
+        print(f"error: {exc}")
+        return 2
+    x = (np.random.default_rng(args.seed).normal(size=(4, 3, 32, 32))
+         if args.time else None)
+    profile = profile_graph(graph, x=x)
+    print(render_profile(profile, top=args.top))
+    if args.shapes:
+        print()
+        print(summary_with_shapes(graph))
+    return 0
+
+
+def cmd_visualize(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.data import make_classification_dataset
+    from repro.viz import ascii_heatmap, noise_difference_maps, noise_statistics
+
+    ds = make_classification_dataset(n=1, native_size=48,
+                                     input_size=args.size,
+                                     seed=args.image_seed)
+    panels = noise_difference_maps(ds.streams[0], input_size=args.size)
+    stats = noise_statistics(panels)
+    for name, panel in panels.items():
+        s = stats[name]
+        print(f"\n== {name} ==  mean={s['mean']:.2f} "
+              f"nonzero={s['nonzero_fraction']:.2f} "
+              f"channel_spread={s['channel_spread']:.2f}")
+        print(ascii_heatmap(panel))
+    if args.out:
+        out_dir = Path(args.out)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        for name, panel in panels.items():
+            np.save(out_dir / f"{name}.npy", panel)
+        print(f"\nsaved {len(panels)} panels to {out_dir}/")
+    return 0

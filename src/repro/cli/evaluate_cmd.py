@@ -1,0 +1,124 @@
+"""Evaluation CLI commands: sweep (one Table-2 row) and worst-case (Fig. 3).
+
+Both commands train a zoo classifier from scratch on the synthetic dataset —
+sized for a laptop-minute demo by default — then measure SysNoise exactly as
+the benchmark harness does.  For the shipped benchmark numbers use
+``pytest benchmarks/`` instead, which caches trained weights on disk.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+__all__ = ["register", "train_quick_classifier"]
+
+
+def register(sub: argparse._SubParsersAction) -> None:
+    for name, helptext in (("sweep", "ΔACC per noise type for one model "
+                                     "(one Table-2 row)"),
+                           ("worst-case", "Fig.-3 cumulative noise stacking")):
+        p = sub.add_parser(name, help=helptext)
+        p.add_argument("--model", default="resnet18x0.25",
+                       help="zoo model name (see list-models)")
+        p.add_argument("--n", type=int, default=240,
+                       help="dataset size (train+val)")
+        p.add_argument("--train-frac", type=float, default=0.75)
+        p.add_argument("--epochs", type=int, default=15)
+        p.add_argument("--seed", type=int, default=0)
+        if name == "sweep":
+            p.add_argument("--noises", default=None,
+                           help="comma-separated subset (default: all "
+                                "classification noises)")
+            p.add_argument("--no-combined", action="store_true",
+                           help="skip the all-noises-at-once column")
+            p.set_defaults(func=cmd_sweep)
+        else:
+            p.set_defaults(func=cmd_worst_case)
+
+    p = sub.add_parser("interaction",
+                       help="pairwise noise-interaction matrix (ablation E)")
+    p.add_argument("--model", default="resnet18x0.25")
+    p.add_argument("--n", type=int, default=240)
+    p.add_argument("--train-frac", type=float, default=0.75)
+    p.add_argument("--epochs", type=int, default=15)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--noises", default="decoder,resize,color,precision",
+                   help="comma-separated noise subset to cross")
+    p.set_defaults(func=cmd_interaction)
+
+
+def train_quick_classifier(model_name: str, n: int, train_frac: float,
+                           epochs: int, seed: int):
+    """Build dataset + train one zoo classifier at CLI demo scale."""
+    import repro.nn as nn
+    from repro.core import TRAIN_CONFIG, preprocess_dataset
+    from repro.data import make_classification_dataset
+    from repro.models import create_model
+
+    ds = make_classification_dataset(n=n, native_size=48, input_size=32,
+                                     seed=seed)
+    train, val = ds.split(int(n * train_frac))
+    model = create_model(model_name, num_classes=train.num_classes, seed=seed)
+    x = preprocess_dataset(train.streams, train.input_size, TRAIN_CONFIG)
+    cfg = nn.TrainConfig(epochs=epochs, batch_size=32, lr=0.1,
+                         weight_decay=1e-4)
+    from repro.models import family_of
+    if family_of(model_name) in ("vit", "swin"):
+        cfg = nn.TrainConfig(epochs=epochs, batch_size=32, lr=3e-3,
+                             optimizer="adam", weight_decay=1e-4)
+    nn.train_classifier(model, x, train.labels, cfg)
+    return model, val
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.core import (CLS_NOISES, evaluate_classification, noise_row,
+                            render_table)
+    from repro.models import MODEL_ZOO
+
+    noises = args.noises.split(",") if args.noises else CLS_NOISES
+    bad = [n for n in noises if n not in CLS_NOISES]
+    if bad:
+        print(f"error: unknown classification noise(s) {bad}; "
+              f"choose from {CLS_NOISES}")
+        return 2
+    print(f"training {args.model} (n={args.n}, epochs={args.epochs}) ...")
+    model, val = train_quick_classifier(args.model, args.n, args.train_frac,
+                                        args.epochs, args.seed)
+    spec = {s.name: s for s in MODEL_ZOO}[args.model]
+    skip = set() if spec.has_maxpool else {"ceil_mode"}
+    row = noise_row(evaluate_classification, model, val, noises, skip=skip,
+                    include_combined=not args.no_combined)
+    print(render_table({args.model: row}, noises, "ACC",
+                       f"SysNoise sweep — {args.model}"))
+    return 0
+
+
+def cmd_worst_case(args: argparse.Namespace) -> int:
+    from repro.core import (CLS_NOISES, evaluate_classification, render_curve,
+                            worst_case_curve)
+
+    print(f"training {args.model} (n={args.n}, epochs={args.epochs}) ...")
+    model, val = train_quick_classifier(args.model, args.n, args.train_frac,
+                                        args.epochs, args.seed)
+    curve = worst_case_curve(evaluate_classification, model, val, CLS_NOISES)
+    print(render_curve(curve, "ACC"))
+    return 0
+
+
+def cmd_interaction(args: argparse.Namespace) -> int:
+    from repro.core import (evaluate_classification, pairwise_interaction,
+                            render_interaction)
+    from repro.core.noise import WORST_CASE_ORDER
+
+    noises = args.noises.split(",")
+    known = {name for name, _ in WORST_CASE_ORDER}
+    bad = [n for n in noises if n not in known]
+    if bad:
+        print(f"error: unknown noise(s) {bad}; choose from {sorted(known)}")
+        return 2
+    print(f"training {args.model} (n={args.n}, epochs={args.epochs}) ...")
+    model, val = train_quick_classifier(args.model, args.n, args.train_frac,
+                                        args.epochs, args.seed)
+    matrix = pairwise_interaction(evaluate_classification, model, val, noises)
+    print(render_interaction(matrix))
+    return 0

@@ -1,0 +1,73 @@
+"""Informational CLI commands: list-noises, list-models, list-backends."""
+
+from __future__ import annotations
+
+import argparse
+
+__all__ = ["register"]
+
+
+def register(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("list-noises",
+                       help="show the SysNoise taxonomy (paper Table 1)")
+    p.add_argument("--variants", action="store_true",
+                   help="also list every deployment variant per noise type")
+    p.set_defaults(func=cmd_list_noises)
+
+    p = sub.add_parser("list-models", help="show the model zoo (Table 2 rows)")
+    p.add_argument("--params", action="store_true",
+                   help="instantiate each model and report parameter counts")
+    p.set_defaults(func=cmd_list_models)
+
+    p = sub.add_parser("list-backends",
+                       help="show the deployment backend personas")
+    p.set_defaults(func=cmd_list_backends)
+
+
+def cmd_list_noises(args: argparse.Namespace) -> int:
+    from repro.core import deployment_variants, render_taxonomy
+    print(render_taxonomy())
+    if args.variants:
+        from repro.core import NOISE_TAXONOMY
+        print("\ndeployment variants (train config -> each):")
+        for spec in NOISE_TAXONOMY:
+            variants = deployment_variants(spec.name)
+            print(f"  {spec.name}:")
+            for cfg in variants:
+                print(f"    - {cfg.describe()}")
+    return 0
+
+
+def cmd_list_models(args: argparse.Namespace) -> int:
+    from repro.models import MODEL_ZOO, create_model
+    header = f"{'name':<18} {'family':<14} {'maxpool':<8}"
+    if args.params:
+        header += " params"
+    print(header)
+    print("-" * len(header))
+    for spec in MODEL_ZOO:
+        line = (f"{spec.name:<18} {spec.family:<14} "
+                f"{'yes' if spec.has_maxpool else 'no':<8}")
+        if args.params:
+            line += f" {create_model(spec.name).num_parameters():>7d}"
+        print(line)
+    return 0
+
+
+def cmd_list_backends(args: argparse.Namespace) -> int:
+    from repro.backend import BACKEND_PRESETS
+    for name, opts in BACKEND_PRESETS.items():
+        knobs = [f"dtype={opts.dtype}"]
+        if opts.accum_chunk:
+            knobs.append(f"accum_chunk={opts.accum_chunk}")
+        if opts.fuse_conv_bn:
+            knobs.append("fuse_conv_bn")
+        for flag in ("alt_gelu", "fast_sigmoid", "fast_softmax"):
+            if getattr(opts, flag):
+                knobs.append(flag)
+        if opts.ceil_mode_override is not None:
+            knobs.append(f"ceil_mode={opts.ceil_mode_override}")
+        if opts.upsample_mode_override is not None:
+            knobs.append(f"upsample={opts.upsample_mode_override}")
+        print(f"{name:<14} {', '.join(knobs)}")
+    return 0

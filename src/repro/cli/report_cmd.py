@@ -1,0 +1,48 @@
+"""Report CLI command: collect rendered benchmark tables into one document."""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+__all__ = ["register"]
+
+#: Display order: paper tables first, then figures, then ablations.
+_ORDER = ["table1", "table2", "table3", "table4", "table5", "table6",
+          "table7", "table8", "table9", "table10", "fig3", "fig4", "fig5",
+          "ablation"]
+
+
+def register(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("report",
+                       help="concatenate rendered tables from a results dir")
+    p.add_argument("--results", default="benchmarks/results",
+                   help="directory of *.txt tables written by the benchmarks")
+    p.add_argument("--out", default=None,
+                   help="write the combined report here instead of stdout")
+    p.set_defaults(func=cmd_report)
+
+
+def _sort_key(path: Path) -> tuple[int, str]:
+    for i, prefix in enumerate(_ORDER):
+        # Match up to a separator so "table1_" does not also claim "table10_".
+        if path.stem == prefix or path.stem.startswith(prefix + "_"):
+            return (i, path.stem)
+    return (len(_ORDER), path.stem)
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    results = Path(args.results)
+    files = sorted(results.glob("*.txt"), key=_sort_key)
+    if not files:
+        print(f"error: no *.txt results under {results} "
+              f"(run `pytest benchmarks/ --benchmark-only` first)")
+        return 2
+    sections = [f"## {f.stem}\n\n{f.read_text().rstrip()}" for f in files]
+    report = "# SysNoise benchmark results\n\n" + "\n\n".join(sections) + "\n"
+    if args.out:
+        Path(args.out).write_text(report)
+        print(f"wrote {args.out} ({len(files)} sections)")
+    else:
+        print(report)
+    return 0

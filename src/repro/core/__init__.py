@@ -1,0 +1,32 @@
+"""The SysNoise benchmark core: taxonomy, pipeline, sweeps, reports."""
+
+from .benchmark import (CLS_NOISES, DET_NOISES, SEG_NOISES, NoiseResult,
+                        combined_config, evaluate_classification,
+                        evaluate_detection, evaluate_segmentation, noise_row,
+                        sweep_noise, worst_case_curve)
+from .analysis import (FamilySummary, family_summaries, render_family_table,
+                       size_trend)
+from .interaction import (InteractionMatrix, pairwise_interaction,
+                          render_interaction)
+from .noise import (NOISE_TAXONOMY, TRAIN_CONFIG, WORST_CASE_ORDER,
+                    NoiseConfig, NoiseSpec, deployment_variants)
+from .pipeline import (apply_model_noise, decode_dataset, normalize,
+                       preprocess, preprocess_dataset)
+from .report import format_cell, render_curve, render_table, render_taxonomy
+from .training import (default_train_config, train_classification_model,
+                       train_detection_model, train_segmentation_model)
+
+__all__ = [
+    "NoiseSpec", "NOISE_TAXONOMY", "NoiseConfig", "TRAIN_CONFIG",
+    "deployment_variants", "WORST_CASE_ORDER",
+    "decode_dataset", "preprocess", "preprocess_dataset", "apply_model_noise",
+    "normalize",
+    "NoiseResult", "evaluate_classification", "evaluate_detection",
+    "evaluate_segmentation", "sweep_noise", "noise_row", "combined_config",
+    "worst_case_curve", "CLS_NOISES", "DET_NOISES", "SEG_NOISES",
+    "format_cell", "render_table", "render_taxonomy", "render_curve",
+    "train_classification_model", "train_detection_model",
+    "train_segmentation_model", "default_train_config",
+    "InteractionMatrix", "pairwise_interaction", "render_interaction",
+    "FamilySummary", "family_summaries", "size_trend", "render_family_table",
+]

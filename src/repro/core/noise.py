@@ -1,0 +1,120 @@
+"""The SysNoise taxonomy (paper Table 1) and deployment configurations.
+
+A :class:`NoiseConfig` describes one complete *system configuration*: which
+decoder produced the pixels, which resize kernel scaled them, whether the
+colour pipeline round-tripped through NV12, the pooling ceil mode, the
+upsample interpolation, the numeric precision, and the box-decode alignment
+convention.  ``TRAIN_CONFIG`` is the training system (the paper's fixed
+PyTorch + DALI setting); every deployment mismatch is expressed as a modified
+copy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+__all__ = ["NoiseSpec", "NOISE_TAXONOMY", "NoiseConfig", "TRAIN_CONFIG",
+           "deployment_variants", "WORST_CASE_ORDER"]
+
+
+@dataclass(frozen=True)
+class NoiseSpec:
+    """One row of the paper's Table 1."""
+
+    name: str
+    stage: str                     # pre-processing | model-inference | post-processing
+    tasks: tuple[str, ...]         # affected tasks
+    input_dependent: bool
+    effect_level: str              # Middle | High | Very High
+    num_categories: int
+    occurrence: str
+
+
+#: Paper Table 1, verbatim.
+NOISE_TAXONOMY: list[NoiseSpec] = [
+    NoiseSpec("decoder", "pre-processing", ("cls", "det", "seg"), False,
+              "High", 4, "Very High"),
+    NoiseSpec("resize", "pre-processing", ("cls", "det", "seg"), False,
+              "Very High", 11, "Very High"),
+    NoiseSpec("color", "pre-processing", ("cls", "det", "seg"), True,
+              "Middle", 2, "High"),
+    NoiseSpec("ceil_mode", "model-inference", ("cls", "det", "seg"), False,
+              "High", 2, "High"),
+    NoiseSpec("upsample", "model-inference", ("det", "seg"), False,
+              "Very High", 2, "Middle"),
+    NoiseSpec("precision", "model-inference", ("cls", "det", "seg", "nlp"), True,
+              "High", 3, "High"),
+    NoiseSpec("proposal", "post-processing", ("det",), False,
+              "Middle", 2, "Middle"),
+]
+
+
+@dataclass(frozen=True)
+class NoiseConfig:
+    """A complete training/deployment system configuration."""
+
+    decoder: str = "dali"                    # pil | opencv | ffmpeg | dali
+    resize_method: str = "pillow-bilinear"   # any of the 11 resize kernels
+    color: str | None = None                 # None (direct RGB) or a pipeline name
+    ceil_mode: bool = False                  # max-pool output-shape convention
+    upsample_mode: str = "nearest"           # nearest | bilinear
+    precision: str = "fp32"                  # fp32 | fp16 | int8
+    aligned_offset: float = 0.0              # bbox decode convention (0 or 1)
+
+    def with_(self, **changes) -> "NoiseConfig":
+        """Copy with the given fields replaced."""
+        return replace(self, **changes)
+
+    def describe(self) -> str:
+        parts = [f"decoder={self.decoder}", f"resize={self.resize_method}"]
+        if self.color:
+            parts.append(f"color={self.color}")
+        if self.ceil_mode:
+            parts.append("ceil")
+        if self.upsample_mode != "nearest":
+            parts.append(f"upsample={self.upsample_mode}")
+        if self.precision != "fp32":
+            parts.append(self.precision)
+        if self.aligned_offset:
+            parts.append(f"offset={self.aligned_offset:g}")
+        return ", ".join(parts)
+
+
+#: The fixed training-system setting (paper §4.1: DALI decode, bilinear
+#: resize, direct RGB, floor pooling, nearest upsample, FP32, offset 0).
+TRAIN_CONFIG = NoiseConfig()
+
+
+def deployment_variants(noise: str) -> list[NoiseConfig]:
+    """All deployment configs that differ from training in one noise type."""
+    base = TRAIN_CONFIG
+    if noise == "decoder":
+        return [base.with_(decoder=d) for d in ("pil", "opencv", "ffmpeg")]
+    if noise == "resize":
+        from ..image.resize import RESIZE_METHODS
+        return [base.with_(resize_method=m) for m in RESIZE_METHODS
+                if m != base.resize_method]
+    if noise == "color":
+        return [base.with_(color="nv12-integer")]
+    if noise == "ceil_mode":
+        return [base.with_(ceil_mode=True)]
+    if noise == "upsample":
+        return [base.with_(upsample_mode="bilinear")]
+    if noise == "precision":
+        return [base.with_(precision="fp16"), base.with_(precision="int8")]
+    if noise == "proposal":
+        return [base.with_(aligned_offset=1.0)]
+    raise ValueError(f"unknown noise type {noise!r}; "
+                     f"see {[s.name for s in NOISE_TAXONOMY]}")
+
+
+#: Step order for the Fig.-3 worst-case combination study.
+WORST_CASE_ORDER = [
+    ("decoder", dict(decoder="opencv")),
+    ("resize", dict(resize_method="cv-nearest")),
+    ("color", dict(color="nv12-integer")),
+    ("precision", dict(precision="int8")),
+    ("ceil_mode", dict(ceil_mode=True)),
+    ("upsample", dict(upsample_mode="bilinear")),
+    ("proposal", dict(aligned_offset=1.0)),
+]

@@ -1,0 +1,95 @@
+"""The inference pipeline: bitstream → pixels → tensor → (noised) model.
+
+``preprocess`` implements the paper's pre-processing chain — decode with a
+chosen library persona, resize with a chosen kernel, optionally round-trip
+the colour space — and ``apply_model_noise`` implements the model-inference
+and post-processing side (ceil mode, upsample mode, precision, aligned
+offset) on a *copy* of the trained model, exactly as a deployment backend
+would.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import numpy as np
+
+from repro.nn import MaxPool2d, Tensor, apply_precision
+
+from ..image import color_roundtrip, decode_with, resize
+from .noise import NoiseConfig, TRAIN_CONFIG
+
+__all__ = ["decode_dataset", "preprocess", "preprocess_dataset",
+           "apply_model_noise", "normalize"]
+
+_DECODE_CACHE: dict[tuple[int, str], np.ndarray] = {}
+
+
+def decode_dataset(streams: list, decoder: str) -> np.ndarray:
+    """Decode every bitstream with the named library persona (memoised)."""
+    key = (id(streams), decoder)
+    cached = _DECODE_CACHE.get(key)
+    if cached is not None:
+        return cached
+    out = np.stack([decode_with(s, decoder) for s in streams])
+    _DECODE_CACHE[key] = out
+    return out
+
+
+def normalize(images_u8: np.ndarray) -> np.ndarray:
+    """uint8 HWC batch -> float NCHW in roughly [-0.5, 0.5]."""
+    x = images_u8.astype(np.float64) / 255.0 - 0.5
+    return x.transpose(0, 3, 1, 2)
+
+
+def preprocess(image_u8: np.ndarray, input_size: int | tuple[int, int],
+               cfg: NoiseConfig = TRAIN_CONFIG) -> np.ndarray:
+    """Resize + colour-convert one decoded uint8 image per the config."""
+    if isinstance(input_size, int):
+        input_size = (input_size, input_size)
+    out = resize(image_u8, input_size, cfg.resize_method)
+    if cfg.color is not None:
+        out = color_roundtrip(out, cfg.color)
+    return out
+
+
+def preprocess_dataset(streams: list, input_size: int,
+                       cfg: NoiseConfig = TRAIN_CONFIG) -> np.ndarray:
+    """Full pre-processing for a dataset: decode → resize → colour → normalise.
+
+    Returns a float NCHW batch ready for the models.  Decoding is cached per
+    (dataset, decoder); resize/colour are cheap matrix ops.
+    """
+    decoded = decode_dataset(streams, cfg.decoder)
+    processed = np.stack([preprocess(img, input_size, cfg) for img in decoded])
+    return normalize(processed)
+
+
+def apply_model_noise(model, cfg: NoiseConfig, calibrate=None):
+    """Return a deployment copy of ``model`` with inference noise applied.
+
+    * flips ``ceil_mode`` on every :class:`MaxPool2d`;
+    * flips the upsample interpolation (``set_upsample_mode`` on segmenters,
+      ``fpn.upsample_mode`` on detectors, ``Upsample.mode`` otherwise);
+    * sets ``aligned_offset`` on detectors;
+    * converts precision last (so the quantised copy keeps the flips).
+    """
+    noised = copy.deepcopy(model)
+    if cfg.ceil_mode:
+        for mod in noised.modules():
+            if isinstance(mod, MaxPool2d):
+                mod.ceil_mode = True
+    if cfg.upsample_mode != "nearest":
+        if hasattr(noised, "set_upsample_mode"):
+            noised.set_upsample_mode(cfg.upsample_mode)
+        if hasattr(noised, "fpn"):
+            noised.fpn.upsample_mode = cfg.upsample_mode
+        from repro.nn import Upsample
+        for mod in noised.modules():
+            if isinstance(mod, Upsample):
+                mod.mode = cfg.upsample_mode
+    if hasattr(noised, "aligned_offset"):
+        noised.aligned_offset = cfg.aligned_offset
+    if cfg.precision != "fp32":
+        noised = apply_precision(noised, cfg.precision, calibrate)
+    return noised

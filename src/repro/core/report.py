@@ -1,0 +1,60 @@
+"""Plain-text table rendering in the paper's format."""
+
+from __future__ import annotations
+
+from .benchmark import NoiseResult
+
+__all__ = ["format_cell", "render_table", "render_taxonomy", "render_curve"]
+
+
+def format_cell(result: NoiseResult | None, multi: bool) -> str:
+    """Paper-style cell: "mean (max)" for multi-option noises, plain Δ else."""
+    if result is None:
+        return "-"
+    if multi:
+        return f"{result.mean_delta:.2f} ({result.max_delta:.2f})"
+    return f"{result.mean_delta:.2f}"
+
+
+_MULTI = {"decoder", "resize", "precision"}
+
+
+def render_table(rows: dict[str, dict], noises: list[str], metric: str,
+                 title: str) -> str:
+    """Render {model -> noise_row(...)} as an aligned text table."""
+    headers = ["Architecture", f"Trained {metric}"] + noises + ["Combined"]
+    lines = [[name, f"{row['trained']:.2f}"]
+             + [format_cell(row["noises"].get(n), n in _MULTI) for n in noises]
+             + [f"{row.get('combined', float('nan')):.2f}"]
+             for name, row in rows.items()]
+    widths = [max(len(h), *(len(l[i]) for l in lines)) if lines else len(h)
+              for i, h in enumerate(headers)]
+    def fmt(cells):
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths))
+    out = [title, fmt(headers), fmt(["-" * w for w in widths])]
+    out += [fmt(l) for l in lines]
+    return "\n".join(out)
+
+
+def render_taxonomy() -> str:
+    """Paper Table 1 as text."""
+    from .noise import NOISE_TAXONOMY
+    headers = ["Type", "Stage", "Tasks", "InputDep", "Effect", "#Cat", "Occurrence"]
+    lines = [[s.name, s.stage, "/".join(s.tasks),
+              "yes" if s.input_dependent else "no", s.effect_level,
+              str(s.num_categories), s.occurrence] for s in NOISE_TAXONOMY]
+    widths = [max(len(h), *(len(l[i]) for l in lines))
+              for i, h in enumerate(headers)]
+    def fmt(cells):
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths))
+    return "\n".join([fmt(headers), fmt(["-" * w for w in widths])]
+                     + [fmt(l) for l in lines])
+
+
+def render_curve(curve: list[tuple[str, float]], metric: str) -> str:
+    """Fig.-3 style cumulative text plot."""
+    out = [f"cumulative Δ{metric} as noises stack:"]
+    for name, delta in curve:
+        bar = "#" * max(0, int(round(delta * 4)))
+        out.append(f"  +{name:<10} {delta:6.2f}  {bar}")
+    return "\n".join(out)

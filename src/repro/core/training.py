@@ -1,0 +1,67 @@
+"""Training entry points that go through the benchmark pipeline.
+
+Models must be trained on data produced by the *training system*
+(``TRAIN_CONFIG``) so that deployment mismatches are measured against the
+right reference.  These helpers wire dataset → pipeline → task trainer and
+are shared by the benchmarks, the examples, and the mitigation studies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro.nn as nn
+
+from ..data.cityscapes import SegmentationDataset
+from ..data.coco import DetectionDataset
+from ..data.imagenet import ClassificationDataset
+from ..detection.retinanet import DetTrainConfig, train_detector
+from ..models import create_model, family_of
+from ..segmentation.miou import SegTrainConfig, train_segmenter
+from .noise import TRAIN_CONFIG, NoiseConfig
+from .pipeline import preprocess_dataset
+
+__all__ = ["train_classification_model", "train_detection_model",
+           "train_segmentation_model", "default_train_config"]
+
+
+def default_train_config(model_name: str, epochs: int = 12) -> nn.TrainConfig:
+    """Family-appropriate optimiser settings (ViTs want Adam)."""
+    family = family_of(model_name)
+    if family in ("vit", "swin"):
+        return nn.TrainConfig(epochs=epochs, batch_size=32, lr=3e-3,
+                              optimizer="adam", weight_decay=1e-4)
+    return nn.TrainConfig(epochs=epochs, batch_size=32, lr=0.05,
+                          weight_decay=1e-4)
+
+
+def train_classification_model(model_name: str, ds: ClassificationDataset,
+                               cfg: nn.TrainConfig | None = None,
+                               pipeline_cfg: NoiseConfig = TRAIN_CONFIG,
+                               seed: int = 0):
+    """Create + train a zoo model on pipeline-preprocessed data."""
+    model = create_model(model_name, num_classes=ds.num_classes, seed=seed)
+    x = preprocess_dataset(ds.streams, ds.input_size, pipeline_cfg)
+    cfg = cfg or default_train_config(model_name)
+    nn.train_classifier(model, x, ds.labels, cfg)
+    return model
+
+
+def train_detection_model(detector, ds: DetectionDataset,
+                          cfg: DetTrainConfig | None = None,
+                          pipeline_cfg: NoiseConfig = TRAIN_CONFIG):
+    """Train a detector (RetinaNetLite / FasterRCNNLite) via the pipeline."""
+    x = preprocess_dataset(ds.streams, ds.input_size, pipeline_cfg)
+    train_detector(detector, x, ds.gt_boxes,
+                   cfg or DetTrainConfig(epochs=10, batch_size=8, lr=4e-3))
+    return detector
+
+
+def train_segmentation_model(model, ds: SegmentationDataset,
+                             cfg: SegTrainConfig | None = None,
+                             pipeline_cfg: NoiseConfig = TRAIN_CONFIG):
+    """Train a segmenter via the pipeline."""
+    x = preprocess_dataset(ds.streams, ds.input_size, pipeline_cfg)
+    train_segmenter(model, x, ds.labels,
+                    cfg or SegTrainConfig(epochs=10, batch_size=8, lr=5e-3))
+    return model

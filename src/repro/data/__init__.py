@@ -1,0 +1,25 @@
+"""Synthetic datasets standing in for ImageNet / COCO / Cityscapes / NLP / LJSpeech.
+
+See DESIGN.md for the substitution rationale: absolute paper numbers require
+5 GPU-years on the real datasets; the *shape* of every SysNoise result only
+needs learnable tasks whose inputs flow through the same decode → resize →
+colour → inference → post-process pipeline.
+"""
+
+from .audio import PHONEME_COUNT, TTSDataset, make_tts_dataset, synthesize_utterance
+from .cityscapes import (SEG_CLASS_NAMES, SegmentationDataset,
+                         make_segmentation_dataset)
+from .coco import DET_CLASS_NAMES, DetectionDataset, make_detection_dataset
+from .imagenet import (CLASS_NAMES, NUM_CLASSES, ClassificationDataset,
+                       make_classification_dataset, render_class_image)
+from .text import (NLP_TASK_NAMES, MultipleChoiceTask, SyntheticGrammar,
+                   make_nlp_suite)
+
+__all__ = [
+    "ClassificationDataset", "make_classification_dataset", "render_class_image",
+    "NUM_CLASSES", "CLASS_NAMES",
+    "DetectionDataset", "make_detection_dataset", "DET_CLASS_NAMES",
+    "SegmentationDataset", "make_segmentation_dataset", "SEG_CLASS_NAMES",
+    "SyntheticGrammar", "MultipleChoiceTask", "make_nlp_suite", "NLP_TASK_NAMES",
+    "TTSDataset", "make_tts_dataset", "synthesize_utterance", "PHONEME_COUNT",
+]

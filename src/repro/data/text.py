@@ -1,0 +1,177 @@
+"""Synthetic language-modelling corpus + four multiple-choice tasks.
+
+Stands in for the paper's OPT evaluation suite (PIQA, LAMBADA, HellaSwag,
+WinoGrande).  The language is a sparse first-order Markov chain over a small
+vocabulary with two long-range regularities woven in:
+
+* a *recall* pattern — marker token ``M`` followed by payload ``p`` forces the
+  sequence to end with ``perm(p)`` (LAMBADA/WinoGrande analogue);
+* chain continuations vs. uniformly random ones (PIQA/HellaSwag analogue).
+
+All four tasks are scored exactly as the paper scores OPT: the model picks
+the candidate continuation with the highest log-likelihood, and precision
+noise (FP16/INT8) perturbs the scores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["SyntheticGrammar", "MultipleChoiceTask", "make_nlp_suite",
+           "NLP_TASK_NAMES"]
+
+NLP_TASK_NAMES = ["piqa", "lambada", "hellaswag", "winogrande"]
+
+
+@dataclass
+class MultipleChoiceTask:
+    """A batch of multiple-choice items.
+
+    ``prefixes[i]`` is a token array; ``choices[i]`` is a list of candidate
+    continuation arrays; ``answers[i]`` indexes the correct candidate.
+    """
+
+    name: str
+    prefixes: list = field(repr=False)
+    choices: list = field(repr=False)
+    answers: np.ndarray = field(repr=False)
+
+    def __len__(self) -> int:
+        return len(self.answers)
+
+
+class SyntheticGrammar:
+    """Sparse Markov language with a long-range recall rule."""
+
+    def __init__(self, vocab_size: int = 48, branching: int = 4, seed: int = 0):
+        self.vocab_size = vocab_size
+        self.marker = vocab_size - 1          # reserved marker token "M"
+        rng = np.random.default_rng(seed)
+        # Each token allows `branching` successors with skewed probabilities.
+        self.successors = np.stack([
+            rng.choice(self.marker, size=branching, replace=False)
+            for _ in range(vocab_size)])
+        probs = rng.dirichlet(np.full(branching, 0.4), size=vocab_size)
+        self.probs = probs / probs.sum(axis=1, keepdims=True)
+        # Fixed permutation implementing the recall rule perm(payload).
+        self.perm = rng.permutation(self.marker)
+
+    # -- sampling --------------------------------------------------------------
+    def sample_chain(self, length: int, rng: np.random.Generator,
+                     start: int | None = None) -> np.ndarray:
+        out = np.empty(length, dtype=np.int64)
+        tok = int(rng.integers(self.marker)) if start is None else start
+        for i in range(length):
+            out[i] = tok
+            nxt = rng.choice(self.successors[tok], p=self.probs[tok])
+            tok = int(nxt)
+        return out
+
+    def sample_recall(self, length: int, rng: np.random.Generator) -> np.ndarray:
+        """Chain sequence with M + payload early and perm(payload) at the end."""
+        seq = self.sample_chain(length, rng)
+        payload = int(rng.integers(self.marker))
+        pos = int(rng.integers(1, max(2, length // 3)))
+        seq[pos] = self.marker
+        seq[pos + 1] = payload
+        seq[-1] = self.perm[payload]
+        return seq
+
+    def corpus(self, n_sequences: int = 600, length: int = 24,
+               recall_fraction: float = 0.5, seed: int = 1) -> np.ndarray:
+        """Training corpus (N, L) mixing plain chain and recall sequences."""
+        rng = np.random.default_rng(seed)
+        seqs = []
+        for i in range(n_sequences):
+            if rng.random() < recall_fraction:
+                seqs.append(self.sample_recall(length, rng))
+            else:
+                seqs.append(self.sample_chain(length, rng))
+        return np.stack(seqs)
+
+    # -- tasks -------------------------------------------------------------------
+    def _chain_continuation(self, last: int, k: int,
+                            rng: np.random.Generator) -> np.ndarray:
+        return self.sample_chain(k, rng,
+                                 start=int(rng.choice(self.successors[last],
+                                                      p=self.probs[last])))
+
+    def _random_continuation(self, k: int, rng: np.random.Generator) -> np.ndarray:
+        return rng.integers(0, self.marker, size=k).astype(np.int64)
+
+    def task_piqa(self, n: int, rng: np.random.Generator) -> MultipleChoiceTask:
+        """2-way: plausible (chain) vs implausible (random) 3-token ending."""
+        prefixes, choices, answers = [], [], []
+        for _ in range(n):
+            prefix = self.sample_chain(10, rng)
+            good = self._chain_continuation(int(prefix[-1]), 3, rng)
+            bad = self._random_continuation(3, rng)
+            correct = int(rng.integers(2))
+            pair = [bad, good] if correct == 1 else [good, bad]
+            prefixes.append(prefix)
+            choices.append(pair)
+            answers.append(correct)
+        return MultipleChoiceTask("piqa", prefixes, choices, np.array(answers))
+
+    def task_lambada(self, n: int, rng: np.random.Generator) -> MultipleChoiceTask:
+        """Predict the recalled final token among 4 candidates."""
+        prefixes, choices, answers = [], [], []
+        for _ in range(n):
+            seq = self.sample_recall(16, rng)
+            prefix, target = seq[:-1], seq[-1]
+            cands = [np.array([target])]
+            while len(cands) < 4:
+                alt = int(rng.integers(self.marker))
+                if alt != target:
+                    cands.append(np.array([alt]))
+            order = rng.permutation(4)
+            prefixes.append(prefix)
+            choices.append([cands[i] for i in order])
+            answers.append(int(np.argmax(order == 0)))
+        return MultipleChoiceTask("lambada", prefixes, choices, np.array(answers))
+
+    def task_hellaswag(self, n: int, rng: np.random.Generator) -> MultipleChoiceTask:
+        """4-way: one chain ending vs three random endings."""
+        prefixes, choices, answers = [], [], []
+        for _ in range(n):
+            prefix = self.sample_chain(12, rng)
+            cands = [self._chain_continuation(int(prefix[-1]), 4, rng)]
+            cands += [self._random_continuation(4, rng) for _ in range(3)]
+            order = rng.permutation(4)
+            prefixes.append(prefix)
+            choices.append([cands[i] for i in order])
+            answers.append(int(np.argmax(order == 0)))
+        return MultipleChoiceTask("hellaswag", prefixes, choices, np.array(answers))
+
+    def task_winogrande(self, n: int, rng: np.random.Generator) -> MultipleChoiceTask:
+        """2-way recall with a near-miss distractor (perm of a different payload)."""
+        prefixes, choices, answers = [], [], []
+        for _ in range(n):
+            seq = self.sample_recall(14, rng)
+            prefix, target = seq[:-1], int(seq[-1])
+            alt = int(self.perm[rng.integers(self.marker)])
+            while alt == target:
+                alt = int(self.perm[rng.integers(self.marker)])
+            correct = int(rng.integers(2))
+            pair = ([np.array([alt]), np.array([target])] if correct == 1
+                    else [np.array([target]), np.array([alt])])
+            prefixes.append(prefix)
+            choices.append(pair)
+            answers.append(correct)
+        return MultipleChoiceTask("winogrande", prefixes, choices, np.array(answers))
+
+
+def make_nlp_suite(n_per_task: int = 100, vocab_size: int = 48,
+                   seed: int = 0) -> tuple[SyntheticGrammar, dict[str, MultipleChoiceTask]]:
+    """Grammar + the four evaluation tasks, deterministically seeded."""
+    grammar = SyntheticGrammar(vocab_size=vocab_size, seed=seed)
+    rng = np.random.default_rng(seed + 100)
+    tasks = {
+        "piqa": grammar.task_piqa(n_per_task, rng),
+        "lambada": grammar.task_lambada(n_per_task, rng),
+        "hellaswag": grammar.task_hellaswag(n_per_task, rng),
+        "winogrande": grammar.task_winogrande(n_per_task, rng),
+    }
+    return grammar, tasks

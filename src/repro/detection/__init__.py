@@ -1,0 +1,25 @@
+"""Detection substrate: anchors, bbox coding, NMS, FPN, detectors, mAP."""
+
+from .anchors import generate_anchors, generate_level_anchors
+from .backbone import BACKBONE_CONFIGS, DetBackbone
+from .bbox import (box_iou, boxes_to_centers, clip_boxes, decode_deltas,
+                   encode_deltas)
+from .fpn import FPN
+from .losses import binary_cross_entropy_logits, sigmoid_focal_loss, smooth_l1
+from .map_eval import (COCO_IOU_THRESHOLDS, average_precision,
+                       mean_average_precision)
+from .nms import batched_nms, nms
+from .rcnn import FasterRCNNLite, roi_align
+from .retinanet import (DetTrainConfig, RetinaNetLite, assign_anchors,
+                        train_detector)
+
+__all__ = [
+    "generate_anchors", "generate_level_anchors",
+    "DetBackbone", "BACKBONE_CONFIGS",
+    "box_iou", "encode_deltas", "decode_deltas", "clip_boxes", "boxes_to_centers",
+    "FPN", "nms", "batched_nms",
+    "sigmoid_focal_loss", "smooth_l1", "binary_cross_entropy_logits",
+    "average_precision", "mean_average_precision", "COCO_IOU_THRESHOLDS",
+    "RetinaNetLite", "FasterRCNNLite", "roi_align", "assign_anchors",
+    "DetTrainConfig", "train_detector",
+]

@@ -1,0 +1,43 @@
+"""Anchor generation over feature-pyramid levels.
+
+Anchors are derived from the *actual* feature-map extent at run time, so a
+ceil-mode flip that enlarges a feature map still produces a consistent anchor
+grid (matching how deployment runtimes behave)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["generate_anchors", "generate_level_anchors"]
+
+
+def generate_level_anchors(feat_h: int, feat_w: int, stride: int,
+                           scales: tuple[float, ...] = (1.0, 1.5),
+                           ratios: tuple[float, ...] = (0.75, 1.0, 1.33),
+                           base_size: float | None = None) -> np.ndarray:
+    """Dense anchors (H*W*A, 4) xyxy for one pyramid level."""
+    base = base_size if base_size is not None else stride * 2.0
+    ws, hs = [], []
+    for s in scales:
+        for r in ratios:
+            w = base * s * np.sqrt(1.0 / r)
+            h = base * s * np.sqrt(r)
+            ws.append(w)
+            hs.append(h)
+    ws, hs = np.array(ws), np.array(hs)
+    cy = (np.arange(feat_h) + 0.5) * stride
+    cx = (np.arange(feat_w) + 0.5) * stride
+    cyy, cxx = np.meshgrid(cy, cx, indexing="ij")
+    centers = np.stack([cxx, cyy], axis=-1).reshape(-1, 1, 2)
+    sizes = np.stack([ws, hs], axis=-1).reshape(1, -1, 2)
+    x1y1 = centers - sizes / 2
+    x2y2 = centers + sizes / 2
+    return np.concatenate([x1y1, x2y2], axis=-1).reshape(-1, 4)
+
+
+def generate_anchors(feat_shapes: list[tuple[int, int]], strides: list[int],
+                     **kw) -> np.ndarray:
+    """Concatenate anchors over pyramid levels; order matches flattened heads."""
+    return np.concatenate([
+        generate_level_anchors(h, w, s, **kw)
+        for (h, w), s in zip(feat_shapes, strides)], axis=0)

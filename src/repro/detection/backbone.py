@@ -1,0 +1,69 @@
+"""Detection backbones producing a two-level feature pyramid.
+
+ResNet-style backbones include a **stride-2 max-pool** in the stem (ceil-mode
+noise enters here, exactly as in the classification zoo); the MobileNetV2
+backbone uses strided convs only, which is why the paper's Table 3 has no
+ceil-mode entry for it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro.nn as nn
+from repro.nn import Tensor
+
+from ..models.mobile import InvertedResidual
+from ..models.resnet import BasicBlock, Bottleneck
+
+__all__ = ["DetBackbone", "BACKBONE_CONFIGS"]
+
+#: name -> (block type, blocks per stage, widths, has stem max-pool)
+BACKBONE_CONFIGS = {
+    "resnet-34": (BasicBlock, [2, 2], [16, 32], True),
+    "resnet-50": (Bottleneck, [2, 2], [16, 32], True),
+    "mobilenetv2": (InvertedResidual, [2, 2], [12, 24], False),
+}
+
+
+class DetBackbone(nn.Module):
+    """Backbone returning (C3, C4) features at strides 4 and 8."""
+
+    def __init__(self, name: str = "resnet-34", seed: int = 0):
+        super().__init__()
+        if name not in BACKBONE_CONFIGS:
+            raise ValueError(f"unknown backbone {name!r}")
+        block, layers, widths, has_pool = BACKBONE_CONFIGS[name]
+        rng = np.random.default_rng(seed)
+        self.name = name
+        self.has_maxpool = has_pool
+        self.stem = nn.Sequential(
+            nn.Conv2d(3, widths[0], 3, stride=2, padding=1, bias=False, rng=rng),
+            nn.BatchNorm2d(widths[0]))
+        self.pool = (nn.MaxPool2d(3, 2, padding=1, ceil_mode=False)
+                     if has_pool else None)
+
+        def make_stage(cin, cout, n, first_stride):
+            blocks = []
+            for b in range(n):
+                stride = first_stride if b == 0 else 1
+                if block is InvertedResidual:
+                    blocks.append(block(cin, cout, stride, 3, rng))
+                else:
+                    blocks.append(block(cin, cout, stride, rng))
+                cin = cout
+            return nn.Sequential(*blocks)
+
+        # Stage 1 runs at stride 4 (pool or strided block does the reduction).
+        s1_stride = 1 if has_pool else 2
+        self.stage1 = make_stage(widths[0], widths[0], layers[0], s1_stride)
+        self.stage2 = make_stage(widths[0], widths[1], layers[1], 2)
+        self.out_channels = (widths[0], widths[1])
+
+    def forward(self, x: Tensor) -> tuple[Tensor, Tensor]:
+        out = self.stem(x).relu()
+        if self.pool is not None:
+            out = self.pool(out)
+        c3 = self.stage1(out)
+        c4 = self.stage2(c3)
+        return c3, c4

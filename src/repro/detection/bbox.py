@@ -1,0 +1,90 @@
+"""Bounding-box coding — including the post-processing SysNoise.
+
+The paper's Appendix A shows the deployment-side decode routine where
+``ALIGNED_FLAG.offset`` is 0 on some backends and 1 on others:
+
+.. code-block:: python
+
+    pred_boxes[x2] = pred_ctr_x + 0.5 * pred_w - ALIGNED_FLAG.offset
+
+Training assumes one convention; a backend with the other convention shifts
+every box by one pixel, which is the *detection proposal* noise of Table 3.
+``encode_deltas``/``decode_deltas`` take an ``aligned_offset`` argument so the
+benchmark can flip the convention post-training.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["box_iou", "encode_deltas", "decode_deltas", "clip_boxes",
+           "boxes_to_centers"]
+
+_CLAMP = np.log(1000.0 / 16.0)
+
+
+def box_iou(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Pairwise IoU between (N, 4) and (M, 4) xyxy boxes -> (N, M)."""
+    a = a.reshape(-1, 4)
+    b = b.reshape(-1, 4)
+    x1 = np.maximum(a[:, None, 0], b[None, :, 0])
+    y1 = np.maximum(a[:, None, 1], b[None, :, 1])
+    x2 = np.minimum(a[:, None, 2], b[None, :, 2])
+    y2 = np.minimum(a[:, None, 3], b[None, :, 3])
+    inter = np.clip(x2 - x1, 0, None) * np.clip(y2 - y1, 0, None)
+    area_a = (a[:, 2] - a[:, 0]) * (a[:, 3] - a[:, 1])
+    area_b = (b[:, 2] - b[:, 0]) * (b[:, 3] - b[:, 1])
+    union = area_a[:, None] + area_b[None, :] - inter
+    return inter / np.maximum(union, 1e-9)
+
+
+def boxes_to_centers(boxes: np.ndarray,
+                     aligned_offset: float = 0.0) -> tuple[np.ndarray, ...]:
+    """xyxy -> (ctr_x, ctr_y, w, h) under the given alignment convention."""
+    w = boxes[:, 2] - boxes[:, 0] + aligned_offset
+    h = boxes[:, 3] - boxes[:, 1] + aligned_offset
+    cx = boxes[:, 0] + 0.5 * w
+    cy = boxes[:, 1] + 0.5 * h
+    return cx, cy, w, h
+
+
+def encode_deltas(anchors: np.ndarray, targets: np.ndarray,
+                  aligned_offset: float = 0.0) -> np.ndarray:
+    """Regression targets (dx, dy, dw, dh) for anchors -> target boxes."""
+    ax, ay, aw, ah = boxes_to_centers(anchors, aligned_offset)
+    tx, ty, tw, th = boxes_to_centers(targets, aligned_offset)
+    dx = (tx - ax) / aw
+    dy = (ty - ay) / ah
+    dw = np.log(np.maximum(tw, 1e-6) / aw)
+    dh = np.log(np.maximum(th, 1e-6) / ah)
+    return np.stack([dx, dy, dw, dh], axis=1)
+
+
+def decode_deltas(anchors: np.ndarray, deltas: np.ndarray,
+                  aligned_offset: float = 0.0) -> np.ndarray:
+    """Paper Appendix A decode: deltas + anchors -> xyxy boxes.
+
+    ``aligned_offset`` is the deployment-backend convention; flipping it from
+    the training value is the detection post-processing noise.
+    """
+    ax, ay, aw, ah = boxes_to_centers(anchors, aligned_offset)
+    dx, dy = deltas[:, 0], deltas[:, 1]
+    dw = np.clip(deltas[:, 2], None, _CLAMP)
+    dh = np.clip(deltas[:, 3], None, _CLAMP)
+    cx = dx * aw + ax
+    cy = dy * ah + ay
+    w = np.exp(dw) * aw
+    h = np.exp(dh) * ah
+    x1 = cx - 0.5 * w
+    y1 = cy - 0.5 * h
+    x2 = cx + 0.5 * w - aligned_offset
+    y2 = cy + 0.5 * h - aligned_offset
+    return np.stack([x1, y1, x2, y2], axis=1)
+
+
+def clip_boxes(boxes: np.ndarray, size: int) -> np.ndarray:
+    """Clamp xyxy boxes to the image extent."""
+    out = boxes.copy()
+    out[:, 0::2] = np.clip(out[:, 0::2], 0, size)
+    out[:, 1::2] = np.clip(out[:, 1::2], 0, size)
+    return out

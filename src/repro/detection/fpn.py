@@ -1,0 +1,41 @@
+"""Feature Pyramid Network with the train/deploy upsample switch.
+
+The paper trains FPN's top-down pathway with **nearest** interpolation and
+finds deployment backends that only ship **bilinear** — the upsample
+model-inference noise, one of the two largest detection hits in Table 3.
+``FPN.upsample_mode`` is a plain attribute so the benchmark can flip it on a
+trained detector.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro.nn as nn
+from repro.nn import Tensor
+from repro.nn import functional as F
+
+__all__ = ["FPN"]
+
+
+class FPN(nn.Module):
+    """Two-level FPN: laterals + top-down merge + smoothing convs."""
+
+    def __init__(self, in_channels: tuple[int, int], out_channels: int = 16,
+                 upsample_mode: str = "nearest", seed: int = 0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.upsample_mode = upsample_mode
+        self.lateral3 = nn.Conv2d(in_channels[0], out_channels, 1, rng=rng)
+        self.lateral4 = nn.Conv2d(in_channels[1], out_channels, 1, rng=rng)
+        self.smooth3 = nn.Conv2d(out_channels, out_channels, 3, padding=1, rng=rng)
+        self.smooth4 = nn.Conv2d(out_channels, out_channels, 3, padding=1, rng=rng)
+        self.out_channels = out_channels
+
+    def forward(self, c3: Tensor, c4: Tensor) -> tuple[Tensor, Tensor]:
+        p4 = self.lateral4(c4)
+        # Upsample to C3's *actual* extent, which may have been changed by a
+        # ceil-mode flip upstream.
+        up = F.upsample2d(p4, size=c3.shape[2:], mode=self.upsample_mode)
+        p3 = self.lateral3(c3) + up
+        return self.smooth3(p3), self.smooth4(p4)

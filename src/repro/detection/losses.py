@@ -1,0 +1,47 @@
+"""Detection losses: sigmoid focal loss and smooth-L1 box regression."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import Tensor
+
+__all__ = ["sigmoid_focal_loss", "smooth_l1", "binary_cross_entropy_logits"]
+
+
+def binary_cross_entropy_logits(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Numerically-stable per-element BCE with logits (no reduction)."""
+    t = Tensor(np.asarray(targets, dtype=np.float64))
+    # log(1 + exp(-|x|)) + max(x, 0) - x*t  — |x| kept differentiable so the
+    # softplus term contributes its share of d/dx = sigmoid(x) - t.
+    absx = logits * Tensor(np.sign(logits.data))
+    softplus = ((-absx).exp() + 1.0).log()
+    relu_x = logits.relu()
+    return softplus + relu_x - logits * t
+
+
+def sigmoid_focal_loss(logits: Tensor, targets: np.ndarray, alpha: float = 0.25,
+                       gamma: float = 2.0) -> Tensor:
+    """RetinaNet focal loss, summed over elements.
+
+    The modulating factor (1 - p_t)^gamma is treated as a constant weight per
+    step (standard practice: gradients flow through the BCE term only).
+    """
+    t = np.asarray(targets, dtype=np.float64)
+    p = 1.0 / (1.0 + np.exp(-logits.data))
+    pt = p * t + (1 - p) * (1 - t)
+    weight = (alpha * t + (1 - alpha) * (1 - t)) * (1 - pt) ** gamma
+    return (binary_cross_entropy_logits(logits, t) * Tensor(weight)).sum()
+
+
+def smooth_l1(pred: Tensor, targets: np.ndarray, beta: float = 1.0) -> Tensor:
+    """Huber/smooth-L1 summed over elements (region mask fixed per step)."""
+    t = np.asarray(targets, dtype=np.float64)
+    diff = pred - Tensor(t)
+    absdiff = np.abs(diff.data)
+    quad = (absdiff < beta).astype(np.float64)
+    quadratic = diff * diff * (0.5 / beta)
+    # |d| - beta/2 as a tensor expression with sign folded in:
+    sign = np.sign(diff.data)
+    linear = diff * Tensor(sign) - beta / 2
+    return (quadratic * Tensor(quad) + linear * Tensor(1 - quad)).sum()

@@ -1,0 +1,82 @@
+"""COCO-style mean Average Precision evaluation.
+
+``mean_average_precision`` averages AP over classes and over IoU thresholds
+0.50:0.05:0.95, matching the metric the paper reports for Table 3 (values are
+returned in percent).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .bbox import box_iou
+
+__all__ = ["average_precision", "mean_average_precision", "COCO_IOU_THRESHOLDS"]
+
+COCO_IOU_THRESHOLDS = np.arange(0.50, 0.96, 0.05)
+
+
+def average_precision(detections: list[np.ndarray], gts: list[np.ndarray],
+                      iou_threshold: float) -> float:
+    """All-point-interpolation AP for one class at one IoU threshold.
+
+    ``detections[i]`` is (D_i, 5) [score, x1, y1, x2, y2] for image i;
+    ``gts[i]`` is (G_i, 4) xyxy.  Returns AP in [0, 1].
+    """
+    n_gt = sum(len(g) for g in gts)
+    records = []  # (score, is_tp)
+    for dets, gt in zip(detections, gts):
+        if len(dets) == 0:
+            continue
+        order = np.argsort(-dets[:, 0])
+        dets = dets[order]
+        matched = np.zeros(len(gt), dtype=bool)
+        for det in dets:
+            if len(gt) == 0:
+                records.append((det[0], False))
+                continue
+            ious = box_iou(det[None, 1:], gt).reshape(-1)
+            ious[matched] = -1.0
+            best = int(np.argmax(ious))
+            if ious[best] >= iou_threshold:
+                matched[best] = True
+                records.append((det[0], True))
+            else:
+                records.append((det[0], False))
+    if n_gt == 0:
+        return 0.0
+    if not records:
+        return 0.0
+    records.sort(key=lambda r: -r[0])
+    tp = np.cumsum([r[1] for r in records])
+    fp = np.cumsum([not r[1] for r in records])
+    recall = tp / n_gt
+    precision = tp / np.maximum(tp + fp, 1e-9)
+    # All-point interpolation: precision envelope integrated over recall.
+    mrec = np.concatenate([[0.0], recall, [1.0]])
+    mpre = np.concatenate([[1.0], precision, [0.0]])
+    for i in range(len(mpre) - 2, -1, -1):
+        mpre[i] = max(mpre[i], mpre[i + 1])
+    idx = np.where(mrec[1:] != mrec[:-1])[0]
+    return float(np.sum((mrec[idx + 1] - mrec[idx]) * mpre[idx + 1]))
+
+
+def mean_average_precision(detections: list[np.ndarray], gts: list[np.ndarray],
+                           num_classes: int,
+                           iou_thresholds: np.ndarray = COCO_IOU_THRESHOLDS) -> float:
+    """mAP (percent) over classes × IoU thresholds.
+
+    ``detections[i]`` is (D_i, 6) [cls, score, x1, y1, x2, y2];
+    ``gts[i]`` is (G_i, 5) [cls, x1, y1, x2, y2].
+    """
+    aps = []
+    for cls in range(num_classes):
+        dets_c = [d[d[:, 0] == cls][:, 1:] if len(d) else np.empty((0, 5))
+                  for d in detections]
+        gts_c = [g[g[:, 0] == cls][:, 1:] if len(g) else np.empty((0, 4))
+                 for g in gts]
+        if sum(len(g) for g in gts_c) == 0:
+            continue
+        for thr in iou_thresholds:
+            aps.append(average_precision(dets_c, gts_c, thr))
+    return 100.0 * float(np.mean(aps)) if aps else 0.0

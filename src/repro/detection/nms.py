@@ -1,0 +1,36 @@
+"""Non-maximum suppression (class-wise greedy NMS)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .bbox import box_iou
+
+__all__ = ["nms", "batched_nms"]
+
+
+def nms(boxes: np.ndarray, scores: np.ndarray, iou_threshold: float = 0.5,
+        max_out: int | None = None) -> np.ndarray:
+    """Greedy NMS; returns indices of kept boxes in descending-score order."""
+    order = np.argsort(-scores)
+    keep: list[int] = []
+    suppressed = np.zeros(len(boxes), dtype=bool)
+    for idx in order:
+        if suppressed[idx]:
+            continue
+        keep.append(int(idx))
+        if max_out is not None and len(keep) >= max_out:
+            break
+        ious = box_iou(boxes[idx:idx + 1], boxes).reshape(-1)
+        suppressed |= ious > iou_threshold
+        suppressed[idx] = True
+    return np.array(keep, dtype=int)
+
+
+def batched_nms(boxes: np.ndarray, scores: np.ndarray, classes: np.ndarray,
+                iou_threshold: float = 0.5, max_out: int | None = None) -> np.ndarray:
+    """Class-wise NMS via the coordinate-offset trick."""
+    if len(boxes) == 0:
+        return np.empty(0, dtype=int)
+    offset = classes.astype(np.float64)[:, None] * (boxes.max() + 1.0)
+    return nms(boxes + offset, scores, iou_threshold, max_out)

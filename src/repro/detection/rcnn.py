@@ -1,0 +1,225 @@
+"""Faster-RCNN-lite: two-stage detector (RPN → RoIAlign → box head).
+
+Keeps the two-stage structure the paper benchmarks: a region proposal network
+on the FPN features, bilinear RoIAlign pooling, and a small MLP head doing
+(K+1)-way classification plus class-agnostic box refinement.  The same four
+SysNoise doors exist as in :mod:`.retinanet`, and the proposal decode also
+honours ``aligned_offset`` — the paper notes the two-stage pipeline is hit
+*twice* by the convention flip (proposals and final boxes).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro.nn as nn
+from repro.nn import Tensor, cat, no_grad, stack
+from repro.nn import functional as F
+
+from .anchors import generate_level_anchors
+from .backbone import DetBackbone
+from .bbox import box_iou, clip_boxes, decode_deltas, encode_deltas
+from .fpn import FPN
+from .losses import binary_cross_entropy_logits, smooth_l1
+from .nms import batched_nms, nms
+from .retinanet import assign_anchors
+
+__all__ = ["FasterRCNNLite", "roi_align"]
+
+RPN_SCALES = (1.0, 1.5)
+RPN_RATIOS = (0.75, 1.0, 1.33)
+RPN_A = len(RPN_SCALES) * len(RPN_RATIOS)
+
+
+def roi_align(features: Tensor, rois: np.ndarray, out_size: int,
+              stride: int) -> Tensor:
+    """Bilinear RoIAlign: crop each (x1, y1, x2, y2) RoI to (C, S, S).
+
+    Each RoI builds two small interpolation matrices (constant w.r.t. the
+    graph) and the crop is two batched matmuls, so gradients flow into the
+    feature map exactly.
+    """
+    b, c, h, w = features.shape
+    crops = []
+    for roi in rois:
+        img_idx = int(roi[0])
+        x1, y1, x2, y2 = roi[1:] / stride
+        my = _roi_axis_matrix(y1, y2, out_size, h)
+        mx = _roi_axis_matrix(x1, x2, out_size, w)
+        feat = features[img_idx]                       # (C, H, W)
+        tmp = Tensor(my) @ feat                        # (C, S, W)
+        crop = tmp @ Tensor(mx.T)                      # (C, S, S)
+        crops.append(crop)
+    return stack(crops, axis=0)
+
+
+def _roi_axis_matrix(lo: float, hi: float, out_size: int, in_size: int) -> np.ndarray:
+    """(S, in_size) bilinear sampling operator for one RoI axis."""
+    span = max(hi - lo, 1e-3)
+    pts = lo + (np.arange(out_size) + 0.5) * span / out_size - 0.5
+    pts = np.clip(pts, 0, in_size - 1)
+    i0 = np.floor(pts).astype(int)
+    i1 = np.minimum(i0 + 1, in_size - 1)
+    frac = pts - i0
+    m = np.zeros((out_size, in_size))
+    m[np.arange(out_size), i0] += 1 - frac
+    m[np.arange(out_size), i1] += frac
+    return m
+
+
+class FasterRCNNLite(nn.Module):
+    """Two-stage detector with RPN + RoI head."""
+
+    def __init__(self, backbone: str = "resnet-50", num_classes: int = 3,
+                 fpn_channels: int = 16, roi_size: int = 4, seed: int = 0,
+                 aligned_offset: float = 0.0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.num_classes = num_classes
+        self.roi_size = roi_size
+        self.aligned_offset = aligned_offset
+        self.backbone = DetBackbone(backbone, seed=seed)
+        self.fpn = FPN(self.backbone.out_channels, fpn_channels, seed=seed + 1)
+        c = fpn_channels
+        # RPN on P3 (stride 4)
+        self.rpn_conv = nn.Conv2d(c, c, 3, padding=1, rng=rng)
+        self.rpn_obj = nn.Conv2d(c, RPN_A, 1, rng=rng)
+        self.rpn_reg = nn.Conv2d(c, RPN_A * 4, 1, rng=rng)
+        for conv in (self.rpn_conv, self.rpn_obj, self.rpn_reg):
+            conv.weight.data[...] = rng.normal(0, 0.01, size=conv.weight.shape)
+        self.rpn_obj.bias.data[...] = -np.log((1 - 0.05) / 0.05)
+        # RoI head.  LayerNorm tames the unnormalised FPN feature magnitudes
+        # so the MLP does not start saturated (dead-ReLU collapse).
+        self.roi_norm = nn.LayerNorm(c * roi_size * roi_size)
+        self.fc1 = nn.Linear(c * roi_size * roi_size, 32, rng=rng)
+        self.cls_fc = nn.Linear(32, num_classes + 1, rng=rng)   # +1 background
+        self.reg_fc = nn.Linear(32, 4, rng=rng)
+
+    # -- stage 1 ------------------------------------------------------------------
+    def _rpn(self, p3: Tensor) -> tuple[Tensor, Tensor, np.ndarray]:
+        h = self.rpn_conv(p3).relu()
+        obj = self.rpn_obj(h)
+        reg = self.rpn_reg(h)
+        b, _, fh, fw = obj.shape
+        obj = obj.transpose(0, 2, 3, 1).reshape(b, fh * fw * RPN_A)
+        reg = reg.reshape(b, RPN_A, 4, fh, fw).transpose(0, 3, 4, 1, 2)
+        reg = reg.reshape(b, fh * fw * RPN_A, 4)
+        anchors = generate_level_anchors(fh, fw, 4, scales=RPN_SCALES,
+                                         ratios=RPN_RATIOS)
+        return obj, reg, anchors
+
+    def _proposals(self, obj: np.ndarray, reg: np.ndarray, anchors: np.ndarray,
+                   img_size: int, top_n: int = 12) -> np.ndarray:
+        """Decode + NMS the top RPN boxes for one image; returns (P, 4)."""
+        scores = 1.0 / (1.0 + np.exp(-obj))
+        order = np.argsort(-scores)[:top_n * 4]
+        boxes = decode_deltas(anchors[order], reg[order], self.aligned_offset)
+        boxes = clip_boxes(boxes, img_size)
+        keep = nms(boxes, scores[order], iou_threshold=0.7, max_out=top_n)
+        return boxes[keep]
+
+    # -- loss ------------------------------------------------------------------------
+    def loss(self, x: Tensor, gts: list[np.ndarray]) -> Tensor:
+        img_size = x.shape[-1]
+        c3, c4 = self.backbone(x)
+        p3, _ = self.fpn(c3, c4)
+        obj, reg, anchors = self._rpn(p3)
+
+        total = None
+        n_terms = 0
+        roi_batch, roi_labels, roi_targets = [], [], []
+        for i, gt in enumerate(gts):
+            labels, matched = assign_anchors(anchors, gt, pos_iou=0.5,
+                                             neg_iou=0.3)
+            valid = labels >= 0
+            rpn_cls = binary_cross_entropy_logits(
+                obj[i][valid], (labels[valid] == 1).astype(float)).mean()
+            term = rpn_cls
+            pos = np.where(labels == 1)[0]
+            if len(pos) and len(gt):
+                t = encode_deltas(anchors[pos], gt[matched[pos], 1:],
+                                  self.aligned_offset)
+                term = term + smooth_l1(reg[i][pos], t) * (1.0 / len(pos))
+            total = term if total is None else total + term
+            n_terms += 1
+
+            # Stage-2 training RoIs: RPN proposals + GT boxes + jittered GT
+            # boxes (the standard gt-augmentation trick), with fg/bg balancing
+            # so background RoIs don't drown the classification signal.
+            props = self._proposals(obj.data[i], reg.data[i], anchors, img_size)
+            if len(gt):
+                rng = np.random.default_rng(int(abs(obj.data[i, 0]) * 1e6) % 2 ** 31)
+                jitter = gt[:, 1:] + rng.uniform(-2, 2, size=(len(gt), 4))
+                props = np.concatenate([props, gt[:, 1:], jitter], axis=0)
+            if len(props) == 0:
+                continue
+            ious = box_iou(props, gt[:, 1:]) if len(gt) else np.zeros((len(props), 1))
+            best = ious.argmax(axis=1) if len(gt) else np.zeros(len(props), int)
+            best_iou = ious.max(axis=1) if len(gt) else np.zeros(len(props))
+            cls_t = np.where(best_iou >= 0.5,
+                             gt[best, 0].astype(int) if len(gt) else 0,
+                             self.num_classes)          # background id = K
+            fg_idx = np.where(cls_t != self.num_classes)[0]
+            bg_idx = np.where(cls_t == self.num_classes)[0]
+            bg_keep = bg_idx[:max(4, 2 * len(fg_idx))]
+            for p_idx in np.concatenate([fg_idx, bg_keep]).astype(int):
+                prop = props[p_idx]
+                roi_batch.append(np.concatenate([[i], prop]))
+                roi_labels.append(cls_t[p_idx])
+                if cls_t[p_idx] != self.num_classes and len(gt):
+                    roi_targets.append(encode_deltas(prop[None],
+                                                     gt[best[p_idx], 1:][None],
+                                                     self.aligned_offset)[0])
+                else:
+                    roi_targets.append(None)
+
+        if roi_batch:
+            rois = np.stack(roi_batch)
+            crops = roi_align(p3, rois, self.roi_size, stride=4)
+            flat = crops.reshape(len(rois), -1)
+            hidden = self.fc1(self.roi_norm(flat)).relu()
+            logits = self.cls_fc(hidden)
+            head_cls = F.cross_entropy(logits, np.array(roi_labels))
+            total = total + head_cls
+            fg = [k for k, t in enumerate(roi_targets) if t is not None]
+            if fg:
+                reg_pred = self.reg_fc(hidden)[np.array(fg)]
+                t = np.stack([roi_targets[k] for k in fg])
+                total = total + smooth_l1(reg_pred, t) * (1.0 / len(fg))
+        return total * (1.0 / max(n_terms, 1))
+
+    # -- inference --------------------------------------------------------------------
+    def predict(self, x: np.ndarray, score_threshold: float = 0.5,
+                nms_iou: float = 0.5, max_det: int = 20) -> list[np.ndarray]:
+        self.eval()
+        img_size = x.shape[-1]
+        with no_grad():
+            c3, c4 = self.backbone(Tensor(x))
+            p3, _ = self.fpn(c3, c4)
+            obj, reg, anchors = self._rpn(p3)
+            results = []
+            for i in range(len(x)):
+                props = self._proposals(obj.data[i], reg.data[i], anchors,
+                                        img_size)
+                if len(props) == 0:
+                    results.append(np.empty((0, 6)))
+                    continue
+                rois = np.concatenate([np.zeros((len(props), 1)), props], axis=1)
+                crops = roi_align(p3[i:i + 1], rois, self.roi_size, stride=4)
+                hidden = self.fc1(self.roi_norm(crops.reshape(len(props), -1))).relu()
+                probs = F.softmax(self.cls_fc(hidden)).data
+                deltas = self.reg_fc(hidden).data
+                cls = probs[:, :self.num_classes].argmax(axis=1)
+                conf = probs[np.arange(len(props)), cls]
+                keep = conf >= score_threshold
+                if not keep.any():
+                    results.append(np.empty((0, 6)))
+                    continue
+                boxes = decode_deltas(props[keep], deltas[keep],
+                                      self.aligned_offset)
+                boxes = clip_boxes(boxes, img_size)
+                idx = batched_nms(boxes, conf[keep], cls[keep], nms_iou, max_det)
+                results.append(np.concatenate(
+                    [cls[keep][idx, None], conf[keep][idx, None], boxes[idx]],
+                    axis=1))
+        return results

@@ -1,0 +1,192 @@
+"""RetinaNet-lite: anchor-based one-stage detector with FPN.
+
+Structure mirrors the paper's RetinaNet (backbone → FPN → shared conv head →
+per-anchor class logits + box deltas, focal loss, class-wise NMS), scaled to
+the synthetic 64×64 scenes.  Every SysNoise door is present:
+
+* backbone stem max-pool (``ceil_mode``),
+* FPN top-down ``upsample_mode``,
+* ``aligned_offset`` in box decode (post-processing noise),
+* the whole model can be FP16/INT8-converted via ``repro.nn.quant``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+import repro.nn as nn
+from repro.nn import Tensor, no_grad
+
+from .anchors import generate_anchors
+from .backbone import DetBackbone
+from .bbox import box_iou, clip_boxes, decode_deltas, encode_deltas
+from .fpn import FPN
+from .losses import sigmoid_focal_loss, smooth_l1
+from .nms import batched_nms
+
+__all__ = ["RetinaNetLite", "assign_anchors", "DetTrainConfig", "train_detector"]
+
+STRIDES = [4, 8]
+SCALES = (1.0, 1.5)
+RATIOS = (0.75, 1.0, 1.33)
+NUM_ANCHORS = len(SCALES) * len(RATIOS)
+
+
+def assign_anchors(anchors: np.ndarray, gt: np.ndarray, pos_iou: float = 0.5,
+                   neg_iou: float = 0.4) -> tuple[np.ndarray, np.ndarray]:
+    """Max-IoU assignment.
+
+    Returns ``(labels, matched_gt_idx)`` where labels are −1 ignore, 0
+    background, 1 foreground.  Each GT's best anchor is forced positive so
+    small objects are never unmatched.
+    """
+    n = len(anchors)
+    labels = np.zeros(n, dtype=np.int64)
+    matched = np.zeros(n, dtype=np.int64)
+    if len(gt) == 0:
+        return labels, matched
+    ious = box_iou(anchors, gt[:, 1:])
+    best_gt = ious.argmax(axis=1)
+    best_iou = ious.max(axis=1)
+    labels[best_iou >= pos_iou] = 1
+    labels[(best_iou > neg_iou) & (best_iou < pos_iou)] = -1
+    matched = best_gt
+    # Force-match each gt's best anchor.
+    forced = ious.argmax(axis=0)
+    labels[forced] = 1
+    matched[forced] = np.arange(len(gt))
+    return labels, matched
+
+
+class RetinaNetLite(nn.Module):
+    """One-stage detector.  ``predict`` returns (D, 6) [cls, score, xyxy]."""
+
+    def __init__(self, backbone: str = "resnet-50", num_classes: int = 3,
+                 fpn_channels: int = 16, seed: int = 0,
+                 aligned_offset: float = 0.0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.num_classes = num_classes
+        self.aligned_offset = aligned_offset        # post-processing convention
+        self.backbone = DetBackbone(backbone, seed=seed)
+        self.fpn = FPN(self.backbone.out_channels, fpn_channels, seed=seed + 1)
+        c = fpn_channels
+        self.head_conv = nn.Conv2d(c, c, 3, padding=1, rng=rng)
+        self.cls_head = nn.Conv2d(c, NUM_ANCHORS * num_classes, 3, padding=1,
+                                  rng=rng)
+        self.reg_head = nn.Conv2d(c, NUM_ANCHORS * 4, 3, padding=1, rng=rng)
+        # RetinaNet head init: small-sigma gaussians so the prior bias below
+        # actually dominates the initial logits (otherwise focal loss explodes).
+        for conv in (self.head_conv, self.cls_head, self.reg_head):
+            conv.weight.data[...] = rng.normal(0, 0.01, size=conv.weight.shape)
+        # Prior-probability bias init keeps early focal loss stable.
+        self.cls_head.bias.data[...] = -np.log((1 - 0.01) / 0.01)
+
+    # -- forward ---------------------------------------------------------------
+    def forward(self, x: Tensor) -> tuple[Tensor, Tensor, np.ndarray]:
+        """Returns (cls_logits (B, A_total, K), deltas (B, A_total, 4), anchors)."""
+        c3, c4 = self.backbone(x)
+        p3, p4 = self.fpn(c3, c4)
+        feat_shapes = [tuple(p.shape[2:]) for p in (p3, p4)]
+        anchors = generate_anchors(feat_shapes, STRIDES, scales=SCALES,
+                                   ratios=RATIOS)
+        cls_out, reg_out = [], []
+        for p in (p3, p4):
+            h = self.head_conv(p).relu()
+            cls = self.cls_head(h)
+            reg = self.reg_head(h)
+            b, _, fh, fw = cls.shape
+            cls = cls.reshape(b, NUM_ANCHORS, self.num_classes, fh, fw)
+            cls = cls.transpose(0, 3, 4, 1, 2).reshape(b, fh * fw * NUM_ANCHORS,
+                                                       self.num_classes)
+            reg = reg.reshape(b, NUM_ANCHORS, 4, fh, fw)
+            reg = reg.transpose(0, 3, 4, 1, 2).reshape(b, fh * fw * NUM_ANCHORS, 4)
+            cls_out.append(cls)
+            reg_out.append(reg)
+        from repro.nn import cat
+        return cat(cls_out, axis=1), cat(reg_out, axis=1), anchors
+
+    # -- loss -------------------------------------------------------------------
+    def loss(self, x: Tensor, gts: list[np.ndarray]) -> Tensor:
+        cls_logits, deltas, anchors = self(x)
+        total = None
+        n_pos_total = 0
+        for i, gt in enumerate(gts):
+            labels, matched = assign_anchors(anchors, gt)
+            pos = np.where(labels == 1)[0]
+            valid = labels >= 0
+            n_pos_total += len(pos)
+            # Classification: focal loss over valid anchors.
+            t = np.zeros((int(valid.sum()), self.num_classes))
+            vpos = labels[valid] == 1
+            if len(gt):
+                t[vpos, gt[matched[valid][vpos], 0].astype(int)] = 1.0
+            li = sigmoid_focal_loss(cls_logits[i][valid], t)
+            # Regression: smooth-L1 on positives.
+            if len(pos) and len(gt):
+                targets = encode_deltas(anchors[pos], gt[matched[pos], 1:],
+                                        self.aligned_offset)
+                li = li + smooth_l1(deltas[i][pos], targets)
+            total = li if total is None else total + li
+        return total * (1.0 / max(n_pos_total, 1))
+
+    # -- inference ----------------------------------------------------------------
+    def predict(self, x: np.ndarray, score_threshold: float = 0.3,
+                nms_iou: float = 0.5, max_det: int = 20) -> list[np.ndarray]:
+        """Detect on a float image batch (N, 3, H, W); returns per-image (D, 6)."""
+        self.eval()
+        img_size = x.shape[-1]
+        with no_grad():
+            cls_logits, deltas, anchors = self(Tensor(x))
+        scores = 1.0 / (1.0 + np.exp(-cls_logits.data))
+        results = []
+        for i in range(len(x)):
+            s = scores[i]
+            cls = s.argmax(axis=1)
+            conf = s.max(axis=1)
+            keep = conf >= score_threshold
+            if not keep.any():
+                results.append(np.empty((0, 6)))
+                continue
+            boxes = decode_deltas(anchors[keep], deltas.data[i][keep],
+                                  self.aligned_offset)
+            boxes = clip_boxes(boxes, img_size)
+            idx = batched_nms(boxes, conf[keep], cls[keep], nms_iou, max_det)
+            dets = np.concatenate([cls[keep][idx, None], conf[keep][idx, None],
+                                   boxes[idx]], axis=1)
+            results.append(dets)
+        return results
+
+
+@dataclass
+class DetTrainConfig:
+    epochs: int = 8
+    batch_size: int = 4
+    lr: float = 5e-3
+    weight_decay: float = 1e-4
+    seed: int = 0
+
+
+def train_detector(model, images: np.ndarray, gts: list[np.ndarray],
+                   cfg: DetTrainConfig | None = None) -> list[float]:
+    """Train any detector exposing ``.loss(x, gts)``; returns epoch losses."""
+    cfg = cfg or DetTrainConfig()
+    rng = np.random.default_rng(cfg.seed)
+    opt = nn.Adam(model.parameters(), lr=cfg.lr, weight_decay=cfg.weight_decay)
+    history = []
+    model.train()
+    for _ in range(cfg.epochs):
+        idx = rng.permutation(len(images))
+        losses = []
+        for s in range(0, len(images), cfg.batch_size):
+            sel = idx[s:s + cfg.batch_size]
+            loss = model.loss(Tensor(images[sel]), [gts[j] for j in sel])
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+            losses.append(loss.item())
+        history.append(float(np.mean(losses)))
+    model.eval()
+    return history

@@ -1,0 +1,104 @@
+"""Colour-space SysNoise: RGB ↔ YUV (BT.601) round trips.
+
+Deployment accelerators (DirectX VA, Ascend 310 DVPP) decode video into the
+**NV12** (YUV 4:2:0) format and convert to RGB on-device, while training reads
+direct-RGB decodes.  Paper Appendix A gives the studio-swing BT.601 equations
+(Eq. 5/6) and the integer shift approximation many devices use (Eq. 7); the
+conversion is lossy because of rounding, clipping, and chroma subsampling.
+
+``color_roundtrip`` is the noise injector used by the benchmark: it converts
+RGB → YUV → RGB through a configurable pipeline and returns the perturbed
+image.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "rgb_to_yuv_bt601", "yuv_to_rgb_bt601", "yuv_to_rgb_integer",
+    "subsample_420", "upsample_420", "color_roundtrip", "COLOR_PIPELINES",
+]
+
+
+def rgb_to_yuv_bt601(rgb: np.ndarray) -> np.ndarray:
+    """Paper Eq. 5: full-range RGB → studio-swing YUV (Y in 16..235).
+
+    Returns uint8 YUV 4:4:4 with rounding — the first lossy step.
+    """
+    rgb = rgb.astype(np.float64)
+    r, g, b = rgb[..., 0], rgb[..., 1], rgb[..., 2]
+    y = np.round(0.256788 * r + 0.504129 * g + 0.097906 * b) + 16
+    u = np.round(-0.148223 * r - 0.290993 * g + 0.439216 * b) + 128
+    v = np.round(0.439216 * r - 0.367788 * g - 0.071427 * b) + 128
+    return np.clip(np.stack([y, u, v], axis=-1), 0, 255).astype(np.uint8)
+
+
+def yuv_to_rgb_bt601(yuv: np.ndarray) -> np.ndarray:
+    """Paper Eq. 6: float inverse transform with final round + clip."""
+    yuv = yuv.astype(np.float64)
+    c = yuv[..., 0] - 16.0
+    d = yuv[..., 1] - 128.0
+    e = yuv[..., 2] - 128.0
+    r = np.round(1.164383 * c + 1.596027 * e)
+    g = np.round(1.164383 * c - 0.391762 * d - 0.812968 * e)
+    b = np.round(1.164383 * c + 2.017232 * d)
+    return np.clip(np.stack([r, g, b], axis=-1), 0, 255).astype(np.uint8)
+
+
+def yuv_to_rgb_integer(yuv: np.ndarray) -> np.ndarray:
+    """Paper Eq. 7: the fixed-point shift approximation used on-device.
+
+    ``R = clip((298*C + 409*E + 128) >> 8)`` etc.  The coarse integer
+    coefficients make this differ from the float inverse by ±1-2 LSBs.
+    """
+    yuv = yuv.astype(np.int64)
+    c = yuv[..., 0] - 16
+    d = yuv[..., 1] - 128
+    e = yuv[..., 2] - 128
+    r = (298 * c + 409 * e + 128) >> 8
+    g = (298 * c - 100 * d - 208 * e + 128) >> 8
+    b = (298 * c + 516 * d + 128) >> 8
+    return np.clip(np.stack([r, g, b], axis=-1), 0, 255).astype(np.uint8)
+
+
+def subsample_420(yuv: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """YUV 4:4:4 → NV12-style planes: full-res Y, 2×2-averaged U and V."""
+    y = yuv[..., 0]
+    h, w = y.shape
+    u = yuv[..., 1].astype(np.float64)
+    v = yuv[..., 2].astype(np.float64)
+    u = np.pad(u, ((0, h % 2), (0, w % 2)), mode="edge")
+    v = np.pad(v, ((0, h % 2), (0, w % 2)), mode="edge")
+    u4 = np.round(0.25 * (u[0::2, 0::2] + u[0::2, 1::2] + u[1::2, 0::2] + u[1::2, 1::2]))
+    v4 = np.round(0.25 * (v[0::2, 0::2] + v[0::2, 1::2] + v[1::2, 0::2] + v[1::2, 1::2]))
+    return y, u4.astype(np.uint8), v4.astype(np.uint8)
+
+
+def upsample_420(y: np.ndarray, u: np.ndarray, v: np.ndarray) -> np.ndarray:
+    """NV12 planes → YUV 4:4:4 by chroma replication (device behaviour)."""
+    h, w = y.shape
+    uu = np.repeat(np.repeat(u, 2, axis=0), 2, axis=1)[:h, :w]
+    vv = np.repeat(np.repeat(v, 2, axis=0), 2, axis=1)[:h, :w]
+    return np.stack([y, uu, vv], axis=-1)
+
+
+#: pipeline name -> (use NV12 subsampling, use integer inverse)
+COLOR_PIPELINES = {
+    "yuv444-float": (False, False),
+    "yuv444-integer": (False, True),
+    "nv12-float": (True, False),
+    "nv12-integer": (True, True),     # the Ascend-310-style worst case
+}
+
+
+def color_roundtrip(rgb: np.ndarray, pipeline: str = "nv12-integer") -> np.ndarray:
+    """RGB → YUV → RGB through the named device pipeline (the colour noise)."""
+    if pipeline not in COLOR_PIPELINES:
+        raise ValueError(f"unknown colour pipeline {pipeline!r}; "
+                         f"choose from {list(COLOR_PIPELINES)}")
+    nv12, integer = COLOR_PIPELINES[pipeline]
+    yuv = rgb_to_yuv_bt601(rgb)
+    if nv12:
+        yuv = upsample_420(*subsample_420(yuv))
+    return yuv_to_rgb_integer(yuv) if integer else yuv_to_rgb_bt601(yuv)

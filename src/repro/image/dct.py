@@ -1,0 +1,141 @@
+"""8×8 block DCT/iDCT with multiple implementations.
+
+The SysNoise paper traces decoder noise to the fact that JPEG libraries
+(Pillow, OpenCV, FFmpeg, NVIDIA DALI, HUAWEI DVPP) implement the inverse DCT
+differently — some use the exact float transform, some the Chen–Smith–Fralick
+fast factorisation, some scaled-integer fixed-point arithmetic — and the
+resulting RGB tensors differ by a few LSBs (paper §3.1, Appendix A Eq. 1-2).
+
+This module provides four iDCT implementations that disagree in exactly that
+way.  All operate on arrays of shape (..., 8, 8):
+
+``idct_reference``   exact float64 matrix transform (ground truth);
+``idct_chen``        Chen–Smith–Fralick butterfly in float32 (Pillow-like);
+``idct_integer``     13-bit fixed-point scaled-integer ("islow", libjpeg-like);
+``idct_rowcol_f32``  float32 row–column pass with intermediate rounding
+                     (FFmpeg-like SIMD behaviour).
+
+The forward transform and the quantisation tables live here too so the JPEG
+codec is self-contained.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "dct_matrix", "dct2", "idct_reference", "idct_chen", "idct_integer",
+    "idct_rowcol_f32", "IDCT_VARIANTS",
+]
+
+N = 8
+
+
+def dct_matrix(n: int = N, dtype=np.float64) -> np.ndarray:
+    """Orthonormal type-II DCT matrix ``C`` with ``X = C x C^T`` per block."""
+    k = np.arange(n)[:, None]
+    m = np.arange(n)[None, :]
+    c = np.cos((2 * m + 1) * k * np.pi / (2 * n))
+    c *= np.sqrt(2.0 / n)
+    c[0] *= np.sqrt(0.5)
+    return c.astype(dtype)
+
+
+_C64 = dct_matrix(dtype=np.float64)
+_C32 = dct_matrix(dtype=np.float32)
+
+
+def dct2(blocks: np.ndarray) -> np.ndarray:
+    """Forward 2-D DCT on (..., 8, 8) blocks (float64, exact)."""
+    return _C64 @ blocks @ _C64.T
+
+
+def idct_reference(coeffs: np.ndarray) -> np.ndarray:
+    """Exact inverse DCT: float64 matrix transform (paper Eq. 1)."""
+    return _C64.T @ coeffs @ _C64
+
+
+# ---------------------------------------------------------------------------
+# Chen–Smith–Fralick fast iDCT (1977) — float32 butterflies
+# ---------------------------------------------------------------------------
+
+# The Chen–Smith–Fralick family of fast iDCTs exploits the even/odd symmetry
+# cos((2(7-n)+1)kπ/16) = ±cos((2n+1)kπ/16): the 8-point transform splits into
+# a 4-point even-coefficient part E and a 4-point odd part O with
+# x[n] = E[n] + O[n], x[7-n] = E[n] - O[n].  We evaluate both halves in
+# float32 and store the intermediate row pass in a 1/32-step fixed-point
+# format, matching the reduced-precision intermediates of fast decoders.
+_BASIS32 = dct_matrix(dtype=np.float32)
+_EVEN32 = _BASIS32[0::2, :4].T.copy()    # (4 outputs, 4 even coeffs)
+_ODD32 = _BASIS32[1::2, :4].T.copy()     # (4 outputs, 4 odd coeffs)
+
+
+def _idct8_chen_1d(v: np.ndarray) -> np.ndarray:
+    """Even/odd-split fast 8-point inverse DCT along the last axis (float32)."""
+    v = v.astype(np.float32)
+    even = v[..., 0::2] @ _EVEN32.T       # E[n], n = 0..3
+    odd = v[..., 1::2] @ _ODD32.T         # O[n], n = 0..3
+    out = np.empty_like(v)
+    out[..., :4] = even + odd
+    out[..., 4:] = (even - odd)[..., ::-1]
+    return out
+
+
+def idct_chen(coeffs: np.ndarray) -> np.ndarray:
+    """Fast iDCT via even/odd butterflies in float32 with fixed-point rows."""
+    rows = _idct8_chen_1d(coeffs)
+    rows = np.round(rows * 32.0) / np.float32(32.0)   # intermediate storage
+    cols = _idct8_chen_1d(np.swapaxes(rows, -1, -2))
+    return np.swapaxes(cols, -1, -2).astype(np.float64)
+
+
+# ---------------------------------------------------------------------------
+# Scaled-integer iDCT ("islow" style): 13-bit fixed point
+# ---------------------------------------------------------------------------
+
+_FIX_BITS = 13
+_FIX = 1 << _FIX_BITS
+_CI = np.round(dct_matrix() * _FIX).astype(np.int64)   # fixed-point basis
+
+
+def idct_integer(coeffs: np.ndarray) -> np.ndarray:
+    """Fixed-point iDCT: 13-bit integer basis with rounding shifts.
+
+    Mirrors the ``jpeg_idct_islow`` strategy of libjpeg: the cosine basis is
+    quantised to integers, each 1-D pass accumulates in wide integers and
+    shifts back with round-half-away rounding.  The double rounding makes the
+    output differ from the float transforms by up to ±1 for typical blocks.
+    """
+    # Scale inputs to integer domain (coefficients are already dequantised
+    # reals; libjpeg keeps them integer — we round once on entry).
+    x = np.round(coeffs * 4.0).astype(np.int64)        # 2 fractional bits
+    half = _FIX >> 1
+    # Row pass: y = C^T x  (accumulate in int64, shift with rounding)
+    y = np.einsum("ki,...kj->...ij", _CI, x)
+    y = (y + half) >> _FIX_BITS
+    # Column pass
+    z = np.einsum("kj,...ik->...ij", _CI, y)
+    z = (z + half) >> _FIX_BITS
+    return z.astype(np.float64) / 4.0
+
+
+def idct_rowcol_f32(coeffs: np.ndarray) -> np.ndarray:
+    """Float32 row–column iDCT with an intermediate round to 1/8 steps.
+
+    Models SIMD decoders that run the two 1-D passes in single precision and
+    store the intermediate rows in a reduced-precision register format.
+    """
+    c = _C32
+    rows = (c.T @ coeffs.astype(np.float32))
+    rows = np.round(rows * 8.0) / np.float32(8.0)       # intermediate storage
+    out = rows @ c
+    return out.astype(np.float64)
+
+
+#: name -> callable registry used by the JPEG decoder
+IDCT_VARIANTS = {
+    "reference": idct_reference,
+    "chen": idct_chen,
+    "integer": idct_integer,
+    "rowcol_f32": idct_rowcol_f32,
+}

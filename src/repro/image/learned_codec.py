@@ -1,0 +1,81 @@
+"""Learning-based image codec (paper Appendix B, Table 9).
+
+The paper asks whether a *learned* decoder (Sun et al. 2020-style compression
+network) reduces decoder SysNoise, and finds no clear gain.  We substitute a
+small convolutional autoencoder trained on the synthetic dataset: its decode
+path reconstructs the image with a characteristic low-amplitude error, which
+plays the role of the learned codec's reconstruction noise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro.nn as nn
+from repro.nn import Tensor
+
+
+class LearnedCodec(nn.Module):
+    """Tiny convolutional autoencoder acting as a learned image codec.
+
+    ``encode``/``decode`` operate on uint8 RGB images (H, W, 3).  The latent
+    is a 2× spatially-reduced feature map — a stand-in for the compressed
+    representation of a learned compression network.
+    """
+
+    def __init__(self, hidden: int = 16, seed: int = 0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        # 2x spatial reduction: enough of a bottleneck to act as a codec,
+        # shallow enough to reach the ~30 dB reconstruction quality the paper
+        # cites for its learned decoder (anything much lossier would measure
+        # autoencoder error, not decoder SysNoise).
+        self.encoder = nn.Sequential(
+            nn.Conv2d(3, hidden, 3, stride=2, padding=1, rng=rng), nn.ReLU(),
+            nn.Conv2d(hidden, hidden, 3, padding=1, rng=rng), nn.ReLU())
+        self.decoder = nn.Sequential(
+            nn.Upsample(scale_factor=2, mode="bilinear"),
+            nn.Conv2d(hidden, hidden, 3, padding=1, rng=rng), nn.ReLU(),
+            nn.Conv2d(hidden, 3, 3, padding=1, rng=rng))
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.decoder(self.encoder(x))
+
+    # -- training -------------------------------------------------------------
+    def fit(self, images: np.ndarray, epochs: int = 30, lr: float = 2e-3,
+            batch_size: int = 16, seed: int = 0) -> list[float]:
+        """Train to reconstruct uint8 images (N, H, W, 3); returns loss history."""
+        x = images.astype(np.float64).transpose(0, 3, 1, 2) / 255.0
+        rng = np.random.default_rng(seed)
+        opt = nn.Adam(self.parameters(), lr=lr)
+        history = []
+        self.train()
+        for _ in range(epochs):
+            idx = rng.permutation(len(x))
+            losses = []
+            for s in range(0, len(x), batch_size):
+                xb = Tensor(x[idx[s:s + batch_size]])
+                pred = self(xb)
+                loss = ((pred - xb) ** 2).mean()
+                opt.zero_grad()
+                loss.backward()
+                opt.step()
+                losses.append(loss.item())
+            history.append(float(np.mean(losses)))
+        self.eval()
+        return history
+
+    # -- codec API -------------------------------------------------------------
+    def roundtrip(self, image: np.ndarray) -> np.ndarray:
+        """Encode + decode one uint8 (H, W, 3) image (the learned decoder output)."""
+        x = image.astype(np.float64).transpose(2, 0, 1)[None] / 255.0
+        with nn.no_grad():
+            out = self(Tensor(x)).data
+        out = out[0].transpose(1, 2, 0) * 255.0
+        return np.clip(np.round(out), 0, 255).astype(np.uint8)
+
+    def psnr(self, image: np.ndarray) -> float:
+        """Reconstruction PSNR in dB for one uint8 image."""
+        rec = self.roundtrip(image).astype(np.float64)
+        mse = ((rec - image.astype(np.float64)) ** 2).mean()
+        return float(10 * np.log10(255.0 ** 2 / max(mse, 1e-12)))

@@ -1,0 +1,13 @@
+"""Mitigation studies: mix training, augmentation, adversarial training, TENT."""
+
+from .adversarial import adversarial_train, pgd_attack
+from .augment import AUGMENTATIONS, get_augmentation
+from .mix_training import cross_variant_matrix, train_with_mix
+from .tent import evaluate_with_tent, tent_adapt
+
+__all__ = [
+    "train_with_mix", "cross_variant_matrix",
+    "AUGMENTATIONS", "get_augmentation",
+    "pgd_attack", "adversarial_train",
+    "tent_adapt", "evaluate_with_tent",
+]

@@ -1,0 +1,99 @@
+"""Data-augmentation strategies for the Fig.-4 mitigation study.
+
+Batch-level transforms compatible with ``train_classifier``'s ``transform``
+hook.  Each stands in for the method the paper evaluates:
+
+* ``standard``          — random flips + small translations (He et al. 2015);
+* ``apr_sp``            — amplitude-phase recombination: swap the FFT
+                          amplitude spectrum between two images, keep phase
+                          (Chen et al. 2021);
+* ``augmix``            — mix of several simple augmentation chains
+                          (Hendrycks et al. 2020);
+* ``deepaug``           — random convolutional perturbation of the image,
+                          a stand-in for DeepAugment's network-distorted
+                          copies (Hendrycks et al. 2021);
+* ``deepaug_apr_sp`` / ``deepaug_augmix`` — compositions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["AUGMENTATIONS", "get_augmentation"]
+
+
+def _flip_translate(xb: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    out = xb.copy()
+    flips = rng.random(len(out)) < 0.5
+    out[flips] = out[flips, :, :, ::-1]
+    shift = rng.integers(-2, 3, size=2)
+    out = np.roll(out, tuple(shift), axis=(2, 3))
+    return out
+
+
+def _apr_sp(xb: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """Amplitude-phase recombination (single-pair variant, APR-SP)."""
+    out = xb.copy()
+    perm = rng.permutation(len(xb))
+    fa = np.fft.fft2(xb, axes=(2, 3))
+    fb = np.fft.fft2(xb[perm], axes=(2, 3))
+    mixed = np.abs(fb) * np.exp(1j * np.angle(fa))
+    apply = rng.random(len(xb)) < 0.5
+    out[apply] = np.real(np.fft.ifft2(mixed, axes=(2, 3)))[apply]
+    return out
+
+
+def _augmix(xb: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """Mix of k simple chains (brightness / contrast / translate)."""
+    mixed = np.zeros_like(xb)
+    weights = rng.dirichlet([1.0, 1.0, 1.0])
+    chains = [
+        xb + rng.uniform(-0.08, 0.08),                          # brightness
+        xb * rng.uniform(0.85, 1.15),                           # contrast
+        np.roll(xb, tuple(rng.integers(-2, 3, size=2)), (2, 3)),  # translate
+    ]
+    for w, c in zip(weights, chains):
+        mixed += w * c
+    m = rng.uniform(0.3, 0.7)
+    return m * xb + (1 - m) * mixed
+
+
+def _deepaug(xb: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """Random 3×3 conv perturbation per batch (network-distortion analogue)."""
+    kernel = np.zeros((3, 3))
+    kernel[1, 1] = 1.0
+    kernel += rng.normal(0, 0.08, size=(3, 3))
+    kernel /= kernel.sum()
+    padded = np.pad(xb, ((0, 0), (0, 0), (1, 1), (1, 1)), mode="edge")
+    out = np.zeros_like(xb)
+    for dy in range(3):
+        for dx in range(3):
+            out += kernel[dy, dx] * padded[:, :, dy:dy + xb.shape[2],
+                                           dx:dx + xb.shape[3]]
+    return out
+
+
+def _compose(*fns):
+    def composed(xb, rng):
+        for fn in fns:
+            xb = fn(xb, rng)
+        return xb
+    return composed
+
+
+AUGMENTATIONS = {
+    "standard": _flip_translate,
+    "apr_sp": _compose(_flip_translate, _apr_sp),
+    "augmix": _compose(_flip_translate, _augmix),
+    "deepaug": _compose(_flip_translate, _deepaug),
+    "deepaug_apr_sp": _compose(_flip_translate, _deepaug, _apr_sp),
+    "deepaug_augmix": _compose(_flip_translate, _deepaug, _augmix),
+}
+
+
+def get_augmentation(name: str):
+    """Look up a Fig.-4 augmentation strategy by name."""
+    if name not in AUGMENTATIONS:
+        raise ValueError(f"unknown augmentation {name!r}; "
+                         f"choose from {list(AUGMENTATIONS)}")
+    return AUGMENTATIONS[name]

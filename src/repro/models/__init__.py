@@ -1,0 +1,17 @@
+"""Tiny faithful model-zoo families matching the paper's Table 2 rows."""
+
+from .mobile import (MBConvSE, InvertedResidual, efficientnet_lite,
+                     mcunet_lite, mobilenet_v2_lite, regnet_lite)
+from .resnet import BasicBlock, Bottleneck, ResNet, resnet_lite
+from .vit import (MultiHeadAttention, PatchEmbed, SwinTransformer,
+                  TransformerBlock, VisionTransformer, swin_lite, vit_lite)
+from .zoo import MODEL_ZOO, ModelSpec, create_model, family_of, model_names
+
+__all__ = [
+    "ResNet", "BasicBlock", "Bottleneck", "resnet_lite",
+    "InvertedResidual", "MBConvSE", "mobilenet_v2_lite", "regnet_lite",
+    "efficientnet_lite", "mcunet_lite",
+    "VisionTransformer", "SwinTransformer", "PatchEmbed", "MultiHeadAttention",
+    "TransformerBlock", "vit_lite", "swin_lite",
+    "MODEL_ZOO", "ModelSpec", "create_model", "model_names", "family_of",
+]

@@ -1,0 +1,208 @@
+"""Lightweight CNN families: MobileNetV2, RegNetX, EfficientNet, MCUNet.
+
+Each keeps the block structure that defines the family in the paper:
+
+* **MobileNetV2** — inverted residual (expand → depthwise → project) with
+  width multipliers 0.5 / 0.75 / 1.0 / 1.4;
+* **RegNetX**     — uniform stages of grouped 3×3 bottlenecks;
+* **EfficientNet** — MBConv with squeeze-and-excitation, compound width/depth
+  scaling across B0–B4;
+* **MCUNet**      — an extremely small depthwise net (the paper's 320 KB
+  STM32 model, which shows the worst SysNoise robustness).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro.nn as nn
+from repro.nn import Tensor
+from repro.nn import functional as F
+
+__all__ = ["InvertedResidual", "MBConvSE", "mobilenet_v2_lite", "regnet_lite",
+           "efficientnet_lite", "mcunet_lite"]
+
+
+def _make_divisible(v: float, divisor: int = 4) -> int:
+    return max(divisor, int(v + divisor / 2) // divisor * divisor)
+
+
+def _conv_bn(cin, cout, k, stride, rng, groups=1):
+    return nn.Sequential(
+        nn.Conv2d(cin, cout, k, stride=stride, padding=k // 2, groups=groups,
+                  bias=False, rng=rng),
+        nn.BatchNorm2d(cout))
+
+
+class InvertedResidual(nn.Module):
+    """MobileNetV2 block: pointwise expand, depthwise 3×3, pointwise project."""
+
+    def __init__(self, cin: int, cout: int, stride: int, expand: int, rng):
+        super().__init__()
+        mid = cin * expand
+        self.use_res = stride == 1 and cin == cout
+        self.expand = _conv_bn(cin, mid, 1, 1, rng) if expand > 1 else nn.Identity()
+        self.depthwise = _conv_bn(mid, mid, 3, stride, rng, groups=mid)
+        self.project = _conv_bn(mid, cout, 1, 1, rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.expand(x)
+        if not isinstance(self.expand, nn.Identity):
+            out = out.relu()
+        out = self.depthwise(out).relu()
+        out = self.project(out)
+        return out + x if self.use_res else out
+
+
+class SqueezeExcite(nn.Module):
+    """Channel attention: GAP → reduce → expand → sigmoid gate."""
+
+    def __init__(self, channels: int, reduction: int = 4, rng=None):
+        super().__init__()
+        mid = max(channels // reduction, 2)
+        self.fc1 = nn.Linear(channels, mid, rng=rng)
+        self.fc2 = nn.Linear(mid, channels, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        s = F.global_avg_pool2d(x)          # (N, C)
+        s = self.fc2(self.fc1(s).relu()).sigmoid()
+        return x * s.reshape(s.shape[0], s.shape[1], 1, 1)
+
+
+class MBConvSE(nn.Module):
+    """EfficientNet block: inverted residual + squeeze-and-excitation."""
+
+    def __init__(self, cin: int, cout: int, stride: int, expand: int, rng):
+        super().__init__()
+        mid = cin * expand
+        self.use_res = stride == 1 and cin == cout
+        self.expand = _conv_bn(cin, mid, 1, 1, rng) if expand > 1 else nn.Identity()
+        self.depthwise = _conv_bn(mid, mid, 3, stride, rng, groups=mid)
+        self.se = SqueezeExcite(mid, rng=rng)
+        self.project = _conv_bn(mid, cout, 1, 1, rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.expand(x)
+        if not isinstance(self.expand, nn.Identity):
+            out = out.relu()
+        out = self.depthwise(out).relu()
+        out = self.se(out)
+        out = self.project(out)
+        return out + x if self.use_res else out
+
+
+class _MobileStyleNet(nn.Module):
+    """Shared skeleton: stem conv, block stages, GAP head."""
+
+    def __init__(self, block, stage_cfg, stem_width: int, num_classes: int,
+                 seed: int, expand: int = 4):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.stem = _conv_bn(3, stem_width, 3, 2, rng)
+        blocks = []
+        cin = stem_width
+        for width, n_blocks, stride in stage_cfg:
+            for b in range(n_blocks):
+                blocks.append(block(cin, width, stride if b == 0 else 1,
+                                    expand, rng))
+                cin = width
+        self.blocks = nn.Sequential(*blocks)
+        self.head = nn.Linear(cin, num_classes, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.stem(x).relu()
+        out = self.blocks(out)
+        return self.head(F.global_avg_pool2d(out))
+
+
+def mobilenet_v2_lite(width_mult: float = 1.0, num_classes: int = 10,
+                      seed: int = 0) -> _MobileStyleNet:
+    """MobileNetV2 with the paper's width multipliers (0.5/0.75/1.0/1.4)."""
+    base = [(8, 1, 1), (12, 2, 2), (16, 2, 2)]
+    cfg = [(_make_divisible(w * width_mult), n, s) for w, n, s in base]
+    stem = _make_divisible(8 * width_mult)
+    return _MobileStyleNet(InvertedResidual, cfg, stem, num_classes, seed,
+                           expand=3)
+
+
+class _RegNetBlock(nn.Module):
+    """RegNetX bottleneck: 1×1 → grouped 3×3 → 1×1 with shortcut."""
+
+    def __init__(self, cin: int, cout: int, stride: int, groups: int, rng):
+        super().__init__()
+        self.conv1 = _conv_bn(cin, cout, 1, 1, rng)
+        g = max(1, min(groups, cout))
+        while cout % g:
+            g -= 1
+        self.conv2 = _conv_bn(cout, cout, 3, stride, rng, groups=g)
+        self.conv3 = _conv_bn(cout, cout, 1, 1, rng)
+        self.short = (nn.Identity() if stride == 1 and cin == cout
+                      else _conv_bn(cin, cout, 1, stride, rng))
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.conv1(x).relu()
+        out = self.conv2(out).relu()
+        out = self.conv3(out)
+        return (out + self.short(x)).relu()
+
+
+class _RegNet(nn.Module):
+    def __init__(self, stage_cfg, num_classes: int, seed: int, groups: int = 4):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.stem = _conv_bn(3, stage_cfg[0][0], 3, 2, rng)
+        blocks = []
+        cin = stage_cfg[0][0]
+        for width, n_blocks in stage_cfg:
+            for b in range(n_blocks):
+                stride = 2 if b == 0 and width != cin else 1
+                blocks.append(_RegNetBlock(cin, width, stride, groups, rng))
+                cin = width
+        self.blocks = nn.Sequential(*blocks)
+        self.head = nn.Linear(cin, num_classes, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.stem(x).relu()
+        out = self.blocks(out)
+        return self.head(F.global_avg_pool2d(out))
+
+
+_REGNET_CONFIGS = {
+    "regnetx-400m": [(8, 1), (16, 1)],
+    "regnetx-800m": [(8, 1), (16, 2)],
+    "regnetx-1.6g": [(12, 2), (24, 2)],
+    "regnetx-3.2g": [(16, 2), (32, 3)],
+}
+
+
+def regnet_lite(name: str, num_classes: int = 10, seed: int = 0) -> _RegNet:
+    if name not in _REGNET_CONFIGS:
+        raise ValueError(f"unknown regnet variant {name!r}")
+    return _RegNet(_REGNET_CONFIGS[name], num_classes, seed)
+
+
+_EFFNET_CONFIGS = {
+    # compound scaling: (width multiplier, depth multiplier)
+    "efficientnet-b0": (1.0, 1.0),
+    "efficientnet-b1": (1.1, 1.1),
+    "efficientnet-b2": (1.2, 1.2),
+    "efficientnet-b3": (1.4, 1.4),
+    "efficientnet-b4": (1.6, 1.8),
+}
+
+
+def efficientnet_lite(name: str, num_classes: int = 10, seed: int = 0) -> _MobileStyleNet:
+    if name not in _EFFNET_CONFIGS:
+        raise ValueError(f"unknown efficientnet variant {name!r}")
+    wm, dm = _EFFNET_CONFIGS[name]
+    base = [(8, 1, 1), (12, 2, 2), (20, 2, 2)]
+    cfg = [(_make_divisible(w * wm), max(1, round(n * dm)), s)
+           for w, n, s in base]
+    return _MobileStyleNet(MBConvSE, cfg, _make_divisible(8 * wm),
+                           num_classes, seed, expand=3)
+
+
+def mcunet_lite(num_classes: int = 10, seed: int = 0) -> _MobileStyleNet:
+    """The 320 KB-class microcontroller model: minimal width everywhere."""
+    cfg = [(4, 1, 1), (8, 1, 2), (8, 1, 2)]
+    return _MobileStyleNet(InvertedResidual, cfg, 4, num_classes, seed, expand=2)

@@ -1,0 +1,114 @@
+"""Tiny-but-faithful ResNet family.
+
+Keeps the structural elements the SysNoise benchmark exercises:
+
+* a stem with a **stride-2 max-pool** — the only place ceil-mode noise can
+  enter, which is why the paper reports ceil-mode ΔACC only for ResNets;
+* basic (2×3×3) and bottleneck (1-3-1) residual blocks with BN;
+* width multipliers, mirroring the paper's ResNet18×0.25 / ×0.5 variants.
+
+Depth/width are scaled to the 32×32 synthetic task (see DESIGN.md), keeping
+each family's *relative* capacity ordering intact.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro.nn as nn
+from repro.nn import Tensor
+from repro.nn import functional as F
+
+__all__ = ["BasicBlock", "Bottleneck", "ResNet", "resnet_lite"]
+
+
+def _conv_bn(cin: int, cout: int, k: int, stride: int, rng,
+             groups: int = 1) -> nn.Sequential:
+    return nn.Sequential(
+        nn.Conv2d(cin, cout, k, stride=stride, padding=k // 2, groups=groups,
+                  bias=False, rng=rng),
+        nn.BatchNorm2d(cout))
+
+
+class BasicBlock(nn.Module):
+    """Two 3×3 convs with identity/projection shortcut."""
+
+    expansion = 1
+
+    def __init__(self, cin: int, cout: int, stride: int, rng):
+        super().__init__()
+        self.conv1 = _conv_bn(cin, cout, 3, stride, rng)
+        self.conv2 = _conv_bn(cout, cout, 3, 1, rng)
+        self.short = (nn.Identity() if stride == 1 and cin == cout
+                      else _conv_bn(cin, cout, 1, stride, rng))
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.conv2(self.conv1(x).relu())
+        return (out + self.short(x)).relu()
+
+
+class Bottleneck(nn.Module):
+    """1×1 reduce → 3×3 → 1×1 expand, as in ResNet-50."""
+
+    expansion = 2      # paper uses 4; 2 keeps tiny widths non-degenerate
+
+    def __init__(self, cin: int, cout: int, stride: int, rng):
+        super().__init__()
+        mid = max(cout // self.expansion, 4)
+        self.conv1 = _conv_bn(cin, mid, 1, 1, rng)
+        self.conv2 = _conv_bn(mid, mid, 3, stride, rng)
+        self.conv3 = _conv_bn(mid, cout, 1, 1, rng)
+        self.short = (nn.Identity() if stride == 1 and cin == cout
+                      else _conv_bn(cin, cout, 1, stride, rng))
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.conv1(x).relu()
+        out = self.conv2(out).relu()
+        out = self.conv3(out)
+        return (out + self.short(x)).relu()
+
+
+class ResNet(nn.Module):
+    """Configurable ResNet with the ceil-mode-sensitive stem pool."""
+
+    def __init__(self, block, layers: list[int], widths: list[int],
+                 num_classes: int = 10, seed: int = 0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.stem = _conv_bn(3, widths[0], 3, 1, rng)
+        # The stride-2 max-pool: trained with floor mode, deployable with ceil.
+        self.pool = nn.MaxPool2d(3, 2, padding=1, ceil_mode=False)
+        stages = []
+        cin = widths[0]
+        for i, (n_blocks, width) in enumerate(zip(layers, widths)):
+            for b in range(n_blocks):
+                stride = 2 if (b == 0 and i > 0) else 1
+                stages.append(block(cin, width, stride, rng))
+                cin = width
+        self.stages = nn.Sequential(*stages)
+        self.head = nn.Linear(cin, num_classes, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.pool(self.stem(x).relu())
+        out = self.stages(out)
+        out = F.global_avg_pool2d(out)
+        return self.head(out)
+
+
+#: paper model name -> (block, per-stage blocks, per-stage widths)
+_RESNET_CONFIGS = {
+    "resnet18x0.25": (BasicBlock, [1, 1], [4, 8]),
+    "resnet18x0.5": (BasicBlock, [1, 1], [8, 16]),
+    "resnet-18": (BasicBlock, [2, 2], [16, 32]),
+    "resnet-34": (BasicBlock, [3, 3], [16, 32]),
+    "resnet-50": (Bottleneck, [3, 4], [32, 64]),
+    "resnet-101": (Bottleneck, [4, 5], [32, 64]),
+}
+
+
+def resnet_lite(name: str, num_classes: int = 10, seed: int = 0) -> ResNet:
+    """Build a named member of the ResNet family (see ``_RESNET_CONFIGS``)."""
+    if name not in _RESNET_CONFIGS:
+        raise ValueError(f"unknown resnet variant {name!r}")
+    block, layers, widths = _RESNET_CONFIGS[name]
+    return ResNet(block, layers, widths, num_classes=num_classes, seed=seed)

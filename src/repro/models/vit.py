@@ -1,0 +1,244 @@
+"""Vision Transformer and Swin Transformer (tiny, faithful structure).
+
+ViT: patchify → [CLS] token → pre-norm attention/MLP blocks → head.
+Swin: patchify → windowed attention with alternating cyclic shifts → patch
+merging between stages → global pool head.
+
+The paper finds ViTs respond to SysNoise differently from CNNs (more robust
+to decoder noise, more sensitive to colour-mode noise), so both families are
+needed for the Table 2 architecture analysis.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro.nn as nn
+from repro.nn import Tensor, cat
+from repro.nn import functional as F
+
+__all__ = ["PatchEmbed", "MultiHeadAttention", "TransformerBlock",
+           "VisionTransformer", "SwinTransformer", "vit_lite", "swin_lite"]
+
+
+class PatchEmbed(nn.Module):
+    """Non-overlapping patch projection implemented as a strided conv."""
+
+    def __init__(self, patch: int, dim: int, rng, in_channels: int = 3):
+        super().__init__()
+        self.proj = nn.Conv2d(in_channels, dim, patch, stride=patch, rng=rng)
+        self.patch = patch
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.proj(x)                                  # (B, D, H', W')
+        b, d, h, w = out.shape
+        return out.reshape(b, d, h * w).transpose(0, 2, 1)  # (B, N, D)
+
+
+class MultiHeadAttention(nn.Module):
+    """Standard scaled dot-product multi-head self-attention."""
+
+    def __init__(self, dim: int, heads: int, rng):
+        super().__init__()
+        assert dim % heads == 0
+        self.heads, self.dh = heads, dim // heads
+        self.scale = self.dh ** -0.5
+        self.q = nn.Linear(dim, dim, rng=rng)
+        self.k = nn.Linear(dim, dim, rng=rng)
+        self.v = nn.Linear(dim, dim, rng=rng)
+        self.proj = nn.Linear(dim, dim, rng=rng)
+
+    def _split(self, t: Tensor) -> Tensor:
+        b, n, d = t.shape
+        return t.reshape(b, n, self.heads, self.dh).transpose(0, 2, 1, 3)
+
+    def forward(self, x: Tensor) -> Tensor:
+        b, n, d = x.shape
+        q, k, v = self._split(self.q(x)), self._split(self.k(x)), self._split(self.v(x))
+        attn = F.softmax(q @ k.transpose(0, 1, 3, 2) * self.scale, axis=-1)
+        out = (attn @ v).transpose(0, 2, 1, 3).reshape(b, n, d)
+        return self.proj(out)
+
+
+class TransformerBlock(nn.Module):
+    """Pre-norm attention + MLP with residuals."""
+
+    def __init__(self, dim: int, heads: int, mlp_ratio: float, rng):
+        super().__init__()
+        self.norm1 = nn.LayerNorm(dim)
+        self.attn = MultiHeadAttention(dim, heads, rng)
+        self.norm2 = nn.LayerNorm(dim)
+        hidden = int(dim * mlp_ratio)
+        self.fc1 = nn.Linear(dim, hidden, rng=rng)
+        self.fc2 = nn.Linear(hidden, dim, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = x + self.attn(self.norm1(x))
+        return x + self.fc2(self.fc1(self.norm2(x)).gelu())
+
+
+class VisionTransformer(nn.Module):
+    """ViT with learnable CLS token and position embeddings."""
+
+    def __init__(self, img_size: int = 32, patch: int = 8, dim: int = 32,
+                 depth: int = 2, heads: int = 4, num_classes: int = 10,
+                 mlp_ratio: float = 2.0, seed: int = 0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.embed = PatchEmbed(patch, dim, rng)
+        n_patches = (img_size // patch) ** 2
+        self.cls_token = Tensor(rng.normal(0, 0.02, size=(1, 1, dim)),
+                                requires_grad=True)
+        self.pos_embed = Tensor(rng.normal(0, 0.02, size=(1, n_patches + 1, dim)),
+                                requires_grad=True)
+        self.blocks = nn.Sequential(*[TransformerBlock(dim, heads, mlp_ratio, rng)
+                                      for _ in range(depth)])
+        self.norm = nn.LayerNorm(dim)
+        self.head = nn.Linear(dim, num_classes, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        tokens = self.embed(x)                               # (B, N, D)
+        b = tokens.shape[0]
+        cls = self.cls_token + Tensor(np.zeros((b, 1, tokens.shape[2])))
+        tokens = cat([cls, tokens], axis=1) + self.pos_embed
+        tokens = self.blocks(tokens)
+        return self.head(self.norm(tokens)[:, 0])
+
+
+# ---------------------------------------------------------------------------
+# Swin
+# ---------------------------------------------------------------------------
+
+def _roll(x: Tensor, shift: int, axis: int) -> Tensor:
+    """Cyclic shift along an axis via slicing + concat (autograd-friendly)."""
+    if shift == 0:
+        return x
+    n = x.shape[axis]
+    shift = shift % n
+    idx_a = [slice(None)] * x.ndim
+    idx_b = [slice(None)] * x.ndim
+    idx_a[axis] = slice(n - shift, n)
+    idx_b[axis] = slice(0, n - shift)
+    return cat([x[tuple(idx_a)], x[tuple(idx_b)]], axis=axis)
+
+
+class SwinBlock(nn.Module):
+    """Windowed attention block with optional cyclic shift.
+
+    Operates on (B, H, W, D) feature maps; ``shift`` alternates between 0 and
+    window//2 across consecutive blocks, as in the original architecture.
+    """
+
+    def __init__(self, dim: int, heads: int, window: int, shift: int,
+                 mlp_ratio: float, rng):
+        super().__init__()
+        self.window, self.shift = window, shift
+        self.norm1 = nn.LayerNorm(dim)
+        self.attn = MultiHeadAttention(dim, heads, rng)
+        self.norm2 = nn.LayerNorm(dim)
+        hidden = int(dim * mlp_ratio)
+        self.fc1 = nn.Linear(dim, hidden, rng=rng)
+        self.fc2 = nn.Linear(hidden, dim, rng=rng)
+
+    def _window_attention(self, x: Tensor) -> Tensor:
+        b, h, w, d = x.shape
+        ws = self.window
+        nh, nw = h // ws, w // ws
+        # (B, nh, ws, nw, ws, D) -> (B*nh*nw, ws*ws, D)
+        wins = x.reshape(b, nh, ws, nw, ws, d).transpose(0, 1, 3, 2, 4, 5)
+        wins = wins.reshape(b * nh * nw, ws * ws, d)
+        wins = self.attn(wins)
+        wins = wins.reshape(b, nh, nw, ws, ws, d).transpose(0, 1, 3, 2, 4, 5)
+        return wins.reshape(b, h, w, d)
+
+    def forward(self, x: Tensor) -> Tensor:
+        shortcut = x
+        out = self.norm1(x)
+        if self.shift:
+            out = _roll(_roll(out, -self.shift, 1), -self.shift, 2)
+        out = self._window_attention(out)
+        if self.shift:
+            out = _roll(_roll(out, self.shift, 1), self.shift, 2)
+        x = shortcut + out
+        return x + self.fc2(self.fc1(self.norm2(x)).gelu())
+
+
+class PatchMerging(nn.Module):
+    """2× spatial downsample: concat 2×2 neighbourhood, linear-project."""
+
+    def __init__(self, dim: int, rng):
+        super().__init__()
+        self.reduce = nn.Linear(4 * dim, 2 * dim, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        b, h, w, d = x.shape
+        q = x.reshape(b, h // 2, 2, w // 2, 2, d).transpose(0, 1, 3, 2, 4, 5)
+        q = q.reshape(b, h // 2, w // 2, 4 * d)
+        return self.reduce(q)
+
+
+class SwinTransformer(nn.Module):
+    """Two-stage Swin with alternating shifted windows and patch merging."""
+
+    def __init__(self, img_size: int = 32, patch: int = 4, dim: int = 16,
+                 depths: tuple[int, int] = (2, 2), heads: int = 4,
+                 window: int = 4, num_classes: int = 10,
+                 mlp_ratio: float = 2.0, seed: int = 0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.embed = PatchEmbed(patch, dim, rng)
+        self.grid = img_size // patch
+        blocks1 = [SwinBlock(dim, heads, window,
+                             0 if i % 2 == 0 else window // 2, mlp_ratio, rng)
+                   for i in range(depths[0])]
+        self.stage1 = nn.Sequential(*blocks1)
+        self.merge = PatchMerging(dim, rng)
+        dim2 = dim * 2
+        w2 = min(window, self.grid // 2)
+        blocks2 = [SwinBlock(dim2, heads, w2,
+                             0 if i % 2 == 0 else w2 // 2, mlp_ratio, rng)
+                   for i in range(depths[1])]
+        self.stage2 = nn.Sequential(*blocks2)
+        self.norm = nn.LayerNorm(dim2)
+        self.head = nn.Linear(dim2, num_classes, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        tokens = self.embed(x)                               # (B, N, D)
+        b, n, d = tokens.shape
+        g = self.grid
+        fmap = tokens.reshape(b, g, g, d)
+        fmap = self.stage1(fmap)
+        fmap = self.merge(fmap)
+        fmap = self.stage2(fmap)
+        b2, h2, w2, d2 = fmap.shape
+        pooled = fmap.reshape(b2, h2 * w2, d2).mean(axis=1)
+        return self.head(self.norm(pooled))
+
+
+_VIT_CONFIGS = {
+    "vit-tiny": dict(dim=24, depth=2, heads=4),
+    "vit-small": dict(dim=32, depth=3, heads=4),
+    "vit-base": dict(dim=48, depth=4, heads=6),
+}
+
+_SWIN_CONFIGS = {
+    "swin-tiny": dict(dim=12, depths=(1, 1), heads=2),
+    "swin-small": dict(dim=16, depths=(2, 1), heads=4),
+    "swin-base": dict(dim=20, depths=(2, 2), heads=4),
+}
+
+
+def vit_lite(name: str, num_classes: int = 10, seed: int = 0,
+             img_size: int = 32) -> VisionTransformer:
+    if name not in _VIT_CONFIGS:
+        raise ValueError(f"unknown vit variant {name!r}")
+    return VisionTransformer(img_size=img_size, patch=8, num_classes=num_classes,
+                             seed=seed, **_VIT_CONFIGS[name])
+
+
+def swin_lite(name: str, num_classes: int = 10, seed: int = 0,
+              img_size: int = 32) -> SwinTransformer:
+    if name not in _SWIN_CONFIGS:
+        raise ValueError(f"unknown swin variant {name!r}")
+    return SwinTransformer(img_size=img_size, patch=4, num_classes=num_classes,
+                           seed=seed, **_SWIN_CONFIGS[name])

@@ -1,0 +1,97 @@
+"""Model zoo registry: every architecture row of the paper's Table 2.
+
+``create_model(name)`` builds a fresh, seeded model; ``MODEL_ZOO`` lists the
+26 names in the paper's row order, with family metadata used by the benchmark
+(e.g. only ResNets expose a stride-2 max-pool, so only they get a ceil-mode
+column).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .mobile import (efficientnet_lite, mcunet_lite, mobilenet_v2_lite,
+                     regnet_lite)
+from .resnet import resnet_lite
+from .vit import swin_lite, vit_lite
+
+__all__ = ["ModelSpec", "MODEL_ZOO", "create_model", "model_names", "family_of"]
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """Registry entry: paper row name, family tag, builder, capability flags."""
+
+    name: str
+    family: str
+    has_maxpool: bool        # ceil-mode noise applies only if True
+
+
+def _entry(name: str, family: str, has_maxpool: bool = False) -> ModelSpec:
+    return ModelSpec(name, family, has_maxpool)
+
+
+#: Paper Table 2 rows, in order.
+MODEL_ZOO: list[ModelSpec] = [
+    _entry("mcunet-293kb", "mcunet"),
+    _entry("resnet18x0.25", "resnet", True),
+    _entry("resnet18x0.5", "resnet", True),
+    _entry("resnet-18", "resnet", True),
+    _entry("resnet-34", "resnet", True),
+    _entry("resnet-50", "resnet", True),
+    _entry("resnet-101", "resnet", True),
+    _entry("mobilenetv2-0.5", "mobilenet"),
+    _entry("mobilenetv2-0.75", "mobilenet"),
+    _entry("mobilenetv2-1", "mobilenet"),
+    _entry("mobilenetv2-1.4", "mobilenet"),
+    _entry("regnetx-400m", "regnet"),
+    _entry("regnetx-800m", "regnet"),
+    _entry("regnetx-1.6g", "regnet"),
+    _entry("regnetx-3.2g", "regnet"),
+    _entry("efficientnet-b0", "efficientnet"),
+    _entry("efficientnet-b1", "efficientnet"),
+    _entry("efficientnet-b2", "efficientnet"),
+    _entry("efficientnet-b3", "efficientnet"),
+    _entry("efficientnet-b4", "efficientnet"),
+    _entry("vit-tiny", "vit"),
+    _entry("vit-small", "vit"),
+    _entry("vit-base", "vit"),
+    _entry("swin-tiny", "swin"),
+    _entry("swin-small", "swin"),
+    _entry("swin-base", "swin"),
+]
+
+_SPECS = {spec.name: spec for spec in MODEL_ZOO}
+
+_MOBILENET_MULTS = {"mobilenetv2-0.5": 0.5, "mobilenetv2-0.75": 0.75,
+                    "mobilenetv2-1": 1.0, "mobilenetv2-1.4": 1.4}
+
+
+def model_names() -> list[str]:
+    return [s.name for s in MODEL_ZOO]
+
+
+def family_of(name: str) -> str:
+    return _SPECS[name].family
+
+
+def create_model(name: str, num_classes: int = 10, seed: int = 0):
+    """Instantiate a zoo model by its paper row name."""
+    if name not in _SPECS:
+        raise ValueError(f"unknown model {name!r}; see model_names()")
+    family = _SPECS[name].family
+    if family == "resnet":
+        return resnet_lite(name, num_classes, seed)
+    if family == "mobilenet":
+        return mobilenet_v2_lite(_MOBILENET_MULTS[name], num_classes, seed)
+    if family == "regnet":
+        return regnet_lite(name, num_classes, seed)
+    if family == "efficientnet":
+        return efficientnet_lite(name, num_classes, seed)
+    if family == "mcunet":
+        return mcunet_lite(num_classes, seed)
+    if family == "vit":
+        return vit_lite(name, num_classes, seed)
+    if family == "swin":
+        return swin_lite(name, num_classes, seed)
+    raise AssertionError(f"unhandled family {family}")

@@ -1,0 +1,13 @@
+"""NLP substrate: OPT-like decoder LM family + multiple-choice evaluation."""
+
+from .eval import (evaluate_task, evaluate_task_under_precision,
+                   nlp_precision_table)
+from .transformer import (CausalSelfAttention, DecoderBlock, LMTrainConfig,
+                          OPT_CONFIGS, TinyLM, create_lm, sequence_logprob,
+                          train_lm)
+
+__all__ = [
+    "TinyLM", "CausalSelfAttention", "DecoderBlock", "OPT_CONFIGS",
+    "create_lm", "LMTrainConfig", "train_lm", "sequence_logprob",
+    "evaluate_task", "evaluate_task_under_precision", "nlp_precision_table",
+]

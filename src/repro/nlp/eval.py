@@ -1,0 +1,52 @@
+"""NLP task evaluation under data-precision SysNoise (paper Table 5)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import apply_precision
+
+from ..data.text import MultipleChoiceTask
+from .transformer import TinyLM, sequence_logprob
+
+__all__ = ["evaluate_task", "evaluate_task_under_precision", "nlp_precision_table"]
+
+
+def evaluate_task(model: TinyLM, task: MultipleChoiceTask) -> float:
+    """Accuracy (percent): pick the highest-log-likelihood continuation."""
+    correct = 0
+    for prefix, choices, answer in zip(task.prefixes, task.choices, task.answers):
+        scores = [sequence_logprob(model, prefix, c) for c in choices]
+        correct += int(np.argmax(scores) == answer)
+    return 100.0 * correct / len(task)
+
+
+def evaluate_task_under_precision(model: TinyLM, task: MultipleChoiceTask,
+                                  precision: str,
+                                  calib_corpus: np.ndarray | None = None) -> float:
+    """Accuracy after converting the LM to fp32/fp16/int8 inference."""
+    calibrate = None
+    if precision == "int8":
+        if calib_corpus is None:
+            raise ValueError("int8 needs a calibration corpus")
+        calibrate = lambda m: m(calib_corpus[:16, :-1])
+    qmodel = apply_precision(model, precision, calibrate)
+    return evaluate_task(qmodel, task)
+
+
+def nlp_precision_table(models: dict[str, TinyLM],
+                        tasks: dict[str, MultipleChoiceTask],
+                        calib_corpus: np.ndarray) -> dict:
+    """Paper Table 5: FP32 ACC and ΔACC for FP16/INT8, per model × task."""
+    rows = {}
+    for mname, model in models.items():
+        row = {}
+        for tname, task in tasks.items():
+            fp32 = evaluate_task(model, task)
+            fp16 = evaluate_task_under_precision(model, task, "fp16")
+            int8 = evaluate_task_under_precision(model, task, "int8",
+                                                 calib_corpus)
+            row[tname] = {"fp32": fp32, "fp16_delta": fp32 - fp16,
+                          "int8_delta": fp32 - int8}
+        rows[mname] = row
+    return rows

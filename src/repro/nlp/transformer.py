@@ -1,0 +1,150 @@
+"""Decoder-only transformer language model (the OPT stand-in).
+
+Structure matches OPT: token + learned position embeddings, pre-norm causal
+self-attention blocks, GELU MLPs, and a linear LM head.  Scaled to the
+synthetic grammar's 48-token vocabulary; the family in ``OPT_CONFIGS``
+preserves the paper's size ordering so the "precision noise vs model scale"
+analysis of Table 5 has a real axis to vary.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro.nn as nn
+from repro.nn import Tensor
+from repro.nn import functional as F
+
+__all__ = ["CausalSelfAttention", "DecoderBlock", "TinyLM", "OPT_CONFIGS",
+           "create_lm", "LMTrainConfig", "train_lm", "sequence_logprob"]
+
+
+class CausalSelfAttention(nn.Module):
+    """Multi-head attention with a causal (lower-triangular) mask."""
+
+    def __init__(self, dim: int, heads: int, rng):
+        super().__init__()
+        assert dim % heads == 0
+        self.heads, self.dh = heads, dim // heads
+        self.scale = self.dh ** -0.5
+        self.q = nn.Linear(dim, dim, rng=rng)
+        self.k = nn.Linear(dim, dim, rng=rng)
+        self.v = nn.Linear(dim, dim, rng=rng)
+        self.proj = nn.Linear(dim, dim, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        b, n, d = x.shape
+        def split(t):
+            return t.reshape(b, n, self.heads, self.dh).transpose(0, 2, 1, 3)
+        q, k, v = split(self.q(x)), split(self.k(x)), split(self.v(x))
+        scores = q @ k.transpose(0, 1, 3, 2) * self.scale
+        mask = np.triu(np.full((n, n), -1e9), k=1)
+        attn = F.softmax(scores + Tensor(mask), axis=-1)
+        out = (attn @ v).transpose(0, 2, 1, 3).reshape(b, n, d)
+        return self.proj(out)
+
+
+class DecoderBlock(nn.Module):
+    def __init__(self, dim: int, heads: int, mlp_ratio: float, rng):
+        super().__init__()
+        self.norm1 = nn.LayerNorm(dim)
+        self.attn = CausalSelfAttention(dim, heads, rng)
+        self.norm2 = nn.LayerNorm(dim)
+        hidden = int(dim * mlp_ratio)
+        self.fc1 = nn.Linear(dim, hidden, rng=rng)
+        self.fc2 = nn.Linear(hidden, dim, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = x + self.attn(self.norm1(x))
+        return x + self.fc2(self.fc1(self.norm2(x)).gelu())
+
+
+class TinyLM(nn.Module):
+    """Causal LM: ``forward(ids)`` returns logits (B, L, V)."""
+
+    def __init__(self, vocab_size: int = 48, dim: int = 32, depth: int = 2,
+                 heads: int = 4, max_len: int = 64, seed: int = 0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.vocab_size = vocab_size
+        self.tok = nn.Embedding(vocab_size, dim, rng=rng)
+        self.pos = Tensor(rng.normal(0, 0.02, size=(1, max_len, dim)),
+                          requires_grad=True)
+        self.blocks = nn.Sequential(*[DecoderBlock(dim, heads, 2.0, rng)
+                                      for _ in range(depth)])
+        self.norm = nn.LayerNorm(dim)
+        self.head = nn.Linear(dim, vocab_size, rng=rng)
+
+    def forward(self, ids: np.ndarray) -> Tensor:
+        ids = np.asarray(ids)
+        if ids.ndim == 1:
+            ids = ids[None]
+        b, n = ids.shape
+        x = self.tok(ids) + self.pos[:, :n]
+        x = self.blocks(x)
+        return self.head(self.norm(x))
+
+
+#: OPT row name -> TinyLM hyper-parameters (size ordering preserved).
+OPT_CONFIGS = {
+    "opt-125m": dict(dim=16, depth=1, heads=2),
+    "opt-350m": dict(dim=24, depth=2, heads=2),
+    "opt-1.3b": dict(dim=32, depth=2, heads=4),
+    "opt-2.7b": dict(dim=48, depth=3, heads=4),
+}
+
+
+def create_lm(name: str, vocab_size: int = 48, seed: int = 0) -> TinyLM:
+    if name not in OPT_CONFIGS:
+        raise ValueError(f"unknown LM {name!r}; choose from {list(OPT_CONFIGS)}")
+    return TinyLM(vocab_size=vocab_size, seed=seed, **OPT_CONFIGS[name])
+
+
+class LMTrainConfig:
+    """Next-token training hyper-parameters."""
+
+    def __init__(self, epochs: int = 10, batch_size: int = 32, lr: float = 3e-3,
+                 seed: int = 0):
+        self.epochs, self.batch_size, self.lr, self.seed = (
+            epochs, batch_size, lr, seed)
+
+
+def train_lm(model: TinyLM, corpus: np.ndarray,
+             cfg: LMTrainConfig | None = None) -> list[float]:
+    """Teacher-forced next-token cross-entropy; returns epoch losses."""
+    cfg = cfg or LMTrainConfig()
+    rng = np.random.default_rng(cfg.seed)
+    opt = nn.Adam(model.parameters(), lr=cfg.lr)
+    history = []
+    model.train()
+    for _ in range(cfg.epochs):
+        idx = rng.permutation(len(corpus))
+        losses = []
+        for s in range(0, len(corpus), cfg.batch_size):
+            batch = corpus[idx[s:s + cfg.batch_size]]
+            logits = model(batch[:, :-1])
+            b, n, v = logits.shape
+            loss = F.cross_entropy(logits.reshape(b * n, v),
+                                   batch[:, 1:].reshape(-1))
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+            losses.append(loss.item())
+        history.append(float(np.mean(losses)))
+    model.eval()
+    return history
+
+
+def sequence_logprob(model: TinyLM, prefix: np.ndarray,
+                     continuation: np.ndarray) -> float:
+    """Σ log p(continuation | prefix) under the LM."""
+    from repro.nn import no_grad
+    seq = np.concatenate([prefix, continuation])
+    with no_grad():
+        logits = model(seq[None, :-1]).data[0]
+    logp = logits - np.log(np.exp(logits - logits.max(axis=-1, keepdims=True)).sum(
+        axis=-1, keepdims=True)) - logits.max(axis=-1, keepdims=True)
+    start = len(prefix) - 1
+    targets = seq[len(prefix):]
+    rows = np.arange(start, start + len(targets))
+    return float(logp[rows, targets].sum())

@@ -1,0 +1,33 @@
+"""NumPy neural-network substrate: autograd, layers, optimisers, quantisation.
+
+This package is the from-scratch replacement for the PyTorch runtime the
+SysNoise paper trains and deploys with.  Everything the benchmark perturbs
+(pooling ceil mode, upsample interpolation, numeric precision) lives here.
+"""
+
+from . import functional, init
+from .modules import (AvgPool2d, BatchNorm2d, Conv2d, Dropout, Embedding,
+                      Flatten, GELU, Identity, LayerNorm, Linear, MaxPool2d,
+                      Module, ReLU, Sequential, Sigmoid, Upsample)
+from .optim import Adam, CosineSchedule, SGD, StepSchedule
+from .quant import (QuantParams, apply_precision, cast_fp16, compute_qparams,
+                    dequantize, fake_quant, quantize, quantize_model_fp16,
+                    quantize_model_int8)
+from .serialize import (CheckpointError, FORMAT_VERSION, load_checkpoint,
+                        save_checkpoint)
+from .tensor import Tensor, as_tensor, cat, is_grad_enabled, no_grad, stack
+from .train import (TrainConfig, evaluate_classifier, iterate_minibatches,
+                    train_classifier)
+
+__all__ = [
+    "Tensor", "as_tensor", "cat", "stack", "no_grad", "is_grad_enabled",
+    "functional", "init",
+    "Module", "Sequential", "Linear", "Conv2d", "BatchNorm2d", "LayerNorm",
+    "MaxPool2d", "AvgPool2d", "ReLU", "GELU", "Sigmoid", "Identity",
+    "Upsample", "Dropout", "Embedding", "Flatten",
+    "SGD", "Adam", "CosineSchedule", "StepSchedule",
+    "QuantParams", "compute_qparams", "quantize", "dequantize", "fake_quant",
+    "cast_fp16", "quantize_model_fp16", "quantize_model_int8", "apply_precision",
+    "TrainConfig", "train_classifier", "evaluate_classifier", "iterate_minibatches",
+    "save_checkpoint", "load_checkpoint", "CheckpointError", "FORMAT_VERSION",
+]

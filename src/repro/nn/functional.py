@@ -1,0 +1,392 @@
+"""Neural-network functional ops on :class:`~repro.nn.tensor.Tensor`.
+
+Implements the operators the SysNoise paper's pipelines depend on:
+
+* ``conv2d`` via im2col/col2im (supports stride, padding, dilation, groups);
+* ``max_pool2d`` with the **ceil_mode** flag — the paper's model-inference
+  noise ➁ (Eq. 8 of the paper computes the output extent with floor vs ceil);
+* ``upsample`` with **nearest vs bilinear** interpolation — the FPN /
+  segmentation-head noise;
+* batch/layer norm, softmax, cross-entropy, embedding, dropout.
+
+Everything is vectorised; there are no per-pixel Python loops.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from .tensor import Tensor, is_grad_enabled
+
+__all__ = [
+    "conv2d", "max_pool2d", "avg_pool2d", "global_avg_pool2d",
+    "pool_output_size", "upsample2d", "linear", "batch_norm", "layer_norm",
+    "softmax", "log_softmax", "cross_entropy", "embedding", "dropout",
+    "im2col", "col2im",
+]
+
+
+# ---------------------------------------------------------------------------
+# im2col / col2im
+# ---------------------------------------------------------------------------
+
+def _conv_out_size(size: int, k: int, stride: int, pad: int, dilation: int) -> int:
+    eff = dilation * (k - 1) + 1
+    return (size + 2 * pad - eff) // stride + 1
+
+
+def pool_output_size(size: int, k: int, stride: int, pad: int, ceil_mode: bool) -> int:
+    """Pooling output extent — paper Eq. 8 with floor or ceil.
+
+    With ``ceil_mode`` the window may start inside the left padding but must
+    not start entirely inside padding (PyTorch semantics).
+    """
+    if ceil_mode:
+        out = math.ceil((size + 2 * pad - k) / stride) + 1
+        # Last window must start strictly before the padded right edge.
+        if (out - 1) * stride >= size + pad:
+            out -= 1
+        return out
+    return (size + 2 * pad - k) // stride + 1
+
+
+def _patch_indices(h: int, w: int, kh: int, kw: int, stride: int, dilation: int,
+                   oh: int, ow: int) -> tuple[np.ndarray, np.ndarray]:
+    """Return (rows, cols) index grids of shape (kh*kw, oh*ow) into a padded map."""
+    r0 = np.repeat(np.arange(kh) * dilation, kw)
+    c0 = np.tile(np.arange(kw) * dilation, kh)
+    r1 = stride * np.repeat(np.arange(oh), ow)
+    c1 = stride * np.tile(np.arange(ow), oh)
+    rows = r0[:, None] + r1[None, :]
+    cols = c0[:, None] + c1[None, :]
+    return rows, cols
+
+
+def im2col(x: np.ndarray, kh: int, kw: int, stride: int, pad: int,
+           dilation: int = 1, pad_value: float = 0.0,
+           out_hw: tuple[int, int] | None = None) -> tuple[np.ndarray, tuple]:
+    """Unfold ``x`` (N, C, H, W) into columns (N, C*kh*kw, OH*OW)."""
+    n, c, h, w = x.shape
+    if out_hw is None:
+        oh = _conv_out_size(h, kh, stride, pad, dilation)
+        ow = _conv_out_size(w, kw, stride, pad, dilation)
+    else:
+        oh, ow = out_hw
+    # Pad enough on the right/bottom for ceil-mode windows that overrun.
+    need_h = (oh - 1) * stride + dilation * (kh - 1) + 1
+    need_w = (ow - 1) * stride + dilation * (kw - 1) + 1
+    pad_b = max(0, need_h - (h + pad))
+    pad_r = max(0, need_w - (w + pad))
+    xp = np.pad(x, ((0, 0), (0, 0), (pad, pad_b), (pad, pad_r)),
+                constant_values=pad_value)
+    rows, cols = _patch_indices(h, w, kh, kw, stride, dilation, oh, ow)
+    patches = xp[:, :, rows, cols]              # (N, C, kh*kw, OH*OW)
+    cols_out = patches.reshape(n, c * kh * kw, oh * ow)
+    meta = (x.shape, kh, kw, stride, pad, dilation, oh, ow, pad_b, pad_r)
+    return cols_out, meta
+
+
+def col2im(cols: np.ndarray, meta: tuple) -> np.ndarray:
+    """Fold columns back into an image, summing overlaps (im2col adjoint)."""
+    (n, c, h, w), kh, kw, stride, pad, dilation, oh, ow, pad_b, pad_r = meta
+    xp = np.zeros((n, c, h + pad + pad_b, w + pad + pad_r), dtype=cols.dtype)
+    rows, rcols = _patch_indices(h, w, kh, kw, stride, dilation, oh, ow)
+    patches = cols.reshape(n, c, kh * kw, oh * ow)
+    np.add.at(xp, (slice(None), slice(None), rows, rcols), patches)
+    return xp[:, :, pad:pad + h, pad:pad + w]
+
+
+# ---------------------------------------------------------------------------
+# Convolution
+# ---------------------------------------------------------------------------
+
+def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None = None, *,
+           stride: int = 1, padding: int = 0, dilation: int = 1,
+           groups: int = 1) -> Tensor:
+    """2-D convolution (cross-correlation), NCHW layout.
+
+    ``weight`` has shape (C_out, C_in/groups, KH, KW).
+    """
+    n, c, h, w = x.shape
+    co, cig, kh, kw = weight.shape
+    assert c == cig * groups, f"channel mismatch: {c} vs {cig}*{groups}"
+    oh = _conv_out_size(h, kh, stride, padding, dilation)
+    ow = _conv_out_size(w, kw, stride, padding, dilation)
+
+    if groups == 1:
+        cols, meta = im2col(x.data, kh, kw, stride, padding, dilation)
+        wmat = weight.data.reshape(co, -1)
+        out = np.einsum("of,nfp->nop", wmat, cols, optimize=True)
+        out = out.reshape(n, co, oh, ow)
+        saved = (cols, meta, wmat)
+    else:
+        xg = x.data.reshape(n, groups, c // groups, h, w)
+        wg = weight.data.reshape(groups, co // groups, cig, kh, kw)
+        cols_list, metas = [], []
+        outs = np.empty((n, groups, co // groups, oh * ow))
+        for g in range(groups):
+            cols, meta = im2col(xg[:, g], kh, kw, stride, padding, dilation)
+            cols_list.append(cols)
+            metas.append(meta)
+            outs[:, g] = np.einsum("of,nfp->nop", wg[g].reshape(co // groups, -1),
+                                   cols, optimize=True)
+        out = outs.reshape(n, co, oh, ow)
+        saved = (cols_list, metas, wg)
+
+    if bias is not None:
+        out = out + bias.data.reshape(1, co, 1, 1)
+
+    def backward(g):
+        g2 = g.reshape(n, co, oh * ow)
+        gbias = g2.sum(axis=(0, 2)) if bias is not None else None
+        if groups == 1:
+            cols, meta, wmat = saved
+            gw = np.einsum("nop,nfp->of", g2, cols, optimize=True)
+            gw = gw.reshape(weight.shape)
+            gcols = np.einsum("of,nop->nfp", wmat, g2, optimize=True)
+            gx = col2im(gcols, meta)
+        else:
+            cols_list, metas, wg = saved
+            gw = np.empty_like(weight.data.reshape(groups, co // groups, -1))
+            gx = np.empty((n, groups, c // groups, h, w))
+            gg = g2.reshape(n, groups, co // groups, oh * ow)
+            for gi in range(groups):
+                gw[gi] = np.einsum("nop,nfp->of", gg[:, gi], cols_list[gi],
+                                   optimize=True)
+                gcols = np.einsum("of,nop->nfp",
+                                  wg[gi].reshape(co // groups, -1), gg[:, gi],
+                                  optimize=True)
+                gx[:, gi] = col2im(gcols, metas[gi])
+            gw = gw.reshape(weight.shape)
+            gx = gx.reshape(n, c, h, w)
+        return (gx, gw, gbias) if bias is not None else (gx, gw)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+    return x._make(out, parents, backward)
+
+
+# ---------------------------------------------------------------------------
+# Pooling
+# ---------------------------------------------------------------------------
+
+def max_pool2d(x: Tensor, kernel_size: int, stride: int | None = None,
+               padding: int = 0, *, ceil_mode: bool = False) -> Tensor:
+    """Max pooling with the train/deploy **ceil-mode** switch.
+
+    Training systems commonly use ``ceil_mode=False`` (floor); several
+    deployment backends only implement ceil mode.  With ceil mode, extra
+    off-bounds window positions are filled with ``-inf`` padding so they never
+    win the max but do change the output spatial extent — which shifts every
+    downstream feature location, the effect the paper measures.
+    """
+    stride = stride or kernel_size
+    n, c, h, w = x.shape
+    oh = pool_output_size(h, kernel_size, stride, padding, ceil_mode)
+    ow = pool_output_size(w, kernel_size, stride, padding, ceil_mode)
+    cols, meta = im2col(x.data, kernel_size, kernel_size, stride, padding,
+                        pad_value=-np.inf, out_hw=(oh, ow))
+    cols = cols.reshape(n, c, kernel_size * kernel_size, oh * ow)
+    amax = cols.argmax(axis=2)
+    out = np.take_along_axis(cols, amax[:, :, None, :], axis=2)[:, :, 0, :]
+    out = out.reshape(n, c, oh, ow)
+
+    def backward(g):
+        gcols = np.zeros((n, c, kernel_size * kernel_size, oh * ow))
+        np.put_along_axis(gcols, amax[:, :, None, :],
+                          g.reshape(n, c, 1, oh * ow), axis=2)
+        return (col2im(gcols.reshape(n, c * kernel_size ** 2, oh * ow), meta),)
+
+    return x._make(out, (x,), backward)
+
+
+def avg_pool2d(x: Tensor, kernel_size: int, stride: int | None = None,
+               padding: int = 0, *, ceil_mode: bool = False,
+               count_include_pad: bool = False) -> Tensor:
+    """Average pooling (divisor excludes padding by default)."""
+    stride = stride or kernel_size
+    n, c, h, w = x.shape
+    oh = pool_output_size(h, kernel_size, stride, padding, ceil_mode)
+    ow = pool_output_size(w, kernel_size, stride, padding, ceil_mode)
+    cols, meta = im2col(x.data, kernel_size, kernel_size, stride, padding,
+                        pad_value=np.nan, out_hw=(oh, ow))
+    cols = cols.reshape(n, c, kernel_size * kernel_size, oh * ow)
+    valid = ~np.isnan(cols)
+    if count_include_pad:
+        counts = np.full(cols.shape[-1], kernel_size * kernel_size)
+    else:
+        counts = valid[0, 0].sum(axis=0)
+    total = np.where(valid, cols, 0.0).sum(axis=2)
+    out = (total / counts).reshape(n, c, oh, ow)
+
+    def backward(g):
+        g2 = (g.reshape(n, c, 1, oh * ow) / counts) * valid
+        return (col2im(g2.reshape(n, c * kernel_size ** 2, oh * ow), meta),)
+
+    return x._make(out, (x,), backward)
+
+
+def global_avg_pool2d(x: Tensor) -> Tensor:
+    """Spatial global average pool (N, C, H, W) -> (N, C)."""
+    return x.mean(axis=(2, 3))
+
+
+# ---------------------------------------------------------------------------
+# Upsampling / interpolation on feature maps
+# ---------------------------------------------------------------------------
+
+_INTERP_CACHE: dict[tuple, np.ndarray] = {}
+
+
+def interp_matrix(in_size: int, out_size: int, mode: str,
+                  align_corners: bool = False) -> np.ndarray:
+    """Dense 1-D interpolation operator M with ``y = M @ x``.
+
+    Separable application along H then W gives 2-D nearest / bilinear
+    upsampling identical to the usual definitions; the adjoint (``M.T``)
+    gives the exact gradient.
+    """
+    key = (in_size, out_size, mode, align_corners)
+    cached = _INTERP_CACHE.get(key)
+    if cached is not None:
+        return cached
+    m = np.zeros((out_size, in_size))
+    if mode == "nearest":
+        scale = in_size / out_size
+        src = np.floor(np.arange(out_size) * scale).astype(int)
+        src = np.clip(src, 0, in_size - 1)
+        m[np.arange(out_size), src] = 1.0
+    elif mode == "bilinear":
+        if align_corners and out_size > 1:
+            src = np.arange(out_size) * (in_size - 1) / (out_size - 1)
+        else:
+            scale = in_size / out_size
+            src = (np.arange(out_size) + 0.5) * scale - 0.5
+        src = np.clip(src, 0, in_size - 1)
+        lo = np.floor(src).astype(int)
+        hi = np.minimum(lo + 1, in_size - 1)
+        frac = src - lo
+        m[np.arange(out_size), lo] += 1.0 - frac
+        m[np.arange(out_size), hi] += frac
+    else:
+        raise ValueError(f"unknown interpolation mode: {mode}")
+    _INTERP_CACHE[key] = m
+    return m
+
+
+def upsample2d(x: Tensor, size: tuple[int, int] | None = None,
+               scale_factor: float | None = None, mode: str = "nearest",
+               align_corners: bool = False) -> Tensor:
+    """Resize a feature map (N, C, H, W) with nearest or bilinear interpolation.
+
+    This is the operator whose train/deploy mismatch constitutes the paper's
+    *upsample* model-inference noise.
+    """
+    n, c, h, w = x.shape
+    if size is None:
+        assert scale_factor is not None
+        size = (int(h * scale_factor), int(w * scale_factor))
+    oh, ow = size
+    mh = interp_matrix(h, oh, mode, align_corners)
+    mw = interp_matrix(w, ow, mode, align_corners)
+    # y[n,c,i,j] = sum_{p,q} mh[i,p] x[n,c,p,q] mw[j,q]
+    out = np.einsum("ip,ncpq,jq->ncij", mh, x.data, mw, optimize=True)
+
+    def backward(g):
+        gx = np.einsum("ip,ncij,jq->ncpq", mh, g, mw, optimize=True)
+        return (gx,)
+
+    return x._make(out, (x,), backward)
+
+
+# ---------------------------------------------------------------------------
+# Linear / norms / softmax
+# ---------------------------------------------------------------------------
+
+def linear(x: Tensor, weight: Tensor, bias: Tensor | None = None) -> Tensor:
+    """Affine map ``x @ W.T + b``; ``weight`` is (out, in)."""
+    out = x.matmul(weight.T)
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def batch_norm(x: Tensor, gamma: Tensor, beta: Tensor,
+               running_mean: np.ndarray, running_var: np.ndarray, *,
+               training: bool, momentum: float = 0.1,
+               eps: float = 1e-5) -> Tensor:
+    """Batch normalisation over (N, H, W) for NCHW input or N for 2-D input."""
+    axes = (0,) if x.ndim == 2 else (0, 2, 3)
+    view = (1, -1) if x.ndim == 2 else (1, -1, 1, 1)
+    if training:
+        mu = x.mean(axis=axes, keepdims=True)
+        var = x.var(axis=axes, keepdims=True)
+        running_mean *= (1 - momentum)
+        running_mean += momentum * mu.data.reshape(-1)
+        n = x.size / x.shape[1]
+        unbiased = var.data.reshape(-1) * n / max(n - 1, 1)
+        running_var *= (1 - momentum)
+        running_var += momentum * unbiased
+    else:
+        mu = Tensor(running_mean.reshape(view))
+        var = Tensor(running_var.reshape(view))
+    xhat = (x - mu) / (var + eps).sqrt()
+    return xhat * gamma.reshape(*view) + beta.reshape(*view)
+
+
+def layer_norm(x: Tensor, gamma: Tensor, beta: Tensor, eps: float = 1e-5) -> Tensor:
+    """Layer normalisation over the trailing dimension."""
+    mu = x.mean(axis=-1, keepdims=True)
+    var = x.var(axis=-1, keepdims=True)
+    xhat = (x - mu) / (var + eps).sqrt()
+    return xhat * gamma + beta
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax — the paper's classification post-processing."""
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    e = shifted.exp()
+    return e / e.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray,
+                  label_smoothing: float = 0.0) -> Tensor:
+    """Mean cross-entropy over a batch of integer class targets."""
+    n, k = logits.shape[0], logits.shape[-1]
+    logp = log_softmax(logits, axis=-1)
+    targets = np.asarray(targets, dtype=int)
+    onehot = np.zeros((n, k))
+    onehot[np.arange(n), targets] = 1.0
+    if label_smoothing > 0:
+        onehot = onehot * (1 - label_smoothing) + label_smoothing / k
+    return -(logp * Tensor(onehot)).sum() * (1.0 / n)
+
+
+def embedding(table: Tensor, ids: np.ndarray) -> Tensor:
+    """Lookup rows of ``table`` (V, D) at integer ``ids`` (…)."""
+    ids = np.asarray(ids, dtype=int)
+    out = table.data[ids]
+
+    def backward(g):
+        gt = np.zeros_like(table.data)
+        np.add.at(gt, ids.reshape(-1), g.reshape(-1, table.shape[1]))
+        return (gt,)
+
+    return table._make(out, (table,), backward)
+
+
+def dropout(x: Tensor, p: float, training: bool,
+            rng: np.random.Generator | None = None) -> Tensor:
+    """Inverted dropout; identity when not training or p == 0."""
+    if not training or p <= 0.0:
+        return x
+    rng = rng or np.random.default_rng()
+    mask = (rng.random(x.shape) >= p) / (1.0 - p)
+    return x * Tensor(mask)

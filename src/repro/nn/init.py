@@ -1,0 +1,53 @@
+"""Weight initialisation schemes for the NumPy NN substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["kaiming_normal", "kaiming_uniform", "xavier_uniform", "normal", "zeros", "ones"]
+
+
+def _fan_in_out(shape: tuple[int, ...]) -> tuple[int, int]:
+    if len(shape) == 2:          # (out, in) linear
+        return shape[1], shape[0]
+    if len(shape) == 4:          # (co, ci, kh, kw) conv
+        rf = shape[2] * shape[3]
+        return shape[1] * rf, shape[0] * rf
+    n = int(np.prod(shape))
+    return n, n
+
+
+def kaiming_normal(shape: tuple[int, ...], rng: np.random.Generator,
+                   gain: float = np.sqrt(2.0)) -> np.ndarray:
+    """He initialisation for ReLU networks."""
+    fan_in, _ = _fan_in_out(shape)
+    std = gain / np.sqrt(fan_in)
+    return rng.normal(0.0, std, size=shape)
+
+
+def kaiming_uniform(shape: tuple[int, ...], rng: np.random.Generator,
+                    gain: float = np.sqrt(2.0)) -> np.ndarray:
+    fan_in, _ = _fan_in_out(shape)
+    bound = gain * np.sqrt(3.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def xavier_uniform(shape: tuple[int, ...], rng: np.random.Generator,
+                   gain: float = 1.0) -> np.ndarray:
+    """Glorot initialisation, used for attention/linear layers in ViTs."""
+    fan_in, fan_out = _fan_in_out(shape)
+    bound = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def normal(shape: tuple[int, ...], rng: np.random.Generator,
+           std: float = 0.02) -> np.ndarray:
+    return rng.normal(0.0, std, size=shape)
+
+
+def zeros(shape: tuple[int, ...]) -> np.ndarray:
+    return np.zeros(shape)
+
+
+def ones(shape: tuple[int, ...]) -> np.ndarray:
+    return np.ones(shape)

@@ -1,0 +1,297 @@
+"""Layer/module abstractions over the functional ops.
+
+Mirrors the subset of ``torch.nn`` the SysNoise model zoo needs.  Modules own
+parameters (:class:`~repro.nn.tensor.Tensor` with ``requires_grad=True``) and
+buffers (plain arrays, e.g. batch-norm running statistics), discover children
+automatically via attribute assignment, and support train/eval mode switching
+and state-dict save/load.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from . import functional as F
+from . import init
+from .tensor import Tensor
+
+__all__ = [
+    "Module", "Sequential", "Linear", "Conv2d", "BatchNorm2d", "LayerNorm",
+    "MaxPool2d", "AvgPool2d", "ReLU", "GELU", "Sigmoid", "Identity",
+    "Upsample", "Dropout", "Embedding", "Flatten",
+]
+
+
+class Module:
+    """Base class: parameter registry, mode switching, state dicts."""
+
+    def __init__(self):
+        self._params: dict[str, Tensor] = {}
+        self._buffers: dict[str, np.ndarray] = {}
+        self._modules: dict[str, "Module"] = {}
+        self.training = True
+
+    # -- registration via attribute protocol ---------------------------------
+    def __setattr__(self, name, value):
+        if isinstance(value, Tensor) and value.requires_grad:
+            self.__dict__.setdefault("_params", {})[name] = value
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_modules", {})[name] = value
+        object.__setattr__(self, name, value)
+
+    def register_buffer(self, name: str, value: np.ndarray) -> None:
+        self._buffers[name] = value
+        object.__setattr__(self, name, value)
+
+    # -- traversal -------------------------------------------------------------
+    def parameters(self) -> Iterator[Tensor]:
+        yield from self._params.values()
+        for m in self._modules.values():
+            yield from m.parameters()
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Tensor]]:
+        for k, v in self._params.items():
+            yield prefix + k, v
+        for name, m in self._modules.items():
+            yield from m.named_parameters(prefix + name + ".")
+
+    def named_buffers(self, prefix: str = "") -> Iterator[tuple[str, np.ndarray]]:
+        for k, v in self._buffers.items():
+            yield prefix + k, v
+        for name, m in self._modules.items():
+            yield from m.named_buffers(prefix + name + ".")
+
+    def modules(self) -> Iterator["Module"]:
+        yield self
+        for m in self._modules.values():
+            yield from m.modules()
+
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    # -- mode ---------------------------------------------------------------------
+    def train(self, mode: bool = True) -> "Module":
+        self.training = mode
+        for m in self._modules.values():
+            m.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    # -- state dict ------------------------------------------------------------------
+    def state_dict(self) -> dict[str, np.ndarray]:
+        state = {k: v.data.copy() for k, v in self.named_parameters()}
+        state.update({k: v.copy() for k, v in self.named_buffers()})
+        return state
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        for k, v in self.named_parameters():
+            v.data[...] = state[k]
+        for k, v in self.named_buffers():
+            v[...] = state[k]
+
+    # -- call protocol ----------------------------------------------------------------
+    def forward(self, *args, **kwargs):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+
+class Sequential(Module):
+    """Chain of modules applied in order."""
+
+    def __init__(self, *layers: Module):
+        super().__init__()
+        self.layers = list(layers)
+        for i, layer in enumerate(layers):
+            self._modules[str(i)] = layer
+
+    def __iter__(self):
+        return iter(self.layers)
+
+    def __getitem__(self, i: int) -> Module:
+        return self.layers[i]
+
+    def forward(self, x):
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+
+class Linear(Module):
+    """Affine layer ``y = x W^T + b``."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.in_features, self.out_features = in_features, out_features
+        self.weight = Tensor(init.kaiming_uniform((out_features, in_features), rng,
+                                                  gain=1.0), requires_grad=True)
+        self.bias = (Tensor(np.zeros(out_features), requires_grad=True)
+                     if bias else None)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.linear(x, self.weight, self.bias)
+
+
+class Conv2d(Module):
+    """2-D convolution layer (supports groups/dilation for the model zoo)."""
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int,
+                 stride: int = 1, padding: int = 0, dilation: int = 1,
+                 groups: int = 1, bias: bool = True,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.stride, self.padding = stride, padding
+        self.dilation, self.groups = dilation, groups
+        shape = (out_channels, in_channels // groups, kernel_size, kernel_size)
+        self.weight = Tensor(init.kaiming_normal(shape, rng), requires_grad=True)
+        self.bias = (Tensor(np.zeros(out_channels), requires_grad=True)
+                     if bias else None)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.conv2d(x, self.weight, self.bias, stride=self.stride,
+                        padding=self.padding, dilation=self.dilation,
+                        groups=self.groups)
+
+
+class BatchNorm2d(Module):
+    """Batch normalisation with running statistics for inference."""
+
+    def __init__(self, num_features: int, eps: float = 1e-5, momentum: float = 0.1):
+        super().__init__()
+        self.eps, self.momentum = eps, momentum
+        self.weight = Tensor(np.ones(num_features), requires_grad=True)
+        self.bias = Tensor(np.zeros(num_features), requires_grad=True)
+        self.register_buffer("running_mean", np.zeros(num_features))
+        self.register_buffer("running_var", np.ones(num_features))
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.batch_norm(x, self.weight, self.bias, self.running_mean,
+                            self.running_var, training=self.training,
+                            momentum=self.momentum, eps=self.eps)
+
+
+class LayerNorm(Module):
+    """Layer normalisation over the trailing feature dimension."""
+
+    def __init__(self, dim: int, eps: float = 1e-5):
+        super().__init__()
+        self.eps = eps
+        self.weight = Tensor(np.ones(dim), requires_grad=True)
+        self.bias = Tensor(np.zeros(dim), requires_grad=True)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.layer_norm(x, self.weight, self.bias, self.eps)
+
+
+class MaxPool2d(Module):
+    """Max pooling whose ``ceil_mode`` can be flipped post-training.
+
+    The SysNoise benchmark trains with ``ceil_mode=False`` and flips this flag
+    at deployment to inject the ceil-mode inference noise.
+    """
+
+    def __init__(self, kernel_size: int, stride: int | None = None,
+                 padding: int = 0, ceil_mode: bool = False):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride or kernel_size
+        self.padding = padding
+        self.ceil_mode = ceil_mode
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.max_pool2d(x, self.kernel_size, self.stride, self.padding,
+                            ceil_mode=self.ceil_mode)
+
+
+class AvgPool2d(Module):
+    def __init__(self, kernel_size: int, stride: int | None = None,
+                 padding: int = 0, ceil_mode: bool = False):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride or kernel_size
+        self.padding = padding
+        self.ceil_mode = ceil_mode
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.avg_pool2d(x, self.kernel_size, self.stride, self.padding,
+                            ceil_mode=self.ceil_mode)
+
+
+class Upsample(Module):
+    """Feature-map resize whose ``mode`` can be flipped post-training.
+
+    The SysNoise benchmark trains FPN/segmentation heads with ``nearest`` and
+    deploys with ``bilinear`` to inject the upsample inference noise.
+    """
+
+    def __init__(self, scale_factor: float | None = None,
+                 size: tuple[int, int] | None = None, mode: str = "nearest",
+                 align_corners: bool = False):
+        super().__init__()
+        self.scale_factor, self.size = scale_factor, size
+        self.mode, self.align_corners = mode, align_corners
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.upsample2d(x, size=self.size, scale_factor=self.scale_factor,
+                            mode=self.mode, align_corners=self.align_corners)
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class GELU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.gelu()
+
+
+class Sigmoid(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.sigmoid()
+
+
+class Identity(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x
+
+
+class Flatten(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.reshape(x.shape[0], -1)
+
+
+class Dropout(Module):
+    def __init__(self, p: float = 0.1, seed: int = 0):
+        super().__init__()
+        self.p = p
+        self.rng = np.random.default_rng(seed)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout(x, self.p, self.training, self.rng)
+
+
+class Embedding(Module):
+    """Token embedding table."""
+
+    def __init__(self, num_embeddings: int, dim: int,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.weight = Tensor(init.normal((num_embeddings, dim), rng),
+                             requires_grad=True)
+
+    def forward(self, ids: np.ndarray) -> Tensor:
+        return F.embedding(self.weight, ids)

@@ -1,0 +1,117 @@
+"""Optimisers and LR schedules for training the tiny model zoo."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["SGD", "Adam", "CosineSchedule", "StepSchedule"]
+
+
+class Optimizer:
+    def __init__(self, params: Iterable[Tensor], lr: float):
+        self.params = [p for p in params if p.requires_grad]
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+    def step(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """SGD with momentum and decoupled weight decay."""
+
+    def __init__(self, params, lr: float = 0.1, momentum: float = 0.9,
+                 weight_decay: float = 0.0, nesterov: bool = False):
+        super().__init__(params, lr)
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self.nesterov = nesterov
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        for p, v in zip(self.params, self._velocity):
+            if p.grad is None:
+                continue
+            g = p.grad
+            if self.weight_decay:
+                g = g + self.weight_decay * p.data
+            v *= self.momentum
+            v += g
+            update = (g + self.momentum * v) if self.nesterov else v
+            p.data -= self.lr * update
+
+
+class Adam(Optimizer):
+    """Adam / AdamW (set ``weight_decay`` for decoupled decay)."""
+
+    def __init__(self, params, lr: float = 1e-3, betas=(0.9, 0.999),
+                 eps: float = 1e-8, weight_decay: float = 0.0):
+        super().__init__(params, lr)
+        self.b1, self.b2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        bc1 = 1 - self.b1 ** self._t
+        bc2 = 1 - self.b2 ** self._t
+        for p, m, v in zip(self.params, self._m, self._v):
+            if p.grad is None:
+                continue
+            g = p.grad
+            m *= self.b1
+            m += (1 - self.b1) * g
+            v *= self.b2
+            v += (1 - self.b2) * g * g
+            if self.weight_decay:
+                p.data -= self.lr * self.weight_decay * p.data
+            p.data -= self.lr * (m / bc1) / (np.sqrt(v / bc2) + self.eps)
+
+
+class CosineSchedule:
+    """Cosine LR decay with linear warmup."""
+
+    def __init__(self, optimizer: Optimizer, total_steps: int,
+                 warmup_steps: int = 0, min_lr: float = 0.0):
+        self.opt = optimizer
+        self.base_lr = optimizer.lr
+        self.total = total_steps
+        self.warmup = warmup_steps
+        self.min_lr = min_lr
+        self._step = 0
+
+    def step(self) -> None:
+        self._step += 1
+        if self._step <= self.warmup and self.warmup > 0:
+            lr = self.base_lr * self._step / self.warmup
+        else:
+            t = (self._step - self.warmup) / max(1, self.total - self.warmup)
+            t = min(t, 1.0)
+            lr = self.min_lr + 0.5 * (self.base_lr - self.min_lr) * (1 + math.cos(math.pi * t))
+        self.opt.lr = lr
+
+
+class StepSchedule:
+    """Multiply LR by ``gamma`` at each milestone step."""
+
+    def __init__(self, optimizer: Optimizer, milestones: list[int], gamma: float = 0.1):
+        self.opt = optimizer
+        self.milestones = set(milestones)
+        self.gamma = gamma
+        self._step = 0
+
+    def step(self) -> None:
+        self._step += 1
+        if self._step in self.milestones:
+            self.opt.lr *= self.gamma

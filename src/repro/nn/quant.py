@@ -1,0 +1,212 @@
+"""Data-precision SysNoise: FP16 casting and INT8 post-training quantisation.
+
+Implements paper Appendix A Eqs. 9–10:
+
+.. math::
+    \\bar X = \\mathrm{clip}(\\lfloor X / s \\rceil + z,\\ N_{min},\\ N_{max}),
+    \\qquad \\hat X = s (\\bar X - z)
+
+The paper deliberately evaluates *training-free* (post-training) quantisation
+— no quantisation-aware fine-tuning — so the benchmark measures how much a
+model resists low precision on its own.  We do the same: MinMax calibration,
+symmetric per-channel weights, asymmetric per-tensor activations, and no
+retraining.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+
+import numpy as np
+
+from .modules import Conv2d, Linear, Module
+from .tensor import Tensor
+
+__all__ = [
+    "QuantParams", "compute_qparams", "quantize", "dequantize", "fake_quant",
+    "cast_fp16", "quantize_model_fp16", "quantize_model_int8", "apply_precision",
+]
+
+INT8_MIN, INT8_MAX = -128, 127
+
+
+@dataclass(frozen=True)
+class QuantParams:
+    """Affine quantiser parameters (scale ``s`` and zero point ``z``)."""
+
+    scale: np.ndarray | float
+    zero_point: np.ndarray | int
+    qmin: int = INT8_MIN
+    qmax: int = INT8_MAX
+
+
+def compute_qparams(xmin: np.ndarray | float, xmax: np.ndarray | float, *,
+                    symmetric: bool = False, qmin: int = INT8_MIN,
+                    qmax: int = INT8_MAX) -> QuantParams:
+    """MinMax calibration: derive (scale, zero-point) from an observed range."""
+    xmin = np.minimum(xmin, 0.0)   # range must include 0 for exact zero coding
+    xmax = np.maximum(xmax, 0.0)
+    if symmetric:
+        amax = np.maximum(np.abs(xmin), np.abs(xmax))
+        scale = np.maximum(amax / qmax, 1e-12)
+        zero = np.zeros_like(np.asarray(scale), dtype=int) if np.ndim(scale) else 0
+    else:
+        scale = np.maximum((xmax - xmin) / (qmax - qmin), 1e-12)
+        zero = np.round(qmin - xmin / scale).astype(int)
+        zero = np.clip(zero, qmin, qmax)
+    return QuantParams(scale=scale, zero_point=zero, qmin=qmin, qmax=qmax)
+
+
+def quantize(x: np.ndarray, qp: QuantParams) -> np.ndarray:
+    """Eq. 9: real values -> integers."""
+    q = np.round(x / qp.scale) + qp.zero_point
+    return np.clip(q, qp.qmin, qp.qmax).astype(np.int32)
+
+
+def dequantize(q: np.ndarray, qp: QuantParams) -> np.ndarray:
+    """Eq. 10: integers -> reals."""
+    return qp.scale * (q.astype(np.float64) - qp.zero_point)
+
+
+def fake_quant(x: np.ndarray, qp: QuantParams) -> np.ndarray:
+    """Quantise-dequantise round trip: the numeric error INT8 inference sees."""
+    return dequantize(quantize(x, qp), qp)
+
+
+def cast_fp16(x: np.ndarray) -> np.ndarray:
+    """Round-trip through IEEE-754 binary16 (1 sign, 5 exponent, 10 fraction)."""
+    return x.astype(np.float16).astype(np.float64)
+
+
+# ---------------------------------------------------------------------------
+# Whole-model precision conversion
+# ---------------------------------------------------------------------------
+
+def quantize_model_fp16(model: Module) -> Module:
+    """Return a copy of ``model`` whose weights and activations pass through FP16.
+
+    Weights/buffers are round-tripped once; every Conv2d/Linear additionally
+    casts its input activation, mimicking a half-precision inference engine.
+    """
+    qmodel = copy.deepcopy(model)
+    for p in qmodel.parameters():
+        p.data[...] = cast_fp16(p.data)
+    for _, buf in qmodel.named_buffers():
+        buf[...] = cast_fp16(buf)
+    for mod in qmodel.modules():
+        if isinstance(mod, (Conv2d, Linear)):
+            _wrap_forward_fp16(mod)
+    return qmodel
+
+
+def _wrap_forward_fp16(mod: Module) -> None:
+    original = mod.forward
+
+    def fp16_forward(x: Tensor) -> Tensor:
+        out = original(Tensor(cast_fp16(x.data)))
+        return Tensor(cast_fp16(out.data))
+
+    object.__setattr__(mod, "forward", fp16_forward)
+
+
+class _RangeObserver:
+    """Records the running min/max of activations during calibration."""
+
+    def __init__(self):
+        self.xmin = np.inf
+        self.xmax = -np.inf
+
+    def update(self, x: np.ndarray) -> None:
+        self.xmin = min(self.xmin, float(x.min()))
+        self.xmax = max(self.xmax, float(x.max()))
+
+    def qparams(self) -> QuantParams:
+        if not np.isfinite(self.xmin):
+            return compute_qparams(-1.0, 1.0)
+        return compute_qparams(self.xmin, self.xmax)
+
+
+def quantize_model_int8(model: Module, calibrate, *,
+                        weight_granularity: str = "per_channel") -> Module:
+    """Post-training INT8 quantisation with MinMax calibration.
+
+    Parameters
+    ----------
+    model:
+        The FP32 model to quantise (left untouched; a deep copy is returned).
+    calibrate:
+        Callable ``calibrate(model) -> None`` that runs representative inputs
+        through the model (typically a few batches of the training set).
+    weight_granularity:
+        ``"per_channel"`` (one scale per output channel, the standard
+        deployment-backend configuration the paper benchmarks against) or
+        ``"per_tensor"`` (one scale for the whole weight — what simpler
+        accelerators ship; the quant-granularity ablation compares the two).
+
+    Weights use symmetric quantisation; activations use asymmetric per-tensor
+    quantisation.
+    """
+    if weight_granularity not in ("per_channel", "per_tensor"):
+        raise ValueError(f"unknown weight granularity {weight_granularity!r}")
+    qmodel = copy.deepcopy(model)
+    targets = [m for m in qmodel.modules() if isinstance(m, (Conv2d, Linear))]
+
+    # Phase 1: observe activation ranges.
+    observers: dict[int, _RangeObserver] = {}
+    originals: dict[int, object] = {}
+    for mod in targets:
+        obs = _RangeObserver()
+        observers[id(mod)] = obs
+        originals[id(mod)] = mod.forward
+        _wrap_forward_observer(mod, originals[id(mod)], obs)
+    calibrate(qmodel)
+
+    # Phase 2: bake weight quantisation + activation fake-quant.
+    for mod in targets:
+        qp_act = observers[id(mod)].qparams()
+        w = mod.weight.data
+        if weight_granularity == "per_channel":
+            axes = tuple(range(1, w.ndim))
+            qp_w = compute_qparams(w.min(axis=axes), w.max(axis=axes),
+                                   symmetric=True)
+            shape = (-1,) + (1,) * (w.ndim - 1)
+            scale = np.asarray(qp_w.scale).reshape(shape)
+        else:
+            qp_w = compute_qparams(w.min(), w.max(), symmetric=True)
+            scale = qp_w.scale
+        mod.weight.data[...] = fake_quant(w, QuantParams(scale, 0))
+        _wrap_forward_int8(mod, originals[id(mod)], qp_act)
+    return qmodel
+
+
+def _wrap_forward_observer(mod: Module, original, obs: _RangeObserver) -> None:
+    def observing_forward(x: Tensor) -> Tensor:
+        obs.update(x.data)
+        return original(x)
+
+    object.__setattr__(mod, "forward", observing_forward)
+
+
+def _wrap_forward_int8(mod: Module, original, qp_act: QuantParams) -> None:
+    def int8_forward(x: Tensor) -> Tensor:
+        return original(Tensor(fake_quant(x.data, qp_act)))
+
+    object.__setattr__(mod, "forward", int8_forward)
+
+
+def apply_precision(model: Module, precision: str, calibrate=None) -> Module:
+    """Convert ``model`` to the requested inference precision.
+
+    ``precision`` is one of ``"fp32"`` (identity), ``"fp16"``, or ``"int8"``
+    (requires ``calibrate``).
+    """
+    if precision == "fp32":
+        return model
+    if precision == "fp16":
+        return quantize_model_fp16(model)
+    if precision == "int8":
+        if calibrate is None:
+            raise ValueError("INT8 quantisation requires a calibration callable")
+        return quantize_model_int8(model, calibrate)
+    raise ValueError(f"unknown precision: {precision!r}")

@@ -1,0 +1,67 @@
+"""Checkpoint serialisation: save/load ``Module`` state dicts as ``.npz``.
+
+The benchmark's train-once / deploy-many protocol needs durable trained
+weights (the harness caches every trained model).  ``.npz`` keeps the format
+dependency-free and inspectable: one compressed array per parameter/buffer,
+keyed by its dotted module path, plus a format-version marker.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from .modules import Module
+
+__all__ = ["save_checkpoint", "load_checkpoint", "CheckpointError",
+           "FORMAT_VERSION"]
+
+FORMAT_VERSION = 1
+_VERSION_KEY = "__repro_checkpoint_version__"
+
+
+class CheckpointError(RuntimeError):
+    """Raised when a checkpoint does not match the target model."""
+
+
+def save_checkpoint(model: Module, path: str | Path) -> Path:
+    """Write the model's parameters and buffers to ``path`` (.npz).
+
+    Returns the path actually written (numpy appends ``.npz`` if missing).
+    """
+    path = Path(path)
+    state = model.state_dict()
+    np.savez_compressed(path, **state,
+                        **{_VERSION_KEY: np.asarray(FORMAT_VERSION)})
+    return path if path.suffix == ".npz" else path.with_name(path.name + ".npz")
+
+
+def load_checkpoint(model: Module, path: str | Path) -> Module:
+    """Load a checkpoint into ``model`` in place (and return it).
+
+    Strict by design: missing keys, unexpected keys, or shape mismatches all
+    raise :class:`CheckpointError` — silently partial loads are how deployed
+    models end up subtly different from trained ones.
+    """
+    with np.load(Path(path)) as data:
+        version = int(data[_VERSION_KEY]) if _VERSION_KEY in data else None
+        if version != FORMAT_VERSION:
+            raise CheckpointError(
+                f"{path}: checkpoint format version {version!r}, "
+                f"expected {FORMAT_VERSION}")
+        stored = {k: data[k] for k in data.files if k != _VERSION_KEY}
+    expected = model.state_dict()
+    missing = sorted(set(expected) - set(stored))
+    unexpected = sorted(set(stored) - set(expected))
+    if missing or unexpected:
+        raise CheckpointError(
+            f"{path}: state mismatch (missing={missing[:5]}, "
+            f"unexpected={unexpected[:5]})")
+    for key, value in expected.items():
+        if stored[key].shape != value.shape:
+            raise CheckpointError(
+                f"{path}: shape mismatch at {key}: checkpoint "
+                f"{stored[key].shape}, model {value.shape}")
+    model.load_state_dict(stored)
+    return model

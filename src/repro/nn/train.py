@@ -1,0 +1,96 @@
+"""Generic training / evaluation loops used by the benchmark fixtures."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+import numpy as np
+
+from . import functional as F
+from .modules import Module
+from .optim import Adam, CosineSchedule, SGD
+from .tensor import Tensor, no_grad
+
+__all__ = ["TrainConfig", "train_classifier", "evaluate_classifier", "iterate_minibatches"]
+
+
+@dataclass
+class TrainConfig:
+    """Hyper-parameters for the small-scale training runs in this repo."""
+
+    epochs: int = 10
+    batch_size: int = 32
+    lr: float = 0.05
+    weight_decay: float = 1e-4
+    momentum: float = 0.9
+    optimizer: str = "sgd"          # "sgd" | "adam"
+    warmup_steps: int = 0
+    label_smoothing: float = 0.0
+    seed: int = 0
+    log_every: int = 0              # 0 disables logging
+    history: list = field(default_factory=list)
+
+
+def iterate_minibatches(x: np.ndarray, y: np.ndarray, batch_size: int,
+                        rng: np.random.Generator, shuffle: bool = True):
+    """Yield (x_batch, y_batch) minibatches, shuffling each pass."""
+    idx = np.arange(len(x))
+    if shuffle:
+        rng.shuffle(idx)
+    for start in range(0, len(x), batch_size):
+        sel = idx[start:start + batch_size]
+        yield x[sel], y[sel]
+
+
+def train_classifier(model: Module, x: np.ndarray, y: np.ndarray,
+                     cfg: TrainConfig | None = None,
+                     transform: Callable[[np.ndarray, np.random.Generator], np.ndarray] | None = None) -> Module:
+    """Train a classifier on arrays ``x`` (N,C,H,W) / ``y`` (N,) in place.
+
+    ``transform`` is an optional per-batch input hook; the mitigation module
+    uses it to implement mix training (random decoder/resize per batch) and
+    data augmentation.
+    """
+    cfg = cfg or TrainConfig()
+    rng = np.random.default_rng(cfg.seed)
+    if cfg.optimizer == "adam":
+        opt = Adam(model.parameters(), lr=cfg.lr, weight_decay=cfg.weight_decay)
+    else:
+        opt = SGD(model.parameters(), lr=cfg.lr, momentum=cfg.momentum,
+                  weight_decay=cfg.weight_decay)
+    steps_per_epoch = max(1, int(np.ceil(len(x) / cfg.batch_size)))
+    sched = CosineSchedule(opt, cfg.epochs * steps_per_epoch, cfg.warmup_steps)
+    model.train()
+    for epoch in range(cfg.epochs):
+        losses = []
+        for xb, yb in iterate_minibatches(x, y, cfg.batch_size, rng):
+            if transform is not None:
+                xb = transform(xb, rng)
+            logits = model(Tensor(xb))
+            loss = F.cross_entropy(logits, yb, cfg.label_smoothing)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+            sched.step()
+            losses.append(loss.item())
+        cfg.history.append(float(np.mean(losses)))
+        if cfg.log_every and (epoch + 1) % cfg.log_every == 0:  # pragma: no cover
+            print(f"epoch {epoch + 1}/{cfg.epochs} loss {np.mean(losses):.4f}")
+    model.eval()
+    return model
+
+
+def evaluate_classifier(model: Module, x: np.ndarray, y: np.ndarray,
+                        batch_size: int = 64) -> float:
+    """Top-1 accuracy (in percent, as the paper reports it)."""
+    model.eval()
+    correct = 0
+    with no_grad():
+        for start in range(0, len(x), batch_size):
+            xb = x[start:start + batch_size]
+            yb = y[start:start + batch_size]
+            logits = model(Tensor(xb))
+            pred = logits.data.argmax(axis=-1)
+            correct += int((pred == yb).sum())
+    return 100.0 * correct / len(x)

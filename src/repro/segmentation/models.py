@@ -1,0 +1,111 @@
+"""Segmentation models: U-Net-lite and DeepLabV3-lite.
+
+Both have upsample-dominated decoders, so the nearest→bilinear deployment
+flip (the paper's largest segmentation noise) has a real surface:
+
+* **U-Net** — encoder/decoder with skip connections; downsampling uses
+  strided convs (the paper reports no ceil-mode entry for U-Net);
+* **DeepLabV3** — ResNet-style backbone *with a stem max-pool* (ceil-mode
+  noise applies) + atrous (dilated) convolutions + an ASPP-lite head, final
+  logits upsampled to input resolution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro.nn as nn
+from repro.nn import Tensor, cat
+from repro.nn import functional as F
+
+__all__ = ["UNetLite", "DeepLabLite", "create_segmenter"]
+
+
+def _conv_bn_relu(cin, cout, rng, k=3, stride=1, dilation=1):
+    pad = dilation * (k // 2)
+    return nn.Sequential(
+        nn.Conv2d(cin, cout, k, stride=stride, padding=pad, dilation=dilation,
+                  bias=False, rng=rng),
+        nn.BatchNorm2d(cout), nn.ReLU())
+
+
+class UNetLite(nn.Module):
+    """Two-scale U-Net whose decoder upsample mode is deployment-flippable."""
+
+    def __init__(self, num_classes: int = 4, width: int = 8, seed: int = 0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        w = width
+        self.enc1 = _conv_bn_relu(3, w, rng)
+        self.down1 = _conv_bn_relu(w, 2 * w, rng, stride=2)
+        self.enc2 = _conv_bn_relu(2 * w, 2 * w, rng)
+        self.down2 = _conv_bn_relu(2 * w, 4 * w, rng, stride=2)
+        self.mid = _conv_bn_relu(4 * w, 4 * w, rng)
+        self.up2 = nn.Upsample(scale_factor=2, mode="nearest")
+        self.dec2 = _conv_bn_relu(4 * w + 2 * w, 2 * w, rng)
+        self.up1 = nn.Upsample(scale_factor=2, mode="nearest")
+        self.dec1 = _conv_bn_relu(2 * w + w, w, rng)
+        self.classifier = nn.Conv2d(w, num_classes, 1, rng=rng)
+
+    def set_upsample_mode(self, mode: str) -> None:
+        """Flip every decoder upsample (the SysNoise deployment switch)."""
+        self.up1.mode = mode
+        self.up2.mode = mode
+
+    def forward(self, x: Tensor) -> Tensor:
+        e1 = self.enc1(x)
+        e2 = self.enc2(self.down1(e1))
+        m = self.mid(self.down2(e2))
+        d2 = self.dec2(cat([self.up2(m), e2], axis=1))
+        d1 = self.dec1(cat([self.up1(d2), e1], axis=1))
+        return self.classifier(d1)
+
+
+class DeepLabLite(nn.Module):
+    """Atrous backbone + ASPP-lite + full-resolution upsampled logits."""
+
+    def __init__(self, num_classes: int = 4, backbone: str = "resnet-50",
+                 width: int = 12, seed: int = 0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        depth = {"resnet-50": 2, "resnet-101": 3}.get(backbone)
+        if depth is None:
+            raise ValueError(f"unknown deeplab backbone {backbone!r}")
+        self.backbone_name = backbone
+        w = width
+        self.stem = _conv_bn_relu(3, w, rng, stride=2)
+        # Ceil-mode door, as in the classification ResNets.
+        self.pool = nn.MaxPool2d(3, 2, padding=1, ceil_mode=False)
+        self.body = nn.Sequential(*[
+            _conv_bn_relu(w, w, rng, dilation=2) for _ in range(depth)])
+        # ASPP-lite: parallel atrous branches fused by 1×1 conv.
+        self.aspp1 = _conv_bn_relu(w, w, rng, k=1)
+        self.aspp2 = _conv_bn_relu(w, w, rng, dilation=2)
+        self.aspp3 = _conv_bn_relu(w, w, rng, dilation=4)
+        self.fuse = _conv_bn_relu(3 * w, w, rng, k=1)
+        self.classifier = nn.Conv2d(w, num_classes, 1, rng=rng)
+        self.up = nn.Upsample(scale_factor=4, mode="nearest")
+
+    def set_upsample_mode(self, mode: str) -> None:
+        self.up.mode = mode
+
+    def forward(self, x: Tensor) -> Tensor:
+        in_hw = x.shape[2:]
+        out = self.pool(self.stem(x))
+        out = self.body(out)
+        out = self.fuse(cat([self.aspp1(out), self.aspp2(out),
+                             self.aspp3(out)], axis=1))
+        logits = self.classifier(out)
+        # Upsample to the exact input extent (robust to ceil-mode size drift).
+        return F.upsample2d(logits, size=in_hw, mode=self.up.mode)
+
+
+def create_segmenter(name: str, num_classes: int = 4, seed: int = 0) -> nn.Module:
+    """Factory over paper Table 4 rows: deeplab-resnet50/101, unet."""
+    if name == "unet":
+        return UNetLite(num_classes=num_classes, seed=seed)
+    if name == "deeplab-resnet50":
+        return DeepLabLite(num_classes=num_classes, backbone="resnet-50", seed=seed)
+    if name == "deeplab-resnet101":
+        return DeepLabLite(num_classes=num_classes, backbone="resnet-101", seed=seed)
+    raise ValueError(f"unknown segmenter {name!r}")

@@ -1,0 +1,7 @@
+"""Visualisation of SysNoise difference maps (paper Fig. 5)."""
+
+from .diff import (ascii_heatmap, difference_image, noise_difference_maps,
+                   noise_statistics)
+
+__all__ = ["difference_image", "noise_difference_maps", "ascii_heatmap",
+           "noise_statistics"]

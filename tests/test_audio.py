@@ -1,0 +1,104 @@
+"""Tests for STFT variants and the toy TTS pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.audio import (FRAMES_PER_TOKEN, FastSpeechLite, TacotronLite,
+                         TTSTrainConfig, mel_filterbank, mel_spectrogram,
+                         mel_targets, stft_deployed, stft_reference,
+                         train_tts, tts_mse)
+from repro.data import make_tts_dataset, synthesize_utterance
+
+
+class TestSTFT:
+    def setup_method(self):
+        rng = np.random.default_rng(0)
+        t = np.arange(2048) / 4000.0
+        self.sig = np.sin(2 * np.pi * 220 * t) + 0.3 * rng.standard_normal(2048)
+
+    def test_shapes_match(self):
+        a = stft_reference(self.sig)
+        b = stft_deployed(self.sig)
+        assert a.shape == b.shape
+
+    def test_peak_at_signal_frequency(self):
+        mag = stft_reference(np.sin(2 * np.pi * 500 * np.arange(1024) / 4000.0))
+        # 500 Hz at fs 4000, n_fft 128 -> bin 16
+        assert abs(int(np.mean(mag.argmax(axis=1))) - 16) <= 1
+
+    def test_variants_close_but_not_identical(self):
+        a = stft_reference(self.sig)
+        b = stft_deployed(self.sig)
+        rel = np.abs(a - b).mean() / a.mean()
+        assert rel < 0.05          # same spectrogram to the eye...
+        assert not np.array_equal(a, b)   # ...but not bit-identical
+
+    def test_magnitude_nonnegative(self):
+        assert (stft_deployed(self.sig) >= 0).all()
+
+    def test_mel_filterbank_rows_cover_spectrum(self):
+        fb = mel_filterbank(16, 128, 4000)
+        assert fb.shape == (16, 65)
+        assert (fb.sum(axis=1) > 0).all()
+
+    def test_mel_spectrogram_shape(self):
+        mel = mel_spectrogram(self.sig, "reference")
+        assert mel.shape[1] == 16
+
+    def test_unknown_variant_raises(self):
+        with pytest.raises(ValueError):
+            mel_spectrogram(self.sig, "fftw")
+
+    def test_variant_changes_mel_output(self):
+        a = mel_spectrogram(self.sig, "reference")
+        b = mel_spectrogram(self.sig, "deployed")
+        assert not np.array_equal(a, b)
+
+
+@pytest.fixture(scope="module")
+def tts_setup():
+    ds = make_tts_dataset(n=16, min_len=3, max_len=5, seed=0)
+    model = FastSpeechLite(dim=16, seed=0)
+    history = train_tts(model, ds, TTSTrainConfig(epochs=30, lr=5e-3))
+    return ds, model, history
+
+
+class TestTTS:
+    def test_mel_targets_aligned(self):
+        wave = synthesize_utterance(np.array([0, 1, 2]))
+        t = mel_targets(wave, 3)
+        assert t.shape[1] == 16
+        assert abs(t.shape[0] - 3 * FRAMES_PER_TOKEN) <= 1
+
+    def test_fastspeech_output_shape(self):
+        m = FastSpeechLite(dim=16)
+        out = m(np.array([0, 1, 2, 3]))
+        assert out.shape == (4 * FRAMES_PER_TOKEN, 16)
+
+    def test_tacotron_context_dependence(self):
+        m = TacotronLite(dim=16, seed=1)
+        a = m(np.array([3, 5])).data
+        b = m(np.array([4, 5])).data
+        # Same second token, different context -> different second block.
+        assert not np.allclose(a[FRAMES_PER_TOKEN:], b[FRAMES_PER_TOKEN:])
+
+    def test_training_reduces_loss(self, tts_setup):
+        _, _, history = tts_setup
+        assert history[-1] < history[0] * 0.5
+
+    def test_trained_mse_beats_untrained(self, tts_setup):
+        ds, model, _ = tts_setup
+        fresh = FastSpeechLite(dim=16, seed=9)
+        assert tts_mse(model, ds) < tts_mse(fresh, ds)
+
+    def test_stft_noise_increases_mse(self, tts_setup):
+        ds, model, _ = tts_setup
+        clean = tts_mse(model, ds, stft_variant="reference")
+        noisy = tts_mse(model, ds, stft_variant="deployed")
+        assert noisy != clean
+
+    def test_precision_noise_increases_mse(self, tts_setup):
+        ds, model, _ = tts_setup
+        clean = tts_mse(model, ds)
+        int8 = tts_mse(model, ds, precision="int8")
+        assert int8 >= clean

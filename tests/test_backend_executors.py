@@ -1,0 +1,246 @@
+"""Backend executor tests: kernels, vendor options, and divergence bounds."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+from repro.backend import (BACKEND_PRESETS, BackendOptions, DeploymentExecutor,
+                           GraphBuilder, ReferenceExecutor, create_backend,
+                           export_module)
+from repro.backend import ops
+from repro.models import create_model
+
+RNG = np.random.default_rng(11)
+X = RNG.normal(size=(2, 3, 32, 32))
+
+
+def small_graph():
+    model = create_model("resnet18x0.25", num_classes=5, seed=0)
+    return export_module(model)
+
+
+# ---------------------------------------------------------------------------
+# Kernels
+# ---------------------------------------------------------------------------
+
+class TestMatmulAccum:
+    def test_fused_matches_numpy(self):
+        a, b = RNG.normal(size=(5, 7)), RNG.normal(size=(7, 3))
+        np.testing.assert_allclose(ops.matmul_accum(a, b), a @ b)
+
+    def test_tiled_float64_close_but_order_sensitive(self):
+        a, b = RNG.normal(size=(16, 64)), RNG.normal(size=(64, 16))
+        tiled = ops.matmul_accum(a, b, accum_chunk=8)
+        np.testing.assert_allclose(tiled, a @ b, rtol=1e-12)
+
+    def test_tiled_float32_differs_in_low_bits(self):
+        a = RNG.normal(size=(32, 256))
+        b = RNG.normal(size=(256, 32))
+        fused = ops.matmul_accum(a, b, dtype=np.float32)
+        tiled = ops.matmul_accum(a, b, dtype=np.float32, accum_chunk=16)
+        dev = np.abs(fused - tiled).max()
+        assert 0 < dev < 1e-3          # different rounding order, tiny effect
+
+    def test_chunk_larger_than_k_is_fused(self):
+        a, b = RNG.normal(size=(4, 8)), RNG.normal(size=(8, 4))
+        np.testing.assert_array_equal(
+            ops.matmul_accum(a, b, dtype=np.float32, accum_chunk=100),
+            ops.matmul_accum(a, b, dtype=np.float32))
+
+    def test_batched_lhs(self):
+        a, b = RNG.normal(size=(3, 4, 8)), RNG.normal(size=(8, 5))
+        np.testing.assert_allclose(
+            ops.matmul_accum(a, b, accum_chunk=3), a @ b, rtol=1e-12)
+
+
+class TestActivationApproximations:
+    @given(arrays(np.float64, array_shapes(max_dims=2, max_side=16),
+                  elements=st.floats(-8, 8)))
+    @settings(max_examples=50, deadline=None)
+    def test_gelu_tanh_close_to_exact(self, x):
+        assert np.abs(ops.gelu_tanh(x) - ops.gelu(x)).max() < 5e-3
+
+    @given(arrays(np.float64, array_shapes(max_dims=2, max_side=16),
+                  elements=st.floats(-30, 30)))
+    @settings(max_examples=50, deadline=None)
+    def test_hard_sigmoid_bounded_and_monotone_regions(self, x):
+        h = ops.hard_sigmoid(x)
+        assert np.all((h >= 0) & (h <= 1))
+        assert np.all(h[x <= -3] == 0)
+        assert np.all(h[x >= 3] == 1)
+
+    @given(arrays(np.float64, st.tuples(st.integers(1, 8), st.integers(2, 8)),
+                  elements=st.floats(-20, 20)))
+    @settings(max_examples=50, deadline=None)
+    def test_exp_poly_relative_error(self, x):
+        rel = np.abs(ops.exp_poly(x) - np.exp(x)) / np.exp(x)
+        assert rel.max() < 1e-4
+
+    @given(arrays(np.float64, st.tuples(st.integers(1, 6), st.integers(2, 10)),
+                  elements=st.floats(-10, 10)))
+    @settings(max_examples=50, deadline=None)
+    def test_softmax_fast_is_a_distribution(self, x):
+        p = ops.softmax_fast(x)
+        assert np.all(p >= 0)
+        np.testing.assert_allclose(p.sum(axis=-1), 1.0, rtol=1e-6)
+        # And close to the exact softmax.
+        assert np.abs(p - ops.softmax(x)).max() < 1e-4
+
+
+class TestPoolKernels:
+    def test_ceil_mode_changes_output_shape(self):
+        x = RNG.normal(size=(1, 1, 8, 8))
+        floor = ops.max_pool2d(x, 3, 2, 0, ceil_mode=False)
+        ceil = ops.max_pool2d(x, 3, 2, 0, ceil_mode=True)
+        assert floor.shape == (1, 1, 3, 3)
+        assert ceil.shape == (1, 1, 4, 4)
+
+    def test_maxpool_matches_nn_functional(self):
+        from repro.nn import Tensor
+        from repro.nn import functional as F
+        x = RNG.normal(size=(2, 3, 9, 9))
+        for ceil in (False, True):
+            want = F.max_pool2d(Tensor(x), 3, 2, 1, ceil_mode=ceil).data
+            got = ops.max_pool2d(x, 3, 2, 1, ceil_mode=ceil)
+            np.testing.assert_allclose(got, want)
+
+    def test_upsample_nearest_vs_bilinear_differ(self):
+        x = RNG.normal(size=(1, 2, 4, 4))
+        near = ops.upsample2d(x, 2, "nearest")
+        bil = ops.upsample2d(x, 2, "bilinear")
+        assert near.shape == bil.shape == (1, 2, 8, 8)
+        assert np.abs(near - bil).max() > 0
+
+    def test_upsample_unknown_mode(self):
+        with pytest.raises(ValueError, match="unknown upsample mode"):
+            ops.upsample2d(X, 2, "cubic")
+
+
+# ---------------------------------------------------------------------------
+# Executors
+# ---------------------------------------------------------------------------
+
+class TestCreateBackend:
+    def test_presets_all_construct(self):
+        for name in BACKEND_PRESETS:
+            create_backend(name)
+
+    def test_unknown_preset(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            create_backend("tpu-v9")
+
+    def test_custom_options(self):
+        ex = create_backend(BackendOptions(dtype="float16"))
+        assert isinstance(ex, DeploymentExecutor)
+        assert ex.options.np_dtype == np.float16
+
+
+class TestDeploymentBackends:
+    def test_fp32_default_close_to_reference(self):
+        g = small_graph()
+        ref = ReferenceExecutor().run(g, X)
+        dep = DeploymentExecutor(BackendOptions(dtype="float32",
+                                                fuse_conv_bn=False)).run(g, X)
+        assert np.abs(ref - dep).max() < 1e-4
+
+    def test_fp16_storage_deviates_more_than_fp32(self):
+        g = small_graph()
+        ref = ReferenceExecutor().run(g, X)
+        dev32 = np.abs(ref - create_backend(
+            BackendOptions(dtype="float32")).run(g, X)).max()
+        dev16 = np.abs(ref - create_backend("gpu-fp16").run(g, X)).max()
+        assert dev16 > dev32
+
+    def test_fusion_is_semantically_neutral_at_fp64(self):
+        g = small_graph()
+        ref = ReferenceExecutor().run(g, X)
+        fused = DeploymentExecutor(BackendOptions(
+            dtype="float64", fuse_conv_bn=True)).run(g, X)
+        np.testing.assert_allclose(fused, ref, rtol=1e-8, atol=1e-9)
+
+    def test_ceil_override_changes_intermediate_shapes(self):
+        g = small_graph()
+        ex = DeploymentExecutor(BackendOptions(dtype="float64",
+                                               fuse_conv_bn=False,
+                                               ceil_mode_override=True),
+                                keep_intermediates=True)
+        ex.run(g, X)
+        ref = ReferenceExecutor(keep_intermediates=True)
+        ref.run(g, X)
+        assert ex.intermediates["model.pool"].shape \
+            != ref.intermediates["model.pool"].shape
+
+    def test_predictions_mostly_stable_under_fp16(self):
+        g = small_graph()
+        ref = ReferenceExecutor().run(g, X).argmax(axis=1)
+        fp16 = create_backend("gpu-fp16").run(g, X).argmax(axis=1)
+        # Tiny logits gaps may flip, but wholesale prediction changes would
+        # indicate a kernel bug rather than precision noise.
+        assert (ref == fp16).mean() >= 0.5
+
+    def test_intermediates_only_kept_on_request(self):
+        g = small_graph()
+        ex = ReferenceExecutor()
+        ex.run(g, X)
+        assert ex.intermediates == {}
+
+    def test_deployment_outputs_use_backend_dtype(self):
+        g = small_graph()
+        out = create_backend("gpu-fp16").run(g, X)
+        assert out.dtype == np.float16
+
+
+class TestReferenceOps:
+    """Direct coverage of ops the zoo graphs do not exercise."""
+
+    def _run_single(self, op, x, attrs=None, executor=None):
+        b = GraphBuilder("single")
+        out = b.emit(op, ["x"], attrs=attrs or {})
+        g = b.finish(out)
+        return (executor or ReferenceExecutor()).run(g, x)
+
+    def test_softmax_node(self):
+        out = self._run_single("softmax", RNG.normal(size=(4, 9)),
+                               attrs=dict(axis=-1))
+        np.testing.assert_allclose(out.sum(axis=-1), 1.0)
+
+    def test_clip_node(self):
+        out = self._run_single("clip", RNG.normal(size=(10,)) * 10,
+                               attrs=dict(lo=-1.0, hi=1.0))
+        assert out.min() >= -1 and out.max() <= 1
+
+    def test_quant_dequant_roundtrip(self):
+        b = GraphBuilder("qdq")
+        q = b.emit("quantize_linear", ["x"],
+                   attrs=dict(scale=0.05, zero_point=0))
+        dq = b.emit("dequantize_linear", [q],
+                    attrs=dict(scale=0.05, zero_point=0))
+        g = b.finish(dq)
+        x = RNG.uniform(-3, 3, size=(64,))
+        out = ReferenceExecutor().run(g, x)
+        assert np.abs(out - x).max() <= 0.05 / 2 + 1e-12
+
+    def test_constant_node(self):
+        b = GraphBuilder("const")
+        c = b.emit("constant", [], attrs=dict(value=np.ones((2, 2))))
+        out = b.emit("add", ["x", c])
+        g = b.finish(out)
+        np.testing.assert_array_equal(
+            ReferenceExecutor().run(g, np.zeros((2, 2))), np.ones((2, 2)))
+
+    def test_reshape_zero_copies_dim(self):
+        out = self._run_single("reshape", RNG.normal(size=(4, 6)),
+                               attrs=dict(shape=(0, -1, 1, 1)))
+        assert out.shape == (4, 6, 1, 1)
+
+    def test_softmax_fast_option_applies(self):
+        x = RNG.normal(size=(4, 9))
+        exact = self._run_single("softmax", x, attrs=dict(axis=-1))
+        fast = self._run_single(
+            "softmax", x, attrs=dict(axis=-1),
+            executor=DeploymentExecutor(BackendOptions(dtype="float64",
+                                                       fast_softmax=True)))
+        dev = np.abs(exact - fast).max()
+        assert 0 < dev < 1e-4

@@ -1,0 +1,153 @@
+"""Export fidelity tests: graph execution must match the nn runtime exactly.
+
+The exporter is only trustworthy if, for every supported architecture, the
+reference backend reproduces the source model bit-for-bit (up to float64
+associativity).  These tests sweep the CNN zoo and the primitive layers.
+"""
+
+import numpy as np
+import pytest
+
+import repro.nn as nn
+from repro.backend import (ExportError, ReferenceExecutor, export_module,
+                           supported_module_types)
+from repro.models import create_model
+from repro.nn import Tensor, no_grad
+
+RNG = np.random.default_rng(7)
+X = RNG.normal(size=(3, 3, 32, 32))
+
+CNN_ZOO = ["resnet18x0.25", "resnet-34", "resnet-50", "mobilenetv2-0.5",
+           "mobilenetv2-1", "regnetx-400m", "regnetx-1.6g",
+           "efficientnet-b0", "efficientnet-b2", "mcunet-293kb"]
+
+
+def nn_forward(model, x):
+    model.eval()
+    with no_grad():
+        return model(Tensor(x)).data
+
+
+@pytest.mark.parametrize("name", CNN_ZOO)
+def test_zoo_export_matches_runtime(name):
+    model = create_model(name, num_classes=5, seed=3)
+    graph = export_module(model, name)
+    graph.validate()
+    expected = nn_forward(model, X)
+    got = ReferenceExecutor().run(graph, X)
+    np.testing.assert_allclose(got, expected, rtol=1e-9, atol=1e-10)
+
+
+def test_export_copies_weights():
+    """Mutating the source model after export must not change the graph."""
+    model = create_model("resnet18x0.25", num_classes=5, seed=0)
+    graph = export_module(model)
+    before = ReferenceExecutor().run(graph, X)
+    for p in model.parameters():
+        p.data += 1.0
+    after = ReferenceExecutor().run(graph, X)
+    np.testing.assert_array_equal(before, after)
+
+
+def test_export_is_deterministic():
+    model = create_model("mobilenetv2-0.5", num_classes=5, seed=0)
+    g1 = export_module(model)
+    g2 = export_module(model)
+    assert [n.op for n in g1.nodes] == [n.op for n in g2.nodes]
+    assert [n.name for n in g1.nodes] == [n.name for n in g2.nodes]
+
+
+def test_node_names_follow_module_paths():
+    model = create_model("resnet18x0.25", num_classes=5, seed=0)
+    graph = export_module(model, "m")
+    names = [n.name for n in graph.nodes]
+    assert "m.stem.0" in names          # conv inside the stem Sequential
+    assert "m.pool" in names
+    assert any(name.endswith(".add") for name in names)   # residual adds
+
+
+def test_sequential_of_primitives():
+    rng = np.random.default_rng(0)
+    model = nn.Sequential(
+        nn.Conv2d(3, 4, 3, padding=1, rng=rng),
+        nn.BatchNorm2d(4),
+        nn.ReLU(),
+        nn.MaxPool2d(2, 2),
+        nn.Flatten(),
+        nn.Linear(4 * 16 * 16, 6, rng=rng))
+    graph = export_module(model)
+    np.testing.assert_allclose(ReferenceExecutor().run(graph, X),
+                               nn_forward(model, X), rtol=1e-9, atol=1e-10)
+
+
+def test_gelu_and_sigmoid_layers():
+    rng = np.random.default_rng(1)
+    model = nn.Sequential(nn.Conv2d(3, 2, 1, rng=rng), nn.GELU(),
+                          nn.Conv2d(2, 2, 1, rng=rng), nn.Sigmoid(),
+                          nn.Flatten())
+    graph = export_module(model)
+    np.testing.assert_allclose(ReferenceExecutor().run(graph, X),
+                               nn_forward(model, X), rtol=1e-9, atol=1e-10)
+
+
+def test_upsample_with_scale_factor():
+    model = nn.Sequential(nn.Upsample(scale_factor=2, mode="nearest"))
+    graph = export_module(model)
+    out = ReferenceExecutor().run(graph, X)
+    assert out.shape == (3, 3, 64, 64)
+
+
+def test_upsample_with_size_rejected():
+    model = nn.Sequential(nn.Upsample(size=(8, 8)))
+    with pytest.raises(ExportError, match="scale_factor"):
+        export_module(model)
+
+
+def test_unsupported_module_raises_with_guidance():
+    class Exotic(nn.Module):
+        def forward(self, x):
+            return x
+
+    with pytest.raises(ExportError, match="Exotic"):
+        export_module(Exotic())
+
+
+@pytest.mark.parametrize("name", ["vit-tiny", "vit-base", "swin-tiny",
+                                  "swin-base"])
+def test_transformer_export_matches_runtime(name):
+    model = create_model(name, num_classes=5, seed=3)
+    graph = export_module(model, name)
+    graph.validate()
+    expected = nn_forward(model, X)
+    got = ReferenceExecutor().run(graph, X)
+    np.testing.assert_allclose(got, expected, rtol=1e-9, atol=1e-10)
+
+
+def test_attention_lowering_exposes_softmax_and_matmul():
+    graph = export_module(create_model("vit-tiny", num_classes=5), "vit")
+    hist = graph.op_histogram()
+    assert hist.get("softmax", 0) >= 2        # one per block
+    assert hist.get("matmul", 0) >= 4         # scores + context per block
+    assert hist.get("layernorm", 0) >= 5
+
+
+def test_swin_shifted_blocks_emit_rolls():
+    graph = export_module(create_model("swin-base", num_classes=5), "swin")
+    names = [n.name for n in graph.nodes]
+    assert any(".fwd.r.roll" in n for n in names)     # cyclic shift present
+    assert any(".bwd.c.roll" in n for n in names)
+
+
+def test_standalone_swin_block_rejected():
+    from repro.models.vit import SwinBlock
+    rng = np.random.default_rng(0)
+    block = SwinBlock(8, 2, 4, 0, 2.0, rng)
+    with pytest.raises(ExportError, match="static spatial dims"):
+        export_module(block)
+
+
+def test_supported_module_types_lists_core_layers():
+    names = supported_module_types()
+    for expected in ("Conv2d", "BatchNorm2d", "BasicBlock", "InvertedResidual",
+                     "MBConvSE"):
+        assert expected in names

@@ -1,0 +1,138 @@
+"""Unit tests for the backend graph IR (repro.backend.ir)."""
+
+import numpy as np
+import pytest
+
+from repro.backend import Graph, GraphBuilder, GraphError, Node
+
+
+def tiny_graph() -> Graph:
+    """x -> relu -> linear(w) -> out"""
+    b = GraphBuilder("tiny")
+    h = b.emit("relu", ["x"], name="act")
+    w = b.add_initializer("w", np.eye(3))
+    out = b.emit("linear", [h, w], name="head")
+    return b.finish(out)
+
+
+class TestNode:
+    def test_unknown_op_rejected(self):
+        with pytest.raises(GraphError, match="unknown op"):
+            Node("convolve", ("x",), "y")
+
+    def test_missing_required_attr_rejected(self):
+        with pytest.raises(GraphError, match="missing attrs"):
+            Node("conv2d", ("x", "w"), "y", attrs={"stride": 1})
+
+    def test_with_attrs_returns_modified_copy(self):
+        n = Node("maxpool", ("x",), "y",
+                 attrs=dict(kernel_size=2, stride=2, padding=0,
+                            ceil_mode=False))
+        m = n.with_attrs(ceil_mode=True)
+        assert m.attrs["ceil_mode"] is True
+        assert n.attrs["ceil_mode"] is False         # original untouched
+        assert m.attrs["kernel_size"] == 2
+
+    def test_nodes_are_frozen(self):
+        n = Node("relu", ("x",), "y")
+        with pytest.raises(AttributeError):
+            n.op = "gelu"
+
+
+class TestGraphValidation:
+    def test_valid_graph_passes(self):
+        tiny_graph().validate()
+
+    def test_undefined_operand_rejected(self):
+        g = tiny_graph()
+        g.nodes.append(Node("relu", ("ghost",), "z"))
+        with pytest.raises(GraphError, match="undefined"):
+            g.validate()
+
+    def test_double_definition_rejected(self):
+        g = tiny_graph()
+        g.nodes.append(Node("relu", ("x",), g.nodes[0].output))
+        with pytest.raises(GraphError, match="defined twice"):
+            g.validate()
+
+    def test_out_of_order_nodes_rejected(self):
+        g = tiny_graph()
+        g.nodes.reverse()
+        with pytest.raises(GraphError):
+            g.validate()
+
+    def test_missing_output_rejected(self):
+        g = tiny_graph()
+        g.output = "nowhere"
+        with pytest.raises(GraphError, match="never defined"):
+            g.validate()
+
+    def test_output_shadowing_input_rejected(self):
+        b = GraphBuilder("bad")
+        b.emit("relu", ["x"], output="x2")
+        g = b.graph
+        g.nodes.append(Node("relu", ("x2",), "x"))
+        g.output = "x"
+        with pytest.raises(GraphError, match="shadows"):
+            g.validate()
+
+    def test_batchnorm_weight_arity_checked(self):
+        b = GraphBuilder("bn")
+        b.add_initializer("gamma", np.ones(3))
+        out = b.emit("batchnorm", ["x", "gamma"], attrs=dict(eps=1e-5))
+        b.graph.output = out
+        with pytest.raises(GraphError, match="weight operand"):
+            b.graph.validate()
+
+
+class TestGraphQueries:
+    def test_producer_and_users(self):
+        g = tiny_graph()
+        relu = g.nodes[0]
+        assert g.producer_of(relu.output) is relu
+        assert g.producer_of("x") is None
+        assert g.users_of(relu.output) == [g.nodes[1]]
+        assert g.users_of(g.output) == []
+
+    def test_node_named(self):
+        g = tiny_graph()
+        assert g.node_named("act").op == "relu"
+        with pytest.raises(KeyError):
+            g.node_named("missing")
+
+    def test_data_vs_weight_inputs(self):
+        g = tiny_graph()
+        head = g.node_named("head")
+        assert g.data_inputs(head) == (g.nodes[0].output,)
+        assert g.weight_inputs(head) == ("w",)
+
+    def test_op_histogram_and_params(self):
+        g = tiny_graph()
+        assert g.op_histogram() == {"linear": 1, "relu": 1}
+        assert g.num_parameters() == 9
+
+    def test_summary_mentions_every_node(self):
+        g = tiny_graph()
+        text = g.summary()
+        for node in g.nodes:
+            assert node.output in text
+        assert "tiny" in text
+
+
+class TestGraphBuilder:
+    def test_fresh_names_unique(self):
+        b = GraphBuilder("g")
+        names = {b.fresh("v") for _ in range(50)}
+        assert len(names) == 50
+
+    def test_duplicate_initializer_rejected(self):
+        b = GraphBuilder("g")
+        b.add_initializer("w", np.ones(2))
+        with pytest.raises(GraphError, match="already present"):
+            b.add_initializer("w", np.ones(2))
+
+    def test_finish_validates(self):
+        b = GraphBuilder("g")
+        b.emit("relu", ["ghost"])
+        with pytest.raises(GraphError):
+            b.finish("whatever")

@@ -1,0 +1,177 @@
+"""Graph pass tests: rewrites must be semantics-preserving at float64."""
+
+import numpy as np
+import pytest
+
+import repro.nn as nn
+from repro.backend import (GraphBuilder, Node, ReferenceExecutor,
+                           dead_code_elimination, eliminate_identity,
+                           export_module, fold_constants, fuse_conv_bn,
+                           optimize)
+from repro.backend.compare import backend_diff, diff_report, first_divergence
+from repro.models import create_model
+
+RNG = np.random.default_rng(23)
+X = RNG.normal(size=(2, 3, 32, 32))
+REF = ReferenceExecutor()
+
+
+def resnet_graph():
+    return export_module(create_model("resnet18x0.25", num_classes=5, seed=0))
+
+
+class TestEliminateIdentity:
+    def test_removes_identities_and_preserves_output(self):
+        g = resnet_graph()
+        n_id = sum(1 for n in g.nodes if n.op == "identity")
+        assert n_id > 0            # residual shortcuts export identities
+        g2 = eliminate_identity(g)
+        assert all(n.op != "identity" for n in g2.nodes)
+        np.testing.assert_allclose(REF.run(g2, X), REF.run(g, X),
+                                   rtol=1e-12, atol=1e-12)
+
+    def test_identity_as_graph_output(self):
+        b = GraphBuilder("g")
+        h = b.emit("relu", ["x"])
+        out = b.emit("identity", [h])
+        g = b.finish(out)
+        g2 = eliminate_identity(g)
+        assert g2.output == h
+        np.testing.assert_array_equal(REF.run(g2, X), REF.run(g, X))
+
+
+class TestFuseConvBn:
+    def test_fusion_numerically_neutral_at_fp64(self):
+        g = resnet_graph()
+        g2 = fuse_conv_bn(g)
+        assert sum(n.op == "batchnorm" for n in g2.nodes) == 0
+        np.testing.assert_allclose(REF.run(g2, X), REF.run(g, X),
+                                   rtol=1e-9, atol=1e-10)
+
+    def test_fusion_reduces_node_count(self):
+        g = resnet_graph()
+        g2 = fuse_conv_bn(g)
+        n_bn = sum(n.op == "batchnorm" for n in g.nodes)
+        assert len(g2.nodes) == len(g.nodes) - n_bn
+
+    def test_fused_names_are_labelled(self):
+        g2 = fuse_conv_bn(resnet_graph())
+        assert any(n.name.endswith("+bn") for n in g2.nodes)
+
+    def test_bn_without_preceding_conv_kept(self):
+        b = GraphBuilder("bn-only")
+        for nm, v in (("g", np.ones(3)), ("b", np.zeros(3)),
+                      ("m", np.zeros(3)), ("v", np.ones(3))):
+            b.add_initializer(nm, v)
+        out = b.emit("batchnorm", ["x", "g", "b", "m", "v"],
+                     attrs=dict(eps=1e-5))
+        g = b.finish(out)
+        g2 = fuse_conv_bn(g)
+        assert sum(n.op == "batchnorm" for n in g2.nodes) == 1
+
+    def test_shared_conv_output_not_fused(self):
+        """conv output consumed by BN *and* another user must stay unfused."""
+        rng = np.random.default_rng(0)
+        b = GraphBuilder("shared")
+        w = b.add_initializer("w", rng.normal(size=(3, 3, 1, 1)))
+        conv = b.emit("conv2d", ["x", w],
+                      attrs=dict(stride=1, padding=0, dilation=1, groups=1))
+        for nm, v in (("g", np.ones(3)), ("bb", np.zeros(3)),
+                      ("m", np.zeros(3)), ("vv", np.ones(3))):
+            b.add_initializer(nm, v)
+        bn = b.emit("batchnorm", [conv, "g", "bb", "m", "vv"],
+                    attrs=dict(eps=1e-5))
+        out = b.emit("add", [bn, conv])       # second user of conv
+        g = b.finish(out)
+        g2 = fuse_conv_bn(g)
+        assert sum(n.op == "batchnorm" for n in g2.nodes) == 1
+        np.testing.assert_allclose(REF.run(g2, X), REF.run(g, X), rtol=1e-12)
+
+
+class TestDeadCodeElimination:
+    def test_drops_unused_chain(self):
+        b = GraphBuilder("dead")
+        live = b.emit("relu", ["x"])
+        dead = b.emit("gelu", ["x"])
+        b.emit("relu", [dead])                # dead chain
+        g = b.finish(live)
+        g2 = dead_code_elimination(g)
+        assert len(g2.nodes) == 1
+        np.testing.assert_array_equal(REF.run(g2, X), REF.run(g, X))
+
+    def test_drops_unused_initializers(self):
+        b = GraphBuilder("dead-w")
+        b.add_initializer("unused", np.ones(100))
+        out = b.emit("relu", ["x"])
+        g = b.finish(out)
+        g2 = dead_code_elimination(g)
+        assert "unused" not in g2.initializers
+
+    def test_noop_on_fully_live_graph(self):
+        g = resnet_graph()
+        g2 = dead_code_elimination(g)
+        assert len(g2.nodes) == len(g.nodes)
+
+
+class TestFoldConstants:
+    def test_constant_subtree_folded(self):
+        b = GraphBuilder("fold")
+        c = b.emit("constant", [], attrs=dict(value=np.full((2, 2), 2.0)))
+        c2 = b.emit("relu", [c])              # relu(2) = 2, foldable
+        out = b.emit("add", ["x", c2])
+        g = b.finish(out)
+        g2 = fold_constants(g)
+        assert [n.op for n in g2.nodes] == ["add"]
+        np.testing.assert_array_equal(REF.run(g2, np.zeros((2, 2))),
+                                      np.full((2, 2), 2.0))
+
+    def test_data_dependent_nodes_not_folded(self):
+        g = resnet_graph()
+        g2 = fold_constants(g)
+        assert len(g2.nodes) == len(g.nodes)
+
+
+class TestOptimizePipeline:
+    def test_full_pipeline_preserves_semantics(self):
+        g = resnet_graph()
+        g2 = optimize(g)
+        np.testing.assert_allclose(REF.run(g2, X), REF.run(g, X),
+                                   rtol=1e-9, atol=1e-10)
+        assert len(g2.nodes) < len(g.nodes)
+
+    def test_pipeline_idempotent(self):
+        g = optimize(resnet_graph())
+        g2 = optimize(g)
+        assert len(g.nodes) == len(g2.nodes)
+        np.testing.assert_allclose(REF.run(g2, X), REF.run(g, X), rtol=1e-12)
+
+
+class TestCompare:
+    def test_identical_backends_zero_diff(self):
+        g = resnet_graph()
+        diffs = backend_diff(g, X, ReferenceExecutor(), ReferenceExecutor())
+        assert diffs and all(d.max_abs == 0 for d in diffs)
+        assert first_divergence(diffs) is None
+
+    def test_fp16_diff_grows_with_depth(self):
+        g = resnet_graph()
+        diffs = backend_diff(g, X, "reference", "gpu-fp16")
+        onset = first_divergence(diffs, rel_tol=1e-6)
+        assert onset is not None
+        # Later layers should accumulate at least as much error as the onset.
+        assert max(d.rel for d in diffs) >= onset.rel
+
+    def test_diff_report_readable(self):
+        g = resnet_graph()
+        report = diff_report(backend_diff(g, X, "reference", "gpu-fp16"))
+        assert "worst by relative error" in report
+        assert "first divergence" in report
+
+    def test_diff_report_empty(self):
+        assert diff_report([]) == "no comparable layers"
+
+    def test_accuracy_under_backend(self):
+        from repro.backend import accuracy_under_backend
+        g = resnet_graph()
+        labels = REF.run(g, X).argmax(axis=1)
+        assert accuracy_under_backend(g, X, labels, "reference") == 100.0

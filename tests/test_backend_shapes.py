@@ -1,0 +1,169 @@
+"""Shape inference and profiler tests (repro.backend.shapes / .profile)."""
+
+import numpy as np
+import pytest
+
+from repro.backend import (GraphBuilder, ReferenceExecutor, ShapeError,
+                           export_module, infer_shapes, profile_graph,
+                           render_profile, summary_with_shapes)
+from repro.models import create_model
+
+X = np.random.default_rng(3).normal(size=(2, 3, 32, 32))
+
+ZOO = ["resnet18x0.25", "resnet-50", "mobilenetv2-0.5", "efficientnet-b0",
+       "regnetx-400m", "mcunet-293kb", "vit-tiny", "swin-base"]
+
+
+@pytest.mark.parametrize("name", ZOO)
+def test_inference_matches_execution(name):
+    """Static shapes must equal runtime shapes for every node in the zoo."""
+    graph = export_module(create_model(name, num_classes=5, seed=0), name)
+    shapes = infer_shapes(graph)
+    ex = ReferenceExecutor(keep_intermediates=True)
+    ex.run(graph, X)
+    for node in graph.nodes:
+        got = ex.intermediates[node.name or node.output].shape
+        want = shapes[node.output]
+        assert len(want) == len(got), node.name
+        resolved = tuple(g if w is None else w for w, g in zip(want, got))
+        assert resolved == got, (node.name, want, got)
+
+
+class TestShapeRules:
+    def _infer_single(self, op, in_shape, attrs=None, extra_inits=()):
+        b = GraphBuilder("s")
+        ins = ["x"]
+        for name, arr in extra_inits:
+            ins.append(b.add_initializer(name, arr))
+        out = b.emit(op, ins, attrs=attrs or {})
+        g = b.finish(out)
+        return infer_shapes(g, input_shape=in_shape)[out]
+
+    def test_ceil_mode_changes_static_shape(self):
+        floor = self._infer_single("maxpool", (None, 4, 8, 8),
+                                   dict(kernel_size=3, stride=2, padding=0,
+                                        ceil_mode=False))
+        ceil = self._infer_single("maxpool", (None, 4, 8, 8),
+                                  dict(kernel_size=3, stride=2, padding=0,
+                                       ceil_mode=True))
+        assert floor == (None, 4, 3, 3)
+        assert ceil == (None, 4, 4, 4)
+
+    def test_conv_shape(self):
+        w = np.zeros((8, 4, 3, 3))
+        out = self._infer_single("conv2d", (None, 4, 16, 16),
+                                 dict(stride=2, padding=1, dilation=1,
+                                      groups=1), [("w", w)])
+        assert out == (None, 8, 8, 8)
+
+    def test_symbolic_batch_survives_broadcast_add(self):
+        b = GraphBuilder("b")
+        pos = b.add_initializer("pos", np.zeros((1, 17, 24)))
+        out = b.emit("add", ["x", pos])
+        g = b.finish(out)
+        assert infer_shapes(g, (None, 17, 24))[out] == (None, 17, 24)
+
+    def test_incompatible_broadcast_rejected(self):
+        b = GraphBuilder("b")
+        c = b.add_initializer("c", np.zeros((5, 7)))
+        out = b.emit("add", ["x", c])
+        g = b.finish(out)
+        with pytest.raises(ShapeError, match="broadcast"):
+            infer_shapes(g, (None, 5, 9))
+
+    def test_reshape_batch_fold_is_symbolic(self):
+        """Window partitioning folds batch into -1 -> symbolic extent."""
+        out = self._infer_single("reshape", (None, 4, 4, 8),
+                                 dict(shape=(-1, 16, 8)))
+        assert out == (None, 16, 8)
+
+    def test_reshape_zero_copies(self):
+        out = self._infer_single("reshape", (None, 6, 4),
+                                 dict(shape=(0, -1)))
+        assert out == (None, 24)
+
+    def test_matmul_contraction_mismatch_rejected(self):
+        b = GraphBuilder("m")
+        out = b.emit("matmul", ["x", "x"], attrs=dict(transpose_b=False))
+        g = b.finish(out)
+        with pytest.raises(ShapeError, match="contraction"):
+            infer_shapes(g, (None, 4, 5))
+
+    def test_matmul_transpose_b(self):
+        b = GraphBuilder("m")
+        out = b.emit("matmul", ["x", "x"], attrs=dict(transpose_b=True))
+        g = b.finish(out)
+        assert infer_shapes(g, (None, 4, 5))[out] == (None, 4, 4)
+
+    def test_transpose_rank_mismatch_rejected(self):
+        with pytest.raises(ShapeError, match="perm"):
+            self._infer_single("transpose", (None, 4, 5),
+                               dict(perm=(0, 2, 1, 3)))
+
+    def test_slice_and_mean(self):
+        assert self._infer_single("slice", (None, 17, 24),
+                                  dict(axis=1, start=0, stop=1)) \
+            == (None, 1, 24)
+        assert self._infer_single("mean", (None, 16, 24), dict(axis=1)) \
+            == (None, 24)
+
+    def test_upsample_shape(self):
+        assert self._infer_single("upsample", (None, 2, 5, 5),
+                                  dict(mode="nearest", scale_factor=2)) \
+            == (None, 2, 10, 10)
+
+
+class TestSummaryWithShapes:
+    def test_summary_renders_symbolic_batch(self):
+        graph = export_module(create_model("resnet18x0.25", num_classes=5),
+                              "m")
+        text = summary_with_shapes(graph)
+        assert "(N, 3, 32, 32)" in text
+        assert "(N, 5)" in text            # the logits
+        assert text.count("\n") == len(graph.nodes)
+
+
+class TestProfiler:
+    def test_flops_scale_with_model_size(self):
+        small = profile_graph(export_module(
+            create_model("resnet18x0.25", num_classes=5)))
+        big = profile_graph(export_module(
+            create_model("resnet-50", num_classes=5)))
+        assert big.total_flops > small.total_flops
+        assert big.total_params > small.total_params
+
+    def test_params_match_graph(self):
+        graph = export_module(create_model("mobilenetv2-0.5", num_classes=5))
+        profile = profile_graph(graph)
+        assert profile.total_params == graph.num_parameters()
+
+    def test_conv_flops_formula(self):
+        b = GraphBuilder("c")
+        w = b.add_initializer("w", np.zeros((8, 4, 3, 3)))
+        out = b.emit("conv2d", ["x", w],
+                     attrs=dict(stride=1, padding=1, dilation=1, groups=1))
+        g = b.finish(out)
+        profile = profile_graph(g, (None, 4, 10, 10))
+        # out 8×10×10 elements × (4·3·3) MACs × 2
+        assert profile.ops[0].flops == 2 * 8 * 10 * 10 * 4 * 9
+
+    def test_measured_time_recorded(self):
+        graph = export_module(create_model("mcunet-293kb", num_classes=5))
+        profile = profile_graph(graph, x=X[:2], repeats=1)
+        assert profile.wall_time_s is not None and profile.wall_time_s > 0
+        assert profile.batch == 2
+
+    def test_render_profile_readable(self):
+        graph = export_module(create_model("vit-tiny", num_classes=5))
+        text = render_profile(profile_graph(graph), top=5)
+        assert "MFLOPs" in text and "% FLOPs" in text
+        # Attention matmuls and linears should be among the heavy hitters.
+        assert "linear" in text or "matmul" in text
+
+    def test_ceil_mode_asymmetry(self):
+        """The paper's core asymmetry: the pool is compute-trivial yet is
+        the largest ΔACC source — its FLOPs share must be tiny."""
+        graph = export_module(create_model("resnet-18", num_classes=5), "m")
+        profile = profile_graph(graph)
+        pool = next(o for o in profile.ops if o.op == "maxpool")
+        assert pool.flops / profile.total_flops < 0.01

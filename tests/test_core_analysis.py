@@ -1,0 +1,71 @@
+"""Unit tests for the architecture-wise robustness aggregation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import (NoiseResult, family_summaries, render_family_table,
+                        size_trend)
+
+
+def fake_row(combined: float, deltas: dict[str, float],
+             baseline: float = 80.0) -> dict:
+    """Build a noise_row-shaped dict from per-noise mean deltas."""
+    noises = {}
+    for name, delta in deltas.items():
+        if delta is None:
+            noises[name] = None
+        else:
+            noises[name] = NoiseResult(name, baseline, [baseline - delta])
+    return {"trained": baseline, "noises": noises, "combined": combined}
+
+
+FAMILIES = {"r-small": "resnet", "r-big": "resnet", "m-one": "mobilenet"}
+
+ROWS = {
+    "r-small": fake_row(6.0, {"decoder": 2.0, "resize": 3.0}),
+    "r-big": fake_row(4.0, {"decoder": 1.0, "resize": 2.0}),
+    "m-one": fake_row(9.0, {"decoder": 4.0, "resize": 5.0, "ceil": None}),
+}
+
+
+class TestFamilySummaries:
+    def test_grouping_and_members(self):
+        summaries = family_summaries(ROWS, FAMILIES.get)
+        assert set(summaries) == {"resnet", "mobilenet"}
+        assert set(summaries["resnet"].models) == {"r-small", "r-big"}
+
+    def test_aggregates(self):
+        s = family_summaries(ROWS, FAMILIES.get)["resnet"]
+        assert s.mean_combined == pytest.approx(5.0)
+        assert s.mean_single == pytest.approx((2 + 3 + 1 + 2) / 4)
+        assert s.worst_single == pytest.approx(3.0)
+        assert s.spread == pytest.approx(1.0)
+
+    def test_inapplicable_noises_skipped(self):
+        s = family_summaries(ROWS, FAMILIES.get)["mobilenet"]
+        assert s.mean_single == pytest.approx(4.5)   # the None is excluded
+        assert s.spread == 0.0                       # single member
+
+    def test_lightweight_family_ranks_most_fragile(self):
+        text = render_family_table(family_summaries(ROWS, FAMILIES.get))
+        first_data_line = text.splitlines()[2]
+        assert first_data_line.startswith("mobilenet")
+
+
+class TestSizeTrend:
+    def test_negative_slope_when_big_models_are_robust(self):
+        slope = size_trend(ROWS, ["r-small", "r-big"])
+        assert slope == pytest.approx(-2.0)
+
+    def test_missing_members_ignored(self):
+        slope = size_trend(ROWS, ["r-small", "ghost", "r-big"])
+        assert not math.isnan(slope)
+
+    def test_single_point_is_nan(self):
+        assert math.isnan(size_trend(ROWS, ["r-small"]))
+
+    def test_flat_family(self):
+        rows = {f"x{i}": fake_row(3.0, {"decoder": 1.0}) for i in range(4)}
+        assert size_trend(rows, sorted(rows)) == pytest.approx(0.0)

@@ -1,0 +1,104 @@
+"""Unit tests for the pairwise noise-interaction analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core import (InteractionMatrix, TRAIN_CONFIG, pairwise_interaction,
+                        render_interaction)
+from repro.core.noise import NoiseConfig
+
+
+def synthetic_evaluator(effects: dict[str, float], coupling: dict = ()):
+    """A fake task whose metric drops by declared amounts per active noise.
+
+    ``effects`` maps noise name -> Δ; ``coupling`` maps frozenset pairs to an
+    extra Δ applied when both are active — so expected interaction terms are
+    known exactly.
+    """
+    coupling = dict(coupling or {})
+
+    def active(cfg: NoiseConfig) -> set[str]:
+        names = set()
+        if cfg.decoder != TRAIN_CONFIG.decoder:
+            names.add("decoder")
+        if cfg.resize_method != TRAIN_CONFIG.resize_method:
+            names.add("resize")
+        if cfg.color is not None:
+            names.add("color")
+        if cfg.precision != "fp32":
+            names.add("precision")
+        if cfg.ceil_mode:
+            names.add("ceil_mode")
+        return names
+
+    def evaluate(model, ds, cfg):
+        names = active(cfg)
+        metric = 100.0 - sum(effects.get(n, 0.0) for n in names)
+        for pair, extra in coupling.items():
+            if pair <= names:
+                metric -= extra
+        return metric
+
+    return evaluate
+
+
+class TestPairwiseInteraction:
+    def test_additive_noises_have_zero_interaction(self):
+        evaluate = synthetic_evaluator({"decoder": 1.0, "resize": 2.0})
+        m = pairwise_interaction(evaluate, None, None, ["decoder", "resize"])
+        assert m.baseline == 100.0
+        assert m.singles == {"decoder": 1.0, "resize": 2.0}
+        assert m.interaction("decoder", "resize") == pytest.approx(0.0)
+
+    def test_super_additive_coupling_recovered(self):
+        evaluate = synthetic_evaluator(
+            {"precision": 0.5, "ceil_mode": 1.0},
+            {frozenset({"precision", "ceil_mode"}): 3.0})
+        m = pairwise_interaction(evaluate, None, None,
+                                 ["precision", "ceil_mode"])
+        assert m.interaction("precision", "ceil_mode") == pytest.approx(3.0)
+
+    def test_interaction_symmetric_lookup(self):
+        evaluate = synthetic_evaluator(
+            {"decoder": 1.0, "color": 0.5},
+            {frozenset({"decoder", "color"}): -0.25})
+        m = pairwise_interaction(evaluate, None, None, ["decoder", "color"])
+        assert m.interaction("decoder", "color") == \
+            m.interaction("color", "decoder")
+
+    def test_pair_count(self):
+        noises = ["decoder", "resize", "color", "precision"]
+        m = pairwise_interaction(synthetic_evaluator({}), None, None, noises)
+        assert len(m.pairs) == 6             # C(4, 2)
+
+    def test_unknown_noise_rejected(self):
+        with pytest.raises(ValueError, match="worst-case"):
+            pairwise_interaction(synthetic_evaluator({}), None, None,
+                                 ["decoder", "cosmic-rays"])
+
+    def test_strongest_ranked_by_magnitude(self):
+        evaluate = synthetic_evaluator(
+            {"decoder": 1.0, "resize": 1.0, "color": 1.0},
+            {frozenset({"decoder", "resize"}): 5.0,
+             frozenset({"resize", "color"}): -2.0})
+        m = pairwise_interaction(evaluate, None, None,
+                                 ["decoder", "resize", "color"])
+        top = m.strongest(top=2)
+        assert {top[0][0], top[0][1]} == {"decoder", "resize"}
+        assert top[0][2] == pytest.approx(5.0)
+        assert abs(top[0][2]) >= abs(top[1][2])
+
+
+class TestRenderInteraction:
+    def test_render_contains_all_noises_and_diagonal(self):
+        evaluate = synthetic_evaluator({"decoder": 1.5, "resize": 2.5})
+        m = pairwise_interaction(evaluate, None, None, ["decoder", "resize"])
+        text = render_interaction(m)
+        assert "decoder" in text and "resize" in text
+        assert "+1.50" in text and "+2.50" in text
+        assert "strongest interactions" in text
+
+    def test_render_handles_single_noise(self):
+        m = InteractionMatrix(["decoder"], 100.0, {"decoder": 1.0}, {})
+        text = render_interaction(m)
+        assert "+1.00" in text

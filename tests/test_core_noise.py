@@ -1,0 +1,138 @@
+"""Tests for the noise taxonomy, configs, and pipeline plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.core import (NOISE_TAXONOMY, TRAIN_CONFIG, WORST_CASE_ORDER,
+                        NoiseConfig, apply_model_noise, combined_config,
+                        decode_dataset, deployment_variants, normalize,
+                        preprocess, preprocess_dataset, render_taxonomy)
+from repro.data import make_classification_dataset
+from repro.models import resnet_lite
+from repro.nn import MaxPool2d, Tensor
+from repro.segmentation import UNetLite
+
+
+class TestTaxonomy:
+    def test_seven_noise_types(self):
+        assert len(NOISE_TAXONOMY) == 7
+
+    def test_table1_category_counts(self):
+        counts = {s.name: s.num_categories for s in NOISE_TAXONOMY}
+        assert counts == {"decoder": 4, "resize": 11, "color": 2,
+                          "ceil_mode": 2, "upsample": 2, "precision": 3,
+                          "proposal": 2}
+
+    def test_stages_partition(self):
+        stages = {s.stage for s in NOISE_TAXONOMY}
+        assert stages == {"pre-processing", "model-inference", "post-processing"}
+
+    def test_nlp_only_touched_by_precision(self):
+        for s in NOISE_TAXONOMY:
+            assert ("nlp" in s.tasks) == (s.name == "precision")
+
+    def test_render_taxonomy_lists_all(self):
+        text = render_taxonomy()
+        for s in NOISE_TAXONOMY:
+            assert s.name in text
+
+
+class TestNoiseConfig:
+    def test_train_config_is_clean(self):
+        assert TRAIN_CONFIG.decoder == "dali"
+        assert TRAIN_CONFIG.precision == "fp32"
+        assert TRAIN_CONFIG.ceil_mode is False
+
+    def test_with_replaces_field(self):
+        cfg = TRAIN_CONFIG.with_(precision="int8")
+        assert cfg.precision == "int8" and TRAIN_CONFIG.precision == "fp32"
+
+    def test_describe_mentions_active_noises(self):
+        cfg = TRAIN_CONFIG.with_(ceil_mode=True, precision="fp16")
+        assert "ceil" in cfg.describe() and "fp16" in cfg.describe()
+
+    def test_variant_counts_match_taxonomy(self):
+        assert len(deployment_variants("decoder")) == 3     # 4 libs - train lib
+        assert len(deployment_variants("resize")) == 10     # 11 - train kernel
+        assert len(deployment_variants("precision")) == 2   # fp16, int8
+        for single in ("color", "ceil_mode", "upsample", "proposal"):
+            assert len(deployment_variants(single)) == 1
+
+    def test_unknown_noise_raises(self):
+        with pytest.raises(ValueError):
+            deployment_variants("dropout")
+
+    def test_combined_config_stacks(self):
+        cfg = combined_config(["decoder", "resize", "precision", "ceil_mode"])
+        assert cfg.decoder == "opencv"
+        assert cfg.resize_method == "cv-nearest"
+        assert cfg.precision == "int8"
+        assert cfg.ceil_mode is True
+        assert cfg.aligned_offset == 0.0       # proposal not requested
+
+    def test_worst_case_order_covers_all_noises(self):
+        assert {n for n, _ in WORST_CASE_ORDER} == {s.name for s in NOISE_TAXONOMY}
+
+
+class TestPipeline:
+    @pytest.fixture(scope="class")
+    def ds(self):
+        return make_classification_dataset(n=12, native_size=40, input_size=32,
+                                           seed=0)
+
+    def test_preprocess_dataset_shape(self, ds):
+        x = preprocess_dataset(ds.streams, 32, TRAIN_CONFIG)
+        assert x.shape == (12, 3, 32, 32)
+        assert -1.0 <= x.min() and x.max() <= 1.0
+
+    def test_decode_cache_hits(self, ds):
+        a = decode_dataset(ds.streams, "dali")
+        b = decode_dataset(ds.streams, "dali")
+        assert a is b
+
+    def test_different_decoder_different_pixels(self, ds):
+        a = preprocess_dataset(ds.streams, 32, TRAIN_CONFIG)
+        b = preprocess_dataset(ds.streams, 32, TRAIN_CONFIG.with_(decoder="pil"))
+        assert not np.array_equal(a, b)
+
+    def test_color_noise_changes_pixels(self, ds):
+        a = preprocess_dataset(ds.streams, 32, TRAIN_CONFIG)
+        b = preprocess_dataset(ds.streams, 32,
+                               TRAIN_CONFIG.with_(color="nv12-integer"))
+        assert not np.array_equal(a, b)
+
+    def test_preprocess_single_image(self, ds):
+        out = preprocess(ds.images[0], 24, TRAIN_CONFIG)
+        assert out.shape == (24, 24, 3) and out.dtype == np.uint8
+
+    def test_normalize_range(self):
+        x = normalize(np.full((1, 4, 4, 3), 255, dtype=np.uint8))
+        np.testing.assert_allclose(x, 0.5)
+
+
+class TestApplyModelNoise:
+    def test_ceil_mode_applied_to_copy_only(self):
+        model = resnet_lite("resnet-18")
+        noised = apply_model_noise(model, TRAIN_CONFIG.with_(ceil_mode=True))
+        assert model.pool.ceil_mode is False
+        assert noised.pool.ceil_mode is True
+
+    def test_upsample_mode_applied(self):
+        model = UNetLite(num_classes=4, width=4)
+        noised = apply_model_noise(model,
+                                   TRAIN_CONFIG.with_(upsample_mode="bilinear"))
+        assert noised.up1.mode == "bilinear"
+        assert model.up1.mode == "nearest"
+
+    def test_precision_applied_last(self):
+        model = resnet_lite("resnet18x0.25")
+        x = np.random.default_rng(0).standard_normal((4, 3, 32, 32))
+        noised = apply_model_noise(
+            model, TRAIN_CONFIG.with_(precision="int8", ceil_mode=True),
+            calibrate=lambda m: m(Tensor(x)))
+        pools = [m for m in noised.modules() if isinstance(m, MaxPool2d)]
+        assert all(p.ceil_mode for p in pools)
+
+    def test_fp32_config_still_copies(self):
+        model = resnet_lite("resnet18x0.25")
+        assert apply_model_noise(model, TRAIN_CONFIG) is not model

@@ -1,0 +1,178 @@
+"""Integration tests: detectors train on synthetic scenes and detect objects."""
+
+import numpy as np
+import pytest
+
+from repro.data import make_detection_dataset
+from repro.detection import (DetBackbone, DetTrainConfig, FasterRCNNLite, FPN,
+                             RetinaNetLite, assign_anchors,
+                             mean_average_precision, roi_align, train_detector)
+from repro.nn import Tensor
+
+
+def to_input(images):
+    return images.astype(np.float64).transpose(0, 3, 1, 2) / 255.0 - 0.5
+
+
+class TestBackboneAndFPN:
+    def test_feature_strides(self):
+        bb = DetBackbone("resnet-34")
+        c3, c4 = bb(Tensor(np.random.default_rng(0).standard_normal((1, 3, 32, 32))))
+        assert c3.shape[2:] == (8, 8)    # stride 4
+        assert c4.shape[2:] == (4, 4)    # stride 8
+
+    def test_mobilenet_backbone_has_no_pool(self):
+        assert DetBackbone("mobilenetv2").pool is None
+        assert DetBackbone("resnet-50").pool is not None
+
+    def test_unknown_backbone(self):
+        with pytest.raises(ValueError):
+            DetBackbone("vgg")
+
+    def test_fpn_output_channels_uniform(self):
+        bb = DetBackbone("resnet-34")
+        fpn = FPN(bb.out_channels, 16)
+        x = Tensor(np.random.default_rng(1).standard_normal((2, 3, 32, 32)))
+        p3, p4 = fpn(*bb(x))
+        assert p3.shape[1] == p4.shape[1] == 16
+
+    def test_fpn_upsample_mode_changes_output(self):
+        bb = DetBackbone("resnet-34")
+        fpn = FPN(bb.out_channels, 8, upsample_mode="nearest")
+        bb.eval(), fpn.eval()
+        x = Tensor(np.random.default_rng(2).standard_normal((1, 3, 32, 32)))
+        p3_near, _ = fpn(*bb(x))
+        fpn.upsample_mode = "bilinear"
+        p3_bil, _ = fpn(*bb(x))
+        assert not np.allclose(p3_near.data, p3_bil.data)
+
+    def test_fpn_handles_ceil_mode_size_drift(self):
+        """Ceil-mode flip grows C3/C4; FPN must still align them."""
+        bb = DetBackbone("resnet-50")
+        fpn = FPN(bb.out_channels, 8)
+        bb.eval(), fpn.eval()
+        x = Tensor(np.random.default_rng(3).standard_normal((1, 3, 36, 36)))
+        bb.pool.ceil_mode = True
+        p3, p4 = fpn(*bb(x))
+        assert p3.shape[2] >= 9   # grew relative to floor mode
+
+
+class TestAssignment:
+    def test_perfect_anchor_positive(self):
+        anchors = np.array([[0, 0, 10, 10], [50, 50, 60, 60]], dtype=float)
+        gt = np.array([[0.0, 0, 0, 10, 10]])
+        labels, matched = assign_anchors(anchors, gt)
+        assert labels[0] == 1 and matched[0] == 0
+
+    def test_empty_gt_all_background(self):
+        anchors = np.array([[0, 0, 10, 10]], dtype=float)
+        labels, _ = assign_anchors(anchors, np.empty((0, 5)))
+        assert labels[0] == 0
+
+    def test_every_gt_gets_an_anchor(self):
+        rng = np.random.default_rng(0)
+        anchors = np.concatenate([rng.uniform(0, 30, (50, 2)),
+                                  rng.uniform(34, 64, (50, 2))], axis=1)
+        gt = np.array([[0.0, 1, 1, 8, 8], [1.0, 40, 40, 60, 60]])
+        labels, matched = assign_anchors(anchors, gt)
+        assert set(matched[labels == 1]) == {0, 1}
+
+
+class TestRoIAlign:
+    def test_full_image_roi_matches_downsample(self):
+        feat = Tensor(np.arange(64.0).reshape(1, 1, 8, 8))
+        rois = np.array([[0, 0, 0, 32, 32]], dtype=float)   # full map at stride 4
+        crop = roi_align(feat, rois, out_size=8, stride=4)
+        np.testing.assert_allclose(crop.data[0, 0], feat.data[0, 0], atol=1e-9)
+
+    def test_shape(self):
+        feat = Tensor(np.random.default_rng(0).standard_normal((2, 3, 8, 8)))
+        rois = np.array([[0, 4, 4, 16, 16], [1, 0, 0, 8, 8]], dtype=float)
+        crop = roi_align(feat, rois, out_size=4, stride=4)
+        assert crop.shape == (2, 3, 4, 4)
+
+    def test_gradient_flows_to_features(self):
+        feat = Tensor(np.random.default_rng(1).standard_normal((1, 2, 8, 8)),
+                      requires_grad=True)
+        rois = np.array([[0, 0, 0, 16, 16]], dtype=float)
+        roi_align(feat, rois, 4, stride=4).sum().backward()
+        assert feat.grad is not None and np.abs(feat.grad).sum() > 0
+
+
+@pytest.fixture(scope="module")
+def tiny_det_data():
+    # native_scale=1.0 keeps image pixels in GT coordinates for direct training.
+    ds = make_detection_dataset(n=48, size=48, seed=0, max_objects=2,
+                                native_scale=1.0)
+    return to_input(ds.images), ds.gt_boxes
+
+
+@pytest.fixture(scope="module")
+def trained_retinanet(tiny_det_data):
+    x, gts = tiny_det_data
+    model = RetinaNetLite(backbone="resnet-34", num_classes=3, fpn_channels=12,
+                          seed=0)
+    history = train_detector(model, x, gts,
+                             DetTrainConfig(epochs=10, batch_size=8, lr=4e-3))
+    return model, history
+
+
+class TestRetinaNetEndToEnd:
+    def test_loss_decreases(self, trained_retinanet):
+        _, history = trained_retinanet
+        assert history[-1] < history[0]
+
+    def test_detects_objects(self, trained_retinanet, tiny_det_data):
+        model, _ = trained_retinanet
+        x, gts = tiny_det_data
+        dets = model.predict(x[:16], score_threshold=0.3)
+        mAP = mean_average_precision(dets, gts[:16], 3)
+        assert mAP > 10.0    # far above the ~0 of an untrained net
+
+    def test_untrained_is_worse(self, trained_retinanet, tiny_det_data):
+        model, _ = trained_retinanet
+        x, gts = tiny_det_data
+        fresh = RetinaNetLite(backbone="resnet-34", num_classes=3,
+                              fpn_channels=12, seed=9)
+        trained_map = mean_average_precision(model.predict(x[:12]), gts[:12], 3)
+        fresh_map = mean_average_precision(fresh.predict(x[:12]), gts[:12], 3)
+        assert trained_map > fresh_map
+
+    def test_detection_format(self, trained_retinanet, tiny_det_data):
+        model, _ = trained_retinanet
+        x, _ = tiny_det_data
+        for det in model.predict(x[:4]):
+            assert det.ndim == 2 and det.shape[1] == 6
+            if len(det):
+                assert det[:, 0].max() < 3        # class ids
+                assert (det[:, 1] >= 0.0).all()   # scores
+
+    def test_aligned_offset_changes_boxes(self, trained_retinanet, tiny_det_data):
+        model, _ = trained_retinanet
+        x, _ = tiny_det_data
+        base = model.predict(x[:4])
+        model.aligned_offset = 1.0
+        shifted = model.predict(x[:4])
+        model.aligned_offset = 0.0
+        moved = any(len(a) and len(b) and not np.allclose(a[:, 2:], b[:len(a), 2:])
+                    for a, b in zip(base, shifted))
+        assert moved
+
+
+class TestFasterRCNN:
+    def test_trains_and_detects(self, tiny_det_data):
+        x, gts = tiny_det_data
+        model = FasterRCNNLite(backbone="resnet-34", num_classes=3,
+                               fpn_channels=12, seed=0)
+        history = train_detector(model, x[:32], gts[:32],
+                                 DetTrainConfig(epochs=8, batch_size=8, lr=4e-3))
+        assert history[-1] < history[0]
+        dets = model.predict(x[:12], score_threshold=0.4)
+        mAP = mean_average_precision(dets, gts[:12], 3)
+        assert mAP > 5.0
+
+    def test_predict_empty_safe(self):
+        model = FasterRCNNLite(backbone="mobilenetv2", num_classes=3, seed=1)
+        x = np.zeros((1, 3, 32, 32))
+        dets = model.predict(x, score_threshold=0.99)
+        assert dets[0].shape[1] == 6 or len(dets[0]) == 0

@@ -1,0 +1,210 @@
+"""Unit tests for detection primitives: boxes, anchors, NMS, mAP, losses."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.detection import (average_precision, batched_nms, box_iou,
+                             clip_boxes, decode_deltas, encode_deltas,
+                             generate_anchors, generate_level_anchors,
+                             mean_average_precision, nms, sigmoid_focal_loss,
+                             smooth_l1)
+from repro.detection.losses import binary_cross_entropy_logits
+from repro.nn import Tensor
+
+
+class TestBoxIoU:
+    def test_identical_boxes(self):
+        b = np.array([[0, 0, 10, 10]], dtype=float)
+        np.testing.assert_allclose(box_iou(b, b), 1.0)
+
+    def test_disjoint_boxes(self):
+        a = np.array([[0, 0, 5, 5]], dtype=float)
+        b = np.array([[10, 10, 20, 20]], dtype=float)
+        np.testing.assert_allclose(box_iou(a, b), 0.0)
+
+    def test_half_overlap(self):
+        a = np.array([[0, 0, 10, 10]], dtype=float)
+        b = np.array([[0, 0, 10, 5]], dtype=float)
+        np.testing.assert_allclose(box_iou(a, b), 0.5)
+
+    def test_pairwise_shape(self):
+        a = np.zeros((3, 4))
+        b = np.zeros((5, 4))
+        assert box_iou(a, b).shape == (3, 5)
+
+    @given(st.floats(0, 50), st.floats(0, 50), st.floats(1, 30), st.floats(1, 30))
+    @settings(max_examples=50, deadline=None)
+    def test_property_iou_bounds(self, x, y, w, h):
+        a = np.array([[x, y, x + w, y + h]])
+        b = np.array([[x + w / 2, y, x + w * 1.5, y + h]])
+        iou = box_iou(a, b)[0, 0]
+        assert 0.0 <= iou <= 1.0
+
+
+class TestDeltaCoding:
+    def setup_method(self):
+        rng = np.random.default_rng(0)
+        self.anchors = np.stack([
+            rng.uniform(0, 20, 16), rng.uniform(0, 20, 16),
+            rng.uniform(25, 45, 16), rng.uniform(25, 45, 16)], axis=1)
+        self.targets = self.anchors + rng.uniform(-3, 3, (16, 4))
+
+    @pytest.mark.parametrize("offset", [0.0, 1.0])
+    def test_encode_decode_roundtrip(self, offset):
+        deltas = encode_deltas(self.anchors, self.targets, offset)
+        back = decode_deltas(self.anchors, deltas, offset)
+        np.testing.assert_allclose(back, self.targets, atol=1e-9)
+
+    def test_aligned_offset_flip_shifts_boxes(self):
+        """The post-processing noise: decoding with the wrong convention."""
+        deltas = encode_deltas(self.anchors, self.targets, aligned_offset=0.0)
+        wrong = decode_deltas(self.anchors, deltas, aligned_offset=1.0)
+        err = np.abs(wrong - self.targets)
+        assert err.max() > 0.4               # boxes visibly move
+        assert err.max() < 3.0               # ... but only by ~a pixel
+
+    def test_zero_deltas_recover_anchor(self):
+        zero = np.zeros((16, 4))
+        out = decode_deltas(self.anchors, zero, 0.0)
+        np.testing.assert_allclose(out, self.anchors, atol=1e-9)
+
+    def test_dw_clamped(self):
+        deltas = np.array([[0.0, 0.0, 50.0, 50.0]])
+        out = decode_deltas(self.anchors[:1], deltas)
+        assert np.isfinite(out).all()
+
+    def test_clip_boxes(self):
+        boxes = np.array([[-5.0, -5.0, 100.0, 100.0]])
+        out = clip_boxes(boxes, 64)
+        np.testing.assert_array_equal(out, [[0, 0, 64, 64]])
+
+
+class TestAnchors:
+    def test_count(self):
+        a = generate_level_anchors(4, 4, 8, scales=(1.0,), ratios=(1.0,))
+        assert a.shape == (16, 4)
+
+    def test_centres_on_stride_grid(self):
+        a = generate_level_anchors(2, 2, 8, scales=(1.0,), ratios=(1.0,))
+        cx = (a[:, 0] + a[:, 2]) / 2
+        np.testing.assert_allclose(np.unique(cx), [4.0, 12.0])
+
+    def test_ratio_changes_aspect(self):
+        a = generate_level_anchors(1, 1, 8, scales=(1.0,), ratios=(0.5, 2.0))
+        w = a[:, 2] - a[:, 0]
+        h = a[:, 3] - a[:, 1]
+        assert (w[0] > h[0]) != (w[1] > h[1])
+
+    def test_multi_level_concat(self):
+        a = generate_anchors([(4, 4), (2, 2)], [4, 8], scales=(1.0,),
+                             ratios=(1.0,))
+        assert a.shape == (20, 4)
+
+    def test_anchor_area_scales_with_stride(self):
+        a4 = generate_level_anchors(1, 1, 4, scales=(1.0,), ratios=(1.0,))
+        a8 = generate_level_anchors(1, 1, 8, scales=(1.0,), ratios=(1.0,))
+        area = lambda b: (b[:, 2] - b[:, 0]) * (b[:, 3] - b[:, 1])
+        assert area(a8)[0] > area(a4)[0]
+
+
+class TestNMS:
+    def test_suppresses_duplicates(self):
+        boxes = np.array([[0, 0, 10, 10], [1, 1, 11, 11], [30, 30, 40, 40]],
+                         dtype=float)
+        scores = np.array([0.9, 0.8, 0.7])
+        keep = nms(boxes, scores, 0.5)
+        assert list(keep) == [0, 2]
+
+    def test_keeps_order_by_score(self):
+        boxes = np.array([[0, 0, 10, 10], [30, 30, 40, 40]], dtype=float)
+        keep = nms(boxes, np.array([0.2, 0.9]), 0.5)
+        assert list(keep) == [1, 0]
+
+    def test_max_out(self):
+        boxes = np.array([[i * 20, 0, i * 20 + 10, 10] for i in range(5)],
+                         dtype=float)
+        keep = nms(boxes, np.linspace(1, 0.5, 5), 0.5, max_out=2)
+        assert len(keep) == 2
+
+    def test_batched_nms_keeps_cross_class_overlaps(self):
+        boxes = np.array([[0, 0, 10, 10], [0, 0, 10, 10]], dtype=float)
+        scores = np.array([0.9, 0.8])
+        classes = np.array([0, 1])
+        keep = batched_nms(boxes, scores, classes, 0.5)
+        assert len(keep) == 2
+
+    def test_batched_nms_empty(self):
+        assert len(batched_nms(np.empty((0, 4)), np.empty(0), np.empty(0))) == 0
+
+
+class TestMAP:
+    def test_perfect_detection_ap1(self):
+        gt = [np.array([[0.0, 0, 0, 10, 10]])]
+        det = [np.array([[0.0, 0.99, 0, 0, 10, 10]])]
+        assert mean_average_precision(det, gt, 1) == pytest.approx(100.0)
+
+    def test_missed_gt_zero(self):
+        gt = [np.array([[0.0, 0, 0, 10, 10]])]
+        det = [np.empty((0, 6))]
+        assert mean_average_precision(det, gt, 1) == 0.0
+
+    def test_false_positive_lowers_ap(self):
+        gt = [np.array([[0.0, 0, 0, 10, 10]])]
+        clean = [np.array([[0.0, 0.9, 0, 0, 10, 10]])]
+        noisy = [np.array([[0.0, 0.95, 50, 50, 60, 60],
+                           [0.0, 0.9, 0, 0, 10, 10]])]
+        assert (mean_average_precision(noisy, gt, 1)
+                < mean_average_precision(clean, gt, 1))
+
+    def test_shifted_box_loses_high_iou_thresholds(self):
+        gt = [np.array([[0.0, 0, 0, 10, 10]])]
+        shifted = [np.array([[0.0, 0.9, 1, 1, 11, 11]])]
+        exact = [np.array([[0.0, 0.9, 0, 0, 10, 10]])]
+        m_shift = mean_average_precision(shifted, gt, 1)
+        m_exact = mean_average_precision(exact, gt, 1)
+        assert m_shift < m_exact
+
+    def test_duplicate_detection_matches_one_gt_only(self):
+        # Two GTs, both detections pile on the first one: the duplicate is an
+        # FP and the second GT is missed, so recall caps at 0.5 and AP < 1.
+        gt = [np.array([[0, 0, 10, 10], [30, 30, 40, 40]], dtype=float)]
+        dets = [np.array([[0.9, 0, 0, 10, 10], [0.8, 0, 0, 10, 10]])]
+        ap = average_precision(dets, gt, 0.5)
+        assert ap <= 0.5 + 1e-9
+
+    def test_ap_empty_everything(self):
+        assert average_precision([np.empty((0, 5))], [np.empty((0, 4))], 0.5) == 0.0
+
+
+class TestLosses:
+    def test_bce_matches_reference(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal(50)
+        t = rng.integers(0, 2, 50).astype(float)
+        ours = binary_cross_entropy_logits(Tensor(x), t).data
+        p = 1 / (1 + np.exp(-x))
+        ref = -(t * np.log(p) + (1 - t) * np.log(1 - p))
+        np.testing.assert_allclose(ours, ref, atol=1e-10)
+
+    def test_focal_downweights_easy(self):
+        easy = sigmoid_focal_loss(Tensor(np.array([6.0])), np.array([1.0]))
+        hard = sigmoid_focal_loss(Tensor(np.array([-6.0])), np.array([1.0]))
+        assert hard.item() > easy.item() * 100
+
+    def test_focal_grad_finite(self):
+        x = Tensor(np.array([2.0, -2.0]), requires_grad=True)
+        sigmoid_focal_loss(x, np.array([1.0, 0.0])).backward()
+        assert np.isfinite(x.grad).all()
+
+    def test_smooth_l1_quadratic_then_linear(self):
+        small = smooth_l1(Tensor(np.array([0.5])), np.array([0.0])).item()
+        assert small == pytest.approx(0.125)
+        big = smooth_l1(Tensor(np.array([3.0])), np.array([0.0])).item()
+        assert big == pytest.approx(2.5)
+
+    def test_smooth_l1_grad(self):
+        x = Tensor(np.array([0.5, 3.0, -3.0]), requires_grad=True)
+        smooth_l1(x, np.zeros(3)).backward()
+        np.testing.assert_allclose(x.grad, [0.5, 1.0, -1.0])

@@ -1,0 +1,78 @@
+"""Consistency-of-results tests (paper Appendix E).
+
+The paper fixes library versions and verifies repeated evaluations differ by
+< 0.0001%.  Our substrate is fully deterministic, so we can assert exact
+bit-reproducibility across every pipeline stage.
+"""
+
+import numpy as np
+
+import repro.nn as nn
+from repro.core import TRAIN_CONFIG, preprocess_dataset, train_classification_model
+from repro.data import make_classification_dataset, make_nlp_suite
+from repro.image import color_roundtrip, decode_with, encode, resize
+from repro.nn import Tensor
+
+
+class TestPipelineDeterminism:
+    def test_jpeg_encode_bitstream_stable(self):
+        img = np.random.default_rng(0).integers(0, 256, (24, 24, 3),
+                                                dtype=np.uint8)
+        a = encode(img, quality=85).tobytes()
+        b = encode(img, quality=85).tobytes()
+        assert a == b
+
+    def test_decode_stable_across_calls(self):
+        img = np.random.default_rng(1).integers(0, 256, (24, 24, 3),
+                                                dtype=np.uint8)
+        stream = encode(img)
+        for lib in ("pil", "opencv", "ffmpeg", "dali"):
+            np.testing.assert_array_equal(decode_with(stream, lib),
+                                          decode_with(stream, lib))
+
+    def test_resize_stable(self):
+        img = np.random.default_rng(2).integers(0, 256, (32, 32, 3),
+                                                dtype=np.uint8)
+        np.testing.assert_array_equal(resize(img, (20, 20), "pillow-lanczos"),
+                                      resize(img, (20, 20), "pillow-lanczos"))
+
+    def test_color_roundtrip_stable(self):
+        img = np.random.default_rng(3).integers(0, 256, (16, 16, 3),
+                                                dtype=np.uint8)
+        np.testing.assert_array_equal(color_roundtrip(img, "nv12-integer"),
+                                      color_roundtrip(img, "nv12-integer"))
+
+    def test_preprocess_dataset_stable(self):
+        ds = make_classification_dataset(n=6, native_size=40, input_size=32,
+                                         seed=0)
+        a = preprocess_dataset(ds.streams, 32, TRAIN_CONFIG.with_(decoder="pil"))
+        b = preprocess_dataset(ds.streams, 32, TRAIN_CONFIG.with_(decoder="pil"))
+        np.testing.assert_array_equal(a, b)
+
+
+class TestTrainingDeterminism:
+    def test_same_seed_same_model(self):
+        ds = make_classification_dataset(n=40, native_size=40, input_size=32,
+                                         seed=0)
+        cfg = lambda: nn.TrainConfig(epochs=3, batch_size=16, lr=0.05, seed=1)
+        m1 = train_classification_model("resnet18x0.25", ds, cfg())
+        m2 = train_classification_model("resnet18x0.25", ds, cfg())
+        s1, s2 = m1.state_dict(), m2.state_dict()
+        for k in s1:
+            np.testing.assert_array_equal(s1[k], s2[k])
+
+    def test_inference_stable(self):
+        model = nn.Sequential(nn.Conv2d(3, 4, 3, padding=1), nn.ReLU(),
+                              nn.Flatten(), nn.Linear(4 * 8 * 8, 2))
+        model.eval()
+        x = Tensor(np.random.default_rng(4).standard_normal((2, 3, 8, 8)))
+        np.testing.assert_array_equal(model(x).data, model(x).data)
+
+    def test_nlp_suite_deterministic(self):
+        g1, t1 = make_nlp_suite(n_per_task=5, seed=3)
+        g2, t2 = make_nlp_suite(n_per_task=5, seed=3)
+        np.testing.assert_array_equal(g1.perm, g2.perm)
+        for name in t1:
+            np.testing.assert_array_equal(t1[name].answers, t2[name].answers)
+            for a, b in zip(t1[name].prefixes, t2[name].prefixes):
+                np.testing.assert_array_equal(a, b)

@@ -1,0 +1,151 @@
+"""Failure-injection tests: corrupted inputs must fail loudly, not silently.
+
+SysNoise is *silent* degradation; the library's job is to make every other
+failure mode *loud*.  These tests corrupt bitstreams, checkpoints, graphs,
+and configuration values and assert a clear exception (never a wrong
+answer).
+"""
+
+import numpy as np
+import pytest
+
+import repro.nn as nn
+from repro.core import TRAIN_CONFIG, preprocess
+from repro.image import decode_with, resize
+from repro.image.color import color_roundtrip
+from repro.image.jpeg import JpegBitstream, decode, encode
+
+RNG = np.random.default_rng(0)
+# A smooth gradient-plus-texture image: JPEG assumes spatial coherence, so
+# pure random noise would measure codec worst-case loss instead of behaviour.
+_ramp = np.linspace(0, 200, 24)
+IMAGE = np.clip(
+    _ramp[:, None, None] + _ramp[None, :, None] * 0.25
+    + RNG.normal(0, 8, size=(24, 24, 3)), 0, 255).astype(np.uint8)
+
+
+class TestCorruptBitstreams:
+    def test_wrong_magic_rejected(self):
+        raw = encode(IMAGE).tobytes()
+        with pytest.raises(ValueError, match="not an RJPG"):
+            JpegBitstream.frombytes(b"JUNK" + raw[4:])
+
+    def test_truncated_payload_fails_loudly(self):
+        raw = encode(IMAGE).tobytes()
+        clipped = JpegBitstream.frombytes(raw[: len(raw) // 2])
+        with pytest.raises((ValueError, IndexError)):
+            decode(clipped)
+
+    def test_bitflipped_payload_fails_or_stays_in_range(self):
+        """Random corruption either raises or still yields valid uint8 pixels
+        of the right shape — never silently returns garbage shapes/dtypes."""
+        stream = encode(IMAGE)
+        payload = bytearray(stream.payload)
+        for pos in (3, len(payload) // 2, len(payload) - 2):
+            payload[pos] ^= 0xFF
+        corrupt = JpegBitstream(stream.height, stream.width, stream.quality,
+                                stream.subsample, bytes(payload),
+                                stream.n_blocks)
+        try:
+            out = decode(corrupt)
+        except (ValueError, IndexError, KeyError):
+            return
+        assert out.shape == IMAGE.shape and out.dtype == np.uint8
+
+    def test_unknown_decoder_persona(self):
+        with pytest.raises(ValueError):
+            decode_with(encode(IMAGE), "turbojpeg")
+
+    def test_roundtrip_sanity_after_corruption_tests(self):
+        """The happy path still holds (guards against test pollution)."""
+        out = decode_with(encode(IMAGE, quality=95), "pil")
+        assert np.abs(out.astype(int) - IMAGE.astype(int)).mean() < 12
+
+
+class TestBadConfiguration:
+    def test_unknown_resize_method(self):
+        with pytest.raises(ValueError, match="choose from"):
+            resize(IMAGE, (16, 16), "pillow-gaussian")
+
+    def test_unknown_color_pipeline(self):
+        with pytest.raises(ValueError, match="colour pipeline"):
+            color_roundtrip(IMAGE, "nv21-integer")
+
+    def test_preprocess_rejects_bad_config(self):
+        cfg = TRAIN_CONFIG.with_(resize_method="no-such-kernel")
+        with pytest.raises(ValueError):
+            preprocess(IMAGE, 16, cfg)
+
+    def test_noise_config_rejects_unknown_field(self):
+        with pytest.raises(TypeError):
+            TRAIN_CONFIG.with_(decoder_version=2)
+
+    def test_unknown_model_and_lm_names(self):
+        from repro.models import create_model
+        from repro.nlp import create_lm
+        with pytest.raises(ValueError, match="unknown model"):
+            create_model("lenet-5")
+        with pytest.raises(ValueError, match="unknown LM"):
+            create_lm("opt-175b-turbo")
+
+
+class TestCorruptArtifacts:
+    def test_truncated_checkpoint(self, tmp_path):
+        model = nn.Sequential(nn.Linear(4, 4))
+        path = nn.save_checkpoint(model, tmp_path / "w.npz")
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 3])
+        with pytest.raises(Exception):      # zipfile/np.load error surface
+            nn.load_checkpoint(model, path)
+
+    def test_checkpoint_with_extra_key(self, tmp_path):
+        model = nn.Sequential(nn.Linear(4, 4))
+        path = nn.save_checkpoint(model, tmp_path / "w.npz")
+        with np.load(path) as data:
+            blobs = dict(data)
+        blobs["stowaway"] = np.ones(3)
+        np.savez(path, **blobs)
+        with pytest.raises(nn.CheckpointError, match="unexpected"):
+            nn.load_checkpoint(model, path)
+
+    def test_graph_with_tampered_json(self, tmp_path):
+        from repro.backend import (GraphBuilder, GraphError, load_graph,
+                                   save_graph)
+        b = GraphBuilder("g")
+        out = b.emit("relu", ["x"])
+        path = save_graph(b.finish(out), tmp_path / "g.npz")
+        with np.load(path) as data:
+            blobs = {k: data[k] for k in data.files}
+        doc = bytes(blobs["__graph_json__"]).decode()
+        blobs["__graph_json__"] = np.frombuffer(
+            doc.replace('"relu"', '"hcf"').encode(), dtype=np.uint8)
+        np.savez(path, **blobs)
+        with pytest.raises(GraphError, match="unknown op"):
+            load_graph(path)
+
+
+class TestNumericEdgeCases:
+    def test_pipeline_handles_flat_images(self):
+        """Constant-colour images (zero AC coefficients) survive the chain."""
+        flat = np.full((24, 24, 3), 77, dtype=np.uint8)
+        for persona in ("pil", "opencv", "ffmpeg", "dali"):
+            out = decode_with(encode(flat), persona)
+            assert np.abs(out.astype(int) - 77).max() <= 3
+        assert color_roundtrip(flat).shape == flat.shape
+        assert resize(flat, (7, 7), "cv-area").shape == (7, 7, 3)
+
+    def test_quantizing_constant_tensor(self):
+        from repro.nn.quant import compute_qparams, fake_quant
+        x = np.zeros(16)
+        qp = compute_qparams(x.min(), x.max())
+        np.testing.assert_array_equal(fake_quant(x, qp), x)
+
+    def test_resize_to_one_pixel(self):
+        for method in ("pillow-bilinear", "cv-nearest", "cv-area"):
+            out = resize(IMAGE, (1, 1), method)
+            assert out.shape == (1, 1, 3)
+
+    def test_upscale_then_downscale_identity_nearest(self):
+        up = resize(IMAGE, (48, 48), "pillow-nearest")
+        back = resize(up, (24, 24), "pillow-nearest")
+        np.testing.assert_array_equal(back, IMAGE)

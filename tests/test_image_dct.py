@@ -1,0 +1,100 @@
+"""Tests for the DCT variants — the root cause of decoder SysNoise."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.fft import dctn, idctn
+
+from repro.image.dct import (IDCT_VARIANTS, dct2, dct_matrix, idct_chen,
+                             idct_integer, idct_reference, idct_rowcol_f32)
+
+
+def random_blocks(n, rng, scale=128.0):
+    return rng.uniform(-scale, scale, size=(n, 8, 8))
+
+
+class TestForward:
+    def test_dct_matrix_orthonormal(self):
+        c = dct_matrix()
+        np.testing.assert_allclose(c @ c.T, np.eye(8), atol=1e-12)
+
+    def test_matches_scipy(self):
+        rng = np.random.default_rng(0)
+        x = random_blocks(3, rng)
+        ref = dctn(x, axes=(-2, -1), norm="ortho")
+        np.testing.assert_allclose(dct2(x), ref, atol=1e-10)
+
+    def test_dc_coefficient_is_scaled_mean(self):
+        x = np.full((1, 8, 8), 10.0)
+        coeffs = dct2(x)
+        np.testing.assert_allclose(coeffs[0, 0, 0], 80.0)  # 8 * mean
+        np.testing.assert_allclose(coeffs[0].reshape(-1)[1:], 0, atol=1e-12)
+
+
+class TestInverseVariants:
+    def setup_method(self):
+        self.rng = np.random.default_rng(1)
+
+    def test_reference_inverts_exactly(self):
+        x = random_blocks(4, self.rng)
+        np.testing.assert_allclose(idct_reference(dct2(x)), x, atol=1e-10)
+
+    def test_reference_matches_scipy(self):
+        c = random_blocks(2, self.rng)
+        ref = idctn(c, axes=(-2, -1), norm="ortho")
+        np.testing.assert_allclose(idct_reference(c), ref, atol=1e-10)
+
+    @pytest.mark.parametrize("name", ["chen", "integer", "rowcol_f32"])
+    def test_variants_approximate_reference(self, name):
+        x = random_blocks(8, self.rng)
+        coeffs = dct2(x)
+        out = IDCT_VARIANTS[name](coeffs)
+        # Pixel-domain error stays well below 1 LSB on average...
+        assert np.abs(out - x).mean() < 0.5
+
+    @pytest.mark.parametrize("name", ["chen", "integer", "rowcol_f32"])
+    def test_variants_are_not_bit_identical(self, name):
+        """The whole point: different iDCTs disagree at the LSB level."""
+        x = random_blocks(8, self.rng)
+        coeffs = dct2(x)
+        ref = np.round(idct_reference(coeffs) + 128)
+        out = np.round(IDCT_VARIANTS[name](coeffs) + 128)
+        assert not np.array_equal(ref, out)
+
+    def test_variants_disagree_pairwise(self):
+        x = random_blocks(16, self.rng)
+        coeffs = dct2(x)
+        outs = {n: np.round(fn(coeffs) * 4) for n, fn in IDCT_VARIANTS.items()}
+        names = list(outs)
+        disagreements = sum(
+            not np.array_equal(outs[a], outs[b])
+            for i, a in enumerate(names) for b in names[i + 1:])
+        assert disagreements >= 5  # nearly every pair differs somewhere
+
+    def test_chen_approximately_linear(self):
+        # Exact linearity is broken by fixed-point intermediate storage, but
+        # only at the rounding-step scale.
+        a = random_blocks(1, self.rng)
+        np.testing.assert_allclose(idct_chen(2 * a), 2 * idct_chen(a), atol=0.1)
+
+    def test_integer_idct_deterministic(self):
+        c = dct2(random_blocks(2, self.rng))
+        np.testing.assert_array_equal(idct_integer(c), idct_integer(c))
+
+    def test_rowcol_f32_error_small(self):
+        x = random_blocks(4, self.rng)
+        out = idct_rowcol_f32(dct2(x))
+        assert np.abs(out - x).max() < 1.0
+
+    @given(st.integers(0, 2 ** 31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_property_all_variants_bounded_error(self, seed):
+        rng = np.random.default_rng(seed)
+        x = random_blocks(2, rng)
+        coeffs = dct2(x)
+        for fn in IDCT_VARIANTS.values():
+            assert np.abs(fn(coeffs) - x).max() < 2.0
+
+    def test_registry_complete(self):
+        assert set(IDCT_VARIANTS) == {"reference", "chen", "integer", "rowcol_f32"}

@@ -1,0 +1,162 @@
+"""Tests for the JPEG codec and its four decoder personas."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.image import jpeg
+from repro.image.jpeg import (DECODER_LIBRARIES, JpegBitstream, decode,
+                              decode_with, encode, quality_tables,
+                              zigzag_order)
+
+
+def smooth_image(h=32, w=32, seed=0):
+    """A natural-ish smooth test image (hard edges stress the codec less)."""
+    rng = np.random.default_rng(seed)
+    yy, xx = np.mgrid[0:h, 0:w]
+    base = 128 + 60 * np.sin(xx / 7.0) * np.cos(yy / 9.0)
+    img = np.stack([base, np.roll(base, 3, axis=0), 255 - base], axis=-1)
+    img += rng.normal(0, 4, size=img.shape)
+    return np.clip(img, 0, 255).astype(np.uint8)
+
+
+class TestTablesAndZigzag:
+    def test_quality_tables_monotone(self):
+        l50, _ = quality_tables(50)
+        l90, _ = quality_tables(90)
+        l10, _ = quality_tables(10)
+        assert (l90 <= l50).all() and (l50 <= l10).all()
+
+    def test_quality_100_near_lossless_table(self):
+        l100, c100 = quality_tables(100)
+        assert l100.max() <= 2 and c100.max() <= 2
+
+    def test_quality_clipped(self):
+        assert (quality_tables(0)[0] == quality_tables(1)[0]).all()
+        assert (quality_tables(101)[0] == quality_tables(100)[0]).all()
+
+    def test_zigzag_is_permutation(self):
+        zz = zigzag_order()
+        assert sorted(zz.tolist()) == list(range(64))
+
+    def test_zigzag_start_sequence(self):
+        # T.81 zig-zag starts 0, 1, 8, 16, 9, 2, ...
+        np.testing.assert_array_equal(zigzag_order()[:6], [0, 1, 8, 16, 9, 2])
+
+
+class TestMagnitudeCoding:
+    @given(st.integers(-2047, 2047))
+    @settings(max_examples=200, deadline=None)
+    def test_property_signed_magnitude_roundtrip(self, v):
+        bits, size = jpeg._encode_magnitude(v)
+        assert jpeg._decode_magnitude(bits, size) == v
+
+    def test_zero_has_zero_size(self):
+        assert jpeg._encode_magnitude(0) == (0, 0)
+
+
+class TestCodecRoundtrip:
+    def test_high_quality_roundtrip_small_error(self):
+        img = smooth_image()
+        out = decode(encode(img, quality=95, subsample=False))
+        err = np.abs(out.astype(int) - img.astype(int))
+        assert err.mean() < 3.0
+
+    def test_shape_and_dtype_preserved(self):
+        img = smooth_image(24, 40)
+        out = decode(encode(img, quality=80))
+        assert out.shape == img.shape and out.dtype == np.uint8
+
+    def test_non_multiple_of_8_dims(self):
+        img = smooth_image(19, 27)
+        out = decode(encode(img, quality=90))
+        assert out.shape == (19, 27, 3)
+
+    def test_lower_quality_more_error(self):
+        img = smooth_image()
+        e90 = np.abs(decode(encode(img, 90)).astype(int) - img.astype(int)).mean()
+        e20 = np.abs(decode(encode(img, 20)).astype(int) - img.astype(int)).mean()
+        assert e20 > e90
+
+    def test_subsample_introduces_chroma_error(self):
+        img = smooth_image()
+        e444 = np.abs(decode(encode(img, 95, subsample=False)).astype(int) - img).mean()
+        e420 = np.abs(decode(encode(img, 95, subsample=True)).astype(int) - img).mean()
+        assert e420 >= e444
+
+    def test_bitstream_serialisation_roundtrip(self):
+        img = smooth_image(16, 16)
+        stream = encode(img, quality=85)
+        restored = JpegBitstream.frombytes(stream.tobytes())
+        np.testing.assert_array_equal(decode(stream), decode(restored))
+
+    def test_frombytes_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            JpegBitstream.frombytes(b"JFIF" + b"\x00" * 32)
+
+    def test_encode_rejects_float(self):
+        with pytest.raises(TypeError):
+            encode(np.zeros((8, 8, 3)))
+
+    def test_compression_actually_compresses(self):
+        img = smooth_image(64, 64)
+        stream = encode(img, quality=50)
+        assert len(stream.tobytes()) < img.nbytes / 2
+
+    @given(st.integers(0, 1000))
+    @settings(max_examples=10, deadline=None)
+    def test_property_roundtrip_bounded(self, seed):
+        img = smooth_image(16, 16, seed)
+        out = decode(encode(img, quality=90))
+        assert np.abs(out.astype(int) - img.astype(int)).max() < 64
+
+
+class TestDecoderPersonas:
+    """The decoder noise itself: same bitstream, different RGB tensors."""
+
+    def setup_method(self):
+        self.img = smooth_image(32, 32)
+        self.stream = encode(self.img, quality=90)
+
+    def test_four_libraries_registered(self):
+        assert set(DECODER_LIBRARIES) == {"pil", "opencv", "ffmpeg", "dali"}
+
+    def test_personas_disagree_on_same_bitstream(self):
+        outs = {lib: decode_with(self.stream, lib) for lib in DECODER_LIBRARIES}
+        libs = list(outs)
+        pairs_differing = sum(
+            not np.array_equal(outs[a], outs[b])
+            for i, a in enumerate(libs) for b in libs[i + 1:])
+        assert pairs_differing >= 4
+
+    def test_persona_disagreement_is_small_but_real(self):
+        ref = decode_with(self.stream, "dali").astype(int)
+        for lib in ("pil", "opencv", "ffmpeg"):
+            diff = np.abs(decode_with(self.stream, lib).astype(int) - ref)
+            # iDCT disagreement is ±LSB; chroma-upsampling disagreement is a
+            # few counts at colour edges.  Never structural change.
+            assert diff.max() <= 32
+            assert diff.mean() < 3.0
+
+    def test_chroma_upsampling_is_the_dominant_decoder_axis(self):
+        same_chroma = np.abs(decode_with(self.stream, "opencv").astype(int)
+                             - decode_with(self.stream, "dali").astype(int))
+        diff_chroma = np.abs(decode_with(self.stream, "pil").astype(int)
+                             - decode_with(self.stream, "dali").astype(int))
+        assert diff_chroma.mean() > same_chroma.mean()
+
+    def test_unknown_chroma_mode_raises(self):
+        with pytest.raises(ValueError):
+            decode(self.stream, chroma_upsample="bicubic")
+
+    def test_each_persona_deterministic(self):
+        for lib in DECODER_LIBRARIES:
+            a = decode_with(self.stream, lib)
+            b = decode_with(self.stream, lib)
+            np.testing.assert_array_equal(a, b)
+
+    def test_all_personas_close_to_source(self):
+        for lib in DECODER_LIBRARIES:
+            out = decode_with(self.stream, lib)
+            assert np.abs(out.astype(int) - self.img.astype(int)).mean() < 6.0

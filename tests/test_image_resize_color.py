@@ -1,0 +1,186 @@
+"""Tests for resize kernels (11 methods) and colour-space round trips."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.image.color import (COLOR_PIPELINES, color_roundtrip,
+                               rgb_to_yuv_bt601, subsample_420, upsample_420,
+                               yuv_to_rgb_bt601, yuv_to_rgb_integer)
+from repro.image.resize import (OPENCV_METHODS, PILLOW_METHODS,
+                                RESIZE_METHODS, resize, resize_matrix)
+
+
+def gradient_image(h=24, w=24):
+    yy, xx = np.mgrid[0:h, 0:w]
+    img = np.stack([xx * 255 / (w - 1), yy * 255 / (h - 1),
+                    (xx + yy) * 255 / (h + w - 2)], axis=-1)
+    return img.astype(np.uint8)
+
+
+class TestResizeBasics:
+    def test_eleven_methods_as_in_paper(self):
+        assert len(RESIZE_METHODS) == 11
+        assert len(PILLOW_METHODS) == 6 and len(OPENCV_METHODS) == 5
+
+    @pytest.mark.parametrize("method", RESIZE_METHODS)
+    def test_output_shape_and_dtype(self, method):
+        out = resize(gradient_image(), (16, 20), method)
+        assert out.shape == (16, 20, 3) and out.dtype == np.uint8
+
+    @pytest.mark.parametrize("method", RESIZE_METHODS)
+    def test_identity_size_near_identity(self, method):
+        img = gradient_image()
+        out = resize(img, img.shape[:2], method)
+        assert np.abs(out.astype(int) - img.astype(int)).max() <= 1
+
+    @pytest.mark.parametrize("method", RESIZE_METHODS)
+    def test_constant_image_preserved(self, method):
+        img = np.full((16, 16, 3), 77, dtype=np.uint8)
+        out = resize(img, (23, 9), method)
+        np.testing.assert_array_equal(out, 77)
+
+    def test_grayscale_2d_supported(self):
+        img = gradient_image()[..., 0]
+        assert resize(img, (12, 12)).shape == (12, 12)
+
+    def test_float_input_stays_float(self):
+        img = gradient_image().astype(np.float64)
+        out = resize(img, (12, 12), "pillow-bilinear")
+        assert out.dtype == np.float64
+
+    def test_unknown_method_raises(self):
+        with pytest.raises(ValueError):
+            resize(gradient_image(), (8, 8), "pillow-magic")
+
+    def test_matrix_rows_sum_to_one(self):
+        for method in RESIZE_METHODS:
+            m = resize_matrix(17, 9, method)
+            np.testing.assert_allclose(m.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_matrix_cached(self):
+        a = resize_matrix(10, 5, "pillow-bilinear")
+        b = resize_matrix(10, 5, "pillow-bilinear")
+        assert a is b
+
+
+class TestResizeDisagreement:
+    """The resize noise: methods and packages produce different tensors."""
+
+    def setup_method(self):
+        rng = np.random.default_rng(0)
+        self.img = rng.integers(0, 256, size=(32, 32, 3), dtype=np.uint8)
+
+    def test_methods_pairwise_distinct_on_downscale(self):
+        outs = {m: resize(self.img, (14, 14), m) for m in RESIZE_METHODS}
+        names = list(outs)
+        distinct = sum(not np.array_equal(outs[a], outs[b])
+                       for i, a in enumerate(names) for b in names[i + 1:])
+        assert distinct >= 50  # out of 55 pairs
+
+    def test_same_kernel_differs_across_packages(self):
+        """Package-level noise: pillow-bilinear != cv-bilinear on downscale."""
+        a = resize(self.img, (14, 14), "pillow-bilinear")
+        b = resize(self.img, (14, 14), "cv-bilinear")
+        assert not np.array_equal(a, b)
+
+    def test_pillow_antialias_smoother_on_downscale(self):
+        # With antialiasing, downscaled high-freq noise has lower variance.
+        a = resize(self.img, (8, 8), "pillow-bilinear").astype(float)
+        b = resize(self.img, (8, 8), "cv-bilinear").astype(float)
+        assert a.var() < b.var()
+
+    def test_nearest_mappings_differ(self):
+        img = np.arange(8, dtype=np.uint8).reshape(1, 8)
+        img = np.repeat(img[..., None], 3, axis=-1)
+        a = resize(img, (1, 3), "pillow-nearest")
+        b = resize(img, (1, 3), "cv-nearest")
+        assert not np.array_equal(a, b)
+
+    def test_upscale_bilinear_between_neighbours(self):
+        img = np.array([[0, 100]], dtype=np.uint8)[..., None].repeat(3, -1)
+        out = resize(img, (1, 4), "pillow-bilinear").astype(int)
+        assert (out >= 0).all() and (out <= 100).all()
+        assert out[0, 1, 0] not in (0, 100)  # actually interpolates
+
+    def test_area_equals_box_mean_for_integer_factor(self):
+        img = self.img
+        out = resize(img, (16, 16), "cv-area").astype(float)
+        ref = img.astype(float).reshape(16, 2, 16, 2, 3).mean(axis=(1, 3))
+        np.testing.assert_allclose(out, np.round(ref), atol=1.0)
+
+    @given(st.integers(2, 40), st.integers(2, 40))
+    @settings(max_examples=30, deadline=None)
+    def test_property_any_size_bounded_range(self, oh, ow):
+        out = resize(self.img, (oh, ow), "pillow-lanczos")
+        assert out.shape == (oh, ow, 3)
+        # lanczos can ring but uint8 clip keeps range valid
+        assert out.min() >= 0 and out.max() <= 255
+
+
+class TestColor:
+    def setup_method(self):
+        rng = np.random.default_rng(1)
+        self.img = rng.integers(0, 256, size=(16, 16, 3), dtype=np.uint8)
+
+    def test_yuv_ranges_studio_swing(self):
+        yuv = rgb_to_yuv_bt601(self.img)
+        assert yuv[..., 0].min() >= 16 and yuv[..., 0].max() <= 235
+
+    def test_gray_has_neutral_chroma(self):
+        gray = np.full((4, 4, 3), 128, dtype=np.uint8)
+        yuv = rgb_to_yuv_bt601(gray)
+        np.testing.assert_array_equal(yuv[..., 1], 128)
+        np.testing.assert_array_equal(yuv[..., 2], 128)
+
+    def test_float_roundtrip_small_error(self):
+        out = yuv_to_rgb_bt601(rgb_to_yuv_bt601(self.img))
+        err = np.abs(out.astype(int) - self.img.astype(int))
+        assert err.max() <= 4 and err.mean() < 1.5
+
+    def test_integer_inverse_differs_from_float(self):
+        yuv = rgb_to_yuv_bt601(self.img)
+        a, b = yuv_to_rgb_bt601(yuv), yuv_to_rgb_integer(yuv)
+        assert not np.array_equal(a, b)
+        assert np.abs(a.astype(int) - b.astype(int)).max() <= 3
+
+    def test_subsample_shapes(self):
+        yuv = rgb_to_yuv_bt601(self.img)
+        y, u, v = subsample_420(yuv)
+        assert y.shape == (16, 16) and u.shape == (8, 8) and v.shape == (8, 8)
+
+    def test_subsample_odd_dims(self):
+        yuv = rgb_to_yuv_bt601(self.img[:15, :13])
+        y, u, v = subsample_420(yuv)
+        assert u.shape == (8, 7)
+        restored = upsample_420(y, u, v)
+        assert restored.shape == (15, 13, 3)
+
+    def test_nv12_lossier_than_444(self):
+        e444 = np.abs(color_roundtrip(self.img, "yuv444-float").astype(int)
+                      - self.img.astype(int)).mean()
+        e420 = np.abs(color_roundtrip(self.img, "nv12-float").astype(int)
+                      - self.img.astype(int)).mean()
+        assert e420 > e444
+
+    @pytest.mark.parametrize("pipeline", list(COLOR_PIPELINES))
+    def test_all_pipelines_bounded_noise(self, pipeline):
+        # Use a smooth image: NV12 chroma averaging on pure noise is huge by
+        # construction, but the benchmark operates on natural-ish content.
+        img = gradient_image(16, 16)
+        out = color_roundtrip(img, pipeline)
+        assert out.dtype == np.uint8
+        # Colour noise is mid-level, not destruction.
+        assert np.abs(out.astype(int) - img.astype(int)).mean() < 15
+
+    def test_unknown_pipeline_raises(self):
+        with pytest.raises(ValueError):
+            color_roundtrip(self.img, "nv21-float")
+
+    @given(st.integers(0, 255), st.integers(0, 255), st.integers(0, 255))
+    @settings(max_examples=100, deadline=None)
+    def test_property_single_pixel_roundtrip_bounded(self, r, g, b):
+        px = np.array([[[r, g, b]]], dtype=np.uint8)
+        out = color_roundtrip(px, "yuv444-float").astype(int)
+        assert np.abs(out - px.astype(int)).max() <= 5

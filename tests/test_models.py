@@ -1,0 +1,145 @@
+"""Tests for the model zoo: shapes, trainability, family properties."""
+
+import numpy as np
+import pytest
+
+import repro.nn as nn
+from repro.models import (MODEL_ZOO, create_model, family_of, model_names,
+                          resnet_lite, swin_lite, vit_lite)
+from repro.nn import Tensor
+
+
+def rand_batch(n=2, size=32, seed=0):
+    return Tensor(np.random.default_rng(seed).standard_normal((n, 3, size, size)))
+
+
+class TestZooRegistry:
+    def test_26_rows_like_paper_table2(self):
+        assert len(MODEL_ZOO) == 26
+
+    def test_families_present(self):
+        fams = {s.family for s in MODEL_ZOO}
+        assert fams == {"mcunet", "resnet", "mobilenet", "regnet",
+                        "efficientnet", "vit", "swin"}
+
+    def test_only_resnets_have_maxpool_flag(self):
+        for s in MODEL_ZOO:
+            assert s.has_maxpool == (s.family == "resnet")
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError):
+            create_model("alexnet")
+
+    def test_family_of(self):
+        assert family_of("vit-base") == "vit"
+
+    @pytest.mark.parametrize("name", model_names())
+    def test_every_model_forward_shape(self, name):
+        model = create_model(name, num_classes=10, seed=0)
+        out = model(rand_batch())
+        assert out.shape == (2, 10)
+
+    def test_deterministic_construction(self):
+        a = create_model("resnet-18", seed=3)
+        b = create_model("resnet-18", seed=3)
+        x = rand_batch()
+        a.eval(), b.eval()
+        np.testing.assert_array_equal(a(x).data, b(x).data)
+
+    def test_capacity_ordering_within_family(self):
+        """Larger paper variants must have more parameters."""
+        for small, large in [("resnet-18", "resnet-50"),
+                             ("mobilenetv2-0.5", "mobilenetv2-1.4"),
+                             ("regnetx-400m", "regnetx-3.2g"),
+                             ("efficientnet-b0", "efficientnet-b4"),
+                             ("vit-tiny", "vit-base"),
+                             ("swin-tiny", "swin-base")]:
+            assert (create_model(small).num_parameters()
+                    < create_model(large).num_parameters())
+
+    def test_mcunet_is_smallest(self):
+        sizes = {n: create_model(n).num_parameters() for n in model_names()}
+        assert min(sizes, key=sizes.get) == "mcunet-293kb"
+
+
+class TestResNetSpecifics:
+    def test_stem_pool_is_floor_mode(self):
+        model = resnet_lite("resnet-18")
+        assert model.pool.ceil_mode is False
+
+    def test_ceil_mode_flip_changes_logits(self):
+        model = resnet_lite("resnet-18")
+        model.eval()
+        x = rand_batch()
+        base = model(x).data
+        model.pool.ceil_mode = True
+        flipped = model(x).data
+        assert base.shape == flipped.shape        # head is GAP, shape-safe
+        assert not np.allclose(base, flipped)     # but values shift
+
+    def test_bottleneck_used_in_deep_variants(self):
+        from repro.models.resnet import Bottleneck
+        model = resnet_lite("resnet-50")
+        assert any(isinstance(m, Bottleneck) for m in model.modules())
+
+    def test_unknown_variant(self):
+        with pytest.raises(ValueError):
+            resnet_lite("resnet-1001")
+
+
+class TestTransformerSpecifics:
+    def test_vit_cls_token_trainable(self):
+        model = vit_lite("vit-tiny")
+        params = list(model.parameters())
+        assert any(p is model.cls_token for p in params)
+
+    def test_vit_patch_count(self):
+        model = vit_lite("vit-tiny", img_size=32)
+        tokens = model.embed(rand_batch())
+        assert tokens.shape[1] == (32 // 8) ** 2
+
+    def test_swin_forward_and_grad(self):
+        model = swin_lite("swin-tiny")
+        out = model(rand_batch())
+        out.sum().backward()
+        grads = [p.grad for p in model.parameters()]
+        assert sum(g is not None for g in grads) > len(grads) * 0.9
+
+    def test_swin_shifted_windows_differ_from_unshifted(self):
+        from repro.models.vit import SwinBlock
+        rng = np.random.default_rng(0)
+        plain = SwinBlock(8, 2, 4, shift=0, mlp_ratio=2.0, rng=np.random.default_rng(1))
+        shifted = SwinBlock(8, 2, 4, shift=2, mlp_ratio=2.0, rng=np.random.default_rng(1))
+        x = Tensor(rng.standard_normal((1, 8, 8, 8)))
+        assert not np.allclose(plain(x).data, shifted(x).data)
+
+    def test_roll_roundtrip(self):
+        from repro.models.vit import _roll
+        x = Tensor(np.arange(24.0).reshape(1, 4, 6, 1))
+        back = _roll(_roll(x, -2, 1), 2, 1)
+        np.testing.assert_array_equal(back.data, x.data)
+
+
+class TestTrainability:
+    """One representative per family must learn the synthetic task."""
+
+    @pytest.mark.parametrize("name", ["resnet18x0.25", "mobilenetv2-0.5",
+                                      "vit-tiny"])
+    def test_model_learns_above_chance(self, name):
+        rng = np.random.default_rng(0)
+        n, k = 120, 4
+        y = np.arange(n) % k
+        x = rng.standard_normal((n, 3, 32, 32)) * 0.1
+        # class-dependent quadrant brightness: easy but non-trivial signal
+        for i, yi in enumerate(y):
+            r, c = divmod(yi, 2)
+            x[i, :, r * 16:(r + 1) * 16, c * 16:(c + 1) * 16] += 1.0
+        model = create_model(name, num_classes=k, seed=0)
+        if name.startswith("vit"):
+            cfg = nn.TrainConfig(epochs=10, batch_size=16, lr=3e-3,
+                                 optimizer="adam")
+        else:
+            cfg = nn.TrainConfig(epochs=6, batch_size=16, lr=0.05)
+        nn.train_classifier(model, x, y, cfg)
+        acc = nn.evaluate_classifier(model, x, y)
+        assert acc > 50.0  # chance is 25%

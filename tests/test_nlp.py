@@ -1,0 +1,93 @@
+"""Tests for the LM family and multiple-choice evaluation under precision."""
+
+import numpy as np
+import pytest
+
+from repro.data import make_nlp_suite
+from repro.nlp import (OPT_CONFIGS, LMTrainConfig, TinyLM, create_lm,
+                       evaluate_task, evaluate_task_under_precision,
+                       sequence_logprob, train_lm)
+
+
+class TestLMBasics:
+    def test_logits_shape(self):
+        lm = TinyLM(vocab_size=20, dim=16, depth=1, heads=2)
+        out = lm(np.array([[1, 2, 3], [4, 5, 6]]))
+        assert out.shape == (2, 3, 20)
+
+    def test_accepts_1d(self):
+        lm = TinyLM(vocab_size=20, dim=16, depth=1, heads=2)
+        assert lm(np.array([1, 2, 3])).shape == (1, 3, 20)
+
+    def test_causality(self):
+        """Changing a future token must not change past logits."""
+        lm = TinyLM(vocab_size=20, dim=16, depth=2, heads=2, seed=1)
+        lm.eval()
+        a = lm(np.array([1, 2, 3, 4])).data
+        b = lm(np.array([1, 2, 3, 9])).data
+        np.testing.assert_allclose(a[0, :3], b[0, :3], atol=1e-10)
+        assert not np.allclose(a[0, 3], b[0, 3])
+
+    def test_config_family_ordering(self):
+        sizes = [create_lm(n).num_parameters() for n in OPT_CONFIGS]
+        assert sizes == sorted(sizes)
+
+    def test_unknown_lm(self):
+        with pytest.raises(ValueError):
+            create_lm("opt-175b")
+
+    def test_sequence_logprob_is_negative_and_finite(self):
+        lm = TinyLM(vocab_size=20, dim=16, depth=1, heads=2)
+        lp = sequence_logprob(lm, np.array([1, 2, 3]), np.array([4, 5]))
+        assert np.isfinite(lp) and lp < 0
+
+    def test_logprob_additivity(self):
+        """log p(ab|prefix) = log p(a|prefix) + log p(b|prefix+a)."""
+        lm = TinyLM(vocab_size=20, dim=16, depth=1, heads=2, seed=3)
+        lm.eval()
+        prefix = np.array([1, 2, 3])
+        joint = sequence_logprob(lm, prefix, np.array([4, 5]))
+        split = (sequence_logprob(lm, prefix, np.array([4]))
+                 + sequence_logprob(lm, np.array([1, 2, 3, 4]), np.array([5])))
+        np.testing.assert_allclose(joint, split, atol=1e-9)
+
+
+@pytest.fixture(scope="module")
+def trained_lm_suite():
+    grammar, tasks = make_nlp_suite(n_per_task=30, seed=0)
+    corpus = grammar.corpus(n_sequences=300, length=20, seed=1)
+    lm = create_lm("opt-1.3b", vocab_size=grammar.vocab_size, seed=0)
+    history = train_lm(lm, corpus, LMTrainConfig(epochs=12, batch_size=32))
+    return grammar, tasks, corpus, lm, history
+
+
+class TestLMTrainingAndTasks:
+    def test_loss_decreases(self, trained_lm_suite):
+        *_, history = trained_lm_suite
+        assert history[-1] < history[0] * 0.7
+
+    def test_piqa_above_chance(self, trained_lm_suite):
+        _, tasks, _, lm, _ = trained_lm_suite
+        acc = evaluate_task(lm, tasks["piqa"])
+        assert acc > 60.0     # chance = 50
+
+    def test_hellaswag_above_chance(self, trained_lm_suite):
+        _, tasks, _, lm, _ = trained_lm_suite
+        acc = evaluate_task(lm, tasks["hellaswag"])
+        assert acc > 40.0     # chance = 25
+
+    def test_fp16_delta_is_tiny(self, trained_lm_suite):
+        _, tasks, corpus, lm, _ = trained_lm_suite
+        base = evaluate_task(lm, tasks["piqa"])
+        fp16 = evaluate_task_under_precision(lm, tasks["piqa"], "fp16")
+        assert abs(base - fp16) <= 5.0
+
+    def test_int8_runs_and_stays_sane(self, trained_lm_suite):
+        _, tasks, corpus, lm, _ = trained_lm_suite
+        int8 = evaluate_task_under_precision(lm, tasks["piqa"], "int8", corpus)
+        assert 30.0 <= int8 <= 100.0
+
+    def test_int8_without_calibration_raises(self, trained_lm_suite):
+        _, tasks, _, lm, _ = trained_lm_suite
+        with pytest.raises(ValueError):
+            evaluate_task_under_precision(lm, tasks["piqa"], "int8")

@@ -1,0 +1,304 @@
+"""Tests for conv / pooling / upsample / norm functional ops."""
+
+import numpy as np
+import pytest
+from scipy import signal
+
+import repro.nn.functional as F
+from repro.nn import Tensor
+
+
+def numeric_grad(fn, x, eps=1e-6):
+    g = np.zeros_like(x)
+    flat, gf = x.reshape(-1), g.reshape(-1)
+    for i in range(flat.size):
+        old = flat[i]
+        flat[i] = old + eps
+        hi = fn(x)
+        flat[i] = old - eps
+        lo = fn(x)
+        flat[i] = old
+        gf[i] = (hi - lo) / (2 * eps)
+    return g
+
+
+class TestConv2d:
+    def setup_method(self):
+        self.rng = np.random.default_rng(0)
+
+    def test_matches_scipy_correlate(self):
+        x = self.rng.standard_normal((1, 1, 8, 8))
+        w = self.rng.standard_normal((1, 1, 3, 3))
+        out = F.conv2d(Tensor(x), Tensor(w), stride=1, padding=0)
+        ref = signal.correlate2d(x[0, 0], w[0, 0], mode="valid")
+        np.testing.assert_allclose(out.data[0, 0], ref, atol=1e-10)
+
+    def test_multichannel_sums_over_input_channels(self):
+        x = self.rng.standard_normal((2, 3, 6, 6))
+        w = self.rng.standard_normal((4, 3, 3, 3))
+        out = F.conv2d(Tensor(x), Tensor(w), padding=1)
+        assert out.shape == (2, 4, 6, 6)
+        ref = sum(signal.correlate2d(np.pad(x[0, c], 1), w[1, c], mode="valid")
+                  for c in range(3))
+        np.testing.assert_allclose(out.data[0, 1], ref, atol=1e-10)
+
+    def test_stride_and_padding_shapes(self):
+        x = Tensor(self.rng.standard_normal((1, 2, 9, 9)))
+        w = Tensor(self.rng.standard_normal((5, 2, 3, 3)))
+        assert F.conv2d(x, w, stride=2, padding=1).shape == (1, 5, 5, 5)
+
+    def test_dilation_shape(self):
+        x = Tensor(self.rng.standard_normal((1, 1, 9, 9)))
+        w = Tensor(self.rng.standard_normal((1, 1, 3, 3)))
+        # effective kernel 5 -> out 9 with pad 2
+        assert F.conv2d(x, w, padding=2, dilation=2).shape == (1, 1, 9, 9)
+
+    def test_grouped_conv_is_blockwise(self):
+        x = self.rng.standard_normal((1, 4, 5, 5))
+        w = self.rng.standard_normal((4, 2, 3, 3))
+        out = F.conv2d(Tensor(x), Tensor(w), padding=1, groups=2)
+        # First 2 output channels only see first 2 input channels.
+        ref = F.conv2d(Tensor(x[:, :2]), Tensor(w[:2]), padding=1)
+        np.testing.assert_allclose(out.data[:, :2], ref.data, atol=1e-10)
+
+    def test_depthwise_conv(self):
+        x = self.rng.standard_normal((2, 3, 6, 6))
+        w = self.rng.standard_normal((3, 1, 3, 3))
+        out = F.conv2d(Tensor(x), Tensor(w), padding=1, groups=3)
+        ref = signal.correlate2d(np.pad(x[0, 2], 1), w[2, 0], mode="valid")
+        np.testing.assert_allclose(out.data[0, 2], ref, atol=1e-10)
+
+    def test_bias_added_per_channel(self):
+        x = Tensor(np.zeros((1, 1, 4, 4)))
+        w = Tensor(np.zeros((2, 1, 3, 3)))
+        b = Tensor(np.array([1.0, -2.0]))
+        out = F.conv2d(x, w, b, padding=1)
+        np.testing.assert_allclose(out.data[0, 0], 1.0)
+        np.testing.assert_allclose(out.data[0, 1], -2.0)
+
+    def test_grad_x_numeric(self):
+        x = self.rng.standard_normal((1, 2, 5, 5))
+        w = self.rng.standard_normal((3, 2, 3, 3))
+        xt = Tensor(x.copy(), requires_grad=True)
+        wt = Tensor(w.copy(), requires_grad=True)
+        bt = Tensor(np.zeros(3), requires_grad=True)
+        F.conv2d(xt, wt, bt, stride=2, padding=1).sum().backward()
+        num = numeric_grad(
+            lambda a: F.conv2d(Tensor(a), Tensor(w), stride=2, padding=1).data.sum(),
+            x.copy())
+        np.testing.assert_allclose(xt.grad, num, atol=1e-5)
+        num_w = numeric_grad(
+            lambda a: F.conv2d(Tensor(x), Tensor(a), stride=2, padding=1).data.sum(),
+            w.copy())
+        np.testing.assert_allclose(wt.grad, num_w, atol=1e-5)
+        np.testing.assert_allclose(bt.grad, np.full(3, 9.0), atol=1e-8)
+
+    def test_grouped_grad_numeric(self):
+        x = self.rng.standard_normal((1, 4, 4, 4))
+        w = self.rng.standard_normal((4, 2, 3, 3))
+        xt = Tensor(x.copy(), requires_grad=True)
+        F.conv2d(xt, Tensor(w), padding=1, groups=2).sum().backward()
+        num = numeric_grad(
+            lambda a: F.conv2d(Tensor(a), Tensor(w), padding=1, groups=2).data.sum(),
+            x.copy())
+        np.testing.assert_allclose(xt.grad, num, atol=1e-5)
+
+
+class TestPooling:
+    def test_pool_output_size_floor_vs_ceil(self):
+        # Paper Eq. 8: 6-wide map, k=3, s=2, p=0 -> floor 2, ceil 3
+        assert F.pool_output_size(6, 3, 2, 0, ceil_mode=False) == 2
+        assert F.pool_output_size(6, 3, 2, 0, ceil_mode=True) == 3
+        # Exact division: both modes agree.
+        assert F.pool_output_size(7, 3, 2, 0, ceil_mode=False) == 3
+        assert F.pool_output_size(7, 3, 2, 0, ceil_mode=True) == 3
+
+    def test_ceil_mode_window_not_fully_in_padding(self):
+        # PyTorch rule: final window must start before size+pad.
+        assert F.pool_output_size(4, 2, 2, 0, ceil_mode=True) == 2
+
+    def test_maxpool_values(self):
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        out = F.max_pool2d(Tensor(x), 2, 2)
+        np.testing.assert_array_equal(out.data[0, 0], [[5, 7], [13, 15]])
+
+    def test_maxpool_ceil_changes_shape_and_appends_border(self):
+        x = np.arange(25.0).reshape(1, 1, 5, 5)
+        floor_out = F.max_pool2d(Tensor(x), 2, 2, ceil_mode=False)
+        ceil_out = F.max_pool2d(Tensor(x), 2, 2, ceil_mode=True)
+        assert floor_out.shape == (1, 1, 2, 2)
+        assert ceil_out.shape == (1, 1, 3, 3)
+        # Interior agrees; ceil adds the off-edge windows.
+        np.testing.assert_array_equal(ceil_out.data[0, 0, :2, :2],
+                                      floor_out.data[0, 0])
+        assert ceil_out.data[0, 0, 2, 2] == 24.0
+
+    def test_maxpool_grad_is_indicator(self):
+        x = Tensor(np.arange(16.0).reshape(1, 1, 4, 4), requires_grad=True)
+        F.max_pool2d(x, 2, 2).sum().backward()
+        expected = np.zeros((4, 4))
+        expected[1, 1] = expected[1, 3] = expected[3, 1] = expected[3, 3] = 1
+        np.testing.assert_array_equal(x.grad[0, 0], expected)
+
+    def test_maxpool_padding(self):
+        x = np.full((1, 1, 4, 4), -5.0)
+        out = F.max_pool2d(Tensor(x), 3, 2, padding=1)
+        # padding is -inf, so outputs equal the max of real values
+        assert (out.data == -5.0).all()
+
+    def test_avgpool_values(self):
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        out = F.avg_pool2d(Tensor(x), 2, 2)
+        np.testing.assert_allclose(out.data[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_avgpool_excludes_padding_from_divisor(self):
+        x = np.ones((1, 1, 2, 2))
+        out = F.avg_pool2d(Tensor(x), 2, 2, padding=1, ceil_mode=False)
+        # Every window has exactly one real pixel; mean must still be 1.
+        np.testing.assert_allclose(out.data, 1.0)
+
+    def test_avgpool_grad(self):
+        x = Tensor(np.ones((1, 1, 4, 4)), requires_grad=True)
+        F.avg_pool2d(x, 2, 2).sum().backward()
+        np.testing.assert_allclose(x.grad, np.full((1, 1, 4, 4), 0.25))
+
+    def test_global_avg_pool(self):
+        x = Tensor(np.arange(8.0).reshape(1, 2, 2, 2))
+        out = F.global_avg_pool2d(x)
+        np.testing.assert_allclose(out.data, [[1.5, 5.5]])
+
+
+class TestUpsample:
+    def test_nearest_2x(self):
+        x = Tensor(np.array([[[[1.0, 2.0], [3.0, 4.0]]]]))
+        out = F.upsample2d(x, scale_factor=2, mode="nearest")
+        np.testing.assert_array_equal(
+            out.data[0, 0],
+            [[1, 1, 2, 2], [1, 1, 2, 2], [3, 3, 4, 4], [3, 3, 4, 4]])
+
+    def test_bilinear_2x_differs_from_nearest(self):
+        x = Tensor(np.array([[[[0.0, 1.0], [2.0, 3.0]]]]))
+        near = F.upsample2d(x, scale_factor=2, mode="nearest")
+        bil = F.upsample2d(x, scale_factor=2, mode="bilinear")
+        assert not np.allclose(near.data, bil.data)
+
+    def test_bilinear_preserves_constant(self):
+        x = Tensor(np.full((1, 1, 3, 3), 7.0))
+        out = F.upsample2d(x, size=(7, 7), mode="bilinear")
+        np.testing.assert_allclose(out.data, 7.0)
+
+    def test_bilinear_align_corners_endpoints(self):
+        x = Tensor(np.array([[[[0.0, 3.0]]]]))
+        out = F.upsample2d(x, size=(1, 4), mode="bilinear", align_corners=True)
+        np.testing.assert_allclose(out.data[0, 0, 0], [0, 1, 2, 3])
+
+    def test_downsample_nearest(self):
+        x = Tensor(np.arange(16.0).reshape(1, 1, 4, 4))
+        out = F.upsample2d(x, size=(2, 2), mode="nearest")
+        assert out.shape == (1, 1, 2, 2)
+
+    def test_upsample_grad_adjoint(self):
+        # <M x, y> == <x, M^T y> for random x, y
+        rng = np.random.default_rng(3)
+        x = rng.standard_normal((1, 1, 3, 5))
+        y = rng.standard_normal((1, 1, 7, 9))
+        xt = Tensor(x, requires_grad=True)
+        out = F.upsample2d(xt, size=(7, 9), mode="bilinear")
+        (out * Tensor(y)).sum().backward()
+        lhs = (out.data * y).sum()
+        rhs = (xt.grad * x).sum()
+        np.testing.assert_allclose(lhs, rhs, rtol=1e-10)
+
+    def test_unknown_mode_raises(self):
+        with pytest.raises(ValueError):
+            F.upsample2d(Tensor(np.ones((1, 1, 2, 2))), scale_factor=2,
+                         mode="trilinear")
+
+
+class TestNormsSoftmax:
+    def setup_method(self):
+        self.rng = np.random.default_rng(4)
+
+    def test_batchnorm_train_normalises(self):
+        x = Tensor(self.rng.standard_normal((8, 3, 4, 4)) * 5 + 2)
+        gamma = Tensor(np.ones(3), requires_grad=True)
+        beta = Tensor(np.zeros(3), requires_grad=True)
+        rm, rv = np.zeros(3), np.ones(3)
+        out = F.batch_norm(x, gamma, beta, rm, rv, training=True)
+        np.testing.assert_allclose(out.data.mean(axis=(0, 2, 3)), 0, atol=1e-8)
+        np.testing.assert_allclose(out.data.std(axis=(0, 2, 3)), 1, atol=1e-3)
+
+    def test_batchnorm_updates_running_stats(self):
+        x = Tensor(np.full((4, 2, 2, 2), 10.0))
+        rm, rv = np.zeros(2), np.ones(2)
+        F.batch_norm(x, Tensor(np.ones(2)), Tensor(np.zeros(2)), rm, rv,
+                     training=True, momentum=0.5)
+        np.testing.assert_allclose(rm, [5.0, 5.0])
+
+    def test_batchnorm_eval_uses_running_stats(self):
+        x = Tensor(np.ones((2, 1, 2, 2)) * 4.0)
+        rm, rv = np.array([2.0]), np.array([4.0])
+        out = F.batch_norm(x, Tensor(np.ones(1)), Tensor(np.zeros(1)), rm, rv,
+                           training=False)
+        np.testing.assert_allclose(out.data, (4 - 2) / np.sqrt(4 + 1e-5), rtol=1e-4)
+
+    def test_layernorm_normalises_last_dim(self):
+        x = Tensor(self.rng.standard_normal((5, 16)) * 3 + 1)
+        out = F.layer_norm(x, Tensor(np.ones(16)), Tensor(np.zeros(16)))
+        np.testing.assert_allclose(out.data.mean(axis=-1), 0, atol=1e-8)
+
+    def test_softmax_rows_sum_to_one(self):
+        x = Tensor(self.rng.standard_normal((4, 10)) * 50)
+        out = F.softmax(x)
+        np.testing.assert_allclose(out.data.sum(axis=-1), 1.0, rtol=1e-12)
+        assert (out.data >= 0).all()
+
+    def test_log_softmax_consistency(self):
+        x = Tensor(self.rng.standard_normal((3, 7)))
+        np.testing.assert_allclose(F.log_softmax(x).data,
+                                   np.log(F.softmax(x).data), atol=1e-10)
+
+    def test_cross_entropy_perfect_prediction(self):
+        logits = Tensor(np.array([[100.0, 0.0], [0.0, 100.0]]))
+        loss = F.cross_entropy(logits, np.array([0, 1]))
+        assert loss.item() < 1e-6
+
+    def test_cross_entropy_uniform(self):
+        logits = Tensor(np.zeros((2, 4)))
+        loss = F.cross_entropy(logits, np.array([0, 3]))
+        np.testing.assert_allclose(loss.item(), np.log(4), rtol=1e-10)
+
+    def test_cross_entropy_grad_numeric(self):
+        x = self.rng.standard_normal((3, 5))
+        y = np.array([0, 2, 4])
+        xt = Tensor(x.copy(), requires_grad=True)
+        F.cross_entropy(xt, y).backward()
+        num = numeric_grad(lambda a: F.cross_entropy(Tensor(a), y).item(), x.copy())
+        np.testing.assert_allclose(xt.grad, num, atol=1e-6)
+
+    def test_label_smoothing_increases_loss_on_confident(self):
+        logits = Tensor(np.array([[50.0, 0.0]]))
+        plain = F.cross_entropy(logits, np.array([0]))
+        smooth = F.cross_entropy(logits, np.array([0]), label_smoothing=0.1)
+        assert smooth.item() > plain.item()
+
+    def test_embedding_lookup_and_grad(self):
+        table = Tensor(np.arange(12.0).reshape(4, 3), requires_grad=True)
+        out = F.embedding(table, np.array([1, 1, 3]))
+        np.testing.assert_array_equal(out.data[0], [3, 4, 5])
+        out.sum().backward()
+        np.testing.assert_array_equal(table.grad[1], [2, 2, 2])
+        np.testing.assert_array_equal(table.grad[0], [0, 0, 0])
+
+    def test_dropout_eval_identity(self):
+        x = Tensor(np.ones((10, 10)))
+        out = F.dropout(x, 0.5, training=False)
+        np.testing.assert_array_equal(out.data, x.data)
+
+    def test_dropout_train_scales(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(np.ones((100, 100)))
+        out = F.dropout(x, 0.5, training=True, rng=rng)
+        vals = np.unique(out.data)
+        assert set(vals).issubset({0.0, 2.0})
+        np.testing.assert_allclose(out.data.mean(), 1.0, atol=0.05)

@@ -1,0 +1,205 @@
+"""Tests for Module registry, layers, optimisers, and the training loop."""
+
+import numpy as np
+import pytest
+
+import repro.nn as nn
+from repro.nn import Tensor
+
+
+def make_mlp(rng=None):
+    rng = rng or np.random.default_rng(0)
+    return nn.Sequential(
+        nn.Linear(4, 16, rng=rng), nn.ReLU(),
+        nn.Linear(16, 3, rng=rng))
+
+
+class TestModuleRegistry:
+    def test_parameters_discovered_recursively(self):
+        m = make_mlp()
+        params = list(m.parameters())
+        assert len(params) == 4  # two weights + two biases
+
+    def test_named_parameters_paths(self):
+        m = make_mlp()
+        names = dict(m.named_parameters())
+        assert "layers" not in names  # list isn't auto-registered by name
+        assert any(k.endswith(".weight") for k in names)
+
+    def test_num_parameters(self):
+        m = nn.Linear(4, 3)
+        assert m.num_parameters() == 4 * 3 + 3
+
+    def test_train_eval_propagates(self):
+        m = make_mlp()
+        m.eval()
+        assert all(not sub.training for sub in m.modules())
+        m.train()
+        assert all(sub.training for sub in m.modules())
+
+    def test_state_dict_roundtrip(self):
+        m1, m2 = make_mlp(np.random.default_rng(1)), make_mlp(np.random.default_rng(2))
+        x = Tensor(np.random.default_rng(3).standard_normal((2, 4)))
+        assert not np.allclose(m1(x).data, m2(x).data)
+        m2.load_state_dict(m1.state_dict())
+        np.testing.assert_allclose(m1(x).data, m2(x).data)
+
+    def test_state_dict_includes_buffers(self):
+        bn = nn.BatchNorm2d(3)
+        bn.running_mean += 5.0
+        state = bn.state_dict()
+        assert "running_mean" in state
+        np.testing.assert_allclose(state["running_mean"], 5.0)
+
+    def test_zero_grad_clears(self):
+        m = nn.Linear(2, 2)
+        out = m(Tensor(np.ones((1, 2))))
+        out.sum().backward()
+        assert m.weight.grad is not None
+        m.zero_grad()
+        assert m.weight.grad is None
+
+
+class TestLayers:
+    def setup_method(self):
+        self.rng = np.random.default_rng(0)
+
+    def test_conv_layer_shape(self):
+        conv = nn.Conv2d(3, 8, 3, stride=2, padding=1, rng=self.rng)
+        out = conv(Tensor(self.rng.standard_normal((2, 3, 8, 8))))
+        assert out.shape == (2, 8, 4, 4)
+
+    def test_maxpool_layer_ceil_flag_flippable(self):
+        pool = nn.MaxPool2d(3, 2)
+        x = Tensor(self.rng.standard_normal((1, 1, 6, 6)))
+        assert pool(x).shape == (1, 1, 2, 2)
+        pool.ceil_mode = True      # the SysNoise deployment flip
+        assert pool(x).shape == (1, 1, 3, 3)
+
+    def test_upsample_layer_mode_flippable(self):
+        up = nn.Upsample(scale_factor=2, mode="nearest")
+        x = Tensor(self.rng.standard_normal((1, 2, 4, 4)))
+        near = up(x).data
+        up.mode = "bilinear"       # the SysNoise deployment flip
+        bil = up(x).data
+        assert near.shape == bil.shape == (1, 2, 8, 8)
+        assert not np.allclose(near, bil)
+
+    def test_batchnorm_inference_is_deterministic(self):
+        bn = nn.BatchNorm2d(2)
+        x = Tensor(self.rng.standard_normal((4, 2, 3, 3)))
+        bn(x)  # updates running stats
+        bn.eval()
+        y1, y2 = bn(x).data, bn(x).data
+        np.testing.assert_array_equal(y1, y2)
+
+    def test_layernorm_shape(self):
+        ln = nn.LayerNorm(8)
+        out = ln(Tensor(self.rng.standard_normal((2, 5, 8))))
+        assert out.shape == (2, 5, 8)
+
+    def test_embedding_layer(self):
+        emb = nn.Embedding(10, 4, rng=self.rng)
+        out = emb(np.array([[1, 2], [3, 4]]))
+        assert out.shape == (2, 2, 4)
+
+    def test_flatten(self):
+        out = nn.Flatten()(Tensor(np.ones((2, 3, 4, 4))))
+        assert out.shape == (2, 48)
+
+    def test_dropout_respects_mode(self):
+        d = nn.Dropout(0.5)
+        x = Tensor(np.ones((50, 50)))
+        assert (d(x).data == 0).any()
+        d.eval()
+        np.testing.assert_array_equal(d(x).data, 1.0)
+
+    def test_identity_and_sigmoid(self):
+        x = Tensor(np.zeros((2, 2)))
+        np.testing.assert_array_equal(nn.Identity()(x).data, 0.0)
+        np.testing.assert_allclose(nn.Sigmoid()(x).data, 0.5)
+
+
+class TestOptimizers:
+    def _quadratic_min(self, opt_cls, **kw):
+        p = Tensor(np.array([5.0, -3.0]), requires_grad=True)
+        opt = opt_cls([p], **kw)
+        for _ in range(200):
+            loss = (p * p).sum()
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        return p.data
+
+    def test_sgd_converges(self):
+        final = self._quadratic_min(nn.SGD, lr=0.1, momentum=0.9)
+        np.testing.assert_allclose(final, 0.0, atol=1e-4)
+
+    def test_adam_converges(self):
+        final = self._quadratic_min(nn.Adam, lr=0.1)
+        np.testing.assert_allclose(final, 0.0, atol=1e-3)
+
+    def test_weight_decay_shrinks_params(self):
+        p = Tensor(np.array([1.0]), requires_grad=True)
+        opt = nn.SGD([p], lr=0.1, momentum=0.0, weight_decay=0.5)
+        # zero loss gradient: decay alone should shrink the weight
+        p.grad = np.zeros(1)
+        opt.step()
+        assert p.data[0] < 1.0
+
+    def test_cosine_schedule_decays_to_min(self):
+        p = Tensor(np.ones(1), requires_grad=True)
+        opt = nn.SGD([p], lr=1.0)
+        sched = nn.CosineSchedule(opt, total_steps=10, min_lr=0.0)
+        for _ in range(10):
+            sched.step()
+        assert opt.lr == pytest.approx(0.0, abs=1e-8)
+
+    def test_cosine_warmup_ramps(self):
+        opt = nn.SGD([Tensor(np.ones(1), requires_grad=True)], lr=1.0)
+        sched = nn.CosineSchedule(opt, total_steps=100, warmup_steps=10)
+        sched.step()
+        assert opt.lr == pytest.approx(0.1)
+
+    def test_step_schedule(self):
+        opt = nn.SGD([Tensor(np.ones(1), requires_grad=True)], lr=1.0)
+        sched = nn.StepSchedule(opt, milestones=[2], gamma=0.1)
+        sched.step()
+        assert opt.lr == 1.0
+        sched.step()
+        assert opt.lr == pytest.approx(0.1)
+
+
+class TestTrainingLoop:
+    def test_learns_linearly_separable(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((200, 4))
+        y = (x[:, 0] + x[:, 1] > 0).astype(int)
+        model = make_mlp(rng)
+        cfg = nn.TrainConfig(epochs=15, batch_size=32, lr=0.1, seed=0)
+        nn.train_classifier(model, x, y, cfg)
+        acc = nn.evaluate_classifier(model, x, y)
+        assert acc > 95.0
+        # loss history is recorded and decreasing overall
+        assert cfg.history[-1] < cfg.history[0]
+
+    def test_transform_hook_called(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((32, 4))
+        y = (x[:, 0] > 0).astype(int)
+        calls = []
+
+        def hook(xb, rng):
+            calls.append(len(xb))
+            return xb
+
+        nn.train_classifier(make_mlp(), x, y,
+                            nn.TrainConfig(epochs=1, batch_size=16), transform=hook)
+        assert sum(calls) == 32
+
+    def test_evaluate_returns_percent(self):
+        model = make_mlp()
+        x = np.zeros((10, 4))
+        y = np.zeros(10, dtype=int)
+        acc = nn.evaluate_classifier(model, x, y)
+        assert 0.0 <= acc <= 100.0

@@ -1,0 +1,195 @@
+"""Tests for the data-precision noise substrate (FP16 / INT8)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.nn as nn
+from repro.nn import Tensor
+from repro.nn.quant import (INT8_MAX, INT8_MIN, QuantParams, cast_fp16,
+                            compute_qparams, dequantize, fake_quant, quantize)
+
+
+class TestQuantPrimitives:
+    def test_symmetric_zero_point_is_zero(self):
+        qp = compute_qparams(-3.0, 5.0, symmetric=True)
+        assert qp.zero_point == 0
+
+    def test_asymmetric_covers_range(self):
+        qp = compute_qparams(-1.0, 3.0)
+        x = np.array([-1.0, 0.0, 3.0])
+        xq = fake_quant(x, qp)
+        np.testing.assert_allclose(xq, x, atol=qp.scale)
+
+    def test_zero_is_exactly_representable(self):
+        qp = compute_qparams(0.3, 7.0)   # range forced to include 0
+        assert fake_quant(np.zeros(1), qp)[0] == 0.0
+
+    def test_quantize_clips_outliers(self):
+        qp = compute_qparams(-1.0, 1.0)
+        q = quantize(np.array([100.0, -100.0]), qp)
+        assert q.max() <= INT8_MAX and q.min() >= INT8_MIN
+
+    def test_int8_error_bounded_by_half_scale(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(-2, 2, size=1000)
+        qp = compute_qparams(x.min(), x.max())
+        err = np.abs(fake_quant(x, qp) - x)
+        assert err.max() <= qp.scale / 2 + 1e-12
+
+    def test_fp16_roundtrip_small_error(self):
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal(1000)
+        rel = np.abs(cast_fp16(x) - x) / np.abs(x)
+        assert rel.max() < 1e-3   # binary16 has ~3.3 decimal digits
+
+    def test_fp16_error_much_smaller_than_int8(self):
+        rng = np.random.default_rng(2)
+        x = rng.standard_normal(1000)
+        qp = compute_qparams(x.min(), x.max())
+        assert np.abs(cast_fp16(x) - x).mean() < np.abs(fake_quant(x, qp) - x).mean()
+
+    @given(st.lists(st.floats(-100, 100), min_size=2, max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_property_fake_quant_bounded(self, vals):
+        x = np.array(vals)
+        qp = compute_qparams(x.min(), x.max())
+        xq = fake_quant(x, qp)
+        assert np.all(np.abs(xq - x) <= qp.scale / 2 + 1e-9)
+
+    @given(st.floats(-50, 0), st.floats(0.1, 50))
+    @settings(max_examples=50, deadline=None)
+    def test_property_dequant_of_quant_idempotent(self, lo, hi):
+        qp = compute_qparams(lo, hi)
+        x = np.linspace(lo, hi, 17)
+        once = fake_quant(x, qp)
+        twice = fake_quant(once, qp)
+        np.testing.assert_allclose(once, twice, atol=1e-12)
+
+    def test_per_channel_params_shape(self):
+        w = np.random.default_rng(3).standard_normal((4, 3, 3, 3))
+        qp = compute_qparams(w.min(axis=(1, 2, 3)), w.max(axis=(1, 2, 3)),
+                             symmetric=True)
+        assert np.asarray(qp.scale).shape == (4,)
+
+
+def _make_trained_cnn():
+    rng = np.random.default_rng(0)
+    model = nn.Sequential(
+        nn.Conv2d(1, 4, 3, padding=1, rng=rng), nn.ReLU(),
+        nn.MaxPool2d(2, 2), nn.Flatten(),
+        nn.Linear(4 * 4 * 4, 3, rng=rng))
+    x = rng.standard_normal((64, 1, 8, 8))
+    y = (x.mean(axis=(1, 2, 3)) > 0).astype(int)
+    nn.train_classifier(model, x, y, nn.TrainConfig(epochs=4, batch_size=16))
+    return model, x, y
+
+
+class TestModelPrecision:
+    @pytest.fixture(scope="class")
+    def trained(self):
+        return _make_trained_cnn()
+
+    def test_fp16_model_close_to_fp32(self, trained):
+        model, x, _ = trained
+        q = nn.quantize_model_fp16(model)
+        out32 = model(Tensor(x[:8])).data
+        out16 = q(Tensor(x[:8])).data
+        np.testing.assert_allclose(out16, out32, rtol=0.05, atol=0.05)
+        assert not np.array_equal(out16, out32)  # but not identical
+
+    def test_fp16_does_not_mutate_original(self, trained):
+        model, x, _ = trained
+        before = model.state_dict()
+        nn.quantize_model_fp16(model)
+        after = model.state_dict()
+        for k in before:
+            np.testing.assert_array_equal(before[k], after[k])
+
+    def test_int8_model_runs_and_approximates(self, trained):
+        model, x, y = trained
+        q = nn.quantize_model_int8(model, lambda m: m(Tensor(x[:32])))
+        acc32 = nn.evaluate_classifier(model, x, y)
+        acc8 = nn.evaluate_classifier(q, x, y)
+        assert abs(acc32 - acc8) < 30.0  # same ballpark on an easy task
+
+    def test_int8_error_exceeds_fp16_error(self, trained):
+        model, x, _ = trained
+        q16 = nn.quantize_model_fp16(model)
+        q8 = nn.quantize_model_int8(model, lambda m: m(Tensor(x[:32])))
+        ref = model(Tensor(x[:8])).data
+        e16 = np.abs(q16(Tensor(x[:8])).data - ref).mean()
+        e8 = np.abs(q8(Tensor(x[:8])).data - ref).mean()
+        assert e8 > e16
+
+    def test_apply_precision_dispatch(self, trained):
+        model, x, _ = trained
+        assert nn.apply_precision(model, "fp32") is model
+        assert nn.apply_precision(model, "fp16") is not model
+        with pytest.raises(ValueError):
+            nn.apply_precision(model, "int8")      # needs calibration fn
+        with pytest.raises(ValueError):
+            nn.apply_precision(model, "int4")
+
+    def test_int8_weights_are_quantised_grid(self, trained):
+        model, x, _ = trained
+        q = nn.quantize_model_int8(model, lambda m: m(Tensor(x[:8])))
+        conv = next(m for m in q.modules() if isinstance(m, nn.Conv2d))
+        w = conv.weight.data
+        # Each output channel's weights live on a uniform grid of <=256 values
+        for c in range(w.shape[0]):
+            vals = np.unique(w[c])
+            assert len(vals) <= 256
+
+
+class TestWeightGranularity:
+    """Per-channel vs per-tensor weight quantisation (ablation B knob)."""
+
+    @pytest.fixture()
+    def model_and_calib(self):
+        rng = np.random.default_rng(4)
+        model = nn.Sequential(nn.Conv2d(3, 6, 3, padding=1, rng=rng),
+                              nn.ReLU(), nn.Flatten(),
+                              nn.Linear(6 * 8 * 8, 4, rng=rng))
+        # Make channel ranges deliberately unbalanced so granularity matters.
+        conv = model[0]
+        conv.weight.data[0] *= 20.0
+        x = rng.normal(size=(16, 3, 8, 8))
+        return model, x
+
+    def test_unknown_granularity_rejected(self, model_and_calib):
+        model, x = model_and_calib
+        with pytest.raises(ValueError, match="granularity"):
+            nn.quantize_model_int8(model, lambda m: m(Tensor(x)),
+                                   weight_granularity="per_group")
+
+    def test_per_tensor_uses_single_grid(self, model_and_calib):
+        model, x = model_and_calib
+        q = nn.quantize_model_int8(model, lambda m: m(Tensor(x)),
+                                   weight_granularity="per_tensor")
+        w = q[0].weight.data
+        assert len(np.unique(w)) <= 256          # one grid for all channels
+
+    def test_per_channel_more_accurate_on_unbalanced_weights(self,
+                                                             model_and_calib):
+        model, x = model_and_calib
+        w = model[0].weight.data.copy()
+        q_pc = nn.quantize_model_int8(model, lambda m: m(Tensor(x)))
+        q_pt = nn.quantize_model_int8(model, lambda m: m(Tensor(x)),
+                                      weight_granularity="per_tensor")
+        err_pc = np.abs(q_pc[0].weight.data - w).mean()
+        err_pt = np.abs(q_pt[0].weight.data - w).mean()
+        assert err_pc < err_pt
+
+    def test_granularities_agree_on_uniform_weights(self):
+        rng = np.random.default_rng(9)
+        model = nn.Sequential(nn.Linear(4, 4, rng=rng))
+        # Force identical per-row ranges so both granularities share scales.
+        model[0].weight.data[...] = np.tile(
+            np.linspace(-1, 1, 4), (4, 1))
+        x = rng.normal(size=(8, 4))
+        q_pc = nn.quantize_model_int8(model, lambda m: m(Tensor(x)))
+        q_pt = nn.quantize_model_int8(model, lambda m: m(Tensor(x)),
+                                      weight_granularity="per_tensor")
+        np.testing.assert_allclose(q_pc[0].weight.data, q_pt[0].weight.data)

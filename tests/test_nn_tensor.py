@@ -1,0 +1,225 @@
+"""Unit tests for the autograd tensor engine."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, cat, no_grad, stack
+
+
+def numeric_grad(fn, x, eps=1e-6):
+    """Central-difference gradient of scalar fn w.r.t. array x."""
+    g = np.zeros_like(x)
+    flat = x.reshape(-1)
+    gf = g.reshape(-1)
+    for i in range(flat.size):
+        old = flat[i]
+        flat[i] = old + eps
+        hi = fn(x)
+        flat[i] = old - eps
+        lo = fn(x)
+        flat[i] = old
+        gf[i] = (hi - lo) / (2 * eps)
+    return g
+
+
+def check_grad(op, shape, rng, positive=False, atol=1e-5):
+    data = rng.standard_normal(shape)
+    if positive:
+        data = np.abs(data) + 0.5
+    t = Tensor(data.copy(), requires_grad=True)
+    out = op(t)
+    out.sum().backward() if out.size > 1 else out.backward()
+    num = numeric_grad(lambda x: op(Tensor(x)).data.sum(), data.copy())
+    np.testing.assert_allclose(t.grad, num, atol=atol)
+
+
+class TestArithmetic:
+    def setup_method(self):
+        self.rng = np.random.default_rng(0)
+
+    def test_add_grads(self):
+        a = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        b = Tensor(np.array([3.0, 4.0]), requires_grad=True)
+        (a + b).sum().backward()
+        np.testing.assert_array_equal(a.grad, [1, 1])
+        np.testing.assert_array_equal(b.grad, [1, 1])
+
+    def test_mul_grads(self):
+        a = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        b = Tensor(np.array([3.0, 4.0]), requires_grad=True)
+        (a * b).sum().backward()
+        np.testing.assert_array_equal(a.grad, [3, 4])
+        np.testing.assert_array_equal(b.grad, [1, 2])
+
+    def test_broadcast_add_unbroadcasts_grad(self):
+        a = Tensor(self.rng.standard_normal((3, 4)), requires_grad=True)
+        b = Tensor(self.rng.standard_normal(4), requires_grad=True)
+        (a + b).sum().backward()
+        assert a.grad.shape == (3, 4)
+        assert b.grad.shape == (4,)
+        np.testing.assert_array_equal(b.grad, np.full(4, 3.0))
+
+    def test_broadcast_scalar(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        (a * 3.0).sum().backward()
+        np.testing.assert_array_equal(a.grad, np.full((2, 2), 3.0))
+
+    def test_div_grad(self):
+        check_grad(lambda t: t / 2.5, (3, 3), self.rng)
+
+    def test_rdiv_grad(self):
+        check_grad(lambda t: 1.0 / t, (4,), self.rng, positive=True)
+
+    def test_pow_grad(self):
+        check_grad(lambda t: t ** 3, (5,), self.rng)
+
+    def test_neg_and_sub(self):
+        a = Tensor(np.array([2.0]), requires_grad=True)
+        ((-a) - a).backward()
+        np.testing.assert_array_equal(a.grad, [-2.0])
+
+    def test_reuse_accumulates(self):
+        a = Tensor(np.array([3.0]), requires_grad=True)
+        (a * a).backward()
+        np.testing.assert_array_equal(a.grad, [6.0])
+
+
+class TestMatmulShape:
+    def setup_method(self):
+        self.rng = np.random.default_rng(1)
+
+    def test_matmul_grad(self):
+        a = Tensor(self.rng.standard_normal((3, 4)), requires_grad=True)
+        b = Tensor(self.rng.standard_normal((4, 5)), requires_grad=True)
+        (a @ b).sum().backward()
+        num_a = numeric_grad(lambda x: (x @ b.data).sum(), a.data.copy())
+        np.testing.assert_allclose(a.grad, num_a, atol=1e-5)
+
+    def test_batched_matmul_grad(self):
+        a = Tensor(self.rng.standard_normal((2, 3, 4)), requires_grad=True)
+        b = Tensor(self.rng.standard_normal((2, 4, 5)), requires_grad=True)
+        (a @ b).sum().backward()
+        assert a.grad.shape == (2, 3, 4)
+        assert b.grad.shape == (2, 4, 5)
+
+    def test_batched_matmul_broadcast(self):
+        a = Tensor(self.rng.standard_normal((2, 3, 4)), requires_grad=True)
+        b = Tensor(self.rng.standard_normal((4, 5)), requires_grad=True)
+        (a @ b).sum().backward()
+        assert b.grad.shape == (4, 5)
+
+    def test_reshape_grad(self):
+        check_grad(lambda t: t.reshape(6), (2, 3), self.rng)
+
+    def test_transpose_grad(self):
+        a = Tensor(self.rng.standard_normal((2, 3, 4)), requires_grad=True)
+        a.transpose(2, 0, 1).sum().backward()
+        np.testing.assert_array_equal(a.grad, np.ones((2, 3, 4)))
+
+    def test_getitem_grad(self):
+        a = Tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+        a[0].sum().backward()
+        np.testing.assert_array_equal(a.grad, [[1, 1, 1], [0, 0, 0]])
+
+    def test_pad_grad(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        a.pad([(1, 1), (0, 2)]).sum().backward()
+        np.testing.assert_array_equal(a.grad, np.ones((2, 2)))
+
+
+class TestReductionsAndFunctions:
+    def setup_method(self):
+        self.rng = np.random.default_rng(2)
+
+    def test_sum_axis_grad(self):
+        a = Tensor(self.rng.standard_normal((3, 4)), requires_grad=True)
+        a.sum(axis=1).sum().backward()
+        np.testing.assert_array_equal(a.grad, np.ones((3, 4)))
+
+    def test_mean_grad(self):
+        a = Tensor(self.rng.standard_normal((4,)), requires_grad=True)
+        a.mean().backward()
+        np.testing.assert_allclose(a.grad, np.full(4, 0.25))
+
+    def test_max_grad_routes_to_argmax(self):
+        a = Tensor(np.array([1.0, 5.0, 3.0]), requires_grad=True)
+        a.max().backward()
+        np.testing.assert_array_equal(a.grad, [0, 1, 0])
+
+    def test_max_axis_keepdims(self):
+        a = Tensor(self.rng.standard_normal((3, 4)), requires_grad=True)
+        out = a.max(axis=1, keepdims=True)
+        assert out.shape == (3, 1)
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad.sum(), 3.0)
+
+    @pytest.mark.parametrize("name", ["exp", "log", "sqrt", "relu", "sigmoid",
+                                      "tanh", "gelu"])
+    def test_elementwise_grads(self, name):
+        positive = name in ("log", "sqrt")
+        check_grad(lambda t: getattr(t, name)(), (6,), self.rng, positive=positive,
+                   atol=1e-4)
+
+    def test_clip_grad(self):
+        a = Tensor(np.array([-2.0, 0.5, 2.0]), requires_grad=True)
+        a.clip(-1, 1).sum().backward()
+        np.testing.assert_array_equal(a.grad, [0, 1, 0])
+
+    def test_var(self):
+        a = Tensor(np.array([1.0, 2.0, 3.0, 4.0]))
+        np.testing.assert_allclose(a.var().item(), np.var([1, 2, 3, 4]))
+
+
+class TestGraphMechanics:
+    def test_no_grad_blocks_graph(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        with no_grad():
+            out = a * 2
+        assert not out.requires_grad
+
+    def test_backward_on_nonscalar_requires_grad_arg(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (a * 2).backward()
+
+    def test_backward_without_requires_grad_raises(self):
+        with pytest.raises(RuntimeError):
+            Tensor(np.ones(1)).backward()
+
+    def test_detach_cuts_graph(self):
+        a = Tensor(np.ones(2), requires_grad=True)
+        assert not (a * 2).detach().requires_grad
+
+    def test_deep_chain_no_recursion(self):
+        a = Tensor(np.ones(1), requires_grad=True)
+        x = a
+        for _ in range(3000):
+            x = x + 1.0
+        x.backward()
+        np.testing.assert_array_equal(a.grad, [1.0])
+
+    def test_diamond_graph_accumulation(self):
+        a = Tensor(np.array([2.0]), requires_grad=True)
+        b = a * 3
+        c = a * 4
+        (b + c).backward()
+        np.testing.assert_array_equal(a.grad, [7.0])
+
+    def test_cat_grad(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        b = Tensor(np.ones((3, 2)), requires_grad=True)
+        cat([a, b], axis=0).sum().backward()
+        assert a.grad.shape == (2, 2)
+        assert b.grad.shape == (3, 2)
+
+    def test_stack_grad(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        b = Tensor(np.ones(3), requires_grad=True)
+        stack([a, b]).sum().backward()
+        np.testing.assert_array_equal(a.grad, np.ones(3))
+
+    def test_zero_grad(self):
+        a = Tensor(np.ones(1), requires_grad=True)
+        (a * 2).backward()
+        a.zero_grad()
+        assert a.grad is None

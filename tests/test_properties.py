@@ -1,0 +1,142 @@
+"""Property-based tests on core numeric invariants (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.nn.functional as F
+from repro.detection.bbox import decode_deltas, encode_deltas
+from repro.image.jpeg import _HUFF
+from repro.image.resize import RESIZE_METHODS, resize_matrix
+from repro.nn.quant import compute_qparams, quantize
+
+
+class TestIm2ColAdjoint:
+    @given(st.integers(0, 10 ** 6), st.integers(1, 2), st.integers(5, 9),
+           st.sampled_from([1, 2]), st.sampled_from([0, 1]))
+    @settings(max_examples=30, deadline=None)
+    def test_col2im_is_adjoint_of_im2col(self, seed, c, size, stride, pad):
+        """<im2col(x), g> == <x, col2im(g)> — exactness of the conv backward."""
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((1, c, size, size))
+        cols, meta = F.im2col(x, 3, 3, stride, pad)
+        g = rng.standard_normal(cols.shape)
+        lhs = float((cols * g).sum())
+        rhs = float((x * F.col2im(g, meta)).sum())
+        assert abs(lhs - rhs) < 1e-9
+
+
+class TestInterpolationPartitionOfUnity:
+    @given(st.integers(2, 40), st.integers(2, 40),
+           st.sampled_from(["nearest", "bilinear"]))
+    @settings(max_examples=50, deadline=None)
+    def test_rows_sum_to_one(self, n_in, n_out, mode):
+        m = F.interp_matrix(n_in, n_out, mode)
+        np.testing.assert_allclose(m.sum(axis=1), 1.0, atol=1e-12)
+
+    @given(st.integers(2, 30), st.integers(2, 30),
+           st.sampled_from(RESIZE_METHODS))
+    @settings(max_examples=60, deadline=None)
+    def test_resize_matrices_partition_unity(self, n_in, n_out, method):
+        m = resize_matrix(n_in, n_out, method)
+        np.testing.assert_allclose(m.sum(axis=1), 1.0, atol=1e-9)
+
+
+class TestBoxCoding:
+    @given(st.integers(0, 10 ** 6), st.floats(0.0, 1.0))
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_any_offset(self, seed, offset):
+        rng = np.random.default_rng(seed)
+        anchors = np.sort(rng.uniform(0, 50, (8, 2, 2)), axis=2)
+        anchors = anchors.transpose(0, 2, 1).reshape(8, 4)
+        anchors[:, 2:] += 1.0          # ensure positive extent
+        targets = anchors + rng.uniform(-2, 2, (8, 4))
+        targets[:, 2:] = np.maximum(targets[:, 2:], targets[:, :2] + 0.5)
+        deltas = encode_deltas(anchors, targets, offset)
+        back = decode_deltas(anchors, deltas, offset)
+        np.testing.assert_allclose(back, targets, atol=1e-8)
+
+    @given(st.integers(0, 10 ** 6))
+    @settings(max_examples=30, deadline=None)
+    def test_offset_flip_error_bounded_by_one_pixel_scalewise(self, seed):
+        rng = np.random.default_rng(seed)
+        anchors = np.array([[10.0, 10.0, 30.0, 30.0]])
+        target = np.array([[12.0, 11.0, 28.0, 27.0]])
+        deltas = encode_deltas(anchors, target, 0.0)
+        wrong = decode_deltas(anchors, deltas, 1.0)
+        # Offset mismatch moves each coordinate by O(1) pixel, never more
+        # than a few, for same-scale boxes.
+        assert np.abs(wrong - target).max() < 3.0
+
+
+class TestHuffmanTables:
+    def test_all_tables_prefix_free(self):
+        for (kind, tid), (encode_map, _) in _HUFF.items():
+            codes = [format(code, f"0{length}b")
+                     for code, length in encode_map.values()]
+            for i, a in enumerate(codes):
+                for b in codes[i + 1:]:
+                    assert not a.startswith(b) and not b.startswith(a), \
+                        (kind, tid)
+
+    def test_encode_decode_maps_inverse(self):
+        for (kind, tid), (encode_map, decode_map) in _HUFF.items():
+            for value, key in encode_map.items():
+                assert decode_map[key] == value
+
+
+class TestQuantizerMonotonicity:
+    @given(st.lists(st.floats(-10, 10), min_size=4, max_size=40))
+    @settings(max_examples=60, deadline=None)
+    def test_quantize_is_monotone(self, vals):
+        x = np.sort(np.array(vals))
+        qp = compute_qparams(x.min(), x.max())
+        q = quantize(x, qp)
+        assert (np.diff(q) >= 0).all()
+
+
+class TestSTFTProperties:
+    """The audio substrate behind Table 10's STFT SysNoise."""
+
+    @given(st.integers(0, 10 ** 6), st.integers(256, 1024))
+    @settings(max_examples=30, deadline=None)
+    def test_magnitude_scales_linearly(self, seed, n):
+        from repro.audio.stft import stft_reference
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=n)
+        np.testing.assert_allclose(stft_reference(3.0 * x),
+                                   3.0 * stft_reference(x), rtol=1e-9)
+
+    @given(st.integers(0, 10 ** 6), st.integers(256, 1024))
+    @settings(max_examples=30, deadline=None)
+    def test_variants_agree_within_window_mismatch(self, seed, n):
+        """Periodic vs symmetric Hann + fp32 math: small relative deviation,
+        never zero — the exact profile of deployment STFT noise."""
+        from repro.audio.stft import stft_deployed, stft_reference
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=n)
+        ref = stft_reference(x)
+        dep = stft_deployed(x)
+        dev = np.abs(ref - dep).max() / (ref.max() + 1e-12)
+        assert 0 < dev < 0.05
+
+    @given(st.integers(0, 10 ** 6))
+    @settings(max_examples=20, deadline=None)
+    def test_energy_bounded_by_parseval(self, seed):
+        """Windowed-frame spectral energy never exceeds the Parseval bound."""
+        from repro.audio.stft import stft_reference
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=512)
+        n_fft, hop = 128, 64
+        spec = stft_reference(x, n_fft=n_fft, hop=hop)
+        # rfft halves the spectrum: double all bins except DC (and Nyquist
+        # for even n_fft) to recover total energy per frame.
+        weights = np.full(spec.shape[-1], 2.0)
+        weights[0] = 1.0
+        weights[-1] = 1.0
+        spectral = (spec ** 2 * weights).sum(axis=-1) / n_fft
+        window = 0.5 - 0.5 * np.cos(2 * np.pi * np.arange(n_fft) / n_fft)
+        frames = np.lib.stride_tricks.sliding_window_view(x, n_fft)[::hop]
+        time_energy = ((frames * window) ** 2).sum(axis=-1)
+        np.testing.assert_allclose(spectral, time_energy[:len(spectral)],
+                                   rtol=1e-9)

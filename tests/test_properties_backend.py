@@ -1,0 +1,162 @@
+"""Property-based tests for the deployment backend (hypothesis).
+
+Random-graph strategies exercise the pass pipeline and serialiser on shapes
+no hand-written case would cover: arbitrary elementwise chains with skip
+connections, identities, and dead branches.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.backend import (GraphBuilder, ReferenceExecutor,
+                           dead_code_elimination, eliminate_identity,
+                           fuse_conv_bn, load_graph, optimize, save_graph)
+from repro.backend import ops
+
+ELEMENTWISE = ["relu", "gelu", "sigmoid", "identity"]
+
+
+@st.composite
+def random_graphs(draw):
+    """A random valid graph over (N, C, H, W) inputs.
+
+    Mixes elementwise chains, skip-connection adds, identities, and a dead
+    branch, so passes see realistic topology variety.
+    """
+    n_nodes = draw(st.integers(2, 12))
+    b = GraphBuilder("random")
+    values = ["x"]
+    for i in range(n_nodes):
+        kind = draw(st.sampled_from(["unary", "add", "dead"]))
+        src = draw(st.sampled_from(values))
+        if kind == "unary":
+            op = draw(st.sampled_from(ELEMENTWISE))
+            values.append(b.emit(op, [src], name=f"n{i}"))
+        elif kind == "add":
+            other = draw(st.sampled_from(values))
+            values.append(b.emit("add", [src, other], name=f"n{i}"))
+        else:                                    # dead: emitted, never used
+            b.emit(draw(st.sampled_from(ELEMENTWISE)), [src], name=f"dead{i}")
+    return b.finish(values[-1])
+
+
+@st.composite
+def conv_bn_graphs(draw):
+    """conv → batchnorm (→ relu) with random shapes and statistics."""
+    seed = draw(st.integers(0, 10 ** 6))
+    rng = np.random.default_rng(seed)
+    cin = draw(st.integers(1, 3))
+    cout = draw(st.integers(1, 4))
+    k = draw(st.sampled_from([1, 3]))
+    with_bias = draw(st.booleans())
+    with_relu = draw(st.booleans())
+    b = GraphBuilder("convbn")
+    w = b.add_initializer("w", rng.normal(size=(cout, cin, k, k)))
+    ins = ["x", w]
+    if with_bias:
+        ins.append(b.add_initializer("b", rng.normal(size=cout)))
+    conv = b.emit("conv2d", ins, name="conv",
+                  attrs=dict(stride=1, padding=k // 2, dilation=1, groups=1))
+    for name, val in (("g", rng.uniform(0.5, 2, cout)),
+                      ("bt", rng.normal(size=cout)),
+                      ("m", rng.normal(size=cout)),
+                      ("v", rng.uniform(0.1, 2, cout))):
+        b.add_initializer(name, val)
+    out = b.emit("batchnorm", [conv, "g", "bt", "m", "v"], name="bn",
+                 attrs=dict(eps=1e-5))
+    if with_relu:
+        out = b.emit("relu", [out], name="act")
+    return b.finish(out), cin
+
+
+REF = ReferenceExecutor()
+
+
+def _input_for(graph, cin=2, seed=0):
+    return np.random.default_rng(seed).normal(size=(2, cin, 6, 6))
+
+
+class TestPassesOnRandomGraphs:
+    @given(random_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_optimize_preserves_semantics(self, graph):
+        x = _input_for(graph)
+        opt = optimize(graph)
+        np.testing.assert_allclose(REF.run(opt, x), REF.run(graph, x),
+                                   rtol=1e-10, atol=1e-12)
+
+    @given(random_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_eliminate_identity_total(self, graph):
+        out = eliminate_identity(graph)
+        assert all(n.op != "identity" for n in out.nodes)
+
+    @given(random_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_dce_removes_dead_branches_and_is_idempotent(self, graph):
+        once = dead_code_elimination(graph)
+        assert all(not n.name.startswith("dead") for n in once.nodes)
+        twice = dead_code_elimination(once)
+        assert len(twice.nodes) == len(once.nodes)
+
+    @given(random_graphs())
+    @settings(max_examples=25, deadline=None)
+    def test_serialization_roundtrip(self, tmp_path_factory, graph):
+        path = tmp_path_factory.mktemp("g") / "graph.npz"
+        loaded = load_graph(save_graph(graph, path))
+        x = _input_for(graph)
+        np.testing.assert_array_equal(REF.run(loaded, x), REF.run(graph, x))
+
+
+class TestFuseConvBnProperty:
+    @given(conv_bn_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_fusion_semantics(self, graph_cin):
+        graph, cin = graph_cin
+        x = _input_for(graph, cin)
+        fused = fuse_conv_bn(graph)
+        assert all(n.op != "batchnorm" for n in fused.nodes)
+        np.testing.assert_allclose(REF.run(fused, x), REF.run(graph, x),
+                                   rtol=1e-8, atol=1e-9)
+
+
+class TestKernelProperties:
+    @given(st.integers(0, 10 ** 6), st.integers(4, 24),
+           st.sampled_from([4, 8, 16]))
+    @settings(max_examples=40, deadline=None)
+    def test_tiled_matmul_converges_to_fused_at_fp64(self, seed, k, chunk):
+        rng = np.random.default_rng(seed)
+        a, b = rng.normal(size=(5, k)), rng.normal(size=(k, 3))
+        np.testing.assert_allclose(
+            ops.matmul_accum(a, b, accum_chunk=chunk), a @ b, rtol=1e-10)
+
+    @given(st.integers(0, 10 ** 6), st.sampled_from([1, 2]),
+           st.integers(4, 12), st.sampled_from(["nearest", "bilinear"]))
+    @settings(max_examples=40, deadline=None)
+    def test_upsample_preserves_value_range(self, seed, c, size, mode):
+        """Interpolation is a convex combination: no overshoot."""
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(1, c, size, size))
+        up = ops.upsample2d(x, 2, mode)
+        assert up.min() >= x.min() - 1e-12
+        assert up.max() <= x.max() + 1e-12
+
+    @given(st.integers(0, 10 ** 6), st.integers(5, 16),
+           st.sampled_from([2, 3]), st.sampled_from([1, 2]))
+    @settings(max_examples=40, deadline=None)
+    def test_maxpool_dominates_avgpool(self, seed, size, k, stride):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(1, 1, size, size))
+        mx = ops.max_pool2d(x, k, stride, 0)
+        av = ops.avg_pool2d(x, k, stride, 0)
+        assert (mx >= av - 1e-12).all()
+
+    @given(st.integers(0, 10 ** 6))
+    @settings(max_examples=30, deadline=None)
+    def test_layernorm_output_standardised(self, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(3, 10, size=(4, 6, 16))
+        out = ops.layernorm(x, np.ones(16), np.zeros(16))
+        np.testing.assert_allclose(out.mean(axis=-1), 0.0, atol=1e-10)
+        np.testing.assert_allclose(out.std(axis=-1), 1.0, atol=1e-2)

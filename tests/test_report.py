@@ -1,0 +1,49 @@
+"""Tests for the table/curve renderers."""
+
+import pytest
+
+from repro.core import NoiseResult, format_cell, render_curve, render_table
+
+
+class TestFormatCell:
+    def test_none_is_dash(self):
+        assert format_cell(None, multi=True) == "-"
+
+    def test_multi_mean_max(self):
+        r = NoiseResult("resize", 80.0, [78.0, 75.0])
+        assert format_cell(r, multi=True) == "3.50 (5.00)"
+
+    def test_single_plain(self):
+        r = NoiseResult("color", 80.0, [79.0])
+        assert format_cell(r, multi=False) == "1.00"
+
+
+class TestRenderTable:
+    def _row(self):
+        return {
+            "trained": 76.39,
+            "noises": {
+                "decoder": NoiseResult("decoder", 76.39, [75.41, 75.40, 75.42]),
+                "ceil_mode": None,
+            },
+            "combined": 3.95,
+        }
+
+    def test_contains_all_cells(self):
+        text = render_table({"resnet-50": self._row()},
+                            ["decoder", "ceil_mode"], "ACC", "Title")
+        assert "Title" in text
+        assert "76.39" in text and "3.95" in text
+        assert "-" in text            # skipped ceil_mode
+
+    def test_alignment_consistent(self):
+        text = render_table({"a": self._row(), "averylongmodelname": self._row()},
+                            ["decoder", "ceil_mode"], "ACC", "t")
+        lines = text.splitlines()[1:]
+        assert len({len(l) for l in lines if l.strip()}) <= 2
+
+    def test_render_curve_bars_scale(self):
+        text = render_curve([("decode", 1.0), ("resize", 3.0)], "ACC")
+        decode_bar = text.splitlines()[1].count("#")
+        resize_bar = text.splitlines()[2].count("#")
+        assert resize_bar > decode_bar

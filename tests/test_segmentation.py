@@ -1,0 +1,120 @@
+"""Tests for segmentation models and mIoU evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.data import make_segmentation_dataset
+from repro.nn import Tensor
+from repro.segmentation import (DeepLabLite, SegTrainConfig, UNetLite,
+                                confusion_matrix, create_segmenter,
+                                evaluate_segmenter, mean_iou, train_segmenter)
+
+
+class TestMIoU:
+    def test_perfect_prediction(self):
+        y = np.random.default_rng(0).integers(0, 4, size=(2, 8, 8))
+        assert mean_iou(y, y, 4) == pytest.approx(100.0)
+
+    def test_all_wrong(self):
+        t = np.zeros((1, 4, 4), dtype=int)
+        p = np.ones((1, 4, 4), dtype=int)
+        assert mean_iou(p, t, 2) == 0.0
+
+    def test_half_right(self):
+        t = np.zeros((1, 2, 2), dtype=int)
+        p = np.array([[[0, 0], [1, 1]]])
+        # class 0: inter 2, union 4 -> 0.5; class 1 absent in GT -> skipped
+        assert mean_iou(p, t, 2) == pytest.approx(50.0)
+
+    def test_confusion_matrix_counts(self):
+        t = np.array([0, 0, 1, 1])
+        p = np.array([0, 1, 1, 1])
+        cm = confusion_matrix(p, t, 2)
+        np.testing.assert_array_equal(cm, [[1, 1], [0, 2]])
+
+    def test_ignores_out_of_range_labels(self):
+        t = np.array([0, -1, 5])
+        p = np.array([0, 0, 0])
+        cm = confusion_matrix(p, t, 2)
+        assert cm.sum() == 1
+
+
+class TestModels:
+    def setup_method(self):
+        self.x = Tensor(np.random.default_rng(0).standard_normal((2, 3, 32, 32)))
+
+    def test_unet_output_shape(self):
+        model = UNetLite(num_classes=4, width=4)
+        assert model(self.x).shape == (2, 4, 32, 32)
+
+    def test_deeplab_output_shape(self):
+        model = DeepLabLite(num_classes=4, width=6)
+        assert model(self.x).shape == (2, 4, 32, 32)
+
+    def test_deeplab_has_ceil_mode_door_unet_does_not(self):
+        dl = DeepLabLite(num_classes=4)
+        assert hasattr(dl, "pool") and dl.pool.ceil_mode is False
+        un = UNetLite(num_classes=4)
+        assert not hasattr(un, "pool")
+
+    def test_upsample_mode_flip_changes_output(self):
+        model = UNetLite(num_classes=4, width=4)
+        model.eval()
+        base = model(self.x).data
+        model.set_upsample_mode("bilinear")
+        flipped = model(self.x).data
+        assert not np.allclose(base, flipped)
+
+    def test_deeplab_ceil_mode_flip_keeps_output_shape(self):
+        model = DeepLabLite(num_classes=4, width=6)
+        model.eval()
+        x = Tensor(np.random.default_rng(1).standard_normal((1, 3, 36, 36)))
+        base = model(x)
+        model.pool.ceil_mode = True
+        flipped = model(x)
+        assert base.shape == flipped.shape     # logits upsampled to input size
+        assert not np.allclose(base.data, flipped.data)
+
+    def test_factory(self):
+        assert isinstance(create_segmenter("unet"), UNetLite)
+        assert isinstance(create_segmenter("deeplab-resnet50"), DeepLabLite)
+        assert create_segmenter("deeplab-resnet101").backbone_name == "resnet-101"
+        with pytest.raises(ValueError):
+            create_segmenter("segformer")
+        with pytest.raises(ValueError):
+            DeepLabLite(backbone="resnet-18")
+
+
+class TestEndToEnd:
+    @pytest.fixture(scope="class")
+    def data(self):
+        ds = make_segmentation_dataset(n=24, size=32, seed=0, native_scale=1.0)
+        x = ds.images.astype(np.float64).transpose(0, 3, 1, 2) / 255.0 - 0.5
+        return x, ds.labels
+
+    def test_unet_learns(self, data):
+        x, y = data
+        model = UNetLite(num_classes=4, width=6, seed=0)
+        hist = train_segmenter(model, x, y,
+                               SegTrainConfig(epochs=8, batch_size=8, lr=5e-3))
+        assert hist[-1] < hist[0]
+        miou = evaluate_segmenter(model, x, y, 4)
+        # Sky/road bands alone give a strong baseline; must beat random (25)
+        assert miou > 40.0
+
+    def test_deeplab_learns(self, data):
+        x, y = data
+        model = DeepLabLite(num_classes=4, width=8, seed=0)
+        hist = train_segmenter(model, x, y,
+                               SegTrainConfig(epochs=8, batch_size=8, lr=5e-3))
+        miou = evaluate_segmenter(model, x, y, 4)
+        assert miou > 40.0
+
+    def test_upsample_flip_moves_miou(self, data):
+        x, y = data
+        model = UNetLite(num_classes=4, width=6, seed=0)
+        train_segmenter(model, x, y, SegTrainConfig(epochs=6, batch_size=8))
+        base = evaluate_segmenter(model, x, y, 4)
+        model.set_upsample_mode("bilinear")
+        flipped = evaluate_segmenter(model, x, y, 4)
+        assert base != flipped

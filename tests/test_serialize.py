@@ -1,0 +1,116 @@
+"""Serialisation tests: model checkpoints (.npz) and deployment graphs."""
+
+import numpy as np
+import pytest
+
+import repro.nn as nn
+from repro.backend import (GraphBuilder, GraphError, ReferenceExecutor,
+                           export_module, load_graph, save_graph)
+from repro.models import create_model
+from repro.nn import (CheckpointError, Tensor, load_checkpoint, no_grad,
+                      save_checkpoint)
+
+RNG = np.random.default_rng(5)
+X = RNG.normal(size=(2, 3, 32, 32))
+
+
+def forward(model):
+    model.eval()
+    with no_grad():
+        return model(Tensor(X)).data
+
+
+class TestCheckpoint:
+    def test_roundtrip_preserves_outputs(self, tmp_path):
+        model = create_model("resnet18x0.25", num_classes=5, seed=1)
+        want = forward(model)
+        path = save_checkpoint(model, tmp_path / "ckpt.npz")
+        fresh = create_model("resnet18x0.25", num_classes=5, seed=99)
+        assert np.abs(forward(fresh) - want).max() > 0   # different init
+        load_checkpoint(fresh, path)
+        np.testing.assert_array_equal(forward(fresh), want)
+
+    def test_buffers_roundtrip(self, tmp_path):
+        """BatchNorm running statistics must survive, not just parameters."""
+        model = nn.Sequential(nn.Conv2d(3, 4, 3, padding=1), nn.BatchNorm2d(4))
+        bn = model[1]
+        bn.running_mean[...] = np.arange(4.0)
+        path = save_checkpoint(model, tmp_path / "c.npz")
+        fresh = nn.Sequential(nn.Conv2d(3, 4, 3, padding=1), nn.BatchNorm2d(4))
+        load_checkpoint(fresh, path)
+        np.testing.assert_array_equal(fresh[1].running_mean, np.arange(4.0))
+
+    def test_npz_suffix_added(self, tmp_path):
+        model = nn.Sequential(nn.Linear(2, 2))
+        path = save_checkpoint(model, tmp_path / "weights")
+        assert path.suffix == ".npz" and path.exists()
+
+    def test_architecture_mismatch_rejected(self, tmp_path):
+        path = save_checkpoint(create_model("resnet18x0.25", num_classes=5),
+                               tmp_path / "c.npz")
+        other = create_model("mobilenetv2-0.5", num_classes=5)
+        with pytest.raises(CheckpointError, match="state mismatch"):
+            load_checkpoint(other, path)
+
+    def test_shape_mismatch_rejected(self, tmp_path):
+        path = save_checkpoint(nn.Sequential(nn.Linear(4, 2)),
+                               tmp_path / "c.npz")
+        with pytest.raises(CheckpointError, match="shape mismatch"):
+            load_checkpoint(nn.Sequential(nn.Linear(8, 2)), path)
+
+    def test_foreign_npz_rejected(self, tmp_path):
+        np.savez(tmp_path / "c.npz", junk=np.ones(3))
+        with pytest.raises(CheckpointError, match="version"):
+            load_checkpoint(nn.Sequential(nn.Linear(2, 2)),
+                            tmp_path / "c.npz")
+
+    def test_load_returns_model(self, tmp_path):
+        model = nn.Sequential(nn.Linear(2, 2))
+        path = save_checkpoint(model, tmp_path / "c.npz")
+        assert load_checkpoint(model, path) is model
+
+
+class TestGraphSerialize:
+    def test_roundtrip_preserves_execution(self, tmp_path):
+        graph = export_module(create_model("mobilenetv2-0.5", num_classes=5,
+                                           seed=2))
+        path = save_graph(graph, tmp_path / "g.npz")
+        loaded = load_graph(path)
+        np.testing.assert_array_equal(ReferenceExecutor().run(loaded, X),
+                                      ReferenceExecutor().run(graph, X))
+
+    def test_structure_preserved(self, tmp_path):
+        graph = export_module(create_model("resnet18x0.25", num_classes=5))
+        loaded = load_graph(save_graph(graph, tmp_path / "g.npz"))
+        assert [n.op for n in loaded.nodes] == [n.op for n in graph.nodes]
+        assert [n.name for n in loaded.nodes] == [n.name for n in graph.nodes]
+        assert loaded.input == graph.input and loaded.output == graph.output
+        assert set(loaded.initializers) == set(graph.initializers)
+
+    def test_array_attrs_roundtrip(self, tmp_path):
+        """constant nodes carry ndarray attrs, which spill to array storage."""
+        b = GraphBuilder("const")
+        c = b.emit("constant", [], attrs=dict(value=np.arange(6.0).reshape(2, 3)))
+        out = b.emit("add", ["x", c])
+        graph = b.finish(out)
+        loaded = load_graph(save_graph(graph, tmp_path / "g.npz"))
+        np.testing.assert_array_equal(loaded.nodes[0].attrs["value"],
+                                      np.arange(6.0).reshape(2, 3))
+
+    def test_tuple_attrs_roundtrip(self, tmp_path):
+        b = GraphBuilder("rs")
+        out = b.emit("reshape", ["x"], attrs=dict(shape=(0, -1, 1, 1)))
+        loaded = load_graph(save_graph(b.finish(out), tmp_path / "g.npz"))
+        assert loaded.nodes[0].attrs["shape"] == (0, -1, 1, 1)
+
+    def test_foreign_file_rejected(self, tmp_path):
+        np.savez(tmp_path / "g.npz", junk=np.ones(3))
+        with pytest.raises(GraphError, match="not a repro graph"):
+            load_graph(tmp_path / "g.npz")
+
+    def test_invalid_graph_not_saved(self, tmp_path):
+        from repro.backend import Graph, Node
+        bad = Graph("bad", "x", "missing",
+                    nodes=[Node("relu", ("ghost",), "y")])
+        with pytest.raises(GraphError):
+            save_graph(bad, tmp_path / "g.npz")

@@ -1,0 +1,55 @@
+"""Tests for the Fig.-5 difference-map visualisation."""
+
+import numpy as np
+
+from repro.data import make_classification_dataset
+from repro.viz import (ascii_heatmap, difference_image, noise_difference_maps,
+                       noise_statistics)
+
+
+class TestDifferenceImage:
+    def test_identical_images_zero(self):
+        img = np.full((8, 8, 3), 100, dtype=np.uint8)
+        np.testing.assert_array_equal(difference_image(img, img), 0)
+
+    def test_rescaled_to_full_range(self):
+        a = np.zeros((4, 4, 3), dtype=np.uint8)
+        b = np.full((4, 4, 3), 2, dtype=np.uint8)
+        out = difference_image(a, b)
+        assert out.max() == 255      # paper scales noise to [0, 255]
+
+    def test_dtype(self):
+        a = np.zeros((4, 4), dtype=np.uint8)
+        b = np.ones((4, 4), dtype=np.uint8)
+        assert difference_image(a, b).dtype == np.uint8
+
+
+class TestNoiseMaps:
+    def setup_method(self):
+        ds = make_classification_dataset(n=2, native_size=40, input_size=32,
+                                         seed=0)
+        self.panels = noise_difference_maps(ds.streams[0], input_size=32)
+
+    def test_four_panels(self):
+        assert set(self.panels) == {"decode", "resize", "color", "int8"}
+
+    def test_panels_shapes(self):
+        for p in self.panels.values():
+            assert p.shape == (32, 32, 3)
+
+    def test_resize_noise_strongest(self):
+        stats = noise_statistics(self.panels)
+        assert stats["resize"]["nonzero_fraction"] >= stats["decode"]["nonzero_fraction"]
+
+    def test_statistics_keys(self):
+        stats = noise_statistics(self.panels)
+        for s in stats.values():
+            assert {"mean", "nonzero_fraction", "channel_spread"} <= set(s)
+
+    def test_ascii_heatmap_renders(self):
+        art = ascii_heatmap(self.panels["resize"])
+        assert isinstance(art, str) and len(art.splitlines()) > 4
+
+    def test_ascii_heatmap_gray_input(self):
+        art = ascii_heatmap(np.eye(16) * 255)
+        assert "@" in art
