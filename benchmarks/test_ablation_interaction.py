@@ -8,8 +8,7 @@ noise started (positive terms).
 """
 
 from common import get_cls_dataset, get_trained_classifier, write_result
-from repro.core import (evaluate_classification, pairwise_interaction,
-                        render_interaction)
+from repro.core import BenchmarkSession, pairwise_interaction, render_interaction
 
 MODEL = "resnet-50"
 NOISES = ["decoder", "resize", "color", "precision", "ceil_mode"]
@@ -18,7 +17,9 @@ NOISES = ["decoder", "resize", "color", "precision", "ceil_mode"]
 def _run_ablation():
     _, val = get_cls_dataset()
     model = get_trained_classifier(MODEL)
-    return pairwise_interaction(evaluate_classification, model, val, NOISES)
+    session = BenchmarkSession().task("cls").model(model).dataset(val)
+    return pairwise_interaction(lambda m, d, cfg: session.evaluate(cfg),
+                                model, val, NOISES)
 
 
 def test_ablation_interaction(benchmark):

@@ -13,7 +13,7 @@ Two knobs the paper's single "Color Mode" and "Resize" columns hide:
 import numpy as np
 
 from common import get_cls_dataset, get_trained_classifier, write_result
-from repro.core import TRAIN_CONFIG, evaluate_classification
+from repro.core import TRAIN_CONFIG, BenchmarkSession
 from repro.image import COLOR_PIPELINES
 
 MODEL = "resnet-18"
@@ -27,16 +27,17 @@ ENGINE_PAIRS = [("pillow-bilinear", "cv-bilinear"),
 def _run_ablation():
     _, val = get_cls_dataset()
     model = get_trained_classifier(MODEL)
-    base = evaluate_classification(model, val, TRAIN_CONFIG)
+    session = BenchmarkSession().task("cls").model(model).dataset(val)
+    base = session.evaluate(TRAIN_CONFIG)
     color = {}
     for pipeline in COLOR_PIPELINES:
         cfg = TRAIN_CONFIG.with_(color=pipeline)
-        color[pipeline] = base - evaluate_classification(model, val, cfg)
+        color[pipeline] = base - session.evaluate(cfg)
     engine = {}
     for train_kernel, deploy_kernel in ENGINE_PAIRS:
         cfg = TRAIN_CONFIG.with_(resize_method=deploy_kernel)
         name = train_kernel.split("-")[1]
-        engine[name] = base - evaluate_classification(model, val, cfg)
+        engine[name] = base - session.evaluate(cfg)
     return {"base": base, "color": color, "engine": engine}
 
 

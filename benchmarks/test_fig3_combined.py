@@ -8,23 +8,23 @@ first step (combination matters).
 
 from common import (get_cls_dataset, get_det_dataset, get_trained_classifier,
                     get_trained_detector, write_result)
-from repro.core import (evaluate_classification, evaluate_detection,
-                        render_curve, worst_case_curve)
+from repro.core import BenchmarkSession, render_curve
 
 
 def _run_fig3():
     _, cls_val = get_cls_dataset()
     cls_model = get_trained_classifier("resnet-50")
-    cls_curve = worst_case_curve(
-        evaluate_classification, cls_model, cls_val,
-        ["decoder", "resize", "color", "precision", "ceil_mode"])
+    cls_curve = (BenchmarkSession()
+                 .task("cls").model(cls_model).dataset(cls_val)
+                 .worst_case(["decoder", "resize", "color", "precision",
+                              "ceil_mode"]))
 
     _, det_val = get_det_dataset()
     det_model = get_trained_detector("rcnn", "resnet-50")
-    det_curve = worst_case_curve(
-        evaluate_detection, det_model, det_val,
-        ["decoder", "resize", "color", "precision", "ceil_mode",
-         "upsample", "proposal"])
+    det_curve = (BenchmarkSession()
+                 .task("det").model(det_model).dataset(det_val)
+                 .worst_case(["decoder", "resize", "color", "precision",
+                              "ceil_mode", "upsample", "proposal"]))
     return cls_curve, det_curve
 
 

@@ -9,8 +9,8 @@ hits ResNets, and Combined exceeds every single noise for ResNets.
 import numpy as np
 
 from common import cls_model_list, get_cls_dataset, get_trained_classifier, write_result
-from repro.core import (CLS_NOISES, evaluate_classification, family_summaries,
-                        noise_row, render_family_table, render_table)
+from repro.core import (CLS_NOISES, BenchmarkSession, family_summaries,
+                        render_family_table, render_table)
 from repro.models import family_of
 
 
@@ -19,9 +19,12 @@ def _run_table2():
     rows = {}
     for name in cls_model_list():
         model = get_trained_classifier(name)
-        skip = set() if family_of(name) == "resnet" else {"ceil_mode"}
-        rows[name] = noise_row(evaluate_classification, model, val,
-                               CLS_NOISES, skip=skip)
+        session = (BenchmarkSession()
+                   .task("cls").model(model, label=name).dataset(val)
+                   .noises(*CLS_NOISES))
+        if family_of(name) != "resnet":
+            session.skip("ceil_mode")
+        rows[name] = session.run().row()
     return rows
 
 

@@ -6,7 +6,7 @@ processing are the large hitters; Combined exceeds any single noise.
 """
 
 from common import get_det_dataset, get_trained_detector, write_result
-from repro.core import DET_NOISES, evaluate_detection, noise_row, render_table
+from repro.core import DET_NOISES, BenchmarkSession, render_table
 
 
 def _run_table3():
@@ -17,7 +17,9 @@ def _run_table3():
         ("retinanet/resnet-34", "retinanet", "resnet-34"),
     ]:
         model = get_trained_detector(kind, backbone)
-        rows[label] = noise_row(evaluate_detection, model, val, DET_NOISES)
+        rows[label] = (BenchmarkSession()
+                       .task("det").model(model, label=label).dataset(val)
+                       .noises(*DET_NOISES).run().row())
     return rows
 
 

@@ -6,7 +6,7 @@ segmentation, upsample dominates.
 """
 
 from common import get_seg_dataset, get_trained_segmenter, write_result
-from repro.core import SEG_NOISES, evaluate_segmentation, noise_row, render_table
+from repro.core import SEG_NOISES, BenchmarkSession, render_table
 
 
 def _run_table4():
@@ -14,9 +14,12 @@ def _run_table4():
     rows = {}
     for name in ("deeplab-resnet50", "deeplab-resnet101", "unet"):
         model = get_trained_segmenter(name)
-        skip = {"ceil_mode"} if name == "unet" else set()
-        rows[name] = noise_row(evaluate_segmentation, model, val, SEG_NOISES,
-                               skip=skip)
+        session = (BenchmarkSession()
+                   .task("seg").model(model, label=name).dataset(val)
+                   .noises(*SEG_NOISES))
+        if name == "unet":
+            session.skip("ceil_mode")
+        rows[name] = session.run().row()
     return rows
 
 

@@ -11,22 +11,19 @@ Run:  python examples/detection_deployment.py
 
 import numpy as np
 
-from repro.core import (TRAIN_CONFIG, evaluate_detection, preprocess_dataset,
-                        train_detection_model)
-from repro.data import make_detection_dataset
-from repro.detection import DetTrainConfig, RetinaNetLite
+from repro.core import TRAIN_CONFIG, BenchmarkSession, preprocess_dataset
 
 
 def main():
     print("Generating synthetic detection scenes...")
-    ds = make_detection_dataset(n=70, size=48, seed=0, max_objects=2)
-    train, val = ds.split(52)
-
     print("Training RetinaNet-lite (nearest FPN upsample, offset=0)...")
-    model = RetinaNetLite(backbone="resnet-34", num_classes=3,
-                          fpn_channels=12, seed=0)
-    train_detection_model(model, train,
-                          DetTrainConfig(epochs=14, batch_size=8, lr=4e-3))
+    session = (BenchmarkSession()
+               .task("det")
+               .model("retinanet", backbone="resnet-34", num_classes=3,
+                      fpn_channels=12)
+               .data(n=70, size=48, max_objects=2, n_train=52)
+               .fit(epochs=14, batch_size=8, lr=4e-3))
+    model, val = session.trained_model, session.eval_data
 
     configs = {
         "training system": TRAIN_CONFIG,
@@ -38,7 +35,7 @@ def main():
     }
     print("\nmAP under progressively mismatched deployment systems:")
     for label, cfg in configs.items():
-        mAP = evaluate_detection(model, val, cfg)
+        mAP = session.evaluate(cfg)
         print(f"  {label:<22} mAP = {mAP:6.2f}")
 
     # Show one image's boxes moving under the offset flip.

@@ -6,31 +6,32 @@ steps add less than their standalone damage (overlap) while others add more
 Δ(a∧b) − Δ(a) − Δ(b) on a freshly trained classifier, so both regimes are
 visible at once instead of being entangled in a single stacking order.
 
+Both studies share one :class:`BenchmarkSession` — every deployment config
+reuses the session's content-addressed decode cache.
+
 Run:  python examples/noise_interactions.py
 """
 
-import repro.nn as nn
-from repro.core import (evaluate_classification, pairwise_interaction,
-                        render_interaction, train_classification_model,
-                        worst_case_curve, render_curve, CLS_NOISES)
-from repro.data import make_classification_dataset
+from repro.core import (CLS_NOISES, BenchmarkSession, pairwise_interaction,
+                        render_curve, render_interaction)
 
 
 def main():
     print("Training resnet-18 under the training-system pipeline...")
-    ds = make_classification_dataset(n=300, native_size=48, input_size=32,
-                                     seed=0)
-    train, val = ds.split(220)
-    model = train_classification_model(
-        "resnet-18", train, nn.TrainConfig(epochs=30, batch_size=32, lr=0.1))
+    session = (BenchmarkSession()
+               .task("cls")
+               .model("resnet-18")
+               .data(n=300, native_size=48, input_size=32, n_train=220)
+               .fit(epochs=30))
 
     print("\n1) The paper's Fig.-3 view — one fixed stacking order:")
-    curve = worst_case_curve(evaluate_classification, model, val, CLS_NOISES)
+    curve = session.worst_case(CLS_NOISES)
     print(render_curve(curve, "ACC"))
 
     print("\n2) The full pairwise view (ablation E):")
     matrix = pairwise_interaction(
-        evaluate_classification, model, val,
+        lambda model, ds, cfg: session.evaluate(cfg),
+        session.trained_model, session.eval_data,
         ["decoder", "resize", "color", "precision", "ceil_mode"])
     print(render_interaction(matrix))
 

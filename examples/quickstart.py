@@ -1,39 +1,37 @@
 """Quickstart: measure SysNoise on a freshly trained classifier.
 
-Trains a small ResNet on the synthetic ImageNet stand-in through the
+One :class:`~repro.core.session.BenchmarkSession` owns the whole flow:
+generate the synthetic ImageNet stand-in, train a small ResNet through the
 *training-system* pipeline (DALI-persona decode, Pillow-bilinear resize,
-FP32), then deploys it under mismatched systems and prints the ΔACC table —
-the minimal end-to-end version of the paper's Table 2 protocol.
+FP32), deploy it under mismatched systems, and print the ΔACC table — the
+minimal end-to-end version of the paper's Table 2 protocol.
 
 Run:  python examples/quickstart.py
 """
 
-import repro.nn as nn
-from repro.core import (CLS_NOISES, evaluate_classification, noise_row,
-                        render_table, train_classification_model)
-from repro.data import make_classification_dataset
+from repro.core import BenchmarkSession, TRAIN_CONFIG
 
 
 def main():
     print("Generating synthetic classification data (JPEG-encoded)...")
-    ds = make_classification_dataset(n=300, native_size=48, input_size=32,
-                                     seed=0)
-    train, val = ds.split(220)
-
     print("Training resnet18x0.25 under the training-system pipeline...")
-    model = train_classification_model(
-        "resnet18x0.25", train,
-        nn.TrainConfig(epochs=30, batch_size=32, lr=0.1))
+    session = (BenchmarkSession()
+               .task("cls")
+               .model("resnet18x0.25")
+               .data(n=300, native_size=48, input_size=32, n_train=220)
+               .fit(epochs=30))
 
-    clean = evaluate_classification(model, val)
+    clean = session.evaluate(TRAIN_CONFIG)
     print(f"Clean (train-system) accuracy: {clean:.2f}%\n")
 
     print("Sweeping deployment-system mismatches...")
-    row = noise_row(evaluate_classification, model, val, CLS_NOISES)
-    print(render_table({"resnet18x0.25": row}, CLS_NOISES, "ACC",
-                       "SysNoise quickstart (ΔACC = clean − deployed)"))
+    result = session.run()
+    print(result.render("SysNoise quickstart (ΔACC = clean − deployed)"))
     print("\nReading the row: decoder/resize/precision cells are "
           "'mean (max)' over variants; positive Δ = deployment hurt.")
+    worst = result.worst()
+    if worst:
+        print(f"Worst single noise: {worst[0]} (mean Δ {worst[1]:+.2f}).")
 
 
 if __name__ == "__main__":

@@ -1,6 +1,32 @@
 """repro — reproduction of *SysNoise: Exploring and Benchmarking
 Training-Deployment System Inconsistency* (MLSys 2023).
 
+The public API is organised around three registries in :mod:`repro.core`
+(see ``docs/api.md`` for the full guide and the old→new migration table):
+
+* **Noise registry** — every SysNoise type is a
+  :class:`~repro.core.registry.NoiseSource` registered with
+  ``@register_noise``, declaring its pipeline stage, affected tasks,
+  deployment variant set, and an ``apply(config, variant)`` hook.  The
+  Table-1 taxonomy (``NOISE_TAXONOMY``), per-task noise lists
+  (``CLS_NOISES`` / ``DET_NOISES`` / ``SEG_NOISES``), deployment variants,
+  and the worst-case stacking order are all live views derived from it —
+  a new noise type is one registration away from every sweep and listing.
+* **Task registry** — classification, detection, segmentation, NLP, and
+  audio workloads implement the :class:`~repro.core.tasks.TaskAdapter`
+  protocol (``build_model`` / ``load_dataset`` / ``train`` / ``evaluate``)
+  and self-register with ``@register_task``.
+* **BenchmarkSession** — the fluent facade that owns the whole flow::
+
+      result = (BenchmarkSession().task("cls").model("resnet-18")
+                .data(n=240, train_frac=0.75).fit(epochs=15)
+                .noises("resize", "precision").run())
+      print(result.render())
+
+  Sessions own a content-digest LRU decode cache, sweep the registry,
+  aggregate :class:`~repro.core.session.NoiseResult` rows, and emit
+  paper-style reports.
+
 Subpackages
 -----------
 ``repro.nn``           NumPy autograd + layers + quantisation (the "runtime").
@@ -12,9 +38,15 @@ Subpackages
 ``repro.nlp``          Decoder-only LM + multiple-choice tasks.
 ``repro.audio``        STFT variants + toy TTS.
 ``repro.backend``      Deployment graph IR, exporter, vendor-style executors.
-``repro.core``         The SysNoise registry, pipeline, and benchmark runner.
+``repro.core``         Registries, pipeline, sessions, reports (see above).
 ``repro.mitigation``   Mix training, augmentation, adversarial training, TENT.
 ``repro.viz``          Difference-map visualisation (paper Fig. 5).
+
+Command line
+------------
+``python -m repro noises`` lists the live noise registry; ``tasks`` the
+adapter registry; ``sweep`` / ``worst-case`` / ``interaction`` drive a
+BenchmarkSession end to end.  See ``python -m repro --help``.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"

@@ -1,4 +1,9 @@
-"""``python -m repro`` — dispatch to the CLI."""
+"""``python -m repro`` — dispatch to the CLI.
+
+Registry-backed commands (``noises``, ``tasks``, ``sweep``, ``worst-case``,
+``interaction``) and the export/report tooling all hang off
+:func:`repro.cli.main`; run ``python -m repro --help`` for the list.
+"""
 
 import sys
 

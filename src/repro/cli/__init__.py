@@ -4,6 +4,9 @@ The CLI wraps the library's main entry points so the benchmark can be driven
 without writing Python:
 
 =================  ==========================================================
+``noises``         The pluggable noise registry (stage, tasks, variant count);
+                   ``--import`` pulls in modules registering custom sources.
+``tasks``          The task-adapter registry (metric, applicable noises).
 ``list-noises``    The Table-1 taxonomy and the deployment variants per type.
 ``list-models``    The model zoo (family, parameter count, capability flags).
 ``list-backends``  Vendor backend personas and their implementation options.
@@ -30,7 +33,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from . import backends_cmd, evaluate_cmd, info_cmd, report_cmd
+from . import backends_cmd, evaluate_cmd, info_cmd, noises_cmd, report_cmd
 
 __all__ = ["main", "build_parser"]
 
@@ -40,7 +43,8 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="SysNoise benchmark CLI (MLSys 2023 reproduction)")
     sub = parser.add_subparsers(dest="command", required=True)
-    for module in (info_cmd, evaluate_cmd, backends_cmd, report_cmd):
+    for module in (info_cmd, noises_cmd, evaluate_cmd, backends_cmd,
+                   report_cmd):
         module.register(sub)
     return parser
 

@@ -1,8 +1,9 @@
 """Evaluation CLI commands: sweep (one Table-2 row) and worst-case (Fig. 3).
 
-Both commands train a zoo classifier from scratch on the synthetic dataset —
-sized for a laptop-minute demo by default — then measure SysNoise exactly as
-the benchmark harness does.  For the shipped benchmark numbers use
+All three commands drive one :class:`~repro.core.session.BenchmarkSession`:
+load the synthetic dataset, train a zoo classifier from scratch — sized for
+a laptop-minute demo by default — then measure SysNoise exactly as the
+benchmark harness does.  For the shipped benchmark numbers use
 ``pytest benchmarks/`` instead, which caches trained weights on disk.
 """
 
@@ -10,7 +11,7 @@ from __future__ import annotations
 
 import argparse
 
-__all__ = ["register", "train_quick_classifier"]
+__all__ = ["register", "build_session"]
 
 
 def register(sub: argparse._SubParsersAction) -> None:
@@ -47,78 +48,64 @@ def register(sub: argparse._SubParsersAction) -> None:
     p.set_defaults(func=cmd_interaction)
 
 
-def train_quick_classifier(model_name: str, n: int, train_frac: float,
-                           epochs: int, seed: int):
-    """Build dataset + train one zoo classifier at CLI demo scale."""
-    import repro.nn as nn
-    from repro.core import TRAIN_CONFIG, preprocess_dataset
-    from repro.data import make_classification_dataset
-    from repro.models import create_model
+def build_session(args: argparse.Namespace):
+    """Dataset + freshly trained zoo classifier at CLI demo scale."""
+    from repro.core import BenchmarkSession
 
-    ds = make_classification_dataset(n=n, native_size=48, input_size=32,
-                                     seed=seed)
-    train, val = ds.split(int(n * train_frac))
-    model = create_model(model_name, num_classes=train.num_classes, seed=seed)
-    x = preprocess_dataset(train.streams, train.input_size, TRAIN_CONFIG)
-    cfg = nn.TrainConfig(epochs=epochs, batch_size=32, lr=0.1,
-                         weight_decay=1e-4)
-    from repro.models import family_of
-    if family_of(model_name) in ("vit", "swin"):
-        cfg = nn.TrainConfig(epochs=epochs, batch_size=32, lr=3e-3,
-                             optimizer="adam", weight_decay=1e-4)
-    nn.train_classifier(model, x, train.labels, cfg)
-    return model, val
+    print(f"training {args.model} (n={args.n}, epochs={args.epochs}) ...")
+    return (BenchmarkSession()
+            .task("cls")
+            .seed(args.seed)
+            .model(args.model)
+            .data(n=args.n, native_size=48, input_size=32,
+                  train_frac=args.train_frac)
+            .fit(epochs=args.epochs))
+
+
+def _bad_noises(noises, known) -> list[str]:
+    return [n for n in noises if n not in known]
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
-    from repro.core import (CLS_NOISES, evaluate_classification, noise_row,
-                            render_table)
+    from repro.core import CLS_NOISES
     from repro.models import MODEL_ZOO
 
-    noises = args.noises.split(",") if args.noises else CLS_NOISES
-    bad = [n for n in noises if n not in CLS_NOISES]
+    noises = args.noises.split(",") if args.noises else list(CLS_NOISES)
+    bad = _bad_noises(noises, CLS_NOISES)
     if bad:
         print(f"error: unknown classification noise(s) {bad}; "
-              f"choose from {CLS_NOISES}")
+              f"choose from {list(CLS_NOISES)}")
         return 2
-    print(f"training {args.model} (n={args.n}, epochs={args.epochs}) ...")
-    model, val = train_quick_classifier(args.model, args.n, args.train_frac,
-                                        args.epochs, args.seed)
+    session = build_session(args).noises(*noises)
     spec = {s.name: s for s in MODEL_ZOO}[args.model]
-    skip = set() if spec.has_maxpool else {"ceil_mode"}
-    row = noise_row(evaluate_classification, model, val, noises, skip=skip,
-                    include_combined=not args.no_combined)
-    print(render_table({args.model: row}, noises, "ACC",
-                       f"SysNoise sweep — {args.model}"))
+    if not spec.has_maxpool:
+        session.skip("ceil_mode")
+    result = session.combined(not args.no_combined).run()
+    print(result.render(f"SysNoise sweep — {args.model}"))
     return 0
 
 
 def cmd_worst_case(args: argparse.Namespace) -> int:
-    from repro.core import (CLS_NOISES, evaluate_classification, render_curve,
-                            worst_case_curve)
+    from repro.core import CLS_NOISES, render_curve
 
-    print(f"training {args.model} (n={args.n}, epochs={args.epochs}) ...")
-    model, val = train_quick_classifier(args.model, args.n, args.train_frac,
-                                        args.epochs, args.seed)
-    curve = worst_case_curve(evaluate_classification, model, val, CLS_NOISES)
-    print(render_curve(curve, "ACC"))
+    session = build_session(args)
+    curve = session.worst_case(CLS_NOISES)
+    print(render_curve(curve, session.adapter.metric_name))
     return 0
 
 
 def cmd_interaction(args: argparse.Namespace) -> int:
-    from repro.core import (evaluate_classification, pairwise_interaction,
-                            render_interaction)
-    from repro.core.noise import WORST_CASE_ORDER
+    from repro.core import noise_names, pairwise_interaction, render_interaction
 
     noises = args.noises.split(",")
-    known = {name for name, _ in WORST_CASE_ORDER}
-    bad = [n for n in noises if n not in known]
+    known = set(noise_names())
+    bad = _bad_noises(noises, known)
     if bad:
         print(f"error: unknown noise(s) {bad}; choose from {sorted(known)}")
         return 2
-    print(f"training {args.model} (n={args.n}, epochs={args.epochs}) ...")
-    model, val = train_quick_classifier(args.model, args.n, args.train_frac,
-                                        args.epochs, args.seed)
-    matrix = pairwise_interaction(evaluate_classification, model, val, noises)
+    session = build_session(args)
+    matrix = pairwise_interaction(
+        lambda m, d, cfg: session.evaluate(cfg),
+        session.trained_model, session.eval_data, noises)
     print(render_interaction(matrix))
     return 0

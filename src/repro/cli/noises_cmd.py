@@ -1,0 +1,81 @@
+"""Registry CLI command: ``repro noises`` — the live noise-source listing.
+
+Unlike ``list-noises`` (the static paper-Table-1 rendering), this command
+reflects the *registry*: any noise type registered via ``@register_noise``
+— including ones from user code imported with ``--import`` — shows up with
+its stage, affected tasks, and variant count.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+
+__all__ = ["register"]
+
+
+def register(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("noises",
+                       help="list the pluggable noise registry "
+                            "(name, stage, tasks, variants)")
+    p.add_argument("--task", default=None,
+                   help="only noises affecting this task (see `repro tasks`)")
+    p.add_argument("--stage", default=None,
+                   help="only noises of this pipeline stage")
+    p.add_argument("--variants", action="store_true",
+                   help="also list each deployment variant value")
+    p.add_argument("--import", dest="imports", action="append", default=[],
+                   metavar="MODULE",
+                   help="import a module that registers extra noise sources "
+                        "(repeatable)")
+    p.set_defaults(func=cmd_noises)
+
+    p = sub.add_parser("tasks",
+                       help="list the task-adapter registry "
+                            "(name, metric, applicable noises)")
+    p.set_defaults(func=cmd_tasks)
+
+
+def cmd_noises(args: argparse.Namespace) -> int:
+    from repro.core import iter_noises
+
+    for module in args.imports:
+        try:
+            importlib.import_module(module)
+        except ImportError as exc:
+            print(f"error: cannot import {module!r}: {exc}")
+            return 2
+
+    sources = iter_noises()
+    if args.task:
+        sources = [s for s in sources if args.task in s.tasks]
+    if args.stage:
+        sources = [s for s in sources if s.stage == args.stage]
+    if not sources:
+        print("no registered noise sources match the filter")
+        return 2
+
+    headers = ["name", "stage", "tasks", "variants", "worst"]
+    rows = [[s.name, s.stage, "/".join(s.tasks), str(len(s.variants())),
+             str(s.worst_variant)] for s in sources]
+    widths = [max(len(h), *(len(r[i]) for r in rows))
+              for i, h in enumerate(headers)]
+    fmt = lambda cells: "  ".join(c.ljust(w) for c, w in zip(cells, widths))
+    print(fmt(headers))
+    print(fmt(["-" * w for w in widths]))
+    for src, row in zip(sources, rows):
+        print(fmt(row))
+        if args.variants:
+            for v in src.variants():
+                print(f"    - {v}")
+    return 0
+
+
+def cmd_tasks(args: argparse.Namespace) -> int:
+    from repro.core import get_task, task_names
+
+    for name in task_names():
+        adapter = get_task(name)
+        print(f"{name:<8} metric={adapter.metric_name:<6} "
+              f"noises={','.join(adapter.noises)}")
+    return 0

@@ -1,32 +1,68 @@
-"""The SysNoise benchmark core: taxonomy, pipeline, sweeps, reports."""
+"""The SysNoise benchmark core: registry, task adapters, sessions, reports.
 
-from .benchmark import (CLS_NOISES, DET_NOISES, SEG_NOISES, NoiseResult,
-                        combined_config, evaluate_classification,
-                        evaluate_detection, evaluate_segmentation, noise_row,
-                        sweep_noise, worst_case_curve)
+Three abstractions make the core extensible (see ``docs/api.md``):
+
+* :mod:`repro.core.registry` — pluggable noise types (``@register_noise``);
+  taxonomy, variant sets, and per-task noise lists are derived views.
+* :mod:`repro.core.tasks` — :class:`TaskAdapter` registry unifying
+  classification / detection / segmentation / NLP / audio workloads.
+* :mod:`repro.core.session` — :class:`BenchmarkSession`, the fluent facade
+  that owns decode caching, sweeps, and report emission.
+
+The seed-era free functions (``evaluate_classification``, ``sweep_noise``,
+``noise_row``, ...) remain as thin shims in :mod:`repro.core.benchmark`.
+"""
+
 from .analysis import (FamilySummary, family_summaries, render_family_table,
                        size_trend)
+from .benchmark import (evaluate_classification, evaluate_detection,
+                        evaluate_segmentation)
+from .cache import DecodeCache, streams_digest
 from .interaction import (InteractionMatrix, pairwise_interaction,
                           render_interaction)
-from .noise import (NOISE_TAXONOMY, TRAIN_CONFIG, WORST_CASE_ORDER,
-                    NoiseConfig, NoiseSpec, deployment_variants)
+from .noise import NoiseConfig, NoiseSpec, TRAIN_CONFIG
 from .pipeline import (apply_model_noise, decode_dataset, normalize,
                        preprocess, preprocess_dataset)
+from .registry import (CLS_NOISES, DET_NOISES, NOISE_TAXONOMY, SEG_NOISES,
+                       WORST_CASE_ORDER, FieldNoise, NoiseSource,
+                       combined_config, deployment_variants, get_noise,
+                       iter_noises, noise_names, noises_for_task,
+                       register_noise, temporary_noise, unregister_noise,
+                       worst_case_stack)
 from .report import format_cell, render_curve, render_table, render_taxonomy
+from .session import (BenchmarkSession, NoiseResult, Session, SessionResult,
+                      noise_row, sweep_noise, worst_case_curve)
+from .tasks import (NLPDataset, TaskAdapter, get_task, register_task,
+                    task_names, unregister_task)
 from .training import (default_train_config, train_classification_model,
                        train_detection_model, train_segmentation_model)
 
 __all__ = [
+    # configs + taxonomy views
     "NoiseSpec", "NOISE_TAXONOMY", "NoiseConfig", "TRAIN_CONFIG",
     "deployment_variants", "WORST_CASE_ORDER",
+    # noise registry
+    "NoiseSource", "FieldNoise", "register_noise", "unregister_noise",
+    "temporary_noise", "get_noise", "noise_names", "iter_noises",
+    "noises_for_task", "worst_case_stack",
+    # task registry
+    "TaskAdapter", "register_task", "unregister_task", "get_task",
+    "task_names", "NLPDataset",
+    # session facade
+    "BenchmarkSession", "Session", "SessionResult",
+    # pipeline + caching
     "decode_dataset", "preprocess", "preprocess_dataset", "apply_model_noise",
-    "normalize",
+    "normalize", "DecodeCache", "streams_digest",
+    # legacy benchmark API (shims)
     "NoiseResult", "evaluate_classification", "evaluate_detection",
     "evaluate_segmentation", "sweep_noise", "noise_row", "combined_config",
     "worst_case_curve", "CLS_NOISES", "DET_NOISES", "SEG_NOISES",
+    # reports
     "format_cell", "render_table", "render_taxonomy", "render_curve",
+    # training helpers
     "train_classification_model", "train_detection_model",
     "train_segmentation_model", "default_train_config",
+    # analyses
     "InteractionMatrix", "pairwise_interaction", "render_interaction",
     "FamilySummary", "family_summaries", "size_trend", "render_family_table",
 ]

@@ -1,172 +1,45 @@
-"""Benchmark drivers: measure Δmetric per noise type, per task (Tables 2-4).
+"""Deprecated benchmark shims — the API now lives in registry/tasks/session.
 
-The protocol follows the paper exactly: a model is trained once under
-``TRAIN_CONFIG``; each noise type is then applied *at deployment only*, and
-we report ``Δ = metric(train config) − metric(deployment config)``, with mean
-and max over the variant set when a noise type has multiple options (decoder,
-resize, precision).
+The protocol is unchanged (train once under ``TRAIN_CONFIG``, deploy under
+each mismatched config, report ``Δ = metric(train) − metric(deployed)``),
+but the implementation moved:
+
+* per-task evaluators  → :mod:`repro.core.tasks` (``get_task(name).evaluate``)
+* sweeps / rows / curves → :mod:`repro.core.session` (registry-driven)
+* noise lists / combined config → :mod:`repro.core.registry` (live views)
+
+Everything exported here is a thin alias kept so seed-era callers and the
+shipped benchmark drivers keep working.  New code should use
+:class:`~repro.core.session.BenchmarkSession` or the task adapters directly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
-import numpy as np
-
-from repro.nn import Tensor, evaluate_classifier
-
-from ..data.cityscapes import SegmentationDataset
-from ..data.coco import DetectionDataset
-from ..data.imagenet import ClassificationDataset
-from ..detection.map_eval import mean_average_precision
-from ..segmentation.miou import mean_iou
-from .noise import (NOISE_TAXONOMY, NoiseConfig, TRAIN_CONFIG,
-                    WORST_CASE_ORDER, deployment_variants)
-from .pipeline import apply_model_noise, preprocess_dataset
+from .noise import NoiseConfig, TRAIN_CONFIG
+from .registry import (CLS_NOISES, DET_NOISES, SEG_NOISES,  # noqa: F401
+                       combined_config)
+from .session import (NoiseResult, noise_row, sweep_noise,  # noqa: F401
+                      worst_case_curve)
+from .tasks import get_task
 
 __all__ = ["NoiseResult", "evaluate_classification", "evaluate_detection",
            "evaluate_segmentation", "sweep_noise", "noise_row",
            "combined_config", "worst_case_curve",
            "CLS_NOISES", "DET_NOISES", "SEG_NOISES"]
 
-CLS_NOISES = ["decoder", "resize", "color", "precision", "ceil_mode"]
-DET_NOISES = ["decoder", "resize", "color", "upsample", "precision",
-              "ceil_mode", "proposal"]
-SEG_NOISES = ["decoder", "resize", "color", "upsample", "precision",
-              "ceil_mode"]
+
+def evaluate_classification(model, ds, cfg: NoiseConfig = TRAIN_CONFIG) -> float:
+    """Deprecated alias of ``get_task("cls").evaluate``."""
+    return get_task("cls").evaluate(model, ds, cfg)
 
 
-@dataclass
-class NoiseResult:
-    """Δmetric statistics for one noise type on one model."""
-
-    noise: str
-    baseline: float
-    values: list[float] = field(default_factory=list)   # metric per variant
-
-    @property
-    def deltas(self) -> list[float]:
-        return [self.baseline - v for v in self.values]
-
-    @property
-    def mean_delta(self) -> float:
-        return float(np.mean(self.deltas)) if self.values else float("nan")
-
-    @property
-    def max_delta(self) -> float:
-        return float(np.max(self.deltas)) if self.values else float("nan")
-
-
-# ---------------------------------------------------------------------------
-# Per-task evaluators
-# ---------------------------------------------------------------------------
-
-def _calibrator(streams, input_size, n_calib=32):
-    """INT8 calibration callable: run train-config inputs through the model."""
-    def calibrate(model):
-        x = preprocess_dataset(streams[:n_calib], input_size, TRAIN_CONFIG)
-        try:
-            model(Tensor(x))
-        except TypeError:      # LMs and detectors take raw arrays
-            model.predict(x)
-    return calibrate
-
-
-def evaluate_classification(model, ds: ClassificationDataset,
-                            cfg: NoiseConfig = TRAIN_CONFIG) -> float:
-    """Top-1 accuracy (percent) of the deployed model under ``cfg``."""
-    x = preprocess_dataset(ds.streams, ds.input_size, cfg)
-    noised = apply_model_noise(model, cfg,
-                               calibrate=_calibrator(ds.streams, ds.input_size))
-    return evaluate_classifier(noised, x, ds.labels)
-
-
-def evaluate_detection(model, ds: DetectionDataset,
-                       cfg: NoiseConfig = TRAIN_CONFIG,
+def evaluate_detection(model, ds, cfg: NoiseConfig = TRAIN_CONFIG,
                        score_threshold: float = 0.3) -> float:
-    """mAP (percent) of the deployed detector under ``cfg``."""
-    x = preprocess_dataset(ds.streams, ds.input_size, cfg)
-
-    def calibrate(m):
-        m.predict(x[:16], score_threshold=score_threshold)
-
-    noised = apply_model_noise(model, cfg, calibrate=calibrate)
-    dets = noised.predict(x, score_threshold=score_threshold)
-    return mean_average_precision(dets, ds.gt_boxes, ds.num_classes)
+    """Deprecated alias of ``get_task("det").evaluate``."""
+    return get_task("det").evaluate(model, ds, cfg,
+                                    score_threshold=score_threshold)
 
 
-def evaluate_segmentation(model, ds: SegmentationDataset,
-                          cfg: NoiseConfig = TRAIN_CONFIG) -> float:
-    """mIoU (percent) of the deployed segmenter under ``cfg``."""
-    from repro.nn import no_grad
-    x = preprocess_dataset(ds.streams, ds.input_size, cfg)
-
-    def calibrate(m):
-        m(Tensor(x[:8]))
-
-    noised = apply_model_noise(model, cfg, calibrate=calibrate)
-    noised.eval()
-    preds = []
-    with no_grad():
-        for s in range(0, len(x), 8):
-            preds.append(noised(Tensor(x[s:s + 8])).data.argmax(axis=1))
-    return mean_iou(np.concatenate(preds), ds.labels, ds.num_classes)
-
-
-# ---------------------------------------------------------------------------
-# Sweeps
-# ---------------------------------------------------------------------------
-
-def sweep_noise(evaluate, model, ds, noise: str,
-                baseline: float | None = None) -> NoiseResult:
-    """Evaluate every deployment variant of one noise type."""
-    if baseline is None:
-        baseline = evaluate(model, ds, TRAIN_CONFIG)
-    result = NoiseResult(noise, baseline)
-    for cfg in deployment_variants(noise):
-        result.values.append(evaluate(model, ds, cfg))
-    return result
-
-
-def combined_config(noises: list[str]) -> NoiseConfig:
-    """The all-noises-at-once deployment config (Table 2/3/4 'Combined')."""
-    cfg = TRAIN_CONFIG
-    for name, changes in WORST_CASE_ORDER:
-        if name in noises:
-            cfg = cfg.with_(**changes)
-    return cfg
-
-
-def noise_row(evaluate, model, ds, noises: list[str],
-              skip: set[str] = frozenset(),
-              include_combined: bool = True) -> dict:
-    """One table row: baseline metric + per-noise Δ stats (+ combined).
-
-    ``skip`` marks noise types inapplicable to this architecture (e.g.
-    ceil mode on pool-free models), reported as None like the paper's "-".
-    """
-    baseline = evaluate(model, ds, TRAIN_CONFIG)
-    row = {"trained": baseline, "noises": {}}
-    for noise in noises:
-        if noise in skip:
-            row["noises"][noise] = None
-            continue
-        row["noises"][noise] = sweep_noise(evaluate, model, ds, noise, baseline)
-    if include_combined:
-        applicable = [n for n in noises if n not in skip]
-        combo = evaluate(model, ds, combined_config(applicable))
-        row["combined"] = baseline - combo
-    return row
-
-
-def worst_case_curve(evaluate, model, ds, noises: list[str]) -> list[tuple[str, float]]:
-    """Fig. 3: cumulative Δ as noises are stacked one at a time."""
-    baseline = evaluate(model, ds, TRAIN_CONFIG)
-    cfg = TRAIN_CONFIG
-    curve = []
-    for name, changes in WORST_CASE_ORDER:
-        if name not in noises:
-            continue
-        cfg = cfg.with_(**changes)
-        curve.append((name, baseline - evaluate(model, ds, cfg)))
-    return curve
+def evaluate_segmentation(model, ds, cfg: NoiseConfig = TRAIN_CONFIG) -> float:
+    """Deprecated alias of ``get_task("seg").evaluate``."""
+    return get_task("seg").evaluate(model, ds, cfg)

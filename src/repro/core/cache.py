@@ -1,0 +1,73 @@
+"""Content-addressed decode caching for the benchmark pipeline.
+
+The seed implementation memoised decoded datasets under ``id(streams)``,
+which is unsafe twice over: CPython reuses ids once a list is garbage
+collected (a *different* dataset could silently receive a stale decode), and
+the cache grew without bound.  :class:`DecodeCache` fixes both — entries are
+keyed on a digest of the actual bitstream bytes plus the decoder persona,
+and an LRU bound caps memory.
+
+A :class:`~repro.core.session.BenchmarkSession` owns a private instance;
+module-level helpers in :mod:`repro.core.pipeline` fall back to a shared
+default so the legacy free functions keep their memoisation behaviour.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from collections import OrderedDict
+
+import numpy as np
+
+__all__ = ["DecodeCache", "streams_digest"]
+
+
+def streams_digest(streams) -> str:
+    """Stable digest of a dataset's encoded bitstream contents."""
+    h = hashlib.blake2b(digest_size=16)
+    h.update(struct.pack(">Q", len(streams)))
+    for s in streams:
+        payload = s.tobytes() if hasattr(s, "tobytes") else repr(s).encode()
+        # Length-framed so item boundaries are part of the digest.
+        h.update(struct.pack(">Q", len(payload)))
+        h.update(payload)
+    return h.hexdigest()
+
+
+class DecodeCache:
+    """LRU cache of decoded datasets keyed on (content digest, decoder)."""
+
+    def __init__(self, maxsize: int = 16):
+        if maxsize < 1:
+            raise ValueError("DecodeCache needs maxsize >= 1")
+        self.maxsize = maxsize
+        self._entries: OrderedDict[tuple[str, str], np.ndarray] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def decode(self, streams, decoder: str, decode_fn) -> np.ndarray:
+        """Return the decoded batch, computing it via ``decode_fn`` on miss.
+
+        ``decode_fn(streams, decoder) -> np.ndarray`` runs only when the
+        (contents, decoder) pair has not been seen (or was evicted).
+        """
+        key = (streams_digest(streams), decoder)
+        cached = self._entries.get(key)
+        if cached is not None:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return cached
+        self.misses += 1
+        out = decode_fn(streams, decoder)
+        self._entries[key] = out
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+        return out
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = self.misses = 0

@@ -20,12 +20,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from .benchmark import combined_config
-from .noise import TRAIN_CONFIG, WORST_CASE_ORDER
+from .noise import TRAIN_CONFIG
+from .registry import combined_config, noise_names
 
 __all__ = ["InteractionMatrix", "pairwise_interaction", "render_interaction"]
-
-_CHANGES = dict(WORST_CASE_ORDER)
 
 
 @dataclass
@@ -58,10 +56,11 @@ def pairwise_interaction(evaluate, model, ds,
     setting (the Fig.-3 convention), so singles here match the stacking
     study's first step sizes.
     """
-    unknown = [n for n in noises if n not in _CHANGES]
+    known = noise_names()
+    unknown = [n for n in noises if n not in known]
     if unknown:
         raise ValueError(f"no worst-case setting for {unknown}; "
-                         f"known: {sorted(_CHANGES)}")
+                         f"known: {sorted(known)}")
     baseline = evaluate(model, ds, TRAIN_CONFIG)
     singles = {n: baseline - evaluate(model, ds, combined_config([n]))
                for n in noises}

@@ -1,4 +1,4 @@
-"""The SysNoise taxonomy (paper Table 1) and deployment configurations.
+"""SysNoise configuration dataclasses (paper Table 1 rows live in the registry).
 
 A :class:`NoiseConfig` describes one complete *system configuration*: which
 decoder produced the pixels, which resize kernel scaled them, whether the
@@ -7,11 +7,19 @@ upsample interpolation, the numeric precision, and the box-decode alignment
 convention.  ``TRAIN_CONFIG`` is the training system (the paper's fixed
 PyTorch + DALI setting); every deployment mismatch is expressed as a modified
 copy.
+
+Registry-registered noise types beyond the native fields ride in
+``NoiseConfig.extra`` as ``(noise_name, variant)`` pairs; the pipeline
+dispatches those back to the owning :class:`~repro.core.registry.NoiseSource`.
+
+``NOISE_TAXONOMY``, ``WORST_CASE_ORDER``, and ``deployment_variants`` are
+kept here for backwards compatibility but are now live views over
+:mod:`repro.core.registry` — registering a new noise type updates them all.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 __all__ = ["NoiseSpec", "NOISE_TAXONOMY", "NoiseConfig", "TRAIN_CONFIG",
            "deployment_variants", "WORST_CASE_ORDER"]
@@ -30,25 +38,6 @@ class NoiseSpec:
     occurrence: str
 
 
-#: Paper Table 1, verbatim.
-NOISE_TAXONOMY: list[NoiseSpec] = [
-    NoiseSpec("decoder", "pre-processing", ("cls", "det", "seg"), False,
-              "High", 4, "Very High"),
-    NoiseSpec("resize", "pre-processing", ("cls", "det", "seg"), False,
-              "Very High", 11, "Very High"),
-    NoiseSpec("color", "pre-processing", ("cls", "det", "seg"), True,
-              "Middle", 2, "High"),
-    NoiseSpec("ceil_mode", "model-inference", ("cls", "det", "seg"), False,
-              "High", 2, "High"),
-    NoiseSpec("upsample", "model-inference", ("det", "seg"), False,
-              "Very High", 2, "Middle"),
-    NoiseSpec("precision", "model-inference", ("cls", "det", "seg", "nlp"), True,
-              "High", 3, "High"),
-    NoiseSpec("proposal", "post-processing", ("det",), False,
-              "Middle", 2, "Middle"),
-]
-
-
 @dataclass(frozen=True)
 class NoiseConfig:
     """A complete training/deployment system configuration."""
@@ -60,10 +49,24 @@ class NoiseConfig:
     upsample_mode: str = "nearest"           # nearest | bilinear
     precision: str = "fp32"                  # fp32 | fp16 | int8
     aligned_offset: float = 0.0              # bbox decode convention (0 or 1)
+    #: Registry noises without a native field: ((noise_name, variant), ...).
+    extra: tuple = ()
 
     def with_(self, **changes) -> "NoiseConfig":
         """Copy with the given fields replaced."""
         return replace(self, **changes)
+
+    def with_extra(self, name: str, variant) -> "NoiseConfig":
+        """Copy with registry noise ``name`` set to ``variant``."""
+        kept = tuple((k, v) for k, v in self.extra if k != name)
+        return replace(self, extra=kept + ((name, variant),))
+
+    def get_extra(self, name: str, default=None):
+        """The stored variant of registry noise ``name`` (or ``default``)."""
+        for k, v in self.extra:
+            if k == name:
+                return v
+        return default
 
     def describe(self) -> str:
         parts = [f"decoder={self.decoder}", f"resize={self.resize_method}"]
@@ -77,6 +80,7 @@ class NoiseConfig:
             parts.append(self.precision)
         if self.aligned_offset:
             parts.append(f"offset={self.aligned_offset:g}")
+        parts += [f"{k}={v}" for k, v in self.extra]
         return ", ".join(parts)
 
 
@@ -87,34 +91,15 @@ TRAIN_CONFIG = NoiseConfig()
 
 def deployment_variants(noise: str) -> list[NoiseConfig]:
     """All deployment configs that differ from training in one noise type."""
-    base = TRAIN_CONFIG
-    if noise == "decoder":
-        return [base.with_(decoder=d) for d in ("pil", "opencv", "ffmpeg")]
-    if noise == "resize":
-        from ..image.resize import RESIZE_METHODS
-        return [base.with_(resize_method=m) for m in RESIZE_METHODS
-                if m != base.resize_method]
-    if noise == "color":
-        return [base.with_(color="nv12-integer")]
-    if noise == "ceil_mode":
-        return [base.with_(ceil_mode=True)]
-    if noise == "upsample":
-        return [base.with_(upsample_mode="bilinear")]
-    if noise == "precision":
-        return [base.with_(precision="fp16"), base.with_(precision="int8")]
-    if noise == "proposal":
-        return [base.with_(aligned_offset=1.0)]
-    raise ValueError(f"unknown noise type {noise!r}; "
-                     f"see {[s.name for s in NOISE_TAXONOMY]}")
+    from . import registry
+    return registry.deployment_variants(noise)
 
 
-#: Step order for the Fig.-3 worst-case combination study.
-WORST_CASE_ORDER = [
-    ("decoder", dict(decoder="opencv")),
-    ("resize", dict(resize_method="cv-nearest")),
-    ("color", dict(color="nv12-integer")),
-    ("precision", dict(precision="int8")),
-    ("ceil_mode", dict(ceil_mode=True)),
-    ("upsample", dict(upsample_mode="bilinear")),
-    ("proposal", dict(aligned_offset=1.0)),
-]
+_REGISTRY_VIEWS = ("NOISE_TAXONOMY", "WORST_CASE_ORDER")
+
+
+def __getattr__(name: str):
+    if name in _REGISTRY_VIEWS:
+        from . import registry
+        return getattr(registry, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

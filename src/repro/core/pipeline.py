@@ -6,6 +6,14 @@ the colour space — and ``apply_model_noise`` implements the model-inference
 and post-processing side (ceil mode, upsample mode, precision, aligned
 offset) on a *copy* of the trained model, exactly as a deployment backend
 would.
+
+Registry noises stored in ``cfg.extra`` are dispatched to their
+:class:`~repro.core.registry.NoiseSource` hooks: ``apply_image`` during
+pre-processing, ``apply_model`` during deployment-model construction.
+
+Decoding is memoised through :class:`~repro.core.cache.DecodeCache`, keyed
+on the bitstream *contents* (not ``id()``) with an LRU bound.  Sessions own
+a private cache; the free functions share a module-level default.
 """
 
 from __future__ import annotations
@@ -17,29 +25,48 @@ import numpy as np
 from repro.nn import MaxPool2d, Tensor, apply_precision
 
 from ..image import color_roundtrip, decode_with, resize
+from .cache import DecodeCache
 from .noise import NoiseConfig, TRAIN_CONFIG
 
 __all__ = ["decode_dataset", "preprocess", "preprocess_dataset",
-           "apply_model_noise", "normalize"]
+           "apply_model_noise", "normalize", "default_decode_cache"]
 
-_DECODE_CACHE: dict[tuple[int, str], np.ndarray] = {}
+#: Shared fallback cache for the module-level helpers (sessions own theirs).
+_DEFAULT_CACHE = DecodeCache(maxsize=16)
 
 
-def decode_dataset(streams: list, decoder: str) -> np.ndarray:
+def default_decode_cache() -> DecodeCache:
+    return _DEFAULT_CACHE
+
+
+def _decode_uncached(streams: list, decoder: str) -> np.ndarray:
+    return np.stack([decode_with(s, decoder) for s in streams])
+
+
+def decode_dataset(streams: list, decoder: str,
+                   cache: DecodeCache | None = None) -> np.ndarray:
     """Decode every bitstream with the named library persona (memoised)."""
-    key = (id(streams), decoder)
-    cached = _DECODE_CACHE.get(key)
-    if cached is not None:
-        return cached
-    out = np.stack([decode_with(s, decoder) for s in streams])
-    _DECODE_CACHE[key] = out
-    return out
+    cache = cache if cache is not None else _DEFAULT_CACHE
+    return cache.decode(streams, decoder, _decode_uncached)
 
 
 def normalize(images_u8: np.ndarray) -> np.ndarray:
     """uint8 HWC batch -> float NCHW in roughly [-0.5, 0.5]."""
     x = images_u8.astype(np.float64) / 255.0 - 0.5
     return x.transpose(0, 3, 1, 2)
+
+
+def _preproc_extras(cfg: NoiseConfig):
+    """(source, variant) pairs for registered pre-processing extras."""
+    if not cfg.extra:
+        return []
+    from .registry import get_noise
+    pairs = []
+    for name, variant in cfg.extra:
+        src = get_noise(name)
+        if src.stage == "pre-processing":
+            pairs.append((src, variant))
+    return pairs
 
 
 def preprocess(image_u8: np.ndarray, input_size: int | tuple[int, int],
@@ -50,17 +77,20 @@ def preprocess(image_u8: np.ndarray, input_size: int | tuple[int, int],
     out = resize(image_u8, input_size, cfg.resize_method)
     if cfg.color is not None:
         out = color_roundtrip(out, cfg.color)
+    for src, variant in _preproc_extras(cfg):
+        out = src.apply_image(out, variant)
     return out
 
 
 def preprocess_dataset(streams: list, input_size: int,
-                       cfg: NoiseConfig = TRAIN_CONFIG) -> np.ndarray:
+                       cfg: NoiseConfig = TRAIN_CONFIG,
+                       cache: DecodeCache | None = None) -> np.ndarray:
     """Full pre-processing for a dataset: decode → resize → colour → normalise.
 
     Returns a float NCHW batch ready for the models.  Decoding is cached per
-    (dataset, decoder); resize/colour are cheap matrix ops.
+    (dataset contents, decoder); resize/colour are cheap matrix ops.
     """
-    decoded = decode_dataset(streams, cfg.decoder)
+    decoded = decode_dataset(streams, cfg.decoder, cache)
     processed = np.stack([preprocess(img, input_size, cfg) for img in decoded])
     return normalize(processed)
 
@@ -72,6 +102,7 @@ def apply_model_noise(model, cfg: NoiseConfig, calibrate=None):
     * flips the upsample interpolation (``set_upsample_mode`` on segmenters,
       ``fpn.upsample_mode`` on detectors, ``Upsample.mode`` otherwise);
     * sets ``aligned_offset`` on detectors;
+    * runs registered model-inference / post-processing extras hooks;
     * converts precision last (so the quantised copy keeps the flips).
     """
     noised = copy.deepcopy(model)
@@ -90,6 +121,12 @@ def apply_model_noise(model, cfg: NoiseConfig, calibrate=None):
                 mod.mode = cfg.upsample_mode
     if hasattr(noised, "aligned_offset"):
         noised.aligned_offset = cfg.aligned_offset
+    if cfg.extra:
+        from .registry import get_noise
+        for name, variant in cfg.extra:
+            src = get_noise(name)
+            if src.stage in ("model-inference", "post-processing"):
+                noised = src.apply_model(noised, variant)
     if cfg.precision != "fp32":
         noised = apply_precision(noised, cfg.precision, calibrate)
     return noised

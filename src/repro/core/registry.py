@@ -1,0 +1,373 @@
+"""Pluggable SysNoise registry.
+
+Every noise type is a :class:`NoiseSource` — a small class declaring which
+pipeline stage it perturbs, which tasks it affects, its deployment variant
+set, and an ``apply(config, variant)`` hook that turns the training config
+into one mismatched deployment config.  Sources register themselves with
+:func:`register_noise`; everything the rest of the codebase consumes —
+``NOISE_TAXONOMY`` (paper Table 1), ``deployment_variants``, the per-task
+``CLS_NOISES`` / ``DET_NOISES`` / ``SEG_NOISES`` column lists, and the
+Fig.-3 ``WORST_CASE_ORDER`` — is a *live view derived from the registry*,
+so a new noise type is one registration away from appearing in taxonomy
+listings, sweeps, combined configs, and the CLI.
+
+Two kinds of sources exist:
+
+* built-ins set native :class:`~repro.core.noise.NoiseConfig` fields
+  (``decoder``, ``resize_method``, ...) via :class:`FieldNoise`;
+* custom sources ride in ``NoiseConfig.extra`` — the default
+  :meth:`NoiseSource.apply` stores ``(name, variant)`` there, and the
+  pipeline dispatches back to the source's :meth:`NoiseSource.apply_image`
+  (pre-processing stage) or :meth:`NoiseSource.apply_model` (model-inference
+  / post-processing stages) hooks.  Registering a class with those hooks is
+  the *only* step needed to add a noise type; see ``docs/api.md``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+
+from .noise import NoiseConfig, NoiseSpec, TRAIN_CONFIG
+
+__all__ = ["NoiseSource", "FieldNoise", "register_noise", "unregister_noise",
+           "temporary_noise", "get_noise", "noise_names", "iter_noises",
+           "noises_for_task", "deployment_variants", "combined_config",
+           "worst_case_stack", "NOISE_TAXONOMY", "WORST_CASE_ORDER",
+           "CLS_NOISES", "DET_NOISES", "SEG_NOISES", "STAGES"]
+
+STAGES = ("pre-processing", "model-inference", "post-processing")
+
+
+class NoiseSource:
+    """One noise type: taxonomy row + variant set + config/pixel/model hooks.
+
+    Subclass, set the class attributes, implement :meth:`variants` (and for
+    custom noises one of :meth:`apply_image` / :meth:`apply_model`), then
+    decorate with :func:`register_noise`.
+    """
+
+    name: str = ""
+    stage: str = "pre-processing"
+    tasks: tuple[str, ...] = ()
+    input_dependent: bool = False
+    effect_level: str = "Middle"
+    occurrence: str = "Middle"
+    #: Column position inside the per-task noise lists (Tables 2-4 order).
+    order: float = 50.0
+    #: Position in the Fig.-3 worst-case stacking order.
+    worst_rank: float = 50.0
+
+    def variants(self) -> list:
+        """Deployment variant values (the training setting excluded)."""
+        raise NotImplementedError
+
+    @property
+    def worst_variant(self):
+        """The variant used in combined/worst-case studies (default: last)."""
+        return self.variants()[-1]
+
+    def apply(self, config: NoiseConfig, variant) -> NoiseConfig:
+        """Deployment config with this noise at ``variant``.
+
+        The default stores ``(name, variant)`` in ``config.extra``; the
+        pipeline then calls :meth:`apply_image` / :meth:`apply_model`.
+        """
+        return config.with_extra(self.name, variant)
+
+    def apply_image(self, image, variant):
+        """Pre-processing hook: perturb one decoded+resized uint8 image."""
+        return image
+
+    def apply_model(self, model, variant):
+        """Inference/post-processing hook: perturb a deployment model copy."""
+        return model
+
+    def worst_changes(self) -> dict | None:
+        """``NoiseConfig`` field changes for the legacy ``WORST_CASE_ORDER``
+        view, or ``None`` when this source only acts through hooks."""
+        return None
+
+    def spec(self) -> NoiseSpec:
+        """This source as a paper-Table-1 row (categories = variants + train)."""
+        return NoiseSpec(self.name, self.stage, self.tasks,
+                         self.input_dependent, self.effect_level,
+                         len(self.variants()) + 1, self.occurrence)
+
+
+class FieldNoise(NoiseSource):
+    """A noise source that sets one native ``NoiseConfig`` field."""
+
+    field: str = ""
+
+    def apply(self, config: NoiseConfig, variant) -> NoiseConfig:
+        return config.with_(**{self.field: variant})
+
+    def worst_changes(self) -> dict:
+        return {self.field: self.worst_variant}
+
+
+_REGISTRY: dict[str, NoiseSource] = {}
+
+
+def register_noise(source):
+    """Register a :class:`NoiseSource` class (or instance); returns it.
+
+    Usable as a decorator::
+
+        @register_noise
+        class GammaNoise(NoiseSource):
+            name = "gamma"
+            ...
+    """
+    src = source() if isinstance(source, type) else source
+    if not src.name:
+        raise ValueError("NoiseSource needs a non-empty name")
+    if src.stage not in STAGES:
+        raise ValueError(f"unknown stage {src.stage!r}; choose from {STAGES}")
+    if src.name in _REGISTRY:
+        raise ValueError(f"noise {src.name!r} is already registered")
+    _REGISTRY[src.name] = src
+    return source
+
+
+def unregister_noise(name: str) -> None:
+    _REGISTRY.pop(name, None)
+
+
+@contextlib.contextmanager
+def temporary_noise(source):
+    """Context manager: register a source for the duration of a block.
+
+    Yields the *registered* instance — the one the pipeline dispatches to.
+    """
+    src = source() if isinstance(source, type) else source
+    register_noise(src)
+    try:
+        yield src
+    finally:
+        unregister_noise(src.name)
+
+
+def get_noise(name: str) -> NoiseSource:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(f"unknown noise type {name!r}; "
+                         f"see {list(_REGISTRY)}") from None
+
+
+def noise_names() -> list[str]:
+    return list(_REGISTRY)
+
+
+def iter_noises() -> list[NoiseSource]:
+    return list(_REGISTRY.values())
+
+
+def noises_for_task(task: str) -> list[str]:
+    """Noise names affecting ``task``, in table-column order."""
+    hits = [s for s in _REGISTRY.values() if task in s.tasks]
+    return [s.name for s in sorted(hits, key=lambda s: s.order)]
+
+
+def deployment_variants(noise: str) -> list[NoiseConfig]:
+    """All deployment configs differing from training in one noise type."""
+    src = get_noise(noise)
+    return [src.apply(TRAIN_CONFIG, v) for v in src.variants()]
+
+
+def worst_case_stack() -> list[NoiseSource]:
+    """Every registered source in worst-case stacking order."""
+    return sorted(_REGISTRY.values(), key=lambda s: s.worst_rank)
+
+
+def combined_config(noises, base: NoiseConfig = TRAIN_CONFIG) -> NoiseConfig:
+    """The all-noises-at-once deployment config (Table 2/3/4 'Combined')."""
+    wanted = set(noises)
+    unknown = wanted - set(_REGISTRY)
+    if unknown:
+        raise ValueError(f"unknown noise type(s) {sorted(unknown)}; "
+                         f"see {list(_REGISTRY)}")
+    cfg = base
+    for src in worst_case_stack():
+        if src.name in wanted:
+            cfg = src.apply(cfg, src.worst_variant)
+    return cfg
+
+
+class _LiveView:
+    """A read-only sequence recomputed from the registry on every access."""
+
+    def __init__(self, derive, label: str):
+        self._derive = derive
+        self._label = label
+
+    def _items(self) -> list:
+        return self._derive()
+
+    def __iter__(self):
+        return iter(self._items())
+
+    def __len__(self):
+        return len(self._items())
+
+    def __getitem__(self, i):
+        return self._items()[i]
+
+    def __contains__(self, item):
+        return item in self._items()
+
+    def __eq__(self, other):
+        try:
+            return self._items() == list(other)
+        except TypeError:
+            return NotImplemented
+
+    def __add__(self, other):
+        return self._items() + list(other)
+
+    def __radd__(self, other):
+        return list(other) + self._items()
+
+    def index(self, item):
+        return self._items().index(item)
+
+    def __repr__(self):
+        return f"<{self._label} view {self._items()!r}>"
+
+
+#: Paper Table 1, derived from the registry (registration order).
+NOISE_TAXONOMY = _LiveView(lambda: [s.spec() for s in _REGISTRY.values()],
+                           "NOISE_TAXONOMY")
+
+#: Fig.-3 stacking order as (name, field changes) pairs — hook-only sources
+#: have no native field changes and appear only via ``worst_case_stack``.
+WORST_CASE_ORDER = _LiveView(
+    lambda: [(s.name, s.worst_changes()) for s in worst_case_stack()
+             if s.worst_changes() is not None],
+    "WORST_CASE_ORDER")
+
+CLS_NOISES = _LiveView(lambda: noises_for_task("cls"), "CLS_NOISES")
+DET_NOISES = _LiveView(lambda: noises_for_task("det"), "DET_NOISES")
+SEG_NOISES = _LiveView(lambda: noises_for_task("seg"), "SEG_NOISES")
+
+
+# ---------------------------------------------------------------------------
+# Built-in sources: the paper's seven noise types (Table 1, verbatim).
+# ---------------------------------------------------------------------------
+
+@register_noise
+class DecoderNoise(FieldNoise):
+    name = "decoder"
+    stage = "pre-processing"
+    tasks = ("cls", "det", "seg")
+    effect_level = "High"
+    occurrence = "Very High"
+    field = "decoder"
+    order = 0
+    worst_rank = 0
+
+    def variants(self):
+        from ..image import DECODER_LIBRARIES
+        return [d for d in DECODER_LIBRARIES if d != TRAIN_CONFIG.decoder]
+
+    @property
+    def worst_variant(self):
+        return "opencv"
+
+
+@register_noise
+class ResizeNoise(FieldNoise):
+    name = "resize"
+    stage = "pre-processing"
+    tasks = ("cls", "det", "seg")
+    effect_level = "Very High"
+    occurrence = "Very High"
+    field = "resize_method"
+    order = 1
+    worst_rank = 1
+
+    def variants(self):
+        from ..image.resize import RESIZE_METHODS
+        return [m for m in RESIZE_METHODS if m != TRAIN_CONFIG.resize_method]
+
+    @property
+    def worst_variant(self):
+        return "cv-nearest"
+
+
+@register_noise
+class ColorNoise(FieldNoise):
+    name = "color"
+    stage = "pre-processing"
+    tasks = ("cls", "det", "seg")
+    input_dependent = True
+    effect_level = "Middle"
+    occurrence = "High"
+    field = "color"
+    order = 2
+    worst_rank = 2
+
+    def variants(self):
+        return ["nv12-integer"]
+
+
+@register_noise
+class CeilModeNoise(FieldNoise):
+    name = "ceil_mode"
+    stage = "model-inference"
+    tasks = ("cls", "det", "seg")
+    effect_level = "High"
+    occurrence = "High"
+    field = "ceil_mode"
+    order = 5
+    worst_rank = 4
+
+    def variants(self):
+        return [True]
+
+
+@register_noise
+class UpsampleNoise(FieldNoise):
+    name = "upsample"
+    stage = "model-inference"
+    tasks = ("det", "seg")
+    effect_level = "Very High"
+    occurrence = "Middle"
+    field = "upsample_mode"
+    order = 3
+    worst_rank = 5
+
+    def variants(self):
+        return ["bilinear"]
+
+
+@register_noise
+class PrecisionNoise(FieldNoise):
+    name = "precision"
+    stage = "model-inference"
+    tasks = ("cls", "det", "seg", "nlp")
+    input_dependent = True
+    effect_level = "High"
+    occurrence = "High"
+    field = "precision"
+    order = 4
+    worst_rank = 3
+
+    def variants(self):
+        return ["fp16", "int8"]
+
+
+@register_noise
+class ProposalNoise(FieldNoise):
+    name = "proposal"
+    stage = "post-processing"
+    tasks = ("det",)
+    effect_level = "Middle"
+    occurrence = "Middle"
+    field = "aligned_offset"
+    order = 6
+    worst_rank = 6
+
+    def variants(self):
+        return [1.0]

@@ -16,7 +16,14 @@ def format_cell(result: NoiseResult | None, multi: bool) -> str:
     return f"{result.mean_delta:.2f}"
 
 
-_MULTI = {"decoder", "resize", "precision"}
+def _is_multi(noise: str) -> bool:
+    """Multi-variant noises get "mean (max)" cells — derived from the
+    registry so custom sources render like the built-ins."""
+    from .registry import get_noise
+    try:
+        return len(get_noise(noise).variants()) > 1
+    except ValueError:
+        return noise in {"decoder", "resize", "precision"}
 
 
 def render_table(rows: dict[str, dict], noises: list[str], metric: str,
@@ -24,7 +31,7 @@ def render_table(rows: dict[str, dict], noises: list[str], metric: str,
     """Render {model -> noise_row(...)} as an aligned text table."""
     headers = ["Architecture", f"Trained {metric}"] + noises + ["Combined"]
     lines = [[name, f"{row['trained']:.2f}"]
-             + [format_cell(row["noises"].get(n), n in _MULTI) for n in noises]
+             + [format_cell(row["noises"].get(n), _is_multi(n)) for n in noises]
              + [f"{row.get('combined', float('nan')):.2f}"]
              for name, row in rows.items()]
     widths = [max(len(h), *(len(l[i]) for l in lines)) if lines else len(h)

@@ -1,0 +1,328 @@
+"""BenchmarkSession: the fluent facade over registry + adapters + pipeline.
+
+One object owns the whole measure-SysNoise flow::
+
+    result = (BenchmarkSession()
+              .task("cls")
+              .model("resnet-18")
+              .data(n=240, train_frac=0.75)
+              .fit(epochs=15)
+              .noises("resize", "precision")
+              .run())
+    print(result.render("my sweep"))
+
+The session resolves the :class:`~repro.core.tasks.TaskAdapter`, loads or
+accepts datasets, optionally trains through the training-system pipeline,
+sweeps every requested noise type via the registry, and aggregates
+:class:`NoiseResult` rows.  It also owns a private content-digest
+:class:`~repro.core.cache.DecodeCache` (bounded LRU), so repeated sweeps
+over the same dataset never re-decode — and never suffer the ``id()``-reuse
+staleness of the seed implementation.
+
+The module-level :func:`sweep_noise` / :func:`noise_row` /
+:func:`worst_case_curve` are the canonical registry-driven engines; the
+functions of the same name in :mod:`repro.core.benchmark` are deprecated
+aliases of these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .cache import DecodeCache
+from .noise import NoiseConfig, TRAIN_CONFIG
+from .registry import combined_config, get_noise
+from .tasks import TaskAdapter, get_task
+
+__all__ = ["NoiseResult", "BenchmarkSession", "Session", "SessionResult",
+           "sweep_noise", "noise_row", "worst_case_curve"]
+
+
+@dataclass
+class NoiseResult:
+    """Δmetric statistics for one noise type on one model."""
+
+    noise: str
+    baseline: float
+    values: list[float] = field(default_factory=list)   # metric per variant
+
+    @property
+    def deltas(self) -> list[float]:
+        return [self.baseline - v for v in self.values]
+
+    @property
+    def mean_delta(self) -> float:
+        return float(np.mean(self.deltas)) if self.values else float("nan")
+
+    @property
+    def max_delta(self) -> float:
+        return float(np.max(self.deltas)) if self.values else float("nan")
+
+
+# ---------------------------------------------------------------------------
+# Registry-driven sweep engines (shared by sessions and the legacy shims)
+# ---------------------------------------------------------------------------
+
+def sweep_noise(evaluate, model, ds, noise: str,
+                baseline: float | None = None) -> NoiseResult:
+    """Evaluate every deployment variant of one registered noise type.
+
+    ``evaluate(model, ds, cfg) -> metric`` is any task evaluator — a bound
+    :meth:`TaskAdapter.evaluate` or one of the legacy free functions.
+    """
+    src = get_noise(noise)
+    if baseline is None:
+        baseline = evaluate(model, ds, TRAIN_CONFIG)
+    result = NoiseResult(noise, baseline)
+    for variant in src.variants():
+        cfg = src.apply(TRAIN_CONFIG, variant)
+        result.values.append(evaluate(model, ds, cfg))
+    return result
+
+
+def noise_row(evaluate, model, ds, noises,
+              skip: set[str] = frozenset(),
+              include_combined: bool = True) -> dict:
+    """One table row: baseline metric + per-noise Δ stats (+ combined).
+
+    ``skip`` marks noise types inapplicable to this architecture (e.g.
+    ceil mode on pool-free models), reported as None like the paper's "-".
+    """
+    baseline = evaluate(model, ds, TRAIN_CONFIG)
+    row = {"trained": baseline, "noises": {}}
+    for noise in noises:
+        if noise in skip:
+            row["noises"][noise] = None
+            continue
+        row["noises"][noise] = sweep_noise(evaluate, model, ds, noise, baseline)
+    if include_combined:
+        applicable = [n for n in noises if n not in skip]
+        combo = evaluate(model, ds, combined_config(applicable))
+        row["combined"] = baseline - combo
+    return row
+
+
+def worst_case_curve(evaluate, model, ds, noises) -> list[tuple[str, float]]:
+    """Fig. 3: cumulative Δ as noises are stacked one at a time."""
+    from .registry import worst_case_stack
+    wanted = set(noises)
+    baseline = evaluate(model, ds, TRAIN_CONFIG)
+    cfg = TRAIN_CONFIG
+    curve = []
+    for src in worst_case_stack():
+        if src.name not in wanted:
+            continue
+        cfg = src.apply(cfg, src.worst_variant)
+        curve.append((src.name, baseline - evaluate(model, ds, cfg)))
+    return curve
+
+
+# ---------------------------------------------------------------------------
+# The session facade
+# ---------------------------------------------------------------------------
+
+@dataclass
+class SessionResult:
+    """Aggregated sweep output for one (task, model, dataset) triple."""
+
+    task: str
+    metric: str
+    label: str
+    noises: list[str]
+    baseline: float
+    results: dict[str, NoiseResult | None]
+    combined: float | None = None
+
+    def row(self) -> dict:
+        """The legacy ``noise_row`` dict shape (render_table input)."""
+        row = {"trained": self.baseline, "noises": dict(self.results)}
+        if self.combined is not None:
+            row["combined"] = self.combined
+        return row
+
+    def render(self, title: str | None = None) -> str:
+        """Paper-style text table for this row."""
+        from .report import render_table
+        title = title or f"SysNoise sweep — {self.label} ({self.task})"
+        return render_table({self.label: self.row()}, list(self.noises),
+                            self.metric, title)
+
+    def worst(self) -> tuple[str, float] | None:
+        """(noise, mean Δ) of the most damaging swept noise, if any."""
+        swept = [(n, r.mean_delta) for n, r in self.results.items()
+                 if r is not None and r.values]
+        return max(swept, key=lambda t: t[1]) if swept else None
+
+
+class BenchmarkSession:
+    """Fluent builder that owns one benchmark flow end to end."""
+
+    def __init__(self, task: str | None = None, cache_size: int = 16):
+        self._task_name = task
+        self._model = None
+        self._model_name: str | None = None
+        self._label: str | None = None
+        self._build_kw: dict = {}
+        self._train_ds = None
+        self._eval_ds = None
+        self._noises: list[str] | None = None
+        self._skip: set[str] = set()
+        self._include_combined = True
+        self._seed = 0
+        self.cache = DecodeCache(maxsize=cache_size)
+
+    # -- builder steps ------------------------------------------------------
+
+    def task(self, name: str) -> "BenchmarkSession":
+        """Select the workload by task-registry name (cls/det/seg/nlp/audio)."""
+        get_task(name)                       # fail fast on unknown tasks
+        self._task_name = name
+        return self
+
+    def model(self, model, label: str | None = None,
+              **build_kw) -> "BenchmarkSession":
+        """Use a model — a trained instance, or a name to build (then fit)."""
+        if isinstance(model, str):
+            self._model_name, self._model = model, None
+        else:
+            self._model, self._model_name = model, None
+        self._label = label or self._model_name or type(model).__name__
+        self._build_kw = build_kw
+        return self
+
+    def seed(self, seed: int) -> "BenchmarkSession":
+        self._seed = seed
+        return self
+
+    def dataset(self, ds) -> "BenchmarkSession":
+        """Evaluate on this dataset object (already split/held out)."""
+        self._eval_ds = ds
+        return self
+
+    def data(self, ds=None, *, train_frac: float | None = None,
+             n_train: int | None = None, **make_kw) -> "BenchmarkSession":
+        """Load (or accept) a dataset, optionally splitting train/eval.
+
+        Without a split argument the whole dataset is used for evaluation.
+        """
+        if ds is None:
+            make_kw.setdefault("seed", self._seed)
+            ds = self.adapter.load_dataset(**make_kw)
+        if n_train is None and train_frac is not None:
+            n_train = int(len(ds) * train_frac)
+        if n_train is not None:
+            self._train_ds, self._eval_ds = ds.split(n_train)
+        else:
+            self._eval_ds = ds
+        return self
+
+    def noises(self, *names: str) -> "BenchmarkSession":
+        """Restrict the sweep to these noise types (default: all for task)."""
+        for n in names:
+            get_noise(n)                     # fail fast on unknown noises
+        self._noises = list(names)
+        return self
+
+    def skip(self, *names: str) -> "BenchmarkSession":
+        """Mark noises inapplicable to this architecture (rendered as '-')."""
+        self._skip |= set(names)
+        return self
+
+    def combined(self, include: bool = True) -> "BenchmarkSession":
+        self._include_combined = include
+        return self
+
+    def fit(self, train_ds=None, cfg=None, **train_kw) -> "BenchmarkSession":
+        """Train the model through the training-system pipeline."""
+        ds = train_ds if train_ds is not None else self._train_ds
+        if ds is None:
+            raise ValueError("no training data: pass fit(train_ds) or use "
+                             ".data(..., train_frac=...)")
+        model = self._ensure_model(ds)
+        if self._task_name == "cls":
+            self.adapter.train(model, ds, cfg, model_name=self._model_name,
+                               **train_kw)
+        else:
+            self.adapter.train(model, ds, cfg, **train_kw)
+        return self
+
+    # -- resolution helpers -------------------------------------------------
+
+    @property
+    def adapter(self) -> TaskAdapter:
+        if self._task_name is None:
+            raise ValueError("no task selected: call .task(name) first")
+        return get_task(self._task_name)
+
+    def _ensure_model(self, ds=None):
+        if self._model is None:
+            if self._model_name is None:
+                raise ValueError("no model: call .model(name_or_instance)")
+            kw = dict(self._build_kw)
+            if ds is not None and hasattr(ds, "num_classes"):
+                kw.setdefault("num_classes", ds.num_classes)
+            self._model = self.adapter.build_model(self._model_name,
+                                                   seed=self._seed, **kw)
+        return self._model
+
+    @property
+    def trained_model(self):
+        return self._ensure_model(self._train_ds or self._eval_ds)
+
+    @property
+    def eval_data(self):
+        if self._eval_ds is None:
+            raise ValueError("no evaluation data: call .data(...) or "
+                             ".dataset(ds)")
+        return self._eval_ds
+
+    def evaluate(self, cfg: NoiseConfig = TRAIN_CONFIG) -> float:
+        """Metric of the session's model/dataset under one config (cached)."""
+        return self.adapter.evaluate(self.trained_model, self.eval_data, cfg,
+                                     cache=self.cache)
+
+    # -- runs ---------------------------------------------------------------
+
+    def run(self) -> SessionResult:
+        """Sweep every selected noise and aggregate one table row."""
+        adapter, ds = self.adapter, self.eval_data
+        model = self._ensure_model(ds)
+        noises = list(self._noises if self._noises is not None
+                      else adapter.noises)
+        evaluate = self._cached_eval(adapter, model, ds)
+        eval_fn = lambda m, d, cfg: evaluate(cfg)
+        baseline = evaluate(TRAIN_CONFIG)
+        results: dict[str, NoiseResult | None] = {}
+        for name in noises:
+            results[name] = (None if name in self._skip else
+                             sweep_noise(eval_fn, model, ds, name, baseline))
+        combined = None
+        if self._include_combined:
+            applicable = [n for n in noises if n not in self._skip]
+            combined = baseline - evaluate(combined_config(applicable))
+        return SessionResult(task=self._task_name, metric=adapter.metric_name,
+                             label=self._label or "model", noises=noises,
+                             baseline=baseline, results=results,
+                             combined=combined)
+
+    def worst_case(self, noises=None) -> list[tuple[str, float]]:
+        """The Fig.-3 cumulative stacking curve for this session."""
+        adapter, ds = self.adapter, self.eval_data
+        model = self._ensure_model(ds)
+        names = [n for n in (noises if noises is not None
+                             else (self._noises or adapter.noises))
+                 if n not in self._skip]
+        evaluate = self._cached_eval(adapter, model, ds)
+        return worst_case_curve(lambda m, d, cfg: evaluate(cfg), model, ds,
+                                names)
+
+    def _cached_eval(self, adapter, model, ds):
+        def evaluate(cfg: NoiseConfig) -> float:
+            return adapter.evaluate(model, ds, cfg, cache=self.cache)
+        return evaluate
+
+
+#: Short alias for the fluent style: ``Session().task("cls")...``.
+Session = BenchmarkSession

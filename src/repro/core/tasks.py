@@ -1,0 +1,332 @@
+"""Task adapters: one uniform protocol over every benchmark workload.
+
+A :class:`TaskAdapter` unifies what used to be one hand-written
+``evaluate_*`` function (plus ad-hoc training glue) per task behind four
+members::
+
+    build_model(name, **kw)   -> untrained model
+    load_dataset(**kw)        -> dataset object
+    train(model, ds, **kw)    -> trained model (through the training pipeline)
+    evaluate(model, ds, cfg)  -> metric (percent / MSE) under one NoiseConfig
+
+Adapters self-register into a task registry via :func:`register_task`, so a
+new workload is one file away from being sweepable through
+:class:`~repro.core.session.BenchmarkSession` and visible to the CLI —
+no edits to the benchmark drivers.
+
+Built-ins cover the paper's tasks: classification (``cls``), detection
+(``det``), segmentation (``seg``), NLP multiple-choice (``nlp``), and
+text-to-speech audio (``audio``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn import Tensor, evaluate_classifier
+
+from .cache import DecodeCache
+from .noise import NoiseConfig, TRAIN_CONFIG
+from .pipeline import apply_model_noise, preprocess_dataset
+from .registry import noises_for_task
+
+__all__ = ["TaskAdapter", "register_task", "unregister_task", "get_task",
+           "task_names", "NLPDataset"]
+
+_TASKS: dict[str, "TaskAdapter"] = {}
+
+
+def register_task(adapter):
+    """Register a :class:`TaskAdapter` class (or instance); returns it."""
+    inst = adapter() if isinstance(adapter, type) else adapter
+    if not inst.name:
+        raise ValueError("TaskAdapter needs a non-empty name")
+    if inst.name in _TASKS:
+        raise ValueError(f"task {inst.name!r} is already registered")
+    _TASKS[inst.name] = inst
+    return adapter
+
+
+def unregister_task(name: str) -> None:
+    _TASKS.pop(name, None)
+
+
+def get_task(name: str) -> "TaskAdapter":
+    try:
+        return _TASKS[name]
+    except KeyError:
+        raise ValueError(f"unknown task {name!r}; see {list(_TASKS)}") from None
+
+
+def task_names() -> list[str]:
+    return list(_TASKS)
+
+
+class TaskAdapter:
+    """Protocol + base class for one benchmark workload."""
+
+    name: str = ""
+    metric_name: str = "metric"
+    #: Noise names applicable beyond what the registry's task tags derive
+    #: (e.g. audio supports precision although Table 1 scopes it to nlp).
+    extra_noises: tuple[str, ...] = ()
+
+    @property
+    def noises(self) -> list[str]:
+        """Applicable noise names — a live view over the noise registry."""
+        derived = noises_for_task(self.name)
+        return derived + [n for n in self.extra_noises if n not in derived]
+
+    def build_model(self, name: str | None = None, *, seed: int = 0, **kw):
+        raise NotImplementedError
+
+    def load_dataset(self, **kw):
+        raise NotImplementedError
+
+    def train(self, model, ds, **kw):
+        raise NotImplementedError
+
+    def evaluate(self, model, ds, cfg: NoiseConfig = TRAIN_CONFIG, *,
+                 cache: DecodeCache | None = None) -> float:
+        raise NotImplementedError
+
+
+def _calibrator(streams, input_size, cache=None, n_calib=32):
+    """INT8 calibration callable: run train-config inputs through the model."""
+    def calibrate(model):
+        x = preprocess_dataset(streams[:n_calib], input_size, TRAIN_CONFIG,
+                               cache)
+        try:
+            model(Tensor(x))
+        except TypeError:      # LMs and detectors take raw arrays
+            model.predict(x)
+    return calibrate
+
+
+@register_task
+class ClassificationAdapter(TaskAdapter):
+    """Top-1 accuracy (percent) on the synthetic ImageNet stand-in."""
+
+    name = "cls"
+    metric_name = "ACC"
+
+    def build_model(self, name: str | None = None, *, seed: int = 0,
+                    num_classes: int = 10, **kw):
+        from ..models import create_model
+        return create_model(name or "resnet18x0.25", num_classes=num_classes,
+                            seed=seed)
+
+    def load_dataset(self, *, n: int = 160, native_size: int = 48,
+                     input_size: int = 32, seed: int = 0, **kw):
+        from ..data import make_classification_dataset
+        return make_classification_dataset(n=n, native_size=native_size,
+                                           input_size=input_size, seed=seed,
+                                           **kw)
+
+    def train(self, model, ds, cfg=None, *, model_name: str | None = None,
+              pipeline_cfg: NoiseConfig = TRAIN_CONFIG, **cfg_kw):
+        import repro.nn as nn
+        if cfg is None:
+            from ..models import family_of
+            family = family_of(model_name) if model_name else None
+            defaults = (dict(batch_size=32, lr=3e-3, optimizer="adam",
+                             weight_decay=1e-4) if family in ("vit", "swin")
+                        else dict(batch_size=32, lr=0.1, weight_decay=1e-4))
+            defaults.update(cfg_kw)
+            cfg = nn.TrainConfig(**defaults)
+        x = preprocess_dataset(ds.streams, ds.input_size, pipeline_cfg)
+        nn.train_classifier(model, x, ds.labels, cfg)
+        return model
+
+    def evaluate(self, model, ds, cfg: NoiseConfig = TRAIN_CONFIG, *,
+                 cache: DecodeCache | None = None) -> float:
+        x = preprocess_dataset(ds.streams, ds.input_size, cfg, cache)
+        noised = apply_model_noise(
+            model, cfg, calibrate=_calibrator(ds.streams, ds.input_size, cache))
+        return evaluate_classifier(noised, x, ds.labels)
+
+
+@register_task
+class DetectionAdapter(TaskAdapter):
+    """mAP (percent) on the synthetic COCO stand-in."""
+
+    name = "det"
+    metric_name = "mAP"
+    score_threshold = 0.3
+
+    def build_model(self, name: str | None = None, *, seed: int = 0,
+                    backbone: str = "resnet-34", num_classes: int = 3,
+                    fpn_channels: int = 12, **kw):
+        from ..detection import FasterRCNNLite, RetinaNetLite
+        cls = FasterRCNNLite if name == "rcnn" else RetinaNetLite
+        return cls(backbone=backbone, num_classes=num_classes,
+                   fpn_channels=fpn_channels, seed=seed)
+
+    def load_dataset(self, *, n: int = 40, size: int = 48, seed: int = 0,
+                     max_objects: int = 2, **kw):
+        from ..data import make_detection_dataset
+        return make_detection_dataset(n=n, size=size, seed=seed,
+                                      max_objects=max_objects, **kw)
+
+    def train(self, model, ds, cfg=None, *,
+              pipeline_cfg: NoiseConfig = TRAIN_CONFIG, **cfg_kw):
+        from ..detection import DetTrainConfig
+        from ..detection.retinanet import train_detector
+        if cfg is None:
+            defaults = dict(epochs=10, batch_size=8, lr=4e-3)
+            defaults.update(cfg_kw)
+            cfg = DetTrainConfig(**defaults)
+        x = preprocess_dataset(ds.streams, ds.input_size, pipeline_cfg)
+        train_detector(model, x, ds.gt_boxes, cfg)
+        return model
+
+    def evaluate(self, model, ds, cfg: NoiseConfig = TRAIN_CONFIG, *,
+                 cache: DecodeCache | None = None,
+                 score_threshold: float | None = None) -> float:
+        from ..detection.map_eval import mean_average_precision
+        threshold = (self.score_threshold if score_threshold is None
+                     else score_threshold)
+        x = preprocess_dataset(ds.streams, ds.input_size, cfg, cache)
+
+        def calibrate(m):
+            m.predict(x[:16], score_threshold=threshold)
+
+        noised = apply_model_noise(model, cfg, calibrate=calibrate)
+        dets = noised.predict(x, score_threshold=threshold)
+        return mean_average_precision(dets, ds.gt_boxes, ds.num_classes)
+
+
+@register_task
+class SegmentationAdapter(TaskAdapter):
+    """mIoU (percent) on the synthetic Cityscapes stand-in."""
+
+    name = "seg"
+    metric_name = "mIoU"
+
+    def build_model(self, name: str | None = None, *, seed: int = 0,
+                    num_classes: int = 4, **kw):
+        from ..segmentation import create_segmenter
+        return create_segmenter(name or "unet", num_classes=num_classes,
+                                seed=seed)
+
+    def load_dataset(self, *, n: int = 24, size: int = 32, seed: int = 0, **kw):
+        from ..data import make_segmentation_dataset
+        return make_segmentation_dataset(n=n, size=size, seed=seed, **kw)
+
+    def train(self, model, ds, cfg=None, *,
+              pipeline_cfg: NoiseConfig = TRAIN_CONFIG, **cfg_kw):
+        from ..segmentation import SegTrainConfig
+        from ..segmentation.miou import train_segmenter
+        if cfg is None:
+            defaults = dict(epochs=10, batch_size=8, lr=5e-3)
+            defaults.update(cfg_kw)
+            cfg = SegTrainConfig(**defaults)
+        x = preprocess_dataset(ds.streams, ds.input_size, pipeline_cfg)
+        train_segmenter(model, x, ds.labels, cfg)
+        return model
+
+    def evaluate(self, model, ds, cfg: NoiseConfig = TRAIN_CONFIG, *,
+                 cache: DecodeCache | None = None) -> float:
+        from repro.nn import no_grad
+        from ..segmentation.miou import mean_iou
+        x = preprocess_dataset(ds.streams, ds.input_size, cfg, cache)
+
+        def calibrate(m):
+            m(Tensor(x[:8]))
+
+        noised = apply_model_noise(model, cfg, calibrate=calibrate)
+        noised.eval()
+        preds = []
+        with no_grad():
+            for s in range(0, len(x), 8):
+                preds.append(noised(Tensor(x[s:s + 8])).data.argmax(axis=1))
+        return mean_iou(np.concatenate(preds), ds.labels, ds.num_classes)
+
+
+@dataclass
+class NLPDataset:
+    """A multiple-choice task plus the corpus used for INT8 calibration."""
+
+    task: object                        # MultipleChoiceTask
+    calib_corpus: np.ndarray | None = None
+
+    def __len__(self) -> int:
+        return len(self.task)
+
+
+@register_task
+class NLPAdapter(TaskAdapter):
+    """Multiple-choice accuracy (percent) under data-precision noise."""
+
+    name = "nlp"
+    metric_name = "ACC"
+
+    def build_model(self, name: str | None = None, *, seed: int = 0,
+                    vocab_size: int = 48, **kw):
+        from ..nlp import create_lm
+        return create_lm(name or "opt-125m", vocab_size=vocab_size, seed=seed)
+
+    def load_dataset(self, *, task: str = "piqa", n: int = 20, seed: int = 0,
+                     **kw) -> NLPDataset:
+        from ..data import make_nlp_suite
+        grammar, tasks = make_nlp_suite(n_per_task=n, seed=seed, **kw)
+        calib = grammar.corpus(n_sequences=32, length=20, seed=seed + 7)
+        return NLPDataset(tasks[task], calib)
+
+    def train(self, model, ds, cfg=None, *, corpus=None, **cfg_kw):
+        from ..nlp import LMTrainConfig, train_lm
+        if corpus is None:
+            if getattr(ds, "calib_corpus", None) is None:
+                raise ValueError("NLP training needs a token corpus")
+            corpus = ds.calib_corpus
+        if cfg is None:
+            defaults = dict(epochs=10, batch_size=32)
+            defaults.update(cfg_kw)
+            cfg = LMTrainConfig(**defaults)
+        train_lm(model, corpus, cfg)
+        return model
+
+    def evaluate(self, model, ds, cfg: NoiseConfig = TRAIN_CONFIG, *,
+                 cache: DecodeCache | None = None) -> float:
+        from ..nlp import evaluate_task, evaluate_task_under_precision
+        task = ds.task if isinstance(ds, NLPDataset) else ds
+        calib = ds.calib_corpus if isinstance(ds, NLPDataset) else None
+        if cfg.precision == "fp32":
+            return evaluate_task(model, task)
+        return evaluate_task_under_precision(model, task, cfg.precision, calib)
+
+
+@register_task
+class AudioAdapter(TaskAdapter):
+    """TTS mel-spectrogram MSE (lower is better) under deployment noise."""
+
+    name = "audio"
+    metric_name = "MSE"
+    extra_noises = ("precision",)
+
+    def build_model(self, name: str | None = None, *, seed: int = 0,
+                    dim: int = 20, **kw):
+        from ..audio import FastSpeechLite, TacotronLite
+        cls = TacotronLite if name == "tacotron2" else FastSpeechLite
+        return cls(dim=dim, seed=seed)
+
+    def load_dataset(self, *, n: int = 16, seed: int = 0, **kw):
+        from ..data import make_tts_dataset
+        return make_tts_dataset(n=n, seed=seed, **kw)
+
+    def train(self, model, ds, cfg=None, **cfg_kw):
+        from ..audio import TTSTrainConfig, train_tts
+        if cfg is None:
+            defaults = dict(epochs=15, lr=5e-3)
+            defaults.update(cfg_kw)
+            cfg = TTSTrainConfig(**defaults)
+        train_tts(model, ds, cfg)
+        return model
+
+    def evaluate(self, model, ds, cfg: NoiseConfig = TRAIN_CONFIG, *,
+                 cache: DecodeCache | None = None) -> float:
+        from ..audio import tts_mse
+        return tts_mse(model, ds, precision=cfg.precision,
+                       stft_variant=cfg.get_extra("stft", "reference"))

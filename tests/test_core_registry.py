@@ -1,0 +1,169 @@
+"""Tests for the pluggable noise registry and its derived views."""
+
+import numpy as np
+import pytest
+
+from repro.core import (CLS_NOISES, NOISE_TAXONOMY, TRAIN_CONFIG,
+                        WORST_CASE_ORDER, FieldNoise, NoiseSource,
+                        combined_config, deployment_variants, get_noise,
+                        noise_names, noises_for_task, register_noise,
+                        temporary_noise, unregister_noise, worst_case_stack)
+
+
+class GammaNoise(NoiseSource):
+    """Toy pre-processing noise: deployment applies a gamma curve."""
+
+    name = "gamma"
+    stage = "pre-processing"
+    tasks = ("cls",)
+    input_dependent = True
+
+    def variants(self):
+        return [0.8, 1.25]
+
+    def apply_image(self, image, variant):
+        scaled = (image.astype(np.float64) / 255.0) ** variant
+        return (scaled * 255.0).round().clip(0, 255).astype(np.uint8)
+
+
+class TestBuiltins:
+    def test_seven_builtin_sources(self):
+        assert noise_names() == ["decoder", "resize", "color", "ceil_mode",
+                                 "upsample", "precision", "proposal"]
+
+    def test_get_noise_unknown_raises(self):
+        with pytest.raises(ValueError, match="unknown noise"):
+            get_noise("tachyons")
+
+    def test_task_lists_derive_from_registry(self):
+        assert noises_for_task("cls") == list(CLS_NOISES)
+        assert noises_for_task("nlp") == ["precision"]
+        assert noises_for_task("nonexistent-task") == []
+
+    def test_field_sources_match_config_fields(self):
+        for name in noise_names():
+            src = get_noise(name)
+            assert isinstance(src, FieldNoise)
+            for cfg in deployment_variants(name):
+                assert cfg != TRAIN_CONFIG
+                assert cfg.extra == ()          # built-ins use native fields
+
+    def test_worst_case_stack_order(self):
+        assert [s.name for s in worst_case_stack()] == \
+            ["decoder", "resize", "color", "precision", "ceil_mode",
+             "upsample", "proposal"]
+
+    def test_combined_config_unknown_noise_raises(self):
+        with pytest.raises(ValueError, match="unknown noise"):
+            combined_config(["decoder", "warp-drive"])
+
+
+class TestRegistration:
+    def test_duplicate_name_raises(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_noise(get_noise("decoder"))
+
+    def test_duplicate_custom_name_raises(self):
+        with temporary_noise(GammaNoise):
+            with pytest.raises(ValueError, match="already registered"):
+                register_noise(GammaNoise)
+
+    def test_bad_stage_rejected(self):
+        class Bad(NoiseSource):
+            name = "bad"
+            stage = "mid-flight"
+            def variants(self):
+                return [1]
+
+        with pytest.raises(ValueError, match="unknown stage"):
+            register_noise(Bad)
+
+    def test_empty_name_rejected(self):
+        class Anon(NoiseSource):
+            def variants(self):
+                return [1]
+
+        with pytest.raises(ValueError, match="name"):
+            register_noise(Anon)
+
+    def test_unregister_is_idempotent(self):
+        unregister_noise("never-existed")
+
+
+class TestDerivedViews:
+    def test_taxonomy_view_is_live(self):
+        assert len(NOISE_TAXONOMY) == 7
+        with temporary_noise(GammaNoise):
+            assert len(NOISE_TAXONOMY) == 8
+            spec = {s.name: s for s in NOISE_TAXONOMY}["gamma"]
+            assert spec.stage == "pre-processing"
+            assert spec.num_categories == 3     # 2 variants + train setting
+        assert len(NOISE_TAXONOMY) == 7
+
+    def test_task_list_view_is_live(self):
+        assert "gamma" not in CLS_NOISES
+        with temporary_noise(GammaNoise):
+            assert "gamma" in CLS_NOISES
+            assert "gamma" not in noises_for_task("det")
+        assert "gamma" not in CLS_NOISES
+
+    def test_views_support_list_concatenation(self):
+        assert (["x"] + CLS_NOISES)[0] == "x"
+        assert (CLS_NOISES + ["x"])[-1] == "x"
+        assert list(CLS_NOISES) == CLS_NOISES
+
+    def test_view_equality_with_non_iterable_is_false_not_error(self):
+        assert not (CLS_NOISES == None)          # noqa: E711
+        assert CLS_NOISES != 42
+
+    def test_temporary_noise_yields_registered_instance(self):
+        with temporary_noise(GammaNoise) as src:
+            assert get_noise("gamma") is src
+
+    def test_worst_case_order_pairs_usable_with_with_(self):
+        cfg = TRAIN_CONFIG
+        for name, changes in WORST_CASE_ORDER:
+            cfg = cfg.with_(**changes)
+        assert cfg.precision == "int8" and cfg.ceil_mode is True
+
+    def test_noise_py_reexports_registry_views(self):
+        from repro.core import noise
+        assert len(noise.NOISE_TAXONOMY) == 7
+        assert dict(noise.WORST_CASE_ORDER)["resize"] == \
+            {"resize_method": "cv-nearest"}
+
+
+class TestCustomNoiseSemantics:
+    def test_deployment_variants_use_extras(self):
+        with temporary_noise(GammaNoise):
+            variants = deployment_variants("gamma")
+            assert [cfg.get_extra("gamma") for cfg in variants] == [0.8, 1.25]
+            assert "gamma=1.25" in variants[1].describe()
+
+    def test_combined_config_includes_custom_noise(self):
+        with temporary_noise(GammaNoise):
+            cfg = combined_config(["decoder", "gamma"])
+            assert cfg.decoder == "opencv"
+            assert cfg.get_extra("gamma") == 1.25   # worst = last variant
+
+    def test_with_extra_replaces_existing_entry(self):
+        cfg = TRAIN_CONFIG.with_extra("gamma", 0.8).with_extra("gamma", 1.25)
+        assert cfg.extra == (("gamma", 1.25),)
+
+    def test_pipeline_applies_image_hook(self):
+        from repro.core import preprocess
+        rng = np.random.default_rng(0)
+        image = rng.integers(0, 256, size=(40, 40, 3), dtype=np.uint8)
+        with temporary_noise(GammaNoise) as src:
+            cfg = src.apply(TRAIN_CONFIG, 1.25)
+            clean = preprocess(image, 32, TRAIN_CONFIG)
+            noised = preprocess(image, 32, cfg)
+        assert noised.shape == clean.shape
+        assert np.any(noised != clean)
+
+    def test_unregistered_extra_raises_in_pipeline(self):
+        from repro.core import preprocess
+        image = np.zeros((8, 8, 3), dtype=np.uint8)
+        cfg = TRAIN_CONFIG.with_extra("gamma", 1.25)   # never registered here
+        with pytest.raises(ValueError, match="unknown noise"):
+            preprocess(image, 8, cfg)

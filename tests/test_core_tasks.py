@@ -1,0 +1,121 @@
+"""Tests for the TaskAdapter registry: every built-in round-trips
+build_model → load_dataset → (train) → evaluate on a tiny dataset."""
+
+import numpy as np
+import pytest
+
+from repro.core import (TRAIN_CONFIG, TaskAdapter, get_task, register_task,
+                        task_names, unregister_task)
+
+
+class TestTaskRegistry:
+    def test_builtin_tasks_registered(self):
+        assert task_names() == ["cls", "det", "seg", "nlp", "audio"]
+
+    def test_unknown_task_raises(self):
+        with pytest.raises(ValueError, match="unknown task"):
+            get_task("speech-to-speech")
+
+    def test_duplicate_registration_raises(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_task(get_task("cls"))
+
+    def test_custom_task_single_registration(self):
+        class EchoAdapter(TaskAdapter):
+            name = "echo"
+            metric_name = "ACC"
+
+            def evaluate(self, model, ds, cfg=TRAIN_CONFIG, *, cache=None):
+                return 100.0
+
+        register_task(EchoAdapter)
+        try:
+            assert get_task("echo").evaluate(None, None) == 100.0
+            assert "echo" in task_names()
+        finally:
+            unregister_task("echo")
+        assert "echo" not in task_names()
+
+    def test_noises_view_derives_from_registry(self):
+        assert get_task("cls").noises == ["decoder", "resize", "color",
+                                          "precision", "ceil_mode"]
+        assert get_task("audio").noises == ["precision"]
+
+
+class TestClassificationAdapter:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        adapter = get_task("cls")
+        ds = adapter.load_dataset(n=60, native_size=40, input_size=32, seed=0)
+        train, val = ds.split(44)
+        model = adapter.build_model("resnet18x0.25",
+                                    num_classes=train.num_classes, seed=0)
+        adapter.train(model, train, model_name="resnet18x0.25", epochs=6)
+        return adapter, model, val
+
+    def test_round_trip_metric_range(self, setup):
+        adapter, model, val = setup
+        acc = adapter.evaluate(model, val, TRAIN_CONFIG)
+        assert 0.0 <= acc <= 100.0
+
+    def test_noise_config_changes_pixels_not_crash(self, setup):
+        adapter, model, val = setup
+        noised = adapter.evaluate(model, val,
+                                  TRAIN_CONFIG.with_(resize_method="cv-nearest"))
+        assert 0.0 <= noised <= 100.0
+
+
+class TestDetectionAdapter:
+    def test_round_trip(self):
+        adapter = get_task("det")
+        ds = adapter.load_dataset(n=10, size=48, seed=0)
+        model = adapter.build_model("retinanet", num_classes=ds.num_classes)
+        mAP = adapter.evaluate(model, ds, TRAIN_CONFIG)
+        assert 0.0 <= mAP <= 100.0
+
+    def test_rcnn_builds(self):
+        adapter = get_task("det")
+        model = adapter.build_model("rcnn", num_classes=3)
+        assert type(model).__name__ == "FasterRCNNLite"
+
+
+class TestSegmentationAdapter:
+    def test_round_trip_with_training(self):
+        adapter = get_task("seg")
+        ds = adapter.load_dataset(n=12, size=32, seed=0)
+        train, val = ds.split(8)
+        model = adapter.build_model("unet", num_classes=ds.num_classes)
+        adapter.train(model, train, epochs=2)
+        miou = adapter.evaluate(model, val, TRAIN_CONFIG)
+        assert 0.0 <= miou <= 100.0
+
+
+class TestNLPAdapter:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        adapter = get_task("nlp")
+        ds = adapter.load_dataset(task="piqa", n=8, seed=0)
+        model = adapter.build_model("opt-125m", seed=0)
+        return adapter, model, ds
+
+    def test_round_trip_fp32(self, setup):
+        adapter, model, ds = setup
+        acc = adapter.evaluate(model, ds, TRAIN_CONFIG)
+        assert 0.0 <= acc <= 100.0
+
+    def test_precision_noise_handles_int8_calibration(self, setup):
+        adapter, model, ds = setup
+        acc = adapter.evaluate(model, ds, TRAIN_CONFIG.with_(precision="int8"))
+        assert 0.0 <= acc <= 100.0
+
+
+class TestAudioAdapter:
+    def test_round_trip_with_training(self):
+        adapter = get_task("audio")
+        ds = adapter.load_dataset(n=6, seed=0)
+        model = adapter.build_model("fastspeech2", seed=0)
+        adapter.train(model, ds, epochs=2)
+        clean = adapter.evaluate(model, ds, TRAIN_CONFIG)
+        fp16 = adapter.evaluate(model, ds, TRAIN_CONFIG.with_(precision="fp16"))
+        assert np.isfinite(clean) and np.isfinite(fp16)
+        assert clean >= 0.0
