@@ -1,0 +1,282 @@
+#!/usr/bin/env python
+"""Perf microbench harness: codec + sweep throughput -> BENCH_core.json.
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/bench_perf.py            # full numbers
+    PYTHONPATH=src python benchmarks/bench_perf.py --smoke    # CI gate
+
+Three suites:
+
+entropy codec
+    JPEG encode+decode throughput (imgs/s) for the vectorized entropy coder
+    vs the retained scalar coder, on q90 images at several sizes (q90 is
+    what the synthetic datasets ship).  Verifies bit-exactness on the fly.
+
+dataset decode
+    ``decode_dataset``-shaped batch decode throughput on dataset-scale
+    48 px streams, vector vs scalar.
+
+sweep
+    Wall time of one full classification ``noise_row`` (decoder / resize /
+    color / precision + combined) through the new ``SweepEngine`` with
+    ``workers=4`` and the full cache stack, against a faithful
+    re-implementation of the pre-engine path (scalar entropy decode,
+    per-image resize, fresh deployment copy and re-decoded calibration
+    subset per eval, no eval/preproc memoisation).  Both paths produce
+    identical metrics; only the wall time differs.
+
+Results are appended to ``BENCH_core.json`` at the repo root so the perf
+trajectory is tracked PR over PR.  ``--smoke`` shrinks the workload and
+exits non-zero if the vectorized coder fails to beat the scalar one —
+the CI perf gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core import TRAIN_CONFIG, EvalCache, SweepEngine, get_task  # noqa: E402
+from repro.core.cache import DecodeCache  # noqa: E402
+from repro.core.pipeline import apply_model_noise, normalize, preprocess  # noqa: E402
+from repro.core.registry import combined_config, get_noise  # noqa: E402
+from repro.data import make_classification_dataset  # noqa: E402
+from repro.image import jpeg  # noqa: E402
+from repro.models import create_model  # noqa: E402
+from repro.nn import Tensor, evaluate_classifier  # noqa: E402
+
+SWEEP_NOISES = ["decoder", "resize", "color", "precision"]
+
+
+def _bench(fn, repeats: int) -> float:
+    """Best-of-N wall time of ``fn()`` (first call warms caches/LUTs)."""
+    fn()
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _test_image(size: int, seed: int = 0) -> np.ndarray:
+    """A noisy natural-ish image (the codec's realistic operating point)."""
+    rng = np.random.default_rng(seed)
+    yy, xx = np.mgrid[0:size, 0:size]
+    base = 128 + 60 * np.sin(xx / 7.0) * np.cos(yy / 9.0)
+    img = np.stack([base, np.roll(base, 3, axis=0), 255 - base], axis=-1)
+    img += rng.normal(0, 24, size=img.shape)
+    return np.clip(img, 0, 255).astype(np.uint8)
+
+
+def bench_entropy(sizes: list[int], repeats: int) -> dict:
+    out = {}
+    for size in sizes:
+        img = _test_image(size)
+        s_scalar = jpeg.encode(img, 90, entropy="scalar")
+        s_vector = jpeg.encode(img, 90, entropy="vector")
+        assert s_scalar.payload == s_vector.payload, "encoder not bit-exact"
+        assert np.array_equal(jpeg.decode(s_scalar, entropy="scalar"),
+                              jpeg.decode(s_scalar, entropy="vector")), \
+            "decoder not bit-exact"
+        te_s = _bench(lambda: jpeg.encode(img, 90, entropy="scalar"), repeats)
+        te_v = _bench(lambda: jpeg.encode(img, 90, entropy="vector"), repeats)
+        td_s = _bench(lambda: jpeg.decode(s_scalar, entropy="scalar"), repeats)
+        td_v = _bench(lambda: jpeg.decode(s_scalar, entropy="vector"), repeats)
+        out[str(size)] = {
+            "encode_scalar_ips": round(1.0 / te_s, 1),
+            "encode_vector_ips": round(1.0 / te_v, 1),
+            "decode_scalar_ips": round(1.0 / td_s, 1),
+            "decode_vector_ips": round(1.0 / td_v, 1),
+            "encode_speedup": round(te_s / te_v, 2),
+            "decode_speedup": round(td_s / td_v, 2),
+            "roundtrip_speedup": round((te_s + td_s) / (te_v + td_v), 2),
+        }
+    return out
+
+
+def bench_dataset_decode(n_images: int, repeats: int) -> dict:
+    ds = make_classification_dataset(n=n_images, native_size=48,
+                                     input_size=32, seed=0)
+
+    def decode_all(entropy: str):
+        previous = jpeg.set_default_entropy(entropy)
+        try:
+            from repro.core.pipeline import _decode_uncached
+            _decode_uncached(ds.streams, "pil")
+        finally:
+            jpeg.set_default_entropy(previous)
+
+    t_s = _bench(lambda: decode_all("scalar"), repeats)
+    t_v = _bench(lambda: decode_all("vector"), repeats)
+    return {
+        "images": n_images,
+        "scalar_ips": round(n_images / t_s, 1),
+        "vector_ips": round(n_images / t_v, 1),
+        "speedup": round(t_s / t_v, 2),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Sweep: new engine stack vs a faithful pre-engine path
+# ---------------------------------------------------------------------------
+
+def _seed_path_row(model, ds) -> dict:
+    """The pre-SweepEngine noise_row, re-created faithfully.
+
+    Scalar entropy decode, decoded-pixels-only caching, per-image resize,
+    a fresh deployment copy per evaluation, and a separately decoded
+    calibration subset — exactly the shape of the code this PR replaced.
+    """
+    cache = DecodeCache()
+
+    def decode_all(streams, decoder):
+        return cache.decode(
+            streams, decoder,
+            lambda s, d: np.stack([jpeg.decode_with(x, d) for x in s]))
+
+    def evaluate(cfg):
+        decoded = decode_all(ds.streams, cfg.decoder)
+        x = normalize(np.stack([preprocess(img, ds.input_size, cfg)
+                                for img in decoded]))
+
+        def calibrate(m):
+            subset = decode_all(ds.streams[:32], TRAIN_CONFIG.decoder)
+            xc = normalize(np.stack(
+                [preprocess(img, ds.input_size, TRAIN_CONFIG)
+                 for img in subset]))
+            m(Tensor(xc))
+
+        noised = apply_model_noise(model, cfg, calibrate=calibrate)
+        return evaluate_classifier(noised, x, ds.labels)
+
+    previous = jpeg.set_default_entropy("scalar")
+    try:
+        baseline = evaluate(TRAIN_CONFIG)
+        row = {"trained": baseline, "noises": {}}
+        for name in SWEEP_NOISES:
+            src = get_noise(name)
+            values = [evaluate(src.apply(TRAIN_CONFIG, v))
+                      for v in src.variants()]
+            row["noises"][name] = values
+        row["combined"] = baseline - evaluate(combined_config(SWEEP_NOISES))
+    finally:
+        jpeg.set_default_entropy(previous)
+    return row
+
+
+def _engine_row(model, ds, workers: int) -> dict:
+    adapter = get_task("cls")
+    cache = DecodeCache()
+    engine = SweepEngine(workers=workers, eval_cache=EvalCache())
+    evaluate = lambda m, d, cfg: adapter.evaluate(m, d, cfg, cache=cache)
+    row = engine.noise_row(evaluate, model, ds, SWEEP_NOISES)
+    return {"trained": row["trained"],
+            "noises": {n: row["noises"][n].values for n in SWEEP_NOISES},
+            "combined": row["combined"]}
+
+
+def bench_sweep(n_images: int, workers: int, repeats: int) -> dict:
+    ds = make_classification_dataset(n=n_images, native_size=48,
+                                     input_size=32, seed=0)
+    model = create_model("mcunet-293kb", num_classes=ds.num_classes, seed=0)
+    model.eval()       # deployed models arrive trained, in inference mode
+
+    rows = {}
+    t_seed = _bench(lambda: rows.__setitem__("seed", _seed_path_row(model, ds)),
+                    repeats)
+    t_new = _bench(
+        lambda: rows.__setitem__("new", _engine_row(model, ds, workers)),
+        repeats)
+    identical = rows["seed"] == rows["new"]
+    return {
+        "images": n_images,
+        "noises": SWEEP_NOISES,
+        "workers_requested": workers,
+        "cores": os.cpu_count(),
+        "seed_path_s": round(t_seed, 3),
+        "engine_s": round(t_new, 3),
+        "speedup": round(t_seed / t_new, 2),
+        "results_identical": identical,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small workload + hard gate (CI)")
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_core.json"))
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        sizes, repeats, n_decode, n_sweep = [64, 128], 2, 16, 24
+    else:
+        sizes, repeats, n_decode, n_sweep = [48, 96, 192], 3, 64, 64
+
+    print("benchmarking entropy codec ...")
+    entropy = bench_entropy(sizes, repeats)
+    for size, r in entropy.items():
+        print(f"  {size:>4}px q90: encode {r['encode_speedup']:.1f}x  "
+              f"decode {r['decode_speedup']:.1f}x  "
+              f"roundtrip {r['roundtrip_speedup']:.1f}x  "
+              f"({r['decode_vector_ips']:.0f} imgs/s decode)")
+
+    print("benchmarking dataset decode ...")
+    dataset = bench_dataset_decode(n_decode, repeats)
+    print(f"  {dataset['images']} imgs @48px: {dataset['scalar_ips']:.0f} -> "
+          f"{dataset['vector_ips']:.0f} imgs/s ({dataset['speedup']:.1f}x)")
+
+    print("benchmarking noise_row sweep ...")
+    sweep = bench_sweep(n_sweep, args.workers, max(1, repeats - 1))
+    print(f"  {sweep['images']} imgs, {len(SWEEP_NOISES)} noises: "
+          f"{sweep['seed_path_s']:.2f}s -> {sweep['engine_s']:.2f}s "
+          f"({sweep['speedup']:.2f}x, workers={args.workers}, "
+          f"cores={sweep['cores']}, identical={sweep['results_identical']})")
+
+    record = {
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "mode": "smoke" if args.smoke else "full",
+        "entropy_codec": entropy,
+        "dataset_decode": dataset,
+        "sweep": sweep,
+    }
+    out = Path(args.out)
+    history = []
+    if out.exists():
+        try:
+            history = json.loads(out.read_text())
+            if not isinstance(history, list):
+                history = [history]
+        except json.JSONDecodeError:
+            history = []
+    history.append(record)
+    out.write_text(json.dumps(history, indent=2) + "\n")
+    print(f"wrote {out}")
+
+    if not sweep["results_identical"]:
+        print("FAIL: engine sweep metrics diverge from the seed path")
+        return 1
+    gate = min(r["decode_speedup"] for r in entropy.values())
+    if gate < 1.0:
+        print(f"FAIL: vectorized decoder slower than scalar ({gate:.2f}x)")
+        return 1
+    if min(r["encode_speedup"] for r in entropy.values()) < 1.0:
+        print("FAIL: vectorized encoder slower than scalar")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,6 +21,8 @@ so :mod:`repro.backend.compare` can localise where two backends diverge.
 
 from __future__ import annotations
 
+import threading
+import weakref
 from dataclasses import dataclass, replace
 
 import numpy as np
@@ -29,7 +31,8 @@ from . import ops
 from .ir import Graph, Node
 
 __all__ = ["BackendOptions", "Executor", "ReferenceExecutor",
-           "DeploymentExecutor", "BACKEND_PRESETS", "create_backend"]
+           "DeploymentExecutor", "BACKEND_PRESETS", "create_backend",
+           "prepare_cached"]
 
 
 @dataclass(frozen=True)
@@ -62,6 +65,51 @@ BACKEND_PRESETS: dict[str, BackendOptions] = {
     "npu-bilinear": BackendOptions(dtype="float32", fuse_conv_bn=True,
                                    upsample_mode_override="bilinear"),
 }
+
+
+# ---------------------------------------------------------------------------
+# Prepared-graph cache: load-time rewrites (e.g. conv+BN fusion) run once per
+# (graph, BackendOptions) pair instead of on every Executor.run() call.
+# Keys pair id(graph) with a weakref liveness anchor, so a recycled id can
+# never serve a stale prepared graph, and dead entries are evicted eagerly.
+# ---------------------------------------------------------------------------
+
+_PREPARED: dict[int, dict[BackendOptions, Graph]] = {}
+_ANCHORS: dict[int, "weakref.ref[Graph]"] = {}
+_PREPARE_LOCK = threading.Lock()
+
+
+def _drop_prepared(gid: int) -> None:
+    # Runs as a weakref finalizer, potentially mid-GC inside a thread that
+    # already holds _PREPARE_LOCK — so it must stay lock-free.  Single
+    # dict.pop calls are atomic under the GIL, and the read path's
+    # `anchor() is graph` liveness check keeps any interleaving correct.
+    _PREPARED.pop(gid, None)
+    _ANCHORS.pop(gid, None)
+
+
+def prepare_cached(graph: Graph, options: BackendOptions, transform) -> Graph:
+    """``transform(graph)`` memoised per (graph identity, options).
+
+    Graphs are treated as immutable once executed — the standard contract
+    everywhere in :mod:`repro.backend` (passes return new graphs).
+    """
+    gid = id(graph)
+    with _PREPARE_LOCK:
+        anchor = _ANCHORS.get(gid)
+        if anchor is not None and anchor() is graph:
+            hit = _PREPARED[gid].get(options)
+            if hit is not None:
+                return hit
+    out = transform(graph)
+    with _PREPARE_LOCK:
+        anchor = _ANCHORS.get(gid)
+        if anchor is None or anchor() is not graph:
+            _ANCHORS[gid] = weakref.ref(
+                graph, lambda _, gid=gid: _drop_prepared(gid))
+            _PREPARED[gid] = {}
+        _PREPARED[gid][options] = out
+    return out
 
 
 def create_backend(name_or_options: "str | BackendOptions") -> "Executor":
@@ -221,7 +269,7 @@ class DeploymentExecutor(ReferenceExecutor):
     def prepare(self, graph: Graph) -> Graph:
         if self.options.fuse_conv_bn:
             from .passes import fuse_conv_bn
-            graph = fuse_conv_bn(graph)
+            graph = prepare_cached(graph, self.options, fuse_conv_bn)
         return graph
 
     def cast_input(self, x: np.ndarray) -> np.ndarray:

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.nn.functional import im2col, pool_output_size
+from repro.nn.functional import im2col, pad2d_const, pool_output_size
 
 __all__ = [
     "matmul_accum", "conv2d", "linear", "batchnorm", "layernorm", "relu",
@@ -196,8 +196,7 @@ def _pool2d(x: np.ndarray, kernel_size: int, stride: int, padding: int,
     need_w = (ow - 1) * stride + kernel_size
     pad_r = max(need_h - h - padding, padding)
     pad_c = max(need_w - w - padding, padding)
-    xp = np.pad(x, ((0, 0), (0, 0), (padding, pad_r), (padding, pad_c)),
-                constant_values=pad_value)
+    xp = pad2d_const(x, padding, pad_r, padding, pad_c, pad_value)
     view = np.lib.stride_tricks.sliding_window_view(
         xp, (kernel_size, kernel_size), axis=(2, 3))
     view = view[:, :, ::stride, ::stride][:, :, :oh, :ow]

@@ -26,6 +26,7 @@ def register(sub: argparse._SubParsersAction) -> None:
         p.add_argument("--train-frac", type=float, default=0.75)
         p.add_argument("--epochs", type=int, default=15)
         p.add_argument("--seed", type=int, default=0)
+        _add_engine_args(p)
         if name == "sweep":
             p.add_argument("--noises", default=None,
                            help="comma-separated subset (default: all "
@@ -45,7 +46,16 @@ def register(sub: argparse._SubParsersAction) -> None:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--noises", default="decoder,resize,color,precision",
                    help="comma-separated noise subset to cross")
+    _add_engine_args(p)
     p.set_defaults(func=cmd_interaction)
+
+
+def _add_engine_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--workers", type=int, default=None,
+                   help="fan variant evaluations out over this many threads "
+                        "(capped at the core count; default: serial)")
+    p.add_argument("--batch-size", type=int, default=None,
+                   help="evaluation minibatch size (default: adapter choice)")
 
 
 def build_session(args: argparse.Namespace):
@@ -56,6 +66,8 @@ def build_session(args: argparse.Namespace):
     return (BenchmarkSession()
             .task("cls")
             .seed(args.seed)
+            .workers(args.workers)
+            .batch(args.batch_size)
             .model(args.model)
             .data(n=args.n, native_size=48, input_size=32,
                   train_frac=args.train_frac)
@@ -95,7 +107,8 @@ def cmd_worst_case(args: argparse.Namespace) -> int:
 
 
 def cmd_interaction(args: argparse.Namespace) -> int:
-    from repro.core import noise_names, pairwise_interaction, render_interaction
+    from repro.core import (TRAIN_CONFIG, combined_config, noise_names,
+                            pairwise_interaction, render_interaction)
 
     noises = args.noises.split(",")
     known = set(noise_names())
@@ -104,6 +117,14 @@ def cmd_interaction(args: argparse.Namespace) -> int:
         print(f"error: unknown noise(s) {bad}; choose from {sorted(known)}")
         return 2
     session = build_session(args)
+    # The interaction study's configs are known up front: fan them out over
+    # the session engine so --workers applies, then the serial matrix walk
+    # below is pure eval-cache hits.
+    configs = ([TRAIN_CONFIG]
+               + [combined_config([n]) for n in noises]
+               + [combined_config([a, b]) for i, a in enumerate(noises)
+                  for b in noises[i + 1:]])
+    session.engine().map(session.evaluate, configs)
     matrix = pairwise_interaction(
         lambda m, d, cfg: session.evaluate(cfg),
         session.trained_model, session.eval_data, noises)

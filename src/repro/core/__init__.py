@@ -17,7 +17,8 @@ from .analysis import (FamilySummary, family_summaries, render_family_table,
                        size_trend)
 from .benchmark import (evaluate_classification, evaluate_detection,
                         evaluate_segmentation)
-from .cache import DecodeCache, streams_digest
+from .cache import (DecodeCache, EvalCache, dataset_token, eval_key,
+                    object_token, streams_digest)
 from .interaction import (InteractionMatrix, pairwise_interaction,
                           render_interaction)
 from .noise import NoiseConfig, NoiseSpec, TRAIN_CONFIG
@@ -32,6 +33,7 @@ from .registry import (CLS_NOISES, DET_NOISES, NOISE_TAXONOMY, SEG_NOISES,
 from .report import format_cell, render_curve, render_table, render_taxonomy
 from .session import (BenchmarkSession, NoiseResult, Session, SessionResult,
                       noise_row, sweep_noise, worst_case_curve)
+from .sweep import SweepEngine
 from .tasks import (NLPDataset, TaskAdapter, get_task, register_task,
                     task_names, unregister_task)
 from .training import (default_train_config, train_classification_model,
@@ -48,11 +50,12 @@ __all__ = [
     # task registry
     "TaskAdapter", "register_task", "unregister_task", "get_task",
     "task_names", "NLPDataset",
-    # session facade
-    "BenchmarkSession", "Session", "SessionResult",
+    # session facade + sweep engine
+    "BenchmarkSession", "Session", "SessionResult", "SweepEngine",
     # pipeline + caching
     "decode_dataset", "preprocess", "preprocess_dataset", "apply_model_noise",
-    "normalize", "DecodeCache", "streams_digest",
+    "normalize", "DecodeCache", "EvalCache", "streams_digest",
+    "object_token", "dataset_token", "eval_key",
     # legacy benchmark API (shims)
     "NoiseResult", "evaluate_classification", "evaluate_detection",
     "evaluate_segmentation", "sweep_noise", "noise_row", "combined_config",

@@ -24,15 +24,17 @@ import numpy as np
 
 from repro.nn import MaxPool2d, Tensor, apply_precision
 
-from ..image import color_roundtrip, decode_with, resize
-from .cache import DecodeCache
+from ..image import color_roundtrip, decode_with, resize, resize_batch
+from ..image.jpeg import DECODER_LIBRARIES, decode_batch
+from .cache import DecodeCache, object_token, streams_digest
 from .noise import NoiseConfig, TRAIN_CONFIG
 
 __all__ = ["decode_dataset", "preprocess", "preprocess_dataset",
-           "apply_model_noise", "normalize", "default_decode_cache"]
+           "apply_model_noise", "deployment_model", "normalize",
+           "default_decode_cache"]
 
 #: Shared fallback cache for the module-level helpers (sessions own theirs).
-_DEFAULT_CACHE = DecodeCache(maxsize=16)
+_DEFAULT_CACHE = DecodeCache()
 
 
 def default_decode_cache() -> DecodeCache:
@@ -40,6 +42,9 @@ def default_decode_cache() -> DecodeCache:
 
 
 def _decode_uncached(streams: list, decoder: str) -> np.ndarray:
+    if decoder in DECODER_LIBRARIES and streams:
+        idct, chroma = DECODER_LIBRARIES[decoder]
+        return decode_batch(streams, idct=idct, chroma_upsample=chroma)
     return np.stack([decode_with(s, decoder) for s in streams])
 
 
@@ -82,20 +87,71 @@ def preprocess(image_u8: np.ndarray, input_size: int | tuple[int, int],
     return out
 
 
+def _preprocess_uncached(streams: list, size: tuple[int, int],
+                         cfg: NoiseConfig, extras,
+                         cache: DecodeCache | None) -> np.ndarray:
+    decoded = decode_dataset(streams, cfg.decoder, cache)
+    if cfg.color is None and not extras:
+        # Fast path: one batched separable-resize (numerically identical to
+        # the per-image loop) covers the overwhelmingly common config.
+        processed = resize_batch(decoded, size, cfg.resize_method)
+    else:
+        processed = np.stack([preprocess(img, size, cfg) for img in decoded])
+    return normalize(processed)
+
+
 def preprocess_dataset(streams: list, input_size: int,
                        cfg: NoiseConfig = TRAIN_CONFIG,
                        cache: DecodeCache | None = None) -> np.ndarray:
     """Full pre-processing for a dataset: decode → resize → colour → normalise.
 
-    Returns a float NCHW batch ready for the models.  Decoding is cached per
-    (dataset contents, decoder); resize/colour are cheap matrix ops.
+    Returns a float NCHW batch ready for the models.  Both the decoded pixel
+    batch (per dataset contents + decoder) and the finished tensor (per full
+    pre-processing config) are memoised, so variants that only differ on the
+    model-inference side — precision, ceil mode, upsampling — skip the whole
+    pre-processing chain on re-evaluation.  Treat the returned batch as
+    read-only (every consumer in the tree slices, never writes).
     """
-    decoded = decode_dataset(streams, cfg.decoder, cache)
-    processed = np.stack([preprocess(img, input_size, cfg) for img in decoded])
-    return normalize(processed)
+    cache = cache if cache is not None else _DEFAULT_CACHE
+    size = ((input_size, input_size) if isinstance(input_size, int)
+            else tuple(input_size))
+    extras = _preproc_extras(cfg)
+    key = ("preproc", streams_digest(streams), cfg.decoder, cfg.resize_method,
+           cfg.color, tuple((src.name, variant) for src, variant in extras),
+           size)
+    compute = lambda: _preprocess_uncached(streams, size, cfg, extras, cache)
+    try:
+        return cache.memo(key, compute)
+    except TypeError:          # unhashable custom-noise variant: no memoising
+        return compute()
 
 
-def apply_model_noise(model, cfg: NoiseConfig, calibrate=None):
+def _needs_model_copy(model, cfg: NoiseConfig) -> bool:
+    """Whether ``cfg`` modifies the deployment model at all.
+
+    A train-mode model always gets a copy: evaluators flip ``.eval()`` on
+    what they receive, and that flip must land on a private copy — sharing
+    it would make evaluation order observable (BatchNorm calibration under
+    INT8 differs between train and eval mode).
+    """
+    if getattr(model, "training", False):
+        return True
+    if (cfg.ceil_mode or cfg.upsample_mode != "nearest"
+            or cfg.precision != "fp32"):
+        return True
+    if (hasattr(model, "aligned_offset")
+            and model.aligned_offset != cfg.aligned_offset):
+        return True
+    if cfg.extra:
+        from .registry import get_noise
+        return any(get_noise(name).stage in ("model-inference",
+                                             "post-processing")
+                   for name, _ in cfg.extra)
+    return False
+
+
+def apply_model_noise(model, cfg: NoiseConfig, calibrate=None,
+                      allow_identity: bool = False):
     """Return a deployment copy of ``model`` with inference noise applied.
 
     * flips ``ceil_mode`` on every :class:`MaxPool2d`;
@@ -104,7 +160,14 @@ def apply_model_noise(model, cfg: NoiseConfig, calibrate=None):
     * sets ``aligned_offset`` on detectors;
     * runs registered model-inference / post-processing extras hooks;
     * converts precision last (so the quantised copy keeps the flips).
+
+    With ``allow_identity=True``, a config that leaves the model untouched
+    (pre-processing-only noise, or the clean baseline) returns ``model``
+    itself instead of a deep copy — callers promising not to mutate the
+    result (the task adapters' evaluators) skip the copy on the hot path.
     """
+    if allow_identity and not _needs_model_copy(model, cfg):
+        return model
     noised = copy.deepcopy(model)
     if cfg.ceil_mode:
         for mod in noised.modules():
@@ -130,3 +193,28 @@ def apply_model_noise(model, cfg: NoiseConfig, calibrate=None):
     if cfg.precision != "fp32":
         noised = apply_precision(noised, cfg.precision, calibrate)
     return noised
+
+
+def deployment_model(model, cfg: NoiseConfig, calibrate=None,
+                     cache: DecodeCache | None = None, calib_key=None):
+    """:func:`apply_model_noise`, memoised on the pipeline cache.
+
+    Configs sharing the same model-side noise (e.g. a variant and the
+    combined config both running int8) reuse one deployment copy — INT8
+    calibration in particular is expensive enough to be worth deduping.
+
+    ``calib_key`` must identify everything the ``calibrate`` hook's
+    behaviour depends on (dataset contents, preprocessing config, ...); it
+    becomes part of the memo key whenever the config quantises to int8, so
+    a model calibrated against one dataset can never be served for another.
+    Hook-based custom noises are excluded (their ``apply_model`` may be
+    stateful); they always get a fresh copy.
+    """
+    if cache is None or cfg.extra:
+        return apply_model_noise(model, cfg, calibrate, allow_identity=True)
+    key = ("model", object_token(model), getattr(model, "training", None),
+           cfg.ceil_mode, cfg.upsample_mode, cfg.precision,
+           cfg.aligned_offset,
+           calib_key if cfg.precision == "int8" else None)
+    return cache.memo(key, lambda: apply_model_noise(model, cfg, calibrate,
+                                                     allow_identity=True))

@@ -14,109 +14,34 @@ One object owns the whole measure-SysNoise flow::
 The session resolves the :class:`~repro.core.tasks.TaskAdapter`, loads or
 accepts datasets, optionally trains through the training-system pipeline,
 sweeps every requested noise type via the registry, and aggregates
-:class:`NoiseResult` rows.  It also owns a private content-digest
-:class:`~repro.core.cache.DecodeCache` (bounded LRU), so repeated sweeps
-over the same dataset never re-decode — and never suffer the ``id()``-reuse
-staleness of the seed implementation.
+:class:`NoiseResult` rows.  It owns a private content-digest
+:class:`~repro.core.cache.DecodeCache` (bounded LRU) plus a variant-keyed
+:class:`~repro.core.cache.EvalCache`, so repeated sweeps over the same
+dataset never re-decode *or* re-evaluate — and never suffer the
+``id()``-reuse staleness of the seed implementation.  Sweeps run through a
+:class:`~repro.core.sweep.SweepEngine`: call :meth:`BenchmarkSession.workers`
+to fan variant evaluations out over a thread pool, and
+:meth:`BenchmarkSession.batch` to control evaluation minibatch size.
 
 The module-level :func:`sweep_noise` / :func:`noise_row` /
-:func:`worst_case_curve` are the canonical registry-driven engines; the
-functions of the same name in :mod:`repro.core.benchmark` are deprecated
-aliases of these.
+:func:`worst_case_curve` (re-exported from :mod:`repro.core.sweep`) are the
+canonical registry-driven engines; the functions of the same name in
+:mod:`repro.core.benchmark` are deprecated aliases of these.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-import numpy as np
-
-from .cache import DecodeCache
+from .cache import DecodeCache, EvalCache
 from .noise import NoiseConfig, TRAIN_CONFIG
-from .registry import combined_config, get_noise
+from .registry import get_noise
+from .sweep import (NoiseResult, SweepEngine, noise_row, sweep_noise,
+                    worst_case_curve)
 from .tasks import TaskAdapter, get_task
 
 __all__ = ["NoiseResult", "BenchmarkSession", "Session", "SessionResult",
-           "sweep_noise", "noise_row", "worst_case_curve"]
-
-
-@dataclass
-class NoiseResult:
-    """Δmetric statistics for one noise type on one model."""
-
-    noise: str
-    baseline: float
-    values: list[float] = field(default_factory=list)   # metric per variant
-
-    @property
-    def deltas(self) -> list[float]:
-        return [self.baseline - v for v in self.values]
-
-    @property
-    def mean_delta(self) -> float:
-        return float(np.mean(self.deltas)) if self.values else float("nan")
-
-    @property
-    def max_delta(self) -> float:
-        return float(np.max(self.deltas)) if self.values else float("nan")
-
-
-# ---------------------------------------------------------------------------
-# Registry-driven sweep engines (shared by sessions and the legacy shims)
-# ---------------------------------------------------------------------------
-
-def sweep_noise(evaluate, model, ds, noise: str,
-                baseline: float | None = None) -> NoiseResult:
-    """Evaluate every deployment variant of one registered noise type.
-
-    ``evaluate(model, ds, cfg) -> metric`` is any task evaluator — a bound
-    :meth:`TaskAdapter.evaluate` or one of the legacy free functions.
-    """
-    src = get_noise(noise)
-    if baseline is None:
-        baseline = evaluate(model, ds, TRAIN_CONFIG)
-    result = NoiseResult(noise, baseline)
-    for variant in src.variants():
-        cfg = src.apply(TRAIN_CONFIG, variant)
-        result.values.append(evaluate(model, ds, cfg))
-    return result
-
-
-def noise_row(evaluate, model, ds, noises,
-              skip: set[str] = frozenset(),
-              include_combined: bool = True) -> dict:
-    """One table row: baseline metric + per-noise Δ stats (+ combined).
-
-    ``skip`` marks noise types inapplicable to this architecture (e.g.
-    ceil mode on pool-free models), reported as None like the paper's "-".
-    """
-    baseline = evaluate(model, ds, TRAIN_CONFIG)
-    row = {"trained": baseline, "noises": {}}
-    for noise in noises:
-        if noise in skip:
-            row["noises"][noise] = None
-            continue
-        row["noises"][noise] = sweep_noise(evaluate, model, ds, noise, baseline)
-    if include_combined:
-        applicable = [n for n in noises if n not in skip]
-        combo = evaluate(model, ds, combined_config(applicable))
-        row["combined"] = baseline - combo
-    return row
-
-
-def worst_case_curve(evaluate, model, ds, noises) -> list[tuple[str, float]]:
-    """Fig. 3: cumulative Δ as noises are stacked one at a time."""
-    from .registry import worst_case_stack
-    wanted = set(noises)
-    baseline = evaluate(model, ds, TRAIN_CONFIG)
-    cfg = TRAIN_CONFIG
-    curve = []
-    for src in worst_case_stack():
-        if src.name not in wanted:
-            continue
-        cfg = src.apply(cfg, src.worst_variant)
-        curve.append((src.name, baseline - evaluate(model, ds, cfg)))
-    return curve
+           "SweepEngine", "sweep_noise", "noise_row", "worst_case_curve"]
 
 
 # ---------------------------------------------------------------------------
@@ -159,7 +84,8 @@ class SessionResult:
 class BenchmarkSession:
     """Fluent builder that owns one benchmark flow end to end."""
 
-    def __init__(self, task: str | None = None, cache_size: int = 16):
+    def __init__(self, task: str | None = None, cache_size: int = 64,
+                 workers: int | None = None, batch_size: int | None = None):
         self._task_name = task
         self._model = None
         self._model_name: str | None = None
@@ -171,7 +97,10 @@ class BenchmarkSession:
         self._skip: set[str] = set()
         self._include_combined = True
         self._seed = 0
+        self._workers = workers
+        self._batch_size = batch_size
         self.cache = DecodeCache(maxsize=cache_size)
+        self.eval_cache = EvalCache()
 
     # -- builder steps ------------------------------------------------------
 
@@ -234,6 +163,20 @@ class BenchmarkSession:
         self._include_combined = include
         return self
 
+    def workers(self, n: int | None) -> "BenchmarkSession":
+        """Fan variant evaluations out over ``n`` threads (None = serial).
+
+        Parallel and serial sweeps return identical results; the pool only
+        changes wall-time.
+        """
+        self._workers = n
+        return self
+
+    def batch(self, batch_size: int | None) -> "BenchmarkSession":
+        """Evaluate in minibatches of this size (None = adapter default)."""
+        self._batch_size = batch_size
+        return self
+
     def fit(self, train_ds=None, cfg=None, **train_kw) -> "BenchmarkSession":
         """Train the model through the training-system pipeline."""
         ds = train_ds if train_ds is not None else self._train_ds
@@ -246,6 +189,11 @@ class BenchmarkSession:
                                **train_kw)
         else:
             self.adapter.train(model, ds, cfg, **train_kw)
+        # Training mutates the model in place: cached metrics and cached
+        # deployment-model copies are stale (decoded pixels stay valid —
+        # they are content-keyed).
+        self.eval_cache.clear()
+        self.cache.drop_prefix("model")
         return self
 
     # -- resolution helpers -------------------------------------------------
@@ -280,10 +228,15 @@ class BenchmarkSession:
 
     def evaluate(self, cfg: NoiseConfig = TRAIN_CONFIG) -> float:
         """Metric of the session's model/dataset under one config (cached)."""
-        return self.adapter.evaluate(self.trained_model, self.eval_data, cfg,
-                                     cache=self.cache)
+        model, ds = self.trained_model, self.eval_data
+        return self.engine().evaluate(self._eval_fn(self.adapter), model, ds,
+                                      cfg)
 
     # -- runs ---------------------------------------------------------------
+
+    def engine(self) -> SweepEngine:
+        """The sweep engine for this session's workers + eval-cache state."""
+        return SweepEngine(workers=self._workers, eval_cache=self.eval_cache)
 
     def run(self) -> SessionResult:
         """Sweep every selected noise and aggregate one table row."""
@@ -291,21 +244,14 @@ class BenchmarkSession:
         model = self._ensure_model(ds)
         noises = list(self._noises if self._noises is not None
                       else adapter.noises)
-        evaluate = self._cached_eval(adapter, model, ds)
-        eval_fn = lambda m, d, cfg: evaluate(cfg)
-        baseline = evaluate(TRAIN_CONFIG)
-        results: dict[str, NoiseResult | None] = {}
-        for name in noises:
-            results[name] = (None if name in self._skip else
-                             sweep_noise(eval_fn, model, ds, name, baseline))
-        combined = None
-        if self._include_combined:
-            applicable = [n for n in noises if n not in self._skip]
-            combined = baseline - evaluate(combined_config(applicable))
+        engine = self.engine()
+        row = engine.noise_row(self._eval_fn(adapter), model, ds, noises,
+                               skip=self._skip,
+                               include_combined=self._include_combined)
         return SessionResult(task=self._task_name, metric=adapter.metric_name,
                              label=self._label or "model", noises=noises,
-                             baseline=baseline, results=results,
-                             combined=combined)
+                             baseline=row["trained"], results=row["noises"],
+                             combined=row.get("combined"))
 
     def worst_case(self, noises=None) -> list[tuple[str, float]]:
         """The Fig.-3 cumulative stacking curve for this session."""
@@ -314,13 +260,13 @@ class BenchmarkSession:
         names = [n for n in (noises if noises is not None
                              else (self._noises or adapter.noises))
                  if n not in self._skip]
-        evaluate = self._cached_eval(adapter, model, ds)
-        return worst_case_curve(lambda m, d, cfg: evaluate(cfg), model, ds,
-                                names)
+        return self.engine().worst_case_curve(self._eval_fn(adapter), model,
+                                              ds, names)
 
-    def _cached_eval(self, adapter, model, ds):
-        def evaluate(cfg: NoiseConfig) -> float:
-            return adapter.evaluate(model, ds, cfg, cache=self.cache)
+    def _eval_fn(self, adapter):
+        def evaluate(model, ds, cfg: NoiseConfig) -> float:
+            return adapter.evaluate(model, ds, cfg, cache=self.cache,
+                                    batch_size=self._batch_size)
         return evaluate
 
 

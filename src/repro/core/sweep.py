@@ -1,0 +1,227 @@
+"""The parallel sweep engine: fan noise variants out, share every baseline.
+
+A SysNoise sweep is embarrassingly parallel — every deployment variant is an
+independent evaluation of the same trained model on the same dataset — yet
+the seed implementation ran them strictly serially and re-evaluated the
+clean baseline for every table row.  :class:`SweepEngine` fixes both:
+
+* **Fan-out** — variant evaluations are dispatched over a
+  ``concurrent.futures.ThreadPoolExecutor`` when ``workers`` is set (the
+  heavy work is NumPy, which releases the GIL for its inner loops).  The
+  default ``workers=None`` keeps the exact serial order, so determinism-
+  sensitive callers see no change.  Results are always assembled in variant
+  order regardless of completion order, so parallel and serial sweeps
+  produce identical output.
+
+* **Shared baselines** — every metric is memoised in a
+  :class:`~repro.core.cache.EvalCache` keyed per
+  ``(model, dataset, NoiseConfig)``, so the clean ``TRAIN_CONFIG``
+  evaluation happens once per (model, dataset, seed) and is reused by
+  ``sweep_noise``, every ``noise_row``, and ``worst_case_curve`` instead of
+  being recomputed per row.
+
+The module-level :func:`sweep_noise` / :func:`noise_row` /
+:func:`worst_case_curve` keep their historical signatures and serial
+defaults; pass ``engine=SweepEngine(workers=...)`` (or drive a
+:class:`~repro.core.session.BenchmarkSession` with ``.workers(n)``) to
+parallelise and to share one cache across calls.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .cache import EvalCache, eval_key
+from .noise import NoiseConfig, TRAIN_CONFIG
+from .registry import combined_config, get_noise, worst_case_stack
+
+__all__ = ["NoiseResult", "SweepEngine", "sweep_noise", "noise_row",
+           "worst_case_curve"]
+
+
+@dataclass
+class NoiseResult:
+    """Δmetric statistics for one noise type on one model."""
+
+    noise: str
+    baseline: float
+    values: list[float] = field(default_factory=list)   # metric per variant
+
+    @property
+    def deltas(self) -> list[float]:
+        return [self.baseline - v for v in self.values]
+
+    @property
+    def mean_delta(self) -> float:
+        return float(np.mean(self.deltas)) if self.values else float("nan")
+
+    @property
+    def max_delta(self) -> float:
+        return float(np.max(self.deltas)) if self.values else float("nan")
+
+
+class SweepEngine:
+    """Evaluates deployment-variant configs in parallel with shared caching.
+
+    ``evaluate(model, ds, cfg) -> metric`` is any task evaluator — a bound
+    :meth:`~repro.core.tasks.TaskAdapter.evaluate` or one of the legacy free
+    functions.  The engine never mutates the model: evaluators already work
+    on deployment copies, so concurrent variants are independent.
+    """
+
+    def __init__(self, workers: int | None = None,
+                 eval_cache: EvalCache | None = None):
+        self.workers = workers
+        self.eval_cache = eval_cache if eval_cache is not None else EvalCache()
+
+    # -- scheduling ---------------------------------------------------------
+
+    @property
+    def effective_workers(self) -> int:
+        """``workers`` capped at the machine's core count.
+
+        A pool wider than the hardware only adds contention (and on a
+        single-core host any pool is pure overhead), so the requested width
+        is a ceiling, not a promise.
+        """
+        if not self.workers:
+            return 1
+        return max(1, min(self.workers, os.cpu_count() or 1))
+
+    def map(self, fn, items: list) -> list:
+        """``[fn(x) for x in items]``, fanned out when workers are enabled.
+
+        Output order always matches ``items`` order.
+        """
+        workers = self.effective_workers
+        if workers <= 1 or len(items) <= 1:
+            return [fn(item) for item in items]
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(fn, items))
+
+    def evaluate(self, evaluate, model, ds, cfg: NoiseConfig) -> float:
+        """One (model, dataset, config) metric through the eval cache."""
+        return self.eval_cache.evaluate(
+            eval_key(model, ds, cfg), lambda: evaluate(model, ds, cfg))
+
+    def baseline(self, evaluate, model, ds) -> float:
+        """The memoised clean-config metric for this (model, dataset)."""
+        return self.evaluate(evaluate, model, ds, TRAIN_CONFIG)
+
+    def _map_configs(self, evaluate, model, ds,
+                     cfgs: list[NoiseConfig]) -> list[float]:
+        return self.map(lambda cfg: self.evaluate(evaluate, model, ds, cfg),
+                        cfgs)
+
+    # -- sweep primitives ---------------------------------------------------
+
+    def sweep_noise(self, evaluate, model, ds, noise: str,
+                    baseline: float | None = None) -> NoiseResult:
+        """Evaluate every deployment variant of one registered noise type."""
+        src = get_noise(noise)
+        if baseline is None:
+            baseline = self.baseline(evaluate, model, ds)
+        cfgs = [src.apply(TRAIN_CONFIG, v) for v in src.variants()]
+        return NoiseResult(noise, baseline,
+                           self._map_configs(evaluate, model, ds, cfgs))
+
+    def noise_row(self, evaluate, model, ds, noises,
+                  skip: set[str] = frozenset(),
+                  include_combined: bool = True) -> dict:
+        """One table row: baseline metric + per-noise Δ stats (+ combined).
+
+        All applicable (noise, variant) evaluations — and the combined
+        config — are fanned out in one batch, then reassembled per noise.
+        ``skip`` marks noise types inapplicable to this architecture,
+        reported as None like the paper's "-".
+        """
+        baseline = self.baseline(evaluate, model, ds)
+        applicable = [n for n in noises if n not in skip]
+        jobs: list[NoiseConfig] = []
+        spans: dict[str, tuple[int, int]] = {}
+        for name in applicable:
+            src = get_noise(name)
+            cfgs = [src.apply(TRAIN_CONFIG, v) for v in src.variants()]
+            spans[name] = (len(jobs), len(jobs) + len(cfgs))
+            jobs.extend(cfgs)
+        if include_combined:
+            jobs.append(combined_config(applicable))
+        values = self._map_configs(evaluate, model, ds, jobs)
+
+        row: dict = {"trained": baseline, "noises": {}}
+        for name in noises:
+            if name in skip:
+                row["noises"][name] = None
+                continue
+            lo, hi = spans[name]
+            row["noises"][name] = NoiseResult(name, baseline, values[lo:hi])
+        if include_combined:
+            row["combined"] = baseline - values[-1]
+        return row
+
+    def worst_case_curve(self, evaluate, model, ds,
+                         noises) -> list[tuple[str, float]]:
+        """Fig. 3: cumulative Δ as noises are stacked one at a time.
+
+        The stacked configs are precomputed, so the evaluations themselves
+        are independent and fan out like any other batch.
+        """
+        wanted = set(noises)
+        baseline = self.baseline(evaluate, model, ds)
+        cfg = TRAIN_CONFIG
+        names: list[str] = []
+        cfgs: list[NoiseConfig] = []
+        for src in worst_case_stack():
+            if src.name not in wanted:
+                continue
+            cfg = src.apply(cfg, src.worst_variant)
+            names.append(src.name)
+            cfgs.append(cfg)
+        values = self._map_configs(evaluate, model, ds, cfgs)
+        return [(name, baseline - value)
+                for name, value in zip(names, values)]
+
+
+# ---------------------------------------------------------------------------
+# Module-level engines (historical signatures; serial, per-call cache)
+# ---------------------------------------------------------------------------
+
+def _default_engine(engine: SweepEngine | None) -> SweepEngine:
+    return engine if engine is not None else SweepEngine()
+
+
+def sweep_noise(evaluate, model, ds, noise: str,
+                baseline: float | None = None, *,
+                engine: SweepEngine | None = None) -> NoiseResult:
+    """Evaluate every deployment variant of one registered noise type.
+
+    ``evaluate(model, ds, cfg) -> metric`` is any task evaluator — a bound
+    :meth:`TaskAdapter.evaluate` or one of the legacy free functions.
+    """
+    return _default_engine(engine).sweep_noise(evaluate, model, ds, noise,
+                                               baseline)
+
+
+def noise_row(evaluate, model, ds, noises,
+              skip: set[str] = frozenset(),
+              include_combined: bool = True, *,
+              engine: SweepEngine | None = None) -> dict:
+    """One table row: baseline metric + per-noise Δ stats (+ combined).
+
+    ``skip`` marks noise types inapplicable to this architecture (e.g.
+    ceil mode on pool-free models), reported as None like the paper's "-".
+    """
+    return _default_engine(engine).noise_row(evaluate, model, ds, noises,
+                                             skip, include_combined)
+
+
+def worst_case_curve(evaluate, model, ds, noises, *,
+                     engine: SweepEngine | None = None
+                     ) -> list[tuple[str, float]]:
+    """Fig. 3: cumulative Δ as noises are stacked one at a time."""
+    return _default_engine(engine).worst_case_curve(evaluate, model, ds,
+                                                    noises)

@@ -27,9 +27,9 @@ import numpy as np
 
 from repro.nn import Tensor, evaluate_classifier
 
-from .cache import DecodeCache
+from .cache import DecodeCache, dataset_token
 from .noise import NoiseConfig, TRAIN_CONFIG
-from .pipeline import apply_model_noise, preprocess_dataset
+from .pipeline import deployment_model, preprocess_dataset
 from .registry import noises_for_task
 
 __all__ = ["TaskAdapter", "register_task", "unregister_task", "get_task",
@@ -88,16 +88,28 @@ class TaskAdapter:
     def train(self, model, ds, **kw):
         raise NotImplementedError
 
+    #: Default evaluation minibatch size (None = whole dataset at once).
+    default_batch_size: int | None = None
+
     def evaluate(self, model, ds, cfg: NoiseConfig = TRAIN_CONFIG, *,
-                 cache: DecodeCache | None = None) -> float:
+                 cache: DecodeCache | None = None,
+                 batch_size: int | None = None) -> float:
         raise NotImplementedError
+
+    def _batch(self, batch_size: int | None) -> int | None:
+        """Resolve the evaluation minibatch size for this adapter."""
+        return batch_size if batch_size is not None else self.default_batch_size
 
 
 def _calibrator(streams, input_size, cache=None, n_calib=32):
-    """INT8 calibration callable: run train-config inputs through the model."""
+    """INT8 calibration callable: run train-config inputs through the model.
+
+    Slices the full-dataset clean-config batch (already memoised by the
+    baseline evaluation) instead of decoding a separate stream subset.
+    """
     def calibrate(model):
-        x = preprocess_dataset(streams[:n_calib], input_size, TRAIN_CONFIG,
-                               cache)
+        x = preprocess_dataset(streams, input_size, TRAIN_CONFIG,
+                               cache)[:n_calib]
         try:
             model(Tensor(x))
         except TypeError:      # LMs and detectors take raw arrays
@@ -140,12 +152,19 @@ class ClassificationAdapter(TaskAdapter):
         nn.train_classifier(model, x, ds.labels, cfg)
         return model
 
+    default_batch_size = 64
+
     def evaluate(self, model, ds, cfg: NoiseConfig = TRAIN_CONFIG, *,
-                 cache: DecodeCache | None = None) -> float:
+                 cache: DecodeCache | None = None,
+                 batch_size: int | None = None) -> float:
         x = preprocess_dataset(ds.streams, ds.input_size, cfg, cache)
-        noised = apply_model_noise(
-            model, cfg, calibrate=_calibrator(ds.streams, ds.input_size, cache))
-        return evaluate_classifier(noised, x, ds.labels)
+        # Calibration runs clean-config dataset inputs: its identity is the
+        # dataset plus the input geometry.
+        noised = deployment_model(
+            model, cfg, calibrate=_calibrator(ds.streams, ds.input_size, cache),
+            cache=cache, calib_key=(dataset_token(ds), ds.input_size))
+        return evaluate_classifier(noised, x, ds.labels,
+                                   batch_size=self._batch(batch_size))
 
 
 @register_task
@@ -182,8 +201,11 @@ class DetectionAdapter(TaskAdapter):
         train_detector(model, x, ds.gt_boxes, cfg)
         return model
 
+    default_batch_size = 16
+
     def evaluate(self, model, ds, cfg: NoiseConfig = TRAIN_CONFIG, *,
                  cache: DecodeCache | None = None,
+                 batch_size: int | None = None,
                  score_threshold: float | None = None) -> float:
         from ..detection.map_eval import mean_average_precision
         threshold = (self.score_threshold if score_threshold is None
@@ -193,8 +215,17 @@ class DetectionAdapter(TaskAdapter):
         def calibrate(m):
             m.predict(x[:16], score_threshold=threshold)
 
-        noised = apply_model_noise(model, cfg, calibrate=calibrate)
-        dets = noised.predict(x, score_threshold=threshold)
+        # Calibration uses the *current* config's preprocessed batch, so the
+        # whole config (and threshold) is part of the calibration identity.
+        noised = deployment_model(model, cfg, calibrate=calibrate,
+                                  cache=cache,
+                                  calib_key=(dataset_token(ds), cfg,
+                                             threshold))
+        step = self._batch(batch_size) or len(x)
+        dets = []
+        for s in range(0, len(x), step):
+            dets.extend(noised.predict(x[s:s + step],
+                                       score_threshold=threshold))
         return mean_average_precision(dets, ds.gt_boxes, ds.num_classes)
 
 
@@ -227,8 +258,11 @@ class SegmentationAdapter(TaskAdapter):
         train_segmenter(model, x, ds.labels, cfg)
         return model
 
+    default_batch_size = 8
+
     def evaluate(self, model, ds, cfg: NoiseConfig = TRAIN_CONFIG, *,
-                 cache: DecodeCache | None = None) -> float:
+                 cache: DecodeCache | None = None,
+                 batch_size: int | None = None) -> float:
         from repro.nn import no_grad
         from ..segmentation.miou import mean_iou
         x = preprocess_dataset(ds.streams, ds.input_size, cfg, cache)
@@ -236,12 +270,16 @@ class SegmentationAdapter(TaskAdapter):
         def calibrate(m):
             m(Tensor(x[:8]))
 
-        noised = apply_model_noise(model, cfg, calibrate=calibrate)
+        # Calibration uses the current config's preprocessed batch.
+        noised = deployment_model(model, cfg, calibrate=calibrate,
+                                  cache=cache,
+                                  calib_key=(dataset_token(ds), cfg))
         noised.eval()
+        step = self._batch(batch_size) or len(x)
         preds = []
         with no_grad():
-            for s in range(0, len(x), 8):
-                preds.append(noised(Tensor(x[s:s + 8])).data.argmax(axis=1))
+            for s in range(0, len(x), step):
+                preds.append(noised(Tensor(x[s:s + step])).data.argmax(axis=1))
         return mean_iou(np.concatenate(preds), ds.labels, ds.num_classes)
 
 
@@ -289,7 +327,8 @@ class NLPAdapter(TaskAdapter):
         return model
 
     def evaluate(self, model, ds, cfg: NoiseConfig = TRAIN_CONFIG, *,
-                 cache: DecodeCache | None = None) -> float:
+                 cache: DecodeCache | None = None,
+                 batch_size: int | None = None) -> float:
         from ..nlp import evaluate_task, evaluate_task_under_precision
         task = ds.task if isinstance(ds, NLPDataset) else ds
         calib = ds.calib_corpus if isinstance(ds, NLPDataset) else None
@@ -326,7 +365,8 @@ class AudioAdapter(TaskAdapter):
         return model
 
     def evaluate(self, model, ds, cfg: NoiseConfig = TRAIN_CONFIG, *,
-                 cache: DecodeCache | None = None) -> float:
+                 cache: DecodeCache | None = None,
+                 batch_size: int | None = None) -> float:
         from ..audio import tts_mse
         return tts_mse(model, ds, precision=cfg.precision,
                        stft_variant=cfg.get_extra("stft", "reference"))

@@ -38,11 +38,42 @@ import numpy as np
 from .dct import IDCT_VARIANTS, dct2
 
 __all__ = [
-    "encode", "decode", "decode_with", "DECODER_LIBRARIES", "JpegBitstream",
-    "quality_tables", "zigzag_order", "BASE_LUMA_QTABLE", "BASE_CHROMA_QTABLE",
+    "encode", "decode", "decode_batch", "decode_with", "DECODER_LIBRARIES",
+    "JpegBitstream", "quality_tables", "zigzag_order", "BASE_LUMA_QTABLE",
+    "BASE_CHROMA_QTABLE", "ENTROPY_CODERS", "default_entropy",
+    "set_default_entropy",
 ]
 
 MAGIC = b"RJPG"
+
+#: Entropy-coder implementations: the batched NumPy fast path (default) and
+#: the scalar per-coefficient T.81 walk kept for bit-exactness testing.
+ENTROPY_CODERS = ("vector", "scalar")
+
+_DEFAULT_ENTROPY = "vector"
+
+
+def default_entropy() -> str:
+    """The entropy coder used when ``encode``/``decode`` get ``entropy=None``."""
+    return _DEFAULT_ENTROPY
+
+
+def set_default_entropy(name: str) -> str:
+    """Switch the process-wide default coder; returns the previous setting."""
+    global _DEFAULT_ENTROPY
+    if name not in ENTROPY_CODERS:
+        raise ValueError(f"unknown entropy coder {name!r}; "
+                         f"choose from {ENTROPY_CODERS}")
+    previous, _DEFAULT_ENTROPY = _DEFAULT_ENTROPY, name
+    return previous
+
+
+def _resolve_entropy(entropy: str | None) -> str:
+    entropy = _DEFAULT_ENTROPY if entropy is None else entropy
+    if entropy not in ENTROPY_CODERS:
+        raise ValueError(f"unknown entropy coder {entropy!r}; "
+                         f"choose from {ENTROPY_CODERS}")
+    return entropy
 
 # Annex K example quantisation tables (ITU-T T.81 Tables K.1/K.2).
 BASE_LUMA_QTABLE = np.array([
@@ -98,19 +129,22 @@ def _rgb_to_ycbcr(rgb: np.ndarray) -> np.ndarray:
     m = np.array([[0.299, 0.587, 0.114],
                   [-0.168736, -0.331264, 0.5],
                   [0.5, -0.418688, -0.081312]])
-    ycc = rgb @ m.T
+    # One (H*W, 3) GEMM instead of H row-batched tiny matmuls (bit-identical).
+    ycc = (rgb.reshape(-1, 3) @ m.T).reshape(rgb.shape)
     ycc[..., 1:] += 128.0
     return ycc
 
 
-def _ycbcr_to_rgb(ycc: np.ndarray) -> np.ndarray:
+def _ycbcr_to_rgb(ycc: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
     y = ycc[..., 0]
     cb = ycc[..., 1] - 128.0
     cr = ycc[..., 2] - 128.0
-    r = y + 1.402 * cr
-    g = y - 0.344136 * cb - 0.714136 * cr
-    b = y + 1.772 * cb
-    return np.stack([r, g, b], axis=-1)
+    if out is None:
+        out = np.empty_like(ycc)
+    out[..., 0] = y + 1.402 * cr
+    out[..., 1] = y - 0.344136 * cb - 0.714136 * cr
+    out[..., 2] = y + 1.772 * cb
+    return out
 
 
 # ---------------------------------------------------------------------------
@@ -328,21 +362,40 @@ def _subsample_420(plane: np.ndarray) -> np.ndarray:
     return 0.25 * (p[0::2, 0::2] + p[0::2, 1::2] + p[1::2, 0::2] + p[1::2, 1::2])
 
 
-def _upsample_2x(plane: np.ndarray, out_shape: tuple[int, int]) -> np.ndarray:
-    """Chroma upsampling by sample replication (the 'simple' decoder path)."""
-    up = np.repeat(np.repeat(plane, 2, axis=0), 2, axis=1)
-    return up[:out_shape[0], :out_shape[1]]
+def _upsample_2x(plane: np.ndarray, out_shape: tuple[int, int],
+                 out: np.ndarray | None = None) -> np.ndarray:
+    """Chroma upsampling by sample replication (the 'simple' decoder path).
+
+    Writes ``out[..., i, j] = plane[..., i // 2, j // 2]`` directly into
+    ``out`` (which may be a strided view, e.g. one channel of a packed YCbCr
+    buffer), so the hot decode path allocates no intermediate double-size
+    planes.  ``out_shape`` addresses the last two axes; leading batch axes
+    pass through.
+    """
+    h, w = out_shape
+    if out is None:
+        out = np.empty(plane.shape[:-2] + out_shape, dtype=plane.dtype)
+    hh, hw = (h + 1) // 2, (w + 1) // 2
+    out[..., 0::2, 0::2] = plane[..., :hh, :hw]
+    out[..., 0::2, 1::2] = plane[..., :hh, :w // 2]
+    out[..., 1::2, 0::2] = plane[..., :h // 2, :hw]
+    out[..., 1::2, 1::2] = plane[..., :h // 2, :w // 2]
+    return out
 
 
-def _upsample_2x_fancy(plane: np.ndarray, out_shape: tuple[int, int]) -> np.ndarray:
+def _upsample_2x_fancy(plane: np.ndarray, out_shape: tuple[int, int],
+                       out: np.ndarray | None = None) -> np.ndarray:
     """libjpeg-style 'fancy' (triangular) chroma upsampling.
 
     Each output sample is a 3:1 weighted average of the two nearest chroma
     samples — the half-pixel-centred bilinear filter.  Decoders split between
     replication and fancy upsampling, and that split is the *largest*
     component of real-world decoder SysNoise (visible at colour edges).
+
+    ``out_shape`` addresses the last two axes; leading batch axes broadcast
+    through the separable matrix products.
     """
-    h, w = plane.shape
+    h, w = plane.shape[-2:]
 
     def axis_matrix(n_in: int, n_out: int) -> np.ndarray:
         src = (np.arange(n_out) + 0.5) / 2.0 - 0.5
@@ -356,7 +409,10 @@ def _upsample_2x_fancy(plane: np.ndarray, out_shape: tuple[int, int]) -> np.ndar
 
     my = axis_matrix(h, out_shape[0])
     mx = axis_matrix(w, out_shape[1])
-    return my @ plane @ mx.T
+    if out is None:
+        return my @ plane @ mx.T
+    out[...] = my @ plane @ mx.T
+    return out
 
 
 # ---------------------------------------------------------------------------
@@ -387,8 +443,15 @@ class JpegBitstream:
         return JpegBitstream(h, w, q, bool(sub), data[18:], (a, b, c, d))
 
 
-def encode(rgb: np.ndarray, quality: int = 90, subsample: bool = True) -> JpegBitstream:
-    """Encode an (H, W, 3) uint8 RGB image into a baseline-JPEG bitstream."""
+def encode(rgb: np.ndarray, quality: int = 90, subsample: bool = True,
+           entropy: str | None = None) -> JpegBitstream:
+    """Encode an (H, W, 3) uint8 RGB image into a baseline-JPEG bitstream.
+
+    ``entropy`` picks the coder implementation — ``"vector"`` (batched NumPy,
+    the default) or ``"scalar"`` (per-coefficient reference walk).  Both
+    produce the identical bitstream.
+    """
+    entropy = _resolve_entropy(entropy)
     rgb = np.asarray(rgb)
     if rgb.dtype != np.uint8:
         raise TypeError("encode expects uint8 RGB")
@@ -402,60 +465,122 @@ def encode(rgb: np.ndarray, quality: int = 90, subsample: bool = True) -> JpegBi
     else:
         planes += [ycc[..., 1], ycc[..., 2]]
 
-    writer = _BitWriter()
     grids = []
+    quantised_planes = []
     for i, plane in enumerate(planes):
         blocks, grid = _to_blocks(plane - 128.0)
         grids.append(grid)
         coeffs = dct2(blocks)
         qtable = luma_q if i == 0 else chroma_q
         quantised = np.round(coeffs / qtable).astype(np.int32)
-        _encode_component(writer, quantised, table=0 if i == 0 else 1)
+        quantised_planes.append((quantised, 0 if i == 0 else 1))
+
+    if entropy == "vector":
+        from .entropy import encode_planes
+        payload = encode_planes(quantised_planes, _ZIGZAG)
+    else:
+        writer = _BitWriter()
+        for quantised, table in quantised_planes:
+            _encode_component(writer, quantised, table)
+        payload = writer.tobytes()
 
     (lhb, lwb), (chb, cwb) = grids[0], grids[1]
-    return JpegBitstream(h, w, quality, subsample, writer.tobytes(),
+    return JpegBitstream(h, w, quality, subsample, payload,
                          (lhb, lwb, chb, cwb))
 
 
 def decode(stream: JpegBitstream, idct: str = "reference",
-           chroma_upsample: str = "replicate") -> np.ndarray:
+           chroma_upsample: str = "replicate",
+           entropy: str | None = None) -> np.ndarray:
     """Decode a bitstream to (H, W, 3) uint8 RGB.
 
     ``idct`` selects the inverse-DCT implementation; ``chroma_upsample``
     selects ``"replicate"`` or ``"fancy"`` 4:2:0 chroma reconstruction.
     Together these span the decode-level disagreement between real libraries.
+    ``entropy`` picks the Huffman decoder implementation (``"vector"`` fast
+    path by default, ``"scalar"`` reference walk); both are bit-exact.
+
+    One code path serves single images and batches: this is
+    ``decode_batch([stream])[0]``, so the two can never drift apart.
     """
+    return decode_batch([stream], idct, chroma_upsample, entropy)[0]
+
+
+def decode_batch(streams: list, idct: str = "reference",
+                 chroma_upsample: str = "replicate",
+                 entropy: str | None = None) -> np.ndarray:
+    """Decode a list of bitstreams into one (N, H, W, 3) uint8 batch.
+
+    The per-image output is bit-identical to :func:`decode`; the win is
+    amortisation — entropy decoding stays per-stream (Huffman streams are
+    sequential), but the iDCT, un-blocking, chroma upsampling and colour
+    conversion run once over the whole batch.  Streams of mixed geometry
+    (shape/quality/subsampling) fall back to per-image decoding.
+    """
+    if len(streams) == 0:
+        raise ValueError("decode_batch needs at least one stream")
+    first = streams[0]
+    if any(s.height != first.height or s.width != first.width
+           or s.quality != first.quality or s.subsample != first.subsample
+           or s.n_blocks != first.n_blocks for s in streams[1:]):
+        return np.stack([decode(s, idct, chroma_upsample, entropy)
+                         for s in streams])
+    entropy = _resolve_entropy(entropy)
     idct_fn = IDCT_VARIANTS[idct]
     if chroma_upsample not in ("replicate", "fancy"):
         raise ValueError(f"unknown chroma upsampling {chroma_upsample!r}")
     upsample = _upsample_2x if chroma_upsample == "replicate" else _upsample_2x_fancy
-    luma_q, chroma_q = quality_tables(stream.quality)
-    lhb, lwb, chb, cwb = stream.n_blocks
-    h, w = stream.height, stream.width
-    if stream.subsample:
+    luma_q, chroma_q = quality_tables(first.quality)
+    lhb, lwb, chb, cwb = first.n_blocks
+    h, w = first.height, first.width
+    if first.subsample:
         ch, cw = (h + 1) // 2, (w + 1) // 2
     else:
         ch, cw = h, w
+    specs = [((lhb, lwb), (h, w)), ((chb, cwb), (ch, cw)),
+             ((chb, cwb), (ch, cw))]
 
-    reader = _BitReader(stream.payload)
-    planes = []
-    for i, (grid, shape) in enumerate([((lhb, lwb), (h, w)),
-                                       ((chb, cwb), (ch, cw)),
-                                       ((chb, cwb), (ch, cw))]):
-        n = grid[0] * grid[1]
-        quantised = _decode_component(reader, n, table=0 if i == 0 else 1)
-        qtable = luma_q if i == 0 else chroma_q
-        blocks = idct_fn(quantised.astype(np.float64) * qtable) + 128.0
-        planes.append(_from_blocks(blocks, grid, shape))
-
-    y = planes[0]
-    if stream.subsample:
-        cb = upsample(planes[1], (h, w))
-        cr = upsample(planes[2], (h, w))
+    # Entropy-decode every stream (per-stream, inherently sequential)...
+    n = len(streams)
+    quantised: list[list] = [[] for _ in specs]
+    if entropy == "vector":
+        from .entropy import ComponentDecoder
+        for stream in streams:
+            vec = ComponentDecoder(stream.payload)
+            for i, (grid, _) in enumerate(specs):
+                quantised[i].append(vec.decode_component_flat(
+                    grid[0] * grid[1], 0 if i == 0 else 1))
     else:
-        cb, cr = planes[1], planes[2]
-    rgb = _ycbcr_to_rgb(np.stack([y, cb, cr], axis=-1))
-    return np.clip(np.round(rgb), 0, 255).astype(np.uint8)
+        for stream in streams:
+            reader = _BitReader(stream.payload)
+            for i, (grid, _) in enumerate(specs):
+                quantised[i].append(_decode_component(
+                    reader, grid[0] * grid[1], 0 if i == 0 else 1))
+
+    # ...then run the whole batch through each remaining stage at once.
+    ycc = np.empty((n, h, w, 3), dtype=np.float64)
+    for i, (grid, shape) in enumerate(specs):
+        hb, wb = grid
+        if entropy == "vector":
+            # Equal-length flat lists (geometry is uniform here): one
+            # np.array pass over the list-of-lists, no intermediate flatten.
+            coeffs = (np.array(quantised[i], dtype=np.float64)
+                      .reshape(-1, 64)[:, _UNZIGZAG].reshape(-1, 8, 8))
+        else:
+            coeffs = np.concatenate(quantised[i]).astype(np.float64)
+        qtable = luma_q if i == 0 else chroma_q
+        blocks = idct_fn(coeffs * qtable) + 128.0
+        planes = (blocks.reshape(n, hb, wb, 8, 8)
+                  .transpose(0, 1, 3, 2, 4)
+                  .reshape(n, hb * 8, wb * 8)[:, :shape[0], :shape[1]])
+        if i == 0 or not first.subsample:
+            ycc[..., i] = planes
+        else:
+            upsample(planes, (h, w), out=ycc[..., i])
+    rgb = _ycbcr_to_rgb(ycc)
+    np.round(rgb, out=rgb)
+    np.clip(rgb, 0, 255, out=rgb)
+    return rgb.astype(np.uint8)
 
 
 #: The paper's four decode libraries → (iDCT variant, chroma upsampling).

@@ -22,8 +22,8 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["resize", "RESIZE_METHODS", "resize_matrix", "PILLOW_METHODS",
-           "OPENCV_METHODS"]
+__all__ = ["resize", "resize_batch", "RESIZE_METHODS", "resize_matrix",
+           "PILLOW_METHODS", "OPENCV_METHODS"]
 
 
 # ---------------------------------------------------------------------------
@@ -158,6 +158,35 @@ def resize_matrix(in_size: int, out_size: int, method: str) -> np.ndarray:
         m = _filter_matrix(in_size, out_size, kernel, support, antialias)
     _MATRIX_CACHE[key] = m
     return m
+
+
+def resize_batch(images: np.ndarray, out_hw: tuple[int, int],
+                 method: str = "pillow-bilinear") -> np.ndarray:
+    """Resize an (N, H, W[, C]) batch with one pair of cached operators.
+
+    For channel-bearing batches (N, H, W, C) — the shape every pipeline
+    caller uses — this is bit-identical to resizing each image via
+    :func:`resize` (the same separable matrices contract over the same
+    axis with the same GEMM reduction length); the whole batch goes through
+    two large GEMMs instead of 2N small ones.  Channel-less (N, H, W)
+    float batches may differ from the per-image path at ULP level because
+    the GEMM grouping changes.
+    """
+    if method not in _SPECS:
+        raise ValueError(f"unknown resize method {method!r}; "
+                         f"choose from {RESIZE_METHODS}")
+    h, w = images.shape[1:3]
+    mh = resize_matrix(h, out_hw[0], method)
+    mw = resize_matrix(w, out_hw[1], method)
+    was_uint8 = images.dtype == np.uint8
+    x = images.astype(np.float64)
+    out = np.tensordot(mh, x, axes=(1, 1))               # (OH, N, W, C?)
+    out = np.tensordot(mw, out, axes=(1, 2))             # (OW, OH, N, C?)
+    out = np.moveaxis(out, 2, 0)                         # (N, OW, OH, C?)
+    out = np.swapaxes(out, 1, 2)                         # (N, OH, OW, C?)
+    if was_uint8:
+        return np.clip(np.round(out), 0, 255).astype(np.uint8)
+    return out
 
 
 def resize(image: np.ndarray, out_hw: tuple[int, int],

@@ -25,7 +25,7 @@ __all__ = [
     "conv2d", "max_pool2d", "avg_pool2d", "global_avg_pool2d",
     "pool_output_size", "upsample2d", "linear", "batch_norm", "layer_norm",
     "softmax", "log_softmax", "cross_entropy", "embedding", "dropout",
-    "im2col", "col2im",
+    "im2col", "col2im", "pad2d_const",
 ]
 
 
@@ -53,15 +53,46 @@ def pool_output_size(size: int, k: int, stride: int, pad: int, ceil_mode: bool) 
     return (size + 2 * pad - k) // stride + 1
 
 
+def pad2d_const(x: np.ndarray, top: int, bottom: int, left: int, right: int,
+                value: float = 0.0) -> np.ndarray:
+    """Constant-pad the last two axes of an NCHW map.
+
+    Bit-identical to ``np.pad(..., constant_values=value)`` but without its
+    Python-level slicing machinery — this sits on the conv/pool hot path.
+    Returns ``x`` itself when no padding is requested; callers treat the
+    result as read-only.
+    """
+    if not (top or bottom or left or right):
+        return x
+    n, c, h, w = x.shape
+    xp = np.full((n, c, h + top + bottom, w + left + right), value,
+                 dtype=x.dtype)
+    xp[:, :, top:top + h, left:left + w] = x
+    return xp
+
+
+_PATCH_INDEX_CACHE: dict[tuple, tuple[np.ndarray, np.ndarray]] = {}
+
+
 def _patch_indices(h: int, w: int, kh: int, kw: int, stride: int, dilation: int,
                    oh: int, ow: int) -> tuple[np.ndarray, np.ndarray]:
-    """Return (rows, cols) index grids of shape (kh*kw, oh*ow) into a padded map."""
+    """Return (rows, cols) index grids of shape (kh*kw, oh*ow) into a padded map.
+
+    Cached per geometry — every conv layer rebuilds the same grids on every
+    forward otherwise.  Callers treat the grids as read-only.
+    """
+    key = (h, w, kh, kw, stride, dilation, oh, ow)
+    hit = _PATCH_INDEX_CACHE.get(key)
+    if hit is not None:
+        return hit
     r0 = np.repeat(np.arange(kh) * dilation, kw)
     c0 = np.tile(np.arange(kw) * dilation, kh)
     r1 = stride * np.repeat(np.arange(oh), ow)
     c1 = stride * np.tile(np.arange(ow), oh)
     rows = r0[:, None] + r1[None, :]
     cols = c0[:, None] + c1[None, :]
+    if len(_PATCH_INDEX_CACHE) < 512:
+        _PATCH_INDEX_CACHE[key] = (rows, cols)
     return rows, cols
 
 
@@ -80,8 +111,7 @@ def im2col(x: np.ndarray, kh: int, kw: int, stride: int, pad: int,
     need_w = (ow - 1) * stride + dilation * (kw - 1) + 1
     pad_b = max(0, need_h - (h + pad))
     pad_r = max(0, need_w - (w + pad))
-    xp = np.pad(x, ((0, 0), (0, 0), (pad, pad_b), (pad, pad_r)),
-                constant_values=pad_value)
+    xp = pad2d_const(x, pad, pad_b, pad, pad_r, pad_value)
     rows, cols = _patch_indices(h, w, kh, kw, stride, dilation, oh, ow)
     patches = xp[:, :, rows, cols]              # (N, C, kh*kw, OH*OW)
     cols_out = patches.reshape(n, c * kh * kw, oh * ow)

@@ -1,0 +1,127 @@
+"""Bit-exactness + behaviour of the vectorized JPEG entropy codec.
+
+The ISSUE acceptance: ``entropy="vector"`` and ``entropy="scalar"`` must be
+interchangeable — identical bitstreams out of the encoder, identical
+coefficients (hence identical RGB) out of the decoder — across qualities
+{50, 75, 90} and odd image sizes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.image import jpeg
+from repro.image.jpeg import (DECODER_LIBRARIES, decode, decode_batch,
+                              decode_with, default_entropy, encode,
+                              set_default_entropy)
+
+
+def make_image(h, w, seed=0, noise=12.0):
+    rng = np.random.default_rng(seed)
+    yy, xx = np.mgrid[0:h, 0:w]
+    base = 128 + 60 * np.sin(xx / 7.0) * np.cos(yy / 9.0)
+    img = np.stack([base, np.roll(base, 3, axis=0), 255 - base], axis=-1)
+    img += rng.normal(0, noise, size=img.shape)
+    return np.clip(img, 0, 255).astype(np.uint8)
+
+
+QUALITIES = [50, 75, 90]
+SHAPES = [(32, 32), (19, 27), (48, 40), (17, 31), (8, 8), (1, 1)]
+
+
+class TestEncoderBitExact:
+    @pytest.mark.parametrize("quality", QUALITIES)
+    @pytest.mark.parametrize("shape", SHAPES)
+    def test_vector_encoder_matches_scalar(self, quality, shape):
+        img = make_image(*shape, seed=sum(shape) + quality)
+        scalar = encode(img, quality, entropy="scalar")
+        vector = encode(img, quality, entropy="vector")
+        assert scalar.payload == vector.payload
+        assert scalar.n_blocks == vector.n_blocks
+
+    @pytest.mark.parametrize("subsample", [True, False])
+    def test_bit_exact_both_chroma_modes(self, subsample):
+        img = make_image(24, 40, seed=3)
+        a = encode(img, 75, subsample=subsample, entropy="scalar")
+        b = encode(img, 75, subsample=subsample, entropy="vector")
+        assert a.payload == b.payload
+
+    def test_high_entropy_content(self):
+        rng = np.random.default_rng(0)
+        img = rng.integers(0, 256, (33, 29, 3), dtype=np.uint8)
+        for q in QUALITIES:
+            assert (encode(img, q, entropy="scalar").payload
+                    == encode(img, q, entropy="vector").payload)
+
+
+class TestDecoderBitExact:
+    @pytest.mark.parametrize("quality", QUALITIES)
+    @pytest.mark.parametrize("shape", SHAPES)
+    def test_vector_decoder_matches_scalar(self, quality, shape):
+        img = make_image(*shape, seed=sum(shape))
+        stream = encode(img, quality)
+        np.testing.assert_array_equal(decode(stream, entropy="scalar"),
+                                      decode(stream, entropy="vector"))
+
+    def test_all_personas_bit_exact(self):
+        stream = encode(make_image(32, 32, seed=9), 90)
+        for lib in DECODER_LIBRARIES:
+            idct, chroma = DECODER_LIBRARIES[lib]
+            np.testing.assert_array_equal(
+                decode(stream, idct, chroma, entropy="scalar"),
+                decode(stream, idct, chroma, entropy="vector"))
+
+    def test_corrupt_stream_raises(self):
+        stream = encode(make_image(16, 16), 90)
+        bad = jpeg.JpegBitstream(stream.height, stream.width, stream.quality,
+                                 stream.subsample, b"\x55" * 4,
+                                 stream.n_blocks)
+        # Truncated/garbage payloads fail loudly on both decode paths
+        # (invalid Huffman prefix or exhausted bit budget).
+        with pytest.raises((ValueError, IndexError)):
+            decode(bad, entropy="vector")
+        with pytest.raises((ValueError, IndexError)):
+            decode(bad, entropy="scalar")
+
+
+class TestBatchDecode:
+    def test_batch_matches_per_image(self):
+        streams = [encode(make_image(24, 24, seed=s), 90) for s in range(6)]
+        for lib, (idct, chroma) in DECODER_LIBRARIES.items():
+            per = np.stack([decode_with(s, lib) for s in streams])
+            for entropy in ("vector", "scalar"):
+                np.testing.assert_array_equal(
+                    per, decode_batch(streams, idct, chroma, entropy))
+
+    def test_mixed_geometry_falls_back_per_image(self):
+        streams = [encode(make_image(16, 16), 90),
+                   encode(make_image(16, 16, seed=2), 75)]   # mixed quality
+        per = np.stack([decode(s) for s in streams])
+        np.testing.assert_array_equal(per, decode_batch(streams))
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError):
+            decode_batch([])
+
+
+class TestDefaultSwitch:
+    def test_default_is_vector(self):
+        assert default_entropy() == "vector"
+
+    def test_set_default_roundtrip(self):
+        prev = set_default_entropy("scalar")
+        try:
+            assert default_entropy() == "scalar"
+            img = make_image(16, 16)
+            out = decode(encode(img, 90))          # runs the scalar coder
+            assert out.shape == img.shape
+        finally:
+            set_default_entropy(prev)
+        assert default_entropy() == "vector"
+
+    def test_unknown_coder_rejected(self):
+        with pytest.raises(ValueError):
+            set_default_entropy("simd")
+        with pytest.raises(ValueError):
+            encode(make_image(8, 8), 90, entropy="simd")
+        with pytest.raises(ValueError):
+            decode(encode(make_image(8, 8), 90), entropy="simd")
