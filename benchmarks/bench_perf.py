@@ -26,6 +26,12 @@ sweep
     subset per eval, no eval/preproc memoisation).  Both paths produce
     identical metrics; only the wall time differs.
 
+inference
+    Per-model backend-graph throughput (images/sec) of the interpreted
+    ``Executor.run`` vs the compiled ``ExecutionPlan`` at batch 1/8/32,
+    one model per zoo family.  Outputs must be bit-identical; the smoke
+    gate also fails if the compiled plan is slower than the interpreter.
+
 Results are appended to ``BENCH_core.json`` at the repo root so the perf
 trajectory is tracked PR over PR.  ``--smoke`` shrinks the workload and
 exits non-zero if the vectorized coder fails to beat the scalar one —
@@ -129,6 +135,55 @@ def bench_dataset_decode(n_images: int, repeats: int) -> dict:
 
 
 # ---------------------------------------------------------------------------
+# Inference: interpreted executor vs compiled execution plan
+# ---------------------------------------------------------------------------
+
+INFERENCE_MODELS = ["resnet18x0.25", "mcunet-293kb", "mobilenetv2-0.5",
+                    "efficientnet-b0", "vit-tiny"]
+
+
+def bench_inference(models: list[str], batches: tuple[int, ...],
+                    repeats: int) -> dict:
+    """Images/sec of ``Executor.run`` vs ``ExecutionPlan.run`` per model.
+
+    Uses the reference (float64) backend so the comparison isolates the
+    execution machinery; outputs are checked bit-identical at every batch
+    size.
+    """
+    from repro.backend import ReferenceExecutor, export_module
+    from repro.models import family_of
+
+    rng = np.random.default_rng(0)
+    out: dict = {"batches": list(batches), "models": {}}
+    for name in models:
+        model = create_model(name, num_classes=10, seed=0)
+        graph = export_module(model, name)
+        ex = ReferenceExecutor()
+        plan = ex.compile(graph)
+        per_model: dict = {"family": family_of(name)}
+        identical = True
+        for b in batches:
+            x = rng.normal(size=(b, 3, 32, 32))
+            identical = identical and np.array_equal(ex.run(graph, x),
+                                                     plan.run(x))
+            ti = _bench(lambda: ex.run(graph, x), repeats)
+            tp = _bench(lambda: plan.run(x), repeats)
+            per_model[str(b)] = {
+                "interpreted_ips": round(b / ti, 1),
+                "compiled_ips": round(b / tp, 1),
+                "speedup": round(ti / tp, 2),
+            }
+        per_model["outputs_identical"] = identical
+        per_model["best_speedup"] = max(per_model[str(b)]["speedup"]
+                                        for b in batches)
+        out["models"][name] = per_model
+    out["families_2x"] = sorted({m["family"]
+                                 for m in out["models"].values()
+                                 if m["best_speedup"] >= 2.0})
+    return out
+
+
+# ---------------------------------------------------------------------------
 # Sweep: new engine stack vs a faithful pre-engine path
 # ---------------------------------------------------------------------------
 
@@ -200,11 +255,14 @@ def bench_sweep(n_images: int, workers: int, repeats: int) -> dict:
         lambda: rows.__setitem__("new", _engine_row(model, ds, workers)),
         repeats)
     identical = rows["seed"] == rows["new"]
+    from repro.core.sweep import available_cores
     return {
         "images": n_images,
         "noises": SWEEP_NOISES,
         "workers_requested": workers,
+        "effective_workers": SweepEngine(workers=workers).effective_workers,
         "cores": os.cpu_count(),
+        "cores_available": available_cores(),
         "seed_path_s": round(t_seed, 3),
         "engine_s": round(t_new, 3),
         "speedup": round(t_seed / t_new, 2),
@@ -222,8 +280,10 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.smoke:
         sizes, repeats, n_decode, n_sweep = [64, 128], 2, 16, 24
+        inf_models, inf_batches = ["resnet18x0.25", "mcunet-293kb"], (1, 8)
     else:
         sizes, repeats, n_decode, n_sweep = [48, 96, 192], 3, 64, 64
+        inf_models, inf_batches = INFERENCE_MODELS, (1, 8, 32)
 
     print("benchmarking entropy codec ...")
     entropy = bench_entropy(sizes, repeats)
@@ -238,6 +298,17 @@ def main(argv: list[str] | None = None) -> int:
     print(f"  {dataset['images']} imgs @48px: {dataset['scalar_ips']:.0f} -> "
           f"{dataset['vector_ips']:.0f} imgs/s ({dataset['speedup']:.1f}x)")
 
+    print("benchmarking inference (interpreted vs compiled plan) ...")
+    inference = bench_inference(inf_models, inf_batches, max(2, repeats))
+    for mname, r in inference["models"].items():
+        cells = "  ".join(
+            f"b{b}: {r[str(b)]['speedup']:.2f}x "
+            f"({r[str(b)]['compiled_ips']:.0f} ips)"
+            for b in inference["batches"])
+        print(f"  {mname:18s} {cells}  identical={r['outputs_identical']}")
+    if inference["families_2x"]:
+        print(f"  families at >=2x: {', '.join(inference['families_2x'])}")
+
     print("benchmarking noise_row sweep ...")
     sweep = bench_sweep(n_sweep, args.workers, max(1, repeats - 1))
     print(f"  {sweep['images']} imgs, {len(SWEEP_NOISES)} noises: "
@@ -250,6 +321,7 @@ def main(argv: list[str] | None = None) -> int:
         "mode": "smoke" if args.smoke else "full",
         "entropy_codec": entropy,
         "dataset_decode": dataset,
+        "inference": inference,
         "sweep": sweep,
     }
     out = Path(args.out)
@@ -267,6 +339,19 @@ def main(argv: list[str] | None = None) -> int:
 
     if not sweep["results_identical"]:
         print("FAIL: engine sweep metrics diverge from the seed path")
+        return 1
+    for mname, r in inference["models"].items():
+        if not r["outputs_identical"]:
+            print(f"FAIL: compiled plan diverges from the interpreter "
+                  f"({mname})")
+            return 1
+        if r["best_speedup"] < 1.0:
+            print(f"FAIL: compiled plan slower than the interpreter "
+                  f"({mname}: {r['best_speedup']:.2f}x)")
+            return 1
+    if not args.smoke and len(inference["families_2x"]) < 2:
+        print(f"FAIL: compiled plan reaches >=2x on "
+              f"{len(inference['families_2x'])} model families (need 2)")
         return 1
     gate = min(r["decode_speedup"] for r in entropy.values())
     if gate < 1.0:

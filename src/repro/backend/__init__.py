@@ -28,8 +28,11 @@ from .executor import (BACKEND_PRESETS, BackendOptions, DeploymentExecutor,
 from .export import (ExportError, export_classifier, export_module,
                      register_handler, supported_module_types)
 from .ir import Graph, GraphBuilder, GraphError, Node, OP_SCHEMA
-from .passes import (DEFAULT_PASSES, dead_code_elimination, eliminate_identity,
-                     fold_constants, fuse_conv_bn, optimize)
+from .passes import (DEFAULT_PASSES, PLAN_PASSES, dead_code_elimination,
+                     eliminate_identity, fold_constants, fold_movement,
+                     fuse_conv_bn, fuse_conv_bn_relu, fuse_conv_relu,
+                     fuse_elementwise, optimize)
+from .plan import ExecutionPlan, compile_cached, compile_plan
 from .profile import GraphProfile, OpProfile, profile_graph, render_profile
 from .quantize import calibrate_ranges, quantize_graph
 from .serialize import GRAPH_FORMAT_VERSION, load_graph, save_graph
@@ -41,8 +44,11 @@ __all__ = [
     "supported_module_types",
     "Executor", "ReferenceExecutor", "DeploymentExecutor", "BackendOptions",
     "BACKEND_PRESETS", "create_backend",
-    "eliminate_identity", "fuse_conv_bn", "dead_code_elimination",
-    "fold_constants", "optimize", "DEFAULT_PASSES",
+    "eliminate_identity", "fuse_conv_bn", "fuse_conv_relu",
+    "fuse_conv_bn_relu", "fuse_elementwise", "fold_movement",
+    "dead_code_elimination", "fold_constants", "optimize", "DEFAULT_PASSES",
+    "PLAN_PASSES",
+    "ExecutionPlan", "compile_plan", "compile_cached",
     "LayerDiff", "backend_diff", "first_divergence", "diff_report",
     "accuracy_under_backend", "predict",
     "save_graph", "load_graph", "GRAPH_FORMAT_VERSION",

@@ -70,45 +70,46 @@ BACKEND_PRESETS: dict[str, BackendOptions] = {
 # ---------------------------------------------------------------------------
 # Prepared-graph cache: load-time rewrites (e.g. conv+BN fusion) run once per
 # (graph, BackendOptions) pair instead of on every Executor.run() call.
-# Keys pair id(graph) with a weakref liveness anchor, so a recycled id can
-# never serve a stale prepared graph, and dead entries are evicted eagerly.
+# Keys are never-recycled identity tokens (the object_token scheme shared
+# with :mod:`repro.core.cache`), so a recycled ``id()`` can never serve a
+# stale prepared graph; dead entries are evicted by a weakref finalizer.
 # ---------------------------------------------------------------------------
 
-_PREPARED: dict[int, dict[BackendOptions, Graph]] = {}
-_ANCHORS: dict[int, "weakref.ref[Graph]"] = {}
+_PREPARED: dict[int, dict] = {}
 _PREPARE_LOCK = threading.Lock()
 
 
-def _drop_prepared(gid: int) -> None:
-    # Runs as a weakref finalizer, potentially mid-GC inside a thread that
-    # already holds _PREPARE_LOCK — so it must stay lock-free.  Single
-    # dict.pop calls are atomic under the GIL, and the read path's
-    # `anchor() is graph` liveness check keeps any interleaving correct.
-    _PREPARED.pop(gid, None)
-    _ANCHORS.pop(gid, None)
+def _graph_token(graph: Graph) -> int:
+    # Deferred import: repro.core pulls in the model/task layers, which the
+    # backend package must not require at import time.
+    from repro.core.cache import object_token
+    return object_token(graph)
 
 
-def prepare_cached(graph: Graph, options: BackendOptions, transform) -> Graph:
-    """``transform(graph)`` memoised per (graph identity, options).
+def prepare_cached(graph: Graph, key, transform):
+    """``transform(graph)`` memoised per (graph identity, ``key``).
 
-    Graphs are treated as immutable once executed — the standard contract
-    everywhere in :mod:`repro.backend` (passes return new graphs).
+    ``key`` is any hashable describing the transform's configuration —
+    a :class:`BackendOptions` for load-time rewrites, a richer tuple for
+    compiled plans (:func:`repro.backend.plan.compile_cached` delegates
+    here).  Graphs are treated as immutable once executed — the standard
+    contract everywhere in :mod:`repro.backend` (passes return new graphs).
     """
-    gid = id(graph)
+    token = _graph_token(graph)
     with _PREPARE_LOCK:
-        anchor = _ANCHORS.get(gid)
-        if anchor is not None and anchor() is graph:
-            hit = _PREPARED[gid].get(options)
+        per_graph = _PREPARED.get(token)
+        if per_graph is not None:
+            hit = per_graph.get(key)
             if hit is not None:
                 return hit
     out = transform(graph)
     with _PREPARE_LOCK:
-        anchor = _ANCHORS.get(gid)
-        if anchor is None or anchor() is not graph:
-            _ANCHORS[gid] = weakref.ref(
-                graph, lambda _, gid=gid: _drop_prepared(gid))
-            _PREPARED[gid] = {}
-        _PREPARED[gid][options] = out
+        per_graph = _PREPARED.get(token)
+        if per_graph is None:
+            per_graph = _PREPARED[token] = {}
+            # dict.pop is atomic under the GIL, so the finalizer needs no lock.
+            weakref.finalize(graph, _PREPARED.pop, token, None)
+        per_graph[key] = out
     return out
 
 
@@ -142,6 +143,20 @@ class Executor:
     def prepare(self, graph: Graph) -> Graph:
         """Hook for load-time graph rewriting (fusion etc.)."""
         return graph
+
+    def compile(self, graph: Graph, optimize: bool = True):
+        """Lower ``graph`` to a compiled :class:`~repro.backend.plan.ExecutionPlan`.
+
+        The plan runs :meth:`prepare` (so backend-option rewrites such as
+        conv+BN fusion still apply), then the bit-exact ``PLAN_PASSES``, and
+        precomputes the whole schedule: bound per-node kernels, cast weights,
+        and a liveness-analysed buffer plan.  ``plan.run`` / ``plan.run_batch``
+        reproduce :meth:`run` bit for bit at a fraction of the dispatch cost.
+        Plans are cached per (graph identity, backend options) — see
+        :func:`repro.backend.plan.compile_cached`.
+        """
+        from .plan import compile_cached
+        return compile_cached(graph, self, optimize=optimize)
 
     def run(self, graph: Graph, x: np.ndarray) -> np.ndarray:
         """Execute the graph on a batch and return the output array."""
@@ -183,9 +198,12 @@ class ReferenceExecutor(Executor):
         a = node.attrs
         if op == "conv2d":
             x, w, *rest = args
-            return ops.conv2d(x, w, rest[0] if rest else None,
-                              stride=a["stride"], padding=a["padding"],
-                              dilation=a["dilation"], groups=a["groups"])
+            out = ops.conv2d(x, w, rest[0] if rest else None,
+                             stride=a["stride"], padding=a["padding"],
+                             dilation=a["dilation"], groups=a["groups"])
+            if a.get("activation") == "relu":    # fuse_conv_relu peephole
+                out = ops.relu(out)
+            return out
         if op == "linear":
             x, w, *rest = args
             return ops.linear(x, w, rest[0] if rest else None)
@@ -254,6 +272,14 @@ class ReferenceExecutor(Executor):
                 value, (ref.shape[0],) + value.shape[1:]).copy()
         if op == "scale":
             return args[0] * a["factor"]
+        if op == "fused_elementwise":
+            out = args[0]
+            # Replay through self.run_node so subclasses apply their own
+            # per-op kernels (fast sigmoid, dtype casts, ...) exactly as on
+            # the unfused graph.
+            for sub in a["chain"]:
+                out = self.run_node(sub, [out])
+            return out
         raise NotImplementedError(f"{self.name} backend: op {op!r}")
 
 
@@ -282,10 +308,13 @@ class DeploymentExecutor(ReferenceExecutor):
         op = node.op
         if op == "conv2d":
             x, w, *rest = args
-            return ops.conv2d(x, w, rest[0] if rest else None,
-                              stride=a["stride"], padding=a["padding"],
-                              dilation=a["dilation"], groups=a["groups"],
-                              dtype=dt, accum_chunk=o.accum_chunk)
+            out = ops.conv2d(x, w, rest[0] if rest else None,
+                             stride=a["stride"], padding=a["padding"],
+                             dilation=a["dilation"], groups=a["groups"],
+                             dtype=dt, accum_chunk=o.accum_chunk)
+            if a.get("activation") == "relu":
+                out = ops.relu(out)
+            return out
         if op == "linear":
             x, w, *rest = args
             return ops.linear(x, w, rest[0] if rest else None,

@@ -59,6 +59,11 @@ OP_SCHEMA: dict[str, tuple[tuple[str, ...], int]] = {
     "mean": (("axis",), 1),
     "expand_like": ((), 2),               # broadcast operand 1 to operand 0's batch
     "scale": (("factor",), 1),            # multiply by a compile-time scalar
+    # Produced by the fusion passes (never by the exporter): a chain of
+    # shape-preserving unary ops executed back to back.  ``chain`` holds the
+    # fused :class:`Node`s in application order; executors run them through
+    # their own per-op kernels, so fused and unfused graphs are bit-equal.
+    "fused_elementwise": (("chain",), 1),
 }
 
 
@@ -194,7 +199,7 @@ def _expected_weight_count(node: Node) -> int | None:
         return 4                        # gamma, beta, mean, var
     if node.op == "layernorm":
         return 2                        # gamma, beta
-    if node.op in ("concat", "expand_like", "matmul"):
+    if node.op in ("concat", "expand_like", "matmul", "fused_elementwise"):
         return 0                        # all-data ops (weights arrive as values)
     return 0
 

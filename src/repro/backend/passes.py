@@ -18,8 +18,10 @@ import numpy as np
 
 from .ir import Graph, Node
 
-__all__ = ["eliminate_identity", "fuse_conv_bn", "dead_code_elimination",
-           "fold_constants", "optimize", "DEFAULT_PASSES"]
+__all__ = ["eliminate_identity", "fuse_conv_bn", "fuse_conv_relu",
+           "fuse_conv_bn_relu", "fuse_elementwise", "fold_movement",
+           "dead_code_elimination", "fold_constants", "optimize",
+           "DEFAULT_PASSES", "PLAN_PASSES"]
 
 
 def _clone(graph: Graph, nodes: list[Node] | None = None,
@@ -94,6 +96,139 @@ def fuse_conv_bn(graph: Graph) -> Graph:
     return out
 
 
+def fuse_conv_relu(graph: Graph) -> Graph:
+    """Attach a trailing relu to its producing conv (``activation`` attr).
+
+    Unlike conv+BN fusion this rewrite is *bit-exact*: the conv output is
+    computed identically and clamped in place, so it is safe for the
+    reference backend and for the compiled execution plans, which use it to
+    skip materialising the pre-activation tensor.
+    """
+    producers = {n.output: n for n in graph.nodes}
+    use_count: dict[str, int] = {graph.output: 1}
+    for n in graph.nodes:
+        for v in n.inputs:
+            use_count[v] = use_count.get(v, 0) + 1
+
+    new_nodes: list[Node] = []
+    for node in graph.nodes:
+        if node.op == "relu":
+            src = producers.get(node.inputs[0])
+            if (src is not None and src.op == "conv2d"
+                    and "activation" not in src.attrs
+                    and use_count.get(src.output, 0) == 1):
+                fused = Node("conv2d", src.inputs, node.output,
+                             {**src.attrs, "activation": "relu"},
+                             name=src.name or node.name)
+                new_nodes = [n for n in new_nodes if n is not src]
+                new_nodes.append(fused)
+                continue
+        new_nodes.append(node)
+    out = _clone(graph, nodes=new_nodes)
+    out.validate()
+    return out
+
+
+def fuse_conv_bn_relu(graph: Graph) -> Graph:
+    """The full deployment-compiler peephole: conv+BN folding, then the
+    (exact) relu attachment on every fused or plain conv."""
+    return fuse_conv_relu(fuse_conv_bn(graph))
+
+
+#: Shape-preserving single-input ops a fused elementwise chain may contain.
+_CHAINABLE = frozenset({"relu", "gelu", "sigmoid", "clip", "scale",
+                        "quantize_linear", "dequantize_linear", "softmax"})
+
+
+def fuse_elementwise(graph: Graph) -> Graph:
+    """Collapse chains of single-use shape-preserving unary ops.
+
+    ``relu → quantize → dequantize``-style runs become one
+    ``fused_elementwise`` node whose ``chain`` attr holds the original nodes
+    in order.  Executors replay the chain through their own per-op kernels
+    (see ``Executor.run_node``), so results are bit-identical to the unfused
+    graph; the compiled plans additionally run the chain without scheduling
+    or materialising the intermediates.
+    """
+    users: dict[str, list[Node]] = {}
+    for n in graph.nodes:
+        for v in n.inputs:
+            users.setdefault(v, []).append(n)
+
+    consumed: set[int] = set()
+    new_nodes: list[Node] = []
+    for node in graph.nodes:
+        if id(node) in consumed:
+            continue
+        if node.op in _CHAINABLE:
+            chain = [node]
+            cur = node
+            while cur.output != graph.output:
+                use = users.get(cur.output, [])
+                if len(use) != 1 or use[0].op not in _CHAINABLE:
+                    break
+                cur = use[0]
+                chain.append(cur)
+            if len(chain) > 1:
+                consumed.update(id(c) for c in chain)
+                new_nodes.append(Node("fused_elementwise",
+                                      (node.inputs[0],), chain[-1].output,
+                                      {"chain": tuple(chain)},
+                                      name=node.name or chain[-1].name))
+                continue
+        new_nodes.append(node)
+    out = _clone(graph, nodes=new_nodes)
+    out.validate()
+    return out
+
+
+def fold_movement(graph: Graph) -> Graph:
+    """Fold consecutive transposes / reshapes and drop identity transposes.
+
+    ``transpose(transpose(x, p1), p2)`` composes into one transpose;
+    ``reshape(reshape(x, s1), s2)`` keeps only the outer reshape when ``s2``
+    carries no 0 (copy-input-dim) entries, since a reshape only depends on
+    C-order element sequence.  Both rewrites are pure re-indexing, hence
+    bit-exact.
+    """
+    use_count: dict[str, int] = {graph.output: 1}
+    for n in graph.nodes:
+        for v in n.inputs:
+            use_count[v] = use_count.get(v, 0) + 1
+
+    alias: dict[str, str] = {}
+    producers: dict[str, Node] = {}
+    new_nodes: list[Node] = []
+    for node in graph.nodes:
+        inputs = tuple(alias.get(v, v) for v in node.inputs)
+        node = Node(node.op, inputs, node.output, node.attrs, node.name)
+        if node.op == "transpose":
+            src = producers.get(node.inputs[0])
+            if (src is not None and src.op == "transpose"
+                    and use_count.get(src.output, 0) == 1):
+                perm = tuple(src.attrs["perm"][p] for p in node.attrs["perm"])
+                new_nodes = [n for n in new_nodes if n is not src]
+                node = Node("transpose", src.inputs, node.output,
+                            {"perm": perm}, node.name or src.name)
+            if tuple(node.attrs["perm"]) == tuple(range(len(node.attrs["perm"]))):
+                alias[node.output] = node.inputs[0]
+                continue
+        elif node.op == "reshape" and not any(
+                s == 0 for s in node.attrs["shape"]):
+            src = producers.get(node.inputs[0])
+            if (src is not None and src.op in ("reshape", "flatten")
+                    and use_count.get(src.output, 0) == 1):
+                new_nodes = [n for n in new_nodes if n is not src]
+                node = Node("reshape", src.inputs, node.output, node.attrs,
+                            node.name or src.name)
+        producers[node.output] = node
+        new_nodes.append(node)
+    out = _clone(graph, nodes=new_nodes)
+    out.output = alias.get(graph.output, graph.output)
+    out.validate()
+    return out
+
+
 def dead_code_elimination(graph: Graph) -> Graph:
     """Drop nodes (and initializers) that do not feed the graph output."""
     live: set[str] = {graph.output}
@@ -137,6 +272,14 @@ def fold_constants(graph: Graph) -> Graph:
 #: The standard load-time pipeline, in order.
 DEFAULT_PASSES = (eliminate_identity, fold_constants, fuse_conv_bn,
                   dead_code_elimination)
+
+#: The bit-exact pipeline the plan compiler runs on an already-prepared
+#: graph.  Everything here is numerically neutral (pure re-indexing or
+#: same-kernels-in-sequence), so a compiled plan always reproduces the
+#: interpreted output exactly — conv+BN folding, which *changes* numbers,
+#: stays a backend-option decision made in ``Executor.prepare``.
+PLAN_PASSES = (eliminate_identity, fold_movement, fuse_conv_relu,
+               fuse_elementwise)
 
 
 def optimize(graph: Graph, passes=DEFAULT_PASSES) -> Graph:

@@ -43,6 +43,7 @@ class GraphProfile:
     ops: list[OpProfile]
     wall_time_s: float | None = None
     batch: int | None = None
+    compiled: bool = False          # wall time measured on an ExecutionPlan
 
     @property
     def total_flops(self) -> int:
@@ -76,7 +77,8 @@ def _node_flops(node: Node, ins: list[tuple], out: tuple,
         w = weights[node.inputs[1]]
         cin_g, kh, kw = w.shape[1], w.shape[2], w.shape[3]
         macs = out_el * cin_g * kh * kw
-        return 2 * macs + (out_el if len(node.inputs) > 2 else 0)
+        return (2 * macs + (out_el if len(node.inputs) > 2 else 0)
+                + (out_el if a.get("activation") else 0))
     if op == "linear":
         w = weights[node.inputs[1]]
         rows = _elements(ins[0][:-1]) if len(ins[0]) > 1 else 1
@@ -101,18 +103,24 @@ def _node_flops(node: Node, ins: list[tuple], out: tuple,
         return _elements(ins[0])
     if op == "upsample":
         return out_el * (4 if a["mode"] == "bilinear" else 1)
+    if op == "fused_elementwise":
+        return sum(_node_flops(sub, ins, out, weights) for sub in a["chain"])
     return 0
 
 
 def profile_graph(graph: Graph, input_shape: tuple = (None, 3, 32, 32), *,
                   x: np.ndarray | None = None,
                   executor: Executor | None = None,
-                  repeats: int = 3) -> GraphProfile:
+                  repeats: int = 3, compiled: bool = False) -> GraphProfile:
     """Static per-op profile; pass ``x`` to also measure wall-clock time.
 
     The static part needs no data.  With ``x``, the graph runs
     ``repeats`` times under ``executor`` (reference by default) and the
     best wall time is recorded — the usual min-of-N timing discipline.
+    ``compiled=True`` times the executor's compiled
+    :class:`~repro.backend.plan.ExecutionPlan` instead of the interpreted
+    ``run`` (compilation happens outside the timed region; outputs are
+    bit-identical either way).
     """
     shapes = infer_shapes(graph, input_shape)
     ops = []
@@ -129,10 +137,17 @@ def profile_graph(graph: Graph, input_shape: tuple = (None, 3, 32, 32), *,
     profile = GraphProfile(ops)
     if x is not None:
         executor = executor or ReferenceExecutor()
+        if compiled:
+            plan = executor.compile(graph)
+            run = plan.run
+            profile.compiled = True
+        else:
+            run = lambda batch: executor.run(graph, batch)
+        run(x)                       # warm caches outside the timed region
         best = float("inf")
         for _ in range(repeats):
             start = time.perf_counter()
-            executor.run(graph, x)
+            run(x)
             best = min(best, time.perf_counter() - start)
         profile.wall_time_s = best
         profile.batch = len(x)
@@ -146,7 +161,8 @@ def render_profile(profile: GraphProfile, top: int = 8) -> str:
              f"peak activation {profile.peak_activation} elems"]
     if profile.wall_time_s is not None:
         per = profile.wall_time_s / max(profile.batch or 1, 1)
-        lines[0] += f", measured {per * 1e3:.2f} ms/sample"
+        label = " (compiled plan)" if profile.compiled else ""
+        lines[0] += f", measured {per * 1e3:.2f} ms/sample{label}"
     lines.append(f"{'layer':<32} {'op':<14} {'FLOPs':>12} {'params':>8} "
                  f"{'% FLOPs':>8}")
     total = max(profile.total_flops, 1)

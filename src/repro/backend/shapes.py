@@ -134,7 +134,7 @@ def _infer_node(node: Node, ins: list[Shape]) -> Shape:
         return tuple(x[:-1]) + (ins[1][0],)
     if op in ("batchnorm", "layernorm", "relu", "gelu", "sigmoid",
               "identity", "clip", "quantize_linear", "dequantize_linear",
-              "softmax", "scale"):
+              "softmax", "scale", "fused_elementwise"):
         return x
     if op in ("add", "mul"):
         return _broadcast(ins[0], ins[1], node)

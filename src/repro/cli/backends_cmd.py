@@ -43,6 +43,9 @@ def register(sub: argparse._SubParsersAction) -> None:
                    help="also print the full shape-annotated graph")
     p.add_argument("--time", action="store_true",
                    help="measure reference-backend wall time on a demo batch")
+    p.add_argument("--compiled", action="store_true",
+                   help="time the compiled execution plan instead of the "
+                        "node-by-node interpreter (implies --time)")
     p.set_defaults(func=cmd_profile)
 
     p = sub.add_parser("visualize",
@@ -129,9 +132,10 @@ def cmd_profile(args: argparse.Namespace) -> int:
     except (ValueError, ExportError) as exc:
         print(f"error: {exc}")
         return 2
+    compiled = getattr(args, "compiled", False)
     x = (np.random.default_rng(args.seed).normal(size=(4, 3, 32, 32))
-         if args.time else None)
-    profile = profile_graph(graph, x=x)
+         if args.time or compiled else None)
+    profile = profile_graph(graph, x=x, compiled=compiled)
     print(render_profile(profile, top=args.top))
     if args.shapes:
         print()

@@ -52,8 +52,13 @@ def register(sub: argparse._SubParsersAction) -> None:
 
 def _add_engine_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--workers", type=int, default=None,
-                   help="fan variant evaluations out over this many threads "
-                        "(capped at the core count; default: serial)")
+                   help="fan variant evaluations out over this many workers "
+                        "(capped at the cores available to the process; "
+                        "default: serial)")
+    p.add_argument("--mode", choices=("thread", "process"), default="thread",
+                   help="worker pool flavour: threads share the session "
+                        "caches; processes sidestep the GIL and share the "
+                        "decoded dataset via POSIX shared memory")
     p.add_argument("--batch-size", type=int, default=None,
                    help="evaluation minibatch size (default: adapter choice)")
 
@@ -66,7 +71,7 @@ def build_session(args: argparse.Namespace):
     return (BenchmarkSession()
             .task("cls")
             .seed(args.seed)
-            .workers(args.workers)
+            .workers(args.workers, mode=getattr(args, "mode", "thread"))
             .batch(args.batch_size)
             .model(args.model)
             .data(n=args.n, native_size=48, input_size=32,

@@ -34,8 +34,8 @@ from .report import format_cell, render_curve, render_table, render_taxonomy
 from .session import (BenchmarkSession, NoiseResult, Session, SessionResult,
                       noise_row, sweep_noise, worst_case_curve)
 from .sweep import SweepEngine
-from .tasks import (NLPDataset, TaskAdapter, get_task, register_task,
-                    task_names, unregister_task)
+from .tasks import (NLPDataset, TaskAdapter, evaluate_for_task, get_task,
+                    register_task, task_names, unregister_task)
 from .training import (default_train_config, train_classification_model,
                        train_detection_model, train_segmentation_model)
 
@@ -49,7 +49,7 @@ __all__ = [
     "noises_for_task", "worst_case_stack",
     # task registry
     "TaskAdapter", "register_task", "unregister_task", "get_task",
-    "task_names", "NLPDataset",
+    "task_names", "evaluate_for_task", "NLPDataset",
     # session facade + sweep engine
     "BenchmarkSession", "Session", "SessionResult", "SweepEngine",
     # pipeline + caching

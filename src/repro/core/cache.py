@@ -67,9 +67,27 @@ def streams_digest(streams) -> str:
 # Identity tokens: like id(), but never reused for a new object
 # ---------------------------------------------------------------------------
 
-_TOKENS: "weakref.WeakKeyDictionary[object, int]" = weakref.WeakKeyDictionary()
+#: id(obj) -> (token, weakref).  Keyed on the address only while the weakref
+#: confirms the same object still lives there, so a recycled id can never be
+#: mistaken for its predecessor.  Hashability is *not* required (unlike a
+#: WeakKeyDictionary), so unhashable-but-weakrefable objects — e.g. the
+#: backend's ``Graph`` dataclasses — get stable tokens too.
+_TOKENS: dict[int, tuple[int, "weakref.ref"]] = {}
 _TOKEN_COUNTER = itertools.count(1)
-_TOKEN_LOCK = threading.Lock()
+# Reentrant: a GC-triggered retire callback can fire inside object_token's
+# own critical section (weakrefs die while the lock is held) — an ordinary
+# Lock would self-deadlock there.
+_TOKEN_LOCK = threading.RLock()
+
+
+def _retire_token(oid: int, token: int) -> None:
+    # Weakref callback.  The check-then-pop must be atomic, else a stale
+    # callback could race object_token() registering a successor object at
+    # the same recycled id and evict the successor's live entry.
+    with _TOKEN_LOCK:
+        entry = _TOKENS.get(oid)
+        if entry is not None and entry[0] == token:
+            del _TOKENS[oid]
 
 
 def object_token(obj) -> int:
@@ -78,19 +96,22 @@ def object_token(obj) -> int:
     Unlike ``id()``, a token stays associated with ``obj`` for its lifetime
     and is retired (not recycled) when the object is collected, so cache
     entries keyed on it can never be served to a different object.  Objects
-    that cannot be weak-referenced or hashed get a *fresh* token on every
-    call — they forgo memoisation entirely rather than risk an ``id()``-
-    style stale hit.
+    that cannot be weak-referenced get a *fresh* token on every call — they
+    forgo memoisation entirely rather than risk an ``id()``-style stale hit.
     """
+    oid = id(obj)
     with _TOKEN_LOCK:
+        entry = _TOKENS.get(oid)
+        if entry is not None and entry[1]() is obj:
+            return entry[0]
+        token = next(_TOKEN_COUNTER)
         try:
-            token = _TOKENS.get(obj)
-            if token is None:
-                token = next(_TOKEN_COUNTER)
-                _TOKENS[obj] = token
+            ref = weakref.ref(
+                obj, lambda _, oid=oid, token=token: _retire_token(oid, token))
+        except TypeError:           # not weak-referenceable: one-shot token
             return token
-        except TypeError:           # unhashable / not weak-referenceable
-            return next(_TOKEN_COUNTER)
+        _TOKENS[oid] = (token, ref)
+        return token
 
 
 _DATASET_DIGESTS: "weakref.WeakKeyDictionary[object, tuple[int, str]]" = \
@@ -253,3 +274,17 @@ class EvalCache(_LruCache):
     def evaluate(self, key: tuple, compute) -> float:
         """The cached metric for ``key``, computing via ``compute()`` on miss."""
         return self.memo(key, compute)
+
+    def get(self, key):
+        """The cached metric for ``key``, or None (unhashable keys miss)."""
+        try:
+            return self._get(key)
+        except TypeError:
+            return None
+
+    def put(self, key, value) -> None:
+        """Store an externally computed metric (e.g. from a worker process)."""
+        try:
+            self._put(key, value)
+        except TypeError:
+            pass

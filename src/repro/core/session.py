@@ -85,8 +85,10 @@ class BenchmarkSession:
     """Fluent builder that owns one benchmark flow end to end."""
 
     def __init__(self, task: str | None = None, cache_size: int = 64,
-                 workers: int | None = None, batch_size: int | None = None):
+                 workers: int | None = None, batch_size: int | None = None,
+                 mode: str = "thread"):
         self._task_name = task
+        self._mode = mode
         self._model = None
         self._model_name: str | None = None
         self._label: str | None = None
@@ -163,13 +165,19 @@ class BenchmarkSession:
         self._include_combined = include
         return self
 
-    def workers(self, n: int | None) -> "BenchmarkSession":
-        """Fan variant evaluations out over ``n`` threads (None = serial).
+    def workers(self, n: int | None,
+                mode: str = "thread") -> "BenchmarkSession":
+        """Fan variant evaluations out over ``n`` workers (None = serial).
 
+        ``mode="thread"`` shares this session's caches across a thread
+        pool; ``mode="process"`` sidesteps the GIL entirely — variant
+        evaluations run in worker processes that receive the model/dataset
+        once and the decoded clean pixel batch through POSIX shared memory.
         Parallel and serial sweeps return identical results; the pool only
         changes wall-time.
         """
         self._workers = n
+        self._mode = mode
         return self
 
     def batch(self, batch_size: int | None) -> "BenchmarkSession":
@@ -236,7 +244,8 @@ class BenchmarkSession:
 
     def engine(self) -> SweepEngine:
         """The sweep engine for this session's workers + eval-cache state."""
-        return SweepEngine(workers=self._workers, eval_cache=self.eval_cache)
+        return SweepEngine(workers=self._workers, eval_cache=self.eval_cache,
+                           mode=self._mode)
 
     def run(self) -> SessionResult:
         """Sweep every selected noise and aggregate one table row."""
@@ -264,6 +273,16 @@ class BenchmarkSession:
                                               ds, names)
 
     def _eval_fn(self, adapter):
+        if self._mode == "process":
+            # Process workers cannot share the session's lock-bearing
+            # caches; ship a picklable adapter-registry entry point instead
+            # (each worker keeps a process-local decode cache).
+            import functools
+
+            from .tasks import evaluate_for_task
+            return functools.partial(evaluate_for_task, self._task_name,
+                                     batch_size=self._batch_size)
+
         def evaluate(model, ds, cfg: NoiseConfig) -> float:
             return adapter.evaluate(model, ds, cfg, cache=self.cache,
                                     batch_size=self._batch_size)

@@ -7,11 +7,18 @@ clean baseline for every table row.  :class:`SweepEngine` fixes both:
 
 * **Fan-out** — variant evaluations are dispatched over a
   ``concurrent.futures.ThreadPoolExecutor`` when ``workers`` is set (the
-  heavy work is NumPy, which releases the GIL for its inner loops).  The
-  default ``workers=None`` keeps the exact serial order, so determinism-
-  sensitive callers see no change.  Results are always assembled in variant
-  order regardless of completion order, so parallel and serial sweeps
-  produce identical output.
+  heavy work is NumPy, which releases the GIL for its inner loops), or —
+  with ``mode="process"`` — over a ``ProcessPoolExecutor`` that sidesteps
+  the GIL entirely: workers receive the ``(evaluate, model, dataset)``
+  payload once via the pool initializer and the decoded clean pixel batch
+  through POSIX shared memory, so neither the dataset nor its baseline
+  decode is copied or replayed per worker.  The requested width is capped
+  at the cores *available to the process* (affinity/cgroup aware, see
+  :func:`available_cores`) and the effective width is logged.  The default
+  ``workers=None`` keeps the exact serial order, so determinism-sensitive
+  callers see no change.  Results are always assembled in variant order
+  regardless of completion order, so parallel, process-parallel, and
+  serial sweeps produce identical output.
 
 * **Shared baselines** — every metric is memoised in a
   :class:`~repro.core.cache.EvalCache` keyed per
@@ -29,18 +36,40 @@ parallelise and to share one cache across calls.
 
 from __future__ import annotations
 
+import logging
 import os
-from concurrent.futures import ThreadPoolExecutor
+import pickle
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from .cache import EvalCache, eval_key
+from .cache import EvalCache, eval_key, streams_digest
 from .noise import NoiseConfig, TRAIN_CONFIG
 from .registry import combined_config, get_noise, worst_case_stack
 
 __all__ = ["NoiseResult", "SweepEngine", "sweep_noise", "noise_row",
-           "worst_case_curve"]
+           "worst_case_curve", "available_cores"]
+
+logger = logging.getLogger(__name__)
+
+
+def available_cores() -> int:
+    """CPU cores actually available to *this process*.
+
+    ``os.process_cpu_count()`` (3.13+) and the scheduler affinity mask both
+    see container/cgroup CPU limits that plain ``os.cpu_count()`` ignores —
+    the seed cap happily built a 4-thread pool on a 1-core container.
+    """
+    count = getattr(os, "process_cpu_count", None)
+    if count is not None:
+        n = count()
+    else:
+        try:
+            n = len(os.sched_getaffinity(0))
+        except (AttributeError, OSError):
+            n = os.cpu_count()
+    return n or 1
 
 
 @dataclass
@@ -74,23 +103,28 @@ class SweepEngine:
     """
 
     def __init__(self, workers: int | None = None,
-                 eval_cache: EvalCache | None = None):
+                 eval_cache: EvalCache | None = None, mode: str = "thread"):
+        if mode not in ("thread", "process"):
+            raise ValueError(f"mode must be 'thread' or 'process', got {mode!r}")
         self.workers = workers
+        self.mode = mode
         self.eval_cache = eval_cache if eval_cache is not None else EvalCache()
 
     # -- scheduling ---------------------------------------------------------
 
     @property
     def effective_workers(self) -> int:
-        """``workers`` capped at the machine's core count.
+        """``workers`` capped at the cores available to this process.
 
         A pool wider than the hardware only adds contention (and on a
         single-core host any pool is pure overhead), so the requested width
-        is a ceiling, not a promise.
+        is a ceiling, not a promise.  The cap respects scheduler affinity /
+        cgroup limits via :func:`available_cores`, not the raw machine core
+        count.
         """
         if not self.workers:
             return 1
-        return max(1, min(self.workers, os.cpu_count() or 1))
+        return max(1, min(self.workers, available_cores()))
 
     def map(self, fn, items: list) -> list:
         """``[fn(x) for x in items]``, fanned out when workers are enabled.
@@ -100,6 +134,9 @@ class SweepEngine:
         workers = self.effective_workers
         if workers <= 1 or len(items) <= 1:
             return [fn(item) for item in items]
+        logger.info("sweep fan-out: %d workers requested, %d effective "
+                    "(cores available: %d, mode=thread)",
+                    self.workers, workers, available_cores())
         with ThreadPoolExecutor(max_workers=workers) as pool:
             return list(pool.map(fn, items))
 
@@ -114,8 +151,80 @@ class SweepEngine:
 
     def _map_configs(self, evaluate, model, ds,
                      cfgs: list[NoiseConfig]) -> list[float]:
+        if self.mode == "process" and self.effective_workers > 1:
+            values = self._process_map(evaluate, model, ds, cfgs)
+            if values is not None:
+                return values
         return self.map(lambda cfg: self.evaluate(evaluate, model, ds, cfg),
                         cfgs)
+
+    # -- process fan-out ----------------------------------------------------
+
+    def _process_map(self, evaluate, model, ds,
+                     cfgs: list[NoiseConfig]) -> list[float] | None:
+        """Fan config evaluations out over a process pool.
+
+        Workers receive ``(evaluate, model, ds)`` once, via the pool
+        initializer, and the decoded clean-config pixel batch through POSIX
+        shared memory (each worker's decode cache is pre-seeded with a
+        zero-copy view), so neither the dataset nor its decode is replayed
+        per job.  Results land in the parent's :class:`EvalCache` under the
+        same keys the serial path uses, and are returned in ``cfgs`` order.
+
+        Returns None — falling back to the thread/serial path — when the
+        payload is not picklable or the pool cannot be started.
+        """
+        keys = []
+        misses: list[int] = []
+        values: list[float | None] = []
+        for i, cfg in enumerate(cfgs):
+            try:
+                key = eval_key(model, ds, cfg)
+            except TypeError:
+                key = None
+            keys.append(key)
+            hit = self.eval_cache.get(key) if key is not None else None
+            values.append(hit)
+            if hit is None:
+                misses.append(i)
+        if len(misses) < 2:
+            return None                        # nothing worth forking for
+        try:
+            payload = pickle.dumps((evaluate, model, ds))
+        except Exception as exc:               # noqa: BLE001 — any pickle error
+            logger.warning("process sweep unavailable (payload not "
+                           "picklable: %s); falling back to threads", exc)
+            return None
+
+        workers = min(self.effective_workers, len(misses))
+        shm, shm_meta = _share_decoded_dataset(ds)
+        logger.info("sweep fan-out: %d workers requested, %d effective "
+                    "(cores available: %d, mode=process, shared_memory=%s)",
+                    self.workers, workers, available_cores(),
+                    shm is not None)
+        try:
+            with ProcessPoolExecutor(
+                    max_workers=workers,
+                    initializer=_process_worker_init,
+                    initargs=(payload, shm_meta)) as pool:
+                futures = [(i, pool.submit(_process_eval, cfgs[i]))
+                           for i in misses]
+                for i, fut in futures:
+                    values[i] = fut.result()
+                    if keys[i] is not None:
+                        self.eval_cache.put(keys[i], values[i])
+        except Exception as exc:               # noqa: BLE001 — broken pool etc.
+            logger.warning("process sweep failed (%s); falling back to "
+                           "threads", exc)
+            return None
+        finally:
+            if shm is not None:
+                shm.close()
+                try:
+                    shm.unlink()
+                except FileNotFoundError:      # pragma: no cover
+                    pass
+        return values
 
     # -- sweep primitives ---------------------------------------------------
 
@@ -184,6 +293,82 @@ class SweepEngine:
         values = self._map_configs(evaluate, model, ds, cfgs)
         return [(name, baseline - value)
                 for name, value in zip(names, values)]
+
+
+# ---------------------------------------------------------------------------
+# Process-pool worker side
+# ---------------------------------------------------------------------------
+
+#: Per-worker state installed by the pool initializer (one unpickle of the
+#: (evaluate, model, ds) payload per worker, not per job).
+_WORKER: dict = {}
+
+
+def _share_decoded_dataset(ds):
+    """Publish the clean-config decoded pixel batch in POSIX shared memory.
+
+    Returns ``(shm, meta)``; ``(None, None)`` for datasets without encoded
+    ``streams`` (NLP/audio) or when shared memory is unavailable.  The
+    parent decodes once (usually already memoised from the baseline
+    evaluation) and every worker maps the same pages read-only instead of
+    re-decoding or copying the dataset per process.
+    """
+    streams = getattr(ds, "streams", None)
+    if streams is None:
+        return None, None
+    try:
+        from multiprocessing import shared_memory
+
+        from .pipeline import decode_dataset
+        decoded = decode_dataset(streams, TRAIN_CONFIG.decoder)
+        shm = shared_memory.SharedMemory(create=True, size=decoded.nbytes)
+        np.ndarray(decoded.shape, dtype=decoded.dtype,
+                   buffer=shm.buf)[:] = decoded
+        import multiprocessing
+        meta = (shm.name, decoded.shape, decoded.dtype.str,
+                streams_digest(streams), TRAIN_CONFIG.decoder,
+                multiprocessing.get_start_method())
+        return shm, meta
+    except Exception as exc:                   # noqa: BLE001 — best-effort
+        logger.warning("shared-memory dataset unavailable (%s); workers "
+                       "will decode independently", exc)
+        return None, None
+
+
+def _process_worker_init(payload: bytes, shm_meta) -> None:
+    evaluate, model, ds = pickle.loads(payload)
+    _WORKER.update(evaluate=evaluate, model=model, ds=ds)
+    if shm_meta is None:
+        return
+    try:
+        from multiprocessing import shared_memory
+
+        from .pipeline import default_decode_cache
+        name, shape, dtype_str, digest, decoder, start_method = shm_meta
+        shm = shared_memory.SharedMemory(name=name)
+        if start_method == "spawn":
+            # A spawned worker has its own resource tracker, and the attach
+            # above registered the segment with it — which would unlink the
+            # parent's segment at worker exit.  The parent owns the
+            # lifetime; forked workers share the parent's tracker and must
+            # NOT unregister (that would double-free the parent's entry).
+            try:
+                from multiprocessing import resource_tracker
+                resource_tracker.unregister(shm._name, "shared_memory")
+            except Exception:                  # noqa: BLE001
+                pass
+        decoded = np.ndarray(shape, dtype=np.dtype(dtype_str), buffer=shm.buf)
+        _WORKER["shm"] = shm                   # keep the mapping alive
+        # Seed this worker's decode cache with the zero-copy view: the clean
+        # baseline pre-processing never re-decodes in any worker.
+        default_decode_cache()._put((digest, decoder), decoded)
+    except Exception:                          # noqa: BLE001 — workers can
+        pass                                   # always decode on their own
+
+
+def _process_eval(cfg: NoiseConfig) -> float:
+    w = _WORKER
+    return float(w["evaluate"](w["model"], w["ds"], cfg))
 
 
 # ---------------------------------------------------------------------------

@@ -33,7 +33,7 @@ from .pipeline import deployment_model, preprocess_dataset
 from .registry import noises_for_task
 
 __all__ = ["TaskAdapter", "register_task", "unregister_task", "get_task",
-           "task_names", "NLPDataset"]
+           "task_names", "evaluate_for_task", "NLPDataset"]
 
 _TASKS: dict[str, "TaskAdapter"] = {}
 
@@ -62,6 +62,19 @@ def get_task(name: str) -> "TaskAdapter":
 
 def task_names() -> list[str]:
     return list(_TASKS)
+
+
+def evaluate_for_task(task: str, model, ds, cfg: NoiseConfig = TRAIN_CONFIG,
+                      *, batch_size: int | None = None) -> float:
+    """Evaluate via the named adapter — a *picklable* evaluation entry point.
+
+    ``functools.partial(evaluate_for_task, "cls", batch_size=...)`` crosses
+    process boundaries (unlike session closures, which capture lock-bearing
+    caches), so it is what :class:`~repro.core.sweep.SweepEngine` ships to
+    ``mode="process"`` workers.  Each worker resolves the adapter from its
+    own registry and uses its own process-local decode cache.
+    """
+    return get_task(task).evaluate(model, ds, cfg, batch_size=batch_size)
 
 
 class TaskAdapter:

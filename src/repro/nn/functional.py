@@ -133,6 +133,23 @@ def col2im(cols: np.ndarray, meta: tuple) -> np.ndarray:
 # Convolution
 # ---------------------------------------------------------------------------
 
+def _conv_cols(x: np.ndarray, kh: int, kw: int, stride: int, pad: int,
+               dilation: int) -> tuple[np.ndarray, tuple]:
+    """``im2col`` with a pointwise shortcut for the 1×1/s1/p0 case.
+
+    A pointwise unfold is a pure reshape — the gather would copy ``x``
+    element for element in the same C order — so hand the GEMM a zero-copy
+    view instead.  Dominant in the mobile/efficientnet families
+    (expand/project convolutions).  The returned meta stays ``col2im``-
+    compatible for the backward pass.
+    """
+    n, c, h, w = x.shape
+    if kh == 1 and kw == 1 and stride == 1 and pad == 0:
+        cols = np.ascontiguousarray(x).reshape(n, c, h * w)
+        return cols, (x.shape, kh, kw, stride, pad, dilation, h, w, 0, 0)
+    return im2col(x, kh, kw, stride, pad, dilation)
+
+
 def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None = None, *,
            stride: int = 1, padding: int = 0, dilation: int = 1,
            groups: int = 1) -> Tensor:
@@ -147,7 +164,7 @@ def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None = None, *,
     ow = _conv_out_size(w, kw, stride, padding, dilation)
 
     if groups == 1:
-        cols, meta = im2col(x.data, kh, kw, stride, padding, dilation)
+        cols, meta = _conv_cols(x.data, kh, kw, stride, padding, dilation)
         wmat = weight.data.reshape(co, -1)
         out = np.einsum("of,nfp->nop", wmat, cols, optimize=True)
         out = out.reshape(n, co, oh, ow)
@@ -158,7 +175,8 @@ def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None = None, *,
         cols_list, metas = [], []
         outs = np.empty((n, groups, co // groups, oh * ow))
         for g in range(groups):
-            cols, meta = im2col(xg[:, g], kh, kw, stride, padding, dilation)
+            cols, meta = _conv_cols(xg[:, g], kh, kw, stride, padding,
+                                    dilation)
             cols_list.append(cols)
             metas.append(meta)
             outs[:, g] = np.einsum("of,nfp->nop", wg[g].reshape(co // groups, -1),
@@ -202,6 +220,24 @@ def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None = None, *,
 # Pooling
 # ---------------------------------------------------------------------------
 
+def _pool_windows(x: np.ndarray, k: int, stride: int, padding: int,
+                  oh: int, ow: int, pad_value: float) -> np.ndarray:
+    """Strided (N, C, OH, OW, k, k) window view over the padded map.
+
+    The inference-path counterpart of the im2col gather: same window
+    contents in the same order, but a zero-copy ``sliding_window_view``
+    instead of a fancy-indexing copy.
+    """
+    n, c, h, w = x.shape
+    need_h = (oh - 1) * stride + k
+    need_w = (ow - 1) * stride + k
+    pad_b = max(0, need_h - (h + padding))
+    pad_r = max(0, need_w - (w + padding))
+    xp = pad2d_const(x, padding, pad_b, padding, pad_r, pad_value)
+    view = np.lib.stride_tricks.sliding_window_view(xp, (k, k), axis=(2, 3))
+    return view[:, :, ::stride, ::stride][:, :, :oh, :ow]
+
+
 def max_pool2d(x: Tensor, kernel_size: int, stride: int | None = None,
                padding: int = 0, *, ceil_mode: bool = False) -> Tensor:
     """Max pooling with the train/deploy **ceil-mode** switch.
@@ -216,6 +252,13 @@ def max_pool2d(x: Tensor, kernel_size: int, stride: int | None = None,
     n, c, h, w = x.shape
     oh = pool_output_size(h, kernel_size, stride, padding, ceil_mode)
     ow = pool_output_size(w, kernel_size, stride, padding, ceil_mode)
+    if not is_grad_enabled():
+        # Inference fast path: reduce over a strided window view — the max
+        # of the same window contents, without materialising columns or an
+        # argmax (only the backward needs one).
+        view = _pool_windows(x.data, kernel_size, stride, padding, oh, ow,
+                             -np.inf)
+        return Tensor(view.max(axis=(-2, -1)))
     cols, meta = im2col(x.data, kernel_size, kernel_size, stride, padding,
                         pad_value=-np.inf, out_hw=(oh, ow))
     cols = cols.reshape(n, c, kernel_size * kernel_size, oh * ow)
@@ -240,6 +283,10 @@ def avg_pool2d(x: Tensor, kernel_size: int, stride: int | None = None,
     n, c, h, w = x.shape
     oh = pool_output_size(h, kernel_size, stride, padding, ceil_mode)
     ow = pool_output_size(w, kernel_size, stride, padding, ceil_mode)
+    # (No windowed fast path here: summing the (k, k) window axes reduces
+    # in a different pairwise order than the axis-2 reduction below, so it
+    # would not be bit-identical.  max pooling is order-insensitive, hence
+    # its fast path above.)
     cols, meta = im2col(x.data, kernel_size, kernel_size, stride, padding,
                         pad_value=np.nan, out_hw=(oh, ow))
     cols = cols.reshape(n, c, kernel_size * kernel_size, oh * ow)
@@ -359,6 +406,15 @@ def batch_norm(x: Tensor, gamma: Tensor, beta: Tensor,
         unbiased = var.data.reshape(-1) * n / max(n - 1, 1)
         running_var *= (1 - momentum)
         running_var += momentum * unbiased
+    elif not is_grad_enabled():
+        # Inference fast path: the same subtract/divide/scale/shift sequence
+        # as the autograd composition below (bit-identical), without the
+        # five Tensor intermediates per call.
+        out = x.data - running_mean.reshape(view)
+        out /= np.sqrt(running_var.reshape(view) + eps)
+        out *= gamma.data.reshape(view)
+        out += beta.data.reshape(view)
+        return Tensor(out)
     else:
         mu = Tensor(running_mean.reshape(view))
         var = Tensor(running_var.reshape(view))
@@ -368,6 +424,18 @@ def batch_norm(x: Tensor, gamma: Tensor, beta: Tensor,
 
 def layer_norm(x: Tensor, gamma: Tensor, beta: Tensor, eps: float = 1e-5) -> Tensor:
     """Layer normalisation over the trailing dimension."""
+    if not is_grad_enabled():
+        # Single-pass inference path, bit-identical to the composition
+        # below: Tensor.mean is sum * (1/n), Tensor.var is mean(d*d).
+        xd = x.data
+        n = xd.shape[-1]
+        mu = xd.sum(axis=-1, keepdims=True) * (1.0 / n)
+        d = xd - mu
+        var = (d * d).sum(axis=-1, keepdims=True) * (1.0 / n)
+        d /= np.sqrt(var + eps)
+        d *= gamma.data
+        d += beta.data
+        return Tensor(d)
     mu = x.mean(axis=-1, keepdims=True)
     var = x.var(axis=-1, keepdims=True)
     xhat = (x - mu) / (var + eps).sqrt()
@@ -376,12 +444,23 @@ def layer_norm(x: Tensor, gamma: Tensor, beta: Tensor, eps: float = 1e-5) -> Ten
 
 def softmax(x: Tensor, axis: int = -1) -> Tensor:
     """Numerically stable softmax — the paper's classification post-processing."""
+    if not is_grad_enabled():
+        # Single-pass inference path: same subtract/exp/divide sequence as
+        # the autograd composition (bit-identical), one buffer end to end.
+        z = x.data - x.data.max(axis=axis, keepdims=True)
+        np.exp(z, out=z)
+        z /= z.sum(axis=axis, keepdims=True)
+        return Tensor(z)
     shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
     e = shifted.exp()
     return e / e.sum(axis=axis, keepdims=True)
 
 
 def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    if not is_grad_enabled():
+        z = x.data - x.data.max(axis=axis, keepdims=True)
+        z -= np.log(np.exp(z).sum(axis=axis, keepdims=True))
+        return Tensor(z)
     shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
     return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
 
