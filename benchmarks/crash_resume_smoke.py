@@ -1,0 +1,128 @@
+"""Crash-resume smoke test for the RunStore ledger (CI perf-smoke step).
+
+Scenario, end to end through the real CLI:
+
+1. Run an *uninterrupted* ``repro run`` as the reference table.
+2. Start the same run (same seed) against a fresh store with a 2-worker
+   process-mode sweep, wait until the ledger shows a few completed
+   evaluations, and SIGKILL the whole process group mid-sweep.
+3. ``repro resume`` the killed run.
+
+Pass criteria (the ISSUE's acceptance bar):
+
+* the resumed table is **bit-identical** to the uninterrupted one, and
+* the resume re-executed **at most the remaining** evaluations — verified
+  by ledger entry counts, not by trusting the CLI's own summary.
+
+Exit status 0 on success; any assertion failure exits non-zero.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+MODEL = "mcunet-293kb"
+NOISES = "decoder,resize,color,precision"
+ARGS = ["--model", MODEL, "--n", "96", "--epochs", "2",
+        "--train-frac", "0.75", "--seed", "0", "--noises", NOISES]
+#: baseline + 3 decoder + 10 resize + color + 2 precision + combined
+KILL_AFTER_OK = 3
+TIMEOUT_S = 600
+
+
+def repro(*argv: str, **kw) -> subprocess.CompletedProcess:
+    return subprocess.run([sys.executable, "-m", "repro", *argv],
+                          capture_output=True, text=True, timeout=TIMEOUT_S,
+                          **kw)
+
+
+def ok_entries(ledger: Path) -> int:
+    if not ledger.exists():
+        return 0
+    count = 0
+    for line in ledger.read_text().splitlines():
+        try:
+            entry = json.loads(line)
+        except ValueError:
+            continue
+        if entry.get("kind") == "eval" and entry.get("status") == "ok":
+            count += 1
+    return count
+
+
+def table_body(output: str) -> list[str]:
+    """The rendered table minus its (run-specific) title line."""
+    lines = output.splitlines()
+    start = next(i for i, l in enumerate(lines)
+                 if l.startswith("Architecture"))
+    return [l.rstrip() for l in lines[start:start + 3]]
+
+
+def main() -> int:
+    tmp = Path(tempfile.mkdtemp(prefix="crash-resume-"))
+    print(f"workdir: {tmp}")
+
+    # 1. Uninterrupted reference run.
+    ref = repro("run", *ARGS, "--store", str(tmp / "ref"), "--run-id", "ref")
+    assert ref.returncode == 0, f"reference run failed:\n{ref.stdout}\n{ref.stderr}"
+    ref_table = table_body(ref.stdout)
+    total = ok_entries(tmp / "ref" / "ref" / "ledger.jsonl")
+    print(f"reference run complete: {total} ledger entries")
+    assert total >= KILL_AFTER_OK + 2, f"workload too small to interrupt ({total})"
+
+    # 2. Same run against a fresh store; SIGKILL it mid-sweep.
+    ledger = tmp / "crash" / "crash" / "ledger.jsonl"
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "run", *ARGS,
+         "--store", str(tmp / "crash"), "--run-id", "crash",
+         "--workers", "2", "--mode", "process"],
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        start_new_session=True)          # own group: kill workers too
+    deadline = time.time() + TIMEOUT_S
+    try:
+        while ok_entries(ledger) < KILL_AFTER_OK:
+            if proc.poll() is not None:
+                raise AssertionError(
+                    "run finished before it could be killed; shrink "
+                    "KILL_AFTER_OK or grow the noise list")
+            if time.time() > deadline:
+                raise AssertionError("timed out waiting for ledger entries")
+            time.sleep(0.02)
+    finally:
+        if proc.poll() is None:
+            os.killpg(proc.pid, signal.SIGKILL)
+            proc.wait()
+    survived = ok_entries(ledger)
+    print(f"killed mid-sweep with {survived}/{total} evaluations ledgered")
+    assert survived < total, "nothing left to resume"
+
+    # 3. Resume and compare.
+    res = repro("resume", "crash", "--store", str(tmp / "crash"))
+    assert res.returncode == 0, f"resume failed:\n{res.stdout}\n{res.stderr}"
+    after = ok_entries(ledger)
+    reexecuted = after - survived
+    print(f"resume re-executed {reexecuted} evaluation(s) "
+          f"(remaining was {total - survived})")
+    assert after == total, f"resumed run incomplete: {after}/{total}"
+    assert reexecuted <= total - survived, (
+        f"resume recomputed ledger-complete cells: {reexecuted} > "
+        f"{total - survived}")
+
+    resumed_table = table_body(res.stdout)
+    assert resumed_table == ref_table, (
+        "resumed table differs from uninterrupted run:\n"
+        + "\n".join(ref_table) + "\n---\n" + "\n".join(resumed_table))
+    print("resumed table is bit-identical to the uninterrupted run")
+    print("crash-resume smoke: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,6 +12,12 @@ without writing Python:
 ``list-backends``  Vendor backend personas and their implementation options.
 ``sweep``          Train a zoo classifier on the synthetic task and measure
                    ΔACC per noise type (one Table-2 row).
+``run``            Crash-safe ``sweep``: every evaluation is appended to a
+                   JSONL ledger under ``--store`` as it completes, weights
+                   are checkpointed, and the run is resumable.
+``resume``         Resume an interrupted ``run`` from its ledger — skips
+                   completed evaluations, re-executes at most the rest, and
+                   prints a table bit-identical to an uninterrupted run.
 ``worst-case``     The Fig.-3 cumulative noise-stacking curve for one model.
 ``interaction``    Pairwise noise-interaction matrix (ablation E).
 ``export``         Lower a model to the deployment graph (.npz); supports
@@ -33,7 +39,8 @@ from __future__ import annotations
 import argparse
 import sys
 
-from . import backends_cmd, evaluate_cmd, info_cmd, noises_cmd, report_cmd
+from . import (backends_cmd, evaluate_cmd, info_cmd, noises_cmd, report_cmd,
+               run_cmd)
 
 __all__ = ["main", "build_parser"]
 
@@ -43,7 +50,7 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="SysNoise benchmark CLI (MLSys 2023 reproduction)")
     sub = parser.add_subparsers(dest="command", required=True)
-    for module in (info_cmd, noises_cmd, evaluate_cmd, backends_cmd,
+    for module in (info_cmd, noises_cmd, evaluate_cmd, run_cmd, backends_cmd,
                    report_cmd):
         module.register(sub)
     return parser

@@ -15,9 +15,16 @@ _ORDER = ["table1", "table2", "table3", "table4", "table5", "table6",
 
 def register(sub: argparse._SubParsersAction) -> None:
     p = sub.add_parser("report",
-                       help="concatenate rendered tables from a results dir")
+                       help="concatenate rendered tables from a results dir, "
+                            "or render a RunStore ledger (--store)")
     p.add_argument("--results", default="benchmarks/results",
                    help="directory of *.txt tables written by the benchmarks")
+    p.add_argument("--store", default=None,
+                   help="render directly from this RunStore's ledgers "
+                        "instead of a results dir (failed/missing cells "
+                        "show as '!')")
+    p.add_argument("--run", default=None,
+                   help="run id inside --store (default: every run)")
     p.add_argument("--out", default=None,
                    help="write the combined report here instead of stdout")
     p.set_defaults(func=cmd_report)
@@ -31,7 +38,57 @@ def _sort_key(path: Path) -> tuple[int, str]:
     return (len(_ORDER), path.stem)
 
 
+def _emit(report: str, out: str | None, what: str) -> None:
+    if out:
+        Path(out).write_text(report)
+        print(f"wrote {out} ({what})")
+    else:
+        print(report)
+
+
+def cmd_report_store(args: argparse.Namespace) -> int:
+    """Render sweep tables straight from a RunStore's ledgers.
+
+    Works on *partially complete* runs too — cells whose evaluation failed
+    or has not happened yet render as ``!`` — so it doubles as a progress /
+    post-mortem view of an interrupted ``repro run``.
+    """
+    from repro.core import RunStore, ledger_table
+
+    store = RunStore(args.store)
+    run_ids = [args.run] if args.run else store.runs()
+    if not run_ids:
+        print(f"error: no runs under {store.root}")
+        return 2
+    sections = []
+    for run_id in run_ids:
+        # One unreadable run must not block reporting on the others.
+        try:
+            ledger = store.open(run_id)
+            table = ledger_table(ledger)
+        except ValueError as exc:
+            if args.run:                       # explicitly requested: fail
+                print(f"error: {exc}")
+                return 2
+            sections.append(f"## {run_id}\n\nerror: {exc}")
+            continue
+        counts = ledger.counts()
+        sections.append(f"## {run_id}\n\n{table}\n\n"
+                        f"ledger: {counts['ok']} ok, {counts['error']} "
+                        f"failed" + (f", {counts['corrupt']} corrupt line(s)"
+                                     if counts["corrupt"] else ""))
+    report = ("# SysNoise run ledgers\n\n" + "\n\n".join(sections) + "\n")
+    _emit(report, args.out, f"{len(run_ids)} run(s)")
+    return 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
+    if getattr(args, "store", None):
+        return cmd_report_store(args)
+    if getattr(args, "run", None):
+        print("error: --run selects a run inside a RunStore; pass --store "
+              "<dir> as well (e.g. --store runs)")
+        return 2
     results = Path(args.results)
     files = sorted(results.glob("*.txt"), key=_sort_key)
     if not files:
@@ -40,9 +97,5 @@ def cmd_report(args: argparse.Namespace) -> int:
         return 2
     sections = [f"## {f.stem}\n\n{f.read_text().rstrip()}" for f in files]
     report = "# SysNoise benchmark results\n\n" + "\n\n".join(sections) + "\n"
-    if args.out:
-        Path(args.out).write_text(report)
-        print(f"wrote {args.out} ({len(files)} sections)")
-    else:
-        print(report)
+    _emit(report, args.out, f"{len(files)} sections")
     return 0

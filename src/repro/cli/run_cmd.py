@@ -1,0 +1,193 @@
+"""Crash-safe run CLI: ``repro run --store`` and ``repro resume <run_id>``.
+
+``run`` is the persistent sibling of ``sweep``: every evaluation is appended
+to a JSONL ledger under ``--store`` as it completes, and the trained weights
+are checkpointed into the run directory, so a killed run loses nothing that
+already finished.  ``resume`` rebuilds the session from the run's manifest
+(same dataset seed, same weights via the checkpoint), skips every
+ledger-complete evaluation, and re-executes at most the remainder — the
+final table is bit-identical to an uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from .evaluate_cmd import _add_engine_args, _bad_noises
+
+__all__ = ["register"]
+
+_DATA_DEFAULTS = dict(native_size=48, input_size=32)
+
+
+def register(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("run",
+                       help="crash-safe sweep: ledger every evaluation to a "
+                            "RunStore (resumable via `repro resume`)")
+    p.add_argument("--model", default="resnet18x0.25",
+                   help="zoo model name (see list-models)")
+    p.add_argument("--n", type=int, default=240,
+                   help="dataset size (train+val)")
+    p.add_argument("--train-frac", type=float, default=0.75)
+    p.add_argument("--epochs", type=int, default=15)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--noises", default=None,
+                   help="comma-separated subset (default: all "
+                        "classification noises)")
+    p.add_argument("--no-combined", action="store_true",
+                   help="skip the all-noises-at-once column")
+    p.add_argument("--store", default="runs",
+                   help="RunStore directory for the ledger (default: runs/)")
+    p.add_argument("--run-id", default=None,
+                   help="run id to create or resume (default: generated)")
+    p.add_argument("--retries", type=int, default=0,
+                   help="retry budget per failing evaluation before it is "
+                        "recorded as a failed cell")
+    _add_engine_args(p)
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("resume",
+                       help="resume an interrupted `repro run` from its "
+                            "ledger (skips completed evaluations)")
+    p.add_argument("run_id", help="run id inside --store (see its manifest)")
+    p.add_argument("--store", default="runs",
+                   help="RunStore directory (default: runs/)")
+    p.add_argument("--retries", type=int, default=None,
+                   help="override the recorded retry budget")
+    p.add_argument("--workers", type=int, default=None,
+                   help="override the recorded worker count")
+    p.add_argument("--mode", choices=("thread", "process"), default=None,
+                   help="override the recorded worker pool flavour")
+    p.set_defaults(func=cmd_resume)
+
+
+def _build_stored_session(model: str, seed: int, data_kw: dict,
+                          workers, mode: str, batch_size, retries: int):
+    from repro.core import BenchmarkSession
+
+    return (BenchmarkSession()
+            .task("cls")
+            .seed(seed)
+            .workers(workers, mode=mode)
+            .batch(batch_size)
+            .retries(retries)
+            .model(model)
+            .data(**data_kw))
+
+
+def _apply_zoo_skips(session, model: str) -> None:
+    from repro.models import MODEL_ZOO
+    spec = {s.name: s for s in MODEL_ZOO}.get(model)
+    if spec is not None and not spec.has_maxpool:
+        session.skip("ceil_mode")
+
+
+def _fit_or_load(session, ledger, epochs: int) -> None:
+    """Train the session's model, or load the run's weight checkpoint.
+
+    The checkpoint is what makes resume cheap *and* exact: a resumed run
+    evaluates the very same weights instead of relying on retraining
+    determinism, so ledger values and freshly computed ones agree bitwise.
+    The save is atomic (tmp + rename) and a torn/unreadable checkpoint
+    falls back to deterministic retraining — a kill at any point leaves
+    the run resumable.
+    """
+    import os
+
+    from repro.nn import load_checkpoint, save_checkpoint
+
+    ckpt = ledger.path / "weights.npz"
+    if ckpt.exists():
+        try:
+            load_checkpoint(session.trained_model, ckpt)
+            session.trained_model.eval()
+            print(f"loaded trained weights from {ckpt}")
+            return
+        except Exception as exc:               # noqa: BLE001 — torn file
+            print(f"warning: checkpoint {ckpt} unreadable ({exc}); "
+                  f"retraining deterministically")
+            session._model = None              # discard the half-loaded model
+    print(f"training {session._label} (epochs={epochs}) ...")
+    session.fit(epochs=epochs)
+    # Atomic publish (numpy appends .npz to the temp name itself).
+    tmp = save_checkpoint(session.trained_model,
+                          ckpt.with_name("weights.tmp"))
+    os.replace(tmp, ckpt)
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    from repro.core import CLS_NOISES
+
+    noises = args.noises.split(",") if args.noises else list(CLS_NOISES)
+    bad = _bad_noises(noises, CLS_NOISES)
+    if bad:
+        print(f"error: unknown classification noise(s) {bad}; "
+              f"choose from {list(CLS_NOISES)}")
+        return 2
+    data_kw = dict(n=args.n, train_frac=args.train_frac, **_DATA_DEFAULTS)
+    session = _build_stored_session(
+        args.model, args.seed, data_kw, args.workers,
+        getattr(args, "mode", "thread"), args.batch_size, args.retries)
+    session.noises(*noises).combined(not args.no_combined)
+    _apply_zoo_skips(session, args.model)
+    session.store(args.store, run_id=args.run_id,
+                  data=data_kw,              # part of the resume identity
+                  cli={"model": args.model, "data": data_kw,
+                       "fit": {"epochs": args.epochs},
+                       "workers": args.workers,
+                       "mode": getattr(args, "mode", "thread"),
+                       "batch_size": args.batch_size,
+                       "retries": args.retries})
+    try:
+        ledger = session.ledger            # creates or resumes the run
+    except ValueError as exc:
+        print(f"error: {exc}")
+        return 2
+    before = ledger.counts()
+    _fit_or_load(session, ledger, args.epochs)
+    result = session.run()
+    after = ledger.counts()
+    print(result.render(f"SysNoise run — {args.model}"))
+    print(f"run {result.run_id}: ledger {ledger.path / 'ledger.jsonl'} "
+          f"({after['ok']} ok, {after['error']} failed, "
+          f"{after['entries'] - before['entries']} new this invocation)")
+    return 0
+
+
+def cmd_resume(args: argparse.Namespace) -> int:
+    from repro.core import RunStore
+
+    store = RunStore(args.store)
+    try:
+        manifest = store.read_manifest(args.run_id)
+    except ValueError as exc:
+        print(f"error: {exc}")
+        return 2
+    cli = manifest.get("cli", {})
+    if "data" not in cli:
+        print(f"error: run {args.run_id!r} has no CLI manifest (created "
+              f"through the Python API?); resume it by re-running your "
+              f"script with .store({str(store.root)!r}, "
+              f"run_id={args.run_id!r})")
+        return 2
+    workers = args.workers if args.workers is not None else cli.get("workers")
+    mode = args.mode or cli.get("mode", "thread")
+    retries = (args.retries if args.retries is not None
+               else cli.get("retries", 0))
+    session = _build_stored_session(
+        cli.get("model", manifest["model"]), manifest["seed"], cli["data"],
+        workers, mode, cli.get("batch_size"), retries)
+    session.noises(*manifest["noises"]).skip(*manifest.get("skip", ()))
+    session.combined(manifest.get("include_combined", True))
+    session.store(store, run_id=args.run_id, data=cli["data"], cli=cli)
+    ledger = session.ledger                # the single ledger replay
+    before = ledger.counts()
+    _fit_or_load(session, ledger, cli.get("fit", {}).get("epochs", 15))
+    result = session.run()
+    after = ledger.counts()
+    print(result.render(f"SysNoise run — {session._label} (resumed)"))
+    print(f"resumed run {args.run_id}: {before['ok']} evaluation(s) "
+          f"restored from the ledger, "
+          f"{after['entries'] - before['entries']} re-executed"
+          + (f", {after['error']} still failing" if after["error"] else ""))
+    return 0

@@ -31,6 +31,8 @@ from .registry import (CLS_NOISES, DET_NOISES, NOISE_TAXONOMY, SEG_NOISES,
                        register_noise, temporary_noise, unregister_noise,
                        worst_case_stack)
 from .report import format_cell, render_curve, render_table, render_taxonomy
+from .runstore import (RunLedger, RunStore, config_digest, ledger_table,
+                       run_manifest)
 from .session import (BenchmarkSession, NoiseResult, Session, SessionResult,
                       noise_row, sweep_noise, worst_case_curve)
 from .sweep import SweepEngine
@@ -52,6 +54,8 @@ __all__ = [
     "task_names", "evaluate_for_task", "NLPDataset",
     # session facade + sweep engine
     "BenchmarkSession", "Session", "SessionResult", "SweepEngine",
+    # crash-safe run persistence
+    "RunStore", "RunLedger", "config_digest", "ledger_table", "run_manifest",
     # pipeline + caching
     "decode_dataset", "preprocess", "preprocess_dataset", "apply_model_noise",
     "normalize", "DecodeCache", "EvalCache", "streams_digest",

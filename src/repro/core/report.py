@@ -1,6 +1,15 @@
-"""Plain-text table rendering in the paper's format."""
+"""Plain-text table rendering in the paper's format.
+
+Cell vocabulary: ``-`` marks an *inapplicable* cell (a skipped noise, or the
+Combined column when the row was built with ``include_combined=False``);
+``!`` marks a cell whose every evaluation failed (or has not run yet when
+rendering a partially complete ledger); a trailing ``!`` on a numeric cell
+flags partial failure — the statistics cover the surviving variants only.
+"""
 
 from __future__ import annotations
+
+import math
 
 from .benchmark import NoiseResult
 
@@ -11,9 +20,20 @@ def format_cell(result: NoiseResult | None, multi: bool) -> str:
     """Paper-style cell: "mean (max)" for multi-option noises, plain Δ else."""
     if result is None:
         return "-"
-    if multi:
-        return f"{result.mean_delta:.2f} ({result.max_delta:.2f})"
-    return f"{result.mean_delta:.2f}"
+    if result.all_failed:
+        return "!"
+    cell = (f"{result.mean_delta:.2f} ({result.max_delta:.2f})" if multi
+            else f"{result.mean_delta:.2f}")
+    return cell + "!" if result.errors else cell
+
+
+def _scalar_cell(value) -> str:
+    """Baseline / Combined cell: '-' when absent, '!' when failed."""
+    if value is None:
+        return "-"
+    if math.isnan(value):
+        return "!"
+    return f"{value:.2f}"
 
 
 def _is_multi(noise: str) -> bool:
@@ -30,9 +50,9 @@ def render_table(rows: dict[str, dict], noises: list[str], metric: str,
                  title: str) -> str:
     """Render {model -> noise_row(...)} as an aligned text table."""
     headers = ["Architecture", f"Trained {metric}"] + noises + ["Combined"]
-    lines = [[name, f"{row['trained']:.2f}"]
+    lines = [[name, _scalar_cell(row["trained"])]
              + [format_cell(row["noises"].get(n), _is_multi(n)) for n in noises]
-             + [f"{row.get('combined', float('nan')):.2f}"]
+             + [_scalar_cell(row.get("combined"))]
              for name, row in rows.items()]
     widths = [max(len(h), *(len(l[i]) for l in lines)) if lines else len(h)
               for i, h in enumerate(headers)]

@@ -1,0 +1,409 @@
+"""Crash-safe run persistence: an append-only JSONL ledger per sweep run.
+
+A full SysNoise sweep is the longest-running workload in the repo, yet until
+this module existed nothing was persisted until the process printed its
+table — one raising ``evaluate()`` (or one OOM-killed worker) threw away
+every already-computed metric.  A :class:`RunStore` fixes that with the
+classic write-ahead-log shape used by fault-tolerant ML systems:
+
+* **One directory per run** (``<root>/<run_id>/``) holding
+
+  - ``manifest.json`` — written once, atomically, when the run is created:
+    task, model label, seed, noise set, skip set, metric name, interpreter /
+    NumPy / platform fingerprint, plus any caller extras (the CLI stores the
+    dataset/training arguments it needs to rebuild the session).
+  - ``ledger.jsonl`` — one JSON object per *completed* evaluation, appended
+    and flushed (``fsync``) as each ``(model, dataset digest, config
+    digest)`` cell finishes.  Failures are first-class entries
+    (``status="error"`` with the exception text and attempt count), so a
+    post-mortem can distinguish "never ran" from "ran and raised".
+
+* **Resume = replay the ledger.**  :meth:`RunLedger.lookup` answers "is this
+  cell already complete?" from an in-memory index; a resumed
+  :class:`~repro.core.session.BenchmarkSession` (or ``repro resume``) skips
+  every complete cell and re-executes at most the remainder.  Values round-
+  trip through JSON via ``repr`` semantics, so a resumed table is
+  bit-identical to an uninterrupted one.
+
+* **Torn writes are tolerated.**  A SIGKILL can land mid-``write``; on open,
+  lines that do not parse (almost always the torn final line) are counted
+  and skipped, never propagated.
+
+The ledger key is ``(model_key, dataset_digest, config_digest)``: the model
+key is the session label (stable across processes, unlike ``id()``), the
+dataset digest is :func:`~repro.core.cache.dataset_token` (bitstream content
+for image datasets), and :func:`config_digest` canonicalises a
+:class:`~repro.core.noise.NoiseConfig` — including registry ``extra``
+noises — into a stable hash.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import logging
+import os
+import platform
+import threading
+import time
+import uuid
+from pathlib import Path
+
+__all__ = ["RunStore", "RunLedger", "config_digest", "run_manifest",
+           "ledger_table"]
+
+logger = logging.getLogger(__name__)
+
+_MANIFEST = "manifest.json"
+_LEDGER = "ledger.jsonl"
+
+
+# ---------------------------------------------------------------------------
+# Stable config identity
+# ---------------------------------------------------------------------------
+
+def _canonical(obj):
+    """A JSON-serialisable canonical form of a config (or any variant value).
+
+    Dataclasses flatten to sorted field dicts, mappings sort their keys, and
+    anything non-primitive falls back to ``repr`` — the goal is a byte
+    stream that is identical across processes and Python sessions for
+    equal configs, never a reversible encoding.
+    """
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {f.name: _canonical(getattr(obj, f.name))
+                for f in dataclasses.fields(obj)}
+    if isinstance(obj, dict):
+        return {str(k): _canonical(v) for k, v in sorted(obj.items(),
+                                                         key=lambda kv:
+                                                         str(kv[0]))}
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(v) for v in obj]
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    return repr(obj)
+
+
+def config_digest(cfg) -> str:
+    """Stable hex digest of a :class:`NoiseConfig` (or any dataclass).
+
+    Equal configs digest equally in every process — unlike ``hash()``
+    (salted per interpreter) or ``id()``-derived keys — so ledger entries
+    written by one run satisfy lookups in the next.
+    """
+    doc = json.dumps(_canonical(cfg), sort_keys=True, separators=(",", ":"))
+    return hashlib.blake2b(doc.encode(), digest_size=16).hexdigest()
+
+
+def run_manifest(*, task: str, model: str, seed: int, noises,
+                 skip=(), include_combined: bool = True,
+                 metric: str = "metric", **extra) -> dict:
+    """A manifest dict in the canonical shape :class:`RunStore` expects."""
+    import numpy as np
+    manifest = {
+        "task": task, "model": model, "seed": seed,
+        "noises": list(noises), "skip": sorted(skip),
+        "include_combined": bool(include_combined), "metric": metric,
+        "env": {"python": platform.python_version(),
+                "numpy": np.__version__,
+                "platform": platform.platform()},
+    }
+    manifest.update(extra)
+    return manifest
+
+
+#: Manifest fields that must match for a resume to be legal — resuming a
+#: ledger with a different model/seed/noise-set (or, when recorded, dataset
+#: arguments) would splice two different experiments into one table.  A
+#: field is only compared when both manifests carry it, so callers that
+#: don't record ``data`` are unaffected.
+_IDENTITY_FIELDS = ("task", "model", "seed", "noises", "skip",
+                    "include_combined", "data")
+
+
+# ---------------------------------------------------------------------------
+# One run's ledger
+# ---------------------------------------------------------------------------
+
+class RunLedger:
+    """Append-only JSONL evaluation log for one run (thread-safe)."""
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self.run_id = self.path.name
+        self._lock = threading.Lock()
+        self._ok: dict[tuple, dict] = {}       # key -> latest ok entry
+        self._err: dict[tuple, dict] = {}      # key -> latest error entry
+        self._entries: list[dict] = []         # append order, parsed once
+        self._n_corrupt = 0
+        self._manifest: dict | None = None
+        self._replay()
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def create(cls, path: str | Path, manifest: dict) -> "RunLedger":
+        path = Path(path)
+        path.mkdir(parents=True, exist_ok=True)
+        # Atomic manifest write: a crash mid-create leaves no half manifest.
+        tmp = path / (_MANIFEST + ".tmp")
+        tmp.write_text(json.dumps(manifest, indent=2, default=repr) + "\n")
+        os.replace(tmp, path / _MANIFEST)
+        return cls(path)
+
+    @property
+    def manifest(self) -> dict:
+        if self._manifest is None:
+            mpath = self.path / _MANIFEST
+            self._manifest = (json.loads(mpath.read_text())
+                              if mpath.exists() else {})
+        return self._manifest
+
+    # -- replay / read side -------------------------------------------------
+
+    @staticmethod
+    def _key(entry: dict) -> tuple:
+        return (entry.get("model"), entry.get("dataset"), entry.get("cfg"))
+
+    def _index(self, entry: dict) -> None:
+        if entry.get("kind") != "eval":
+            return
+        target = self._ok if entry.get("status") == "ok" else self._err
+        target[self._key(entry)] = entry
+
+    def _replay(self) -> None:
+        lpath = self.path / _LEDGER
+        if not lpath.exists():
+            return
+        with lpath.open("r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except ValueError:
+                    # Almost always the torn final line of a killed run.
+                    self._n_corrupt += 1
+                    continue
+                self._entries.append(entry)
+                self._index(entry)
+        if self._n_corrupt:
+            logger.warning("run %s: skipped %d corrupt ledger line(s) "
+                           "(interrupted write)", self.run_id, self._n_corrupt)
+
+    def entries(self) -> list[dict]:
+        """Every parseable ledger entry, in append order (parsed once)."""
+        with self._lock:
+            return list(self._entries)
+
+    def lookup(self, model: str, dataset: str, cfg_digest: str) -> dict | None:
+        """The *complete* (status ok) entry for this cell, or None.
+
+        Error entries never satisfy a lookup — a resumed run re-executes
+        failed cells (they may have died to a transient crash).
+        """
+        with self._lock:
+            return self._ok.get((model, dataset, cfg_digest))
+
+    def counts(self) -> dict:
+        """Entry statistics — what the resume CLI and tests assert on."""
+        with self._lock:
+            return {"entries": len(self._entries),
+                    "ok": len(self._ok),
+                    "error": len(set(self._err) - set(self._ok)),
+                    "corrupt": self._n_corrupt}
+
+    # -- write side ---------------------------------------------------------
+
+    def append(self, entry: dict) -> None:
+        """Append one entry, flushed and fsync'd before returning.
+
+        The fsync is the crash-safety contract: once ``append`` returns, a
+        SIGKILL cannot lose the entry (a torn *partial* line from a kill
+        mid-call is skipped on replay).
+        """
+        line = json.dumps(entry, default=repr, separators=(",", ":"))
+        with self._lock:
+            with (self.path / _LEDGER).open("a", encoding="utf-8") as fh:
+                fh.write(line + "\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+            self._entries.append(entry)
+            self._index(entry)
+
+    def record_eval(self, model: str, dataset: str, cfg_digest: str, *,
+                    status: str, value: float | None = None,
+                    error: str | None = None, noise: str | None = None,
+                    label: str | None = None, attempts: int = 1) -> None:
+        """Append one evaluation outcome (ok or structured failure)."""
+        entry = {"kind": "eval", "model": model, "dataset": dataset,
+                 "cfg": cfg_digest, "status": status, "attempts": attempts,
+                 "ts": time.time()}
+        if noise is not None:
+            entry["noise"] = noise
+        if label is not None:
+            entry["label"] = label
+        if status == "ok":
+            entry["value"] = value
+        else:
+            entry["error"] = error or "unknown failure"
+        self.append(entry)
+
+
+# ---------------------------------------------------------------------------
+# The store: a directory of runs
+# ---------------------------------------------------------------------------
+
+class RunStore:
+    """A directory of crash-safe runs, one :class:`RunLedger` each."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+
+    def runs(self) -> list[str]:
+        """Run ids present in the store, oldest first (ids sort by time)."""
+        if not self.root.exists():
+            return []
+        return sorted(p.name for p in self.root.iterdir()
+                      if p.is_dir() and (p / _MANIFEST).exists())
+
+    def latest(self) -> str | None:
+        runs = self.runs()
+        return runs[-1] if runs else None
+
+    def __contains__(self, run_id: str) -> bool:
+        return (self.root / run_id / _MANIFEST).exists()
+
+    @staticmethod
+    def new_run_id() -> str:
+        """Sortable-by-creation-time id: ``<utc timestamp>-<random>``."""
+        stamp = time.strftime("%Y%m%d-%H%M%S", time.gmtime())
+        return f"{stamp}-{uuid.uuid4().hex[:6]}"
+
+    def create(self, manifest: dict, run_id: str | None = None) -> RunLedger:
+        run_id = run_id or self.new_run_id()
+        if run_id in self:
+            raise ValueError(f"run {run_id!r} already exists under "
+                             f"{self.root}")
+        return RunLedger.create(self.root / run_id, manifest)
+
+    def open(self, run_id: str) -> RunLedger:
+        if run_id not in self:
+            raise ValueError(f"no run {run_id!r} under {self.root} "
+                             f"(known: {self.runs()})")
+        return RunLedger(self.root / run_id)
+
+    def read_manifest(self, run_id: str) -> dict:
+        """The run's manifest without replaying its ledger (cheap)."""
+        if run_id not in self:
+            raise ValueError(f"no run {run_id!r} under {self.root} "
+                             f"(known: {self.runs()})")
+        return json.loads((self.root / run_id / _MANIFEST).read_text())
+
+    def open_or_create(self, manifest: dict,
+                       run_id: str | None = None) -> RunLedger:
+        """Resume ``run_id`` if it exists (manifest identity must match),
+        else create it.  This is what ``BenchmarkSession.run()`` calls."""
+        if run_id is None or run_id not in self:
+            return self.create(manifest, run_id)
+        ledger = self.open(run_id)
+        mismatched = [f for f in _IDENTITY_FIELDS
+                      if f in ledger.manifest and f in manifest
+                      and ledger.manifest[f] != manifest[f]]
+        if mismatched:
+            raise ValueError(
+                f"cannot resume run {run_id!r}: manifest mismatch on "
+                f"{mismatched} (stored "
+                f"{ {f: ledger.manifest[f] for f in mismatched} }, "
+                f"requested { {f: manifest[f] for f in mismatched} })")
+        return ledger
+
+
+# ---------------------------------------------------------------------------
+# Rendering a table straight from a ledger
+# ---------------------------------------------------------------------------
+
+def ledger_table(ledger: RunLedger, title: str | None = None) -> str:
+    """Render the paper-style sweep table directly from a run's ledger.
+
+    The noise → variant → config mapping is reconstructed from the registry
+    (variant sets are deterministic), so no per-variant metadata beyond the
+    config digest is needed.  Cells whose evaluation failed — or has not run
+    yet in a partially complete run — render as ``!``.
+    """
+    import numpy as np
+
+    from .noise import TRAIN_CONFIG
+    from .registry import combined_config, get_noise
+    from .report import render_table
+    from .sweep import NoiseResult
+
+    manifest = ledger.manifest
+    noises = list(manifest.get("noises", ()))
+    skip = set(manifest.get("skip", ()))
+    label = manifest.get("model", "model")
+
+    # Cells are scoped to the run's model label and its *latest* dataset
+    # digest: the ledger key is (model, dataset, cfg), so entries that a
+    # mis-resumed run wrote against a different dataset must not silently
+    # satisfy cells of the current one.
+    evals = [e for e in ledger.entries()
+             if e.get("kind") == "eval" and e.get("model") == label]
+    dataset = evals[-1].get("dataset") if evals else None
+    dropped = sum(e.get("dataset") != dataset for e in evals)
+    if dropped:
+        logger.warning("run %s: ignoring %d entr(ies) from a different "
+                       "dataset digest", ledger.run_id, dropped)
+    ok: dict[str, dict] = {}
+    err: dict[str, dict] = {}
+    for entry in evals:
+        if entry.get("dataset") != dataset:
+            continue
+        (ok if entry.get("status") == "ok" else err)[entry["cfg"]] = entry
+
+    def cell(cfg) -> tuple[float, str | None]:
+        digest = config_digest(cfg)
+        hit = ok.get(digest)
+        if hit is not None:
+            return float(hit["value"]), None
+        failed = err.get(digest)
+        return float("nan"), (failed["error"] if failed else "not evaluated")
+
+    baseline, baseline_err = cell(TRAIN_CONFIG)
+    row: dict = {"trained": baseline, "noises": {}}
+    applicable: list[str] = []
+    for name in noises:
+        if name in skip:
+            row["noises"][name] = None
+            continue
+        try:
+            src = get_noise(name)
+        except ValueError:
+            # A custom noise registered by the run's script but absent from
+            # this process's registry: its variant configs cannot be
+            # reconstructed, so the column renders as failed, not a crash.
+            row["noises"][name] = NoiseResult(
+                name, baseline, [float("nan")],
+                {0: "noise type not registered in this process"})
+            continue
+        applicable.append(name)
+        values: list[float] = []
+        errors: dict[int, str] = {}
+        for i, variant in enumerate(src.variants()):
+            value, error = cell(src.apply(TRAIN_CONFIG, variant))
+            values.append(value)
+            if error is not None:
+                errors[i] = error
+        row["noises"][name] = NoiseResult(name, baseline, values, errors)
+    if manifest.get("include_combined", True):
+        combined, combined_err = cell(combined_config(applicable))
+        row["combined"] = (float("nan") if combined_err is not None
+                           or np.isnan(baseline)
+                           else baseline - combined)
+
+    title = title or (f"SysNoise run {ledger.run_id} — {label} "
+                      f"({manifest.get('task', '?')})")
+    return render_table({label: row}, noises,
+                        manifest.get("metric", "metric"), title)

@@ -20,8 +20,12 @@ sweeps every requested noise type via the registry, and aggregates
 dataset never re-decode *or* re-evaluate — and never suffer the
 ``id()``-reuse staleness of the seed implementation.  Sweeps run through a
 :class:`~repro.core.sweep.SweepEngine`: call :meth:`BenchmarkSession.workers`
-to fan variant evaluations out over a thread pool, and
-:meth:`BenchmarkSession.batch` to control evaluation minibatch size.
+to fan variant evaluations out over a thread pool,
+:meth:`BenchmarkSession.batch` to control evaluation minibatch size,
+:meth:`BenchmarkSession.retries` to set the per-cell failure retry budget,
+and :meth:`BenchmarkSession.store` to attach a crash-safe
+:class:`~repro.core.runstore.RunStore` ledger (interrupted runs resume by
+skipping ledger-complete evaluations).
 
 The module-level :func:`sweep_noise` / :func:`noise_row` /
 :func:`worst_case_curve` (re-exported from :mod:`repro.core.sweep`) are the
@@ -59,6 +63,8 @@ class SessionResult:
     baseline: float
     results: dict[str, NoiseResult | None]
     combined: float | None = None
+    #: Ledger run id when the session was attached to a RunStore.
+    run_id: str | None = None
 
     def row(self) -> dict:
         """The legacy ``noise_row`` dict shape (render_table input)."""
@@ -75,9 +81,12 @@ class SessionResult:
                             self.metric, title)
 
     def worst(self) -> tuple[str, float] | None:
-        """(noise, mean Δ) of the most damaging swept noise, if any."""
+        """(noise, mean Δ) of the most damaging swept noise, if any.
+
+        Noises whose every variant failed have no Δ and are excluded.
+        """
         swept = [(n, r.mean_delta) for n, r in self.results.items()
-                 if r is not None and r.values]
+                 if r is not None and r.values and not r.all_failed]
         return max(swept, key=lambda t: t[1]) if swept else None
 
 
@@ -101,6 +110,11 @@ class BenchmarkSession:
         self._seed = 0
         self._workers = workers
         self._batch_size = batch_size
+        self._retries = 0
+        self._store = None
+        self._run_id: str | None = None
+        self._manifest_extra: dict = {}
+        self._ledger_obj = None
         self.cache = DecodeCache(maxsize=cache_size)
         self.eval_cache = EvalCache()
 
@@ -185,6 +199,34 @@ class BenchmarkSession:
         self._batch_size = batch_size
         return self
 
+    def retries(self, n: int) -> "BenchmarkSession":
+        """Retry budget per evaluation before recording a structured failure.
+
+        With the default 0, a raising (or worker-killing) evaluation is
+        recorded as a failed cell on the first strike; the rest of the sweep
+        still completes and renders (failed cells show as ``!``).
+        """
+        self._retries = n
+        return self
+
+    def store(self, path, run_id: str | None = None,
+              **manifest_extra) -> "BenchmarkSession":
+        """Attach a crash-safe :class:`~repro.core.runstore.RunStore`.
+
+        Every evaluation :meth:`run` performs is appended to an on-disk
+        JSONL ledger as it completes.  Pass the ``run_id`` of an existing
+        run to *resume* it: ledger-complete evaluations are skipped and the
+        final table is bit-identical to an uninterrupted run.  Extra keyword
+        arguments are merged into the run manifest (the CLI stores the
+        arguments it needs to rebuild the session).
+        """
+        from .runstore import RunStore
+        self._store = path if isinstance(path, RunStore) else RunStore(path)
+        self._run_id = run_id
+        self._manifest_extra = manifest_extra
+        self._ledger_obj = None
+        return self
+
     def fit(self, train_ds=None, cfg=None, **train_kw) -> "BenchmarkSession":
         """Train the model through the training-system pipeline."""
         ds = train_ds if train_ds is not None else self._train_ds
@@ -202,7 +244,28 @@ class BenchmarkSession:
         # they are content-keyed).
         self.eval_cache.clear()
         self.cache.drop_prefix("model")
+        if self._stored_entries():
+            # The on-disk ledger has no weights identity, so its metrics are
+            # only valid if this fit reproduced the recorded run's weights —
+            # true for the documented resume flow (same seed, same data,
+            # deterministic training), wrong for a re-fit with new settings.
+            import logging
+            logging.getLogger(__name__).warning(
+                "run %s: fitting with a non-empty ledger — ledgered metrics "
+                "will be reused and assume this training reproduced the "
+                "recorded weights (same seed/config); attach a fresh run_id "
+                "via .store(...) if this is a different model",
+                self._run_id)
         return self
+
+    def _stored_entries(self) -> int:
+        """Ledger entry count without creating the run directory."""
+        if self._ledger_obj is not None:
+            return self._ledger_obj.counts()["entries"]
+        if (self._store is not None and self._run_id is not None
+                and self._run_id in self._store):
+            return self._store.open(self._run_id).counts()["entries"]
+        return 0
 
     # -- resolution helpers -------------------------------------------------
 
@@ -245,14 +308,50 @@ class BenchmarkSession:
     def engine(self) -> SweepEngine:
         """The sweep engine for this session's workers + eval-cache state."""
         return SweepEngine(workers=self._workers, eval_cache=self.eval_cache,
-                           mode=self._mode)
+                           mode=self._mode, retries=self._retries,
+                           ledger=self.ledger,
+                           model_key=self._label or "model")
+
+    def _selected_noises(self) -> list[str]:
+        return list(self._noises if self._noises is not None
+                    else self.adapter.noises)
+
+    @property
+    def ledger(self):
+        """The session's :class:`RunLedger` (created/resumed lazily), or
+        None when no store is attached."""
+        if self._store is None:
+            return None
+        if self._ledger_obj is None:
+            from .runstore import run_manifest
+            manifest = run_manifest(
+                task=self._task_name or "?",
+                model=self._label or "model", seed=self._seed,
+                noises=self._selected_noises(), skip=self._skip,
+                include_combined=self._include_combined,
+                metric=self.adapter.metric_name,
+                **self._manifest_extra)
+            self._ledger_obj = self._store.open_or_create(manifest,
+                                                          self._run_id)
+            self._run_id = self._ledger_obj.run_id
+        return self._ledger_obj
+
+    @property
+    def run_id(self) -> str | None:
+        return self._run_id
 
     def run(self) -> SessionResult:
-        """Sweep every selected noise and aggregate one table row."""
+        """Sweep every selected noise and aggregate one table row.
+
+        With a store attached (see :meth:`store`), every completed
+        evaluation is appended to the run ledger as it finishes, and
+        ledger-complete entries from a previous (interrupted) run are
+        skipped — so re-running after a crash re-executes at most the
+        remaining evaluations and produces a bit-identical table.
+        """
         adapter, ds = self.adapter, self.eval_data
         model = self._ensure_model(ds)
-        noises = list(self._noises if self._noises is not None
-                      else adapter.noises)
+        noises = self._selected_noises()
         engine = self.engine()
         row = engine.noise_row(self._eval_fn(adapter), model, ds, noises,
                                skip=self._skip,
@@ -260,7 +359,8 @@ class BenchmarkSession:
         return SessionResult(task=self._task_name, metric=adapter.metric_name,
                              label=self._label or "model", noises=noises,
                              baseline=row["trained"], results=row["noises"],
-                             combined=row.get("combined"))
+                             combined=row.get("combined"),
+                             run_id=self._run_id)
 
     def worst_case(self, noises=None) -> list[tuple[str, float]]:
         """The Fig.-3 cumulative stacking curve for this session."""

@@ -27,6 +27,19 @@ clean baseline for every table row.  :class:`SweepEngine` fixes both:
   ``sweep_noise``, every ``noise_row``, and ``worst_case_curve`` instead of
   being recomputed per row.
 
+* **Fault isolation** — a raising ``evaluate()`` (or a crashed process-pool
+  worker) no longer aborts the sweep: the failing cell is retried up to the
+  engine's ``retries`` budget, then recorded as a *structured failure* (a
+  ``NaN`` value plus the exception text in :attr:`NoiseResult.errors`) while
+  every surviving variant still lands in the row.  Failed cells render as
+  ``!`` in :mod:`repro.core.report`.
+
+* **Crash-safe persistence** — attach a
+  :class:`~repro.core.runstore.RunLedger` and every completed evaluation is
+  appended to the on-disk JSONL ledger as it finishes; ledger-complete
+  cells are skipped on re-runs, which is what makes an interrupted sweep
+  resumable to a bit-identical table.
+
 The module-level :func:`sweep_noise` / :func:`noise_row` /
 :func:`worst_case_curve` keep their historical signatures and serial
 defaults; pass ``engine=SweepEngine(workers=...)`` (or drive a
@@ -40,11 +53,12 @@ import logging
 import os
 import pickle
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from .cache import EvalCache, eval_key, streams_digest
+from .cache import EvalCache, dataset_token, eval_key, streams_digest
 from .noise import NoiseConfig, TRAIN_CONFIG
 from .registry import combined_config, get_noise, worst_case_stack
 
@@ -52,6 +66,14 @@ __all__ = ["NoiseResult", "SweepEngine", "sweep_noise", "noise_row",
            "worst_case_curve", "available_cores"]
 
 logger = logging.getLogger(__name__)
+
+
+def _err_str(exc: BaseException | None) -> str:
+    """Ledger/row representation of an exception."""
+    if exc is None:
+        return "unknown failure"
+    text = str(exc)
+    return f"{type(exc).__name__}: {text}" if text else type(exc).__name__
 
 
 def available_cores() -> int:
@@ -74,23 +96,45 @@ def available_cores() -> int:
 
 @dataclass
 class NoiseResult:
-    """Δmetric statistics for one noise type on one model."""
+    """Δmetric statistics for one noise type on one model.
+
+    Variants whose evaluation failed hold ``NaN`` in :attr:`values` and an
+    exception string in :attr:`errors` (keyed by variant index); the Δ
+    statistics are computed over the *surviving* variants only, so one bad
+    cell degrades the row instead of poisoning it.
+    """
 
     noise: str
     baseline: float
     values: list[float] = field(default_factory=list)   # metric per variant
+    errors: dict[int, str] = field(default_factory=dict)  # idx -> exception
 
     @property
     def deltas(self) -> list[float]:
         return [self.baseline - v for v in self.values]
 
+    def _ok_deltas(self) -> list[float]:
+        return [self.baseline - v for i, v in enumerate(self.values)
+                if i not in self.errors and not np.isnan(v)]
+
+    @property
+    def n_failed(self) -> int:
+        return len(self.errors)
+
+    @property
+    def all_failed(self) -> bool:
+        """True when there are variants but none survived evaluation."""
+        return bool(self.values) and not self._ok_deltas()
+
     @property
     def mean_delta(self) -> float:
-        return float(np.mean(self.deltas)) if self.values else float("nan")
+        ok = self._ok_deltas()
+        return float(np.mean(ok)) if ok else float("nan")
 
     @property
     def max_delta(self) -> float:
-        return float(np.max(self.deltas)) if self.values else float("nan")
+        ok = self._ok_deltas()
+        return float(np.max(ok)) if ok else float("nan")
 
 
 class SweepEngine:
@@ -100,14 +144,30 @@ class SweepEngine:
     :meth:`~repro.core.tasks.TaskAdapter.evaluate` or one of the legacy free
     functions.  The engine never mutates the model: evaluators already work
     on deployment copies, so concurrent variants are independent.
+
+    ``retries`` is the per-cell retry budget: a raising evaluation (or a
+    crashed process-pool batch) is re-attempted that many extra times before
+    being recorded as a structured failure.  ``ledger`` (a
+    :class:`~repro.core.runstore.RunLedger`) makes the engine crash-safe:
+    completed cells are appended to the on-disk ledger as they finish and
+    skipped on re-runs; ``model_key`` is the stable model identity used in
+    ledger keys (defaults to the model's class name).
     """
 
     def __init__(self, workers: int | None = None,
-                 eval_cache: EvalCache | None = None, mode: str = "thread"):
+                 eval_cache: EvalCache | None = None, mode: str = "thread",
+                 retries: int = 0, ledger=None,
+                 model_key: str | None = None):
         if mode not in ("thread", "process"):
             raise ValueError(f"mode must be 'thread' or 'process', got {mode!r}")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
         self.workers = workers
         self.mode = mode
+        self.retries = retries
+        self.ledger = ledger
+        self.model_key = model_key
+        self._ledger_writes_failed = False
         self.eval_cache = eval_cache if eval_cache is not None else EvalCache()
 
     # -- scheduling ---------------------------------------------------------
@@ -140,54 +200,193 @@ class SweepEngine:
         with ThreadPoolExecutor(max_workers=workers) as pool:
             return list(pool.map(fn, items))
 
-    def evaluate(self, evaluate, model, ds, cfg: NoiseConfig) -> float:
-        """One (model, dataset, config) metric through the eval cache."""
-        return self.eval_cache.evaluate(
-            eval_key(model, ds, cfg), lambda: evaluate(model, ds, cfg))
+    # -- one cell: cache -> ledger -> compute (with retry budget) -----------
+
+    def _cache_key(self, model, ds, cfg):
+        try:
+            return eval_key(model, ds, cfg)
+        except TypeError:
+            return None
+
+    def _ledger_key(self, model, ds, cfg) -> tuple | None:
+        if self.ledger is None:
+            return None
+        token = dataset_token(ds)
+        if not isinstance(token, str):
+            # No content digest (dataset without encoded ``streams``): the
+            # fallback identity token is a per-process counter, so a resumed
+            # process could collide with a *different* dataset's entries.
+            # No stable identity -> no ledger for this dataset.
+            return None
+        from .runstore import config_digest
+        model_key = self.model_key or type(model).__name__
+        return (model_key, token, config_digest(cfg))
+
+    def _ledger_hit(self, lkey) -> float | None:
+        if lkey is None:
+            return None
+        entry = self.ledger.lookup(*lkey)
+        return None if entry is None else float(entry["value"])
+
+    def _ledger_record(self, lkey, **entry) -> None:
+        """Best-effort ledger append: persistence failures (full disk,
+        deleted run dir) must not abort a sweep the fault-isolation
+        machinery exists to protect — the sweep degrades to unledgered.
+        Writes are disabled after the first failure (the run can no longer
+        be resumed past this point, which the warning says once)."""
+        if lkey is None or self._ledger_writes_failed:
+            return
+        try:
+            self.ledger.record_eval(*lkey, **entry)
+        except Exception as exc:               # noqa: BLE001 — I/O errors
+            self._ledger_writes_failed = True
+            logger.warning("run ledger write failed (%s); continuing "
+                           "without persistence — this run cannot be "
+                           "resumed past the entries already on disk", exc)
+
+    def _ledger_backfill(self, lkey, value: float, cfg: NoiseConfig,
+                         noise: str | None) -> None:
+        """Persist a cache-hit cell that the ledger has not seen yet."""
+        if lkey is not None and self.ledger.lookup(*lkey) is None:
+            self._ledger_record(lkey, status="ok", value=value,
+                                noise=noise, label=cfg.describe(),
+                                attempts=1)
+
+    def _eval_one(self, evaluate, model, ds, cfg: NoiseConfig,
+                  noise: str | None = None) -> tuple[float, Exception | None]:
+        """One cell -> ``(value, error)``; never raises.
+
+        Order of authority: in-memory eval cache, then the run ledger
+        (completed cells from an interrupted run), then computation with the
+        retry budget.  Outcomes — successes *and* final failures — are
+        appended to the ledger before returning, which is the crash-safety
+        contract: a SIGKILL immediately after this call loses nothing.
+        """
+        key = self._cache_key(model, ds, cfg)
+        lkey = self._ledger_key(model, ds, cfg)
+        if key is not None:
+            hit = self.eval_cache.get(key)
+            if hit is not None:
+                # A value cached before the store was attached still honours
+                # the "every completed evaluation is on disk" contract.
+                self._ledger_backfill(lkey, hit, cfg, noise)
+                return hit, None
+        hit = self._ledger_hit(lkey)
+        if hit is not None:
+            if key is not None:
+                self.eval_cache.put(key, hit)
+            return hit, None
+        last: Exception | None = None
+        for attempt in range(1, self.retries + 2):
+            try:
+                value = float(evaluate(model, ds, cfg))
+            except Exception as exc:           # noqa: BLE001 — isolate cell
+                last = exc
+                logger.warning(
+                    "evaluation failed (attempt %d/%d, %s): %s",
+                    attempt, self.retries + 1, cfg.describe(), exc)
+                continue
+            if key is not None:
+                self.eval_cache.put(key, value)
+            self._ledger_record(lkey, status="ok", value=value,
+                                noise=noise, label=cfg.describe(),
+                                attempts=attempt)
+            return value, None
+        self._ledger_record(lkey, status="error", error=_err_str(last),
+                            noise=noise, label=cfg.describe(),
+                            attempts=self.retries + 1)
+        return float("nan"), last
+
+    def evaluate(self, evaluate, model, ds, cfg: NoiseConfig,
+                 noise: str | None = None) -> float:
+        """One (model, dataset, config) metric through cache + ledger.
+
+        Unlike the batch sweep paths this is *strict*: a final failure
+        re-raises the original exception (after recording it), because a
+        single-cell caller has no row for the failure to be isolated into.
+        """
+        value, error = self._eval_one(evaluate, model, ds, cfg, noise=noise)
+        if error is not None:
+            raise error
+        return value
 
     def baseline(self, evaluate, model, ds) -> float:
-        """The memoised clean-config metric for this (model, dataset)."""
-        return self.evaluate(evaluate, model, ds, TRAIN_CONFIG)
+        """The memoised clean-config metric for this (model, dataset).
 
-    def _map_configs(self, evaluate, model, ds,
-                     cfgs: list[NoiseConfig]) -> list[float]:
+        A failing *baseline* is fatal (strict): without it no Δ in the row
+        is computable, so there is nothing to isolate.
+        """
+        return self.evaluate(evaluate, model, ds, TRAIN_CONFIG,
+                             noise="baseline")
+
+    def _map_configs(self, evaluate, model, ds, cfgs: list[NoiseConfig],
+                     noise_names: list[str | None] | None = None,
+                     ) -> tuple[list[float], dict[int, str]]:
+        """Evaluate ``cfgs`` with per-cell fault isolation.
+
+        Returns ``(values, errors)``: values aligned with ``cfgs`` (``NaN``
+        where evaluation ultimately failed) and ``errors`` mapping failed
+        indices to exception strings.
+        """
+        names = noise_names or [None] * len(cfgs)
         if self.mode == "process" and self.effective_workers > 1:
-            values = self._process_map(evaluate, model, ds, cfgs)
-            if values is not None:
-                return values
-        return self.map(lambda cfg: self.evaluate(evaluate, model, ds, cfg),
-                        cfgs)
+            out = self._process_map(evaluate, model, ds, cfgs, names)
+            if out is not None:
+                return out
+        results = self.map(
+            lambda job: self._eval_one(evaluate, model, ds, job[1],
+                                       noise=names[job[0]]),
+            list(enumerate(cfgs)))
+        values = [value for value, _ in results]
+        errors = {i: _err_str(error)
+                  for i, (_, error) in enumerate(results)
+                  if error is not None}
+        return values, errors
 
     # -- process fan-out ----------------------------------------------------
 
-    def _process_map(self, evaluate, model, ds,
-                     cfgs: list[NoiseConfig]) -> list[float] | None:
-        """Fan config evaluations out over a process pool.
+    def _process_map(self, evaluate, model, ds, cfgs: list[NoiseConfig],
+                     noise_names: list[str | None],
+                     ) -> tuple[list[float], dict[int, str]] | None:
+        """Fan config evaluations out over a process pool, fault-isolated.
 
         Workers receive ``(evaluate, model, ds)`` once, via the pool
         initializer, and the decoded clean-config pixel batch through POSIX
         shared memory (each worker's decode cache is pre-seeded with a
         zero-copy view), so neither the dataset nor its decode is replayed
-        per job.  Results land in the parent's :class:`EvalCache` under the
-        same keys the serial path uses, and are returned in ``cfgs`` order.
+        per job.  Results land in the parent's :class:`EvalCache` (and the
+        run ledger, when attached) under the same keys the serial path uses,
+        and are returned in ``cfgs`` order.
+
+        A job that raises in its worker — or dies with it (``SIGKILL``,
+        OOM) — does not abort the batch: the surviving futures are drained,
+        the failed jobs are resubmitted to a *fresh* pool up to the retry
+        budget, and whatever still fails is returned as a structured
+        failure.  Only the ledger-recorded cells of a crashed batch need
+        re-execution on resume.
 
         Returns None — falling back to the thread/serial path — when the
-        payload is not picklable or the pool cannot be started.
+        payload is not picklable or the first pool cannot be started at all.
         """
         keys = []
-        misses: list[int] = []
+        lkeys = []
+        pending: list[int] = []
         values: list[float | None] = []
         for i, cfg in enumerate(cfgs):
-            try:
-                key = eval_key(model, ds, cfg)
-            except TypeError:
-                key = None
+            key = self._cache_key(model, ds, cfg)
             keys.append(key)
+            lkeys.append(self._ledger_key(model, ds, cfg))
             hit = self.eval_cache.get(key) if key is not None else None
+            if hit is not None:
+                self._ledger_backfill(lkeys[i], hit, cfg, noise_names[i])
+            else:
+                hit = self._ledger_hit(lkeys[i])
+                if hit is not None and key is not None:
+                    self.eval_cache.put(key, hit)
             values.append(hit)
             if hit is None:
-                misses.append(i)
-        if len(misses) < 2:
+                pending.append(i)
+        if len(pending) < 2:
             return None                        # nothing worth forking for
         try:
             payload = pickle.dumps((evaluate, model, ds))
@@ -196,27 +395,34 @@ class SweepEngine:
                            "picklable: %s); falling back to threads", exc)
             return None
 
-        workers = min(self.effective_workers, len(misses))
+        errors: dict[int, str] = {}
         shm, shm_meta = _share_decoded_dataset(ds)
         logger.info("sweep fan-out: %d workers requested, %d effective "
                     "(cores available: %d, mode=process, shared_memory=%s)",
-                    self.workers, workers, available_cores(),
-                    shm is not None)
+                    self.workers,
+                    min(self.effective_workers, len(pending)),
+                    available_cores(), shm is not None)
         try:
-            with ProcessPoolExecutor(
-                    max_workers=workers,
-                    initializer=_process_worker_init,
-                    initargs=(payload, shm_meta)) as pool:
-                futures = [(i, pool.submit(_process_eval, cfgs[i]))
-                           for i in misses]
-                for i, fut in futures:
-                    values[i] = fut.result()
-                    if keys[i] is not None:
-                        self.eval_cache.put(keys[i], values[i])
-        except Exception as exc:               # noqa: BLE001 — broken pool etc.
-            logger.warning("process sweep failed (%s); falling back to "
-                           "threads", exc)
-            return None
+            for attempt in range(1, self.retries + 2):
+                if not pending:
+                    break
+                try:
+                    pending = self._process_round(
+                        payload, shm_meta, cfgs, keys, lkeys, values,
+                        errors, pending, noise_names, attempt)
+                except Exception as exc:       # noqa: BLE001 — pool start
+                    if attempt == 1 and all(values[i] is None
+                                            for i in pending):
+                        # Nothing computed yet: the cheap degradation is the
+                        # historical one — run the whole batch on threads.
+                        logger.warning("process sweep failed (%s); falling "
+                                       "back to threads", exc)
+                        return None
+                    logger.warning("process sweep round %d failed (%s); "
+                                   "%d job(s) still pending",
+                                   attempt, exc, len(pending))
+                    for i in pending:
+                        errors.setdefault(i, _err_str(exc))
         finally:
             if shm is not None:
                 shm.close()
@@ -224,7 +430,67 @@ class SweepEngine:
                     shm.unlink()
                 except FileNotFoundError:      # pragma: no cover
                     pass
-        return values
+        # Whatever is still pending exhausted its retry budget: record the
+        # structured failures and surface NaN cells.
+        for i in pending:
+            error = errors.setdefault(i, "worker crashed")
+            self._ledger_record(lkeys[i], status="error", error=error,
+                                noise=noise_names[i],
+                                label=cfgs[i].describe(),
+                                attempts=self.retries + 1)
+            values[i] = float("nan")
+        return list(values), {i: errors[i] for i in sorted(errors)
+                              if np.isnan(values[i])}
+
+    def _process_round(self, payload, shm_meta, cfgs, keys, lkeys, values,
+                       errors, pending, noise_names, attempt) -> list[int]:
+        """One pool generation over ``pending``; returns what still failed.
+
+        A worker crash breaks the whole ``ProcessPoolExecutor``: the
+        executor resolves every outstanding future — completed ones keep
+        their results, the rest get :class:`BrokenProcessPool` — so every
+        future is still drained here.  Cells that finished before the crash
+        keep their values; casualties (and jobs queued behind them) go back
+        to pending for the next round's fresh pool.
+        """
+        workers = min(self.effective_workers, len(pending))
+        still: list[int] = []
+        broken = False
+        with ProcessPoolExecutor(max_workers=workers,
+                                 initializer=_process_worker_init,
+                                 initargs=(payload, shm_meta)) as pool:
+            futures = [(i, pool.submit(_process_eval, cfgs[i]))
+                       for i in pending]
+            for i, fut in futures:
+                try:
+                    value = float(fut.result())
+                except BrokenProcessPool as exc:
+                    if not broken:
+                        broken = True
+                        logger.warning(
+                            "process sweep pool broke on %s (attempt "
+                            "%d/%d): %s", cfgs[i].describe(), attempt,
+                            self.retries + 1, exc)
+                    errors[i] = f"worker crashed: {exc}" if str(exc) else \
+                        "worker crashed (process pool broken)"
+                    still.append(i)
+                    continue
+                except Exception as exc:       # noqa: BLE001 — worker raise
+                    errors[i] = _err_str(exc)
+                    logger.warning(
+                        "evaluation failed in worker (attempt %d/%d, %s): %s",
+                        attempt, self.retries + 1, cfgs[i].describe(), exc)
+                    still.append(i)
+                    continue
+                values[i] = value
+                errors.pop(i, None)
+                if keys[i] is not None:
+                    self.eval_cache.put(keys[i], value)
+                self._ledger_record(lkeys[i], status="ok", value=value,
+                                    noise=noise_names[i],
+                                    label=cfgs[i].describe(),
+                                    attempts=attempt)
+        return still
 
     # -- sweep primitives ---------------------------------------------------
 
@@ -235,8 +501,9 @@ class SweepEngine:
         if baseline is None:
             baseline = self.baseline(evaluate, model, ds)
         cfgs = [src.apply(TRAIN_CONFIG, v) for v in src.variants()]
-        return NoiseResult(noise, baseline,
-                           self._map_configs(evaluate, model, ds, cfgs))
+        values, errors = self._map_configs(evaluate, model, ds, cfgs,
+                                           [noise] * len(cfgs))
+        return NoiseResult(noise, baseline, values, errors)
 
     def noise_row(self, evaluate, model, ds, noises,
                   skip: set[str] = frozenset(),
@@ -246,20 +513,26 @@ class SweepEngine:
         All applicable (noise, variant) evaluations — and the combined
         config — are fanned out in one batch, then reassembled per noise.
         ``skip`` marks noise types inapplicable to this architecture,
-        reported as None like the paper's "-".
+        reported as None like the paper's "-".  A cell whose evaluation
+        ultimately fails (see the engine's retry budget) lands as NaN in its
+        :class:`NoiseResult` — surviving variants still produce the row; the
+        renderer prints failed cells as ``!``.
         """
         baseline = self.baseline(evaluate, model, ds)
         applicable = [n for n in noises if n not in skip]
         jobs: list[NoiseConfig] = []
+        names: list[str | None] = []
         spans: dict[str, tuple[int, int]] = {}
         for name in applicable:
             src = get_noise(name)
             cfgs = [src.apply(TRAIN_CONFIG, v) for v in src.variants()]
             spans[name] = (len(jobs), len(jobs) + len(cfgs))
             jobs.extend(cfgs)
+            names.extend([name] * len(cfgs))
         if include_combined:
             jobs.append(combined_config(applicable))
-        values = self._map_configs(evaluate, model, ds, jobs)
+            names.append("combined")
+        values, errors = self._map_configs(evaluate, model, ds, jobs, names)
 
         row: dict = {"trained": baseline, "noises": {}}
         for name in noises:
@@ -267,9 +540,13 @@ class SweepEngine:
                 row["noises"][name] = None
                 continue
             lo, hi = spans[name]
-            row["noises"][name] = NoiseResult(name, baseline, values[lo:hi])
+            row["noises"][name] = NoiseResult(
+                name, baseline, values[lo:hi],
+                {i - lo: err for i, err in errors.items() if lo <= i < hi})
         if include_combined:
             row["combined"] = baseline - values[-1]
+            if len(jobs) - 1 in errors:
+                row["combined_error"] = errors[len(jobs) - 1]
         return row
 
     def worst_case_curve(self, evaluate, model, ds,
@@ -277,7 +554,8 @@ class SweepEngine:
         """Fig. 3: cumulative Δ as noises are stacked one at a time.
 
         The stacked configs are precomputed, so the evaluations themselves
-        are independent and fan out like any other batch.
+        are independent and fan out like any other batch.  A failing stacked
+        evaluation yields a NaN point; the rest of the curve survives.
         """
         wanted = set(noises)
         baseline = self.baseline(evaluate, model, ds)
@@ -290,7 +568,8 @@ class SweepEngine:
             cfg = src.apply(cfg, src.worst_variant)
             names.append(src.name)
             cfgs.append(cfg)
-        values = self._map_configs(evaluate, model, ds, cfgs)
+        values, _ = self._map_configs(evaluate, model, ds, cfgs,
+                                      list(names))
         return [(name, baseline - value)
                 for name, value in zip(names, values)]
 
@@ -316,6 +595,7 @@ def _share_decoded_dataset(ds):
     streams = getattr(ds, "streams", None)
     if streams is None:
         return None, None
+    shm = None
     try:
         from multiprocessing import shared_memory
 
@@ -330,6 +610,15 @@ def _share_decoded_dataset(ds):
                 multiprocessing.get_start_method())
         return shm, meta
     except Exception as exc:                   # noqa: BLE001 — best-effort
+        # A segment created before the failure (e.g. the copy-in or meta
+        # construction raised) must not outlive this call: without the
+        # unlink the kernel keeps the pages until reboot.
+        if shm is not None:
+            shm.close()
+            try:
+                shm.unlink()
+            except FileNotFoundError:          # pragma: no cover
+                pass
         logger.warning("shared-memory dataset unavailable (%s); workers "
                        "will decode independently", exc)
         return None, None
@@ -340,30 +629,47 @@ def _process_worker_init(payload: bytes, shm_meta) -> None:
     _WORKER.update(evaluate=evaluate, model=model, ds=ds)
     if shm_meta is None:
         return
+    name, shape, dtype_str, digest, decoder, start_method = shm_meta
     try:
         from multiprocessing import shared_memory
-
-        from .pipeline import default_decode_cache
-        name, shape, dtype_str, digest, decoder, start_method = shm_meta
         shm = shared_memory.SharedMemory(name=name)
-        if start_method == "spawn":
-            # A spawned worker has its own resource tracker, and the attach
-            # above registered the segment with it — which would unlink the
-            # parent's segment at worker exit.  The parent owns the
-            # lifetime; forked workers share the parent's tracker and must
-            # NOT unregister (that would double-free the parent's entry).
-            try:
-                from multiprocessing import resource_tracker
-                resource_tracker.unregister(shm._name, "shared_memory")
-            except Exception:                  # noqa: BLE001
-                pass
+    except Exception as exc:                   # noqa: BLE001 — degraded mode
+        # The worker still functions — it just re-decodes the dataset per
+        # process — but that silently multiplies the decode cost by the
+        # worker count, so it must be *visible*, never swallowed.
+        logger.warning("worker %d could not attach shared-memory dataset "
+                       "%s (%s); falling back to a per-process decode",
+                       os.getpid(), name, exc)
+        return
+    if start_method == "spawn":
+        # A spawned worker has its own resource tracker, and the attach
+        # above registered the segment with it — which would unlink the
+        # parent's segment at worker exit.  The parent owns the
+        # lifetime; forked workers share the parent's tracker and must
+        # NOT unregister (that would double-free the parent's entry).
+        # The catch is narrow on purpose: only the unregister bookkeeping
+        # may be forgiven here, not the shm attach/seed work around it.
+        try:
+            from multiprocessing import resource_tracker
+            resource_tracker.unregister(shm._name, "shared_memory")
+        except (ImportError, AttributeError, KeyError, ValueError) as exc:
+            logger.warning("worker %d could not unregister segment %s from "
+                           "its resource tracker (%s); the segment may be "
+                           "unlinked early at worker exit", os.getpid(),
+                           name, exc)
+    try:
+        from .pipeline import default_decode_cache
         decoded = np.ndarray(shape, dtype=np.dtype(dtype_str), buffer=shm.buf)
         _WORKER["shm"] = shm                   # keep the mapping alive
         # Seed this worker's decode cache with the zero-copy view: the clean
         # baseline pre-processing never re-decodes in any worker.
         default_decode_cache()._put((digest, decoder), decoded)
-    except Exception:                          # noqa: BLE001 — workers can
-        pass                                   # always decode on their own
+    except Exception as exc:                   # noqa: BLE001 — degraded mode
+        shm.close()
+        _WORKER.pop("shm", None)
+        logger.warning("worker %d could not seed its decode cache from "
+                       "shared memory (%s); falling back to a per-process "
+                       "decode", os.getpid(), exc)
 
 
 def _process_eval(cfg: NoiseConfig) -> float:

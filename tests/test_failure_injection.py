@@ -4,13 +4,25 @@ SysNoise is *silent* degradation; the library's job is to make every other
 failure mode *loud*.  These tests corrupt bitstreams, checkpoints, graphs,
 and configuration values and assert a clear exception (never a wrong
 answer).
+
+The sweep layer is the exception to "loud": a full sweep is the
+longest-running workload, so there one failing *cell* must degrade into a
+structured failure (``!`` in the table, an error entry in the run ledger)
+instead of aborting the row — and a killed process-mode sweep must resume
+from its ledger to a bit-identical table.  ``TestSweepFaultIsolation`` and
+``TestCrashResume`` cover that contract.
 """
+
+import os
+import signal
+import threading
 
 import numpy as np
 import pytest
 
 import repro.nn as nn
-from repro.core import TRAIN_CONFIG, preprocess
+from repro.core import (TRAIN_CONFIG, EvalCache, RunStore, SweepEngine,
+                        preprocess, run_manifest)
 from repro.image import decode_with, resize
 from repro.image.color import color_roundtrip
 from repro.image.jpeg import JpegBitstream, decode, encode
@@ -149,3 +161,226 @@ class TestNumericEdgeCases:
         up = resize(IMAGE, (48, 48), "pillow-nearest")
         back = resize(up, (24, 24), "pillow-nearest")
         np.testing.assert_array_equal(back, IMAGE)
+
+
+# ---------------------------------------------------------------------------
+# Sweep-layer fault isolation + crash resume
+# ---------------------------------------------------------------------------
+
+class _Raw:
+    def __init__(self, b):
+        self._b = b
+
+    def tobytes(self):
+        return self._b
+
+
+class _SweepDataset:
+    """Picklable dataset stand-in with content-stable identity."""
+
+    def __init__(self, payloads=(b"alpha", b"beta")):
+        self.streams = [_Raw(p) for p in payloads]
+
+
+class _SweepModel:
+    """Picklable, weak-referenceable model stand-in."""
+
+
+def _metric(cfg) -> float:
+    return (90.0 - 2.0 * (cfg.decoder != "dali")
+            - 1.0 * (cfg.resize_method != "pillow-bilinear")
+            - 4.0 * (cfg.precision != "fp32"))
+
+
+def _safe_eval(model, ds, cfg):
+    return _metric(cfg)
+
+
+def _raise_on_opencv(model, ds, cfg):
+    if cfg.decoder == "opencv":
+        raise RuntimeError("decoder backend segfault (simulated)")
+    return _metric(cfg)
+
+
+def _kill_worker_on_opencv(model, ds, cfg):
+    """Simulates a worker dying mid-evaluation (OOM killer, segfault)."""
+    if cfg.decoder == "opencv":
+        os.kill(os.getpid(), signal.SIGKILL)
+    return _metric(cfg)
+
+
+class TestSweepFaultIsolation:
+    def test_one_raising_variant_keeps_the_others(self):
+        row = SweepEngine(eval_cache=EvalCache()).noise_row(
+            _raise_on_opencv, _SweepModel(), _SweepDataset(),
+            ["decoder", "precision"])
+        decoder = row["noises"]["decoder"]
+        assert decoder.n_failed == 1 and not decoder.all_failed
+        survivors = [v for v in decoder.values if not np.isnan(v)]
+        assert len(survivors) == 2            # pil + ffmpeg still measured
+        assert not np.isnan(decoder.mean_delta)
+        # The unaffected noise column is intact; the combined config stacks
+        # the *worst* decoder variant (opencv) so it fails — as a recorded
+        # NaN cell, not an aborted sweep.
+        assert row["noises"]["precision"].errors == {}
+        assert np.isnan(row["combined"])
+        assert "segfault" in row["combined_error"]
+
+    def test_every_variant_failing_yields_all_failed(self):
+        def always(model, ds, cfg):
+            raise ValueError("nothing works")
+
+        result = SweepEngine(eval_cache=EvalCache()).sweep_noise(
+            always, _SweepModel(), _SweepDataset(), "decoder", baseline=90.0)
+        assert result.all_failed
+        assert np.isnan(result.mean_delta)
+        from repro.core import format_cell
+        assert format_cell(result, multi=True) == "!"
+
+    def test_partial_failure_renders_bang_suffix(self):
+        result = SweepEngine(eval_cache=EvalCache()).sweep_noise(
+            _raise_on_opencv, _SweepModel(), _SweepDataset(), "decoder",
+            baseline=90.0)
+        from repro.core import format_cell
+        cell = format_cell(result, multi=True)
+        assert cell.endswith("!") and cell != "!"
+
+    def test_failing_combined_keeps_noise_columns(self):
+        def no_combined(model, ds, cfg):
+            if cfg.decoder != "dali" and cfg.precision != "fp32":
+                raise RuntimeError("stacked config unsupported")
+            return _metric(cfg)
+
+        row = SweepEngine(eval_cache=EvalCache()).noise_row(
+            no_combined, _SweepModel(), _SweepDataset(),
+            ["decoder", "precision"])
+        assert np.isnan(row["combined"])
+        assert "stacked config unsupported" in row["combined_error"]
+        assert row["noises"]["decoder"].errors == {}
+        from repro.core import render_table
+        text = render_table({"m": row}, ["decoder", "precision"], "ACC", "t")
+        assert text.splitlines()[-1].rstrip().endswith("!")
+
+    def test_worst_case_curve_survives_one_failure(self):
+        # Raise only for the decoder-stage stacked config (opencv @ fp32);
+        # the later precision point (opencv + int8) still evaluates, so one
+        # failing point must not truncate the curve.
+        def decoder_point_fails(model, ds, cfg):
+            if cfg.decoder == "opencv" and cfg.precision == "fp32":
+                raise RuntimeError("decoder backend segfault (simulated)")
+            return _metric(cfg)
+
+        curve = SweepEngine(eval_cache=EvalCache()).worst_case_curve(
+            decoder_point_fails, _SweepModel(), _SweepDataset(),
+            ["decoder", "precision"])
+        deltas = dict(curve)
+        assert np.isnan(deltas["decoder"])    # worst decoder variant raises
+        assert not np.isnan(deltas["precision"])
+
+    def test_thread_mode_isolation_matches_serial(self):
+        serial = SweepEngine(eval_cache=EvalCache()).noise_row(
+            _raise_on_opencv, _SweepModel(), _SweepDataset(), ["decoder"])
+        threaded = SweepEngine(workers=4, eval_cache=EvalCache()).noise_row(
+            _raise_on_opencv, _SweepModel(), _SweepDataset(), ["decoder"])
+        assert serial["noises"]["decoder"].errors.keys() \
+            == threaded["noises"]["decoder"].errors.keys()
+        np.testing.assert_array_equal(serial["noises"]["decoder"].values,
+                                      threaded["noises"]["decoder"].values)
+
+    def test_baseline_failure_is_strict(self):
+        def broken_baseline(model, ds, cfg):
+            raise RuntimeError("cannot even decode cleanly")
+
+        with pytest.raises(RuntimeError, match="cannot even decode"):
+            SweepEngine(eval_cache=EvalCache()).noise_row(
+                broken_baseline, _SweepModel(), _SweepDataset(), ["decoder"])
+
+
+class TestCrashResume:
+    """A killed process-mode sweep must resume to an identical table."""
+
+    def _manifest(self):
+        return run_manifest(task="cls", model="fake", seed=0,
+                            noises=["decoder", "precision"], metric="ACC")
+
+    def test_worker_crash_is_isolated_and_resumable(self, tmp_path,
+                                                    monkeypatch):
+        import repro.core.sweep as sweep_mod
+        monkeypatch.setattr(sweep_mod, "available_cores", lambda: 2)
+        store = RunStore(tmp_path)
+        ledger = store.open_or_create(self._manifest(), run_id="crash")
+        engine = SweepEngine(workers=2, eval_cache=EvalCache(),
+                             mode="process", ledger=ledger,
+                             model_key="fake")
+        # The sweep survives a SIGKILLed worker: no exception, a row comes
+        # back, and the cells that completed before the crash are on disk.
+        row = engine.noise_row(_kill_worker_on_opencv, _SweepModel(),
+                               _SweepDataset(), ["decoder", "precision"])
+        assert row["trained"] == _metric(TRAIN_CONFIG)
+        counts = ledger.counts()
+        assert counts["ok"] >= 1              # at least the baseline landed
+        assert counts["error"] >= 1           # the crash was recorded
+        opencv_idx = 1                        # decoder variants: pil, opencv, ffmpeg
+        assert opencv_idx in row["noises"]["decoder"].errors
+
+        # Resume with a healthy evaluator (the "transient crash" cleared):
+        # only the not-yet-complete cells re-execute, and the final table is
+        # bit-identical to an uninterrupted serial run.
+        before = store.open("crash").counts()
+        resumed_engine = SweepEngine(eval_cache=EvalCache(),
+                                     ledger=store.open("crash"),
+                                     model_key="fake")
+        calls = []
+
+        def counting_safe(model, ds, cfg):
+            calls.append(cfg)
+            return _metric(cfg)
+
+        resumed = resumed_engine.noise_row(counting_safe, _SweepModel(),
+                                           _SweepDataset(),
+                                           ["decoder", "precision"])
+        total_cells = 7                       # baseline + 3 + 2 + combined
+        assert len(calls) == total_cells - before["ok"]   # <= the remainder
+        clean = SweepEngine(eval_cache=EvalCache()).noise_row(
+            _safe_eval, _SweepModel(), _SweepDataset(),
+            ["decoder", "precision"])
+        assert resumed["trained"] == clean["trained"]
+        assert resumed["combined"] == clean["combined"]
+        for name in ("decoder", "precision"):
+            assert (resumed["noises"][name].values
+                    == clean["noises"][name].values)
+            assert resumed["noises"][name].errors == {}
+
+    def test_process_retry_budget_reruns_crashed_batch(self, tmp_path,
+                                                       monkeypatch):
+        """A transient crash is healed *within* one sweep when the retry
+        budget allows a fresh pool generation."""
+        import repro.core.sweep as sweep_mod
+        monkeypatch.setattr(sweep_mod, "available_cores", lambda: 2)
+        flag = tmp_path / "crashed-once"
+
+        # Module-level so it pickles by reference into workers.
+        global _crash_once_flag
+        _crash_once_flag = str(flag)
+
+        engine = SweepEngine(workers=2, eval_cache=EvalCache(),
+                             mode="process", retries=1)
+        result = engine.sweep_noise(_kill_worker_once, _SweepModel(),
+                                    _SweepDataset(), "decoder")
+        assert result.errors == {}
+        assert result.values == [
+            _metric(TRAIN_CONFIG.with_(decoder=d))
+            for d in ("pil", "opencv", "ffmpeg")]
+
+
+#: Path sentinel for _kill_worker_once (set per-test; workers inherit via fork).
+_crash_once_flag = None
+
+
+def _kill_worker_once(model, ds, cfg):
+    if cfg.decoder == "opencv" and _crash_once_flag is not None:
+        if not os.path.exists(_crash_once_flag):
+            with open(_crash_once_flag, "w") as fh:
+                fh.write("x")
+            os.kill(os.getpid(), signal.SIGKILL)
+    return _metric(cfg)
