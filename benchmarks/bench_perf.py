@@ -32,6 +32,13 @@ inference
     one model per zoo family.  Outputs must be bit-identical; the smoke
     gate also fails if the compiled plan is slower than the interpreter.
 
+memory
+    Peak traced allocation (tracemalloc, which sees NumPy data buffers) of
+    one noise row evaluated monolithically vs streamed through the shard
+    pipeline.  The gate: the streamed peak must stay below the decoded-
+    dataset footprint — O(shard), not O(dataset) — while the monolithic
+    peak exceeds it, and both paths must produce identical metrics.
+
 Results are appended to ``BENCH_core.json`` at the repo root so the perf
 trajectory is tracked PR over PR.  ``--smoke`` shrinks the workload and
 exits non-zero if the vectorized coder fails to beat the scalar one —
@@ -184,6 +191,65 @@ def bench_inference(models: list[str], batches: tuple[int, ...],
 
 
 # ---------------------------------------------------------------------------
+# Memory: streamed shard pipeline vs monolithic evaluation
+# ---------------------------------------------------------------------------
+
+def bench_memory(n_images: int, native_size: int, shard_size: int) -> dict:
+    """Peak-allocation gate: a streamed sweep is O(shard), not O(dataset).
+
+    Runs the same noise row twice — monolithic and through the shard
+    pipeline — under ``tracemalloc`` (which tracks NumPy array buffers) and
+    reports both peaks plus the decoded-dataset footprint the monolithic
+    path must materialise.  Metrics are asserted identical on the fly.
+    """
+    import tracemalloc
+
+    ds = make_classification_dataset(n=n_images, native_size=native_size,
+                                     input_size=32, seed=0)
+    model = create_model("mcunet-293kb", num_classes=ds.num_classes, seed=0)
+    model.eval()
+    adapter = get_task("cls")
+    noises = ["decoder", "resize"]
+
+    def run_row(shard):
+        cache = DecodeCache()
+        engine = SweepEngine(eval_cache=EvalCache(), shard_size=shard,
+                             task="cls" if shard else None, batch_size=8,
+                             pipeline_cache=cache)
+        evaluate = lambda m, d, cfg: adapter.evaluate(m, d, cfg, cache=cache,
+                                                      batch_size=8)
+        return engine.noise_row(evaluate, model, ds, noises,
+                                include_combined=False)
+
+    def peak_of(shard):
+        tracemalloc.start()
+        try:
+            row = run_row(shard)
+            return row, tracemalloc.get_traced_memory()[1]
+        finally:
+            tracemalloc.stop()
+
+    row_mono, peak_mono = peak_of(None)
+    row_stream, peak_stream = peak_of(shard_size)
+    identical = (row_mono["trained"] == row_stream["trained"] and all(
+        row_mono["noises"][n].values == row_stream["noises"][n].values
+        for n in noises))
+    decoded_bytes = n_images * native_size * native_size * 3 * 8
+    return {
+        "images": n_images,
+        "native_size": native_size,
+        "shard_size": shard_size,
+        "decoded_dataset_mb": round(decoded_bytes / 1e6, 2),
+        "monolithic_peak_mb": round(peak_mono / 1e6, 2),
+        "streamed_peak_mb": round(peak_stream / 1e6, 2),
+        "reduction": round(peak_mono / max(peak_stream, 1), 2),
+        "streamed_below_dataset": peak_stream < decoded_bytes,
+        "monolithic_above_dataset": peak_mono > decoded_bytes,
+        "results_identical": identical,
+    }
+
+
+# ---------------------------------------------------------------------------
 # Sweep: new engine stack vs a faithful pre-engine path
 # ---------------------------------------------------------------------------
 
@@ -281,9 +347,11 @@ def main(argv: list[str] | None = None) -> int:
     if args.smoke:
         sizes, repeats, n_decode, n_sweep = [64, 128], 2, 16, 24
         inf_models, inf_batches = ["resnet18x0.25", "mcunet-293kb"], (1, 8)
+        mem_images, mem_native, mem_shard = 64, 64, 8
     else:
         sizes, repeats, n_decode, n_sweep = [48, 96, 192], 3, 64, 64
         inf_models, inf_batches = INFERENCE_MODELS, (1, 8, 32)
+        mem_images, mem_native, mem_shard = 128, 96, 8
 
     print("benchmarking entropy codec ...")
     entropy = bench_entropy(sizes, repeats)
@@ -309,6 +377,16 @@ def main(argv: list[str] | None = None) -> int:
     if inference["families_2x"]:
         print(f"  families at >=2x: {', '.join(inference['families_2x'])}")
 
+    print("benchmarking streamed-sweep peak memory ...")
+    memory = bench_memory(mem_images, mem_native, mem_shard)
+    print(f"  {memory['images']} imgs @{memory['native_size']}px, "
+          f"shard {memory['shard_size']}: "
+          f"{memory['monolithic_peak_mb']:.1f}MB -> "
+          f"{memory['streamed_peak_mb']:.1f}MB peak "
+          f"({memory['reduction']:.1f}x lower, decoded dataset "
+          f"{memory['decoded_dataset_mb']:.1f}MB, "
+          f"identical={memory['results_identical']})")
+
     print("benchmarking noise_row sweep ...")
     sweep = bench_sweep(n_sweep, args.workers, max(1, repeats - 1))
     print(f"  {sweep['images']} imgs, {len(SWEEP_NOISES)} noises: "
@@ -322,6 +400,7 @@ def main(argv: list[str] | None = None) -> int:
         "entropy_codec": entropy,
         "dataset_decode": dataset,
         "inference": inference,
+        "memory": memory,
         "sweep": sweep,
     }
     out = Path(args.out)
@@ -339,6 +418,19 @@ def main(argv: list[str] | None = None) -> int:
 
     if not sweep["results_identical"]:
         print("FAIL: engine sweep metrics diverge from the seed path")
+        return 1
+    if not memory["results_identical"]:
+        print("FAIL: streamed sweep metrics diverge from the monolithic path")
+        return 1
+    if not memory["streamed_below_dataset"]:
+        print(f"FAIL: streamed sweep peak "
+              f"({memory['streamed_peak_mb']:.1f}MB) is not bounded below "
+              f"the decoded dataset ({memory['decoded_dataset_mb']:.1f}MB) "
+              f"— O(shard) contract broken")
+        return 1
+    if not memory["monolithic_above_dataset"]:
+        print("FAIL: memory gate not discriminating (monolithic peak below "
+              "the decoded dataset); grow the workload")
         return 1
     for mname, r in inference["models"].items():
         if not r["outputs_identical"]:

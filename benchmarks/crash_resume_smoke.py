@@ -7,12 +7,18 @@ Scenario, end to end through the real CLI:
    process-mode sweep, wait until the ledger shows a few completed
    evaluations, and SIGKILL the whole process group mid-sweep.
 3. ``repro resume`` the killed run.
+4. Repeat the kill+resume against a *sharded* run (``--shard-size``, ≥4
+   shards per cell, (variant × shard) process scheduling), killing as soon
+   as a few per-**shard** ledger entries exist — i.e. mid-dataset, inside
+   a cell.
 
 Pass criteria (the ISSUE's acceptance bar):
 
-* the resumed table is **bit-identical** to the uninterrupted one, and
-* the resume re-executed **at most the remaining** evaluations — verified
-  by ledger entry counts, not by trusting the CLI's own summary.
+* every resumed table is **bit-identical** to the uninterrupted one,
+* the unsharded resume re-executed **at most the remaining** evaluations —
+  verified by ledger entry counts, not by trusting the CLI's own summary,
+* the sharded resume recomputed **no ledgered shard**: no (config, shard
+  bounds) pair appears twice in the final ledger.
 
 Exit status 0 on success; any assertion failure exits non-zero.
 """
@@ -43,18 +49,35 @@ def repro(*argv: str, **kw) -> subprocess.CompletedProcess:
                           **kw)
 
 
-def ok_entries(ledger: Path) -> int:
+def _entries(ledger: Path) -> list[dict]:
     if not ledger.exists():
-        return 0
-    count = 0
+        return []
+    out = []
     for line in ledger.read_text().splitlines():
         try:
-            entry = json.loads(line)
+            out.append(json.loads(line))
         except ValueError:
             continue
-        if entry.get("kind") == "eval" and entry.get("status") == "ok":
-            count += 1
-    return count
+    return out
+
+
+def ok_entries(ledger: Path) -> int:
+    return sum(e.get("kind") == "eval" and e.get("status") == "ok"
+               for e in _entries(ledger))
+
+
+def shard_entries(ledger: Path) -> int:
+    return sum(e.get("kind") == "shard" for e in _entries(ledger))
+
+
+def duplicated_shards(ledger: Path) -> list[tuple]:
+    """(cfg digest, bounds) pairs ledgered more than once = recomputed."""
+    seen: dict[tuple, int] = {}
+    for e in _entries(ledger):
+        if e.get("kind") == "shard":
+            key = (e.get("cfg"), tuple(e.get("shard", ())))
+            seen[key] = seen.get(key, 0) + 1
+    return [k for k, n in seen.items() if n > 1]
 
 
 def table_body(output: str) -> list[str]:
@@ -120,6 +143,57 @@ def main() -> int:
         "resumed table differs from uninterrupted run:\n"
         + "\n".join(ref_table) + "\n---\n" + "\n".join(resumed_table))
     print("resumed table is bit-identical to the uninterrupted run")
+
+    # 4. Sharded run: kill mid-*dataset* (a few shard entries in), resume,
+    #    and require byte-identical output with no shard recomputed.
+    #    96 items × 0.75 train leaves 24 eval items; batch 4 + shard 4
+    #    gives 6 aligned shards per cell.  The reference must use the same
+    #    --batch-size: metric floats depend on minibatch composition, so
+    #    only the *sharding* may differ between the two runs under test.
+    ref4 = repro("run", *ARGS, "--batch-size", "4",
+                 "--store", str(tmp / "ref4"), "--run-id", "ref4")
+    assert ref4.returncode == 0, \
+        f"batch-4 reference run failed:\n{ref4.stdout}\n{ref4.stderr}"
+    ref4_table = table_body(ref4.stdout)
+    shard_args = [*ARGS, "--batch-size", "4", "--shard-size", "4",
+                  "--workers", "2", "--mode", "process"]
+    ledger = tmp / "shard" / "shard" / "ledger.jsonl"
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "run", *shard_args,
+         "--store", str(tmp / "shard"), "--run-id", "shard"],
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        start_new_session=True)
+    deadline = time.time() + TIMEOUT_S
+    try:
+        while shard_entries(ledger) < 4:
+            if proc.poll() is not None:
+                raise AssertionError("sharded run finished before it could "
+                                     "be killed; shrink the kill threshold")
+            if time.time() > deadline:
+                raise AssertionError("timed out waiting for shard entries")
+            time.sleep(0.02)
+    finally:
+        if proc.poll() is None:
+            os.killpg(proc.pid, signal.SIGKILL)
+            proc.wait()
+    survived_shards = shard_entries(ledger)
+    survived_cells = ok_entries(ledger)
+    print(f"killed sharded run mid-dataset with {survived_shards} shard "
+          f"entr(ies) and {survived_cells} complete cell(s) ledgered")
+    assert survived_cells < total, "nothing left to resume (sharded)"
+
+    res = repro("resume", "shard", "--store", str(tmp / "shard"))
+    assert res.returncode == 0, \
+        f"sharded resume failed:\n{res.stdout}\n{res.stderr}"
+    assert ok_entries(ledger) == total, "sharded resume incomplete"
+    dups = duplicated_shards(ledger)
+    assert not dups, f"sharded resume recomputed ledgered shard(s): {dups}"
+    sharded_table = table_body(res.stdout)
+    assert sharded_table == ref4_table, (
+        "sharded resumed table differs from uninterrupted run:\n"
+        + "\n".join(ref4_table) + "\n---\n" + "\n".join(sharded_table))
+    print(f"sharded resume reused all {survived_shards} ledgered shard(s); "
+          f"table is byte-identical to the monolithic reference")
     print("crash-resume smoke: PASS")
     return 0
 

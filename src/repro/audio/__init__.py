@@ -3,11 +3,13 @@
 from .stft import (STFT_VARIANTS, mel_filterbank, mel_spectrogram,
                    stft_deployed, stft_reference)
 from .tts import (FRAMES_PER_TOKEN, FastSpeechLite, TacotronLite,
-                  TTSTrainConfig, mel_targets, train_tts, tts_mse)
+                  TTSTrainConfig, mel_targets, train_tts,
+                  tts_deployment_model, tts_mse, tts_mse_range)
 
 __all__ = [
     "stft_reference", "stft_deployed", "STFT_VARIANTS", "mel_filterbank",
     "mel_spectrogram",
     "FastSpeechLite", "TacotronLite", "TTSTrainConfig", "train_tts",
-    "tts_mse", "mel_targets", "FRAMES_PER_TOKEN",
+    "tts_mse", "tts_deployment_model", "tts_mse_range", "mel_targets",
+    "FRAMES_PER_TOKEN",
 ]

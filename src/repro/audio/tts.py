@@ -25,7 +25,8 @@ from ..data.audio import PHONEME_COUNT, SAMPLE_RATE, TOKEN_SAMPLES, TTSDataset
 from .stft import mel_spectrogram
 
 __all__ = ["FastSpeechLite", "TacotronLite", "TTSTrainConfig", "train_tts",
-           "tts_mse", "FRAMES_PER_TOKEN", "mel_targets"]
+           "tts_mse", "tts_deployment_model", "tts_mse_range",
+           "FRAMES_PER_TOKEN", "mel_targets"]
 
 N_FFT, HOP, N_MELS = 128, 64, 16
 # Frames contributed by one token's samples (see data.audio.TOKEN_SAMPLES).
@@ -118,6 +119,22 @@ def tts_mse(model: nn.Module, dataset: TTSDataset, *,
     deployment STFT used for the comparison targets.  Matches the Table 10
     protocol: MSE grows when either side of the pipeline changes.
     """
+    qmodel = tts_deployment_model(model, precision, dataset, calib_tokens)
+    errs = tts_mse_range(qmodel, dataset, 0, len(dataset),
+                         stft_variant=stft_variant)
+    return float(np.mean(errs))
+
+
+def tts_deployment_model(model: nn.Module, precision: str,
+                         dataset: TTSDataset,
+                         calib_tokens: np.ndarray | None = None) -> nn.Module:
+    """The precision-converted, eval-mode TTS deployment copy.
+
+    INT8 calibration pins to the dataset's *first* utterance (the
+    calibration shard): a shard evaluated in isolation must calibrate on
+    the same tokens the monolithic path does, so it always draws them from
+    the full dataset, never from its own slice.
+    """
     from repro.nn import apply_precision
     calibrate = None
     if precision == "int8":
@@ -125,11 +142,22 @@ def tts_mse(model: nn.Module, dataset: TTSDataset, *,
         calibrate = lambda m: m(toks)
     qmodel = apply_precision(model, precision, calibrate)
     qmodel.eval()
+    return qmodel
+
+
+def tts_mse_range(qmodel: nn.Module, dataset: TTSDataset, start: int,
+                  stop: int, *, stft_variant: str = "reference") -> list[float]:
+    """Per-utterance MSEs for items ``[start, stop)`` (the shard work unit).
+
+    Utterances score independently, so ranged lists concatenate (in index
+    order) to exactly the list the monolithic :func:`tts_mse` averages.
+    """
     errs = []
     with no_grad():
-        for tokens, wave in zip(dataset.token_seqs, dataset.waveforms):
+        for i in range(start, stop):
+            tokens, wave = dataset.token_seqs[i], dataset.waveforms[i]
             pred = qmodel(tokens).data
             target = mel_targets(wave, len(tokens), variant=stft_variant)
             n = min(len(pred), len(target))
             errs.append(float(((pred[:n] - target[:n]) ** 2).mean()))
-    return float(np.mean(errs))
+    return errs

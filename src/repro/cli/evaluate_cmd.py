@@ -61,6 +61,11 @@ def _add_engine_args(p: argparse.ArgumentParser) -> None:
                         "decoded dataset via POSIX shared memory")
     p.add_argument("--batch-size", type=int, default=None,
                    help="evaluation minibatch size (default: adapter choice)")
+    p.add_argument("--shard-size", type=int, default=None,
+                   help="stream evaluations in shards of this many items "
+                        "(bounded peak memory, (variant x shard) process "
+                        "scheduling, shard-granular ledger resume; "
+                        "default: monolithic)")
 
 
 def build_session(args: argparse.Namespace):
@@ -73,6 +78,7 @@ def build_session(args: argparse.Namespace):
             .seed(args.seed)
             .workers(args.workers, mode=getattr(args, "mode", "thread"))
             .batch(args.batch_size)
+            .shards(getattr(args, "shard_size", None))
             .model(args.model)
             .data(n=args.n, native_size=48, input_size=32,
                   train_frac=args.train_frac)

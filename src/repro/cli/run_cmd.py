@@ -62,7 +62,8 @@ def register(sub: argparse._SubParsersAction) -> None:
 
 
 def _build_stored_session(model: str, seed: int, data_kw: dict,
-                          workers, mode: str, batch_size, retries: int):
+                          workers, mode: str, batch_size, retries: int,
+                          shard_size=None):
     from repro.core import BenchmarkSession
 
     return (BenchmarkSession()
@@ -70,6 +71,7 @@ def _build_stored_session(model: str, seed: int, data_kw: dict,
             .seed(seed)
             .workers(workers, mode=mode)
             .batch(batch_size)
+            .shards(shard_size)
             .retries(retries)
             .model(model)
             .data(**data_kw))
@@ -127,7 +129,8 @@ def cmd_run(args: argparse.Namespace) -> int:
     data_kw = dict(n=args.n, train_frac=args.train_frac, **_DATA_DEFAULTS)
     session = _build_stored_session(
         args.model, args.seed, data_kw, args.workers,
-        getattr(args, "mode", "thread"), args.batch_size, args.retries)
+        getattr(args, "mode", "thread"), args.batch_size, args.retries,
+        getattr(args, "shard_size", None))
     session.noises(*noises).combined(not args.no_combined)
     _apply_zoo_skips(session, args.model)
     session.store(args.store, run_id=args.run_id,
@@ -137,6 +140,7 @@ def cmd_run(args: argparse.Namespace) -> int:
                        "workers": args.workers,
                        "mode": getattr(args, "mode", "thread"),
                        "batch_size": args.batch_size,
+                       "shard_size": getattr(args, "shard_size", None),
                        "retries": args.retries})
     try:
         ledger = session.ledger            # creates or resumes the run
@@ -174,9 +178,12 @@ def cmd_resume(args: argparse.Namespace) -> int:
     mode = args.mode or cli.get("mode", "thread")
     retries = (args.retries if args.retries is not None
                else cli.get("retries", 0))
+    # Shard geometry is resume identity: per-shard ledger entries only
+    # satisfy lookups for exactly the bounds the original run derived.
     session = _build_stored_session(
         cli.get("model", manifest["model"]), manifest["seed"], cli["data"],
-        workers, mode, cli.get("batch_size"), retries)
+        workers, mode, cli.get("batch_size"), retries,
+        cli.get("shard_size"))
     session.noises(*manifest["noises"]).skip(*manifest.get("skip", ()))
     session.combined(manifest.get("include_combined", True))
     session.store(store, run_id=args.run_id, data=cli["data"], cli=cli)

@@ -19,11 +19,15 @@ from .benchmark import (evaluate_classification, evaluate_detection,
                         evaluate_segmentation)
 from .cache import (DecodeCache, EvalCache, dataset_token, eval_key,
                     object_token, streams_digest)
+from .datapipe import (DataShards, Shard, dataset_subset, prefetched,
+                       rebatch, shard_bounds)
 from .interaction import (InteractionMatrix, pairwise_interaction,
                           render_interaction)
+from .metrics import Accuracy, MeanAP, MeanIoU, MeanScores, MetricAccumulator
 from .noise import NoiseConfig, NoiseSpec, TRAIN_CONFIG
-from .pipeline import (apply_model_noise, decode_dataset, normalize,
-                       preprocess, preprocess_dataset)
+from .pipeline import (apply_model_noise, decode_dataset, decode_shards,
+                       normalize, preprocess, preprocess_dataset,
+                       preprocess_shards)
 from .registry import (CLS_NOISES, DET_NOISES, NOISE_TAXONOMY, SEG_NOISES,
                        WORST_CASE_ORDER, FieldNoise, NoiseSource,
                        combined_config, deployment_variants, get_noise,
@@ -36,8 +40,9 @@ from .runstore import (RunLedger, RunStore, config_digest, ledger_table,
 from .session import (BenchmarkSession, NoiseResult, Session, SessionResult,
                       noise_row, sweep_noise, worst_case_curve)
 from .sweep import SweepEngine
-from .tasks import (NLPDataset, TaskAdapter, evaluate_for_task, get_task,
-                    register_task, task_names, unregister_task)
+from .tasks import (NLPDataset, TaskAdapter, evaluate_for_task,
+                    evaluate_partial_for_task, get_task, register_task,
+                    task_names, unregister_task)
 from .training import (default_train_config, train_classification_model,
                        train_detection_model, train_segmentation_model)
 
@@ -51,13 +56,19 @@ __all__ = [
     "noises_for_task", "worst_case_stack",
     # task registry
     "TaskAdapter", "register_task", "unregister_task", "get_task",
-    "task_names", "evaluate_for_task", "NLPDataset",
+    "task_names", "evaluate_for_task", "evaluate_partial_for_task",
+    "NLPDataset",
     # session facade + sweep engine
     "BenchmarkSession", "Session", "SessionResult", "SweepEngine",
     # crash-safe run persistence
     "RunStore", "RunLedger", "config_digest", "ledger_table", "run_manifest",
+    # streaming shard pipeline
+    "DataShards", "Shard", "dataset_subset", "shard_bounds", "rebatch",
+    "prefetched", "MetricAccumulator", "Accuracy", "MeanAP", "MeanIoU",
+    "MeanScores",
     # pipeline + caching
-    "decode_dataset", "preprocess", "preprocess_dataset", "apply_model_noise",
+    "decode_dataset", "decode_shards", "preprocess", "preprocess_dataset",
+    "preprocess_shards", "apply_model_noise",
     "normalize", "DecodeCache", "EvalCache", "streams_digest",
     "object_token", "dataset_token", "eval_key",
     # legacy benchmark API (shims)

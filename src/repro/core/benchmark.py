@@ -15,6 +15,8 @@ shipped benchmark drivers keep working.  New code should use
 
 from __future__ import annotations
 
+import warnings
+
 from .noise import NoiseConfig, TRAIN_CONFIG
 from .registry import (CLS_NOISES, DET_NOISES, SEG_NOISES,  # noqa: F401
                        combined_config)
@@ -28,18 +30,26 @@ __all__ = ["NoiseResult", "evaluate_classification", "evaluate_detection",
            "CLS_NOISES", "DET_NOISES", "SEG_NOISES"]
 
 
+def _warn_deprecated(name: str, replacement: str) -> None:
+    warnings.warn(f"repro.core.benchmark.{name} is deprecated; use "
+                  f"{replacement} instead", DeprecationWarning, stacklevel=3)
+
+
 def evaluate_classification(model, ds, cfg: NoiseConfig = TRAIN_CONFIG) -> float:
     """Deprecated alias of ``get_task("cls").evaluate``."""
+    _warn_deprecated("evaluate_classification", 'get_task("cls").evaluate')
     return get_task("cls").evaluate(model, ds, cfg)
 
 
 def evaluate_detection(model, ds, cfg: NoiseConfig = TRAIN_CONFIG,
                        score_threshold: float = 0.3) -> float:
     """Deprecated alias of ``get_task("det").evaluate``."""
+    _warn_deprecated("evaluate_detection", 'get_task("det").evaluate')
     return get_task("det").evaluate(model, ds, cfg,
                                     score_threshold=score_threshold)
 
 
 def evaluate_segmentation(model, ds, cfg: NoiseConfig = TRAIN_CONFIG) -> float:
     """Deprecated alias of ``get_task("seg").evaluate``."""
+    _warn_deprecated("evaluate_segmentation", 'get_task("seg").evaluate')
     return get_task("seg").evaluate(model, ds, cfg)

@@ -1,0 +1,275 @@
+"""Streaming shard pipeline: partition any task dataset into lazy shards.
+
+The monolithic evaluation path materialises an entire dataset — decoded
+pixels *and* the preprocessed float tensor — before the first forward pass,
+which caps dataset size at RAM and serialises decode behind inference.  This
+module supplies the data-layer pieces of the staged alternative:
+
+* :class:`DataShards` — partitions a dataset into contiguous, content-
+  digested shards and hands out lazily-sliced sub-datasets.  A shard is the
+  unit of scheduling (one ``(variant, shard)`` work item in a process-mode
+  sweep) and of crash-recovery (one ledger entry per completed shard).
+
+* :func:`dataset_subset` — the generic ``[start, stop)`` slicing protocol
+  every task dataset implements via its ``subset`` method.
+
+* :func:`rebatch` — regroups a stream of preprocessed chunks into inference
+  minibatches cut at **global** boundaries (multiples of the batch size from
+  item 0).  This is the bit-exactness linchpin: per-sample model outputs are
+  *not* invariant to batch composition (BLAS kernels differ in final-ULP
+  rounding by matrix shape), so streamed evaluation reproduces the
+  monolithic path's floats only because the tensors reaching the model are
+  cut at exactly the same offsets — whatever the decode shard size.
+
+* :func:`prefetched` — a depth-bounded background-thread iterator so shard
+  *k+1* decodes while shard *k* is being inferred.
+
+Shard boundaries therefore govern decode granularity and peak memory;
+minibatch boundaries govern inference and never move.  A shard scheduled as
+an independent work item must *start* on a batch boundary (see
+:func:`shard_bounds` and its ``align`` argument) so its worker-local batches
+coincide with the global ones.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass, field, fields, is_dataclass
+
+import numpy as np
+
+from .cache import object_token, streams_digest
+
+__all__ = ["Shard", "DataShards", "dataset_subset", "shard_bounds",
+           "align_up", "rebatch", "prefetched"]
+
+
+# ---------------------------------------------------------------------------
+# Generic dataset slicing
+# ---------------------------------------------------------------------------
+
+#: Dataclass fields that are per-item sequences (sliced) on the built-in
+#: datasets; everything else (sizes, class counts) is carried unchanged.
+_ITEM_FIELDS = ("streams", "images", "labels", "gt_boxes",
+                "token_seqs", "waveforms", "prefixes", "choices", "answers")
+
+
+def dataset_subset(ds, start: int, stop: int):
+    """The ``[start, stop)`` slice of a task dataset.
+
+    Prefers the dataset's own ``subset`` method (every built-in dataset has
+    one); falls back to slicing the known per-item dataclass fields so that
+    ad-hoc dataclass datasets shard too.  Raises ``TypeError`` for datasets
+    that support neither — such datasets simply cannot stream.
+    """
+    sub = getattr(ds, "subset", None)
+    if sub is not None:
+        return sub(start, stop)
+    if is_dataclass(ds) and not isinstance(ds, type):
+        kw = {}
+        for f in fields(ds):
+            value = getattr(ds, f.name)
+            kw[f.name] = (value[start:stop] if f.name in _ITEM_FIELDS
+                          else value)
+        return type(ds)(**kw)
+    raise TypeError(f"{type(ds).__name__} has no subset(start, stop) method "
+                    f"and is not a sliceable dataclass — it cannot shard")
+
+
+def supports_sharding(ds) -> bool:
+    """Whether :func:`dataset_subset` can slice this dataset."""
+    if getattr(ds, "subset", None) is not None:
+        return True
+    return is_dataclass(ds) and not isinstance(ds, type)
+
+
+# ---------------------------------------------------------------------------
+# Shard geometry
+# ---------------------------------------------------------------------------
+
+def align_up(size: int, align: int) -> int:
+    """``size`` rounded up to a multiple of ``align`` (both >= 1)."""
+    return ((size + align - 1) // align) * align
+
+
+def shard_bounds(n_items: int, shard_size: int | None,
+                 align: int = 1) -> list[tuple[int, int]]:
+    """Contiguous ``[start, stop)`` shard bounds covering ``n_items``.
+
+    ``shard_size`` is rounded up to a multiple of ``align`` — the evaluation
+    minibatch size — so every shard *starts* on a global batch boundary and
+    a shard evaluated in isolation cuts its minibatches at exactly the
+    offsets the monolithic path does (the bit-exactness contract).  A
+    ``None``/oversized shard size yields one shard spanning everything.
+    """
+    if n_items <= 0:
+        return []
+    if shard_size is None or shard_size >= n_items:
+        return [(0, n_items)]
+    if shard_size < 1:
+        raise ValueError(f"shard_size must be >= 1, got {shard_size}")
+    size = align_up(shard_size, max(1, align))
+    return [(s, min(s + size, n_items)) for s in range(0, n_items, size)]
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One contiguous slice of a dataset, with a content identity.
+
+    ``digest`` is the blake2b digest of the shard's encoded bitstreams for
+    stream-bearing datasets — the same content key
+    :func:`~repro.core.pipeline.decode_shards` memoises decoded chunks
+    under — or an identity token otherwise.
+    """
+
+    index: int
+    start: int
+    stop: int
+    dataset: object = field(repr=False)
+    digest: str | int = ""
+
+    def __len__(self) -> int:
+        return self.stop - self.start
+
+
+class DataShards:
+    """Lazy partition of a task dataset into contiguous shards.
+
+    ``bounds`` is what the sweep engine schedules and the ledger records;
+    iteration additionally yields :class:`Shard` objects whose ``dataset``
+    member is the sliced sub-dataset — constructed on demand, so iterating
+    a :class:`DataShards` never materialises more than one shard's slice at
+    a time.  ``align`` should be the evaluation minibatch size whenever
+    shards are scheduled as independent work items (see
+    :func:`shard_bounds`).
+    """
+
+    def __init__(self, ds, shard_size: int | None = None, align: int = 1):
+        self.ds = ds
+        self.shard_size = shard_size
+        self.align = align
+        self.bounds = shard_bounds(len(ds), shard_size, align)
+
+    @property
+    def n_items(self) -> int:
+        return len(self.ds)
+
+    def __len__(self) -> int:
+        return len(self.bounds)
+
+    def shard(self, index: int) -> Shard:
+        start, stop = self.bounds[index]
+        streams = getattr(self.ds, "streams", None)
+        if streams is not None:
+            digest = streams_digest(streams[start:stop])
+        else:
+            digest = object_token(self.ds)
+        return Shard(index, start, stop,
+                     dataset_subset(self.ds, start, stop), digest)
+
+    def __iter__(self):
+        for i in range(len(self.bounds)):
+            yield self.shard(i)
+
+
+# ---------------------------------------------------------------------------
+# Global-boundary rebatching
+# ---------------------------------------------------------------------------
+
+def rebatch(chunks, batch: int | None):
+    """Regroup ``(offset, array)`` chunks into ``(offset, array)`` batches.
+
+    ``chunks`` must be contiguous and in order; output batches are cut every
+    ``batch`` items **counted from the first chunk's offset** — which equals
+    the global boundary grid whenever that offset is 0 or a multiple of
+    ``batch`` (the aligned-shard contract).  Partial chunks are buffered
+    across shard edges, so any decode shard size produces the same batch
+    stream.  ``batch=None`` forwards each chunk unchanged.
+    """
+    if batch is None:
+        yield from chunks
+        return
+    if batch < 1:
+        raise ValueError(f"batch must be >= 1, got {batch}")
+    held: list[np.ndarray] = []
+    held_n = 0
+    offset = None
+    for off, chunk in chunks:
+        if offset is None:
+            offset = off
+        held.append(chunk)
+        held_n += len(chunk)
+        while held_n >= batch:
+            buf = held[0] if len(held) == 1 else np.concatenate(held)
+            yield offset, buf[:batch]
+            rest = buf[batch:]
+            offset += batch
+            held = [rest] if len(rest) else []
+            held_n = len(rest)
+    if held_n:
+        yield offset, (held[0] if len(held) == 1 else np.concatenate(held))
+
+
+# ---------------------------------------------------------------------------
+# Prefetch: overlap decode of shard k+1 with inference on shard k
+# ---------------------------------------------------------------------------
+
+class _PrefetchError:
+    __slots__ = ("exc",)
+
+    def __init__(self, exc: BaseException):
+        self.exc = exc
+
+
+_END = object()
+
+
+def prefetched(iterable, depth: int = 1):
+    """Iterate ``iterable`` with a background thread computing ahead.
+
+    At most ``depth`` items are buffered, so peak memory stays bounded by
+    ``depth + 1`` items while the producer (typically shard decode) overlaps
+    the consumer (typically inference).  Exceptions raised by the producer
+    re-raise at the consumer's next pull; abandoning the iterator (early
+    ``break`` / ``close``) stops the producer promptly instead of leaking a
+    blocked thread.
+    """
+    if depth < 1:
+        raise ValueError(f"prefetch depth must be >= 1, got {depth}")
+    q: queue.Queue = queue.Queue(maxsize=depth)
+    stop = threading.Event()
+
+    def pump() -> None:
+        try:
+            for item in iterable:
+                while not stop.is_set():
+                    try:
+                        q.put(item, timeout=0.1)
+                        break
+                    except queue.Full:
+                        continue
+                if stop.is_set():
+                    return
+            payload = _END
+        except BaseException as exc:           # noqa: BLE001 — re-raised below
+            payload = _PrefetchError(exc)
+        while not stop.is_set():
+            try:
+                q.put(payload, timeout=0.1)
+                return
+            except queue.Full:
+                continue
+
+    worker = threading.Thread(target=pump, name="shard-prefetch", daemon=True)
+    worker.start()
+    try:
+        while True:
+            item = q.get()
+            if item is _END:
+                return
+            if isinstance(item, _PrefetchError):
+                raise item.exc
+            yield item
+    finally:
+        stop.set()

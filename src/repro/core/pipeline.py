@@ -14,6 +14,21 @@ pre-processing, ``apply_model`` during deployment-model construction.
 Decoding is memoised through :class:`~repro.core.cache.DecodeCache`, keyed
 on the bitstream *contents* (not ``id()``) with an LRU bound.  Sessions own
 a private cache; the free functions share a module-level default.
+
+Two dataflow shapes serve the same math:
+
+* **Monolithic** — :func:`preprocess_dataset` materialises the whole float
+  tensor (and memoises it per full pre-processing config), which is what
+  repeat sweeps over RAM-sized datasets want.
+* **Streaming** — :func:`preprocess_shards` yields the same tensor in
+  shard-sized chunks with peak memory bounded by one shard.  Chunk *decode*
+  is content-memoised when a cache is passed (decoded pixels are shared
+  across variants that only differ on the model side); the per-config float
+  chunks are never cached — in a stream they are write-once-read-once.
+  Every chunk is bit-identical to the corresponding slice of the monolithic
+  tensor (decode and resize are strictly per-image operations), so the two
+  shapes are interchangeable wherever the consumer cuts its inference
+  batches at the same offsets.
 """
 
 from __future__ import annotations
@@ -25,13 +40,13 @@ import numpy as np
 from repro.nn import MaxPool2d, Tensor, apply_precision
 
 from ..image import color_roundtrip, decode_with, resize, resize_batch
-from ..image.jpeg import DECODER_LIBRARIES, decode_batch
+from ..image.jpeg import DECODER_LIBRARIES, decode_batch, iter_decode_batches
 from .cache import DecodeCache, object_token, streams_digest
 from .noise import NoiseConfig, TRAIN_CONFIG
 
-__all__ = ["decode_dataset", "preprocess", "preprocess_dataset",
-           "apply_model_noise", "deployment_model", "normalize",
-           "default_decode_cache"]
+__all__ = ["decode_dataset", "decode_shards", "preprocess",
+           "preprocess_dataset", "preprocess_shards", "apply_model_noise",
+           "deployment_model", "normalize", "default_decode_cache"]
 
 #: Shared fallback cache for the module-level helpers (sessions own theirs).
 _DEFAULT_CACHE = DecodeCache()
@@ -87,10 +102,9 @@ def preprocess(image_u8: np.ndarray, input_size: int | tuple[int, int],
     return out
 
 
-def _preprocess_uncached(streams: list, size: tuple[int, int],
-                         cfg: NoiseConfig, extras,
-                         cache: DecodeCache | None) -> np.ndarray:
-    decoded = decode_dataset(streams, cfg.decoder, cache)
+def _finish_preprocess(decoded: np.ndarray, size: tuple[int, int],
+                       cfg: NoiseConfig, extras) -> np.ndarray:
+    """Resize + colour + extras + normalise one decoded uint8 batch."""
     if cfg.color is None and not extras:
         # Fast path: one batched separable-resize (numerically identical to
         # the per-image loop) covers the overwhelmingly common config.
@@ -100,17 +114,90 @@ def _preprocess_uncached(streams: list, size: tuple[int, int],
     return normalize(processed)
 
 
+def decode_shards(streams: list, decoder: str, shard_size: int | None = None,
+                  cache: DecodeCache | None = None, offset: int = 0):
+    """Decode ``streams`` lazily in shard-sized chunks.
+
+    Yields ``(global_offset, uint8 batch)`` pairs; per-image output is
+    bit-identical to :func:`decode_dataset` while peak memory stays bounded
+    by one shard.  With a ``cache``, each chunk is memoised under its own
+    content digest (so a re-run — or a worker whose cache was pre-seeded —
+    skips the decode); ``cache=None`` streams without memoising anything.
+    """
+    n = len(streams)
+    step = n if (shard_size is None or shard_size >= n) else shard_size
+    if step < 1:
+        raise ValueError(f"shard_size must be >= 1, got {shard_size}")
+    if cache is None and decoder in DECODER_LIBRARIES and n:
+        idct, chroma = DECODER_LIBRARIES[decoder]
+        for off, chunk in iter_decode_batches(streams, step, idct, chroma):
+            yield offset + off, chunk
+        return
+    for s in range(0, n, step):
+        chunk = streams[s:s + step]
+        if cache is not None:
+            yield offset + s, decode_dataset(chunk, decoder, cache)
+        else:
+            yield offset + s, _decode_uncached(chunk, decoder)
+
+
+def preprocess_shards(streams: list, input_size: int,
+                      cfg: NoiseConfig = TRAIN_CONFIG,
+                      cache: DecodeCache | None = None, *,
+                      shard_size: int | None = None, offset: int = 0,
+                      prefetch: bool = False):
+    """Chunked pre-processing: yield ``(global_offset, float NCHW chunk)``.
+
+    The streaming generator behind :func:`preprocess_dataset`: each chunk is
+    the full decode → resize → colour → normalise chain over
+    ``streams[i:i + shard_size]`` and is bit-identical to the corresponding
+    slice of the monolithic tensor.  Peak memory is bounded by one shard
+    (``shard_size=None`` means a single chunk spanning everything).
+
+    Unlike :func:`preprocess_dataset`, ``cache`` here memoises only the
+    *decoded* chunks (content-keyed, shared across variants); the finished
+    per-config float chunks are never cached, and ``cache=None`` disables
+    caching entirely rather than falling back to the module default.  With
+    ``prefetch=True`` a background thread decodes chunk *k+1* while the
+    consumer is still working on chunk *k*.
+    """
+    size = ((input_size, input_size) if isinstance(input_size, int)
+            else tuple(input_size))
+    extras = _preproc_extras(cfg)
+
+    def produce():
+        decoded = decode_shards(streams, cfg.decoder, shard_size, cache,
+                                offset)
+        if cfg.color is None and not extras:
+            # Fast path: the streaming sibling of the batched separable
+            # resize (bit-identical chunks, shared cached operators).
+            from ..image import iter_resize_batches
+            for off, resized in iter_resize_batches(decoded, size,
+                                                    cfg.resize_method):
+                yield off, normalize(resized)
+        else:
+            for off, chunk in decoded:
+                yield off, _finish_preprocess(chunk, size, cfg, extras)
+
+    if not prefetch:
+        return produce()
+    from .datapipe import prefetched
+    return prefetched(produce(), depth=1)
+
+
 def preprocess_dataset(streams: list, input_size: int,
                        cfg: NoiseConfig = TRAIN_CONFIG,
                        cache: DecodeCache | None = None) -> np.ndarray:
     """Full pre-processing for a dataset: decode → resize → colour → normalise.
 
-    Returns a float NCHW batch ready for the models.  Both the decoded pixel
-    batch (per dataset contents + decoder) and the finished tensor (per full
-    pre-processing config) are memoised, so variants that only differ on the
-    model-inference side — precision, ceil mode, upsampling — skip the whole
-    pre-processing chain on re-evaluation.  Treat the returned batch as
-    read-only (every consumer in the tree slices, never writes).
+    The eager wrapper over :func:`preprocess_shards`: one chunk spanning the
+    whole dataset, returned as a float NCHW batch ready for the models.
+    Both the decoded pixel batch (per dataset contents + decoder) and the
+    finished tensor (per full pre-processing config) are memoised, so
+    variants that only differ on the model-inference side — precision, ceil
+    mode, upsampling — skip the whole pre-processing chain on re-evaluation.
+    Treat the returned batch as read-only (every consumer in the tree
+    slices, never writes).
     """
     cache = cache if cache is not None else _DEFAULT_CACHE
     size = ((input_size, input_size) if isinstance(input_size, int)
@@ -119,11 +206,20 @@ def preprocess_dataset(streams: list, input_size: int,
     key = ("preproc", streams_digest(streams), cfg.decoder, cfg.resize_method,
            cfg.color, tuple((src.name, variant) for src, variant in extras),
            size)
-    compute = lambda: _preprocess_uncached(streams, size, cfg, extras, cache)
+
+    def compute() -> np.ndarray:
+        chunks = [x for _, x in preprocess_shards(streams, size, cfg, cache)]
+        return chunks[0] if len(chunks) == 1 else np.concatenate(chunks)
+
+    # Probe hashability up front: an unhashable custom-noise variant skips
+    # memoisation, but a TypeError raised *inside* the decode/resize compute
+    # path is a real bug and must propagate (a blanket retry-uncached would
+    # silently re-run — and re-fail — the same computation).
     try:
-        return cache.memo(key, compute)
-    except TypeError:          # unhashable custom-noise variant: no memoising
+        hash(key)
+    except TypeError:
         return compute()
+    return cache.memo(key, compute)
 
 
 def _needs_model_copy(model, cfg: NoiseConfig) -> bool:

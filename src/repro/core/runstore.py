@@ -115,11 +115,14 @@ def run_manifest(*, task: str, model: str, seed: int, noises,
 
 #: Manifest fields that must match for a resume to be legal — resuming a
 #: ledger with a different model/seed/noise-set (or, when recorded, dataset
-#: arguments) would splice two different experiments into one table.  A
-#: field is only compared when both manifests carry it, so callers that
-#: don't record ``data`` are unaffected.
+#: arguments) would splice two different experiments into one table.
+#: ``eval_geometry`` (batch + shard size) is identity too: metric floats
+#: depend on minibatch composition, and per-shard accumulator states from
+#: one geometry must never merge into another.  A field is only compared
+#: when both manifests carry it, so callers that don't record ``data`` (or
+#: ledgers from before the geometry field existed) are unaffected.
 _IDENTITY_FIELDS = ("task", "model", "seed", "noises", "skip",
-                    "include_combined", "data")
+                    "include_combined", "data", "eval_geometry")
 
 
 # ---------------------------------------------------------------------------
@@ -135,6 +138,7 @@ class RunLedger:
         self._lock = threading.Lock()
         self._ok: dict[tuple, dict] = {}       # key -> latest ok entry
         self._err: dict[tuple, dict] = {}      # key -> latest error entry
+        self._shard_ok: dict[tuple, dict] = {}  # key+(start,stop) -> entry
         self._entries: list[dict] = []         # append order, parsed once
         self._n_corrupt = 0
         self._manifest: dict | None = None
@@ -167,7 +171,15 @@ class RunLedger:
         return (entry.get("model"), entry.get("dataset"), entry.get("cfg"))
 
     def _index(self, entry: dict) -> None:
-        if entry.get("kind") != "eval":
+        kind = entry.get("kind")
+        if kind == "shard":
+            shard = entry.get("shard")
+            if (entry.get("status") == "ok" and isinstance(shard, list)
+                    and len(shard) == 2):
+                self._shard_ok[self._key(entry)
+                               + (int(shard[0]), int(shard[1]))] = entry
+            return
+        if kind != "eval":
             return
         target = self._ok if entry.get("status") == "ok" else self._err
         target[self._key(entry)] = entry
@@ -206,6 +218,18 @@ class RunLedger:
         """
         with self._lock:
             return self._ok.get((model, dataset, cfg_digest))
+
+    def lookup_shard(self, model: str, dataset: str, cfg_digest: str,
+                     start: int, stop: int) -> dict | None:
+        """The completed *shard* entry for exactly these bounds, or None.
+
+        Bounds are part of the identity: a resume that re-derives different
+        shard geometry (other shard size, batch size, or dataset length)
+        must recompute rather than splice mismatched partials.
+        """
+        with self._lock:
+            return self._shard_ok.get((model, dataset, cfg_digest,
+                                       int(start), int(stop)))
 
     def counts(self) -> dict:
         """Entry statistics — what the resume CLI and tests assert on."""
@@ -249,6 +273,30 @@ class RunLedger:
             entry["value"] = value
         else:
             entry["error"] = error or "unknown failure"
+        self.append(entry)
+
+    def record_shard(self, model: str, dataset: str, cfg_digest: str, *,
+                     start: int, stop: int, state: dict,
+                     noise: str | None = None,
+                     label: str | None = None) -> None:
+        """Append one completed shard's accumulator state.
+
+        Shard entries give the ledger sub-cell granularity: a crash
+        mid-dataset resumes at the first shard that never landed, not at
+        the start of the cell.  ``state`` must be the accumulator's
+        JSON-safe :meth:`~repro.core.metrics.MetricAccumulator.state` —
+        floats round-trip bit-exactly through JSON ``repr``, so merged
+        resumed values equal uninterrupted ones.  Shard entries never
+        satisfy whole-cell :meth:`lookup`.
+        """
+        entry = {"kind": "shard", "model": model, "dataset": dataset,
+                 "cfg": cfg_digest, "status": "ok",
+                 "shard": [int(start), int(stop)], "state": state,
+                 "ts": time.time()}
+        if noise is not None:
+            entry["noise"] = noise
+        if label is not None:
+            entry["label"] = label
         self.append(entry)
 
 

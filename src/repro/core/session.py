@@ -22,6 +22,9 @@ dataset never re-decode *or* re-evaluate — and never suffer the
 :class:`~repro.core.sweep.SweepEngine`: call :meth:`BenchmarkSession.workers`
 to fan variant evaluations out over a thread pool,
 :meth:`BenchmarkSession.batch` to control evaluation minibatch size,
+:meth:`BenchmarkSession.shards` to stream every evaluation through the
+shard pipeline (bounded peak memory, ``(variant × shard)`` process
+scheduling, shard-granular ledger resume — bit-identical results),
 :meth:`BenchmarkSession.retries` to set the per-cell failure retry budget,
 and :meth:`BenchmarkSession.store` to attach a crash-safe
 :class:`~repro.core.runstore.RunStore` ledger (interrupted runs resume by
@@ -110,6 +113,7 @@ class BenchmarkSession:
         self._seed = 0
         self._workers = workers
         self._batch_size = batch_size
+        self._shard_size: int | None = None
         self._retries = 0
         self._store = None
         self._run_id: str | None = None
@@ -197,6 +201,24 @@ class BenchmarkSession:
     def batch(self, batch_size: int | None) -> "BenchmarkSession":
         """Evaluate in minibatches of this size (None = adapter default)."""
         self._batch_size = batch_size
+        return self
+
+    def shards(self, shard_size: int | None) -> "BenchmarkSession":
+        """Stream evaluations through the shard pipeline (None = monolithic).
+
+        With a shard size, every evaluation decodes and pre-processes the
+        dataset in shard-sized chunks (peak memory bounded by one shard, not
+        the dataset), process-mode sweeps schedule ``(variant × shard)``
+        work items whose partial metric accumulators merge in the parent,
+        and — with a :meth:`store` attached — the ledger records per-shard
+        entries so a crash mid-dataset resumes at shard granularity.
+        Results are bit-identical to the monolithic path: inference
+        minibatches stay cut at global offsets and INT8 calibration pins to
+        the calibration shard (see ``docs/architecture.md``).
+        """
+        if shard_size is not None and shard_size < 1:
+            raise ValueError(f"shard_size must be >= 1, got {shard_size}")
+        self._shard_size = shard_size
         return self
 
     def retries(self, n: int) -> "BenchmarkSession":
@@ -310,7 +332,11 @@ class BenchmarkSession:
         return SweepEngine(workers=self._workers, eval_cache=self.eval_cache,
                            mode=self._mode, retries=self._retries,
                            ledger=self.ledger,
-                           model_key=self._label or "model")
+                           model_key=self._label or "model",
+                           shard_size=self._shard_size,
+                           task=self._task_name,
+                           batch_size=self._batch_size,
+                           pipeline_cache=self.cache)
 
     def _selected_noises(self) -> list[str]:
         return list(self._noises if self._noises is not None
@@ -330,6 +356,11 @@ class BenchmarkSession:
                 noises=self._selected_noises(), skip=self._skip,
                 include_combined=self._include_combined,
                 metric=self.adapter.metric_name,
+                # Resume identity: ledgered metrics (and per-shard
+                # accumulator states) are only valid under the same
+                # minibatch/shard geometry they were computed with.
+                eval_geometry={"batch_size": self._batch_size,
+                               "shard_size": self._shard_size},
                 **self._manifest_extra)
             self._ledger_obj = self._store.open_or_create(manifest,
                                                           self._run_id)

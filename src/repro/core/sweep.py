@@ -40,6 +40,17 @@ clean baseline for every table row.  :class:`SweepEngine` fixes both:
   cells are skipped on re-runs, which is what makes an interrupted sweep
   resumable to a bit-identical table.
 
+* **Shard granularity** — construct the engine with ``shard_size`` (plus
+  the ``task`` name) and every cell streams through the task adapter's
+  shard pipeline: peak memory is bounded by one shard instead of the
+  dataset, process mode schedules ``(variant × shard)`` work items whose
+  partial :class:`~repro.core.metrics.MetricAccumulator` states merge in
+  the parent, and the ledger records per-*shard* entries so a crash
+  mid-dataset resumes at shard granularity.  Shard bounds are aligned to
+  the adapter's inference minibatch size, which is what keeps sharded
+  results bit-identical to the monolithic path (see
+  :mod:`repro.core.datapipe`).
+
 The module-level :func:`sweep_noise` / :func:`noise_row` /
 :func:`worst_case_curve` keep their historical signatures and serial
 defaults; pass ``engine=SweepEngine(workers=...)`` (or drive a
@@ -152,21 +163,43 @@ class SweepEngine:
     completed cells are appended to the on-disk ledger as they finish and
     skipped on re-runs; ``model_key`` is the stable model identity used in
     ledger keys (defaults to the model's class name).
+
+    **Shard-mode contract**: with ``shard_size`` + ``task`` set, cells for
+    shardable datasets are evaluated through the *task adapter's* streaming
+    protocol (``evaluate_partials``, honouring ``batch_size`` and
+    ``pipeline_cache``) — the caller-supplied ``evaluate`` callable is kept
+    only for unshardable datasets and thread-fallback paths.  Custom
+    evaluation logic baked into the callable (wrapper metrics, non-default
+    adapter kwargs such as a detection score threshold) does not reach the
+    sharded path; drive such evaluations with ``shard_size=None``.
     """
 
     def __init__(self, workers: int | None = None,
                  eval_cache: EvalCache | None = None, mode: str = "thread",
                  retries: int = 0, ledger=None,
-                 model_key: str | None = None):
+                 model_key: str | None = None,
+                 shard_size: int | None = None, task: str | None = None,
+                 batch_size: int | None = None, pipeline_cache=None):
         if mode not in ("thread", "process"):
             raise ValueError(f"mode must be 'thread' or 'process', got {mode!r}")
         if retries < 0:
             raise ValueError(f"retries must be >= 0, got {retries}")
+        if shard_size is not None and shard_size < 1:
+            raise ValueError(f"shard_size must be >= 1, got {shard_size}")
         self.workers = workers
         self.mode = mode
         self.retries = retries
         self.ledger = ledger
         self.model_key = model_key
+        #: Shard streaming: with ``shard_size`` and a registered ``task``,
+        #: cells evaluate through the adapter's shard pipeline (bounded
+        #: memory, per-shard ledger entries, (variant × shard) process
+        #: scheduling).  ``pipeline_cache`` memoises the calibration slice
+        #: and deployment-model copies — data chunks are never cached.
+        self.shard_size = shard_size
+        self.task = task
+        self.batch_size = batch_size
+        self.pipeline_cache = pipeline_cache
         self._ledger_writes_failed = False
         self.eval_cache = eval_cache if eval_cache is not None else EvalCache()
 
@@ -252,6 +285,83 @@ class SweepEngine:
                                 noise=noise, label=cfg.describe(),
                                 attempts=1)
 
+    # -- shard streaming -----------------------------------------------------
+
+    def _shard_plan(self, ds):
+        """``(adapter, bounds)`` when this engine shards ``ds``, else None.
+
+        Bounds are aligned to the adapter's inference minibatch size so each
+        shard, evaluated in isolation, cuts its batches at the same global
+        offsets the monolithic path does (the bit-exactness contract).
+        """
+        if self.shard_size is None or self.task is None:
+            return None
+        try:
+            n = len(ds)
+        except TypeError:
+            return None
+        if n <= 0:
+            return None
+        from .datapipe import DataShards, supports_sharding
+        if not supports_sharding(ds):
+            return None
+        from .tasks import get_task
+        adapter = get_task(self.task)
+        shards = DataShards(ds, self.shard_size,
+                            align=adapter.stream_align(self.batch_size))
+        return adapter, shards.bounds
+
+    def _ledger_shard_hit(self, lkey, start: int, stop: int) -> dict | None:
+        """The ledgered accumulator state for one shard, or None."""
+        if lkey is None:
+            return None
+        entry = self.ledger.lookup_shard(*lkey, start, stop)
+        return None if entry is None else entry["state"]
+
+    def _ledger_shard_record(self, lkey, start: int, stop: int, state: dict,
+                             noise: str | None, cfg: NoiseConfig) -> None:
+        """Best-effort per-shard ledger append (same degradation contract
+        as :meth:`_ledger_record`)."""
+        if lkey is None or self._ledger_writes_failed:
+            return
+        try:
+            self.ledger.record_shard(*lkey, start=start, stop=stop,
+                                     state=state, noise=noise,
+                                     label=cfg.describe())
+        except Exception as exc:               # noqa: BLE001 — I/O errors
+            self._ledger_writes_failed = True
+            logger.warning("run ledger write failed (%s); continuing "
+                           "without persistence — this run cannot be "
+                           "resumed past the entries already on disk", exc)
+
+    def _compute_sharded(self, plan, model, ds, cfg: NoiseConfig,
+                         noise: str | None, lkey) -> float:
+        """One cell through the shard pipeline, shard-granular resume.
+
+        Ledger-complete shards are restored from their accumulator states;
+        only the missing shards are re-executed (and ledgered as they
+        finish), so a crash mid-dataset costs at most one shard.  Merge
+        order is irrelevant — accumulators key their partials by global
+        item index (or sum exact integer counts).
+        """
+        adapter, bounds = plan
+        acc = adapter.accumulator(ds)
+        missing: list[tuple[int, int]] = []
+        for start, stop in bounds:
+            state = self._ledger_shard_hit(lkey, start, stop)
+            if state is not None:
+                acc.merge(adapter.accumulator(ds).load_state(state))
+            else:
+                missing.append((start, stop))
+        if missing:                # fully restored cells skip model prep too
+            for start, stop, part in adapter.evaluate_partials(
+                    model, ds, cfg, missing, cache=self.pipeline_cache,
+                    batch_size=self.batch_size):
+                self._ledger_shard_record(lkey, start, stop, part.state(),
+                                          noise, cfg)
+                acc.merge(part)
+        return acc.value()
+
     def _eval_one(self, evaluate, model, ds, cfg: NoiseConfig,
                   noise: str | None = None) -> tuple[float, Exception | None]:
         """One cell -> ``(value, error)``; never raises.
@@ -276,10 +386,18 @@ class SweepEngine:
             if key is not None:
                 self.eval_cache.put(key, hit)
             return hit, None
+        plan = self._shard_plan(ds)
         last: Exception | None = None
         for attempt in range(1, self.retries + 2):
             try:
-                value = float(evaluate(model, ds, cfg))
+                if plan is not None:
+                    # Shard streaming: ledgered shards are skipped inside,
+                    # so a retry after a partial failure re-executes only
+                    # the shards that never completed.
+                    value = float(self._compute_sharded(plan, model, ds,
+                                                        cfg, noise, lkey))
+                else:
+                    value = float(evaluate(model, ds, cfg))
             except Exception as exc:           # noqa: BLE001 — isolate cell
                 last = exc
                 logger.warning(
@@ -330,7 +448,11 @@ class SweepEngine:
         """
         names = noise_names or [None] * len(cfgs)
         if self.mode == "process" and self.effective_workers > 1:
-            out = self._process_map(evaluate, model, ds, cfgs, names)
+            plan = self._shard_plan(ds)
+            out = (self._process_map_sharded(plan, evaluate, model, ds,
+                                             cfgs, names)
+                   if plan is not None and len(plan[1]) > 1
+                   else self._process_map(evaluate, model, ds, cfgs, names))
             if out is not None:
                 return out
         results = self.map(
@@ -492,6 +614,163 @@ class SweepEngine:
                                     attempts=attempt)
         return still
 
+    # -- (variant × shard) process fan-out ----------------------------------
+
+    def _process_map_sharded(self, plan, evaluate, model, ds,
+                             cfgs: list[NoiseConfig],
+                             noise_names: list[str | None],
+                             ) -> tuple[list[float], dict[int, str]] | None:
+        """Fan ``(variant × shard)`` work items over a process pool.
+
+        Each job evaluates one shard of one config and returns the
+        accumulator's JSON-safe state; the parent merges states per config
+        (order-free — accumulators key by global item index) and computes
+        the cell value, which lands in the eval cache and the ledger under
+        the same keys the serial path uses.  Work items are an order of
+        magnitude finer than whole-cell jobs, so a crashed worker costs one
+        shard, stragglers balance better, and — unlike the whole-dataset
+        path — nothing is ever materialised beyond one shard per worker.
+
+        Ledgered shard states are restored up front; only missing
+        ``(config, shard)`` pairs are submitted.  Returns None to fall back
+        to the thread/serial path (which shards too) when the payload is
+        unpicklable or the first pool cannot start.
+        """
+        adapter, bounds = plan
+        keys, lkeys, values = [], [], []
+        for i, cfg in enumerate(cfgs):
+            key = self._cache_key(model, ds, cfg)
+            keys.append(key)
+            lkeys.append(self._ledger_key(model, ds, cfg))
+            hit = self.eval_cache.get(key) if key is not None else None
+            if hit is not None:
+                self._ledger_backfill(lkeys[i], hit, cfg, noise_names[i])
+            else:
+                hit = self._ledger_hit(lkeys[i])
+                if hit is not None and key is not None:
+                    self.eval_cache.put(key, hit)
+            values.append(hit)
+        pending_cfgs = [i for i, v in enumerate(values) if v is None]
+        states: dict[tuple[int, tuple[int, int]], dict] = {}
+        jobs: list[tuple[int, int, int]] = []
+        for i in pending_cfgs:
+            for start, stop in bounds:
+                state = self._ledger_shard_hit(lkeys[i], start, stop)
+                if state is not None:
+                    states[(i, (start, stop))] = state
+                else:
+                    jobs.append((i, start, stop))
+        if len(jobs) < 2:
+            return None                        # nothing worth forking for
+        try:
+            # Shard workers evaluate through the adapter registry, never
+            # through the caller's callable — ship only model + dataset so
+            # an unpicklable closure doesn't cost the process fan-out.
+            payload = pickle.dumps((None, model, ds))
+        except Exception as exc:               # noqa: BLE001 — any pickle error
+            logger.warning("process sweep unavailable (payload not "
+                           "picklable: %s); falling back to threads", exc)
+            return None
+        shard_ctx = (self.task, self.batch_size)
+        errors: dict[int, str] = {}
+        logger.info("sweep fan-out: %d workers requested, %d effective "
+                    "(cores available: %d, mode=process, %d (variant x "
+                    "shard) work items over %d shards)",
+                    self.workers, min(self.effective_workers, len(jobs)),
+                    available_cores(), len(jobs), len(bounds))
+        pending = jobs
+        restored = len(states)
+        for attempt in range(1, self.retries + 2):
+            if not pending:
+                break
+            try:
+                pending = self._process_round_sharded(
+                    payload, shard_ctx, cfgs, lkeys, states, errors,
+                    pending, noise_names, attempt)
+            except Exception as exc:           # noqa: BLE001 — pool start
+                if attempt == 1 and len(states) == restored:
+                    # Nothing computed yet: degrade to the serial/thread
+                    # path, which streams shards too.
+                    logger.warning("process sweep failed (%s); falling "
+                                   "back to threads", exc)
+                    return None
+                logger.warning("process sweep round %d failed (%s); "
+                               "%d shard job(s) still pending",
+                               attempt, exc, len(pending))
+                for i, _, _ in pending:
+                    errors.setdefault(i, _err_str(exc))
+        out_errors: dict[int, str] = {}
+        for i in pending_cfgs:
+            got = [states.get((i, b)) for b in bounds]
+            if all(state is not None for state in got):
+                acc = adapter.accumulator(ds)
+                for state in got:
+                    acc.merge(adapter.accumulator(ds).load_state(state))
+                value = acc.value()
+                values[i] = value
+                if keys[i] is not None:
+                    self.eval_cache.put(keys[i], value)
+                self._ledger_record(lkeys[i], status="ok", value=value,
+                                    noise=noise_names[i],
+                                    label=cfgs[i].describe(), attempts=1)
+            else:
+                error = errors.get(i, "worker crashed")
+                self._ledger_record(lkeys[i], status="error", error=error,
+                                    noise=noise_names[i],
+                                    label=cfgs[i].describe(),
+                                    attempts=self.retries + 1)
+                values[i] = float("nan")
+                out_errors[i] = error
+        return list(values), out_errors
+
+    def _process_round_sharded(self, payload, shard_ctx, cfgs, lkeys,
+                               states, errors, pending, noise_names,
+                               attempt) -> list[tuple[int, int, int]]:
+        """One pool generation over pending (config, shard) jobs.
+
+        Completed shards land in ``states`` (and the ledger) immediately;
+        casualties of a broken pool go back to pending for the next round's
+        fresh pool, exactly like the whole-cell rounds — but the unit of
+        loss is one shard, not one dataset pass.
+        """
+        workers = min(self.effective_workers, len(pending))
+        still: list[tuple[int, int, int]] = []
+        broken = False
+        with ProcessPoolExecutor(max_workers=workers,
+                                 initializer=_process_worker_init,
+                                 initargs=(payload, None, shard_ctx)) as pool:
+            futures = [((i, start, stop),
+                        pool.submit(_process_eval_shard, cfgs[i], start, stop))
+                       for i, start, stop in pending]
+            for (i, start, stop), fut in futures:
+                try:
+                    state = fut.result()
+                except BrokenProcessPool as exc:
+                    if not broken:
+                        broken = True
+                        logger.warning(
+                            "process sweep pool broke on %s shard "
+                            "[%d, %d) (attempt %d/%d): %s",
+                            cfgs[i].describe(), start, stop, attempt,
+                            self.retries + 1, exc)
+                    errors[i] = f"worker crashed: {exc}" if str(exc) else \
+                        "worker crashed (process pool broken)"
+                    still.append((i, start, stop))
+                    continue
+                except Exception as exc:       # noqa: BLE001 — worker raise
+                    errors[i] = _err_str(exc)
+                    logger.warning(
+                        "shard evaluation failed in worker (attempt "
+                        "%d/%d, %s [%d, %d)): %s", attempt,
+                        self.retries + 1, cfgs[i].describe(), start, stop,
+                        exc)
+                    still.append((i, start, stop))
+                    continue
+                states[(i, (start, stop))] = state
+                self._ledger_shard_record(lkeys[i], start, stop, state,
+                                          noise_names[i], cfgs[i])
+        return still
+
     # -- sweep primitives ---------------------------------------------------
 
     def sweep_noise(self, evaluate, model, ds, noise: str,
@@ -624,9 +903,10 @@ def _share_decoded_dataset(ds):
         return None, None
 
 
-def _process_worker_init(payload: bytes, shm_meta) -> None:
+def _process_worker_init(payload: bytes, shm_meta, shard_ctx=None) -> None:
     evaluate, model, ds = pickle.loads(payload)
-    _WORKER.update(evaluate=evaluate, model=model, ds=ds)
+    _WORKER.update(evaluate=evaluate, model=model, ds=ds,
+                   shard_ctx=shard_ctx)
     if shm_meta is None:
         return
     name, shape, dtype_str, digest, decoder, start_method = shm_meta
@@ -675,6 +955,15 @@ def _process_worker_init(payload: bytes, shm_meta) -> None:
 def _process_eval(cfg: NoiseConfig) -> float:
     w = _WORKER
     return float(w["evaluate"](w["model"], w["ds"], cfg))
+
+
+def _process_eval_shard(cfg: NoiseConfig, start: int, stop: int) -> dict:
+    """One (config, shard) job → the accumulator's JSON-safe state."""
+    w = _WORKER
+    task, batch_size = w["shard_ctx"]
+    from .tasks import evaluate_partial_for_task
+    return evaluate_partial_for_task(task, w["model"], w["ds"], cfg,
+                                     start, stop, batch_size=batch_size)
 
 
 # ---------------------------------------------------------------------------

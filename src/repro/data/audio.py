@@ -59,6 +59,11 @@ class TTSDataset:
     def __len__(self) -> int:
         return len(self.token_seqs)
 
+    def subset(self, start: int, stop: int) -> "TTSDataset":
+        """The contiguous ``[start, stop)`` utterance slice (shard protocol)."""
+        return TTSDataset(self.token_seqs[start:stop],
+                          self.waveforms[start:stop], self.sample_rate)
+
 
 def make_tts_dataset(n: int = 40, min_len: int = 4, max_len: int = 8,
                      seed: int = 0) -> TTSDataset:

@@ -82,14 +82,15 @@ class SegmentationDataset:
     def __len__(self) -> int:
         return len(self.streams)
 
+    def subset(self, start: int, stop: int) -> "SegmentationDataset":
+        """The contiguous ``[start, stop)`` scene slice (shard protocol)."""
+        return SegmentationDataset(self.streams[start:stop],
+                                   self.images[start:stop],
+                                   self.labels[start:stop], self.input_size,
+                                   self.native_size, self.num_classes)
+
     def split(self, n_train: int):
-        a = SegmentationDataset(self.streams[:n_train], self.images[:n_train],
-                                self.labels[:n_train], self.input_size,
-                                self.native_size, self.num_classes)
-        b = SegmentationDataset(self.streams[n_train:], self.images[n_train:],
-                                self.labels[n_train:], self.input_size,
-                                self.native_size, self.num_classes)
-        return a, b
+        return self.subset(0, n_train), self.subset(n_train, len(self))
 
 
 def make_segmentation_dataset(n: int = 80, size: int = 48, quality: int = 90,

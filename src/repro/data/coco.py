@@ -88,14 +88,15 @@ class DetectionDataset:
     def __len__(self) -> int:
         return len(self.streams)
 
+    def subset(self, start: int, stop: int) -> "DetectionDataset":
+        """The contiguous ``[start, stop)`` scene slice (shard protocol)."""
+        return DetectionDataset(self.streams[start:stop],
+                                self.images[start:stop],
+                                self.gt_boxes[start:stop], self.input_size,
+                                self.native_size, self.num_classes)
+
     def split(self, n_train: int):
-        a = DetectionDataset(self.streams[:n_train], self.images[:n_train],
-                             self.gt_boxes[:n_train], self.input_size,
-                             self.native_size, self.num_classes)
-        b = DetectionDataset(self.streams[n_train:], self.images[n_train:],
-                             self.gt_boxes[n_train:], self.input_size,
-                             self.native_size, self.num_classes)
-        return a, b
+        return self.subset(0, n_train), self.subset(n_train, len(self))
 
 
 def make_detection_dataset(n: int = 120, size: int = 64, quality: int = 90,

@@ -127,15 +127,16 @@ class ClassificationDataset:
     def __len__(self) -> int:
         return len(self.labels)
 
+    def subset(self, start: int, stop: int) -> "ClassificationDataset":
+        """The contiguous ``[start, stop)`` item slice (shard protocol)."""
+        return ClassificationDataset(self.streams[start:stop],
+                                     self.images[start:stop],
+                                     self.labels[start:stop], self.native_size,
+                                     self.input_size, self.num_classes)
+
     def split(self, n_train: int) -> tuple["ClassificationDataset", "ClassificationDataset"]:
         """Deterministic train/val split (data is already shuffled at gen time)."""
-        a = ClassificationDataset(self.streams[:n_train], self.images[:n_train],
-                                  self.labels[:n_train], self.native_size,
-                                  self.input_size, self.num_classes)
-        b = ClassificationDataset(self.streams[n_train:], self.images[n_train:],
-                                  self.labels[n_train:], self.native_size,
-                                  self.input_size, self.num_classes)
-        return a, b
+        return self.subset(0, n_train), self.subset(n_train, len(self))
 
 
 def make_classification_dataset(n: int = 400, native_size: int = 48,

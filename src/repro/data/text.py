@@ -41,6 +41,12 @@ class MultipleChoiceTask:
     def __len__(self) -> int:
         return len(self.answers)
 
+    def subset(self, start: int, stop: int) -> "MultipleChoiceTask":
+        """The contiguous ``[start, stop)`` item slice (shard protocol)."""
+        return MultipleChoiceTask(self.name, self.prefixes[start:stop],
+                                  self.choices[start:stop],
+                                  self.answers[start:stop])
+
 
 class SyntheticGrammar:
     """Sparse Markov language with a long-range recall rule."""

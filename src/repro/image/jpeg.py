@@ -583,6 +583,27 @@ def decode_batch(streams: list, idct: str = "reference",
     return rgb.astype(np.uint8)
 
 
+def iter_decode_batches(streams: list, shard_size: int,
+                        idct: str = "reference",
+                        chroma_upsample: str = "replicate",
+                        entropy: str | None = None):
+    """Decode ``streams`` lazily in shard-sized uint8 batches.
+
+    Yields ``(offset, batch)`` pairs where ``batch`` is the
+    :func:`decode_batch` of ``streams[offset:offset + shard_size]`` — every
+    image bit-identical to the whole-dataset decode (decode is strictly
+    per-image), but with peak memory bounded by one shard instead of the
+    dataset.  This is the data-layer entry point the streaming pipeline's
+    decode stage runs on, letting decode of shard *k+1* overlap inference
+    on shard *k*.
+    """
+    if shard_size < 1:
+        raise ValueError(f"shard_size must be >= 1, got {shard_size}")
+    for offset in range(0, len(streams), shard_size):
+        yield offset, decode_batch(streams[offset:offset + shard_size],
+                                   idct, chroma_upsample, entropy)
+
+
 #: The paper's four decode libraries → (iDCT variant, chroma upsampling).
 #: PIL/FFmpeg ship libjpeg's fancy upsampling; OpenCV's default build and
 #: DALI's GPU path replicate.

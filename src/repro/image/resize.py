@@ -189,6 +189,20 @@ def resize_batch(images: np.ndarray, out_hw: tuple[int, int],
     return out
 
 
+def iter_resize_batches(batches, out_hw: tuple[int, int],
+                        method: str = "pillow-bilinear"):
+    """Resize a stream of ``(offset, batch)`` chunks with shared operators.
+
+    The streaming sibling of :func:`resize_batch`: each chunk goes through
+    the same cached separable matrices, so the concatenated output is
+    bit-identical to resizing the whole dataset at once while only one
+    chunk is ever resident.  Accepts the ``(offset, uint8 batch)`` stream
+    :func:`repro.image.jpeg.iter_decode_batches` produces.
+    """
+    for offset, batch in batches:
+        yield offset, resize_batch(batch, out_hw, method)
+
+
 def resize(image: np.ndarray, out_hw: tuple[int, int],
            method: str = "pillow-bilinear") -> np.ndarray:
     """Resize an (H, W) or (H, W, C) image.

@@ -1,7 +1,8 @@
 """NLP substrate: OPT-like decoder LM family + multiple-choice evaluation."""
 
-from .eval import (evaluate_task, evaluate_task_under_precision,
-                   nlp_precision_table)
+from .eval import (evaluate_task, evaluate_task_range,
+                   evaluate_task_under_precision, nlp_precision_table,
+                   precision_model)
 from .transformer import (CausalSelfAttention, DecoderBlock, LMTrainConfig,
                           OPT_CONFIGS, TinyLM, create_lm, sequence_logprob,
                           train_lm)
@@ -9,5 +10,6 @@ from .transformer import (CausalSelfAttention, DecoderBlock, LMTrainConfig,
 __all__ = [
     "TinyLM", "CausalSelfAttention", "DecoderBlock", "OPT_CONFIGS",
     "create_lm", "LMTrainConfig", "train_lm", "sequence_logprob",
-    "evaluate_task", "evaluate_task_under_precision", "nlp_precision_table",
+    "evaluate_task", "evaluate_task_range", "evaluate_task_under_precision",
+    "precision_model", "nlp_precision_table",
 ]

@@ -9,29 +9,49 @@ from repro.nn import apply_precision
 from ..data.text import MultipleChoiceTask
 from .transformer import TinyLM, sequence_logprob
 
-__all__ = ["evaluate_task", "evaluate_task_under_precision", "nlp_precision_table"]
+__all__ = ["evaluate_task", "evaluate_task_range", "precision_model",
+           "evaluate_task_under_precision", "nlp_precision_table"]
+
+
+def evaluate_task_range(model: TinyLM, task: MultipleChoiceTask,
+                        start: int, stop: int) -> int:
+    """Correct-answer count over items ``[start, stop)``.
+
+    Items score independently, so range counts sum exactly — this is the
+    shard work unit behind both :func:`evaluate_task` and the streaming
+    NLP adapter.
+    """
+    correct = 0
+    for i in range(start, stop):
+        scores = [sequence_logprob(model, task.prefixes[i], c)
+                  for c in task.choices[i]]
+        correct += int(np.argmax(scores) == task.answers[i])
+    return correct
 
 
 def evaluate_task(model: TinyLM, task: MultipleChoiceTask) -> float:
     """Accuracy (percent): pick the highest-log-likelihood continuation."""
-    correct = 0
-    for prefix, choices, answer in zip(task.prefixes, task.choices, task.answers):
-        scores = [sequence_logprob(model, prefix, c) for c in choices]
-        correct += int(np.argmax(scores) == answer)
-    return 100.0 * correct / len(task)
+    return 100.0 * evaluate_task_range(model, task, 0, len(task)) / len(task)
+
+
+def precision_model(model: TinyLM, precision: str,
+                    calib_corpus: np.ndarray | None = None):
+    """The LM converted for fp32/fp16/int8 inference (fp32 = identity)."""
+    if precision == "fp32":
+        return model
+    calibrate = None
+    if precision == "int8":
+        if calib_corpus is None:
+            raise ValueError("int8 needs a calibration corpus")
+        calibrate = lambda m: m(calib_corpus[:16, :-1])
+    return apply_precision(model, precision, calibrate)
 
 
 def evaluate_task_under_precision(model: TinyLM, task: MultipleChoiceTask,
                                   precision: str,
                                   calib_corpus: np.ndarray | None = None) -> float:
     """Accuracy after converting the LM to fp32/fp16/int8 inference."""
-    calibrate = None
-    if precision == "int8":
-        if calib_corpus is None:
-            raise ValueError("int8 needs a calibration corpus")
-        calibrate = lambda m: m(calib_corpus[:16, :-1])
-    qmodel = apply_precision(model, precision, calibrate)
-    return evaluate_task(qmodel, task)
+    return evaluate_task(precision_model(model, precision, calib_corpus), task)
 
 
 def nlp_precision_table(models: dict[str, TinyLM],

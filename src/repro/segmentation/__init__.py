@@ -1,11 +1,12 @@
 """Segmentation substrate: U-Net / DeepLab-lite models + mIoU evaluation."""
 
 from .miou import (SegTrainConfig, confusion_matrix, evaluate_segmenter,
-                   mean_iou, train_segmenter)
+                   mean_iou, miou_from_confusion, train_segmenter)
 from .models import DeepLabLite, UNetLite, create_segmenter
 
 __all__ = [
     "UNetLite", "DeepLabLite", "create_segmenter",
-    "confusion_matrix", "mean_iou", "SegTrainConfig", "train_segmenter",
+    "confusion_matrix", "mean_iou", "miou_from_confusion",
+    "SegTrainConfig", "train_segmenter",
     "evaluate_segmenter",
 ]

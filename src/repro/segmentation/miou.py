@@ -10,8 +10,8 @@ import repro.nn as nn
 from repro.nn import Tensor, no_grad
 from repro.nn import functional as F
 
-__all__ = ["confusion_matrix", "mean_iou", "SegTrainConfig", "train_segmenter",
-           "evaluate_segmenter"]
+__all__ = ["confusion_matrix", "miou_from_confusion", "mean_iou",
+           "SegTrainConfig", "train_segmenter", "evaluate_segmenter"]
 
 
 def confusion_matrix(pred: np.ndarray, target: np.ndarray,
@@ -25,7 +25,16 @@ def confusion_matrix(pred: np.ndarray, target: np.ndarray,
 
 def mean_iou(pred: np.ndarray, target: np.ndarray, num_classes: int) -> float:
     """mIoU in percent over classes present in the ground truth."""
-    cm = confusion_matrix(pred, target, num_classes)
+    return miou_from_confusion(confusion_matrix(pred, target, num_classes))
+
+
+def miou_from_confusion(cm: np.ndarray) -> float:
+    """mIoU in percent from a (K, K) confusion matrix.
+
+    The matrix is integer counts, so per-shard matrices sum exactly and the
+    streamed metric is bit-identical to the whole-dataset one — this is the
+    merge half of the :class:`~repro.core.metrics.MeanIoU` accumulator.
+    """
     inter = np.diag(cm).astype(np.float64)
     union = cm.sum(axis=0) + cm.sum(axis=1) - inter
     present = cm.sum(axis=1) > 0

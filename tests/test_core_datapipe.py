@@ -1,0 +1,246 @@
+"""Tests for the streaming shard data layer + mergeable accumulators."""
+
+import numpy as np
+import pytest
+
+from repro.core import (Accuracy, DataShards, MeanAP, MeanIoU, MeanScores,
+                        dataset_subset, prefetched, rebatch, shard_bounds)
+from repro.core.datapipe import align_up, supports_sharding
+
+
+# ---------------------------------------------------------------------------
+# Shard geometry
+# ---------------------------------------------------------------------------
+
+class TestShardBounds:
+    def test_covers_everything_contiguously(self):
+        bounds = shard_bounds(23, 5)
+        assert bounds[0][0] == 0 and bounds[-1][1] == 23
+        for (_, a_stop), (b_start, _) in zip(bounds, bounds[1:]):
+            assert a_stop == b_start
+
+    def test_none_or_oversized_yields_one_shard(self):
+        assert shard_bounds(10, None) == [(0, 10)]
+        assert shard_bounds(10, 10) == [(0, 10)]
+        assert shard_bounds(10, 99) == [(0, 10)]
+
+    def test_alignment_rounds_shard_size_up(self):
+        # Align 8: shard size 5 becomes 8, so every start is a batch
+        # boundary — the bit-exactness contract for scheduled work units.
+        bounds = shard_bounds(20, 5, align=8)
+        assert bounds == [(0, 8), (8, 16), (16, 20)]
+        assert all(start % 8 == 0 for start, _ in bounds)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            shard_bounds(10, 0)
+        assert shard_bounds(0, 4) == []
+
+    def test_align_up(self):
+        assert align_up(5, 8) == 8
+        assert align_up(8, 8) == 8
+        assert align_up(9, 8) == 16
+
+
+class TestDataShards:
+    def test_partitions_classification_dataset(self):
+        from repro.data import make_classification_dataset
+        ds = make_classification_dataset(n=10, native_size=48, input_size=32,
+                                         seed=0)
+        shards = DataShards(ds, 4)
+        assert len(shards) == 3
+        pieces = list(shards)
+        assert [len(s) for s in pieces] == [4, 4, 2]
+        # Slices carry the right items and metadata.
+        np.testing.assert_array_equal(pieces[1].dataset.labels, ds.labels[4:8])
+        assert pieces[1].dataset.input_size == ds.input_size
+        # Content digests are per-shard and distinct.
+        assert len({s.digest for s in pieces}) == 3
+
+    def test_subset_on_every_builtin_dataset(self):
+        from repro.core import NLPDataset, get_task
+        for task, kw in [("cls", dict(n=8, native_size=48, input_size=32)),
+                         ("det", dict(n=6, size=48)),
+                         ("seg", dict(n=6, size=32)),
+                         ("nlp", dict(n=6)),
+                         ("audio", dict(n=6))]:
+            ds = get_task(task).load_dataset(seed=0, **kw)
+            assert supports_sharding(ds)
+            sub = dataset_subset(ds, 2, 5)
+            assert len(sub) == 3
+            if isinstance(ds, NLPDataset):
+                # The calibration corpus rides whole (calibration shard).
+                np.testing.assert_array_equal(sub.calib_corpus,
+                                              ds.calib_corpus)
+
+    def test_unshardable_object_rejected(self):
+        assert not supports_sharding(object())
+        with pytest.raises(TypeError):
+            dataset_subset(object(), 0, 1)
+
+
+# ---------------------------------------------------------------------------
+# Global-boundary rebatching
+# ---------------------------------------------------------------------------
+
+class TestRebatch:
+    @pytest.mark.parametrize("chunk", [1, 3, 5, 20])
+    @pytest.mark.parametrize("batch", [1, 4, 7])
+    def test_batches_cut_at_global_offsets(self, chunk, batch):
+        data = np.arange(17)
+        chunks = [(s, data[s:s + chunk]) for s in range(0, 17, chunk)]
+        out = list(rebatch(iter(chunks), batch))
+        # Offsets are exactly the global multiples of `batch`...
+        assert [off for off, _ in out] == list(range(0, 17, batch))
+        # ...and the concatenation reproduces the stream.
+        np.testing.assert_array_equal(np.concatenate([b for _, b in out]),
+                                      data)
+        assert all(len(b) == batch for _, b in out[:-1])
+
+    def test_aligned_offset_start(self):
+        data = np.arange(8, 20)
+        out = list(rebatch(iter([(8, data)]), 4))
+        assert [off for off, _ in out] == [8, 12, 16]
+
+    def test_none_batch_passthrough(self):
+        chunks = [(0, np.arange(3)), (3, np.arange(3, 7))]
+        assert [(o, b.tolist()) for o, b in rebatch(iter(chunks), None)] == \
+            [(0, [0, 1, 2]), (3, [3, 4, 5, 6])]
+
+
+class TestPrefetched:
+    def test_order_preserved(self):
+        assert list(prefetched(iter(range(50)), depth=2)) == list(range(50))
+
+    def test_producer_exception_reraises(self):
+        def gen():
+            yield 1
+            raise RuntimeError("decode failed")
+        it = prefetched(gen(), depth=1)
+        assert next(it) == 1
+        with pytest.raises(RuntimeError, match="decode failed"):
+            list(it)
+
+    def test_early_abandon_does_not_hang(self):
+        for _, item in zip(range(3), prefetched(iter(range(10_000)))):
+            pass                               # break early; thread must stop
+
+
+# ---------------------------------------------------------------------------
+# Accumulators: merge associativity + state round-trips
+# ---------------------------------------------------------------------------
+
+def _random_split_points(rng, n):
+    k = int(rng.integers(1, 5))
+    cuts = sorted(rng.choice(np.arange(1, n), size=min(k, n - 1),
+                             replace=False).tolist())
+    return [0] + cuts + [n]
+
+
+class TestAccumulators:
+    def test_accuracy_merge_equals_whole(self):
+        rng = np.random.default_rng(0)
+        pred = rng.integers(0, 4, size=37)
+        target = rng.integers(0, 4, size=37)
+        whole = Accuracy()
+        whole.update(pred, target)
+        for _ in range(5):
+            pts = _random_split_points(rng, 37)
+            merged = Accuracy()
+            for a, b in zip(pts, pts[1:]):
+                part = Accuracy()
+                part.update(pred[a:b], target[a:b])
+                merged.merge(part)
+            assert merged.value() == whole.value()
+            assert merged.correct == whole.correct
+
+    def test_miou_merge_equals_whole(self):
+        from repro.segmentation.miou import mean_iou
+        rng = np.random.default_rng(1)
+        pred = rng.integers(0, 4, size=(13, 6, 6))
+        target = rng.integers(0, 4, size=(13, 6, 6))
+        whole = mean_iou(pred, target, 4)
+        merged = MeanIoU(4)
+        for a, b in [(0, 4), (4, 5), (5, 13)]:
+            part = MeanIoU(4)
+            part.update(pred[a:b], target[a:b])
+            merged.merge(part)
+        assert merged.value() == whole
+
+    def test_map_merge_is_order_free_and_exact(self):
+        from repro.detection.map_eval import mean_average_precision
+        rng = np.random.default_rng(2)
+        dets, gts = [], []
+        for _ in range(9):
+            d = rng.random((int(rng.integers(0, 4)), 6))
+            d[:, 0] = rng.integers(0, 3, size=len(d))
+            g = rng.random((int(rng.integers(1, 3)), 5))
+            g[:, 0] = rng.integers(0, 3, size=len(g))
+            g[:, 3:] += 1.0
+            dets.append(d)
+            gts.append(g)
+        whole = mean_average_precision(dets, gts, 3)
+        merged = MeanAP(3)
+        for i in reversed(range(9)):           # out-of-order merge
+            part = MeanAP(3)
+            part.update(i, dets[i], gts[i])
+            merged.merge(part)
+        assert merged.value() == whole
+
+    def test_mean_scores_matches_np_mean_order(self):
+        rng = np.random.default_rng(3)
+        scores = rng.random(11).tolist()
+        acc = MeanScores()
+        for i in [5, 0, 7, 1, 2, 3, 4, 6, 8, 10, 9]:
+            acc.update(i, scores[i])
+        assert acc.value() == float(np.mean(scores))
+
+    @pytest.mark.parametrize("make", [
+        lambda: TestAccumulators._filled_accuracy(),
+        lambda: TestAccumulators._filled_miou(),
+        lambda: TestAccumulators._filled_map(),
+        lambda: TestAccumulators._filled_scores(),
+    ])
+    def test_state_json_round_trip_is_exact(self, make):
+        import json
+        acc = make()
+        state = json.loads(json.dumps(acc.state()))
+        clone = type(acc).__new__(type(acc))
+        clone.__init__(*([acc.num_classes] if hasattr(acc, "num_classes")
+                         else []))
+        clone.load_state(state)
+        assert clone.value() == acc.value()
+
+    @staticmethod
+    def _filled_accuracy():
+        acc = Accuracy()
+        acc.add(7, 13)
+        return acc
+
+    @staticmethod
+    def _filled_miou():
+        acc = MeanIoU(3)
+        rng = np.random.default_rng(4)
+        acc.update(rng.integers(0, 3, size=50), rng.integers(0, 3, size=50))
+        return acc
+
+    @staticmethod
+    def _filled_map():
+        acc = MeanAP(2)
+        rng = np.random.default_rng(5)
+        for i in range(4):
+            d = rng.random((2, 6))
+            d[:, 0] = rng.integers(0, 2, size=2)
+            g = rng.random((1, 5))
+            g[0, 0] = rng.integers(0, 2)
+            g[:, 3:] += 1.0
+            acc.update(i, d, g)
+        acc.update(4, np.empty((0, 6)), np.empty((0, 5)))  # empty image
+        return acc
+
+    @staticmethod
+    def _filled_scores():
+        acc = MeanScores()
+        for i, s in enumerate([0.1, 0.25, 1 / 3, 7e-17]):
+            acc.update(i, s)
+        return acc
