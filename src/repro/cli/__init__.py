@@ -27,8 +27,17 @@ without writing Python:
                    backends diverge, layer by layer.
 ``visualize``      The Fig.-5 difference maps as terminal heatmaps (optionally
                    saved as ``.npy``).
-``report``         Concatenate the rendered tables under benchmarks/results.
+``report``         Concatenate the rendered tables under benchmarks/results,
+                   or — with ``--store`` — list a RunStore's runs with their
+                   ledger-replay status / render one run's table.
+``serve``          Benchmark-as-a-service: a long-lived HTTP server that
+                   queues sweep/worst-case/interaction jobs, streams
+                   incremental results, and survives restarts via the run
+                   ledger (see ``docs/serving.md``).
 =================  ==========================================================
+
+``noises``, ``tasks``, and ``report`` accept ``--json`` for machine-readable
+output, produced by the same serializers the serve API uses.
 
 Every command accepts ``--help``.  Exit status is 0 on success, 2 on bad
 arguments (argparse convention).
@@ -40,7 +49,7 @@ import argparse
 import sys
 
 from . import (backends_cmd, evaluate_cmd, info_cmd, noises_cmd, report_cmd,
-               run_cmd)
+               run_cmd, serve_cmd)
 
 __all__ = ["main", "build_parser"]
 
@@ -51,7 +60,7 @@ def build_parser() -> argparse.ArgumentParser:
         description="SysNoise benchmark CLI (MLSys 2023 reproduction)")
     sub = parser.add_subparsers(dest="command", required=True)
     for module in (info_cmd, noises_cmd, evaluate_cmd, run_cmd, backends_cmd,
-                   report_cmd):
+                   report_cmd, serve_cmd):
         module.register(sub)
     return parser
 

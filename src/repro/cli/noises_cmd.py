@@ -28,11 +28,17 @@ def register(sub: argparse._SubParsersAction) -> None:
                    metavar="MODULE",
                    help="import a module that registers extra noise sources "
                         "(repeatable)")
+    p.add_argument("--json", action="store_true", dest="as_json",
+                   help="machine-readable output (same serializer as "
+                        "GET /v1/noises on the serve API)")
     p.set_defaults(func=cmd_noises)
 
     p = sub.add_parser("tasks",
                        help="list the task-adapter registry "
                             "(name, metric, applicable noises)")
+    p.add_argument("--json", action="store_true", dest="as_json",
+                   help="machine-readable output (same serializer as "
+                        "GET /v1/tasks on the serve API)")
     p.set_defaults(func=cmd_tasks)
 
 
@@ -55,6 +61,16 @@ def cmd_noises(args: argparse.Namespace) -> int:
         print("no registered noise sources match the filter")
         return 2
 
+    if args.as_json:
+        # The HTTP API's exact document (shared serializer): `repro noises
+        # --json` and `GET /v1/noises` can never disagree.
+        import json
+
+        from repro.serve.serializers import noises_doc
+        print(json.dumps(noises_doc(args.task, args.stage), indent=2,
+                         default=repr))
+        return 0
+
     headers = ["name", "stage", "tasks", "variants", "worst"]
     rows = [[s.name, s.stage, "/".join(s.tasks), str(len(s.variants())),
              str(s.worst_variant)] for s in sources]
@@ -74,6 +90,12 @@ def cmd_noises(args: argparse.Namespace) -> int:
 def cmd_tasks(args: argparse.Namespace) -> int:
     from repro.core import get_task, task_names
 
+    if getattr(args, "as_json", False):
+        import json
+
+        from repro.serve.serializers import tasks_doc
+        print(json.dumps(tasks_doc(), indent=2, default=repr))
+        return 0
     for name in task_names():
         adapter = get_task(name)
         print(f"{name:<8} metric={adapter.metric_name:<6} "

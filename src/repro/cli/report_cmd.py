@@ -1,8 +1,18 @@
-"""Report CLI command: collect rendered benchmark tables into one document."""
+"""Report CLI command: collect rendered benchmark tables into one document.
+
+``--store`` switches the command from a results directory to a RunStore:
+without ``--run`` it *enumerates* the store's runs with their ledger-replay
+status (complete / partial / failed / pending), so nobody has to know a run
+id up front; with ``--run <id>`` it renders that run's table (partial runs
+render too, failed/missing cells as ``!``).  ``--json`` emits the same
+information machine-readably, through the exact serializers the serve API
+uses — CLI and HTTP output cannot drift.
+"""
 
 from __future__ import annotations
 
 import argparse
+import json
 from pathlib import Path
 
 __all__ = ["register"]
@@ -24,9 +34,13 @@ def register(sub: argparse._SubParsersAction) -> None:
                         "instead of a results dir (failed/missing cells "
                         "show as '!')")
     p.add_argument("--run", default=None,
-                   help="run id inside --store (default: every run)")
+                   help="run id inside --store (default: list all runs "
+                        "with their status)")
     p.add_argument("--out", default=None,
                    help="write the combined report here instead of stdout")
+    p.add_argument("--json", action="store_true", dest="as_json",
+                   help="machine-readable output (same serializers as the "
+                        "serve API)")
     p.set_defaults(func=cmd_report)
 
 
@@ -47,7 +61,7 @@ def _emit(report: str, out: str | None, what: str) -> None:
 
 
 def cmd_report_store(args: argparse.Namespace) -> int:
-    """Render sweep tables straight from a RunStore's ledgers.
+    """RunStore view: list runs with status, or render one run's table.
 
     Works on *partially complete* runs too — cells whose evaluation failed
     or has not happened yet render as ``!`` — so it doubles as a progress /
@@ -56,29 +70,51 @@ def cmd_report_store(args: argparse.Namespace) -> int:
     from repro.core import RunStore, ledger_table
 
     store = RunStore(args.store)
-    run_ids = [args.run] if args.run else store.runs()
-    if not run_ids:
-        print(f"error: no runs under {store.root}")
+    if not args.run:
+        # Enumerate: status per run from ledger replay, no run id needed.
+        from repro.serve.serializers import runs_doc
+        doc = runs_doc(store)
+        if not doc["runs"]:
+            print(f"error: no runs under {store.root}")
+            return 2
+        if args.as_json:
+            _emit(json.dumps(doc, indent=2, default=repr) + "\n",
+                  args.out, f"{len(doc['runs'])} run(s)")
+            return 0
+        headers = ["run", "model", "status", "ok", "failed", "expected"]
+        rows = [[str(i.get("run_id", "?")), str(i.get("model", "?")),
+                 str(i.get("status", "?")), str(i.get("ok", "-")),
+                 str(i.get("error", "-")), str(i.get("expected", "?"))]
+                for i in doc["runs"]]
+        widths = [max(len(h), *(len(r[j]) for r in rows))
+                  for j, h in enumerate(headers)]
+        fmt = lambda cells: "  ".join(c.ljust(w)                # noqa: E731
+                                      for c, w in zip(cells, widths))
+        lines = [fmt(headers), fmt(["-" * w for w in widths])]
+        lines += [fmt(r) for r in rows]
+        lines.append(f"({len(rows)} run(s); `repro report --store "
+                     f"{store.root} --run <id>` renders one)")
+        _emit("\n".join(lines) + "\n", args.out, f"{len(rows)} run(s)")
+        return 0
+    try:
+        ledger = store.open(args.run)
+        table = ledger_table(ledger)
+    except ValueError as exc:
+        print(f"error: {exc}")
         return 2
-    sections = []
-    for run_id in run_ids:
-        # One unreadable run must not block reporting on the others.
-        try:
-            ledger = store.open(run_id)
-            table = ledger_table(ledger)
-        except ValueError as exc:
-            if args.run:                       # explicitly requested: fail
-                print(f"error: {exc}")
-                return 2
-            sections.append(f"## {run_id}\n\nerror: {exc}")
-            continue
-        counts = ledger.counts()
-        sections.append(f"## {run_id}\n\n{table}\n\n"
-                        f"ledger: {counts['ok']} ok, {counts['error']} "
-                        f"failed" + (f", {counts['corrupt']} corrupt line(s)"
-                                     if counts["corrupt"] else ""))
-    report = ("# SysNoise run ledgers\n\n" + "\n\n".join(sections) + "\n")
-    _emit(report, args.out, f"{len(run_ids)} run(s)")
+    if args.as_json:
+        from repro.core import run_info
+        doc = dict(run_info(ledger))
+        doc["table"] = table
+        _emit(json.dumps(doc, indent=2, default=repr) + "\n",
+              args.out, f"run {args.run}")
+        return 0
+    counts = ledger.counts()
+    report = (f"## {args.run}\n\n{table}\n\n"
+              f"ledger: {counts['ok']} ok, {counts['error']} "
+              f"failed" + (f", {counts['corrupt']} corrupt line(s)"
+                           if counts["corrupt"] else "") + "\n")
+    _emit(report, args.out, f"run {args.run}")
     return 0
 
 
@@ -95,6 +131,12 @@ def cmd_report(args: argparse.Namespace) -> int:
         print(f"error: no *.txt results under {results} "
               f"(run `pytest benchmarks/ --benchmark-only` first)")
         return 2
+    if getattr(args, "as_json", False):
+        doc = {"sections": [{"name": f.stem, "text": f.read_text().rstrip()}
+                            for f in files]}
+        _emit(json.dumps(doc, indent=2, default=repr) + "\n",
+              args.out, f"{len(files)} sections")
+        return 0
     sections = [f"## {f.stem}\n\n{f.read_text().rstrip()}" for f in files]
     report = "# SysNoise benchmark results\n\n" + "\n\n".join(sections) + "\n"
     _emit(report, args.out, f"{len(files)} sections")

@@ -85,36 +85,9 @@ def _apply_zoo_skips(session, model: str) -> None:
 
 
 def _fit_or_load(session, ledger, epochs: int) -> None:
-    """Train the session's model, or load the run's weight checkpoint.
-
-    The checkpoint is what makes resume cheap *and* exact: a resumed run
-    evaluates the very same weights instead of relying on retraining
-    determinism, so ledger values and freshly computed ones agree bitwise.
-    The save is atomic (tmp + rename) and a torn/unreadable checkpoint
-    falls back to deterministic retraining — a kill at any point leaves
-    the run resumable.
-    """
-    import os
-
-    from repro.nn import load_checkpoint, save_checkpoint
-
-    ckpt = ledger.path / "weights.npz"
-    if ckpt.exists():
-        try:
-            load_checkpoint(session.trained_model, ckpt)
-            session.trained_model.eval()
-            print(f"loaded trained weights from {ckpt}")
-            return
-        except Exception as exc:               # noqa: BLE001 — torn file
-            print(f"warning: checkpoint {ckpt} unreadable ({exc}); "
-                  f"retraining deterministically")
-            session._model = None              # discard the half-loaded model
-    print(f"training {session._label} (epochs={epochs}) ...")
-    session.fit(epochs=epochs)
-    # Atomic publish (numpy appends .npz to the temp name itself).
-    tmp = save_checkpoint(session.trained_model,
-                          ckpt.with_name("weights.tmp"))
-    os.replace(tmp, ckpt)
+    """Train or restore this run's checkpoint (now a session method, kept
+    here as a thin alias so both CLI entry points read the same)."""
+    session.fit_or_load(epochs=epochs, log=print)
 
 
 def cmd_run(args: argparse.Namespace) -> int:

@@ -1,0 +1,58 @@
+"""Serve CLI command: ``repro serve`` — benchmark-as-a-service.
+
+Starts the long-lived asyncio HTTP service over the sweep engine and run
+ledger (see ``docs/serving.md``).  The process runs until SIGTERM/SIGINT,
+then drains: running jobs finish (their ledgers complete on disk), queued
+jobs stay untouched run directories finishable via ``repro resume <id>``.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+__all__ = ["register"]
+
+
+def register(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("serve",
+                       help="serve sweep/worst-case jobs over HTTP "
+                            "(POST /v1/jobs; see docs/serving.md)")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default: loopback only)")
+    p.add_argument("--port", type=int, default=8787,
+                   help="TCP port; 0 picks a free one (default: 8787)")
+    p.add_argument("--store", default="runs",
+                   help="RunStore directory — the durable job records "
+                        "(default: runs/)")
+    p.add_argument("--queue-limit", type=int, default=16,
+                   help="max queued jobs before submissions get 429 "
+                        "(default: 16)")
+    p.add_argument("--job-workers", type=int, default=1,
+                   help="concurrent job executor threads (default: 1)")
+    p.add_argument("--rate", type=float, default=10.0,
+                   help="per-client request rate limit in req/s; "
+                        "0 disables (default: 10)")
+    p.add_argument("--burst", type=int, default=20,
+                   help="per-client burst allowance (default: 20)")
+    p.add_argument("--resume-jobs", action="store_true",
+                   help="re-enqueue interrupted/queued jobs found in "
+                        "--store at startup (default: report them only)")
+    p.set_defaults(func=cmd_serve)
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import EvalService
+
+    try:
+        service = EvalService(store_root=args.store, host=args.host,
+                              port=args.port, queue_limit=args.queue_limit,
+                              job_workers=args.job_workers, rate=args.rate,
+                              burst=args.burst,
+                              resume_jobs=args.resume_jobs)
+    except ValueError as exc:
+        print(f"error: {exc}")
+        return 2
+    try:
+        return service.run()
+    except KeyboardInterrupt:                  # pragma: no cover — ^C race
+        return 0

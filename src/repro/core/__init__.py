@@ -23,7 +23,8 @@ from .datapipe import (DataShards, Shard, dataset_subset, prefetched,
                        rebatch, shard_bounds)
 from .interaction import (InteractionMatrix, pairwise_interaction,
                           render_interaction)
-from .metrics import Accuracy, MeanAP, MeanIoU, MeanScores, MetricAccumulator
+from .metrics import (Accuracy, MeanAP, MeanIoU, MeanScores,
+                      MetricAccumulator, accumulator_from_state)
 from .noise import NoiseConfig, NoiseSpec, TRAIN_CONFIG
 from .pipeline import (apply_model_noise, decode_dataset, decode_shards,
                        normalize, preprocess, preprocess_dataset,
@@ -35,11 +36,11 @@ from .registry import (CLS_NOISES, DET_NOISES, NOISE_TAXONOMY, SEG_NOISES,
                        register_noise, temporary_noise, unregister_noise,
                        worst_case_stack)
 from .report import format_cell, render_curve, render_table, render_taxonomy
-from .runstore import (RunLedger, RunStore, config_digest, ledger_table,
-                       run_manifest)
+from .runstore import (RunLedger, RunStore, config_digest, expected_cells,
+                       ledger_table, run_info, run_manifest)
 from .session import (BenchmarkSession, NoiseResult, Session, SessionResult,
                       noise_row, sweep_noise, worst_case_curve)
-from .sweep import SweepEngine
+from .sweep import SweepCancelled, SweepEngine
 from .tasks import (NLPDataset, TaskAdapter, evaluate_for_task,
                     evaluate_partial_for_task, get_task, register_task,
                     task_names, unregister_task)
@@ -60,12 +61,14 @@ __all__ = [
     "NLPDataset",
     # session facade + sweep engine
     "BenchmarkSession", "Session", "SessionResult", "SweepEngine",
+    "SweepCancelled",
     # crash-safe run persistence
     "RunStore", "RunLedger", "config_digest", "ledger_table", "run_manifest",
+    "expected_cells", "run_info",
     # streaming shard pipeline
     "DataShards", "Shard", "dataset_subset", "shard_bounds", "rebatch",
     "prefetched", "MetricAccumulator", "Accuracy", "MeanAP", "MeanIoU",
-    "MeanScores",
+    "MeanScores", "accumulator_from_state",
     # pipeline + caching
     "decode_dataset", "decode_shards", "preprocess", "preprocess_dataset",
     "preprocess_shards", "apply_model_noise",

@@ -26,7 +26,15 @@ Accumulators serialise to JSON-safe ``state()`` dicts and rebuild via
 result to the parent and how the run ledger persists per-shard progress.
 Python's JSON round-trips floats through ``repr`` (shortest-round-trip), so
 a state that travelled through the ledger merges to the same bits as one
-that never left memory.
+that never left memory.  :func:`accumulator_from_state` rebuilds the right
+accumulator class from a bare state dict (the ``kind`` field is the tag),
+which is how the serving layer turns ledgered shard states into partial
+metric values without knowing the task.
+
+Merging is *validated*: partials of different kinds — or of mismatched
+shapes, such as confusion matrices over different class counts — must never
+be summed into a plausible-looking but wrong metric, so ``merge`` raises
+``TypeError``/``ValueError`` instead of splicing them.
 """
 
 from __future__ import annotations
@@ -34,11 +42,14 @@ from __future__ import annotations
 import numpy as np
 
 __all__ = ["MetricAccumulator", "Accuracy", "MeanIoU", "MeanAP",
-           "MeanScores"]
+           "MeanScores", "accumulator_from_state"]
 
 
 class MetricAccumulator:
     """update/merge/value protocol for one streamed metric."""
+
+    #: ``state()['kind']`` tag for this accumulator class.
+    kind: str = ""
 
     def merge(self, other: "MetricAccumulator") -> "MetricAccumulator":
         raise NotImplementedError
@@ -54,9 +65,25 @@ class MetricAccumulator:
         """Restore a :meth:`state` snapshot into this accumulator."""
         raise NotImplementedError
 
+    def _check_merge(self, other: "MetricAccumulator") -> None:
+        """Reject cross-kind merges: summing an Accuracy into a MeanIoU (or
+        any other mismatch) would produce a silently wrong metric."""
+        if type(other) is not type(self):
+            raise TypeError(f"cannot merge {type(other).__name__} into "
+                            f"{type(self).__name__}")
+
+    def _check_state(self, state: dict) -> None:
+        kind = state.get("kind") if isinstance(state, dict) else state
+        if kind != self.kind:
+            raise ValueError(f"state kind {kind!r} does not match "
+                             f"{type(self).__name__} (expected "
+                             f"{self.kind!r})")
+
 
 class Accuracy(MetricAccumulator):
     """Percent correct over integer counts (classification, NLP)."""
+
+    kind = "accuracy"
 
     def __init__(self):
         self.correct = 0
@@ -71,6 +98,7 @@ class Accuracy(MetricAccumulator):
         self.total += int(total)
 
     def merge(self, other: "Accuracy") -> "Accuracy":
+        self._check_merge(other)
         self.correct += other.correct
         self.total += other.total
         return self
@@ -85,6 +113,7 @@ class Accuracy(MetricAccumulator):
                 "total": self.total}
 
     def load_state(self, state: dict) -> "Accuracy":
+        self._check_state(state)
         self.correct = int(state["correct"])
         self.total = int(state["total"])
         return self
@@ -92,6 +121,8 @@ class Accuracy(MetricAccumulator):
 
 class MeanIoU(MetricAccumulator):
     """mIoU from a summed integer confusion matrix (segmentation)."""
+
+    kind = "miou"
 
     def __init__(self, num_classes: int):
         self.num_classes = int(num_classes)
@@ -102,6 +133,10 @@ class MeanIoU(MetricAccumulator):
         self.cm += confusion_matrix(pred, target, self.num_classes)
 
     def merge(self, other: "MeanIoU") -> "MeanIoU":
+        self._check_merge(other)
+        if other.num_classes != self.num_classes:
+            raise ValueError(f"cannot merge MeanIoU over {other.num_classes} "
+                             f"classes into one over {self.num_classes}")
         self.cm += other.cm
         return self
 
@@ -114,6 +149,7 @@ class MeanIoU(MetricAccumulator):
                 "cm": self.cm.tolist()}
 
     def load_state(self, state: dict) -> "MeanIoU":
+        self._check_state(state)
         self.num_classes = int(state["num_classes"])
         self.cm = np.asarray(state["cm"], dtype=np.int64)
         return self
@@ -130,6 +166,8 @@ class MeanAP(MetricAccumulator):
     could change the AP in the last ULP.
     """
 
+    kind = "map"
+
     def __init__(self, num_classes: int):
         self.num_classes = int(num_classes)
         self.items: dict[int, tuple[np.ndarray, np.ndarray]] = {}
@@ -140,6 +178,10 @@ class MeanAP(MetricAccumulator):
                                   np.asarray(gt, dtype=np.float64))
 
     def merge(self, other: "MeanAP") -> "MeanAP":
+        self._check_merge(other)
+        if other.num_classes != self.num_classes:
+            raise ValueError(f"cannot merge MeanAP over {other.num_classes} "
+                             f"classes into one over {self.num_classes}")
         self.items.update(other.items)
         return self
 
@@ -156,6 +198,7 @@ class MeanAP(MetricAccumulator):
                           for i, (d, g) in self.items.items()}}
 
     def load_state(self, state: dict) -> "MeanAP":
+        self._check_state(state)
         self.num_classes = int(state["num_classes"])
         self.items = {
             int(i): (np.asarray(d, dtype=np.float64).reshape(-1, 6),
@@ -167,6 +210,8 @@ class MeanAP(MetricAccumulator):
 class MeanScores(MetricAccumulator):
     """Mean of per-item float scores in dataset order (TTS MSE)."""
 
+    kind = "mean_scores"
+
     def __init__(self):
         self.scores: dict[int, float] = {}
 
@@ -174,6 +219,7 @@ class MeanScores(MetricAccumulator):
         self.scores[int(index)] = float(score)
 
     def merge(self, other: "MeanScores") -> "MeanScores":
+        self._check_merge(other)
         self.scores.update(other.scores)
         return self
 
@@ -187,6 +233,32 @@ class MeanScores(MetricAccumulator):
                 "scores": {str(i): s for i, s in self.scores.items()}}
 
     def load_state(self, state: dict) -> "MeanScores":
+        self._check_state(state)
         self.scores = {int(i): float(s)
                        for i, s in state["scores"].items()}
         return self
+
+
+def accumulator_from_state(state: dict) -> MetricAccumulator:
+    """Rebuild the right accumulator from a bare :meth:`state` dict.
+
+    The ``kind`` tag selects the class; shape parameters (``num_classes``)
+    come from the state itself.  This is how a consumer that never saw the
+    task adapter — the serving layer streaming ledger entries, a post-mortem
+    script — can turn a persisted shard state back into a partial metric.
+    """
+    if not isinstance(state, dict):
+        raise ValueError(f"accumulator state must be a dict, got "
+                         f"{type(state).__name__}")
+    kind = state.get("kind")
+    if kind == Accuracy.kind:
+        acc: MetricAccumulator = Accuracy()
+    elif kind == MeanIoU.kind:
+        acc = MeanIoU(int(state["num_classes"]))
+    elif kind == MeanAP.kind:
+        acc = MeanAP(int(state["num_classes"]))
+    elif kind == MeanScores.kind:
+        acc = MeanScores()
+    else:
+        raise ValueError(f"unknown accumulator state kind {kind!r}")
+    return acc.load_state(state)

@@ -51,7 +51,7 @@ import uuid
 from pathlib import Path
 
 __all__ = ["RunStore", "RunLedger", "config_digest", "run_manifest",
-           "ledger_table"]
+           "ledger_table", "expected_cells", "run_info"]
 
 logger = logging.getLogger(__name__)
 
@@ -140,6 +140,7 @@ class RunLedger:
         self._err: dict[tuple, dict] = {}      # key -> latest error entry
         self._shard_ok: dict[tuple, dict] = {}  # key+(start,stop) -> entry
         self._entries: list[dict] = []         # append order, parsed once
+        self._listeners: list = []             # append-notification hooks
         self._n_corrupt = 0
         self._manifest: dict | None = None
         self._replay()
@@ -241,6 +242,28 @@ class RunLedger:
 
     # -- write side ---------------------------------------------------------
 
+    def subscribe(self, fn) -> None:
+        """Call ``fn(entry)`` after every successful :meth:`append`.
+
+        This is the serving layer's incremental-results feed: the ledger is
+        already the single point every completed cell/shard flows through,
+        so subscribing here is what lets an HTTP client stream a sweep's
+        progress without the engine knowing the server exists.  Listeners
+        run on the appending thread, *outside* the ledger lock (a listener
+        that re-enters the ledger must not deadlock); a raising listener is
+        logged and dropped from that notification, never propagated into
+        the sweep.
+        """
+        with self._lock:
+            self._listeners.append(fn)
+
+    def unsubscribe(self, fn) -> None:
+        with self._lock:
+            try:
+                self._listeners.remove(fn)
+            except ValueError:
+                pass
+
     def append(self, entry: dict) -> None:
         """Append one entry, flushed and fsync'd before returning.
 
@@ -256,6 +279,13 @@ class RunLedger:
                 os.fsync(fh.fileno())
             self._entries.append(entry)
             self._index(entry)
+            listeners = list(self._listeners)
+        for fn in listeners:
+            try:
+                fn(entry)
+            except Exception as exc:           # noqa: BLE001 — observer only
+                logger.warning("ledger listener failed (%s); entry is "
+                               "persisted regardless", exc)
 
     def record_eval(self, model: str, dataset: str, cfg_digest: str, *,
                     status: str, value: float | None = None,
@@ -367,6 +397,90 @@ class RunStore:
                 f"{ {f: ledger.manifest[f] for f in mismatched} }, "
                 f"requested { {f: manifest[f] for f in mismatched} })")
         return ledger
+
+    def list_runs(self) -> list[dict]:
+        """Status summaries for every run in the store, oldest first.
+
+        Each entry is :func:`run_info` for the run — derived entirely from
+        ledger replay, never from transient process state, so the listing is
+        correct after any number of crashes/restarts.  A run whose ledger
+        cannot be replayed (e.g. an unreadable manifest) still appears, with
+        ``status="unreadable"`` — listing must never raise because one run
+        directory rotted.
+        """
+        infos = []
+        for run_id in self.runs():
+            try:
+                infos.append(run_info(self.open(run_id)))
+            except Exception as exc:           # noqa: BLE001 — keep listing
+                infos.append({"run_id": run_id, "status": "unreadable",
+                              "error": str(exc)})
+        return infos
+
+
+# ---------------------------------------------------------------------------
+# Run status from ledger replay alone
+# ---------------------------------------------------------------------------
+
+def expected_cells(manifest: dict) -> int | None:
+    """How many eval cells a complete run of ``manifest`` produces.
+
+    1 baseline + one cell per variant of every non-skipped noise + 1
+    combined config when ``include_combined``.  Returns ``None`` when a
+    noise in the manifest is not registered in this process (its variant
+    count is unknowable), in which case completeness cannot be judged.
+    """
+    from .registry import get_noise
+
+    total = 1                                  # the clean baseline cell
+    for name in manifest.get("noises", ()):
+        if name in set(manifest.get("skip", ())):
+            continue
+        try:
+            total += len(get_noise(name).variants())
+        except ValueError:
+            return None
+    if manifest.get("include_combined", True):
+        total += 1
+    return total
+
+
+def run_info(ledger: RunLedger) -> dict:
+    """One run's status summary, from its manifest and ledger replay.
+
+    ``status`` is ``complete`` (every expected cell has an ok entry),
+    ``failed`` (at least one cell's latest outcome is an error), ``partial``
+    (some ok cells, rest never ran — the killed-mid-run shape), or
+    ``pending`` (ledger empty).  This is exactly what a restarted server or
+    ``repro report --store`` can know without re-running anything.
+    """
+    manifest = ledger.manifest
+    counts = ledger.counts()
+    shards = sum(e.get("kind") == "shard" for e in ledger.entries())
+    expected = expected_cells(manifest)
+    if counts["error"]:
+        status = "failed"
+    elif expected is not None and counts["ok"] >= expected:
+        status = "complete"
+    elif counts["ok"]:
+        status = "partial"
+    else:
+        status = "pending"
+    return {
+        "run_id": ledger.run_id,
+        "task": manifest.get("task"),
+        "model": manifest.get("model"),
+        "seed": manifest.get("seed"),
+        "metric": manifest.get("metric"),
+        "noises": list(manifest.get("noises", ())),
+        "status": status,
+        "ok": counts["ok"],
+        "error": counts["error"],
+        "expected": expected,
+        "entries": counts["entries"],
+        "shards": shards,
+        "corrupt": counts["corrupt"],
+    }
 
 
 # ---------------------------------------------------------------------------

@@ -115,6 +115,7 @@ class BenchmarkSession:
         self._batch_size = batch_size
         self._shard_size: int | None = None
         self._retries = 0
+        self._should_stop = None
         self._store = None
         self._run_id: str | None = None
         self._manifest_extra: dict = {}
@@ -231,6 +232,19 @@ class BenchmarkSession:
         self._retries = n
         return self
 
+    def cancel(self, should_stop) -> "BenchmarkSession":
+        """Install a cooperative cancellation hook for this session's runs.
+
+        ``should_stop`` is a zero-arg callable (e.g. a
+        ``threading.Event().is_set``) polled between evaluations; once it
+        returns True the engine raises
+        :class:`~repro.core.sweep.SweepCancelled` at the next cell boundary.
+        Every already-completed evaluation is in the ledger, so a cancelled
+        stored run resumes exactly like a crashed one.
+        """
+        self._should_stop = should_stop
+        return self
+
     def store(self, path, run_id: str | None = None,
               **manifest_extra) -> "BenchmarkSession":
         """Attach a crash-safe :class:`~repro.core.runstore.RunStore`.
@@ -278,6 +292,50 @@ class BenchmarkSession:
                 "recorded weights (same seed/config); attach a fresh run_id "
                 "via .store(...) if this is a different model",
                 self._run_id)
+        return self
+
+    def fit_or_load(self, *, epochs: int | None = None, log=None,
+                    **train_kw) -> "BenchmarkSession":
+        """Train, or restore this run's weight checkpoint (store required).
+
+        The checkpoint — ``weights.npz`` inside the run directory — is what
+        makes resume cheap *and* exact: a resumed run evaluates the very
+        same weights instead of relying on retraining determinism, so
+        ledgered metrics and freshly computed ones agree bitwise.  The save
+        is atomic (tmp + rename) and a torn/unreadable checkpoint falls
+        back to deterministic retraining — a kill at any point leaves the
+        run resumable.  ``log`` (e.g. ``print``) receives progress lines;
+        None is silent.
+        """
+        import os
+
+        from repro.nn import load_checkpoint, save_checkpoint
+
+        ledger = self.ledger
+        if ledger is None:
+            raise ValueError("fit_or_load needs a run directory for the "
+                             "checkpoint: call .store(...) first")
+        log = log or (lambda msg: None)
+        ckpt = ledger.path / "weights.npz"
+        if ckpt.exists():
+            try:
+                load_checkpoint(self.trained_model, ckpt)
+                self.trained_model.eval()
+                log(f"loaded trained weights from {ckpt}")
+                return self
+            except Exception as exc:           # noqa: BLE001 — torn file
+                log(f"warning: checkpoint {ckpt} unreadable ({exc}); "
+                    f"retraining deterministically")
+                self._model = None             # discard the half-loaded model
+        if epochs is not None:
+            train_kw["epochs"] = epochs
+        log(f"training {self._label} "
+            f"(epochs={train_kw.get('epochs', '?')}) ...")
+        self.fit(**train_kw)
+        # Atomic publish (numpy appends .npz to the temp name itself).
+        tmp = save_checkpoint(self.trained_model,
+                              ckpt.with_name("weights.tmp"))
+        os.replace(tmp, ckpt)
         return self
 
     def _stored_entries(self) -> int:
@@ -336,7 +394,8 @@ class BenchmarkSession:
                            shard_size=self._shard_size,
                            task=self._task_name,
                            batch_size=self._batch_size,
-                           pipeline_cache=self.cache)
+                           pipeline_cache=self.cache,
+                           should_stop=self._should_stop)
 
     def _selected_noises(self) -> list[str]:
         return list(self._noises if self._noises is not None

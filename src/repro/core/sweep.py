@@ -73,10 +73,22 @@ from .cache import EvalCache, dataset_token, eval_key, streams_digest
 from .noise import NoiseConfig, TRAIN_CONFIG
 from .registry import combined_config, get_noise, worst_case_stack
 
-__all__ = ["NoiseResult", "SweepEngine", "sweep_noise", "noise_row",
-           "worst_case_curve", "available_cores"]
+__all__ = ["NoiseResult", "SweepEngine", "SweepCancelled", "sweep_noise",
+           "noise_row", "worst_case_curve", "available_cores"]
 
 logger = logging.getLogger(__name__)
+
+
+class SweepCancelled(RuntimeError):
+    """Raised between cells when the engine's ``should_stop`` hook fires.
+
+    Cancellation is *cooperative and cell-granular*: the check runs before
+    each evaluation (and before each process round), never inside one, so
+    every entry already in the run ledger is complete and the interrupted
+    run resumes exactly like a crashed one — via ledger replay.  This is
+    what lets a serving layer cancel a queued-behind job or drain on
+    SIGTERM without torn state.
+    """
 
 
 def _err_str(exc: BaseException | None) -> str:
@@ -179,7 +191,8 @@ class SweepEngine:
                  retries: int = 0, ledger=None,
                  model_key: str | None = None,
                  shard_size: int | None = None, task: str | None = None,
-                 batch_size: int | None = None, pipeline_cache=None):
+                 batch_size: int | None = None, pipeline_cache=None,
+                 should_stop=None):
         if mode not in ("thread", "process"):
             raise ValueError(f"mode must be 'thread' or 'process', got {mode!r}")
         if retries < 0:
@@ -200,8 +213,15 @@ class SweepEngine:
         self.task = task
         self.batch_size = batch_size
         self.pipeline_cache = pipeline_cache
+        #: Zero-arg callable polled between cells; returning True raises
+        #: :class:`SweepCancelled` at the next cell boundary.
+        self.should_stop = should_stop
         self._ledger_writes_failed = False
         self.eval_cache = eval_cache if eval_cache is not None else EvalCache()
+
+    def _check_cancelled(self) -> None:
+        if self.should_stop is not None and self.should_stop():
+            raise SweepCancelled("sweep cancelled by should_stop hook")
 
     # -- scheduling ---------------------------------------------------------
 
@@ -371,7 +391,12 @@ class SweepEngine:
         retry budget.  Outcomes — successes *and* final failures — are
         appended to the ledger before returning, which is the crash-safety
         contract: a SIGKILL immediately after this call loses nothing.
+
+        The one exception that *does* propagate is :class:`SweepCancelled`
+        (raised before any work when the engine's ``should_stop`` hook
+        fires) — cancellation is a caller decision, not a cell failure.
         """
+        self._check_cancelled()
         key = self._cache_key(model, ds, cfg)
         lkey = self._ledger_key(model, ds, cfg)
         if key is not None:
@@ -532,6 +557,8 @@ class SweepEngine:
                     pending = self._process_round(
                         payload, shm_meta, cfgs, keys, lkeys, values,
                         errors, pending, noise_names, attempt)
+                except SweepCancelled:
+                    raise                      # caller decision, not a fault
                 except Exception as exc:       # noqa: BLE001 — pool start
                     if attempt == 1 and all(values[i] is None
                                             for i in pending):
@@ -575,6 +602,7 @@ class SweepEngine:
         keep their values; casualties (and jobs queued behind them) go back
         to pending for the next round's fresh pool.
         """
+        self._check_cancelled()
         workers = min(self.effective_workers, len(pending))
         still: list[int] = []
         broken = False
@@ -687,6 +715,8 @@ class SweepEngine:
                 pending = self._process_round_sharded(
                     payload, shard_ctx, cfgs, lkeys, states, errors,
                     pending, noise_names, attempt)
+            except SweepCancelled:
+                raise                          # caller decision, not a fault
             except Exception as exc:           # noqa: BLE001 — pool start
                 if attempt == 1 and len(states) == restored:
                     # Nothing computed yet: degrade to the serial/thread
@@ -733,6 +763,7 @@ class SweepEngine:
         fresh pool, exactly like the whole-cell rounds — but the unit of
         loss is one shard, not one dataset pass.
         """
+        self._check_cancelled()
         workers = min(self.effective_workers, len(pending))
         still: list[tuple[int, int, int]] = []
         broken = False

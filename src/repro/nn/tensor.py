@@ -18,30 +18,33 @@ Design notes
 from __future__ import annotations
 
 import contextlib
+import threading
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
 __all__ = ["Tensor", "no_grad", "is_grad_enabled", "as_tensor"]
 
-_GRAD_ENABLED = True
+# Grad mode is *per thread*: the serving layer trains/evaluates concurrent
+# jobs on sibling threads, and one job's ``no_grad()`` evaluation must not
+# stop another job's forward pass from recording its tape.
+_GRAD_STATE = threading.local()
 
 
 @contextlib.contextmanager
 def no_grad():
     """Context manager that disables gradient tape construction."""
-    global _GRAD_ENABLED
-    prev = _GRAD_ENABLED
-    _GRAD_ENABLED = False
+    prev = getattr(_GRAD_STATE, "enabled", True)
+    _GRAD_STATE.enabled = False
     try:
         yield
     finally:
-        _GRAD_ENABLED = prev
+        _GRAD_STATE.enabled = prev
 
 
 def is_grad_enabled() -> bool:
     """Return whether operations currently record a backward graph."""
-    return _GRAD_ENABLED
+    return getattr(_GRAD_STATE, "enabled", True)
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
@@ -77,7 +80,7 @@ class Tensor:
         if isinstance(data, Tensor):
             data = data.data
         self.data = np.asarray(data, dtype=np.float64)
-        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self.requires_grad = bool(requires_grad) and is_grad_enabled()
         self.grad: np.ndarray | None = None
         self._backward: Callable[[np.ndarray], None] | None = None
         self._parents: tuple[Tensor, ...] = ()
@@ -131,7 +134,7 @@ class Tensor:
     def _make(self, data: np.ndarray, parents: Sequence["Tensor"],
               backward: Callable[[np.ndarray], None]) -> "Tensor":
         out = Tensor(data)
-        if _GRAD_ENABLED and any(p.requires_grad for p in parents):
+        if is_grad_enabled() and any(p.requires_grad for p in parents):
             out.requires_grad = True
             out._parents = tuple(parents)
             out._backward = backward
@@ -470,7 +473,7 @@ def cat(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
         return tuple(np.split(g, splits, axis=axis))
 
     out = Tensor(data)
-    if _GRAD_ENABLED and any(t.requires_grad for t in tensors):
+    if is_grad_enabled() and any(t.requires_grad for t in tensors):
         out.requires_grad = True
         out._parents = tuple(tensors)
         out._backward = backward
@@ -486,7 +489,7 @@ def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
         return tuple(np.take(g, i, axis=axis) for i in range(len(tensors)))
 
     out = Tensor(data)
-    if _GRAD_ENABLED and any(t.requires_grad for t in tensors):
+    if is_grad_enabled() and any(t.requires_grad for t in tensors):
         out.requires_grad = True
         out._parents = tuple(tensors)
         out._backward = backward

@@ -1,0 +1,34 @@
+"""Benchmark-as-a-service: a long-lived async HTTP layer over the engine.
+
+The ROADMAP's north star is SysNoise as a *system serving heavy traffic*,
+and this package is that system's front door.  It is deliberately a thin
+subsystem: every hard problem — parallel fault-isolated sweeps, crash-safe
+persistence, mergeable partial metrics, resume — was solved in
+:mod:`repro.core`; the serving layer adds only what a long-lived
+multi-tenant process needs on top:
+
+* :mod:`repro.serve.http` — a minimal HTTP/1.1 server on stdlib
+  ``asyncio`` (no new dependencies), with NDJSON response streaming.
+* :mod:`repro.serve.ratelimit` — per-client token buckets.
+* :mod:`repro.serve.serializers` — the JSON views of registries, runs, and
+  ledger entries, shared with the ``--json`` CLI flags so HTTP and CLI
+  output never drift.
+* :mod:`repro.serve.jobs` — the job manager: validation, a bounded FIFO
+  queue with admission control, background worker threads driving
+  :class:`~repro.core.session.BenchmarkSession`, and the
+  :class:`~repro.core.runstore.RunStore` directory as the durable job
+  record (restart recovery is ledger replay; completed jobs are served
+  from a digest-keyed response cache).
+* :mod:`repro.serve.app` — :class:`EvalService`, the wired service with
+  routes and graceful SIGTERM drain.
+
+Start it with ``repro serve`` (see ``docs/serving.md``).
+"""
+
+from .app import EvalService
+from .jobs import Draining, Job, JobManager, JobSpec, QueueFull, \
+    ValidationError
+from .ratelimit import RateLimiter, TokenBucket
+
+__all__ = ["EvalService", "JobManager", "Job", "JobSpec", "QueueFull",
+           "Draining", "ValidationError", "RateLimiter", "TokenBucket"]

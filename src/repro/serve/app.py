@@ -1,0 +1,248 @@
+"""EvalService: routes + rate limiting + graceful lifecycle, wired together.
+
+The HTTP surface (all JSON unless noted):
+
+====== ============================== =======================================
+Method Path                           Meaning
+====== ============================== =======================================
+GET    /v1/healthz                    liveness (rate-limit exempt)
+GET    /v1/noises                     the live noise registry
+GET    /v1/tasks                      the task-adapter registry
+GET    /v1/jobs                       all known jobs (status summaries)
+POST   /v1/jobs                       submit a job spec (202; 200 on dedup)
+GET    /v1/jobs/<id>                  one job's status + ledger progress
+DELETE /v1/jobs/<id>                  cooperative cancel
+GET    /v1/jobs/<id>/events          NDJSON stream: replay + live results
+GET    /v1/jobs/<id>/table           text/plain paper table (partial OK)
+====== ============================== =======================================
+
+Backpressure is explicit everywhere: queue-full and rate-limit rejections
+are 429 with ``Retry-After``; a draining server answers submissions with
+503.  SIGTERM starts a drain — running jobs finish (their ledgers complete),
+queued jobs stay on disk for ``repro resume``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import signal
+import threading
+
+from .http import HTTPServer, Request, Response
+from .jobs import Draining, JobManager, QueueFull, ValidationError
+from .ratelimit import RateLimiter
+from .serializers import noises_doc, runs_doc, tasks_doc
+
+__all__ = ["EvalService"]
+
+logger = logging.getLogger(__name__)
+
+#: Seconds between polls of a running job's event log while streaming.
+EVENT_POLL = 0.05
+
+
+class EvalService:
+    """The benchmark-as-a-service process: one manager, one HTTP server."""
+
+    def __init__(self, store_root="runs", host: str = "127.0.0.1",
+                 port: int = 0, queue_limit: int = 16, job_workers: int = 1,
+                 rate: float = 10.0, burst: int = 20, resume_jobs: bool = False,
+                 runner=None):
+        self.manager = JobManager(store_root, queue_limit=queue_limit,
+                                  job_workers=job_workers, runner=runner)
+        self.limiter = RateLimiter(rate, burst)
+        self.server = HTTPServer(self.handle, host=host, port=port)
+        self.resume_jobs = resume_jobs
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop_event: asyncio.Event | None = None
+        self._thread: threading.Thread | None = None
+
+    # -- routing ------------------------------------------------------------
+
+    async def handle(self, request: Request) -> Response:
+        path, method = request.path.rstrip("/") or "/", request.method
+        if path == "/v1/healthz":              # liveness probes never 429
+            return Response.json({"status": "ok",
+                                  "draining": self.manager.draining})
+        wait = self.limiter.acquire(request.client_id)
+        if wait > 0:
+            return Response.error(
+                429, "rate limit exceeded",
+                **{"Retry-After": f"{max(1, round(wait))}"})
+        if path == "/v1/noises" and method == "GET":
+            return Response.json(noises_doc(request.query.get("task"),
+                                            request.query.get("stage")))
+        if path == "/v1/tasks" and method == "GET":
+            return Response.json(tasks_doc())
+        if path == "/v1/runs" and method == "GET":
+            return Response.json(runs_doc(self.manager.store))
+        if path == "/v1/jobs":
+            if method == "GET":
+                return Response.json(
+                    {"jobs": [self.manager.job_doc(j)
+                              for j in self.manager.jobs()]})
+            if method == "POST":
+                return await self._submit(request)
+            return Response.error(405, f"{method} not allowed on {path}")
+        if path.startswith("/v1/jobs/"):
+            return await self._job_route(request, path, method)
+        return Response.error(404, f"no route for {path}")
+
+    async def _submit(self, request: Request) -> Response:
+        try:
+            doc = request.json()
+        except ValueError as exc:
+            return Response.error(400, str(exc))
+        loop = asyncio.get_running_loop()
+        try:
+            # submit() touches the filesystem (creates the run directory);
+            # keep the event loop free for pollers while it does.
+            job, created = await loop.run_in_executor(
+                None, self.manager.submit, doc, request.client_id)
+        except ValidationError as exc:
+            return Response.error(400, str(exc))
+        except QueueFull as exc:
+            return Response.error(
+                429, str(exc),
+                **{"Retry-After": f"{max(1, round(exc.retry_after))}"})
+        except Draining as exc:
+            return Response.error(503, str(exc))
+        return Response.json(self.manager.job_doc(job),
+                             status=202 if created else 200)
+
+    async def _job_route(self, request: Request, path: str,
+                         method: str) -> Response:
+        parts = path.split("/")                # ['', 'v1', 'jobs', id, ...]
+        job_id, tail = parts[3], parts[4:]
+        job = self.manager.get(job_id)
+        if job is None:
+            return Response.error(404, f"no job {job_id!r}")
+        if not tail:
+            if method == "GET":
+                return Response.json(self.manager.job_doc(job))
+            if method == "DELETE":
+                self.manager.cancel_job(job_id)
+                return Response.json(self.manager.job_doc(job))
+            return Response.error(405, f"{method} not allowed on {path}")
+        if tail == ["events"] and method == "GET":
+            return Response.ndjson(self._event_stream(job))
+        if tail == ["table"] and method == "GET":
+            return self._table(job)
+        return Response.error(404, f"no route for {path}")
+
+    # -- job views ----------------------------------------------------------
+
+    async def _event_stream(self, job):
+        """Replay the job's event log, then tail it until terminal.
+
+        For jobs recovered from a dead server (no live event log beyond
+        the synthetic 'job' line), the ledger itself is replayed — same
+        events a live subscriber would have seen.
+        """
+        import json as _json
+
+        from .serializers import entry_event
+
+        def line(event) -> bytes:
+            return (_json.dumps(event, default=repr,
+                                separators=(",", ":")) + "\n").encode()
+
+        sent = 0
+        if job.terminal and len(job.events_since(0)) <= 2:
+            # Recovered job: no live event log — the ledger is the log.
+            ledger = self.manager.ledger(job.id)
+            if ledger is not None:
+                for entry in ledger.entries():
+                    yield line(entry_event(entry))
+            yield line({"event": "end", "status": job.status})
+            return
+        while True:
+            events = job.events_since(sent)
+            sent += len(events)
+            for event in events:
+                yield line(event)
+            if job.terminal and not job.events_since(sent):
+                break
+            await asyncio.sleep(EVENT_POLL)
+        yield line({"event": "end", "status": job.status})
+
+    def _table(self, job) -> Response:
+        """The paper table — partial while running, cached when done."""
+        if job.table is not None:
+            return Response.text(job.table + "\n")
+        if job.spec.kind != "sweep":
+            return Response.text(
+                f"job {job.id} ({job.spec.kind}) is {job.status}; "
+                f"its table is available once completed\n",
+                status=200 if not job.terminal else 404)
+        ledger = self.manager.ledger(job.id)
+        if ledger is None:
+            return Response.error(404, f"no run directory for {job.id!r}")
+        from repro.core import ledger_table
+        return Response.text(ledger_table(ledger) + "\n")
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def _main(self, ready=None) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                self._loop.add_signal_handler(sig, self._stop_event.set)
+            except (NotImplementedError, ValueError, RuntimeError):
+                pass                           # non-main thread / platform
+        self.manager.start()
+        recovered = self.manager.recover(resume=self.resume_jobs)
+        if recovered:
+            print(f"recovered {len(recovered)} job(s) from "
+                  f"{self.manager.store.root}", flush=True)
+        host, port = await self.server.start()
+        print(f"serving on http://{host}:{port} (store="
+              f"{self.manager.store.root}, queue_limit="
+              f"{self.manager.queue_limit}, job_workers="
+              f"{self.manager.job_workers})", flush=True)
+        if ready is not None:
+            ready.set()
+        await self._stop_event.wait()
+        print("draining: running jobs will finish; queued jobs stay "
+              "resumable via `repro resume`", flush=True)
+        await self.server.close()
+        leftover = await self._loop.run_in_executor(
+            None, self.manager.shutdown, True)
+        if leftover:
+            print(f"left {len(leftover)} queued job(s) on disk: "
+                  f"{' '.join(leftover)}", flush=True)
+        print("drained cleanly", flush=True)
+
+    def run(self) -> int:
+        """Blocking entry point (the ``repro serve`` command)."""
+        asyncio.run(self._main())
+        return 0
+
+    # -- embedding (tests, benchmarks) --------------------------------------
+
+    def start_background(self) -> tuple[str, int]:
+        """Run the service on a daemon thread; returns (host, port)."""
+        ready = threading.Event()
+
+        class _Ready:
+            def set(self):                     # bridge to threading.Event
+                ready.set()
+
+        def main():
+            asyncio.run(self._main(ready=_Ready()))
+
+        self._thread = threading.Thread(target=main, name="serve-main",
+                                        daemon=True)
+        self._thread.start()
+        if not ready.wait(timeout=30):
+            raise RuntimeError("serve thread failed to start")
+        return self.server.host, self.server.port
+
+    def stop(self, timeout: float = 60.0) -> None:
+        """Signal the background service to drain and wait for it."""
+        if self._loop is not None and self._stop_event is not None:
+            self._loop.call_soon_threadsafe(self._stop_event.set)
+        if self._thread is not None:
+            self._thread.join(timeout)

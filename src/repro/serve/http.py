@@ -1,0 +1,239 @@
+"""A minimal HTTP/1.1 server on stdlib asyncio — just enough for the API.
+
+The repo's no-new-dependencies rule applies to the serving layer too, so
+instead of pulling in an ASGI stack this module implements the small HTTP
+subset the benchmark service actually needs:
+
+* request line + headers + ``Content-Length`` bodies (no chunked request
+  bodies, no multipart) with hard size limits — an evaluation service's
+  inputs are small JSON specs, so anything bigger is abuse, not traffic;
+* JSON responses with keep-alive, and **streamed** responses (the NDJSON
+  events feed) sent with ``Connection: close`` — the stream's end *is* the
+  framing, which keeps the implementation honest without chunked encoding;
+* one handler callable ``handler(request) -> Response`` (sync or async);
+  exceptions become a 500 JSON error, never a torn connection.
+
+Everything protocol-shaped lives here; routing and semantics live in
+:mod:`repro.serve.app`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import logging
+from dataclasses import dataclass, field
+from urllib.parse import parse_qs, unquote, urlsplit
+
+__all__ = ["Request", "Response", "HTTPServer"]
+
+logger = logging.getLogger(__name__)
+
+#: Hard limits: a benchmark spec is a few hundred bytes; these bounds exist
+#: so a misbehaving client cannot balloon server memory.
+MAX_HEADER_BYTES = 32 * 1024
+MAX_BODY_BYTES = 4 * 1024 * 1024
+#: Seconds to wait for the next request on a keep-alive connection.
+IDLE_TIMEOUT = 30.0
+
+_REASONS = {200: "OK", 202: "Accepted", 204: "No Content",
+            400: "Bad Request", 404: "Not Found",
+            405: "Method Not Allowed", 409: "Conflict",
+            429: "Too Many Requests", 500: "Internal Server Error",
+            503: "Service Unavailable"}
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request (headers lower-cased, query pre-split)."""
+
+    method: str
+    path: str
+    query: dict[str, str]
+    headers: dict[str, str]
+    body: bytes
+    client: str = "?"
+
+    def json(self):
+        """The request body as JSON; raises ``ValueError`` on junk."""
+        if not self.body:
+            raise ValueError("empty request body (expected a JSON object)")
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ValueError(f"request body is not valid JSON: {exc}")
+
+    @property
+    def client_id(self) -> str:
+        """Rate-limit identity: explicit ``X-Client-Id`` beats peer address
+        (benchmark clients behind one NAT should not share a bucket)."""
+        return self.headers.get("x-client-id") or self.client
+
+
+@dataclass
+class Response:
+    """One response: a body, or an async iterator of NDJSON lines."""
+
+    status: int = 200
+    body: bytes = b""
+    content_type: str = "application/json"
+    headers: dict[str, str] = field(default_factory=dict)
+    #: Async iterator of ``bytes`` chunks; when set, the response streams
+    #: with ``Connection: close`` and no Content-Length.
+    stream = None
+
+    @classmethod
+    def json(cls, doc, status: int = 200, **headers) -> "Response":
+        body = (json.dumps(doc, indent=2, default=repr) + "\n").encode()
+        return cls(status=status, body=body, headers=dict(headers))
+
+    @classmethod
+    def text(cls, text: str, status: int = 200, **headers) -> "Response":
+        return cls(status=status, body=text.encode(),
+                   content_type="text/plain; charset=utf-8",
+                   headers=dict(headers))
+
+    @classmethod
+    def error(cls, status: int, message: str, **headers) -> "Response":
+        return cls.json({"error": message, "status": status},
+                        status=status, **headers)
+
+    @classmethod
+    def ndjson(cls, aiter, status: int = 200) -> "Response":
+        resp = cls(status=status, content_type="application/x-ndjson")
+        resp.stream = aiter
+        return resp
+
+
+class HTTPServer:
+    """``asyncio.start_server`` wrapper dispatching to one handler."""
+
+    def __init__(self, handler, host: str = "127.0.0.1", port: int = 0):
+        self.handler = handler
+        self.host = host
+        self.port = port
+        self._server: asyncio.AbstractServer | None = None
+
+    async def start(self) -> tuple[str, int]:
+        self._server = await asyncio.start_server(
+            self._serve_connection, self.host, self.port)
+        host, port = self._server.sockets[0].getsockname()[:2]
+        self.port = port
+        return host, port
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # -- connection loop ----------------------------------------------------
+
+    async def _serve_connection(self, reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter) -> None:
+        peer = writer.get_extra_info("peername")
+        client = peer[0] if isinstance(peer, tuple) else "?"
+        try:
+            while True:
+                try:
+                    request = await asyncio.wait_for(
+                        self._read_request(reader, client), IDLE_TIMEOUT)
+                except asyncio.TimeoutError:
+                    break
+                if request is None:            # clean EOF between requests
+                    break
+                if isinstance(request, Response):   # protocol-level reject
+                    await self._write_response(writer, request)
+                    break
+                response = await self._dispatch(request)
+                keep = await self._write_response(writer, response)
+                if not keep:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass                               # client went away mid-flight
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _dispatch(self, request: Request) -> Response:
+        try:
+            response = self.handler(request)
+            if asyncio.iscoroutine(response):
+                response = await response
+            if not isinstance(response, Response):
+                raise TypeError(f"handler returned {type(response).__name__},"
+                                f" not Response")
+            return response
+        except Exception as exc:               # noqa: BLE001 — 500, not torn
+            logger.exception("handler failed on %s %s",
+                             request.method, request.path)
+            return Response.error(500, f"internal error: {exc}")
+
+    # -- wire parsing -------------------------------------------------------
+
+    async def _read_request(self, reader: asyncio.StreamReader,
+                            client: str) -> "Request | Response | None":
+        try:
+            head = await reader.readuntil(b"\r\n\r\n")
+        except asyncio.IncompleteReadError as exc:
+            if not exc.partial:
+                return None                    # clean close between requests
+            raise
+        except asyncio.LimitOverrunError:
+            return Response.error(400, "request headers too large")
+        if len(head) > MAX_HEADER_BYTES:
+            return Response.error(400, "request headers too large")
+        try:
+            lines = head.decode("latin-1").split("\r\n")
+            method, target, _version = lines[0].split(" ", 2)
+        except (UnicodeDecodeError, ValueError):
+            return Response.error(400, "malformed request line")
+        headers: dict[str, str] = {}
+        for line in lines[1:]:
+            if not line:
+                continue
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length_text = headers.get("content-length", "0")
+        try:
+            length = int(length_text)
+        except ValueError:
+            return Response.error(400,
+                                  f"bad Content-Length {length_text!r}")
+        if length < 0 or length > MAX_BODY_BYTES:
+            return Response.error(400, "request body too large")
+        body = await reader.readexactly(length) if length else b""
+        split = urlsplit(target)
+        query = {k: v[-1] for k, v in parse_qs(split.query).items()}
+        return Request(method=method.upper(), path=unquote(split.path),
+                       query=query, headers=headers, body=body,
+                       client=client)
+
+    # -- wire writing -------------------------------------------------------
+
+    async def _write_response(self, writer: asyncio.StreamWriter,
+                              response: Response) -> bool:
+        """Send one response; returns True when the connection may be
+        reused (fixed-length body) and False for streamed responses."""
+        reason = _REASONS.get(response.status, "Unknown")
+        headers = {"Content-Type": response.content_type, **response.headers}
+        if response.stream is None:
+            headers["Content-Length"] = str(len(response.body))
+            headers["Connection"] = "keep-alive"
+        else:
+            headers["Connection"] = "close"
+        head = (f"HTTP/1.1 {response.status} {reason}\r\n"
+                + "".join(f"{k}: {v}\r\n" for k, v in headers.items())
+                + "\r\n").encode("latin-1")
+        writer.write(head)
+        if response.stream is None:
+            writer.write(response.body)
+            await writer.drain()
+            return True
+        async for chunk in response.stream:
+            writer.write(chunk)
+            await writer.drain()
+        return False

@@ -1,0 +1,84 @@
+"""Per-client token-bucket rate limiting for the serving layer.
+
+A token bucket is the right shape for a benchmark API: clients legitimately
+submit small bursts (a job, a status poll, a table fetch) but sustained
+request floods only steal evaluation CPU from running jobs.  Each client —
+``X-Client-Id`` header or peer address — gets an independent bucket of
+``burst`` tokens refilled at ``rate`` tokens/second; an empty bucket maps
+to HTTP 429 with a ``Retry-After`` telling the client exactly when the next
+token lands (the same honest-backpressure contract as the job queue's
+admission control).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+__all__ = ["TokenBucket", "RateLimiter"]
+
+
+class TokenBucket:
+    """One client's bucket: ``burst`` capacity, ``rate`` tokens/second."""
+
+    def __init__(self, rate: float, burst: int,
+                 clock=time.monotonic):
+        if rate <= 0:
+            raise ValueError(f"rate must be > 0, got {rate}")
+        if burst < 1:
+            raise ValueError(f"burst must be >= 1, got {burst}")
+        self.rate = float(rate)
+        self.burst = int(burst)
+        self._clock = clock
+        self._tokens = float(burst)
+        self._last = clock()
+
+    def acquire(self) -> float:
+        """Take one token; returns 0.0 on success, else seconds until the
+        next token would be available (the ``Retry-After`` value)."""
+        now = self._clock()
+        self._tokens = min(self.burst,
+                           self._tokens + (now - self._last) * self.rate)
+        self._last = now
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return 0.0
+        return (1.0 - self._tokens) / self.rate
+
+
+class RateLimiter:
+    """A bucket per client id; ``rate <= 0`` disables limiting entirely.
+
+    The client map is bounded (LRU eviction) so an attacker cycling client
+    ids cannot grow server memory — an evicted client simply starts a fresh
+    bucket, which only ever errs in the client's favour.
+    """
+
+    def __init__(self, rate: float, burst: int, max_clients: int = 1024,
+                 clock=time.monotonic):
+        self.rate = float(rate)
+        self.burst = int(burst)
+        self.max_clients = int(max_clients)
+        self._clock = clock
+        self._buckets: dict[str, TokenBucket] = {}
+        self._lock = threading.Lock()
+
+    @property
+    def enabled(self) -> bool:
+        return self.rate > 0
+
+    def acquire(self, client: str) -> float:
+        """0.0 = admitted; positive = rejected, retry after that many s."""
+        if not self.enabled:
+            return 0.0
+        with self._lock:
+            bucket = self._buckets.pop(client, None)
+            if bucket is None:
+                bucket = TokenBucket(self.rate, self.burst,
+                                     clock=self._clock)
+                while len(self._buckets) >= self.max_clients:
+                    # dicts iterate in insertion order: the first key is the
+                    # least recently *used* because hits re-insert below.
+                    self._buckets.pop(next(iter(self._buckets)))
+            self._buckets[client] = bucket
+            return bucket.acquire()

@@ -1,0 +1,117 @@
+"""The JSON views of registries, runs, and ledger entries.
+
+Every machine-readable representation the system emits is built here and
+only here: the HTTP API (:mod:`repro.serve.app`) and the CLI ``--json``
+flags (``repro noises --json``, ``repro tasks --json``, ``repro report
+--json``) call the same functions, so the two surfaces cannot drift — a
+field added for the API is a field the CLI prints, and vice versa.
+"""
+
+from __future__ import annotations
+
+__all__ = ["noise_info", "noises_doc", "task_info", "tasks_doc",
+           "runs_doc", "entry_event", "json_safe"]
+
+
+def json_safe(value):
+    """Primitives pass through; anything else degrades to ``repr``.
+
+    Variant values are usually strings/numbers, but nothing stops a custom
+    noise from using richer objects — the JSON view must never raise.
+    """
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [json_safe(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): json_safe(v) for k, v in value.items()}
+    return repr(value)
+
+
+# ---------------------------------------------------------------------------
+# Registries
+# ---------------------------------------------------------------------------
+
+def noise_info(src) -> dict:
+    """One :class:`~repro.core.registry.NoiseSource` as a JSON document."""
+    return {
+        "name": src.name,
+        "stage": src.stage,
+        "tasks": list(src.tasks),
+        "input_dependent": bool(src.input_dependent),
+        "effect_level": src.effect_level,
+        "occurrence": src.occurrence,
+        "variants": [json_safe(v) for v in src.variants()],
+        "worst_variant": json_safe(src.worst_variant),
+    }
+
+
+def noises_doc(task: str | None = None, stage: str | None = None) -> dict:
+    """The live noise registry, optionally filtered by task/stage."""
+    from repro.core import iter_noises
+    sources = iter_noises()
+    if task:
+        sources = [s for s in sources if task in s.tasks]
+    if stage:
+        sources = [s for s in sources if s.stage == stage]
+    return {"noises": [noise_info(s) for s in sources]}
+
+
+def task_info(name: str) -> dict:
+    """One task adapter as a JSON document."""
+    from repro.core import get_task
+    adapter = get_task(name)
+    return {"name": name, "metric": adapter.metric_name,
+            "noises": list(adapter.noises)}
+
+
+def tasks_doc() -> dict:
+    from repro.core import task_names
+    return {"tasks": [task_info(n) for n in task_names()]}
+
+
+# ---------------------------------------------------------------------------
+# Runs
+# ---------------------------------------------------------------------------
+
+def runs_doc(store) -> dict:
+    """Every run in a :class:`~repro.core.runstore.RunStore`, with status
+    derived from ledger replay (see :func:`repro.core.runstore.run_info`)."""
+    return {"runs": store.list_runs()}
+
+
+# ---------------------------------------------------------------------------
+# Ledger entries -> stream events
+# ---------------------------------------------------------------------------
+
+def entry_event(entry: dict) -> dict:
+    """One ledger entry as an NDJSON stream event.
+
+    Eval entries carry their final value (or error); shard entries are
+    translated to a *partial* value by rebuilding the accumulator from its
+    ledgered state — the raw state (which can be large for mAP) is never
+    shipped to clients.
+    """
+    kind = entry.get("kind")
+    event = {"event": kind or "entry",
+             "model": entry.get("model"),
+             "noise": entry.get("noise"),
+             "label": entry.get("label"),
+             "cfg": entry.get("cfg"),
+             "status": entry.get("status")}
+    if kind == "eval":
+        if entry.get("status") == "ok":
+            event["value"] = entry.get("value")
+        else:
+            event["error"] = entry.get("error")
+        if "attempts" in entry:
+            event["attempts"] = entry["attempts"]
+    elif kind == "shard":
+        event["shard"] = entry.get("shard")
+        state = entry.get("state")
+        try:
+            from repro.core import accumulator_from_state
+            event["partial_value"] = accumulator_from_state(state).value()
+        except Exception:                      # noqa: BLE001 — best-effort
+            event["partial_value"] = None
+    return event

@@ -1,0 +1,233 @@
+"""Property tests for the mergeable metric accumulators (hypothesis).
+
+These are the algebraic contracts the streaming/sharded evaluation paths —
+and the serving layer's partial-result streams — rest on:
+
+* **merge associativity**: shard partials merge to the same state no matter
+  how the merge tree is shaped (process pools complete out of order);
+* **empty identity**: a fresh accumulator is the merge unit, so zero-length
+  shards and restored-from-nothing resumes are no-ops;
+* **state round-trip bit-exactness**: ``state()`` → JSON → ``load_state``
+  reproduces the exact state *and* the exact ``value()`` bits, which is why
+  ledger-resumed tables equal uninterrupted ones;
+* **mismatch rejection**: partials of different kinds or shapes must raise,
+  never sum into a plausible-looking wrong metric.
+"""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.metrics import (Accuracy, MeanAP, MeanIoU, MeanScores,
+                                accumulator_from_state)
+
+# ---------------------------------------------------------------------------
+# Strategies: one "observation chunk" per accumulator kind
+# ---------------------------------------------------------------------------
+
+counts = st.lists(st.tuples(st.integers(0, 50), st.integers(0, 50)),
+                  max_size=6)
+
+scores = st.dictionaries(st.integers(0, 40),
+                         st.floats(-1e6, 1e6, allow_nan=False), max_size=6)
+
+
+def accuracy_from(chunks):
+    acc = Accuracy()
+    for correct, total in chunks:
+        acc.add(correct, min(correct, total) + total)  # correct <= total
+    return acc
+
+
+def miou_from(seed: int, num_classes: int) -> MeanIoU:
+    acc = MeanIoU(num_classes)
+    rng = np.random.default_rng(seed)
+    acc.cm += rng.integers(0, 20, size=acc.cm.shape)
+    return acc
+
+
+def map_from(seed: int, num_classes: int = 3) -> MeanAP:
+    acc = MeanAP(num_classes)
+    rng = np.random.default_rng(seed)
+    for index in rng.choice(20, size=rng.integers(0, 5), replace=False):
+        dets = rng.random((int(rng.integers(0, 4)), 6))
+        gt = rng.random((int(rng.integers(0, 3)), 5))
+        gt[:, 4] = rng.integers(0, num_classes, size=len(gt))
+        dets[:, 5] = rng.integers(0, num_classes, size=len(dets))
+        acc.update(int(index), dets, gt)
+    return acc
+
+
+def scores_from(d) -> MeanScores:
+    acc = MeanScores()
+    for index, score in d.items():
+        acc.update(index, score)
+    return acc
+
+
+def clone(acc):
+    """An independent copy via the public state round-trip."""
+    return accumulator_from_state(acc.state())
+
+
+def round_trip(acc):
+    """state → the ledger's actual JSON encoding → a rebuilt accumulator."""
+    encoded = json.dumps(acc.state(), default=repr, separators=(",", ":"))
+    return accumulator_from_state(json.loads(encoded))
+
+
+def values_equal(a: float, b: float) -> bool:
+    return (a == b) or (np.isnan(a) and np.isnan(b))
+
+
+# ---------------------------------------------------------------------------
+# Properties, all four kinds
+# ---------------------------------------------------------------------------
+
+class TestMergeAssociativity:
+    @given(counts, counts, counts)
+    @settings(max_examples=40, deadline=None)
+    def test_accuracy(self, ca, cb, cc):
+        a, b, c = (accuracy_from(x) for x in (ca, cb, cc))
+        left = clone(a).merge(clone(b)).merge(clone(c))
+        right = clone(a).merge(clone(b).merge(clone(c)))
+        assert left.state() == right.state()
+        assert values_equal(left.value(), right.value())
+
+    @given(st.integers(0, 10 ** 6), st.integers(0, 10 ** 6),
+           st.integers(0, 10 ** 6), st.integers(2, 6))
+    @settings(max_examples=40, deadline=None)
+    def test_miou(self, sa, sb, sc, ncls):
+        a, b, c = (miou_from(s, ncls) for s in (sa, sb, sc))
+        left = clone(a).merge(clone(b)).merge(clone(c))
+        right = clone(a).merge(clone(b).merge(clone(c)))
+        assert left.state() == right.state()
+        assert values_equal(left.value(), right.value())
+
+    @given(st.integers(0, 10 ** 6), st.integers(0, 10 ** 6),
+           st.integers(0, 10 ** 6))
+    @settings(max_examples=25, deadline=None)
+    def test_map(self, sa, sb, sc):
+        a, b, c = (map_from(s) for s in (sa, sb, sc))
+        left = clone(a).merge(clone(b)).merge(clone(c))
+        right = clone(a).merge(clone(b).merge(clone(c)))
+        assert left.state() == right.state()
+        assert values_equal(left.value(), right.value())
+
+    @given(scores, scores, scores)
+    @settings(max_examples=40, deadline=None)
+    def test_mean_scores(self, da, db, dc):
+        a, b, c = (scores_from(d) for d in (da, db, dc))
+        left = clone(a).merge(clone(b)).merge(clone(c))
+        right = clone(a).merge(clone(b).merge(clone(c)))
+        assert left.state() == right.state()
+        assert values_equal(left.value(), right.value())
+
+
+class TestEmptyIdentity:
+    @given(counts)
+    @settings(max_examples=30, deadline=None)
+    def test_accuracy(self, chunks):
+        acc = accuracy_from(chunks)
+        assert Accuracy().merge(clone(acc)).state() == acc.state()
+        assert clone(acc).merge(Accuracy()).state() == acc.state()
+
+    @given(st.integers(0, 10 ** 6), st.integers(2, 6))
+    @settings(max_examples=30, deadline=None)
+    def test_miou(self, seed, ncls):
+        acc = miou_from(seed, ncls)
+        assert MeanIoU(ncls).merge(clone(acc)).state() == acc.state()
+        assert clone(acc).merge(MeanIoU(ncls)).state() == acc.state()
+
+    @given(st.integers(0, 10 ** 6))
+    @settings(max_examples=20, deadline=None)
+    def test_map(self, seed):
+        acc = map_from(seed)
+        assert MeanAP(3).merge(clone(acc)).state() == acc.state()
+        assert clone(acc).merge(MeanAP(3)).state() == acc.state()
+
+    @given(scores)
+    @settings(max_examples=30, deadline=None)
+    def test_mean_scores(self, d):
+        acc = scores_from(d)
+        assert MeanScores().merge(clone(acc)).state() == acc.state()
+        assert clone(acc).merge(MeanScores()).state() == acc.state()
+
+
+class TestStateRoundTrip:
+    """state() → JSON text → load_state is bit-exact (ledger contract)."""
+
+    @given(counts)
+    @settings(max_examples=30, deadline=None)
+    def test_accuracy(self, chunks):
+        acc = accuracy_from(chunks)
+        back = round_trip(acc)
+        assert back.state() == acc.state()
+        assert values_equal(back.value(), acc.value())
+
+    @given(st.integers(0, 10 ** 6), st.integers(2, 6))
+    @settings(max_examples=30, deadline=None)
+    def test_miou(self, seed, ncls):
+        acc = miou_from(seed, ncls)
+        back = round_trip(acc)
+        assert back.state() == acc.state()
+        assert values_equal(back.value(), acc.value())
+
+    @given(st.integers(0, 10 ** 6))
+    @settings(max_examples=20, deadline=None)
+    def test_map(self, seed):
+        acc = map_from(seed)
+        back = round_trip(acc)
+        assert back.state() == acc.state()
+        assert values_equal(back.value(), acc.value())
+
+    @given(scores)
+    @settings(max_examples=30, deadline=None)
+    def test_mean_scores(self, d):
+        acc = scores_from(d)
+        back = round_trip(acc)
+        assert back.state() == acc.state()
+        assert values_equal(back.value(), acc.value())
+
+    def test_factory_rebuilds_every_kind(self):
+        for acc in (accuracy_from([(3, 4)]), miou_from(0, 4), map_from(1),
+                    scores_from({0: 1.5})):
+            back = accumulator_from_state(acc.state())
+            assert type(back) is type(acc)
+            assert back.state() == acc.state()
+
+
+class TestMismatchRejection:
+    """Cross-kind / cross-shape merges raise instead of corrupting."""
+
+    def test_cross_kind_merge_raises(self):
+        kinds = [Accuracy(), MeanIoU(3), MeanAP(3), MeanScores()]
+        for a in kinds:
+            for b in kinds:
+                if type(a) is type(b):
+                    continue
+                with pytest.raises(TypeError):
+                    a.merge(b)
+
+    def test_miou_class_count_mismatch(self):
+        with pytest.raises(ValueError):
+            MeanIoU(3).merge(MeanIoU(4))
+
+    def test_map_class_count_mismatch(self):
+        with pytest.raises(ValueError):
+            MeanAP(3).merge(MeanAP(5))
+
+    def test_load_state_wrong_kind(self):
+        state = Accuracy().state()
+        for acc in (MeanIoU(3), MeanAP(3), MeanScores()):
+            with pytest.raises(ValueError):
+                acc.load_state(state)
+
+    def test_factory_unknown_kind(self):
+        with pytest.raises(ValueError):
+            accumulator_from_state({"kind": "f1"})
+        with pytest.raises(ValueError):
+            accumulator_from_state("not-a-dict")

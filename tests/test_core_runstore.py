@@ -399,3 +399,104 @@ class TestLedgerTable:
         ledger = RunLedger.create(tmp_path / "r", manifest)
         assert json.loads((tmp_path / "r" / "manifest.json").read_text())
         assert ledger.manifest["task"] == "cls"
+
+
+class TestLedgerSubscribe:
+    def test_listener_sees_every_append(self, tmp_path, manifest):
+        ledger = RunLedger.create(tmp_path / "r", manifest)
+        seen = []
+        ledger.subscribe(seen.append)
+        ledger.record_eval("m", "ds", "c1", status="ok", value=1.0)
+        ledger.record_eval("m", "ds", "c2", status="error", error="boom")
+        assert [e["cfg"] for e in seen] == ["c1", "c2"]
+        assert seen[0]["value"] == 1.0
+
+    def test_unsubscribe_stops_delivery(self, tmp_path, manifest):
+        ledger = RunLedger.create(tmp_path / "r", manifest)
+        seen = []
+        ledger.subscribe(seen.append)
+        ledger.record_eval("m", "ds", "c1", status="ok", value=1.0)
+        ledger.unsubscribe(seen.append)
+        ledger.unsubscribe(seen.append)       # double-remove is a no-op
+        ledger.record_eval("m", "ds", "c2", status="ok", value=2.0)
+        assert len(seen) == 1
+
+    def test_raising_listener_never_breaks_append(self, tmp_path, manifest):
+        ledger = RunLedger.create(tmp_path / "r", manifest)
+
+        def bad(entry):
+            raise RuntimeError("listener bug")
+
+        ledger.subscribe(bad)
+        ledger.record_eval("m", "ds", "c", status="ok", value=1.0)
+        assert ledger.lookup("m", "ds", "c")["value"] == 1.0
+
+    def test_listener_may_reenter_ledger(self, tmp_path, manifest):
+        """Listeners run outside the lock, so re-entrant reads can't
+        deadlock (the serve event feed reads counts() from its listener)."""
+        ledger = RunLedger.create(tmp_path / "r", manifest)
+        counts = []
+        ledger.subscribe(lambda e: counts.append(ledger.counts()["ok"]))
+        ledger.record_eval("m", "ds", "c", status="ok", value=1.0)
+        assert counts == [1]
+
+
+class TestRunStatusReplay:
+    """expected_cells / run_info / list_runs — status from the ledger alone."""
+
+    def _expected(self, manifest):
+        from repro.core import get_noise
+        total = 1 + (1 if manifest["include_combined"] else 0)
+        return total + sum(len(get_noise(n).variants())
+                           for n in manifest["noises"]
+                           if n not in set(manifest["skip"]))
+
+    def test_expected_cells_counts_variants(self, manifest):
+        from repro.core import expected_cells
+        assert expected_cells(manifest) == self._expected(manifest)
+        no_comb = dict(manifest, include_combined=False)
+        assert expected_cells(no_comb) == expected_cells(manifest) - 1
+        skipped = dict(manifest, skip=["precision"])
+        assert expected_cells(skipped) < expected_cells(manifest)
+
+    def test_expected_cells_unregistered_noise_is_unknowable(self, manifest):
+        from repro.core import expected_cells
+        assert expected_cells(dict(manifest, noises=["warpdrive"])) is None
+
+    def test_run_info_status_ladder(self, tmp_path, manifest):
+        from repro.core import expected_cells, run_info
+        store = RunStore(tmp_path)
+        ledger = store.create(manifest, run_id="r")
+        assert run_info(ledger)["status"] == "pending"
+        ledger.record_eval("m", "ds", "c0", status="ok", value=1.0)
+        info = run_info(ledger)
+        assert info["status"] == "partial" and info["ok"] == 1
+        assert info["expected"] == expected_cells(manifest)
+        for i in range(1, expected_cells(manifest)):
+            ledger.record_eval("m", "ds", f"c{i}", status="ok", value=1.0)
+        assert run_info(ledger)["status"] == "complete"
+        ledger.record_eval("m", "ds", "cx", status="error", error="boom")
+        assert run_info(ledger)["status"] == "failed"
+
+    def test_run_info_survives_reopen(self, tmp_path, manifest):
+        """The restart story: a fresh process replaying the same directory
+        reports the same status (this is what `repro serve` recovery and
+        `repro report --store` rely on)."""
+        from repro.core import run_info
+        store = RunStore(tmp_path)
+        ledger = store.create(manifest, run_id="r")
+        ledger.record_eval("m", "ds", "c0", status="ok", value=1.0)
+        before = run_info(ledger)
+        after = run_info(RunStore(tmp_path).open("r"))
+        assert after == before and after["status"] == "partial"
+
+    def test_list_runs_isolates_rotten_directories(self, tmp_path, manifest):
+        store = RunStore(tmp_path)
+        store.create(manifest, run_id="good")
+        bad = tmp_path / "bad"
+        bad.mkdir()
+        (bad / "manifest.json").write_text("{not json")
+        listing = {info["run_id"]: info for info in store.list_runs()}
+        assert listing["good"]["status"] == "pending"
+        assert listing["bad"]["status"] == "unreadable"
+        assert "error" in listing["bad"]

@@ -1,0 +1,460 @@
+"""Serving-layer tests: spec validation, queue, rate limit, restart replay.
+
+Most tests inject a stub runner into :class:`JobManager` so they exercise
+the serving machinery (validation, admission, dedup, events, recovery)
+without paying for real training; one end-to-end test at the bottom drives
+a real tiny sweep through HTTP and checks table parity against the
+in-process session.
+"""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.serve import (Draining, EvalService, JobManager, JobSpec,
+                         QueueFull, ValidationError)
+from repro.serve.ratelimit import RateLimiter, TokenBucket
+
+
+def _post(base, doc, client=None):
+    headers = {"Content-Type": "application/json"}
+    if client:
+        headers["X-Client-Id"] = client
+    req = urllib.request.Request(base + "/v1/jobs",
+                                 data=json.dumps(doc).encode(),
+                                 method="POST", headers=headers)
+    resp = urllib.request.urlopen(req)
+    return resp.status, json.load(resp)
+
+
+def _get(base, path, client=None):
+    headers = {"X-Client-Id": client} if client else {}
+    req = urllib.request.Request(base + path, headers=headers)
+    resp = urllib.request.urlopen(req)
+    return resp.status, resp.read()
+
+
+TINY = {"model": "mcunet-293kb", "n": 16, "epochs": 1, "noises": ["color"],
+        "include_combined": False}
+
+
+# ---------------------------------------------------------------------------
+# Spec validation (the HTTP 400 surface)
+# ---------------------------------------------------------------------------
+
+class TestJobSpec:
+    def test_defaults_fill_in(self):
+        spec = JobSpec({})
+        assert spec.kind == "sweep" and spec.model == "resnet18x0.25"
+        assert spec.noises and spec.epochs == 15
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValidationError, match="epochz"):
+            JobSpec({"epochz": 3})
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValidationError, match="alexnet-9000"):
+            JobSpec({"model": "alexnet-9000"})
+
+    def test_unknown_noise_rejected(self):
+        with pytest.raises(ValidationError, match="gamma-rays"):
+            JobSpec({"noises": ["gamma-rays"]})
+
+    def test_bounds_enforced(self):
+        with pytest.raises(ValidationError, match="epochs"):
+            JobSpec({"epochs": 0})
+        with pytest.raises(ValidationError, match="train_frac"):
+            JobSpec({"train_frac": 1.5})
+        with pytest.raises(ValidationError, match="kind"):
+            JobSpec({"kind": "trainonly"})
+        with pytest.raises(ValidationError, match="integer"):
+            JobSpec({"n": "forty"})
+
+    def test_digest_is_stable_and_normalised(self):
+        # Explicit defaults digest identically to omitted ones.
+        assert JobSpec({"n": 240}).digest() == JobSpec({}).digest()
+        assert JobSpec({"n": 64}).digest() != JobSpec({}).digest()
+
+    def test_zoo_skip_rule(self):
+        assert "ceil_mode" in JobSpec({"model": "mcunet-293kb"}).skip
+        assert JobSpec({"model": "resnet-50"}).skip == set()
+
+
+# ---------------------------------------------------------------------------
+# Rate limiting
+# ---------------------------------------------------------------------------
+
+class TestRateLimit:
+    def test_bucket_burst_then_refill(self):
+        now = [0.0]
+        bucket = TokenBucket(rate=1.0, burst=2, clock=lambda: now[0])
+        assert bucket.acquire() == 0.0
+        assert bucket.acquire() == 0.0
+        wait = bucket.acquire()
+        assert wait > 0
+        now[0] += wait
+        assert bucket.acquire() == 0.0
+
+    def test_limiter_per_client_and_disabled(self):
+        now = [0.0]
+        limiter = RateLimiter(rate=1.0, burst=1, clock=lambda: now[0])
+        assert limiter.acquire("a") == 0.0
+        assert limiter.acquire("a") > 0          # a is out of tokens
+        assert limiter.acquire("b") == 0.0       # b has its own bucket
+        assert RateLimiter(rate=0, burst=1).acquire("x") == 0.0
+
+    def test_limiter_bounded_clients(self):
+        limiter = RateLimiter(rate=1.0, burst=1, max_clients=4)
+        for i in range(100):
+            limiter.acquire(f"client-{i}")
+        assert len(limiter._buckets) <= 4
+
+
+# ---------------------------------------------------------------------------
+# Job manager (stub runners; no HTTP, no training)
+# ---------------------------------------------------------------------------
+
+class TestJobManager:
+    def test_submit_creates_durable_run_dir(self, tmp_path):
+        manager = JobManager(tmp_path, runner=lambda job: None)
+        job, created = manager.submit(dict(TINY))
+        assert created and job.status == "queued"
+        assert job.id in manager.store            # durable before any worker
+        manifest = manager.store.read_manifest(job.id)
+        assert manifest["serve"]["digest"] == job.spec.digest()
+        assert manifest["cli"]["fit"] == {"epochs": 1}   # repro-resume-able
+
+    def test_dedup_returns_existing(self, tmp_path):
+        manager = JobManager(tmp_path, runner=lambda job: None)
+        a, created_a = manager.submit(dict(TINY))
+        b, created_b = manager.submit(dict(TINY))
+        assert created_a and not created_b and a is b
+        c, created_c = manager.submit({**TINY, "seed": 7})
+        assert created_c and c is not a
+        d, created_d = manager.submit({**TINY, "fresh": True})
+        assert created_d and d is not a           # fresh bypasses dedup
+
+    def test_queue_full_raises_with_retry_after(self, tmp_path):
+        manager = JobManager(tmp_path, queue_limit=2,
+                             runner=lambda job: None)   # workers not started
+        manager.submit(dict(TINY))
+        manager.submit({**TINY, "seed": 1})
+        with pytest.raises(QueueFull) as exc:
+            manager.submit({**TINY, "seed": 2})
+        assert exc.value.retry_after >= 1.0
+
+    def test_jobs_execute_and_complete(self, tmp_path):
+        done = []
+        manager = JobManager(tmp_path, runner=lambda job: done.append(job.id))
+        manager.start()
+        job, _ = manager.submit(dict(TINY))
+        deadline = time.time() + 30
+        while job.status != "completed" and time.time() < deadline:
+            time.sleep(0.01)
+        assert job.status == "completed" and done == [job.id]
+        # result.json persisted -> a restarted manager recovers "completed"
+        assert (manager.store.root / job.id / "result.json").exists()
+        manager.shutdown()
+
+    def test_failed_job_is_isolated_and_resubmittable(self, tmp_path):
+        def runner(job):
+            raise RuntimeError("boom")
+        manager = JobManager(tmp_path, runner=runner)
+        manager.start()
+        job, _ = manager.submit(dict(TINY))
+        deadline = time.time() + 30
+        while not job.terminal and time.time() < deadline:
+            time.sleep(0.01)
+        assert job.status == "failed" and "boom" in job.error
+        retry, created = manager.submit(dict(TINY))
+        assert created and retry is not job and retry.id == job.id
+        manager.shutdown()
+
+    def test_drain_leaves_queued_jobs_on_disk(self, tmp_path):
+        release = threading.Event()
+        manager = JobManager(tmp_path,
+                             runner=lambda job: release.wait(30))
+        manager.start()
+        running, _ = manager.submit(dict(TINY))
+        deadline = time.time() + 30
+        while running.status != "running" and time.time() < deadline:
+            time.sleep(0.01)
+        queued, _ = manager.submit({**TINY, "seed": 1})
+        release.set()
+        leftover = manager.shutdown(drain=True)
+        assert leftover == [queued.id]
+        assert running.status == "completed"
+        assert queued.status == "queued"          # untouched, resumable
+        assert queued.id in manager.store
+        with pytest.raises(Draining):
+            manager.submit({**TINY, "seed": 2})
+
+    def test_cancel_queued_job(self, tmp_path):
+        manager = JobManager(tmp_path, runner=lambda job: None)
+        job, _ = manager.submit(dict(TINY))       # workers never started
+        manager.cancel_job(job.id)
+        assert job.status == "cancelled"
+
+
+class TestRestartRecovery:
+    """Job status after a dead server == ledger replay (no job database)."""
+
+    def test_never_started_job_recovers_as_queued(self, tmp_path):
+        first = JobManager(tmp_path, runner=lambda job: None)
+        job, _ = first.submit(dict(TINY))         # no workers: stays queued
+        second = JobManager(tmp_path, runner=lambda job: None)
+        recovered = second.recover()
+        assert [j.id for j in recovered] == [job.id]
+        assert recovered[0].status == "queued"
+        # Dedup survives the restart: resubmitting attaches, not duplicates.
+        again, created = second.submit(dict(TINY))
+        assert not created and again.id == job.id
+        assert len(second.store.runs()) == 1
+
+    def test_partial_ledger_recovers_as_interrupted(self, tmp_path):
+        first = JobManager(tmp_path, runner=lambda job: None)
+        job, _ = first.submit(dict(TINY))
+        ledger = first.store.open(job.id)         # fake one completed cell
+        ledger.record_eval("mcunet-293kb", "ds-digest", "cfg-digest",
+                           status="ok", value=12.5, noise="baseline")
+        second = JobManager(tmp_path, runner=lambda job: None)
+        recovered = second.recover()
+        assert recovered[0].status == "interrupted"
+        doc = second.job_doc(recovered[0])
+        assert doc["progress"]["ok"] == 1
+
+    def test_completed_job_recovers_from_result_json(self, tmp_path):
+        def runner(job):
+            job.table = "the table"
+        first = JobManager(tmp_path, runner=runner)
+        first.start()
+        job, _ = first.submit(dict(TINY))
+        deadline = time.time() + 30
+        while job.status != "completed" and time.time() < deadline:
+            time.sleep(0.01)
+        first.shutdown()
+        second = JobManager(tmp_path, runner=lambda job: None)
+        recovered = second.recover()
+        assert recovered[0].status == "completed"
+        assert recovered[0].table == "the table"
+        again, created = second.submit(dict(TINY))
+        assert not created and again.status == "completed"
+
+    def test_resume_flag_reenqueues(self, tmp_path):
+        first = JobManager(tmp_path, runner=lambda job: None)
+        job, _ = first.submit(dict(TINY))
+        done = []
+        second = JobManager(tmp_path,
+                            runner=lambda j: done.append(j.id))
+        second.start()
+        second.recover(resume=True)
+        deadline = time.time() + 30
+        while not done and time.time() < deadline:
+            time.sleep(0.01)
+        assert done == [job.id]
+        second.shutdown()
+
+    def test_manifest_matches_session_identity(self, tmp_path):
+        """The submit-time manifest must satisfy open_or_create's identity
+        check when the worker session re-opens the run — byte-for-byte on
+        every _IDENTITY_FIELDS member present in both."""
+        manager = JobManager(tmp_path, runner=lambda job: None)
+        job, _ = manager.submit(dict(TINY))
+        session = manager._build_session(job.spec, job.id)
+        ledger = session.ledger                   # raises on identity drift
+        assert ledger.run_id == job.id
+
+
+# ---------------------------------------------------------------------------
+# HTTP surface (stub runners)
+# ---------------------------------------------------------------------------
+
+@pytest.fixture()
+def stub_service(tmp_path):
+    """A served stub: instant job runner, no rate limit."""
+    svc = EvalService(store_root=tmp_path / "runs", rate=0,
+                      runner=lambda job: None)
+    host, port = svc.start_background()
+    yield svc, f"http://{host}:{port}"
+    svc.stop()
+
+
+class TestHTTPSurface:
+    def test_registry_endpoints(self, stub_service):
+        _, base = stub_service
+        status, body = _get(base, "/v1/noises")
+        names = [n["name"] for n in json.loads(body)["noises"]]
+        assert status == 200 and "decoder" in names
+        status, body = _get(base, "/v1/tasks")
+        assert status == 200
+        assert {t["name"] for t in json.loads(body)["tasks"]} >= {"cls"}
+
+    def test_json_cli_parity(self, stub_service, capsys):
+        """`repro noises --json` == GET /v1/noises, byte for byte."""
+        from repro.cli import main
+        _, base = stub_service
+        _, body = _get(base, "/v1/noises")
+        assert main(["noises", "--json"]) == 0
+        cli_doc = json.loads(capsys.readouterr().out)
+        assert cli_doc == json.loads(body)
+        _, body = _get(base, "/v1/tasks")
+        assert main(["tasks", "--json"]) == 0
+        assert json.loads(capsys.readouterr().out) == json.loads(body)
+
+    def test_submit_bad_json_400(self, stub_service):
+        _, base = stub_service
+        req = urllib.request.Request(base + "/v1/jobs", data=b"not json{",
+                                     method="POST")
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            urllib.request.urlopen(req)
+        assert exc.value.code == 400
+
+    def test_submit_bad_spec_400(self, stub_service):
+        _, base = stub_service
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            _post(base, {"model": "alexnet-9000"})
+        assert exc.value.code == 400
+        assert "alexnet-9000" in json.load(exc.value)["error"]
+
+    def test_unknown_job_404_and_bad_method_405(self, stub_service):
+        _, base = stub_service
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            _get(base, "/v1/jobs/nope")
+        assert exc.value.code == 404
+        req = urllib.request.Request(base + "/v1/noises", data=b"{}",
+                                     method="POST")
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            urllib.request.urlopen(req)
+        assert exc.value.code in (404, 405)
+
+    def test_submit_then_status_and_events(self, stub_service):
+        _, base = stub_service
+        status, doc = _post(base, dict(TINY))
+        assert status == 202 and doc["status"] in ("queued", "running",
+                                                   "completed")
+        job_id = doc["id"]
+        deadline = time.time() + 30
+        while time.time() < deadline:
+            _, doc = json.loads, None
+            code, body = _get(base, f"/v1/jobs/{job_id}")
+            doc = json.loads(body)
+            if doc["status"] == "completed":
+                break
+            time.sleep(0.02)
+        assert doc["status"] == "completed"
+        _, body = _get(base, f"/v1/jobs/{job_id}/events")
+        events = [json.loads(line) for line in body.splitlines()]
+        assert events[-1]["event"] == "end"
+        assert events[-1]["status"] == "completed"
+        # dedup: same spec comes back 200 with the same id
+        status, doc = _post(base, dict(TINY))
+        assert status == 200 and doc["id"] == job_id
+
+    def test_concurrent_clients(self, stub_service):
+        _, base = stub_service
+        results, errors = [], []
+
+        def hit(i):
+            try:
+                status, _ = _get(base, "/v1/noises", client=f"c{i}")
+                results.append(status)
+            except Exception as exc:             # noqa: BLE001 — collect
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hit, args=(i,))
+                   for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(30)
+        assert not errors and results == [200] * 8
+
+
+class TestHTTPBackpressure:
+    def test_rate_limit_429_with_retry_after(self, tmp_path):
+        svc = EvalService(store_root=tmp_path / "runs", rate=1, burst=1,
+                          runner=lambda job: None)
+        host, port = svc.start_background()
+        base = f"http://{host}:{port}"
+        try:
+            assert _get(base, "/v1/tasks", client="larry")[0] == 200
+            with pytest.raises(urllib.error.HTTPError) as exc:
+                _get(base, "/v1/tasks", client="larry")
+            assert exc.value.code == 429
+            assert int(exc.value.headers["Retry-After"]) >= 1
+            # another client is unaffected; healthz is always exempt
+            assert _get(base, "/v1/tasks", client="other")[0] == 200
+            assert _get(base, "/v1/healthz", client="larry")[0] == 200
+        finally:
+            svc.stop()
+
+    def test_queue_full_429(self, tmp_path):
+        release = threading.Event()
+        svc = EvalService(store_root=tmp_path / "runs", rate=0,
+                          queue_limit=1,
+                          runner=lambda job: release.wait(60))
+        host, port = svc.start_background()
+        base = f"http://{host}:{port}"
+        try:
+            status, doc = _post(base, dict(TINY))     # occupies the worker
+            deadline = time.time() + 30
+            while doc["status"] != "running" and time.time() < deadline:
+                _, body = _get(base, f"/v1/jobs/{doc['id']}")
+                doc = json.loads(body)
+                time.sleep(0.02)
+            assert _post(base, {**TINY, "seed": 1})[0] == 202  # fills queue
+            with pytest.raises(urllib.error.HTTPError) as exc:
+                _post(base, {**TINY, "seed": 2})
+            assert exc.value.code == 429
+            assert int(exc.value.headers["Retry-After"]) >= 1
+        finally:
+            release.set()
+            svc.stop()
+
+
+# ---------------------------------------------------------------------------
+# One real end-to-end job (tiny but genuine)
+# ---------------------------------------------------------------------------
+
+class TestEndToEnd:
+    def test_sweep_over_http_matches_in_process(self, tmp_path):
+        svc = EvalService(store_root=tmp_path / "runs", rate=0)
+        host, port = svc.start_background()
+        base = f"http://{host}:{port}"
+        spec = {"model": "mcunet-293kb", "n": 40, "epochs": 1,
+                "noises": ["color"], "include_combined": False}
+        try:
+            status, doc = _post(base, spec)
+            assert status == 202
+            job_id = doc["id"]
+            # stream events to completion: eval events must carry values
+            _, body = _get(base, f"/v1/jobs/{job_id}/events")
+            events = [json.loads(line) for line in body.splitlines()]
+            assert events[-1] == {"event": "end", "status": "completed"}
+            evals = [e for e in events if e["event"] == "eval"]
+            assert evals and all(e["status"] == "ok" for e in evals)
+            _, table = _get(base, f"/v1/jobs/{job_id}/table")
+            table = table.decode()
+        finally:
+            svc.stop()
+
+        from repro.core import BenchmarkSession
+        session = (BenchmarkSession().task("cls").seed(0)
+                   .model("mcunet-293kb")
+                   .data(n=40, train_frac=0.75, native_size=48,
+                         input_size=32)
+                   .noises("color").skip("ceil_mode").combined(False))
+        session.fit(epochs=1)
+        expected = session.run().render("x")
+
+        def body_lines(text):
+            lines = text.splitlines()
+            start = next(i for i, l in enumerate(lines)
+                         if l.startswith("Architecture"))
+            return lines[start:start + 3]
+
+        assert body_lines(table) == body_lines(expected)
