@@ -1,0 +1,261 @@
+"""Chaos smoke test: the fault-injection matrix, end to end (CI chaos job).
+
+Each scenario prepares a real run (``repro run --prepare-only``), attaches
+``repro worker`` processes sharing the run directory, and arms one (or all)
+of them with a deterministic ``REPRO_FAULTS`` plan:
+
+* **crash** — a worker ``os._exit``\\ s mid-shard (``sweep.shard`` crash);
+  the clean worker finishes the byte-identical table.
+* **hang** — a worker stalls inside a shard *and* its lease heartbeat
+  threads stall (``workqueue.heartbeat`` hang), simulating SIGSTOP; the
+  clean worker reclaims the expired lease and finishes.
+* **torn write** — a worker dies mid-ledger-append (``runstore.append``
+  torn_write), leaving a newline-less fragment; the clean worker heals it
+  and finishes.
+* **poison** — *every* worker's evaluation of the int8 cells raises
+  (``sweep.cell`` raise); after the claim budget the cell is quarantined
+  as a structured failure and the sweep still completes.
+
+Pass criteria, checked per scenario against an uninterrupted serial
+reference: surviving workers exit 0, injected crashes exit with
+``CRASH_EXIT_CODE``, the final table (or per-cell values) matches the
+reference, and no eval cell or (config, shard bounds) pair is ledgered
+twice.  Exit status 0 on success.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from crash_resume_smoke import (duplicated_evals, duplicated_shards,
+                                ok_entries, repro, shard_entries, table_body,
+                                _entries)
+
+CRASH_EXIT_CODE = 23                           # repro.core.faults contract
+MODEL = "mcunet-293kb"
+ARGS = ["--model", MODEL, "--n", "96", "--epochs", "2",
+        "--train-frac", "0.75", "--seed", "0",
+        "--noises", "decoder,precision", "--batch-size", "4"]
+SHARDED = [*ARGS, "--shard-size", "4"]
+TIMEOUT_S = 600
+
+
+def worker(store: Path, run_id: str, log, faults=None,
+           lease_ttl: float = 2.0) -> subprocess.Popen:
+    env = dict(os.environ)
+    env.pop("REPRO_FAULTS", None)
+    if faults is not None:
+        env["REPRO_FAULTS"] = json.dumps(faults)
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "worker", run_id,
+         "--store", str(store), "--lease-ttl", str(lease_ttl)],
+        stdout=log, stderr=subprocess.STDOUT, env=env,
+        start_new_session=True)
+
+
+def prepare(store: Path, run_id: str, argv: list[str]) -> Path:
+    prep = repro("run", *argv, "--store", str(store), "--run-id", run_id,
+                 "--prepare-only")
+    assert prep.returncode == 0, \
+        f"prepare failed:\n{prep.stdout}\n{prep.stderr}"
+    return store / run_id / "ledger.jsonl"
+
+
+def wait_until(predicate, what: str, procs=()) -> None:
+    deadline = time.time() + TIMEOUT_S
+    while not predicate():
+        if time.time() > deadline:
+            raise AssertionError(f"timed out waiting for {what}")
+        if procs and all(p.poll() is not None for p in procs):
+            raise AssertionError(f"all workers exited waiting for {what}")
+        time.sleep(0.02)
+
+
+def no_double_execution(ledger: Path) -> None:
+    dup_s = duplicated_shards(ledger)
+    dup_e = duplicated_evals(ledger)
+    assert not dup_s, f"shard(s) ledgered twice: {dup_s}"
+    assert not dup_e, f"eval cell(s) ledgered twice: {dup_e}"
+
+
+def corrupt_lines(ledger: Path) -> int:
+    bad = 0
+    for line in ledger.read_bytes().split(b"\n"):
+        if not line.strip():
+            continue
+        try:
+            json.loads(line)
+        except ValueError:
+            bad += 1
+    return bad
+
+
+def scenario_crash(tmp: Path, ref_table: list[str], total: int) -> None:
+    print("\n--- scenario: crash mid-shard ---")
+    store = tmp / "crash"
+    ledger = prepare(store, "run", SHARDED)
+    with open(tmp / "crash-faulty.log", "w") as flog, \
+         open(tmp / "crash-clean.log", "w+") as clog:
+        faulty = worker(store, "run", flog, faults=[
+            {"point": "sweep.shard", "op": "crash", "at": 3}])
+        wait_until(lambda: shard_entries(ledger) >= 1,
+                   "the faulty worker's first shard", (faulty,))
+        clean = worker(store, "run", clog)
+        try:
+            assert faulty.wait(timeout=TIMEOUT_S) == CRASH_EXIT_CODE, \
+                "injected crash did not exit with CRASH_EXIT_CODE"
+            print(f"faulty worker crashed (exit {CRASH_EXIT_CODE}) as armed")
+            assert clean.wait(timeout=TIMEOUT_S) == 0, "clean worker failed"
+        finally:
+            for p in (faulty, clean):
+                if p.poll() is None:
+                    os.killpg(p.pid, signal.SIGKILL)
+                    p.wait()
+        clog.seek(0)
+        table = table_body(clog.read())
+    assert table == ref_table, ("table diverged after crash:\n"
+                                + "\n".join(ref_table) + "\n---\n"
+                                + "\n".join(table))
+    assert ok_entries(ledger) == total
+    no_double_execution(ledger)
+    print("clean worker absorbed the crash; table identical, no recompute")
+
+
+def scenario_hang_reclaim(tmp: Path, ref_table: list[str],
+                          total: int) -> None:
+    print("\n--- scenario: hang + lease reclaim ---")
+    store = tmp / "hang"
+    ledger = prepare(store, "run", SHARDED)
+    leases = store / "run" / "leases"
+    with open(tmp / "hang-faulty.log", "w") as flog, \
+         open(tmp / "hang-clean.log", "w+") as clog:
+        # Stall the first shard *and* every heartbeat: the worker sits on
+        # a live lease file whose mtime goes stale — exactly a SIGSTOP.
+        faulty = worker(store, "run", flog, faults=[
+            {"point": "sweep.shard", "op": "hang", "at": 1,
+             "seconds": TIMEOUT_S},
+            {"point": "workqueue.heartbeat", "op": "hang", "at": 1,
+             "every": 1, "seconds": TIMEOUT_S}])
+        wait_until(lambda: leases.exists()
+                   and any(p.suffix == ".lease" for p in leases.iterdir()),
+                   "the faulty worker's lease", (faulty,))
+        clean = worker(store, "run", clog)
+        try:
+            assert clean.wait(timeout=TIMEOUT_S) == 0, "clean worker failed"
+            assert faulty.poll() is None, \
+                "hung worker exited; the hang rules did not hold it"
+        finally:
+            for p in (faulty, clean):
+                if p.poll() is None:
+                    os.killpg(p.pid, signal.SIGKILL)
+                    p.wait()
+        clog.seek(0)
+        table = table_body(clog.read())
+    assert table == ref_table, ("table diverged after hang:\n"
+                                + "\n".join(ref_table) + "\n---\n"
+                                + "\n".join(table))
+    assert ok_entries(ledger) == total
+    no_double_execution(ledger)
+    print("clean worker reclaimed the hung worker's expired lease; "
+          "table identical, no recompute")
+
+
+def scenario_torn_write(tmp: Path, ref_table: list[str], total: int) -> None:
+    print("\n--- scenario: torn ledger write ---")
+    store = tmp / "torn"
+    ledger = prepare(store, "run", ARGS)       # unsharded: eval appends only
+    with open(tmp / "torn-faulty.log", "w") as flog, \
+         open(tmp / "torn-clean.log", "w+") as clog:
+        faulty = worker(store, "run", flog, faults=[
+            {"point": "runstore.append", "op": "torn_write", "at": 2}])
+        wait_until(lambda: ok_entries(ledger) >= 1,
+                   "the faulty worker's first eval", (faulty,))
+        clean = worker(store, "run", clog)
+        try:
+            assert faulty.wait(timeout=TIMEOUT_S) == CRASH_EXIT_CODE, \
+                "torn write did not kill the writer mid-append"
+            print("faulty worker died mid-append, torn line on disk")
+            assert clean.wait(timeout=TIMEOUT_S) == 0, "clean worker failed"
+        finally:
+            for p in (faulty, clean):
+                if p.poll() is None:
+                    os.killpg(p.pid, signal.SIGKILL)
+                    p.wait()
+        clog.seek(0)
+        table = table_body(clog.read())
+    assert table == ref_table, ("table diverged after torn write:\n"
+                                + "\n".join(ref_table) + "\n---\n"
+                                + "\n".join(table))
+    assert corrupt_lines(ledger) >= 1, \
+        "expected the healed torn fragment to survive as a corrupt line"
+    assert ok_entries(ledger) == total
+    no_double_execution(ledger)
+    print("clean worker healed the torn line; table identical")
+
+
+def scenario_poison(tmp: Path, ref_ledger: Path) -> None:
+    print("\n--- scenario: poison quarantine ---")
+    store = tmp / "poison"
+    ledger = prepare(store, "run", ARGS)
+    plan = [{"point": "sweep.cell", "op": "raise", "at": 1, "every": 1,
+             "match": "int8"}]
+    with open(tmp / "poison-w0.log", "w") as log0, \
+         open(tmp / "poison-w1.log", "w") as log1:
+        team = [worker(store, "run", log0, faults=plan),
+                worker(store, "run", log1, faults=plan)]
+        try:
+            codes = [p.wait(timeout=TIMEOUT_S) for p in team]
+        finally:
+            for p in team:
+                if p.poll() is None:
+                    os.killpg(p.pid, signal.SIGKILL)
+                    p.wait()
+    assert codes == [0, 0], f"workers failed under poison plan: {codes}"
+    evals = [e for e in _entries(ledger) if e.get("kind") == "eval"]
+    failed = [e for e in evals if e.get("status") != "ok"]
+    assert failed, "no cell was quarantined"
+    assert all("poisoned" in str(e.get("error")) for e in failed), \
+        f"unexpected failure modes: {failed}"
+    assert all("int8" in str(e.get("label")) for e in failed), \
+        f"poison leaked beyond the int8 cells: {failed}"
+    # Surviving cells carry the exact reference values.
+    ref_values = {e["cfg"]: e["value"] for e in _entries(ref_ledger)
+                  if e.get("kind") == "eval" and e.get("status") == "ok"}
+    for e in evals:
+        if e.get("status") == "ok":
+            assert e["value"] == ref_values[e["cfg"]], \
+                f"clean cell diverged from reference: {e}"
+    no_double_execution(ledger)
+    print(f"{len(failed)} int8 cell(s) quarantined after the claim budget; "
+          f"all other cells match the reference exactly")
+
+
+def main() -> int:
+    tmp = Path(tempfile.mkdtemp(prefix="chaos-smoke-"))
+    print(f"workdir: {tmp}")
+
+    ref = repro("run", *ARGS, "--store", str(tmp / "ref"), "--run-id", "ref")
+    assert ref.returncode == 0, \
+        f"reference run failed:\n{ref.stdout}\n{ref.stderr}"
+    ref_table = table_body(ref.stdout)
+    ref_ledger = tmp / "ref" / "ref" / "ledger.jsonl"
+    total = ok_entries(ref_ledger)
+    print(f"reference run complete: {total} evaluations")
+
+    scenario_crash(tmp, ref_table, total)
+    scenario_hang_reclaim(tmp, ref_table, total)
+    scenario_torn_write(tmp, ref_table, total)
+    scenario_poison(tmp, ref_ledger)
+    print("\nchaos smoke: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,6 +11,10 @@ Scenario, end to end through the real CLI:
    shards per cell, (variant × shard) process scheduling), killing as soon
    as a few per-**shard** ledger entries exist — i.e. mid-dataset, inside
    a cell.
+5. Fault-tolerant shared mode: ``repro run --prepare-only`` the same
+   sharded run, launch **three** ``repro worker`` processes against it
+   (``--lease-ttl 2``), SIGKILL one mid-shard, SIGSTOP another while it
+   holds live leases, and let the survivor reclaim and finish.
 
 Pass criteria (the ISSUE's acceptance bar):
 
@@ -18,7 +22,10 @@ Pass criteria (the ISSUE's acceptance bar):
 * the unsharded resume re-executed **at most the remaining** evaluations —
   verified by ledger entry counts, not by trusting the CLI's own summary,
 * the sharded resume recomputed **no ledgered shard**: no (config, shard
-  bounds) pair appears twice in the final ledger.
+  bounds) pair appears twice in the final ledger,
+* the surviving shared-mode worker's table is bit-identical to the serial
+  reference, with no (config, shard bounds) pair *or* eval cell ledgered
+  twice — the lease protocol, not luck, divided the work.
 
 Exit status 0 on success; any assertion failure exits non-zero.
 """
@@ -76,6 +83,16 @@ def duplicated_shards(ledger: Path) -> list[tuple]:
     for e in _entries(ledger):
         if e.get("kind") == "shard":
             key = (e.get("cfg"), tuple(e.get("shard", ())))
+            seen[key] = seen.get(key, 0) + 1
+    return [k for k, n in seen.items() if n > 1]
+
+
+def duplicated_evals(ledger: Path) -> list[tuple]:
+    """(model, dataset, cfg) eval cells ledgered more than once."""
+    seen: dict[tuple, int] = {}
+    for e in _entries(ledger):
+        if e.get("kind") == "eval":
+            key = (e.get("model"), e.get("dataset"), e.get("cfg"))
             seen[key] = seen.get(key, 0) + 1
     return [k for k, n in seen.items() if n > 1]
 
@@ -194,6 +211,69 @@ def main() -> int:
         + "\n".join(ref4_table) + "\n---\n" + "\n".join(sharded_table))
     print(f"sharded resume reused all {survived_shards} ledgered shard(s); "
           f"table is byte-identical to the monolithic reference")
+
+    # 5. Shared-mode worker team under SIGKILL + SIGSTOP.  Prepare the run
+    #    (train + manifest, no sweep), attach three lease-coordinated
+    #    workers, then take two of them out the hard way.
+    prep = repro("run", *ARGS, "--batch-size", "4", "--shard-size", "4",
+                 "--store", str(tmp / "team"), "--run-id", "team",
+                 "--prepare-only")
+    assert prep.returncode == 0, \
+        f"prepare-only run failed:\n{prep.stdout}\n{prep.stderr}"
+    ledger = tmp / "team" / "team" / "ledger.jsonl"
+    worker_argv = [sys.executable, "-m", "repro", "worker", "team",
+                   "--store", str(tmp / "team"), "--lease-ttl", "2"]
+    logs = [open(tmp / f"worker{i}.log", "w+") for i in range(3)]
+    team = [subprocess.Popen(worker_argv, stdout=log,
+                             stderr=subprocess.STDOUT,
+                             start_new_session=True)
+            for log in logs]
+    deadline = time.time() + TIMEOUT_S
+
+    def wait_for_shards(n: int) -> None:
+        while shard_entries(ledger) < n:
+            if time.time() > deadline:
+                raise AssertionError(f"timed out waiting for {n} shard "
+                                     f"entries")
+            if all(p.poll() is not None for p in team):
+                raise AssertionError("all workers exited before the fault "
+                                     "choreography ran")
+            time.sleep(0.02)
+
+    try:
+        wait_for_shards(2)
+        os.killpg(team[0].pid, signal.SIGKILL)   # dies mid-shard
+        team[0].wait()
+        print("worker 0 SIGKILLed mid-shard")
+        wait_for_shards(4)
+        assert team[1].poll() is None, \
+            "worker 1 exited before it could be SIGSTOPped; grow the workload"
+        os.killpg(team[1].pid, signal.SIGSTOP)   # goes silent holding leases
+        print("worker 1 SIGSTOPped holding its leases (ttl 2s)")
+        survivor = team[2].wait(timeout=TIMEOUT_S)
+    finally:
+        for proc in team:
+            if proc.poll() is None:
+                os.killpg(proc.pid, signal.SIGKILL)
+                proc.wait()
+    assert survivor == 0, (
+        f"surviving worker failed (exit {survivor}):\n"
+        + Path(logs[2].name).read_text())
+    logs[2].seek(0)
+    team_table = table_body(logs[2].read())
+    for log in logs:
+        log.close()
+    assert team_table == ref4_table, (
+        "surviving worker's table differs from the serial reference:\n"
+        + "\n".join(ref4_table) + "\n---\n" + "\n".join(team_table))
+    dup_shards, dup_evals = duplicated_shards(ledger), duplicated_evals(ledger)
+    assert not dup_shards, f"worker team recomputed shard(s): {dup_shards}"
+    assert not dup_evals, f"worker team re-ledgered eval cell(s): {dup_evals}"
+    assert ok_entries(ledger) == total, (
+        f"team run incomplete: {ok_entries(ledger)}/{total}")
+    print("surviving worker reclaimed the dead workers' leases; table is "
+          "byte-identical to the serial reference, no cell or shard "
+          "ledgered twice")
     print("crash-resume smoke: PASS")
     return 0
 

@@ -18,6 +18,10 @@ without writing Python:
 ``resume``         Resume an interrupted ``run`` from its ledger — skips
                    completed evaluations, re-executes at most the rest, and
                    prints a table bit-identical to an uninterrupted run.
+``worker``         Join a shared run as one fault-tolerant sweep worker:
+                   N workers divide the cells via lease files over the run
+                   directory, reclaim dead peers' claims, and each print
+                   the same final table (see ``docs/faults.md``).
 ``worst-case``     The Fig.-3 cumulative noise-stacking curve for one model.
 ``interaction``    Pairwise noise-interaction matrix (ablation E).
 ``export``         Lower a model to the deployment graph (.npz); supports
@@ -49,7 +53,7 @@ import argparse
 import sys
 
 from . import (backends_cmd, evaluate_cmd, info_cmd, noises_cmd, report_cmd,
-               run_cmd, serve_cmd)
+               run_cmd, serve_cmd, worker_cmd)
 
 __all__ = ["main", "build_parser"]
 
@@ -59,8 +63,8 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="SysNoise benchmark CLI (MLSys 2023 reproduction)")
     sub = parser.add_subparsers(dest="command", required=True)
-    for module in (info_cmd, noises_cmd, evaluate_cmd, run_cmd, backends_cmd,
-                   report_cmd, serve_cmd):
+    for module in (info_cmd, noises_cmd, evaluate_cmd, run_cmd, worker_cmd,
+                   backends_cmd, report_cmd, serve_cmd):
         module.register(sub)
     return parser
 

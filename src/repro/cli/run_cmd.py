@@ -43,6 +43,10 @@ def register(sub: argparse._SubParsersAction) -> None:
     p.add_argument("--retries", type=int, default=0,
                    help="retry budget per failing evaluation before it is "
                         "recorded as a failed cell")
+    p.add_argument("--prepare-only", action="store_true",
+                   help="create the run and train/checkpoint the model, then "
+                        "exit without sweeping — the handoff point for "
+                        "`repro worker` fleets")
     _add_engine_args(p)
     p.set_defaults(func=cmd_run)
 
@@ -56,7 +60,8 @@ def register(sub: argparse._SubParsersAction) -> None:
                    help="override the recorded retry budget")
     p.add_argument("--workers", type=int, default=None,
                    help="override the recorded worker count")
-    p.add_argument("--mode", choices=("thread", "process"), default=None,
+    p.add_argument("--mode", choices=("thread", "process", "shared"),
+                   default=None,
                    help="override the recorded worker pool flavour")
     p.set_defaults(func=cmd_resume)
 
@@ -122,6 +127,11 @@ def cmd_run(args: argparse.Namespace) -> int:
         return 2
     before = ledger.counts()
     _fit_or_load(session, ledger, args.epochs)
+    if getattr(args, "prepare_only", False):
+        print(f"run {ledger.run_id} prepared: weights checkpointed under "
+              f"{ledger.path} — launch `repro worker {ledger.run_id} "
+              f"--store {args.store}` processes to execute the sweep")
+        return 0
     result = session.run()
     after = ledger.counts()
     print(result.render(f"SysNoise run — {args.model}"))

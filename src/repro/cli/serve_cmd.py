@@ -37,6 +37,22 @@ def register(sub: argparse._SubParsersAction) -> None:
     p.add_argument("--resume-jobs", action="store_true",
                    help="re-enqueue interrupted/queued jobs found in "
                         "--store at startup (default: report them only)")
+    p.add_argument("--idle-timeout", type=float, default=None,
+                   help="seconds a keep-alive connection may sit idle "
+                        "before it is closed (default: 30)")
+    p.add_argument("--drain-timeout", type=float, default=None,
+                   help="seconds the SIGTERM drain waits for running jobs "
+                        "before exiting anyway (default: wait forever; "
+                        "ledgers stay resumable either way)")
+    p.add_argument("--job-deadline", type=float, default=None,
+                   help="default wall-clock budget per job in seconds; a "
+                        "job past it is cancelled at the next cell "
+                        "boundary and marked failed (default: unlimited; "
+                        "specs may set their own 'deadline')")
+    p.add_argument("--hang-timeout", type=float, default=None,
+                   help="seconds a running job may make no progress before "
+                        "the watchdog declares it hung and frees its "
+                        "worker slot (default: never)")
     p.set_defaults(func=cmd_serve)
 
 
@@ -48,7 +64,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
                               port=args.port, queue_limit=args.queue_limit,
                               job_workers=args.job_workers, rate=args.rate,
                               burst=args.burst,
-                              resume_jobs=args.resume_jobs)
+                              resume_jobs=args.resume_jobs,
+                              idle_timeout=args.idle_timeout,
+                              drain_timeout=args.drain_timeout,
+                              job_deadline=args.job_deadline,
+                              hang_timeout=args.hang_timeout)
     except ValueError as exc:
         print(f"error: {exc}")
         return 2

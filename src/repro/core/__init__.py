@@ -21,6 +21,8 @@ from .cache import (DecodeCache, EvalCache, dataset_token, eval_key,
                     object_token, streams_digest)
 from .datapipe import (DataShards, Shard, dataset_subset, prefetched,
                        rebatch, shard_bounds)
+from .faults import (FaultError, FaultInjector, FaultRule, fault_point,
+                     install as install_faults, uninstall as uninstall_faults)
 from .interaction import (InteractionMatrix, pairwise_interaction,
                           render_interaction)
 from .metrics import (Accuracy, MeanAP, MeanIoU, MeanScores,
@@ -46,6 +48,7 @@ from .tasks import (NLPDataset, TaskAdapter, evaluate_for_task,
                     task_names, unregister_task)
 from .training import (default_train_config, train_classification_model,
                        train_detection_model, train_segmentation_model)
+from .workqueue import Lease, WorkQueue
 
 __all__ = [
     # configs + taxonomy views
@@ -65,6 +68,9 @@ __all__ = [
     # crash-safe run persistence
     "RunStore", "RunLedger", "config_digest", "ledger_table", "run_manifest",
     "expected_cells", "run_info",
+    # shared-run coordination + fault injection
+    "WorkQueue", "Lease", "FaultRule", "FaultInjector", "FaultError",
+    "fault_point", "install_faults", "uninstall_faults",
     # streaming shard pipeline
     "DataShards", "Shard", "dataset_subset", "shard_bounds", "rebatch",
     "prefetched", "MetricAccumulator", "Accuracy", "MeanAP", "MeanIoU",

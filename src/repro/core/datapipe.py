@@ -33,6 +33,7 @@ coincide with the global ones.
 
 from __future__ import annotations
 
+import logging
 import queue
 import threading
 from dataclasses import dataclass, field, fields, is_dataclass
@@ -40,6 +41,8 @@ from dataclasses import dataclass, field, fields, is_dataclass
 import numpy as np
 
 from .cache import object_token, streams_digest
+
+logger = logging.getLogger(__name__)
 
 __all__ = ["Shard", "DataShards", "dataset_subset", "shard_bounds",
            "align_up", "rebatch", "prefetched"]
@@ -273,3 +276,16 @@ def prefetched(iterable, depth: int = 1):
             yield item
     finally:
         stop.set()
+        # Drain so a producer blocked on a full queue sees the stop flag at
+        # its next put poll, then join (bounded): the generator must not
+        # return while the pump thread can still touch the iterable — a
+        # caller may immediately reuse/close the underlying resource.
+        while True:
+            try:
+                q.get_nowait()
+            except queue.Empty:
+                break
+        worker.join(timeout=2.0)
+        if worker.is_alive():                  # pragma: no cover — stuck I/O
+            logger.warning("prefetch producer did not stop within 2s; "
+                           "abandoning it (daemon thread)")

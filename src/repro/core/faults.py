@@ -1,0 +1,215 @@
+"""Deterministic fault injection: named points, counter-triggered rules.
+
+Fault tolerance that is only exercised by real hardware failures is fault
+tolerance that is never exercised.  This module gives the sweep/runstore/
+workqueue stack *named injection points* — ``fault_point("runstore.append")``
+and friends are no-ops in production — plus a rule engine that can make the
+Nth hit of a point crash the process, hang it, slow it down, raise
+``ENOSPC``, or tear a ledger write in half.  Rules trigger on deterministic
+hit counters (never wall clock or RNG), so a chaos scenario that kills
+worker 2 on its third shard does exactly that on every run, in CI and under
+a debugger alike.
+
+Two ways to arm the injector:
+
+* :func:`install` / :func:`uninstall` — in-process, for unit tests;
+* the ``REPRO_FAULTS`` environment variable — a JSON list of rule dicts (or
+  ``@/path/to/rules.json``), parsed lazily on the first :func:`fault_point`
+  hit so worker *subprocesses* launched with the variable inherit the same
+  fault plan.  This is how the chaos smoke drives real ``repro worker``
+  processes.
+
+Rule dict fields (see :class:`FaultRule`)::
+
+    {"point": "sweep.cell",      # injection point name (exact match)
+     "op": "crash",              # crash | hang | sleep | raise | torn_write
+     "at": 3,                    # fire on the 3rd matching hit ...
+     "every": null,              # ... or on every k-th hit from ``at`` on
+     "match": "precision",       # optional substring filter on the label
+     "seconds": 30.0,            # sleep/hang duration
+     "bytes": 12}                # torn_write: bytes written before dying
+
+The injection-point catalog lives in ``docs/faults.md``.
+"""
+
+from __future__ import annotations
+
+import errno
+import json
+import logging
+import os
+import threading
+import time
+
+__all__ = ["FaultRule", "FaultInjector", "FaultError", "fault_point",
+           "install", "uninstall", "active_injector", "ENV_VAR"]
+
+logger = logging.getLogger(__name__)
+
+ENV_VAR = "REPRO_FAULTS"
+
+_OPS = ("crash", "hang", "sleep", "raise", "torn_write")
+
+#: Exit code used by injected crashes — distinguishable from SIGKILL (137)
+#: and from ordinary Python failures (1) in chaos-test assertions.
+CRASH_EXIT_CODE = 23
+
+
+class FaultError(OSError):
+    """The exception an ``op="raise"`` rule throws (default: ENOSPC)."""
+
+
+class FaultRule:
+    """One deterministic trigger: point + hit counter + operation."""
+
+    def __init__(self, point: str, op: str = "crash", at: int = 1,
+                 every: int | None = None, match: str | None = None,
+                 seconds: float = 30.0, bytes: int | None = None,
+                 errno_code: int = errno.ENOSPC):
+        if op not in _OPS:
+            raise ValueError(f"op must be one of {list(_OPS)}, got {op!r}")
+        if at < 1:
+            raise ValueError(f"at must be >= 1, got {at}")
+        if every is not None and every < 1:
+            raise ValueError(f"every must be >= 1, got {every}")
+        self.point = point
+        self.op = op
+        self.at = at
+        self.every = every
+        self.match = match
+        self.seconds = float(seconds)
+        self.bytes = bytes
+        self.errno_code = errno_code
+        self.hits = 0                          # matching hits seen so far
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "FaultRule":
+        if not isinstance(doc, dict) or "point" not in doc:
+            raise ValueError(f"fault rule must be a dict with a 'point' "
+                             f"key, got {doc!r}")
+        known = {"point", "op", "at", "every", "match", "seconds", "bytes",
+                 "errno_code"}
+        unknown = sorted(set(doc) - known)
+        if unknown:
+            raise ValueError(f"unknown fault-rule field(s) {unknown}; "
+                             f"accepted: {sorted(known)}")
+        return cls(**doc)
+
+    def _fires(self) -> bool:
+        """Deterministic trigger check for the hit just counted."""
+        if self.hits < self.at:
+            return False
+        if self.every is None:
+            return self.hits == self.at
+        return (self.hits - self.at) % self.every == 0
+
+    def consider(self, point: str, label: str) -> bool:
+        if point != self.point:
+            return False
+        if self.match is not None and self.match not in label:
+            return False
+        self.hits += 1
+        return self._fires()
+
+
+class FaultInjector:
+    """A set of rules evaluated at every :func:`fault_point` hit."""
+
+    def __init__(self, rules):
+        self.rules = [r if isinstance(r, FaultRule) else
+                      FaultRule.from_dict(r) for r in rules]
+        self._lock = threading.Lock()
+
+    def fire(self, point: str, label: str = "") -> dict | None:
+        """Run all matching rules; returns a cooperative-op payload or None.
+
+        ``crash``/``hang``/``sleep``/``raise`` are performed *here*;
+        ``torn_write`` cannot be (only the call site holds the bytes and the
+        file descriptor), so its payload is returned for the caller to
+        honour — see :meth:`~repro.core.runstore.RunLedger.append`.
+        """
+        payload = None
+        with self._lock:
+            fired = [r for r in self.rules if r.consider(point, label)]
+        for rule in fired:
+            logger.warning("fault injection: %s at point %r (label %r, "
+                           "hit %d)", rule.op, point, label, rule.hits)
+            if rule.op == "crash":
+                # os._exit, not sys.exit: no finally blocks, no atexit — an
+                # injected crash must look like SIGKILL to the survivors.
+                os._exit(CRASH_EXIT_CODE)
+            if rule.op == "hang":
+                # A hang is a sleep long enough that lease expiry, not
+                # completion, is what ends the cell's story.
+                time.sleep(rule.seconds)
+            elif rule.op == "sleep":
+                time.sleep(rule.seconds)
+            elif rule.op == "raise":
+                raise FaultError(rule.errno_code,
+                                 f"{os.strerror(rule.errno_code)} "
+                                 f"(injected at {point})")
+            elif rule.op == "torn_write":
+                payload = {"op": "torn_write", "bytes": rule.bytes}
+        return payload
+
+
+_injector: FaultInjector | None = None
+_env_checked = False
+_env_lock = threading.Lock()
+
+
+def install(rules) -> FaultInjector:
+    """Arm an in-process injector (unit tests); replaces any active one."""
+    global _injector, _env_checked
+    _injector = FaultInjector(rules)
+    _env_checked = True                        # explicit install wins over env
+    return _injector
+
+
+def uninstall() -> None:
+    global _injector, _env_checked
+    _injector = None
+    _env_checked = True
+
+
+def _load_env() -> None:
+    global _injector, _env_checked
+    with _env_lock:
+        if _env_checked:
+            return
+        _env_checked = True
+        spec = os.environ.get(ENV_VAR)
+        if not spec:
+            return
+        try:
+            if spec.startswith("@"):
+                with open(spec[1:], "r", encoding="utf-8") as fh:
+                    doc = json.load(fh)
+            else:
+                doc = json.loads(spec)
+            _injector = FaultInjector(doc)
+            logger.warning("fault injection armed from %s: %d rule(s)",
+                           ENV_VAR, len(_injector.rules))
+        except (OSError, ValueError) as exc:
+            # A typo'd fault plan must not silently run the workload clean —
+            # chaos tests would "pass" by testing nothing.
+            raise ValueError(f"unparseable {ENV_VAR} fault spec: {exc}")
+
+
+def active_injector() -> FaultInjector | None:
+    """The armed injector, if any (resolving ``REPRO_FAULTS`` lazily)."""
+    if not _env_checked:
+        _load_env()
+    return _injector
+
+
+def fault_point(point: str, label: str = "") -> dict | None:
+    """Declare an injection point; a no-op unless an injector is armed.
+
+    Returns None normally; a cooperative-op payload (currently only
+    ``torn_write``) when a rule fired that the *call site* must honour.
+    """
+    injector = active_injector()
+    if injector is None:
+        return None
+    return injector.fire(point, label)

@@ -29,6 +29,18 @@ classic write-ahead-log shape used by fault-tolerant ML systems:
   lines that do not parse (almost always the torn final line) are counted
   and skipped, never propagated.
 
+* **Multiple writers are safe.**  Appends are single raw ``O_APPEND``
+  writes (one line, one syscall — POSIX keeps concurrent appends from
+  interleaving), each writer *heals* a torn tail left by a killed peer
+  (prepending a newline so the fragment becomes its own corrupt line
+  instead of corrupting the next entry), and every ledger reads its own
+  entries back from disk through the same incremental-consume path it uses
+  for foreign ones.  :meth:`RunLedger.refresh` picks up entries other
+  processes appended since the last read — only *complete* lines are
+  consumed; a newline-less tail may be a live writer mid-append and is
+  left for the next refresh.  This is what lets ``repro worker`` processes
+  coordinate a shared run (see :mod:`repro.core.workqueue`).
+
 The ledger key is ``(model_key, dataset_digest, config_digest)``: the model
 key is the session label (stable across processes, unlike ``id()``), the
 dataset digest is :func:`~repro.core.cache.dataset_token` (bitstream content
@@ -142,6 +154,8 @@ class RunLedger:
         self._entries: list[dict] = []         # append order, parsed once
         self._listeners: list = []             # append-notification hooks
         self._n_corrupt = 0
+        self._offset = 0                       # bytes consumed from disk
+        self._tail_pending = False             # newline-less bytes at EOF
         self._manifest: dict | None = None
         self._replay()
 
@@ -185,26 +199,74 @@ class RunLedger:
         target = self._ok if entry.get("status") == "ok" else self._err
         target[self._key(entry)] = entry
 
-    def _replay(self) -> None:
+    def _consume_locked(self) -> list[dict]:
+        """Parse complete lines appended since the last consume (lock held).
+
+        Only newline-terminated lines advance the offset: a newline-less
+        tail is either the torn final write of a killed process (healed —
+        turned into its own line — by the next writer's append) or another
+        live writer's append in flight, so it must not be consumed yet.
+        It *is* surfaced in :meth:`counts` as a pending corrupt line, which
+        keeps single-writer crash forensics exact.
+        """
         lpath = self.path / _LEDGER
-        if not lpath.exists():
-            return
-        with lpath.open("r", encoding="utf-8") as fh:
-            for line in fh:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    entry = json.loads(line)
-                except ValueError:
-                    # Almost always the torn final line of a killed run.
-                    self._n_corrupt += 1
-                    continue
-                self._entries.append(entry)
-                self._index(entry)
-        if self._n_corrupt:
-            logger.warning("run %s: skipped %d corrupt ledger line(s) "
-                           "(interrupted write)", self.run_id, self._n_corrupt)
+        try:
+            with lpath.open("rb") as fh:
+                fh.seek(self._offset)
+                buf = fh.read()
+        except FileNotFoundError:
+            return []
+        end = buf.rfind(b"\n")
+        self._tail_pending = len(buf) > end + 1
+        if end < 0:
+            return []
+        self._offset += end + 1
+        new: list[dict] = []
+        for raw in buf[:end + 1].split(b"\n"):
+            line = raw.strip()
+            if not line:
+                continue                       # healing newlines are blank
+            try:
+                entry = json.loads(line.decode("utf-8"))
+            except ValueError:
+                # A healed torn write from a killed process: its fragment
+                # became a line of its own, unparseable by construction.
+                self._n_corrupt += 1
+                continue
+            self._entries.append(entry)
+            self._index(entry)
+            new.append(entry)
+        return new
+
+    def _replay(self) -> None:
+        self._consume_locked()
+        if self._n_corrupt or self._tail_pending:
+            logger.warning("run %s: %d corrupt ledger line(s) (interrupted "
+                           "write)", self.run_id,
+                           self._n_corrupt + int(self._tail_pending))
+
+    def refresh(self) -> list[dict]:
+        """Consume entries other processes appended since the last read.
+
+        Returns the newly visible entries (listeners are notified of each,
+        exactly as for local appends).  This is the read half of the
+        shared-run protocol: ``mode="shared"`` workers poll it between
+        claim attempts to learn what their peers completed.
+        """
+        with self._lock:
+            new = self._consume_locked()
+            listeners = list(self._listeners) if new else []
+        for entry in new:
+            self._notify(listeners, entry)
+        return new
+
+    def _notify(self, listeners, entry: dict) -> None:
+        for fn in listeners:
+            try:
+                fn(entry)
+            except Exception as exc:           # noqa: BLE001 — observer only
+                logger.warning("ledger listener failed (%s); entry is "
+                               "persisted regardless", exc)
 
     def entries(self) -> list[dict]:
         """Every parseable ledger entry, in append order (parsed once)."""
@@ -219,6 +281,20 @@ class RunLedger:
         """
         with self._lock:
             return self._ok.get((model, dataset, cfg_digest))
+
+    def outcome(self, model: str, dataset: str, cfg_digest: str,
+                ) -> dict | None:
+        """The cell's latest *terminal* entry — ok or error — or None.
+
+        Unlike :meth:`lookup`, a recorded failure counts as an answer: a
+        shared-mode worker waiting on a cell someone else owns needs to
+        stop waiting once that cell is quarantined as failed-poisoned, not
+        spin on a lookup that will never become ok.  An ok entry wins over
+        an error (the retry-recovered shape).
+        """
+        with self._lock:
+            key = (model, dataset, cfg_digest)
+            return self._ok.get(key) or self._err.get(key)
 
     def lookup_shard(self, model: str, dataset: str, cfg_digest: str,
                      start: int, stop: int) -> dict | None:
@@ -238,7 +314,7 @@ class RunLedger:
             return {"entries": len(self._entries),
                     "ok": len(self._ok),
                     "error": len(set(self._err) - set(self._ok)),
-                    "corrupt": self._n_corrupt}
+                    "corrupt": self._n_corrupt + int(self._tail_pending)}
 
     # -- write side ---------------------------------------------------------
 
@@ -265,27 +341,51 @@ class RunLedger:
                 pass
 
     def append(self, entry: dict) -> None:
-        """Append one entry, flushed and fsync'd before returning.
+        """Append one entry, fsync'd before returning; multi-writer safe.
 
         The fsync is the crash-safety contract: once ``append`` returns, a
         SIGKILL cannot lose the entry (a torn *partial* line from a kill
-        mid-call is skipped on replay).
+        mid-call is skipped on replay).  The write itself is one raw
+        ``O_APPEND`` syscall, so concurrent writers' lines never interleave;
+        before writing, a newline-less tail left by a killed peer is healed
+        (its fragment becomes a standalone corrupt line instead of fusing
+        with this entry).  The entry is then *read back* from disk through
+        the same consume path foreign entries take — one code path, exact
+        offsets, and any peer entries that landed meanwhile are indexed
+        (and announced to listeners) in file order.
         """
-        line = json.dumps(entry, default=repr, separators=(",", ":"))
+        data = (json.dumps(entry, default=repr, separators=(",", ":"))
+                + "\n").encode("utf-8")
         with self._lock:
-            with (self.path / _LEDGER).open("a", encoding="utf-8") as fh:
-                fh.write(line + "\n")
-                fh.flush()
-                os.fsync(fh.fileno())
-            self._entries.append(entry)
-            self._index(entry)
+            self._append_bytes(data, kind=str(entry.get("kind", "")))
+            new = self._consume_locked()
             listeners = list(self._listeners)
-        for fn in listeners:
-            try:
-                fn(entry)
-            except Exception as exc:           # noqa: BLE001 — observer only
-                logger.warning("ledger listener failed (%s); entry is "
-                               "persisted regardless", exc)
+        for seen in new:
+            self._notify(listeners, seen)
+
+    def _append_bytes(self, data: bytes, kind: str = "") -> None:
+        """One healed, fsync'd O_APPEND write (lock held by caller)."""
+        from .faults import fault_point
+        fd = os.open(self.path / _LEDGER,
+                     os.O_RDWR | os.O_APPEND | os.O_CREAT, 0o644)
+        try:
+            size = os.fstat(fd).st_size
+            if size > 0 and os.pread(fd, 1, size - 1) != b"\n":
+                # Heal a peer's torn final write: give the fragment its own
+                # newline so it replays as one corrupt line, not as a
+                # prefix fused onto this entry.
+                os.write(fd, b"\n")
+            act = fault_point("runstore.append", label=kind)
+            if act is not None and act.get("op") == "torn_write":
+                cut = act.get("bytes")
+                cut = len(data) // 2 if cut is None else int(cut)
+                os.write(fd, data[:max(1, min(cut, len(data) - 1))])
+                os.fsync(fd)
+                os._exit(23)                   # die mid-write, like SIGKILL
+            os.write(fd, data)
+            os.fsync(fd)
+        finally:
+            os.close(fd)
 
     def record_eval(self, model: str, dataset: str, cfg_digest: str, *,
                     status: str, value: float | None = None,

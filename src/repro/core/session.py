@@ -115,6 +115,8 @@ class BenchmarkSession:
         self._batch_size = batch_size
         self._shard_size: int | None = None
         self._retries = 0
+        self._lease_ttl = 30.0
+        self._max_claims = 3
         self._should_stop = None
         self._store = None
         self._run_id: str | None = None
@@ -192,11 +194,27 @@ class BenchmarkSession:
         pool; ``mode="process"`` sidesteps the GIL entirely — variant
         evaluations run in worker processes that receive the model/dataset
         once and the decoded clean pixel batch through POSIX shared memory.
-        Parallel and serial sweeps return identical results; the pool only
-        changes wall-time.
+        ``mode="shared"`` coordinates with *other processes* sharing this
+        session's run directory (``repro worker``) via lease files instead
+        of owning a pool — ``n`` is ignored there.  Parallel, shared, and
+        serial sweeps return identical results; the modes only change
+        wall-time and fault tolerance.
         """
         self._workers = n
         self._mode = mode
+        return self
+
+    def lease(self, ttl: float = 30.0, max_claims: int = 3,
+              ) -> "BenchmarkSession":
+        """Tune the shared-run lease protocol (``mode="shared"`` only).
+
+        ``ttl`` is how long a worker that stops heartbeating keeps its
+        claims before peers reclaim them; ``max_claims`` is the per-cell
+        claim budget before a repeatedly-fatal cell is quarantined as
+        failed-poisoned.  See :mod:`repro.core.workqueue`.
+        """
+        self._lease_ttl = float(ttl)
+        self._max_claims = int(max_claims)
         return self
 
     def batch(self, batch_size: int | None) -> "BenchmarkSession":
@@ -395,7 +413,9 @@ class BenchmarkSession:
                            task=self._task_name,
                            batch_size=self._batch_size,
                            pipeline_cache=self.cache,
-                           should_stop=self._should_stop)
+                           should_stop=self._should_stop,
+                           lease_ttl=self._lease_ttl,
+                           max_claims=self._max_claims)
 
     def _selected_noises(self) -> list[str]:
         return list(self._noises if self._noises is not None

@@ -63,6 +63,7 @@ from __future__ import annotations
 import logging
 import os
 import pickle
+import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
@@ -70,6 +71,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from .cache import EvalCache, dataset_token, eval_key, streams_digest
+from .faults import fault_point
 from .noise import NoiseConfig, TRAIN_CONFIG
 from .registry import combined_config, get_noise, worst_case_stack
 
@@ -192,13 +194,19 @@ class SweepEngine:
                  model_key: str | None = None,
                  shard_size: int | None = None, task: str | None = None,
                  batch_size: int | None = None, pipeline_cache=None,
-                 should_stop=None):
-        if mode not in ("thread", "process"):
-            raise ValueError(f"mode must be 'thread' or 'process', got {mode!r}")
+                 should_stop=None, lease_ttl: float = 30.0,
+                 max_claims: int = 3):
+        if mode not in ("thread", "process", "shared"):
+            raise ValueError(f"mode must be 'thread', 'process' or "
+                             f"'shared', got {mode!r}")
         if retries < 0:
             raise ValueError(f"retries must be >= 0, got {retries}")
         if shard_size is not None and shard_size < 1:
             raise ValueError(f"shard_size must be >= 1, got {shard_size}")
+        if lease_ttl <= 0:
+            raise ValueError(f"lease_ttl must be > 0, got {lease_ttl}")
+        if max_claims < 1:
+            raise ValueError(f"max_claims must be >= 1, got {max_claims}")
         self.workers = workers
         self.mode = mode
         self.retries = retries
@@ -216,6 +224,15 @@ class SweepEngine:
         #: Zero-arg callable polled between cells; returning True raises
         #: :class:`SweepCancelled` at the next cell boundary.
         self.should_stop = should_stop
+        #: ``mode="shared"``: multiple *processes* sharing one run directory
+        #: divide (variant × shard) cells via filesystem leases — see
+        #: :mod:`repro.core.workqueue` and ``docs/faults.md``.  ``lease_ttl``
+        #: is how long a silent worker keeps its claims; ``max_claims`` is
+        #: the per-cell claim budget before the cell is quarantined as
+        #: failed-poisoned.
+        self.lease_ttl = float(lease_ttl)
+        self.max_claims = max_claims
+        self._workqueue = None
         self._ledger_writes_failed = False
         self.eval_cache = eval_cache if eval_cache is not None else EvalCache()
 
@@ -411,6 +428,18 @@ class SweepEngine:
             if key is not None:
                 self.eval_cache.put(key, hit)
             return hit, None
+        if self.mode == "shared" and lkey is not None:
+            # Route even single cells (the baseline above all) through the
+            # shared claim protocol, so N workers racing to start a run
+            # compute the baseline exactly once between them.
+            out = self._shared_map(evaluate, model, ds, [cfg], [noise])
+            if out is not None:
+                values, errors = out
+                if 0 in errors:
+                    return float("nan"), RuntimeError(errors[0])
+                if key is not None:
+                    self.eval_cache.put(key, values[0])
+                return values[0], None
         plan = self._shard_plan(ds)
         last: Exception | None = None
         for attempt in range(1, self.retries + 2):
@@ -472,6 +501,10 @@ class SweepEngine:
         indices to exception strings.
         """
         names = noise_names or [None] * len(cfgs)
+        if self.mode == "shared":
+            out = self._shared_map(evaluate, model, ds, cfgs, names)
+            if out is not None:
+                return out
         if self.mode == "process" and self.effective_workers > 1:
             plan = self._shard_plan(ds)
             out = (self._process_map_sharded(plan, evaluate, model, ds,
@@ -489,6 +522,226 @@ class SweepEngine:
                   for i, (_, error) in enumerate(results)
                   if error is not None}
         return values, errors
+
+    # -- shared-run fan-out (lease-coordinated worker processes) ------------
+
+    def _shared_queue(self):
+        """The lease queue over this engine's run directory (lazy)."""
+        if self._workqueue is None:
+            from .workqueue import WorkQueue
+            self._workqueue = WorkQueue(self.ledger.path,
+                                        ttl=self.lease_ttl,
+                                        max_attempts=self.max_claims)
+        return self._workqueue
+
+    @staticmethod
+    def _cell_tag(lkey) -> str:
+        """Short stable lease-item prefix for one (model, dataset, cfg)."""
+        import hashlib
+        return hashlib.sha256(repr(lkey).encode("utf-8")).hexdigest()[:16]
+
+    def _shared_map(self, evaluate, model, ds, cfgs: list[NoiseConfig],
+                    names: list[str | None],
+                    ) -> tuple[list[float], dict[int, str]] | None:
+        """Divide ``cfgs`` among the processes sharing this run directory.
+
+        Every cell resolves through the ledger: a worker either claims the
+        cell (a lease file, see :mod:`repro.core.workqueue`), computes it
+        and appends the entry, or watches a peer's entry arrive via
+        :meth:`~repro.core.runstore.RunLedger.refresh`.  Either way all
+        workers converge on the identical (values, errors) row — the table
+        a shared run renders is byte-identical to the serial one because
+        the *data* that reaches it is identical.
+
+        Returns None — falling back to the local path — when no ledger is
+        attached or any cell has no stable ledger identity (without a
+        shared ledger there is nothing to coordinate through).
+        """
+        if self.ledger is None:
+            return None
+        lkeys = [self._ledger_key(model, ds, cfg) for cfg in cfgs]
+        if any(k is None for k in lkeys):
+            return None
+        wq = self._shared_queue()
+        n = len(cfgs)
+        values: list[float] = [float("nan")] * n
+        errors: dict[int, str] = {}
+        unresolved = set(range(n))
+        poll = 0.05
+        while unresolved:
+            self._check_cancelled()
+            if self._ledger_writes_failed:
+                # We can no longer publish results, so we can no longer
+                # coordinate: degrade to the local path (already-resolved
+                # cells stay warm in the eval cache).  Peers whose writes
+                # still work will reclaim our leases and finish the rest.
+                logger.warning("shared mode degraded: ledger writes failed; "
+                               "computing remaining cells locally")
+                return None
+            self.ledger.refresh()
+            progressed = False
+            for i in sorted(unresolved):
+                out = self.ledger.outcome(*lkeys[i])
+                if out is not None:
+                    if out.get("status") == "ok":
+                        values[i] = float(out["value"])
+                        key = self._cache_key(model, ds, cfgs[i])
+                        if key is not None:
+                            self.eval_cache.put(key, values[i])
+                    else:
+                        errors[i] = str(out.get("error", "unknown failure"))
+                    unresolved.discard(i)
+                    progressed = True
+                    continue
+                if self._shared_cell(wq, evaluate, model, ds, cfgs[i],
+                                     names[i], lkeys[i]):
+                    progressed = True
+            if unresolved and not progressed:
+                # Everything left is leased to peers (or backing off):
+                # wait, with exponential spacing so an idle watcher does
+                # not hammer a filesystem that may be network-attached.
+                time.sleep(poll)
+                poll = min(2.0, poll * 2.0)
+            else:
+                poll = 0.05
+        return values, errors
+
+    def _shared_cell(self, wq, evaluate, model, ds, cfg: NoiseConfig,
+                     noise: str | None, lkey) -> bool:
+        """Try to advance one unresolved cell; True when progress was made.
+
+        Sharded datasets are claimed at (cell × shard) granularity plus a
+        final merge claim; unsharded cells are one ``eval-*`` claim.  Every
+        successful claim re-checks the ledger before executing (the work
+        may have completed between our read and our claim) and re-checks
+        lease ownership (:meth:`~repro.core.workqueue.Lease.still_owned`)
+        before recording — a worker whose lease expired mid-compute has
+        been reclaimed and must discard its result, not double-record it.
+
+        An in-process evaluation failure releases the claim *without*
+        recording; the claim itself already burned one attempt in the
+        shared sidecar, so crashes and raises draw from the same
+        ``max_claims`` budget, after which the next claimer quarantines the
+        cell (:meth:`_shared_poison`).
+        """
+        tag = self._cell_tag(lkey)
+        plan = self._shard_plan(ds)
+        progressed = False
+        if plan is not None:
+            adapter, bounds = plan
+            missing = [(a, b) for a, b in bounds
+                       if self._ledger_shard_hit(lkey, a, b) is None]
+            for start, stop in missing:
+                item = f"shard-{tag}-{start}-{stop}"
+                lease = wq.try_claim(item)
+                if lease is None:
+                    continue
+                try:
+                    if self._ledger_shard_hit(lkey, start, stop) is not None:
+                        continue               # a peer finished it meanwhile
+                    if wq.poisoned(item):
+                        self._shared_poison(wq, item, lkey, noise, cfg)
+                        progressed = True
+                        continue
+                    fault_point("sweep.shard",
+                                label=f"{cfg.describe()}@{start}:{stop}")
+                    part = None
+                    for _s, _e, p in adapter.evaluate_partials(
+                            model, ds, cfg, [(start, stop)],
+                            cache=self.pipeline_cache,
+                            batch_size=self.batch_size):
+                        part = p
+                    if part is not None and lease.still_owned():
+                        self._ledger_shard_record(lkey, start, stop,
+                                                  part.state(), noise, cfg)
+                    progressed = True
+                except SweepCancelled:
+                    raise
+                except Exception as exc:       # noqa: BLE001 — isolate cell
+                    logger.warning("shared shard failed (%s @%d:%d): %s",
+                                   cfg.describe(), start, stop, exc)
+                    progressed = True
+                finally:
+                    lease.release()
+            if missing:
+                return progressed
+            # All shards ledgered: one worker claims the merge.
+            item = f"eval-{tag}"
+            lease = wq.try_claim(item)
+            if lease is None:
+                return progressed
+            try:
+                self.ledger.refresh()
+                if self.ledger.outcome(*lkey) is not None:
+                    return True
+                if wq.poisoned(item):
+                    self._shared_poison(wq, item, lkey, noise, cfg)
+                    return True
+                # Every shard state is on disk — this is a pure merge.
+                value = float(self._compute_sharded(plan, model, ds, cfg,
+                                                    noise, lkey))
+                if lease.still_owned():
+                    key = self._cache_key(model, ds, cfg)
+                    if key is not None:
+                        self.eval_cache.put(key, value)
+                    self._ledger_record(lkey, status="ok", value=value,
+                                        noise=noise, label=cfg.describe(),
+                                        attempts=wq.attempts(item))
+                return True
+            except SweepCancelled:
+                raise
+            except Exception as exc:           # noqa: BLE001 — isolate cell
+                logger.warning("shared merge failed (%s): %s",
+                               cfg.describe(), exc)
+                return True
+            finally:
+                lease.release()
+        item = f"eval-{tag}"
+        lease = wq.try_claim(item)
+        if lease is None:
+            return False
+        try:
+            self.ledger.refresh()
+            if self.ledger.outcome(*lkey) is not None:
+                return True
+            if wq.poisoned(item):
+                self._shared_poison(wq, item, lkey, noise, cfg)
+                return True
+            try:
+                fault_point("sweep.cell", label=cfg.describe())
+                value = float(evaluate(model, ds, cfg))
+            except SweepCancelled:
+                raise
+            except Exception as exc:           # noqa: BLE001 — isolate cell
+                logger.warning("shared evaluation failed (%s): %s",
+                               cfg.describe(), exc)
+                return True
+            if lease.still_owned():
+                key = self._cache_key(model, ds, cfg)
+                if key is not None:
+                    self.eval_cache.put(key, value)
+                self._ledger_record(lkey, status="ok", value=value,
+                                    noise=noise, label=cfg.describe(),
+                                    attempts=wq.attempts(item))
+            return True
+        finally:
+            lease.release()
+
+    def _shared_poison(self, wq, item: str, lkey, noise: str | None,
+                       cfg: NoiseConfig) -> None:
+        """Quarantine a cell whose claim budget is spent.
+
+        ``attempts - 1`` prior claims each ended without a result (worker
+        crashed, hung past its lease, or raised); instead of becoming
+        casualty N+1, the current claimer records a terminal failed-
+        poisoned entry so every worker's row resolves to a structured
+        failure and the sweep completes.
+        """
+        prior = wq.attempts(item) - 1
+        msg = f"poisoned: {prior} worker claim(s) died or failed"
+        logger.error("quarantining cell %s (%s)", cfg.describe(), msg)
+        self._ledger_record(lkey, status="error", error=msg, noise=noise,
+                            label=cfg.describe(), attempts=prior)
 
     # -- process fan-out ----------------------------------------------------
 

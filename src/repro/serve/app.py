@@ -48,12 +48,21 @@ class EvalService:
     def __init__(self, store_root="runs", host: str = "127.0.0.1",
                  port: int = 0, queue_limit: int = 16, job_workers: int = 1,
                  rate: float = 10.0, burst: int = 20, resume_jobs: bool = False,
-                 runner=None):
+                 runner=None, idle_timeout: float | None = None,
+                 drain_timeout: float | None = None,
+                 job_deadline: float | None = None,
+                 hang_timeout: float | None = None):
         self.manager = JobManager(store_root, queue_limit=queue_limit,
-                                  job_workers=job_workers, runner=runner)
+                                  job_workers=job_workers, runner=runner,
+                                  job_deadline=job_deadline,
+                                  hang_timeout=hang_timeout)
         self.limiter = RateLimiter(rate, burst)
-        self.server = HTTPServer(self.handle, host=host, port=port)
+        self.server = HTTPServer(self.handle, host=host, port=port,
+                                 idle_timeout=idle_timeout)
         self.resume_jobs = resume_jobs
+        #: How long the drain waits for running jobs before giving up the
+        #: join (their ledgers are still consistent — resumable offline).
+        self.drain_timeout = drain_timeout
         self._loop: asyncio.AbstractEventLoop | None = None
         self._stop_event: asyncio.Event | None = None
         self._thread: threading.Thread | None = None
@@ -209,7 +218,8 @@ class EvalService:
               "resumable via `repro resume`", flush=True)
         await self.server.close()
         leftover = await self._loop.run_in_executor(
-            None, self.manager.shutdown, True)
+            None, lambda: self.manager.shutdown(drain=True,
+                                                timeout=self.drain_timeout))
         if leftover:
             print(f"left {len(leftover)} queued job(s) on disk: "
                   f"{' '.join(leftover)}", flush=True)

@@ -108,10 +108,15 @@ class Response:
 class HTTPServer:
     """``asyncio.start_server`` wrapper dispatching to one handler."""
 
-    def __init__(self, handler, host: str = "127.0.0.1", port: int = 0):
+    def __init__(self, handler, host: str = "127.0.0.1", port: int = 0,
+                 idle_timeout: float | None = None):
         self.handler = handler
         self.host = host
         self.port = port
+        #: Per-connection keep-alive idle budget; None takes the module
+        #: default (the ``repro serve --idle-timeout`` flag lands here).
+        self.idle_timeout = (IDLE_TIMEOUT if idle_timeout is None
+                             else float(idle_timeout))
         self._server: asyncio.AbstractServer | None = None
 
     async def start(self) -> tuple[str, int]:
@@ -137,7 +142,8 @@ class HTTPServer:
             while True:
                 try:
                     request = await asyncio.wait_for(
-                        self._read_request(reader, client), IDLE_TIMEOUT)
+                        self._read_request(reader, client),
+                        self.idle_timeout)
                 except asyncio.TimeoutError:
                     break
                 if request is None:            # clean EOF between requests

@@ -40,7 +40,7 @@ logger = logging.getLogger(__name__)
 RESULT_FILE = "result.json"
 
 _KINDS = ("sweep", "worst_case", "interaction")
-_TERMINAL = ("completed", "failed", "cancelled", "interrupted")
+_TERMINAL = ("completed", "failed", "cancelled", "interrupted", "hung")
 _DATA_DEFAULTS = dict(native_size=48, input_size=32)
 
 
@@ -76,7 +76,7 @@ class JobSpec:
 
     FIELDS = ("kind", "task", "model", "n", "train_frac", "epochs", "seed",
               "noises", "include_combined", "batch_size", "shard_size",
-              "workers", "mode", "retries")
+              "workers", "mode", "retries", "deadline")
 
     def __init__(self, doc: dict):
         if not isinstance(doc, dict):
@@ -129,6 +129,13 @@ class JobSpec:
             raise ValidationError(f"mode must be 'thread' or 'process', "
                                   f"got {self.mode!r}")
         self.retries = self._int(doc, "retries", 0, lo=0, hi=16)
+        # Per-job wall-clock budget (seconds).  None defers to the
+        # manager's default; checked by the watchdog at cell granularity
+        # (a deadline that expires mid-training fires at the first sweep
+        # cell boundary after it).
+        self.deadline = (None if doc.get("deadline") is None
+                         else self._float(doc, "deadline", None,
+                                          lo=0.1, hi=86_400.0))
 
     @staticmethod
     def _int(doc, key, default, *, lo, hi):
@@ -198,6 +205,9 @@ class Job:
         self.error: str | None = None
         self.table: str | None = None
         self.cancel = threading.Event()
+        self.deadline_hit = False              # set by the deadline watchdog
+        self.last_beat = time.time()           # progress heartbeat timestamp
+        self.runner_lease = None               # held while a runner executes
         self._events: list[dict] = []
         self._lock = threading.Lock()
         self.push({"event": "job", "status": "queued", "job_id": run_id})
@@ -207,6 +217,24 @@ class Job:
         return self.status in _TERMINAL
 
     def push(self, event: dict) -> None:
+        """Record an event — and, as a side effect, prove liveness.
+
+        Every ledger entry the runner produces flows through here, so the
+        event stream doubles as the runner's heartbeat: the in-memory
+        timestamp feeds the hang watchdog and the runner lease's mtime
+        (:class:`~repro.core.workqueue.Lease`) makes the same signal
+        visible to other processes inspecting the run directory.
+        """
+        with self._lock:
+            self._events.append(event)
+            self.last_beat = time.time()
+        lease = self.runner_lease
+        if lease is not None:
+            lease.heartbeat()
+
+    def note(self, event: dict) -> None:
+        """Append an event *without* counting it as runner progress —
+        for watchdog annotations, which must not reset the hang clock."""
         with self._lock:
             self._events.append(event)
 
@@ -229,33 +257,60 @@ class JobManager:
     """
 
     def __init__(self, store_root, queue_limit: int = 16,
-                 job_workers: int = 1, runner=None):
+                 job_workers: int = 1, runner=None,
+                 job_deadline: float | None = None,
+                 hang_timeout: float | None = None):
         from repro.core import RunStore
         if queue_limit < 1:
             raise ValueError(f"queue_limit must be >= 1, got {queue_limit}")
         if job_workers < 1:
             raise ValueError(f"job_workers must be >= 1, got {job_workers}")
+        if job_deadline is not None and job_deadline <= 0:
+            raise ValueError(f"job_deadline must be > 0, got {job_deadline}")
+        if hang_timeout is not None and hang_timeout <= 0:
+            raise ValueError(f"hang_timeout must be > 0, got {hang_timeout}")
         self.store = (store_root if isinstance(store_root, RunStore)
                       else RunStore(store_root))
         self.queue_limit = queue_limit
         self.job_workers = job_workers
+        #: Default wall-clock budget for jobs whose spec carries no
+        #: ``deadline`` (None = unlimited); enforced by the watchdog via
+        #: cooperative cancellation, so the job fails cleanly at a cell
+        #: boundary with its ledger intact.
+        self.job_deadline = job_deadline
+        #: How long a *running* job may go without progress (no new events,
+        #: no ledger entries) before the watchdog declares it hung, frees
+        #: its worker slot, and marks it terminal (None = never).
+        self.hang_timeout = hang_timeout
         self._runner = runner or self._run_job
         self._jobs: dict[str, Job] = {}
         self._by_digest: dict[str, str] = {}
         self._queue: deque[Job] = deque()
-        self._cond = threading.Condition()
+        # Re-entrant: cancel_job() and the watchdog both reach _finish()
+        # while already holding the condition.
+        self._cond = threading.Condition(threading.RLock())
         self._draining = False
         self._threads: list[threading.Thread] = []
+        self._watchdog: threading.Thread | None = None
         self._ema_duration = 30.0              # optimistic prior, seconds
 
     # -- lifecycle ----------------------------------------------------------
 
     def start(self) -> None:
-        for i in range(self.job_workers):
-            t = threading.Thread(target=self._worker_loop,
-                                 name=f"serve-job-worker-{i}", daemon=True)
-            t.start()
-            self._threads.append(t)
+        for _ in range(self.job_workers):
+            self._spawn_worker()
+        if self.job_deadline is not None or self.hang_timeout is not None:
+            self._watchdog = threading.Thread(target=self._watchdog_loop,
+                                              name="serve-job-watchdog",
+                                              daemon=True)
+            self._watchdog.start()
+
+    def _spawn_worker(self) -> None:
+        t = threading.Thread(target=self._worker_loop,
+                             name=f"serve-job-worker-{len(self._threads)}",
+                             daemon=True)
+        t.start()
+        self._threads.append(t)
 
     def shutdown(self, drain: bool = True, timeout: float | None = None,
                  ) -> list[str]:
@@ -473,30 +528,120 @@ class JobManager:
         from repro.core import SweepCancelled
         job.status = "running"
         job.started = time.time()
+        job.last_beat = job.started
+        job.runner_lease = self._claim_runner_lease(job)
         job.push({"event": "job", "status": "running"})
         try:
             self._runner(job)
         except SweepCancelled:
-            status = "cancelled" if job.cancel.is_set() else "interrupted"
-            self._finish(job, status)
+            if job.deadline_hit:
+                deadline = (job.spec.deadline if job.spec.deadline is not None
+                            else self.job_deadline)
+                self._finish(job, "failed",
+                             error=f"deadline of {deadline:g}s exceeded")
+            else:
+                status = ("cancelled" if job.cancel.is_set()
+                          else "interrupted")
+                self._finish(job, status)
         except Exception as exc:               # noqa: BLE001 — isolate job
             logger.exception("job %s failed", job.id)
             self._finish(job, "failed", error=f"{type(exc).__name__}: {exc}")
         else:
-            self._finish(job, "completed")
-            self._write_result(job)
-            duration = job.finished - job.started
-            self._ema_duration += 0.3 * (duration - self._ema_duration)
+            # A job the watchdog already declared hung stays hung even if
+            # its runner eventually limps home — its result was never
+            # delivered on time and a replacement slot is already working.
+            if self._finish(job, "completed"):
+                self._write_result(job)
+                duration = job.finished - job.started
+                self._ema_duration += 0.3 * (duration - self._ema_duration)
+        finally:
+            lease, job.runner_lease = job.runner_lease, None
+            if lease is not None:
+                lease.release()
+
+    def _claim_runner_lease(self, job: Job):
+        """A manually-heartbeated lease marking this job's live runner.
+
+        The lease file (``<run_dir>/leases/runner.lease``) is refreshed on
+        every event the runner produces — its mtime is the job's *progress*
+        clock, readable by the in-process watchdog and by any outside
+        process inspecting the run directory alike.
+        """
+        if self.hang_timeout is None:
+            return None
+        from repro.core import WorkQueue
+        try:
+            wq = WorkQueue(self.store.root / job.id,
+                           owner=f"serve:{os.getpid()}",
+                           ttl=self.hang_timeout)
+            return wq.try_claim("runner", auto_heartbeat=False)
+        except OSError as exc:                 # pragma: no cover — disk woes
+            logger.warning("job %s: could not claim runner lease (%s)",
+                           job.id, exc)
+            return None
+
+    def _watchdog_loop(self) -> None:
+        bounds = [t for t in (self.job_deadline, self.hang_timeout)
+                  if t is not None]
+        interval = max(0.05, min(1.0, min(bounds) / 4.0))
+        while True:
+            time.sleep(interval)
+            now = time.time()
+            for job in self.jobs():
+                if job.status != "running":
+                    continue
+                deadline = (job.spec.deadline if job.spec.deadline is not None
+                            else self.job_deadline)
+                if (deadline is not None and job.started is not None
+                        and now - job.started > deadline
+                        and not job.deadline_hit):
+                    job.deadline_hit = True
+                    job.cancel.set()
+                    job.note({"event": "job", "status": "running",
+                              "note": f"deadline of {deadline:g}s exceeded; "
+                                      f"cancelling at next cell boundary"})
+                    logger.warning("job %s: deadline of %gs exceeded; "
+                                   "cancelling", job.id, deadline)
+                if self.hang_timeout is None:
+                    continue
+                age = now - job.last_beat
+                lease = job.runner_lease
+                if lease is not None:
+                    try:
+                        age = now - lease.path.stat().st_mtime
+                    except OSError:
+                        pass
+                if age > self.hang_timeout:
+                    job.cancel.set()           # if it ever wakes, stop it
+                    if self._finish(job, "hung",
+                                    error=f"no progress for {age:.1f}s "
+                                          f"(hang timeout "
+                                          f"{self.hang_timeout:g}s)"):
+                        logger.error("job %s declared hung (no progress "
+                                     "for %.1fs); freeing its worker slot",
+                                     job.id, age)
+                        with self._cond:
+                            # The stuck thread's slot is lost until it
+                            # wakes; keep serving at full width meanwhile.
+                            self._spawn_worker()
 
     def _finish(self, job: Job, status: str, error: str | None = None,
-                ) -> None:
-        job.status = status
-        job.error = error
-        job.finished = time.time()
+                ) -> bool:
+        """Transition to a terminal status; False when already terminal
+        (the watchdog got there first — its verdict stands).  The
+        check-and-set is atomic: worker and watchdog race to finish a job
+        exactly once."""
+        with self._cond:
+            if job.terminal:
+                return False
+            job.status = status
+            job.error = error
+            job.finished = time.time()
         event = {"event": "job", "status": status}
         if error:
             event["error"] = error
-        job.push(event)
+        job.note(event)
+        return True
 
     def _write_result(self, job: Job) -> None:
         """Persist the completed job's response (atomic), so a restarted

@@ -1,0 +1,136 @@
+"""The deterministic fault-injection harness (repro.core.faults)."""
+
+import errno
+import json
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.core import faults
+from repro.core.faults import (CRASH_EXIT_CODE, FaultError, FaultInjector,
+                               FaultRule, fault_point, install, uninstall)
+
+
+@pytest.fixture(autouse=True)
+def _clean_injector():
+    yield
+    uninstall()
+
+
+class TestFaultRule:
+    def test_fires_exactly_on_the_nth_hit(self):
+        rule = FaultRule("p", op="sleep", at=3, seconds=0)
+        hits = [rule.consider("p", "") for _ in range(5)]
+        assert hits == [False, False, True, False, False]
+
+    def test_every_fires_periodically_from_at(self):
+        rule = FaultRule("p", op="sleep", at=2, every=2, seconds=0)
+        hits = [rule.consider("p", "") for _ in range(6)]
+        assert hits == [False, True, False, True, False, True]
+
+    def test_label_substring_filter(self):
+        rule = FaultRule("p", op="sleep", at=1, match="precision", seconds=0)
+        assert not rule.consider("p", "decoder=pil")
+        assert rule.consider("p", "precision=int8")
+
+    def test_other_points_do_not_count(self):
+        rule = FaultRule("p", op="sleep", at=1, seconds=0)
+        assert not rule.consider("q", "")
+        assert rule.consider("p", "")
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown fault-rule field"):
+            FaultRule.from_dict({"point": "p", "opp": "crash"})
+
+    def test_rejects_bad_op_and_bounds(self):
+        with pytest.raises(ValueError, match="op must be"):
+            FaultRule("p", op="explode")
+        with pytest.raises(ValueError, match="at must be"):
+            FaultRule("p", at=0)
+        with pytest.raises(ValueError, match="every must be"):
+            FaultRule("p", every=0)
+
+
+class TestInjector:
+    def test_unarmed_fault_point_is_a_noop(self):
+        uninstall()
+        assert fault_point("anything", "label") is None
+
+    def test_raise_op_throws_enospc(self):
+        install([{"point": "p", "op": "raise", "at": 1}])
+        with pytest.raises(FaultError) as exc:
+            fault_point("p")
+        assert exc.value.errno == errno.ENOSPC
+
+    def test_raise_op_custom_errno(self):
+        install([{"point": "p", "op": "raise", "at": 1,
+                  "errno_code": errno.EIO}])
+        with pytest.raises(FaultError) as exc:
+            fault_point("p")
+        assert exc.value.errno == errno.EIO
+
+    def test_torn_write_returns_cooperative_payload(self):
+        install([{"point": "p", "op": "torn_write", "at": 2, "bytes": 7}])
+        assert fault_point("p") is None
+        assert fault_point("p") == {"op": "torn_write", "bytes": 7}
+        assert fault_point("p") is None
+
+    def test_sleep_op_sleeps(self):
+        install([{"point": "p", "op": "sleep", "at": 1, "seconds": 0.05}])
+        t0 = time.monotonic()
+        fault_point("p")
+        assert time.monotonic() - t0 >= 0.05
+
+    def test_install_replaces_and_uninstall_disarms(self):
+        install([{"point": "p", "op": "raise", "at": 1}])
+        uninstall()
+        assert fault_point("p") is None
+
+    def test_determinism_two_injectors_same_plan_same_story(self):
+        plan = [{"point": "p", "op": "torn_write", "at": 2, "every": 3}]
+        stories = []
+        for _ in range(2):
+            inj = FaultInjector(plan)
+            stories.append([inj.fire("p") is not None for _ in range(9)])
+        assert stories[0] == stories[1]
+        assert sum(stories[0]) == 3            # hits 2, 5, 8
+
+
+class TestEnvArming:
+    def test_env_spec_arms_subprocess_and_crash_exit_code(self, tmp_path):
+        code = ("from repro.core.faults import fault_point\n"
+                "fault_point('p')\n"
+                "print('unreachable')\n")
+        proc = subprocess.run(
+            [sys.executable, "-c", code],
+            env={"REPRO_FAULTS":
+                 json.dumps([{"point": "p", "op": "crash", "at": 1}]),
+                 "PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+            capture_output=True, text=True, cwd="/root/repo")
+        assert proc.returncode == CRASH_EXIT_CODE
+        assert "unreachable" not in proc.stdout
+
+    def test_env_spec_from_file(self, tmp_path):
+        plan = tmp_path / "plan.json"
+        plan.write_text(json.dumps([{"point": "p", "op": "raise", "at": 1}]))
+        code = ("from repro.core.faults import fault_point, FaultError\n"
+                "try:\n"
+                "    fault_point('p')\n"
+                "except FaultError:\n"
+                "    print('raised')\n")
+        proc = subprocess.run(
+            [sys.executable, "-c", code],
+            env={"REPRO_FAULTS": f"@{plan}",
+                 "PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+            capture_output=True, text=True, cwd="/root/repo")
+        assert proc.stdout.strip() == "raised"
+
+    def test_unparseable_env_spec_raises_not_ignores(self, monkeypatch):
+        # A typo'd chaos plan must not silently run the workload clean.
+        monkeypatch.setenv(faults.ENV_VAR, "{not json")
+        monkeypatch.setattr(faults, "_env_checked", False)
+        monkeypatch.setattr(faults, "_injector", None)
+        with pytest.raises(ValueError, match="unparseable"):
+            fault_point("p")

@@ -1,0 +1,186 @@
+"""SweepEngine(mode="shared"): lease-coordinated multi-worker sweeps.
+
+These tests simulate N worker *processes* with N engine instances, each
+holding its own :class:`RunLedger` replay of the same run directory — the
+same isolation real workers have, minus the fork.  True crash/SIGSTOP
+choreography lives in ``benchmarks/crash_resume_smoke.py`` and
+``benchmarks/chaos_smoke.py``.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core import NoiseConfig, RunLedger, SweepEngine, TRAIN_CONFIG
+from repro.core.registry import deployment_variants
+
+
+class FakeDataset:
+    """Content-identified dataset (streams drive the ledger token)."""
+
+    def __init__(self, payloads=(b"stream-a", b"stream-b")):
+        class Raw:
+            def __init__(self, b):
+                self._b = b
+
+            def tobytes(self):
+                return self._b
+
+        self.streams = [Raw(p) for p in payloads]
+
+
+class FakeModel:
+    pass
+
+
+class CountingEvaluator:
+    def __init__(self, fail_on=None):
+        self.calls = []
+        self.fail_on = fail_on or (lambda cfg: False)
+        self.lock = threading.Lock()
+
+    def __call__(self, model, ds, cfg):
+        with self.lock:
+            self.calls.append(cfg)
+        if self.fail_on(cfg):
+            raise RuntimeError("injected evaluator failure")
+        return 90.0 - 2.0 * (cfg.decoder != "dali") \
+            - 4.0 * (cfg.precision != "fp32")
+
+
+def shared_engine(run_dir, **kw):
+    kw.setdefault("mode", "shared")
+    kw.setdefault("model_key", "m")
+    kw.setdefault("ledger", RunLedger.create(run_dir, {"model": "m"}))
+    kw.setdefault("lease_ttl", 5.0)
+    return SweepEngine(**kw)
+
+
+@pytest.fixture
+def model():
+    return FakeModel()
+
+
+@pytest.fixture
+def ds():
+    return FakeDataset()
+
+
+class TestSharedMode:
+    def test_matches_serial_results(self, tmp_path, model, ds):
+        ev_serial, ev_shared = CountingEvaluator(), CountingEvaluator()
+        serial = SweepEngine()
+        shared = shared_engine(tmp_path / "run")
+        want = serial.sweep_noise(ev_serial, model, ds, "decoder")
+        got = shared.sweep_noise(ev_shared, model, ds, "decoder")
+        assert got.values == want.values
+        assert got.baseline == want.baseline
+
+    def test_every_cell_ledgered_exactly_once(self, tmp_path, model, ds):
+        shared = shared_engine(tmp_path / "run")
+        shared.sweep_noise(CountingEvaluator(), model, ds, "decoder")
+        evals = [e for e in shared.ledger.entries()
+                 if e.get("kind") == "eval"]
+        keys = [(e["model"], e["dataset"], e["cfg"]) for e in evals]
+        assert len(keys) == len(set(keys))
+        # baseline + one per decoder variant
+        assert len(keys) == 1 + len(deployment_variants("decoder"))
+
+    def test_second_worker_reuses_ledgered_cells(self, tmp_path, model, ds):
+        w1 = shared_engine(tmp_path / "run")
+        row1 = w1.sweep_noise(CountingEvaluator(), model, ds, "decoder")
+        ev2 = CountingEvaluator()
+        w2 = shared_engine(tmp_path / "run",
+                           ledger=RunLedger(tmp_path / "run"))
+        row2 = w2.sweep_noise(ev2, model, ds, "decoder")
+        assert ev2.calls == []                 # everything came from disk
+        assert row2.values == row1.values
+
+    def test_no_ledger_falls_back_to_local(self, model, ds):
+        engine = SweepEngine(mode="shared")    # no ledger attached
+        row = engine.sweep_noise(CountingEvaluator(), model, ds, "decoder")
+        assert not any(np.isnan(v) for v in row.values)
+
+    def test_two_workers_race_without_duplicates(self, tmp_path, model, ds):
+        run = tmp_path / "run"
+        w1 = shared_engine(run, lease_ttl=2.0)
+        w2 = shared_engine(run, ledger=RunLedger(run), lease_ttl=2.0)
+        evs = [CountingEvaluator(), CountingEvaluator()]
+        rows = [None, None]
+
+        def work(i, engine):
+            rows[i] = engine.sweep_noise(evs[i], model,
+                                         ds, "precision")
+
+        threads = [threading.Thread(target=work, args=(i, e))
+                   for i, e in enumerate((w1, w2))]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert rows[0].values == rows[1].values
+        # Union of both workers' computes covers each cell exactly once.
+        done = [c for ev in evs for c in ev.calls]
+        assert len(done) == len(set(done))
+        evals = [e for e in RunLedger(run).entries()
+                 if e.get("kind") == "eval"]
+        keys = [(e["model"], e["dataset"], e["cfg"]) for e in evals]
+        assert len(keys) == len(set(keys))
+
+    def test_poison_quarantine_terminates_fatal_cell(self, tmp_path, model,
+                                                     ds):
+        bad = NoiseConfig(precision="int8")
+        engine = shared_engine(
+            tmp_path / "run", max_claims=2)
+        engine._shared_queue().retry_base = 0.0
+        ev = CountingEvaluator(fail_on=lambda cfg: cfg.precision == "int8")
+        values, errors = engine._map_configs(
+            ev, model, ds, [TRAIN_CONFIG, bad], ["baseline", "precision"])
+        assert not np.isnan(values[0])
+        assert np.isnan(values[1])
+        assert "poisoned" in errors[1]
+        # The quarantine entry is terminal: a fresh worker resolves the
+        # cell from the ledger without burning its own attempts on it.
+        ev2 = CountingEvaluator(fail_on=lambda cfg: True)
+        w2 = shared_engine(tmp_path / "run",
+                           ledger=RunLedger(tmp_path / "run"), max_claims=2)
+        values2, errors2 = w2._map_configs(
+            ev2, model, ds, [TRAIN_CONFIG, bad], ["baseline", "precision"])
+        assert ev2.calls == []
+        assert np.isnan(values2[1]) and "poisoned" in errors2[1]
+        # Budget respected: max_claims executions, then quarantine.
+        assert len(ev.calls) == 1 + 2
+
+    def test_expired_foreign_lease_is_reclaimed(self, tmp_path, model, ds):
+        run = tmp_path / "run"
+        engine = shared_engine(run, lease_ttl=0.2)
+        engine._shared_queue().retry_base = 0.0
+        # A worker "died" holding the baseline cell: fabricate its lease.
+        lkey = engine._ledger_key(model, ds, TRAIN_CONFIG)
+        wq = engine._shared_queue()
+        stale = wq.try_claim(f"eval-{engine._cell_tag(lkey)}")
+        stale._stop.set()
+        stale._thread.join()
+        import time
+        time.sleep(0.3)
+        value = engine.baseline(CountingEvaluator(), model, ds)
+        assert value == pytest.approx(90.0)    # TRAIN_CONFIG is clean
+
+    def test_baseline_single_cell_routes_through_claims(self, tmp_path,
+                                                        model, ds):
+        engine = shared_engine(tmp_path / "run")
+        engine.baseline(CountingEvaluator(), model, ds)
+        evals = [e for e in engine.ledger.entries()
+                 if e.get("kind") == "eval"]
+        assert len(evals) == 1
+        leases = (tmp_path / "run" / "leases").glob("*.attempts")
+        assert any("eval-" in p.name for p in leases)
+
+    def test_mode_validation(self):
+        with pytest.raises(ValueError, match="mode must be"):
+            SweepEngine(mode="sharedx")
+        with pytest.raises(ValueError, match="lease_ttl"):
+            SweepEngine(mode="shared", lease_ttl=0)
+        with pytest.raises(ValueError, match="max_claims"):
+            SweepEngine(mode="shared", max_claims=0)

@@ -200,6 +200,88 @@ class TestJobManager:
         assert job.status == "cancelled"
 
 
+def _wait_terminal(job, timeout=30.0):
+    deadline = time.time() + timeout
+    while not job.terminal and time.time() < deadline:
+        time.sleep(0.01)
+    assert job.terminal, f"job stuck in {job.status!r}"
+
+
+class TestWatchdog:
+    """Deadlines and the hung-runner watchdog (see docs/faults.md)."""
+
+    def test_deadline_cancels_and_fails(self, tmp_path):
+        from repro.core import SweepCancelled
+
+        def runner(job):
+            if job.cancel.wait(timeout=30):    # a well-behaved sweep stops
+                raise SweepCancelled("cancelled at cell boundary")
+
+        manager = JobManager(tmp_path, runner=runner, job_deadline=0.2)
+        manager.start()
+        job, _ = manager.submit(dict(TINY))
+        _wait_terminal(job)
+        assert job.status == "failed"
+        assert "deadline of 0.2s exceeded" in job.error
+        manager.shutdown(drain=False)
+
+    def test_spec_deadline_overrides_manager_default(self, tmp_path):
+        from repro.core import SweepCancelled
+
+        def runner(job):
+            if job.cancel.wait(timeout=30):
+                raise SweepCancelled("cancelled")
+
+        manager = JobManager(tmp_path, runner=runner, job_deadline=30.0)
+        manager.start()
+        job, _ = manager.submit({**TINY, "deadline": 0.2})
+        _wait_terminal(job)
+        assert job.status == "failed"
+        assert "deadline of 0.2s exceeded" in job.error
+        manager.shutdown(drain=False)
+
+    def test_hung_job_is_declared_and_slot_respawned(self, tmp_path):
+        started = []
+
+        def runner(job):
+            started.append(job.id)
+            if len(started) == 1:
+                job.cancel.wait(timeout=30)    # no pushes: no progress
+                # Returning now must NOT overwrite the watchdog's verdict.
+
+        manager = JobManager(tmp_path, runner=runner, hang_timeout=0.3)
+        manager.start()
+        stuck, _ = manager.submit(dict(TINY))
+        _wait_terminal(stuck)
+        assert stuck.status == "hung"
+        assert "no progress" in stuck.error
+        # The replacement worker keeps the manager serving.
+        second, _ = manager.submit({**TINY, "seed": 5})
+        _wait_terminal(second)
+        assert second.status == "completed"
+        assert stuck.status == "hung"          # verdict stood
+        manager.shutdown(drain=False)
+
+    def test_progress_keeps_slow_job_alive(self, tmp_path):
+        def runner(job):
+            for _ in range(8):                 # 0.8s total, beats every 0.1
+                time.sleep(0.1)
+                job.push({"event": "tick"})
+
+        manager = JobManager(tmp_path, runner=runner, hang_timeout=0.4)
+        manager.start()
+        job, _ = manager.submit(dict(TINY))
+        _wait_terminal(job)
+        assert job.status == "completed"       # slow but alive ≠ hung
+        manager.shutdown(drain=False)
+
+    def test_watchdog_knob_validation(self, tmp_path):
+        with pytest.raises(ValueError, match="job_deadline"):
+            JobManager(tmp_path, runner=lambda job: None, job_deadline=0)
+        with pytest.raises(ValueError, match="hang_timeout"):
+            JobManager(tmp_path, runner=lambda job: None, hang_timeout=-1)
+
+
 class TestRestartRecovery:
     """Job status after a dead server == ledger replay (no job database)."""
 
