@@ -21,7 +21,14 @@ without writing Python:
 ``worker``         Join a shared run as one fault-tolerant sweep worker:
                    N workers divide the cells via lease files over the run
                    directory, reclaim dead peers' claims, and each print
-                   the same final table (see ``docs/faults.md``).
+                   the same final table (see ``docs/faults.md``).  Refuses
+                   to join when the run's checkpoint fails its recorded
+                   content digest.
+``fsck``           Verify run-directory integrity — ledger checksums,
+                   snapshot validity, checkpoint digests, lease hygiene —
+                   for one run or ``--all``; ``--repair`` quarantines
+                   corrupt entries and restores the run to a resumable
+                   state (see ``docs/integrity.md``).
 ``worst-case``     The Fig.-3 cumulative noise-stacking curve for one model.
 ``interaction``    Pairwise noise-interaction matrix (ablation E).
 ``export``         Lower a model to the deployment graph (.npz); supports
@@ -52,8 +59,8 @@ from __future__ import annotations
 import argparse
 import sys
 
-from . import (backends_cmd, evaluate_cmd, info_cmd, noises_cmd, report_cmd,
-               run_cmd, serve_cmd, worker_cmd)
+from . import (backends_cmd, evaluate_cmd, fsck_cmd, info_cmd, noises_cmd,
+               report_cmd, run_cmd, serve_cmd, worker_cmd)
 
 __all__ = ["main", "build_parser"]
 
@@ -64,7 +71,7 @@ def build_parser() -> argparse.ArgumentParser:
         description="SysNoise benchmark CLI (MLSys 2023 reproduction)")
     sub = parser.add_subparsers(dest="command", required=True)
     for module in (info_cmd, noises_cmd, evaluate_cmd, run_cmd, worker_cmd,
-                   backends_cmd, report_cmd, serve_cmd):
+                   fsck_cmd, backends_cmd, report_cmd, serve_cmd):
         module.register(sub)
     return parser
 

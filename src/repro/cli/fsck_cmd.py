@@ -1,0 +1,109 @@
+"""``repro fsck``: verify (and repair) run-directory integrity.
+
+The offline entry point to :mod:`repro.core.integrity`: checks one run —
+or with ``--all`` every run under the store — for manifest readability,
+ledger line checksums, snapshot validity, interrupted compactions,
+checkpoint content digests, and stale lease-protocol state.  ``--repair``
+quarantines corrupt ledger lines (into ``quarantine.jsonl``), rebuilds a
+rotten manifest from ledger replay, moves a digest-refuted checkpoint
+aside, and prunes dead lease files; repair is idempotent and never
+destroys data.  A repaired run is *resumable*: ``repro resume <run_id>``
+completes it to the same table an undamaged run would render.
+
+Exit status: 0 when every checked run is clean (or was repaired clean),
+1 when issues remain, 2 on bad arguments.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+
+__all__ = ["register"]
+
+
+def register(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("fsck",
+                       help="verify run-directory integrity: ledger "
+                            "checksums, snapshots, checkpoint digests, "
+                            "lease state (--repair to fix)")
+    p.add_argument("run_id", nargs="?", default=None,
+                   help="run id inside --store (omit with --all)")
+    p.add_argument("--all", action="store_true", dest="check_all",
+                   help="check every run directory under --store")
+    p.add_argument("--store", default="runs",
+                   help="RunStore directory (default: runs/)")
+    p.add_argument("--repair", action="store_true",
+                   help="quarantine corrupt entries, rebuild the manifest, "
+                        "retire a refuted checkpoint, prune dead leases")
+    p.add_argument("--lease-ttl", type=float, default=30.0,
+                   help="lease age beyond which lease files count as "
+                        "expired (default: 30; match your workers')")
+    p.add_argument("--json", action="store_true", dest="as_json",
+                   help="machine-readable report(s)")
+    p.set_defaults(func=cmd_fsck)
+
+
+def _render(report: dict) -> str:
+    lines = [f"run {report['run_id']}: "
+             + ("clean" if report["ok"] else
+                f"{len(report['issues'])} issue(s)")]
+    for issue in report["issues"]:
+        lines.append(f"  ISSUE [{issue['kind']}] {issue['detail']}")
+    for action in report["repairs"]:
+        lines.append(f"  repaired: {action}")
+    led = report["ledger"]
+    integ = report["integrity"]
+    lines.append(f"  ledger: {led['ok']} checksummed, {led['legacy']} "
+                 f"legacy, {led['bitrot']} bitrot, {led['unparseable']} "
+                 f"unparseable"
+                 + (", torn tail" if led["torn_tail"] else "")
+                 + (f"; {integ['quarantined']} quarantined"
+                    if integ["quarantined"] else ""))
+    snap = integ.get("snapshot")
+    if snap:
+        lines.append(f"  snapshot: {snap['entries']} folded entr(ies)")
+    ck = report["checkpoint"]
+    lines.append(f"  checkpoint: {ck['status']}")
+    leases = report["leases"]
+    if any(leases.values()):
+        lines.append(f"  leases: {leases['live']} live, "
+                     f"{leases['expired']} expired, "
+                     f"{leases['tombstones']} tombstone(s), "
+                     f"{leases['attempts']} attempt sidecar(s)")
+    return "\n".join(lines)
+
+
+def cmd_fsck(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.core import fsck_run, fsck_store
+
+    if bool(args.run_id) == bool(args.check_all):
+        print("error: pass exactly one of <run_id> or --all")
+        return 2
+    root = Path(args.store)
+    if args.check_all:
+        reports = fsck_store(root, repair=args.repair,
+                             lease_ttl=args.lease_ttl)
+        if not reports:
+            print(f"error: no run directories under {root}")
+            return 2
+    else:
+        run_dir = root / args.run_id
+        if not run_dir.is_dir():
+            print(f"error: no run directory {run_dir}")
+            return 2
+        reports = [fsck_run(run_dir, repair=args.repair,
+                            lease_ttl=args.lease_ttl)]
+    if args.as_json:
+        print(json.dumps({"reports": reports}, indent=2, default=repr))
+    else:
+        for report in reports:
+            print(_render(report))
+        bad = sum(1 for r in reports if not r["ok"])
+        print(f"checked {len(reports)} run(s): "
+              f"{len(reports) - bad} clean, {bad} with issues"
+              + ("" if args.repair or not bad
+                 else " (re-run with --repair to fix)"))
+    return 0 if all(r["ok"] for r in reports) else 1

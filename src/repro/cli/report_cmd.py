@@ -81,10 +81,12 @@ def cmd_report_store(args: argparse.Namespace) -> int:
             _emit(json.dumps(doc, indent=2, default=repr) + "\n",
                   args.out, f"{len(doc['runs'])} run(s)")
             return 0
-        headers = ["run", "model", "status", "ok", "failed", "expected"]
+        headers = ["run", "model", "status", "ok", "failed", "expected",
+                   "integrity"]
         rows = [[str(i.get("run_id", "?")), str(i.get("model", "?")),
                  str(i.get("status", "?")), str(i.get("ok", "-")),
-                 str(i.get("error", "-")), str(i.get("expected", "?"))]
+                 str(i.get("error", "-")), str(i.get("expected", "?")),
+                 _integrity_cell(i)]
                 for i in doc["runs"]]
         widths = [max(len(h), *(len(r[j]) for r in rows))
                   for j, h in enumerate(headers)]
@@ -113,9 +115,46 @@ def cmd_report_store(args: argparse.Namespace) -> int:
     report = (f"## {args.run}\n\n{table}\n\n"
               f"ledger: {counts['ok']} ok, {counts['error']} "
               f"failed" + (f", {counts['corrupt']} corrupt line(s)"
-                           if counts["corrupt"] else "") + "\n")
+                           if counts["corrupt"] else "")
+              + "\n" + _integrity_line(ledger) + "\n")
     _emit(report, args.out, f"run {args.run}")
     return 0
+
+
+def _integrity_cell(info: dict) -> str:
+    """Compact per-run health for the store listing (see run_info)."""
+    problems = []
+    corrupt = (info.get("bitrot") or 0)
+    if corrupt:
+        problems.append(f"{corrupt} corrupt")
+    quarantined = info.get("quarantined") or 0
+    if quarantined:
+        problems.append(f"{quarantined} quarantined")
+    return ", ".join(problems) if problems else "ok"
+
+
+def _integrity_line(ledger) -> str:
+    """One-line integrity summary for a rendered run: checksum coverage,
+    corrupt/quarantined counts, snapshot age (``repro fsck`` drills in)."""
+    import time
+
+    integ = ledger.integrity()
+    parts = [f"integrity: {integ['checksummed']}/{integ['entries']} "
+             f"entr(ies) checksummed"]
+    if integ["legacy"]:
+        parts.append(f"{integ['legacy']} legacy")
+    corrupt = integ["bitrot"] + integ["unparseable"]
+    if corrupt or integ["torn_tail"]:
+        parts.append(f"{corrupt} corrupt"
+                     + (" + torn tail" if integ["torn_tail"] else ""))
+    if integ["quarantined"]:
+        parts.append(f"{integ['quarantined']} quarantined")
+    snap = integ.get("snapshot")
+    if snap:
+        age = max(0.0, time.time() - float(snap.get("ts") or 0.0))
+        parts.append(f"snapshot {snap['entries']} entr(ies), "
+                     f"{age:.0f}s old")
+    return ", ".join(parts)
 
 
 def cmd_report(args: argparse.Namespace) -> int:

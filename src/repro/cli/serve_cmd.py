@@ -53,6 +53,11 @@ def register(sub: argparse._SubParsersAction) -> None:
                    help="seconds a running job may make no progress before "
                         "the watchdog declares it hung and frees its "
                         "worker slot (default: never)")
+    p.add_argument("--min-free-bytes", type=int, default=0,
+                   help="free-space floor under --store in bytes; below it "
+                        "/v1/healthz answers 503 so load balancers stop "
+                        "routing here before ledger appends start tearing "
+                        "(default: 0 = disabled)")
     p.set_defaults(func=cmd_serve)
 
 
@@ -68,7 +73,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
                               idle_timeout=args.idle_timeout,
                               drain_timeout=args.drain_timeout,
                               job_deadline=args.job_deadline,
-                              hang_timeout=args.hang_timeout)
+                              hang_timeout=args.hang_timeout,
+                              min_free_bytes=args.min_free_bytes)
     except ValueError as exc:
         print(f"error: {exc}")
         return 2

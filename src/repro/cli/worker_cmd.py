@@ -72,6 +72,20 @@ def cmd_worker(args: argparse.Namespace) -> int:
     session.store(store, run_id=args.run_id, data=cli["data"], cli=cli)
     ledger = session.ledger
     before = ledger.counts()
+    # A worker holding wrong weights must refuse to join: its results
+    # would splice silently-divergent metrics into every peer's table.
+    # (Retraining here — the resume path's fallback — is not safe either:
+    # peers may be mid-sweep on the *recorded* weights right now.)
+    from repro.core import verify_checkpoint
+    check = verify_checkpoint(ledger)
+    if check["status"] == "mismatch":
+        print(f"error: checkpoint {ledger.path / 'weights.npz'} fails its "
+              f"recorded content digest (recorded "
+              f"{str(check['recorded'])[:12]}..., actual "
+              f"{str(check['actual'])[:12]}...) — refusing to join run "
+              f"{args.run_id}; run `repro fsck {args.run_id} --store "
+              f"{args.store} --repair` and re-prepare")
+        return 2
     # Loads the prepared checkpoint; if the run was not prepared, every
     # worker trains the same deterministic weights (slower, still correct —
     # the checkpoint publish is atomic and last-writer-wins-identically).

@@ -23,6 +23,8 @@ from .datapipe import (DataShards, Shard, dataset_subset, prefetched,
                        rebatch, shard_bounds)
 from .faults import (FaultError, FaultInjector, FaultRule, fault_point,
                      install as install_faults, uninstall as uninstall_faults)
+from .integrity import (checkpoint_digest, fsck_run, fsck_store,
+                        verify_checkpoint)
 from .interaction import (InteractionMatrix, pairwise_interaction,
                           render_interaction)
 from .metrics import (Accuracy, MeanAP, MeanIoU, MeanScores,
@@ -68,6 +70,8 @@ __all__ = [
     # crash-safe run persistence
     "RunStore", "RunLedger", "config_digest", "ledger_table", "run_manifest",
     "expected_cells", "run_info",
+    # integrity verification (fsck)
+    "checkpoint_digest", "verify_checkpoint", "fsck_run", "fsck_store",
     # shared-run coordination + fault injection
     "WorkQueue", "Lease", "FaultRule", "FaultInjector", "FaultError",
     "fault_point", "install_faults", "uninstall_faults",

@@ -23,11 +23,14 @@ Rule dict fields (see :class:`FaultRule`)::
 
     {"point": "sweep.cell",      # injection point name (exact match)
      "op": "crash",              # crash | hang | sleep | raise | torn_write
+                                 #   | short_write | bitrot
      "at": 3,                    # fire on the 3rd matching hit ...
      "every": null,              # ... or on every k-th hit from ``at`` on
      "match": "precision",       # optional substring filter on the label
      "seconds": 30.0,            # sleep/hang duration
-     "bytes": 12}                # torn_write: bytes written before dying
+     "bytes": 12}                # torn_write/short_write: bytes written
+                                 # before dying/returning; bitrot: byte
+                                 # offset within the line to corrupt
 
 The injection-point catalog lives in ``docs/faults.md``.
 """
@@ -48,7 +51,8 @@ logger = logging.getLogger(__name__)
 
 ENV_VAR = "REPRO_FAULTS"
 
-_OPS = ("crash", "hang", "sleep", "raise", "torn_write")
+_OPS = ("crash", "hang", "sleep", "raise", "torn_write", "short_write",
+        "bitrot")
 
 #: Exit code used by injected crashes — distinguishable from SIGKILL (137)
 #: and from ordinary Python failures (1) in chaos-test assertions.
@@ -124,9 +128,14 @@ class FaultInjector:
         """Run all matching rules; returns a cooperative-op payload or None.
 
         ``crash``/``hang``/``sleep``/``raise`` are performed *here*;
-        ``torn_write`` cannot be (only the call site holds the bytes and the
-        file descriptor), so its payload is returned for the caller to
-        honour — see :meth:`~repro.core.runstore.RunLedger.append`.
+        ``torn_write``/``short_write``/``bitrot`` cannot be (only the call
+        site holds the bytes and the file descriptor), so their payload is
+        returned for the caller to honour — see
+        :meth:`~repro.core.runstore.RunLedger.append`.  ``torn_write`` kills
+        the writer mid-append (SIGKILL shape); ``short_write`` silently
+        loses the tail of one append while the process lives on (lost
+        page-cache write shape); ``bitrot`` flips one byte of an entry
+        *after* it was durably written (media corruption shape).
         """
         payload = None
         with self._lock:
@@ -148,8 +157,8 @@ class FaultInjector:
                 raise FaultError(rule.errno_code,
                                  f"{os.strerror(rule.errno_code)} "
                                  f"(injected at {point})")
-            elif rule.op == "torn_write":
-                payload = {"op": "torn_write", "bytes": rule.bytes}
+            elif rule.op in ("torn_write", "short_write", "bitrot"):
+                payload = {"op": rule.op, "bytes": rule.bytes}
         return payload
 
 

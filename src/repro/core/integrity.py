@@ -1,0 +1,362 @@
+"""Run-directory integrity verification and repair (the fsck engine).
+
+The run ledger is the system's single source of truth — resume, the
+multi-worker lease protocol, and the serve layer's job store all replay
+it — so a flipped bit, a stale checkpoint, or a half-finished compaction
+is not a cosmetic problem: it silently breaks the byte-identical-tables
+guarantee everything else is built on.  This module is the offline half of
+the defence (the online half is the CRC verification every replay performs,
+see :mod:`repro.core.runstore`):
+
+* :func:`fsck_run` — verify one run directory end to end: manifest
+  readability, ledger line checksums (full-file scan, not just the
+  incremental tail), snapshot document checksum and fold coverage,
+  checkpoint content digests, serve ``result.json`` parseability, and
+  lease-directory hygiene (tombstones, ``.attempts`` sidecars, expired
+  leases).  With ``repair=True`` it quarantines corrupt ledger lines (via
+  :meth:`~repro.core.runstore.RunLedger.compact`), rebuilds a missing or
+  unreadable manifest from the ledger, quarantines a checkpoint that fails
+  its recorded digest, and prunes dead lease state.  Repair is idempotent:
+  a second pass reports no issues and takes no actions.
+
+* :func:`verify_checkpoint` — compare a checkpoint file against the
+  content digest recorded in the manifest.  ``resume`` and ``worker``
+  call this before loading weights: a worker holding the wrong weights
+  must refuse to splice its results into a shared run.
+
+Exposed on the CLI as ``repro fsck <run_id> | --all [--repair]``
+(:mod:`repro.cli.fsck_cmd`); the on-disk formats it checks are documented
+in ``docs/integrity.md``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import logging
+import os
+import time
+from pathlib import Path
+
+from .runstore import (RunLedger, _classify_line, _FOLD, _LEDGER, _MANIFEST,
+                       _QUARANTINE, _SNAPSHOT)
+
+__all__ = ["checkpoint_digest", "verify_checkpoint", "fsck_run",
+           "fsck_store"]
+
+logger = logging.getLogger(__name__)
+
+#: The checkpoint every session publishes (see ``session.fit_or_load``).
+CHECKPOINT = "weights.npz"
+
+
+# ---------------------------------------------------------------------------
+# Checkpoint digests
+# ---------------------------------------------------------------------------
+
+def checkpoint_digest(path: str | Path) -> str:
+    """SHA-256 of a checkpoint file's bytes (streamed, not slurped)."""
+    h = hashlib.sha256()
+    with open(path, "rb") as fh:
+        for chunk in iter(lambda: fh.read(1 << 20), b""):
+            h.update(chunk)
+    return h.hexdigest()
+
+
+def verify_checkpoint(ledger: RunLedger, name: str = CHECKPOINT) -> dict:
+    """Compare a run's checkpoint against its recorded content digest.
+
+    Returns ``{"status": ..., "recorded": ..., "actual": ...}`` where
+    status is one of:
+
+    * ``ok`` — file present and its digest matches the manifest record;
+    * ``absent`` — no checkpoint file (nothing to verify; a resume
+      retrains deterministically);
+    * ``unrecorded`` — file present but the manifest predates digest
+      recording (legacy run; loaded on trust, adopted by
+      ``fsck --repair``);
+    * ``mismatch`` — file present and refuted by the record.  The caller
+      must not load these weights into a shared run.
+    """
+    path = ledger.path / name
+    try:
+        manifest = ledger.manifest
+    except (OSError, ValueError):
+        manifest = {}                          # rotten manifest ⇒ no record
+    record = (manifest.get("checkpoints") or {}).get(name) or {}
+    recorded = record.get("sha256")
+    if not path.exists():
+        return {"status": "absent", "recorded": recorded, "actual": None}
+    try:
+        actual = checkpoint_digest(path)
+    except OSError as exc:
+        return {"status": "mismatch", "recorded": recorded,
+                "actual": f"unreadable: {exc}"}
+    if recorded is None:
+        return {"status": "unrecorded", "recorded": None, "actual": actual}
+    if actual != recorded:
+        return {"status": "mismatch", "recorded": recorded, "actual": actual}
+    return {"status": "ok", "recorded": recorded, "actual": actual}
+
+
+# ---------------------------------------------------------------------------
+# fsck
+# ---------------------------------------------------------------------------
+
+def _scan_ledger(path: Path) -> dict:
+    """Full-file line classification (unlike replay, never incremental)."""
+    stats = {"ok": 0, "legacy": 0, "bitrot": 0, "unparseable": 0,
+             "torn_tail": False}
+    try:
+        buf = path.read_bytes()
+    except OSError:
+        return stats
+    parts = buf.split(b"\n")
+    if parts and parts[-1].strip():
+        stats["torn_tail"] = True
+    for raw in parts[:-1]:
+        line = raw.strip()
+        if not line:
+            continue
+        status, _ = _classify_line(line)
+        stats[status] += 1
+    return stats
+
+
+def _rebuild_manifest(run_dir: Path, ledger: RunLedger) -> dict:
+    """Best-effort manifest reconstruction from ledger replay.
+
+    Identity fields that only the creator knew (seed, data args, eval
+    geometry) are unrecoverable and stay absent — a rebuilt manifest makes
+    the run *readable* (listing, report, fsck) again, and is marked so a
+    human knows its provenance.
+    """
+    entries = ledger.entries()
+    models = [e.get("model") for e in entries if e.get("model")]
+    noises = sorted({e["noise"] for e in entries
+                     if isinstance(e.get("noise"), str)
+                     and e["noise"] not in ("baseline", "combined")})
+    doc = {
+        "model": max(set(models), key=models.count) if models else None,
+        "noises": noises,
+        "metric": "metric",
+        "rebuilt_by": "fsck",
+        "rebuilt_ts": time.time(),
+    }
+    tmp = run_dir / f"{_MANIFEST}.tmp{os.getpid()}"
+    tmp.write_text(json.dumps(doc, indent=2, default=repr) + "\n")
+    os.replace(tmp, run_dir / _MANIFEST)
+    return doc
+
+
+def fsck_run(run_dir: str | Path, repair: bool = False,
+             lease_ttl: float = 30.0) -> dict:
+    """Verify (and optionally repair) one run directory.
+
+    Works on the directory, not through :class:`RunStore`, so runs whose
+    manifest is missing or rotten — invisible to the store — can still be
+    checked.  Returns a report dict::
+
+        {"run_id": ..., "ok": bool,
+         "issues":   [{"kind": ..., "detail": ...}, ...],
+         "repairs":  ["...action taken...", ...],
+         "ledger":   {...line-class counts...},
+         "checkpoint": {...verify_checkpoint...},
+         "leases":   {"live": n, "tombstones": n, "attempts": n,
+                      "expired": n}}
+
+    ``ok`` means no issues remain *after* any repairs.  Repair never
+    destroys data: corrupt lines move to ``quarantine.jsonl``, a refuted
+    checkpoint is renamed aside (``.quarantined.<ts>``), never deleted.
+    """
+    from .workqueue import WorkQueue, _ATTEMPTS_SUFFIX, _LEASE_SUFFIX
+
+    run_dir = Path(run_dir)
+    issues: list[dict] = []
+    repairs: list[str] = []
+
+    def issue(kind: str, detail: str) -> None:
+        issues.append({"kind": kind, "detail": detail})
+
+    # -- manifest -----------------------------------------------------------
+    mpath = run_dir / _MANIFEST
+    manifest_ok = True
+    try:
+        json.loads(mpath.read_text())
+    except (OSError, ValueError) as exc:
+        manifest_ok = False
+        issue("manifest-unreadable", f"{_MANIFEST}: {exc}")
+
+    ledger = RunLedger(run_dir)
+
+    if not manifest_ok and repair:
+        _rebuild_manifest(run_dir, ledger)
+        repairs.append("rebuilt manifest.json from ledger replay "
+                       "(marked rebuilt_by=fsck)")
+        issues = [i for i in issues if i["kind"] != "manifest-unreadable"]
+        ledger = RunLedger(run_dir)            # reread with the new manifest
+
+    # -- ledger lines -------------------------------------------------------
+    scan = _scan_ledger(run_dir / _LEDGER)
+    fold_path = run_dir / _FOLD
+    if fold_path.exists():
+        fold_scan = _scan_ledger(fold_path)
+        for key in ("ok", "legacy", "bitrot", "unparseable"):
+            scan[key] += fold_scan[key]
+        scan["torn_tail"] = scan["torn_tail"] or fold_scan["torn_tail"]
+        issue("fold-pending", f"{_FOLD} left by an interrupted compaction "
+              f"(replay merges it; compact folds it away)")
+    corrupt = scan["bitrot"] + scan["unparseable"]
+    if corrupt:
+        issue("ledger-corrupt", f"{scan['bitrot']} CRC-refuted and "
+              f"{scan['unparseable']} unparseable line(s)")
+    if scan["torn_tail"]:
+        issue("ledger-torn-tail", "newline-less final line (interrupted "
+              "append; healed by the next writer)")
+
+    # -- snapshot -----------------------------------------------------------
+    spath = run_dir / _SNAPSHOT
+    integ = ledger.integrity()
+    if spath.exists() and integ["snapshot_corrupt"]:
+        issue("snapshot-corrupt", f"{_SNAPSHOT} fails its checksum; replay "
+              f"ignores it (folded entries may be lost)")
+
+    # -- repair: corrupt lines + pending fold → compact quarantines them ----
+    needs_compact = bool(corrupt or fold_path.exists()
+                         or (scan["torn_tail"]
+                             and not _live_writer(run_dir, lease_ttl)))
+    if repair and needs_compact:
+        result = ledger.compact(ttl=lease_ttl)
+        if result.get("status") == "ok":
+            repairs.append(
+                f"compacted ledger: {result.get('quarantined', 0)} corrupt "
+                f"line(s) quarantined to {_QUARANTINE}, "
+                f"{result.get('dropped', 0)} superseded entr(ies) folded")
+            drop = {"ledger-corrupt", "ledger-torn-tail", "fold-pending"}
+            issues = [i for i in issues if i["kind"] not in drop]
+        else:
+            repairs.append(f"compaction skipped ({result.get('status')}); "
+                           f"corrupt lines left in place")
+
+    # -- checkpoint ---------------------------------------------------------
+    ck = verify_checkpoint(ledger)
+    if ck["status"] == "mismatch":
+        issue("checkpoint-mismatch",
+              f"{CHECKPOINT} content digest refutes the manifest record "
+              f"(recorded {str(ck['recorded'])[:12]}…, actual "
+              f"{str(ck['actual'])[:12]}…)")
+        if repair:
+            aside = run_dir / f"{CHECKPOINT}.quarantined.{int(time.time())}"
+            os.replace(run_dir / CHECKPOINT, aside)
+            ckpts = dict(ledger.manifest.get("checkpoints") or {})
+            ckpts.pop(CHECKPOINT, None)
+            ledger.update_manifest(checkpoints=ckpts)
+            repairs.append(f"quarantined refuted checkpoint to "
+                           f"{aside.name}; resume retrains "
+                           f"deterministically")
+            issues = [i for i in issues if i["kind"] != "checkpoint-mismatch"]
+            ck = verify_checkpoint(ledger)
+    elif ck["status"] == "unrecorded":
+        issue("checkpoint-unrecorded",
+              f"{CHECKPOINT} has no digest in the manifest (legacy run; "
+              f"loaded on trust)")
+        if repair:
+            digest = ledger.record_checkpoint(run_dir / CHECKPOINT)
+            repairs.append(f"adopted checkpoint digest {digest[:12]}… into "
+                           f"the manifest")
+            issues = [i for i in issues
+                      if i["kind"] != "checkpoint-unrecorded"]
+            ck = verify_checkpoint(ledger)
+
+    # -- serve result cache -------------------------------------------------
+    rpath = run_dir / "result.json"
+    if rpath.exists():
+        try:
+            json.loads(rpath.read_text())
+        except (OSError, ValueError) as exc:
+            issue("result-unreadable", f"result.json: {exc}")
+            if repair:
+                rpath.unlink(missing_ok=True)
+                repairs.append("removed unreadable result.json (the serve "
+                               "layer re-derives it from the ledger)")
+                issues = [i for i in issues
+                          if i["kind"] != "result-unreadable"]
+
+    # -- lease hygiene ------------------------------------------------------
+    leases = {"live": 0, "tombstones": 0, "attempts": 0, "expired": 0}
+    lease_dir = run_dir / "leases"
+    now = time.time()
+    if lease_dir.is_dir():
+        for p in lease_dir.iterdir():
+            if ".tomb-" in p.name:
+                leases["tombstones"] += 1
+            elif p.name.endswith(_ATTEMPTS_SUFFIX):
+                leases["attempts"] += 1
+            elif p.name.endswith(_LEASE_SUFFIX):
+                try:
+                    expired = now - p.stat().st_mtime > lease_ttl
+                except OSError:
+                    continue
+                leases["expired" if expired else "live"] += 1
+    stale = leases["tombstones"] + leases["attempts"] + leases["expired"]
+    if stale:
+        issue("stale-lease-state",
+              f"{leases['tombstones']} tombstone(s), {leases['attempts']} "
+              f"attempt sidecar(s), {leases['expired']} expired lease(s)")
+        if repair:
+            removed = WorkQueue(run_dir, ttl=lease_ttl).prune()
+            repairs.append(f"pruned lease dir: {removed['tombstones']} "
+                           f"tombstone(s), {removed['attempts']} "
+                           f"sidecar(s), {removed['leases']} expired "
+                           f"lease(s)")
+            issues = [i for i in issues if i["kind"] != "stale-lease-state"]
+
+    if repair:
+        # Re-derive the post-repair ledger stats for the report.
+        ledger = RunLedger(run_dir)
+        scan = _scan_ledger(run_dir / _LEDGER)
+        integ = ledger.integrity()
+
+    return {"run_id": run_dir.name, "ok": not issues, "issues": issues,
+            "repairs": repairs, "ledger": scan,
+            "integrity": integ, "checkpoint": ck, "leases": leases}
+
+
+def _live_writer(run_dir: Path, lease_ttl: float) -> bool:
+    """Is some worker's lease still beating?  (A torn tail might be a
+    write in flight then — leave it to the writers' healing protocol.)"""
+    lease_dir = run_dir / "leases"
+    now = time.time()
+    try:
+        for p in lease_dir.iterdir():
+            if p.name.endswith(".lease"):
+                try:
+                    if now - p.stat().st_mtime <= lease_ttl:
+                        return True
+                except OSError:
+                    continue
+    except OSError:
+        pass
+    return False
+
+
+def fsck_store(root: str | Path, repair: bool = False,
+               lease_ttl: float = 30.0) -> list[dict]:
+    """:func:`fsck_run` over every run directory under ``root``.
+
+    Scans the directory listing, not :meth:`RunStore.runs` — a run whose
+    manifest rotted away is exactly the one fsck must not skip.
+    """
+    root = Path(root)
+    if not root.is_dir():
+        return []
+    reports = []
+    for child in sorted(root.iterdir()):
+        if not child.is_dir():
+            continue
+        # A run dir is anything holding run-shaped files.
+        if not any((child / name).exists()
+                   for name in (_MANIFEST, _LEDGER, _SNAPSHOT, _FOLD)):
+            continue
+        reports.append(fsck_run(child, repair=repair, lease_ttl=lease_ttl))
+    return reports

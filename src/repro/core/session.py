@@ -320,14 +320,18 @@ class BenchmarkSession:
         makes resume cheap *and* exact: a resumed run evaluates the very
         same weights instead of relying on retraining determinism, so
         ledgered metrics and freshly computed ones agree bitwise.  The save
-        is atomic (tmp + rename) and a torn/unreadable checkpoint falls
+        is atomic (tmp + rename), its content digest is recorded in the run
+        manifest, and a torn/unreadable/digest-refuted checkpoint falls
         back to deterministic retraining — a kill at any point leaves the
-        run resumable.  ``log`` (e.g. ``print``) receives progress lines;
-        None is silent.
+        run resumable, and swapped-in wrong weights are never evaluated
+        against the run's ledgered metrics.  ``log`` (e.g. ``print``)
+        receives progress lines; None is silent.
         """
         import os
 
         from repro.nn import load_checkpoint, save_checkpoint
+
+        from .integrity import verify_checkpoint
 
         ledger = self.ledger
         if ledger is None:
@@ -336,15 +340,26 @@ class BenchmarkSession:
         log = log or (lambda msg: None)
         ckpt = ledger.path / "weights.npz"
         if ckpt.exists():
-            try:
-                load_checkpoint(self.trained_model, ckpt)
-                self.trained_model.eval()
-                log(f"loaded trained weights from {ckpt}")
-                return self
-            except Exception as exc:           # noqa: BLE001 — torn file
-                log(f"warning: checkpoint {ckpt} unreadable ({exc}); "
-                    f"retraining deterministically")
-                self._model = None             # discard the half-loaded model
+            check = verify_checkpoint(ledger)
+            if check["status"] == "mismatch":
+                # Wrong weights would make every subsequent evaluation
+                # disagree with the ledgered metrics — refuse and retrain
+                # (repro fsck --repair quarantines the file itself).
+                log(f"warning: checkpoint {ckpt} fails its recorded content "
+                    f"digest (recorded {str(check['recorded'])[:12]}..., "
+                    f"actual {str(check['actual'])[:12]}...); refusing it "
+                    f"and retraining deterministically")
+            else:
+                try:
+                    load_checkpoint(self.trained_model, ckpt)
+                    self.trained_model.eval()
+                    log(f"loaded trained weights from {ckpt} "
+                        f"(digest {check['status']})")
+                    return self
+                except Exception as exc:       # noqa: BLE001 — torn file
+                    log(f"warning: checkpoint {ckpt} unreadable ({exc}); "
+                        f"retraining deterministically")
+                    self._model = None         # discard the half-loaded model
         if epochs is not None:
             train_kw["epochs"] = epochs
         log(f"training {self._label} "
@@ -354,6 +369,7 @@ class BenchmarkSession:
         tmp = save_checkpoint(self.trained_model,
                               ckpt.with_name("weights.tmp"))
         os.replace(tmp, ckpt)
+        ledger.record_checkpoint(ckpt)
         return self
 
     def _stored_entries(self) -> int:

@@ -604,7 +604,25 @@ class SweepEngine:
                 poll = min(2.0, poll * 2.0)
             else:
                 poll = 0.05
+        self._prune_if_complete(wq)
         return values, errors
+
+    def _prune_if_complete(self, wq) -> None:
+        """Retire lease-protocol state once every expected cell is terminal.
+
+        Tombstones, ``.attempts`` sidecars, and expired leases exist to
+        arbitrate *pending* work; once the run is complete (or failed) they
+        are dead weight that a long-lived store accumulates forever.  Only
+        whole-run completion is checked — this map call resolving is not
+        enough, because a peer may still be computing cells of a different
+        row.  Best-effort: pruning must never fail a sweep.
+        """
+        try:
+            from .runstore import run_info
+            if run_info(self.ledger)["status"] in ("complete", "failed"):
+                wq.prune()
+        except Exception:                      # noqa: BLE001 — housekeeping
+            logger.debug("post-run lease prune failed", exc_info=True)
 
     def _shared_cell(self, wq, evaluate, model, ds, cfg: NoiseConfig,
                      noise: str | None, lkey) -> bool:

@@ -283,6 +283,41 @@ class WorkQueue:
         """
         return self.attempts(item) > self.max_attempts
 
+    def prune(self, include_live: bool = False) -> dict:
+        """Retire dead lease-protocol state; returns removal counts.
+
+        Removes reclaim tombstones, ``.attempts`` sidecars, and expired
+        lease files (live ones too with ``include_live``).  Safe once a
+        run's cells are all terminal — claims re-check the ledger before
+        consulting the attempt budget, so a pruned sidecar can never cause
+        a completed cell to re-execute — and called exactly then: by the
+        sweep engine when a shared run completes, by the serve layer when a
+        job finishes, and by ``repro fsck --repair``.  Without it a
+        long-lived store accumulates dead files forever.
+        """
+        removed = {"tombstones": 0, "attempts": 0, "leases": 0}
+        now = time.time()
+        try:
+            children = list(self.dir.iterdir())
+        except OSError:
+            return removed
+        for path in children:
+            name = path.name
+            try:
+                if ".tomb-" in name:
+                    path.unlink()
+                    removed["tombstones"] += 1
+                elif name.endswith(_ATTEMPTS_SUFFIX):
+                    path.unlink()
+                    removed["attempts"] += 1
+                elif name.endswith(_LEASE_SUFFIX):
+                    if include_live or now - path.stat().st_mtime > self.ttl:
+                        path.unlink()
+                        removed["leases"] += 1
+            except OSError:
+                continue                       # a racer beat us to it
+        return removed
+
     # -- introspection ------------------------------------------------------
 
     def held_leases(self) -> list[dict]:

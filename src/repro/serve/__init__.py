@@ -21,14 +21,19 @@ multi-tenant process needs on top:
   from a digest-keyed response cache).
 * :mod:`repro.serve.app` — :class:`EvalService`, the wired service with
   routes and graceful SIGTERM drain.
+* :mod:`repro.serve.client` — :class:`ServeClient`, a retrying stdlib
+  client whose event iterator resumes dropped NDJSON streams at the last
+  delivered ledger sequence number.
 
 Start it with ``repro serve`` (see ``docs/serving.md``).
 """
 
 from .app import EvalService
+from .client import ServeClient, ServeError
 from .jobs import Draining, Job, JobManager, JobSpec, QueueFull, \
     ValidationError
 from .ratelimit import RateLimiter, TokenBucket
 
 __all__ = ["EvalService", "JobManager", "Job", "JobSpec", "QueueFull",
-           "Draining", "ValidationError", "RateLimiter", "TokenBucket"]
+           "Draining", "ValidationError", "RateLimiter", "TokenBucket",
+           "ServeClient", "ServeError"]

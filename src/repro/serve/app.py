@@ -5,7 +5,7 @@ The HTTP surface (all JSON unless noted):
 ====== ============================== =======================================
 Method Path                           Meaning
 ====== ============================== =======================================
-GET    /v1/healthz                    liveness (rate-limit exempt)
+GET    /v1/healthz                    liveness + capacity (rate-limit exempt)
 GET    /v1/noises                     the live noise registry
 GET    /v1/tasks                      the task-adapter registry
 GET    /v1/jobs                       all known jobs (status summaries)
@@ -13,6 +13,8 @@ POST   /v1/jobs                       submit a job spec (202; 200 on dedup)
 GET    /v1/jobs/<id>                  one job's status + ledger progress
 DELETE /v1/jobs/<id>                  cooperative cancel
 GET    /v1/jobs/<id>/events          NDJSON stream: replay + live results
+                                      (``?from=<seq>`` resumes a dropped
+                                      stream at a ledger sequence number)
 GET    /v1/jobs/<id>/table           text/plain paper table (partial OK)
 ====== ============================== =======================================
 
@@ -51,7 +53,8 @@ class EvalService:
                  runner=None, idle_timeout: float | None = None,
                  drain_timeout: float | None = None,
                  job_deadline: float | None = None,
-                 hang_timeout: float | None = None):
+                 hang_timeout: float | None = None,
+                 min_free_bytes: int = 0):
         self.manager = JobManager(store_root, queue_limit=queue_limit,
                                   job_workers=job_workers, runner=runner,
                                   job_deadline=job_deadline,
@@ -60,6 +63,12 @@ class EvalService:
         self.server = HTTPServer(self.handle, host=host, port=port,
                                  idle_timeout=idle_timeout)
         self.resume_jobs = resume_jobs
+        #: Free-space floor (bytes) under the run store.  Below it healthz
+        #: degrades to 503 — a ledger-backed service that keeps accepting
+        #: work onto a full disk converts every append into a torn write,
+        #: so load balancers must stop routing to it *before* that.  0
+        #: disables the check.
+        self.min_free_bytes = int(min_free_bytes)
         #: How long the drain waits for running jobs before giving up the
         #: join (their ledgers are still consistent — resumable offline).
         self.drain_timeout = drain_timeout
@@ -72,8 +81,7 @@ class EvalService:
     async def handle(self, request: Request) -> Response:
         path, method = request.path.rstrip("/") or "/", request.method
         if path == "/v1/healthz":              # liveness probes never 429
-            return Response.json({"status": "ok",
-                                  "draining": self.manager.draining})
+            return self._healthz()
         wait = self.limiter.acquire(request.client_id)
         if wait > 0:
             return Response.error(
@@ -135,19 +143,62 @@ class EvalService:
                 return Response.json(self.manager.job_doc(job))
             return Response.error(405, f"{method} not allowed on {path}")
         if tail == ["events"] and method == "GET":
-            return Response.ndjson(self._event_stream(job))
+            try:
+                from_seq = int(request.query.get("from", 0))
+            except (TypeError, ValueError):
+                return Response.error(400, "from must be an integer "
+                                           "ledger sequence number")
+            return Response.ndjson(self._event_stream(job, from_seq))
         if tail == ["table"] and method == "GET":
             return self._table(job)
         return Response.error(404, f"no route for {path}")
 
     # -- job views ----------------------------------------------------------
 
-    async def _event_stream(self, job):
+    def _healthz(self) -> Response:
+        """Liveness plus capacity: queue depth and store disk headroom.
+
+        Degrades to 503 when free space under the run store falls below
+        the configured floor — every job is an append-only ledger, so a
+        full disk turns accepted work into torn writes; stop routing here
+        first.
+        """
+        import shutil
+        from pathlib import Path
+
+        doc = {"status": "ok", "draining": self.manager.draining,
+               "queue_depth": self.manager.queue_depth(),
+               "queue_limit": self.manager.queue_limit}
+        # The store root is created lazily (first run); measure the nearest
+        # existing ancestor — same filesystem, same free-space answer.
+        probe = Path(self.manager.store.root).absolute()
+        while not probe.exists() and probe.parent != probe:
+            probe = probe.parent
+        try:
+            doc["disk_free_bytes"] = shutil.disk_usage(probe).free
+        except OSError:
+            doc["disk_free_bytes"] = None
+        free = doc["disk_free_bytes"]
+        if (self.min_free_bytes > 0 and free is not None
+                and free < self.min_free_bytes):
+            doc["status"] = "degraded"
+            doc["min_free_bytes"] = self.min_free_bytes
+            return Response.json(doc, status=503)
+        return Response.json(doc)
+
+    async def _event_stream(self, job, from_seq: int = 0):
         """Replay the job's event log, then tail it until terminal.
 
         For jobs recovered from a dead server (no live event log beyond
         the synthetic 'job' line), the ledger itself is replayed — same
         events a live subscriber would have seen.
+
+        ``from_seq`` makes the stream resumable: ledger-backed events whose
+        ``seq`` is below it are skipped (the client already has them), so a
+        dropped client reconnects with ``?from=<last_seq + 1>`` and loses
+        nothing — the seq is the ledger's replay cursor, identical across
+        reconnects, restarts, and compaction.  Synthetic events (job
+        status, log lines) carry no seq and are always re-sent.
         """
         import json as _json
 
@@ -157,20 +208,27 @@ class EvalService:
             return (_json.dumps(event, default=repr,
                                 separators=(",", ":")) + "\n").encode()
 
+        def wanted(event) -> bool:
+            seq = event.get("seq")
+            return seq is None or seq >= from_seq
+
         sent = 0
         if job.terminal and len(job.events_since(0)) <= 2:
             # Recovered job: no live event log — the ledger is the log.
             ledger = self.manager.ledger(job.id)
             if ledger is not None:
                 for entry in ledger.entries():
-                    yield line(entry_event(entry))
+                    event = entry_event(entry)
+                    if wanted(event):
+                        yield line(event)
             yield line({"event": "end", "status": job.status})
             return
         while True:
             events = job.events_since(sent)
             sent += len(events)
             for event in events:
-                yield line(event)
+                if wanted(event):
+                    yield line(event)
             if job.terminal and not job.events_since(sent):
                 break
             await asyncio.sleep(EVENT_POLL)

