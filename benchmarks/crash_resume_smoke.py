@@ -15,6 +15,11 @@ Scenario, end to end through the real CLI:
    sharded run, launch **three** ``repro worker`` processes against it
    (``--lease-ttl 2``), SIGKILL one mid-shard, SIGSTOP another while it
    holds live leases, and let the survivor reclaim and finish.
+6. Mitigation sweep: a sharded 2-worker ``--mitigate tent`` run is
+   SIGKILLed mid-TENT-sweep; ``repro resume`` must reproduce the
+   robustness-vs-mitigation table byte-for-byte, with mitigation identity
+   enforced by the ledger (a resume with a *different* ``--mitigate``
+   exits 2 instead of reusing cells).
 
 Pass criteria (the ISSUE's acceptance bar):
 
@@ -25,7 +30,10 @@ Pass criteria (the ISSUE's acceptance bar):
   bounds) pair appears twice in the final ledger,
 * the surviving shared-mode worker's table is bit-identical to the serial
   reference, with no (config, shard bounds) pair *or* eval cell ledgered
-  twice — the lease protocol, not luck, divided the work.
+  twice — the lease protocol, not luck, divided the work,
+* the resumed mitigation sweep renders both rows (clean + ``+tent``)
+  byte-identically, no eval cell or shard ledgered twice across the
+  mitigated grid, and a mismatched ``--mitigate`` on resume is refused.
 
 Exit status 0 on success; any assertion failure exits non-zero.
 """
@@ -103,6 +111,14 @@ def table_body(output: str) -> list[str]:
     start = next(i for i, l in enumerate(lines)
                  if l.startswith("Architecture"))
     return [l.rstrip() for l in lines[start:start + 3]]
+
+
+def full_table(output: str, rows: int) -> list[str]:
+    """Header + ``rows`` table rows (mitigated tables have > 1)."""
+    lines = output.splitlines()
+    start = next(i for i, l in enumerate(lines)
+                 if l.startswith("Architecture"))
+    return [l.rstrip() for l in lines[start:start + 2 + rows]]
 
 
 def main() -> int:
@@ -274,6 +290,80 @@ def main() -> int:
     print("surviving worker reclaimed the dead workers' leases; table is "
           "byte-identical to the serial reference, no cell or shard "
           "ledgered twice")
+
+    # 6. Mitigation sweep: SIGKILL a sharded 2-worker --mitigate tent run
+    #    mid-TENT-sweep, resume, and require the robustness-vs-mitigation
+    #    table byte-for-byte with mitigation identity enforced.  A reduced
+    #    noise list keeps the doubled (mitigation × variant × shard) grid
+    #    cheap; the reference shares the batch geometry (TENT is episodic:
+    #    per-batch adaptation makes it shard-invariant only at fixed
+    #    batches, which is also why both runs must pin --batch-size).
+    mit_args = ["--model", MODEL, "--n", "96", "--epochs", "2",
+                "--train-frac", "0.75", "--seed", "0",
+                "--noises", "decoder,color,precision",
+                "--batch-size", "4", "--mitigate", "tent:steps=1"]
+    refm = repro("run", *mit_args, "--store", str(tmp / "refmit"),
+                 "--run-id", "refmit")
+    assert refm.returncode == 0, \
+        f"mitigated reference run failed:\n{refm.stdout}\n{refm.stderr}"
+    refm_table = full_table(refm.stdout, rows=2)   # clean + "+tent"
+    assert refm_table[-1].startswith(f"{MODEL}+tent"), (
+        "expected a clean + mitigated row pair:\n" + "\n".join(refm_table))
+    mit_total = ok_entries(tmp / "refmit" / "refmit" / "ledger.jsonl")
+    print(f"mitigated reference run complete: {mit_total} eval cells "
+          f"(clean + tent rows)")
+
+    ledger = tmp / "mit" / "mit" / "ledger.jsonl"
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "run", *mit_args,
+         "--shard-size", "4", "--workers", "2", "--mode", "process",
+         "--store", str(tmp / "mit"), "--run-id", "mit"],
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        start_new_session=True)
+    deadline = time.time() + TIMEOUT_S
+    try:
+        while shard_entries(ledger) < 4:
+            if proc.poll() is not None:
+                raise AssertionError("mitigated run finished before it "
+                                     "could be killed; shrink the kill "
+                                     "threshold")
+            if time.time() > deadline:
+                raise AssertionError("timed out waiting for mitigated "
+                                     "shard entries")
+            time.sleep(0.02)
+    finally:
+        if proc.poll() is None:
+            os.killpg(proc.pid, signal.SIGKILL)
+            proc.wait()
+    print(f"killed mitigated run mid-sweep with {shard_entries(ledger)} "
+          f"shard entr(ies) and {ok_entries(ledger)} cell(s) ledgered")
+
+    # Mitigation identity is part of the run: restating a *different*
+    # --mitigate on resume must be refused, never spliced.
+    bad = repro("resume", "mit", "--store", str(tmp / "mit"),
+                "--mitigate", "mix")
+    assert bad.returncode != 0, (
+        "resume with a mismatched --mitigate must fail:\n" + bad.stdout)
+    assert ok_entries(ledger) < mit_total, \
+        "mismatched resume made progress on the run"
+    print("mismatched --mitigate on resume refused "
+          f"(exit {bad.returncode})")
+
+    res = repro("resume", "mit", "--store", str(tmp / "mit"))
+    assert res.returncode == 0, \
+        f"mitigated resume failed:\n{res.stdout}\n{res.stderr}"
+    assert ok_entries(ledger) == mit_total, (
+        f"mitigated resume incomplete: {ok_entries(ledger)}/{mit_total}")
+    dup_shards, dup_evals = duplicated_shards(ledger), duplicated_evals(ledger)
+    assert not dup_shards, f"mitigated resume recomputed shard(s): {dup_shards}"
+    assert not dup_evals, f"mitigated resume re-ledgered cell(s): {dup_evals}"
+    mit_table = full_table(res.stdout, rows=2)
+    assert mit_table == refm_table, (
+        "resumed robustness-vs-mitigation table differs from the "
+        "uninterrupted run:\n"
+        + "\n".join(refm_table) + "\n---\n" + "\n".join(mit_table))
+    print("mitigated resume reproduced the robustness-vs-mitigation table "
+          "byte-for-byte; no cell or shard ledgered twice")
     print("crash-resume smoke: PASS")
     return 0
 

@@ -7,11 +7,10 @@ accuracy pays heavily and decode/resize SysNoise does not improve.
 
 import numpy as np
 
-import repro.nn as nn
 from common import SCALE, SIZES, get_cls_dataset, write_result
-from repro.core import (TRAIN_CONFIG, preprocess_dataset,
-                        train_classification_model)
-from repro.mitigation import AUGMENTATIONS, adversarial_train, get_augmentation
+from repro.core import TRAIN_CONFIG, preprocess_dataset
+from repro.core.mitigations import mitigation_identity, mitigation_train
+from repro.mitigation import AUGMENTATIONS
 from repro.models import create_model
 from repro.nn import evaluate_classifier
 
@@ -38,21 +37,26 @@ def _run_fig4():
     epochs = max(SIZES["epochs"] - 10, 8)
     strategies = (["standard", "augmix"] if SCALE == "smoke"
                   else list(AUGMENTATIONS))
-    x = preprocess_dataset(train.streams, train.input_size, TRAIN_CONFIG)
     build = lambda: create_model("resnet18x0.25",
                                  num_classes=train.num_classes, seed=0)
+    # Every model trains through a registered mitigation — the same hooks
+    # `repro run --mitigate augment:<name>` / `--mitigate adversarial`
+    # dispatch.  "standard" augmentation is the plain-training baseline.
+    fit = lambda m, mit, ep: mitigation_train(
+        mit, None, m, train, model_name="resnet18x0.25", seed=0, epochs=ep)
     aug_rows = {}
     for name in strategies:
         model = cached_model(
             f"fig4-{name}", build,
-            lambda m, name=name: nn.train_classifier(
-                m, x, train.labels,
-                nn.TrainConfig(epochs=epochs, batch_size=32, lr=0.1),
-                transform=get_augmentation(name)))
+            lambda m, name=name: fit(
+                m, mitigation_identity(f"augment:{name}"), epochs))
         aug_rows[name] = _deltas(model, val)
 
-    # (b) adversarial training
+    # (b) adversarial training, against an *untransformed* plain baseline
+    # (trained with the core primitive — no mitigation, no augmentation)
+    import repro.nn as nn
     adv_rows = {}
+    x = preprocess_dataset(train.streams, train.input_size, TRAIN_CONFIG)
     plain = cached_model(
         "fig4-plain", build,
         lambda m: nn.train_classifier(
@@ -61,10 +65,8 @@ def _run_fig4():
     adv_rows["resnet18x0.25"] = _deltas(plain, val)
     adv = cached_model(
         "fig4-adv", build,
-        lambda m: adversarial_train(
-            m, x, train.labels,
-            nn.TrainConfig(epochs=max(epochs // 2, 5), batch_size=32, lr=0.05),
-            epsilon=8 / 255, pgd_steps=2))
+        lambda m: fit(m, mitigation_identity("adversarial", pgd_steps=2),
+                      max(epochs // 2, 5)))
     adv_rows["resnet18x0.25-adv"] = _deltas(adv, val)
     return aug_rows, adv_rows
 

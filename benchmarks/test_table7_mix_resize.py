@@ -8,9 +8,9 @@ accuracy.
 
 import numpy as np
 
-import repro.nn as nn
 from common import SCALE, SIZES, get_cls_dataset, write_result
-from repro.mitigation import cross_variant_matrix, train_with_mix
+from repro.core.mitigations import mitigation_identity, mitigation_train
+from repro.mitigation import cross_variant_matrix
 
 RESIZES_FULL = ["pillow-bilinear", "pillow-nearest", "pillow-bicubic",
                 "cv-nearest", "cv-bilinear", "cv-bicubic"]
@@ -22,20 +22,20 @@ def _run_table7():
     from repro.models import create_model
     train, val = get_cls_dataset()
     resizes = RESIZES_SMOKE if SCALE == "smoke" else RESIZES_FULL
-    cfg = lambda: nn.TrainConfig(epochs=max(SIZES["epochs"] - 10, 8),
-                                 batch_size=32, lr=0.1)
+    epochs = max(SIZES["epochs"] - 10, 8)
+    # The registered `mix` mitigation — the same hook `repro run --mitigate
+    # mix` dispatches; a single-kernel pool is fixed-resize training.
+    fit = lambda m, pool: mitigation_train(
+        mitigation_identity("mix", resizes=pool, lr=0.1), None, m, train,
+        model_name="resnet18x0.25", seed=0, epochs=epochs)
     build = lambda: create_model("resnet18x0.25",
                                  num_classes=train.num_classes, seed=0)
     models = {}
     for r in resizes:
-        models[r] = cached_model(
-            f"t7-{r}", build,
-            lambda m, r=r: train_with_mix("resnet18x0.25", train, resizes=[r],
-                                          cfg=cfg(), model=m))
-    models["mix"] = cached_model(
-        "t7-mix", build,
-        lambda m: train_with_mix("resnet18x0.25", train, resizes=resizes,
-                                 cfg=cfg(), model=m))
+        models[r] = cached_model(f"t7-{r}", build,
+                                 lambda m, r=r: fit(m, [r]))
+    models["mix"] = cached_model("t7-mix", build,
+                                 lambda m: fit(m, resizes))
     return cross_variant_matrix(models, val, resizes, axis="resize"), resizes
 
 

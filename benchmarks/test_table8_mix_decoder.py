@@ -2,9 +2,9 @@
 
 import numpy as np
 
-import repro.nn as nn
 from common import SIZES, get_cls_dataset, write_result
-from repro.mitigation import cross_variant_matrix, train_with_mix
+from repro.core.mitigations import mitigation_identity, mitigation_train
+from repro.mitigation import cross_variant_matrix
 
 DECODERS = ["pil", "opencv", "ffmpeg"]
 
@@ -13,20 +13,18 @@ def _run_table8():
     from common import cached_model
     from repro.models import create_model
     train, val = get_cls_dataset()
-    cfg = lambda: nn.TrainConfig(epochs=max(SIZES["epochs"] - 10, 8),
-                                 batch_size=32, lr=0.1)
+    epochs = max(SIZES["epochs"] - 10, 8)
+    fit = lambda m, pool: mitigation_train(
+        mitigation_identity("mix", decoders=pool, lr=0.1), None, m, train,
+        model_name="resnet18x0.25", seed=0, epochs=epochs)
     build = lambda: create_model("resnet18x0.25",
                                  num_classes=train.num_classes, seed=0)
     models = {}
     for d in DECODERS:
-        models[d] = cached_model(
-            f"t8-{d}", build,
-            lambda m, d=d: train_with_mix("resnet18x0.25", train, decoders=[d],
-                                          cfg=cfg(), model=m))
-    models["mix"] = cached_model(
-        "t8-mix", build,
-        lambda m: train_with_mix("resnet18x0.25", train, decoders=DECODERS,
-                                 cfg=cfg(), model=m))
+        models[d] = cached_model(f"t8-{d}", build,
+                                 lambda m, d=d: fit(m, [d]))
+    models["mix"] = cached_model("t8-mix", build,
+                                 lambda m: fit(m, DECODERS))
     return cross_variant_matrix(models, val, DECODERS, axis="decoder")
 
 

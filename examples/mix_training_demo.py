@@ -5,12 +5,17 @@ sampling a random kernel per batch — and prints the cross-variant accuracy
 matrix.  The mix-trained row should be visibly flatter (smaller std), the
 paper's Table 7 result.
 
+Both models train through the registered ``mix`` mitigation
+(:mod:`repro.core.mitigations`), the same code path ``repro run --mitigate
+mix`` and ``BenchmarkSession.mitigate("mix", ...)`` use; the "fixed" model
+is just a mix whose resize pool has one entry.
+
 Run:  python examples/mix_training_demo.py
 """
 
-import repro.nn as nn
+from repro.core.mitigations import mitigation_identity, mitigation_train
 from repro.data import make_classification_dataset
-from repro.mitigation import cross_variant_matrix, train_with_mix
+from repro.mitigation import cross_variant_matrix
 
 RESIZES = ["pillow-bilinear", "pillow-nearest", "cv-bilinear", "cv-nearest"]
 
@@ -18,12 +23,15 @@ RESIZES = ["pillow-bilinear", "pillow-nearest", "cv-bilinear", "cv-nearest"]
 def main():
     ds = make_classification_dataset(n=240, native_size=40, input_size=32,
                                      seed=0)
-    cfg = lambda: nn.TrainConfig(epochs=30, batch_size=32, lr=0.1)
+    train = lambda mit: mitigation_train(mit, None, None, ds,
+                                         model_name="resnet18x0.25",
+                                         seed=0, epochs=30)
 
     print("Training fixed-resize model (pillow-bilinear only)...")
-    fixed = train_with_mix("resnet18x0.25", ds, resizes=None, cfg=cfg())
+    fixed = train(mitigation_identity("mix", resizes=["pillow-bilinear"],
+                                      lr=0.1))
     print("Training mix-resize model (random kernel per batch)...")
-    mixed = train_with_mix("resnet18x0.25", ds, resizes=RESIZES, cfg=cfg())
+    mixed = train(mitigation_identity("mix", resizes=RESIZES, lr=0.1))
 
     table = cross_variant_matrix({"fixed": fixed, "mix": mixed}, ds,
                                  RESIZES, axis="resize")

@@ -7,6 +7,8 @@ without writing Python:
 ``noises``         The pluggable noise registry (stage, tasks, variant count);
                    ``--import`` pulls in modules registering custom sources.
 ``tasks``          The task-adapter registry (metric, applicable noises).
+``mitigations``    The mitigation registry (stage, tasks, parameters) —
+                   the accepted values for ``--mitigate``.
 ``list-noises``    The Table-1 taxonomy and the deployment variants per type.
 ``list-models``    The model zoo (family, parameter count, capability flags).
 ``list-backends``  Vendor backend personas and their implementation options.
@@ -47,8 +49,11 @@ without writing Python:
                    ledger (see ``docs/serving.md``).
 =================  ==========================================================
 
-``noises``, ``tasks``, and ``report`` accept ``--json`` for machine-readable
-output, produced by the same serializers the serve API uses.
+``noises``, ``tasks``, ``mitigations``, and ``report`` accept ``--json`` for
+machine-readable output, produced by the same serializers the serve API uses.
+
+``run`` and ``resume`` accept ``--mitigate NAME[:K=V,...]`` (repeatable) to
+sweep mitigation rows alongside the clean row (see ``docs/mitigations.md``).
 
 Every command accepts ``--help``.  Exit status is 0 on success, 2 on bad
 arguments (argparse convention).

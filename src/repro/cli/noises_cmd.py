@@ -41,6 +41,14 @@ def register(sub: argparse._SubParsersAction) -> None:
                         "GET /v1/tasks on the serve API)")
     p.set_defaults(func=cmd_tasks)
 
+    p = sub.add_parser("mitigations",
+                       help="list the mitigation registry (name, stage, "
+                            "tasks, parameters) — values for --mitigate")
+    p.add_argument("--json", action="store_true", dest="as_json",
+                   help="machine-readable output (same serializer as "
+                        "GET /v1/mitigations on the serve API)")
+    p.set_defaults(func=cmd_mitigations)
+
 
 def cmd_noises(args: argparse.Namespace) -> int:
     from repro.core import iter_noises
@@ -84,6 +92,31 @@ def cmd_noises(args: argparse.Namespace) -> int:
         if args.variants:
             for v in src.variants():
                 print(f"    - {v}")
+    return 0
+
+
+def cmd_mitigations(args: argparse.Namespace) -> int:
+    from repro.core.mitigations import iter_mitigations
+
+    if getattr(args, "as_json", False):
+        import json
+
+        from repro.serve.serializers import mitigations_doc
+        print(json.dumps(mitigations_doc(), indent=2, default=repr))
+        return 0
+    headers = ["name", "stage", "tasks", "parameters (defaults)"]
+    rows = []
+    for spec in iter_mitigations():
+        name = f"{spec.name}:<arg>" if spec.takes_arg else spec.name
+        params = ", ".join(f"{k}={v!r}" for k, v in spec.defaults.items())
+        rows.append([name, spec.stage, "/".join(spec.tasks), params or "-"])
+    widths = [max(len(h), *(len(r[i]) for r in rows))
+              for i, h in enumerate(headers)]
+    fmt = lambda cells: "  ".join(c.ljust(w) for c, w in zip(cells, widths))
+    print(fmt(headers))
+    print(fmt(["-" * w for w in widths]))
+    for row in rows:
+        print(fmt(row))
     return 0
 
 

@@ -19,6 +19,55 @@ __all__ = ["register"]
 
 _DATA_DEFAULTS = dict(native_size=48, input_size=32)
 
+_MITIGATE_HELP = ("mitigation to sweep alongside the clean row, e.g. "
+                  "`tent`, `tent:steps=2,lr=0.01`, `augment:augmix`, "
+                  "`mix` (repeatable; see `repro mitigations`)")
+
+
+def _parse_mitigate(text: str) -> tuple[str, dict]:
+    """``name[:key=val,...]`` → ``(name, params)`` with coerced values.
+
+    The mitigation name may itself contain a ``:`` suffix (``augment:augmix``),
+    so the parameter segment is only split off when it contains ``=``:
+    ``augment:augmix:lr=0.2`` → ``("augment:augmix", {"lr": 0.2})``.
+    """
+    name, params = text, {}
+    head, _, tail = text.rpartition(":")
+    if "=" in tail:
+        name = head
+        for pair in tail.split(","):
+            key, eq, raw = pair.partition("=")
+            if not eq or not key:
+                raise ValueError(f"malformed mitigation parameter {pair!r} "
+                                 f"in {text!r} (expected key=value)")
+            params[key] = _coerce(raw)
+    if not name:
+        raise ValueError(f"malformed mitigation spec {text!r}")
+    return name, params
+
+
+def _coerce(raw: str):
+    if raw.lower() in ("true", "false"):
+        return raw.lower() == "true"
+    for cast in (int, float):
+        try:
+            return cast(raw)
+        except ValueError:
+            continue
+    return raw
+
+
+def _apply_mitigations(session, texts) -> int:
+    """Apply ``--mitigate`` specs to a session; 0 on success, 2 on error."""
+    for text in texts or ():
+        try:
+            name, params = _parse_mitigate(text)
+            session.mitigate(name, **params)
+        except ValueError as exc:
+            print(f"error: {exc}")
+            return 2
+    return 0
+
 
 def register(sub: argparse._SubParsersAction) -> None:
     p = sub.add_parser("run",
@@ -47,6 +96,8 @@ def register(sub: argparse._SubParsersAction) -> None:
                    help="create the run and train/checkpoint the model, then "
                         "exit without sweeping — the handoff point for "
                         "`repro worker` fleets")
+    p.add_argument("--mitigate", action="append", default=None,
+                   metavar="NAME[:K=V,...]", help=_MITIGATE_HELP)
     _add_engine_args(p)
     p.set_defaults(func=cmd_run)
 
@@ -63,6 +114,11 @@ def register(sub: argparse._SubParsersAction) -> None:
     p.add_argument("--mode", choices=("thread", "process", "shared"),
                    default=None,
                    help="override the recorded worker pool flavour")
+    p.add_argument("--mitigate", action="append", default=None,
+                   metavar="NAME[:K=V,...]",
+                   help="must match the run's recorded mitigations exactly "
+                        "(omit to inherit them); a different set is a "
+                        "different run — create one instead of resuming")
     p.set_defaults(func=cmd_resume)
 
 
@@ -111,6 +167,8 @@ def cmd_run(args: argparse.Namespace) -> int:
         getattr(args, "shard_size", None))
     session.noises(*noises).combined(not args.no_combined)
     _apply_zoo_skips(session, args.model)
+    if _apply_mitigations(session, args.mitigate):
+        return 2
     session.store(args.store, run_id=args.run_id,
                   data=data_kw,              # part of the resume identity
                   cli={"model": args.model, "data": data_kw,
@@ -119,7 +177,8 @@ def cmd_run(args: argparse.Namespace) -> int:
                        "mode": getattr(args, "mode", "thread"),
                        "batch_size": args.batch_size,
                        "shard_size": getattr(args, "shard_size", None),
-                       "retries": args.retries})
+                       "retries": args.retries,
+                       "mitigate": list(args.mitigate or ())})
     try:
         ledger = session.ledger            # creates or resumes the run
     except ValueError as exc:
@@ -169,6 +228,30 @@ def cmd_resume(args: argparse.Namespace) -> int:
         cli.get("shard_size"))
     session.noises(*manifest["noises"]).skip(*manifest.get("skip", ()))
     session.combined(manifest.get("include_combined", True))
+    # Mitigations are run identity, never an override: a resume either
+    # inherits the recorded set or restates it exactly.  Splicing cells
+    # evaluated under different mitigations into one ledger would corrupt
+    # every row of the final table.
+    recorded = list(manifest.get("mitigations", ()))
+    if args.mitigate is not None:
+        from repro.core.mitigations import mitigation_identity
+        try:
+            requested = []
+            for text in args.mitigate:
+                name, params = _parse_mitigate(text)
+                requested.append(mitigation_identity(name, **params))
+        except ValueError as exc:
+            print(f"error: {exc}")
+            return 2
+        if sorted(map(repr, requested)) != sorted(map(repr, recorded)):
+            print(f"error: run {args.run_id!r} was created with mitigations "
+                  f"{[m['name'] for m in recorded]} but --mitigate requests "
+                  f"{[m['name'] for m in requested]} (or different "
+                  f"parameters); a different mitigation set is a different "
+                  f"run — start one with `repro run --mitigate ...`")
+            return 2
+    for mit in recorded:
+        session.mitigate(mit["name"], **mit.get("params", {}))
     session.store(store, run_id=args.run_id, data=cli["data"], cli=cli)
     ledger = session.ledger                # the single ledger replay
     before = ledger.counts()

@@ -69,6 +69,11 @@ def cmd_worker(args: argparse.Namespace) -> int:
     session.lease(args.lease_ttl, args.max_claims)
     session.noises(*manifest["noises"]).skip(*manifest.get("skip", ()))
     session.combined(manifest.get("include_combined", True))
+    # Workers inherit the run's mitigation axis from the manifest — the
+    # identities there are already resolved, so every worker derives the
+    # same mitigated ledger keys (and the same mitigation checkpoints).
+    for mit in manifest.get("mitigations", ()):
+        session.mitigate(mit["name"], **mit.get("params", {}))
     session.store(store, run_id=args.run_id, data=cli["data"], cli=cli)
     ledger = session.ledger
     before = ledger.counts()
@@ -77,15 +82,20 @@ def cmd_worker(args: argparse.Namespace) -> int:
     # (Retraining here — the resume path's fallback — is not safe either:
     # peers may be mid-sweep on the *recorded* weights right now.)
     from repro.core import verify_checkpoint
-    check = verify_checkpoint(ledger)
-    if check["status"] == "mismatch":
-        print(f"error: checkpoint {ledger.path / 'weights.npz'} fails its "
-              f"recorded content digest (recorded "
-              f"{str(check['recorded'])[:12]}..., actual "
-              f"{str(check['actual'])[:12]}...) — refusing to join run "
-              f"{args.run_id}; run `repro fsck {args.run_id} --store "
-              f"{args.store} --repair` and re-prepare")
-        return 2
+    from repro.core.mitigations import checkpoint_name, mitigation_stage
+    names = ["weights.npz"] + [checkpoint_name(m)
+                               for m in manifest.get("mitigations", ())
+                               if mitigation_stage(m) == "train"]
+    for name in names:
+        check = verify_checkpoint(ledger, name=name)
+        if check["status"] == "mismatch":
+            print(f"error: checkpoint {ledger.path / name} fails its "
+                  f"recorded content digest (recorded "
+                  f"{str(check['recorded'])[:12]}..., actual "
+                  f"{str(check['actual'])[:12]}...) — refusing to join run "
+                  f"{args.run_id}; run `repro fsck {args.run_id} --store "
+                  f"{args.store} --repair` and re-prepare")
+            return 2
     # Loads the prepared checkpoint; if the run was not prepared, every
     # worker trains the same deterministic weights (slower, still correct —
     # the checkpoint publish is atomic and last-writer-wins-identically).

@@ -29,6 +29,11 @@ from .interaction import (InteractionMatrix, pairwise_interaction,
                           render_interaction)
 from .metrics import (Accuracy, MeanAP, MeanIoU, MeanScores,
                       MetricAccumulator, accumulator_from_state)
+from .mitigations import (MitigationSpec, checkpoint_name, get_mitigation,
+                          iter_mitigations, mitigated_digest,
+                          mitigation_identity, mitigation_names,
+                          mitigation_stage, register_mitigation,
+                          temporary_mitigation, unregister_mitigation)
 from .noise import NoiseConfig, NoiseSpec, TRAIN_CONFIG
 from .pipeline import (apply_model_noise, decode_dataset, decode_shards,
                        normalize, preprocess, preprocess_dataset,
@@ -64,6 +69,11 @@ __all__ = [
     "TaskAdapter", "register_task", "unregister_task", "get_task",
     "task_names", "evaluate_for_task", "evaluate_partial_for_task",
     "NLPDataset",
+    # mitigation registry
+    "MitigationSpec", "register_mitigation", "unregister_mitigation",
+    "temporary_mitigation", "get_mitigation", "mitigation_names",
+    "iter_mitigations", "mitigation_identity", "mitigation_stage",
+    "mitigated_digest", "checkpoint_name",
     # session facade + sweep engine
     "BenchmarkSession", "Session", "SessionResult", "SweepEngine",
     "SweepCancelled",

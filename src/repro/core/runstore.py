@@ -209,7 +209,8 @@ def run_manifest(*, task: str, model: str, seed: int, noises,
 #: when both manifests carry it, so callers that don't record ``data`` (or
 #: ledgers from before the geometry field existed) are unaffected.
 _IDENTITY_FIELDS = ("task", "model", "seed", "noises", "skip",
-                    "include_combined", "data", "eval_geometry")
+                    "include_combined", "data", "eval_geometry",
+                    "mitigations")
 
 
 # ---------------------------------------------------------------------------
@@ -1129,9 +1130,12 @@ def expected_cells(manifest: dict) -> int | None:
     """How many eval cells a complete run of ``manifest`` produces.
 
     1 baseline + one cell per variant of every non-skipped noise + 1
-    combined config when ``include_combined``.  Returns ``None`` when a
-    noise in the manifest is not registered in this process (its variant
-    count is unknowable), in which case completeness cannot be judged.
+    combined config when ``include_combined`` — multiplied by one clean
+    axis plus one axis per mitigation in the manifest (each mitigation
+    re-evaluates the full grid under its own ledger identity).  Returns
+    ``None`` when a noise in the manifest is not registered in this
+    process (its variant count is unknowable), in which case completeness
+    cannot be judged.
     """
     from .registry import get_noise
 
@@ -1145,7 +1149,7 @@ def expected_cells(manifest: dict) -> int | None:
             return None
     if manifest.get("include_combined", True):
         total += 1
-    return total
+    return total * (1 + len(manifest.get("mitigations", ())))
 
 
 def run_info(ledger: RunLedger) -> dict:
@@ -1205,9 +1209,15 @@ def ledger_table(ledger: RunLedger, title: str | None = None) -> str:
     (variant sets are deterministic), so no per-variant metadata beyond the
     config digest is needed.  Cells whose evaluation failed — or has not run
     yet in a partially complete run — render as ``!``.
+
+    Runs swept with mitigations render one extra row per mitigation
+    (labelled ``<model>+<mitigation>``), looked up under that mitigation's
+    folded ledger identity — the robustness-vs-mitigation comparison the
+    paper's Tables 6–8 make, clean Δ against mitigated Δ per noise family.
     """
     import numpy as np
 
+    from .mitigations import mitigated_digest
     from .noise import TRAIN_CONFIG
     from .registry import combined_config, get_noise
     from .report import render_table
@@ -1236,47 +1246,55 @@ def ledger_table(ledger: RunLedger, title: str | None = None) -> str:
             continue
         (ok if entry.get("status") == "ok" else err)[entry["cfg"]] = entry
 
-    def cell(cfg) -> tuple[float, str | None]:
-        digest = config_digest(cfg)
-        hit = ok.get(digest)
-        if hit is not None:
-            return float(hit["value"]), None
-        failed = err.get(digest)
-        return float("nan"), (failed["error"] if failed else "not evaluated")
+    def build_row(mitigation: dict | None) -> dict:
+        def cell(cfg) -> tuple[float, str | None]:
+            digest = mitigated_digest(cfg, mitigation)
+            hit = ok.get(digest)
+            if hit is not None:
+                return float(hit["value"]), None
+            failed = err.get(digest)
+            return float("nan"), (failed["error"] if failed
+                                  else "not evaluated")
 
-    baseline, baseline_err = cell(TRAIN_CONFIG)
-    row: dict = {"trained": baseline, "noises": {}}
-    applicable: list[str] = []
-    for name in noises:
-        if name in skip:
-            row["noises"][name] = None
-            continue
-        try:
-            src = get_noise(name)
-        except ValueError:
-            # A custom noise registered by the run's script but absent from
-            # this process's registry: its variant configs cannot be
-            # reconstructed, so the column renders as failed, not a crash.
-            row["noises"][name] = NoiseResult(
-                name, baseline, [float("nan")],
-                {0: "noise type not registered in this process"})
-            continue
-        applicable.append(name)
-        values: list[float] = []
-        errors: dict[int, str] = {}
-        for i, variant in enumerate(src.variants()):
-            value, error = cell(src.apply(TRAIN_CONFIG, variant))
-            values.append(value)
-            if error is not None:
-                errors[i] = error
-        row["noises"][name] = NoiseResult(name, baseline, values, errors)
-    if manifest.get("include_combined", True):
-        combined, combined_err = cell(combined_config(applicable))
-        row["combined"] = (float("nan") if combined_err is not None
-                           or np.isnan(baseline)
-                           else baseline - combined)
+        baseline, _ = cell(TRAIN_CONFIG)
+        row: dict = {"trained": baseline, "noises": {}}
+        applicable: list[str] = []
+        for name in noises:
+            if name in skip:
+                row["noises"][name] = None
+                continue
+            try:
+                src = get_noise(name)
+            except ValueError:
+                # A custom noise registered by the run's script but absent
+                # from this process's registry: its variant configs cannot
+                # be reconstructed, so the column renders as failed, not a
+                # crash.
+                row["noises"][name] = NoiseResult(
+                    name, baseline, [float("nan")],
+                    {0: "noise type not registered in this process"})
+                continue
+            applicable.append(name)
+            values: list[float] = []
+            errors: dict[int, str] = {}
+            for i, variant in enumerate(src.variants()):
+                value, error = cell(src.apply(TRAIN_CONFIG, variant))
+                values.append(value)
+                if error is not None:
+                    errors[i] = error
+            row["noises"][name] = NoiseResult(name, baseline, values, errors)
+        if manifest.get("include_combined", True):
+            combined, combined_err = cell(combined_config(applicable))
+            row["combined"] = (float("nan") if combined_err is not None
+                               or np.isnan(baseline)
+                               else baseline - combined)
+        return row
+
+    rows = {label: build_row(None)}
+    for mit in manifest.get("mitigations", ()):
+        rows[f"{label}+{mit['name']}"] = build_row(mit)
 
     title = title or (f"SysNoise run {ledger.run_id} — {label} "
                       f"({manifest.get('task', '?')})")
-    return render_table({label: row}, noises,
+    return render_table(rows, noises,
                         manifest.get("metric", "metric"), title)

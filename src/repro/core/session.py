@@ -38,9 +38,12 @@ canonical registry-driven engines; the functions of the same name in
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from .cache import DecodeCache, EvalCache
+from .mitigations import (checkpoint_name, get_mitigation,
+                          mitigation_identity, mitigation_stage,
+                          mitigation_train)
 from .noise import NoiseConfig, TRAIN_CONFIG
 from .registry import get_noise
 from .sweep import (NoiseResult, SweepEngine, noise_row, sweep_noise,
@@ -68,6 +71,10 @@ class SessionResult:
     combined: float | None = None
     #: Ledger run id when the session was attached to a RunStore.
     run_id: str | None = None
+    #: Mitigated rows: mitigation name -> ``noise_row`` dict.  The clean
+    #: fields above stay the unmitigated row, so pre-mitigation callers
+    #: keep reading exactly what they always did.
+    mitigated: dict[str, dict] = field(default_factory=dict)
 
     def row(self) -> dict:
         """The legacy ``noise_row`` dict shape (render_table input)."""
@@ -76,11 +83,22 @@ class SessionResult:
             row["combined"] = self.combined
         return row
 
+    def rows(self) -> dict[str, dict]:
+        """All table rows: the clean row plus one per mitigation.
+
+        This is the paper-style robustness-vs-mitigation view — the clean
+        Δ per noise sits directly above each mitigation's Δ.
+        """
+        out = {self.label: self.row()}
+        for name, row in self.mitigated.items():
+            out[f"{self.label}+{name}"] = row
+        return out
+
     def render(self, title: str | None = None) -> str:
-        """Paper-style text table for this row."""
+        """Paper-style text table (one row per mitigation axis value)."""
         from .report import render_table
         title = title or f"SysNoise sweep — {self.label} ({self.task})"
-        return render_table({self.label: self.row()}, list(self.noises),
+        return render_table(self.rows(), list(self.noises),
                             self.metric, title)
 
     def worst(self) -> tuple[str, float] | None:
@@ -110,6 +128,9 @@ class BenchmarkSession:
         self._noises: list[str] | None = None
         self._skip: set[str] = set()
         self._include_combined = True
+        self._mitigations: list[dict] = []
+        self._mitigated_models: dict[str, object] = {}
+        self._fit_epochs = 15
         self._seed = 0
         self._workers = workers
         self._batch_size = batch_size
@@ -184,6 +205,31 @@ class BenchmarkSession:
 
     def combined(self, include: bool = True) -> "BenchmarkSession":
         self._include_combined = include
+        return self
+
+    def mitigate(self, name: str, **params) -> "BenchmarkSession":
+        """Add a mitigation axis value (repeatable; see ``repro mitigations``).
+
+        ``name`` is a registered mitigation — ``mix``, ``augment:<strategy>``,
+        ``adversarial`` (train-time: the run trains a second model through
+        the mitigation and sweeps it next to the clean one) or ``tent``
+        (test-time: the clean model is re-swept through the mitigation's
+        streaming hook).  :meth:`run` then produces one table row per axis
+        value — the clean row plus one per mitigation — and, with a store
+        attached, every mitigated cell is ledgered under a digest that folds
+        the mitigation identity in, so resume/shared workers can never
+        splice mitigated and unmitigated results.
+        """
+        identity = mitigation_identity(name, **params)
+        spec = get_mitigation(name)
+        task = self._task_name or "?"
+        if spec.tasks and task not in spec.tasks:
+            raise ValueError(f"mitigation {name!r} does not support task "
+                             f"{task!r}; it supports {list(spec.tasks)}")
+        if identity in self._mitigations:
+            raise ValueError(f"mitigation {name!r} with these parameters is "
+                             f"already on the session's axis")
+        self._mitigations.append(identity)
         return self
 
     def workers(self, n: int | None,
@@ -288,6 +334,8 @@ class BenchmarkSession:
             raise ValueError("no training data: pass fit(train_ds) or use "
                              ".data(..., train_frac=...)")
         model = self._ensure_model(ds)
+        if "epochs" in train_kw:
+            self._fit_epochs = train_kw["epochs"]
         if self._task_name == "cls":
             self.adapter.train(model, ds, cfg, model_name=self._model_name,
                                **train_kw)
@@ -338,7 +386,10 @@ class BenchmarkSession:
             raise ValueError("fit_or_load needs a run directory for the "
                              "checkpoint: call .store(...) first")
         log = log or (lambda msg: None)
+        if epochs is not None:
+            self._fit_epochs = epochs
         ckpt = ledger.path / "weights.npz"
+        loaded = False
         if ckpt.exists():
             check = verify_checkpoint(ledger)
             if check["status"] == "mismatch":
@@ -355,22 +406,71 @@ class BenchmarkSession:
                     self.trained_model.eval()
                     log(f"loaded trained weights from {ckpt} "
                         f"(digest {check['status']})")
-                    return self
+                    loaded = True
                 except Exception as exc:       # noqa: BLE001 — torn file
                     log(f"warning: checkpoint {ckpt} unreadable ({exc}); "
                         f"retraining deterministically")
                     self._model = None         # discard the half-loaded model
-        if epochs is not None:
-            train_kw["epochs"] = epochs
-        log(f"training {self._label} "
-            f"(epochs={train_kw.get('epochs', '?')}) ...")
-        self.fit(**train_kw)
-        # Atomic publish (numpy appends .npz to the temp name itself).
-        tmp = save_checkpoint(self.trained_model,
-                              ckpt.with_name("weights.tmp"))
-        os.replace(tmp, ckpt)
-        ledger.record_checkpoint(ckpt)
+        if not loaded:
+            if epochs is not None:
+                train_kw["epochs"] = epochs
+            log(f"training {self._label} "
+                f"(epochs={train_kw.get('epochs', '?')}) ...")
+            self.fit(**train_kw)
+            # Atomic publish (numpy appends .npz to the temp name itself).
+            tmp = save_checkpoint(self.trained_model,
+                                  ckpt.with_name("weights.tmp"))
+            os.replace(tmp, ckpt)
+            ledger.record_checkpoint(ckpt)
+        self._fit_or_load_mitigated(ledger, log)
         return self
+
+    def _fit_or_load_mitigated(self, ledger, log) -> None:
+        """Per-mitigation checkpoints next to the clean ``weights.npz``.
+
+        Each train-time mitigation publishes under its own identity-keyed
+        name (see :func:`~repro.core.mitigations.checkpoint_name`) with the
+        same atomic-save + recorded-digest protocol, so a mitigated retrain
+        can never clobber the clean weights and resume verifies each
+        checkpoint independently.
+        """
+        import os
+
+        from repro.nn import load_checkpoint, save_checkpoint
+
+        from .integrity import verify_checkpoint
+
+        for mit in self._mitigations:
+            if mitigation_stage(mit) != "train":
+                continue
+            key = _mitigation_key(mit)
+            name = checkpoint_name(mit)
+            ckpt = ledger.path / name
+            if ckpt.exists():
+                check = verify_checkpoint(ledger, name=name)
+                if check["status"] == "mismatch":
+                    log(f"warning: checkpoint {ckpt} fails its recorded "
+                        f"content digest; refusing it and retraining "
+                        f"deterministically")
+                else:
+                    try:
+                        model = self._build_fresh_model()
+                        load_checkpoint(model, ckpt)
+                        model.eval()
+                        self._mitigated_models[key] = model
+                        log(f"loaded {mit['name']} weights from {ckpt} "
+                            f"(digest {check['status']})")
+                        continue
+                    except Exception as exc:   # noqa: BLE001 — torn file
+                        log(f"warning: checkpoint {ckpt} unreadable "
+                            f"({exc}); retraining deterministically")
+                        self._mitigated_models.pop(key, None)
+            log(f"training {self._label} with mitigation {mit['name']} "
+                f"(epochs={self._fit_epochs}) ...")
+            model = self._train_mitigated(mit)
+            tmp = save_checkpoint(model, ckpt.with_name(ckpt.stem + ".tmp"))
+            os.replace(tmp, ckpt)
+            ledger.record_checkpoint(ckpt)
 
     def _stored_entries(self) -> int:
         """Ledger entry count without creating the run directory."""
@@ -400,6 +500,48 @@ class BenchmarkSession:
                                                    seed=self._seed, **kw)
         return self._model
 
+    def _build_fresh_model(self):
+        """A fresh untrained model for a per-mitigation training run."""
+        if self._model_name is None:
+            raise ValueError("train-time mitigations retrain from scratch "
+                             "and need a model *name*, not an instance: "
+                             "call .model('<zoo name>')")
+        ds = self._train_ds if self._train_ds is not None else self._eval_ds
+        kw = dict(self._build_kw)
+        if ds is not None and hasattr(ds, "num_classes"):
+            kw.setdefault("num_classes", ds.num_classes)
+        return self.adapter.build_model(self._model_name, seed=self._seed,
+                                        **kw)
+
+    def _train_mitigated(self, mitigation: dict):
+        """Train (once) the model for a train-time mitigation.
+
+        Deterministic given (model name, seed, epochs, mitigation params),
+        so a resume or shared-mode peer that has to retrain produces
+        bit-identical weights.
+        """
+        key = _mitigation_key(mitigation)
+        if key not in self._mitigated_models:
+            if self._train_ds is None:
+                raise ValueError(f"no training data for train-time "
+                                 f"mitigation {mitigation['name']!r}: use "
+                                 f".data(..., train_frac=...) or .fit(ds)")
+            model = mitigation_train(mitigation, self.adapter,
+                                     self._build_fresh_model(),
+                                     self._train_ds,
+                                     model_name=self._model_name,
+                                     seed=self._seed,
+                                     epochs=self._fit_epochs)
+            model.eval()
+            self._mitigated_models[key] = model
+        return self._mitigated_models[key]
+
+    def _mitigated_model(self, mitigation: dict):
+        """The model a mitigation's row evaluates: retrained or the clean one."""
+        if mitigation_stage(mitigation) == "test":
+            return self.trained_model
+        return self._train_mitigated(mitigation)
+
     @property
     def trained_model(self):
         return self._ensure_model(self._train_ds or self._eval_ds)
@@ -419,8 +561,12 @@ class BenchmarkSession:
 
     # -- runs ---------------------------------------------------------------
 
-    def engine(self) -> SweepEngine:
-        """The sweep engine for this session's workers + eval-cache state."""
+    def engine(self, mitigation: dict | None = None) -> SweepEngine:
+        """The sweep engine for this session's workers + eval-cache state.
+
+        ``mitigation`` scopes the engine to one axis value: its identity
+        folds into every ledger digest, cache key, and shard work unit.
+        """
         return SweepEngine(workers=self._workers, eval_cache=self.eval_cache,
                            mode=self._mode, retries=self._retries,
                            ledger=self.ledger,
@@ -431,7 +577,8 @@ class BenchmarkSession:
                            pipeline_cache=self.cache,
                            should_stop=self._should_stop,
                            lease_ttl=self._lease_ttl,
-                           max_claims=self._max_claims)
+                           max_claims=self._max_claims,
+                           mitigation=mitigation)
 
     def _selected_noises(self) -> list[str]:
         return list(self._noises if self._noises is not None
@@ -456,6 +603,10 @@ class BenchmarkSession:
                 # minibatch/shard geometry they were computed with.
                 eval_geometry={"batch_size": self._batch_size,
                                "shard_size": self._shard_size},
+                # Mitigation-axis identity: always present (possibly empty)
+                # so a resume with a *different* --mitigate set is an
+                # identity mismatch, never a silent cell splice.
+                mitigations=list(self._mitigations),
                 **self._manifest_extra)
             self._ledger_obj = self._store.open_or_create(manifest,
                                                           self._run_id)
@@ -467,13 +618,17 @@ class BenchmarkSession:
         return self._run_id
 
     def run(self) -> SessionResult:
-        """Sweep every selected noise and aggregate one table row.
+        """Sweep every selected noise and aggregate one table row per axis.
 
         With a store attached (see :meth:`store`), every completed
         evaluation is appended to the run ledger as it finishes, and
         ledger-complete entries from a previous (interrupted) run are
         skipped — so re-running after a crash re-executes at most the
         remaining evaluations and produces a bit-identical table.
+
+        With mitigations on the axis (see :meth:`mitigate`), the clean row
+        is always swept first, then one row per mitigation — clean Δ and
+        per-mitigation Δ land in the same table.
         """
         adapter, ds = self.adapter, self.eval_data
         model = self._ensure_model(ds)
@@ -482,11 +637,18 @@ class BenchmarkSession:
         row = engine.noise_row(self._eval_fn(adapter), model, ds, noises,
                                skip=self._skip,
                                include_combined=self._include_combined)
+        mitigated = {}
+        for mit in self._mitigations:
+            m_engine = self.engine(mitigation=mit)
+            mitigated[mit["name"]] = m_engine.noise_row(
+                self._eval_fn(adapter, mitigation=mit),
+                self._mitigated_model(mit), ds, noises, skip=self._skip,
+                include_combined=self._include_combined)
         return SessionResult(task=self._task_name, metric=adapter.metric_name,
                              label=self._label or "model", noises=noises,
                              baseline=row["trained"], results=row["noises"],
                              combined=row.get("combined"),
-                             run_id=self._run_id)
+                             run_id=self._run_id, mitigated=mitigated)
 
     def worst_case(self, noises=None) -> list[tuple[str, float]]:
         """The Fig.-3 cumulative stacking curve for this session."""
@@ -498,7 +660,11 @@ class BenchmarkSession:
         return self.engine().worst_case_curve(self._eval_fn(adapter), model,
                                               ds, names)
 
-    def _eval_fn(self, adapter):
+    def _eval_fn(self, adapter, mitigation: dict | None = None):
+        # Train-time mitigations act on the *model*, not the evaluation:
+        # their rows evaluate through the plain path.
+        test_mit = (mitigation if mitigation is not None
+                    and mitigation_stage(mitigation) == "test" else None)
         if self._mode == "process":
             # Process workers cannot share the session's lock-bearing
             # caches; ship a picklable adapter-registry entry point instead
@@ -507,12 +673,30 @@ class BenchmarkSession:
 
             from .tasks import evaluate_for_task
             return functools.partial(evaluate_for_task, self._task_name,
-                                     batch_size=self._batch_size)
+                                     batch_size=self._batch_size,
+                                     mitigation=test_mit)
+        if test_mit is not None:
+            from .mitigations import mitigation_partials
+
+            def evaluate_mitigated(model, ds, cfg: NoiseConfig) -> float:
+                acc = adapter.accumulator(ds)
+                for _, _, part in mitigation_partials(
+                        test_mit, adapter, model, ds, cfg, [(0, len(ds))],
+                        cache=self.cache, batch_size=self._batch_size):
+                    acc.merge(part)
+                return acc.value()
+            return evaluate_mitigated
 
         def evaluate(model, ds, cfg: NoiseConfig) -> float:
             return adapter.evaluate(model, ds, cfg, cache=self.cache,
                                     batch_size=self._batch_size)
         return evaluate
+
+
+def _mitigation_key(mitigation: dict) -> str:
+    """Stable memoisation key for a mitigation identity dict."""
+    from .runstore import config_digest
+    return config_digest(mitigation)
 
 
 #: Short alias for the fluent style: ``Session().task("cls")...``.

@@ -195,7 +195,7 @@ class SweepEngine:
                  shard_size: int | None = None, task: str | None = None,
                  batch_size: int | None = None, pipeline_cache=None,
                  should_stop=None, lease_ttl: float = 30.0,
-                 max_claims: int = 3):
+                 max_claims: int = 3, mitigation: dict | None = None):
         if mode not in ("thread", "process", "shared"):
             raise ValueError(f"mode must be 'thread', 'process' or "
                              f"'shared', got {mode!r}")
@@ -232,6 +232,19 @@ class SweepEngine:
         #: failed-poisoned.
         self.lease_ttl = float(lease_ttl)
         self.max_claims = max_claims
+        #: Mitigation identity dict (``{"name": ..., "params": {...}}``) or
+        #: None.  It folds into both the cache key and the ledger key — a
+        #: mitigated sweep never splices cells with an unmitigated one — and
+        #: when the mitigation is *test-time* it also reroutes shard
+        #: evaluation through :func:`repro.core.mitigations.mitigation_partials`
+        #: (train-time mitigations change the model, not the eval loop).
+        self.mitigation = mitigation
+        if mitigation is None:
+            self._test_mitigation = None
+        else:
+            from .mitigations import mitigation_stage
+            stage = mitigation_stage(mitigation)
+            self._test_mitigation = mitigation if stage == "test" else None
         self._workqueue = None
         self._ledger_writes_failed = False
         self.eval_cache = eval_cache if eval_cache is not None else EvalCache()
@@ -274,9 +287,13 @@ class SweepEngine:
 
     def _cache_key(self, model, ds, cfg):
         try:
-            return eval_key(model, ds, cfg)
+            base = eval_key(model, ds, cfg)
         except TypeError:
             return None
+        if self.mitigation is None:
+            return base
+        from .runstore import config_digest
+        return (base, "mitigation", config_digest(self.mitigation))
 
     def _ledger_key(self, model, ds, cfg) -> tuple | None:
         if self.ledger is None:
@@ -288,9 +305,9 @@ class SweepEngine:
             # process could collide with a *different* dataset's entries.
             # No stable identity -> no ledger for this dataset.
             return None
-        from .runstore import config_digest
+        from .mitigations import mitigated_digest
         model_key = self.model_key or type(model).__name__
-        return (model_key, token, config_digest(cfg))
+        return (model_key, token, mitigated_digest(cfg, self.mitigation))
 
     def _ledger_hit(self, lkey) -> float | None:
         if lkey is None:
@@ -371,6 +388,23 @@ class SweepEngine:
                            "without persistence — this run cannot be "
                            "resumed past the entries already on disk", exc)
 
+    def _partials(self, adapter, model, ds, cfg: NoiseConfig, bounds):
+        """Shard partials, routed through the test-time mitigation when set.
+
+        Test-time mitigations adapt per inference batch and batches are cut
+        at global offsets, so the results are identical for any shard split
+        at fixed batch geometry — serial, process and shared sweeps of the
+        same mitigated cell stay bit-identical.
+        """
+        if self._test_mitigation is not None:
+            from .mitigations import mitigation_partials
+            return mitigation_partials(
+                self._test_mitigation, adapter, model, ds, cfg, bounds,
+                cache=self.pipeline_cache, batch_size=self.batch_size)
+        return adapter.evaluate_partials(model, ds, cfg, bounds,
+                                         cache=self.pipeline_cache,
+                                         batch_size=self.batch_size)
+
     def _compute_sharded(self, plan, model, ds, cfg: NoiseConfig,
                          noise: str | None, lkey) -> float:
         """One cell through the shard pipeline, shard-granular resume.
@@ -391,9 +425,8 @@ class SweepEngine:
             else:
                 missing.append((start, stop))
         if missing:                # fully restored cells skip model prep too
-            for start, stop, part in adapter.evaluate_partials(
-                    model, ds, cfg, missing, cache=self.pipeline_cache,
-                    batch_size=self.batch_size):
+            for start, stop, part in self._partials(adapter, model, ds, cfg,
+                                                    missing):
                 self._ledger_shard_record(lkey, start, stop, part.state(),
                                           noise, cfg)
                 acc.merge(part)
@@ -664,10 +697,8 @@ class SweepEngine:
                     fault_point("sweep.shard",
                                 label=f"{cfg.describe()}@{start}:{stop}")
                     part = None
-                    for _s, _e, p in adapter.evaluate_partials(
-                            model, ds, cfg, [(start, stop)],
-                            cache=self.pipeline_cache,
-                            batch_size=self.batch_size):
+                    for _s, _e, p in self._partials(adapter, model, ds, cfg,
+                                                    [(start, stop)]):
                         part = p
                     if part is not None and lease.still_owned():
                         self._ledger_shard_record(lkey, start, stop,
@@ -970,7 +1001,7 @@ class SweepEngine:
             logger.warning("process sweep unavailable (payload not "
                            "picklable: %s); falling back to threads", exc)
             return None
-        shard_ctx = (self.task, self.batch_size)
+        shard_ctx = (self.task, self.batch_size, self._test_mitigation)
         errors: dict[int, str] = {}
         logger.info("sweep fan-out: %d workers requested, %d effective "
                     "(cores available: %d, mode=process, %d (variant x "
@@ -1262,10 +1293,11 @@ def _process_eval(cfg: NoiseConfig) -> float:
 def _process_eval_shard(cfg: NoiseConfig, start: int, stop: int) -> dict:
     """One (config, shard) job → the accumulator's JSON-safe state."""
     w = _WORKER
-    task, batch_size = w["shard_ctx"]
+    task, batch_size, mitigation = w["shard_ctx"]
     from .tasks import evaluate_partial_for_task
     return evaluate_partial_for_task(task, w["model"], w["ds"], cfg,
-                                     start, stop, batch_size=batch_size)
+                                     start, stop, batch_size=batch_size,
+                                     mitigation=mitigation)
 
 
 # ---------------------------------------------------------------------------

@@ -80,7 +80,8 @@ def task_names() -> list[str]:
 
 def evaluate_for_task(task: str, model, ds, cfg: NoiseConfig = TRAIN_CONFIG,
                       *, batch_size: int | None = None,
-                      shard_size: int | None = None) -> float:
+                      shard_size: int | None = None,
+                      mitigation: dict | None = None) -> float:
     """Evaluate via the named adapter — a *picklable* evaluation entry point.
 
     ``functools.partial(evaluate_for_task, "cls", batch_size=...)`` crosses
@@ -88,14 +89,31 @@ def evaluate_for_task(task: str, model, ds, cfg: NoiseConfig = TRAIN_CONFIG,
     caches), so it is what :class:`~repro.core.sweep.SweepEngine` ships to
     ``mode="process"`` workers.  Each worker resolves the adapter from its
     own registry and uses its own process-local decode cache.
+
+    ``mitigation`` is a *test-time* mitigation identity dict (see
+    :func:`~repro.core.mitigations.mitigation_identity`); it reroutes the
+    evaluation through the mitigation's streaming hook.  Train-time
+    mitigations never reach here — they act on the model before the sweep.
     """
-    return get_task(task).evaluate(model, ds, cfg, batch_size=batch_size,
-                                   shard_size=shard_size)
+    adapter = get_task(task)
+    if mitigation is None:
+        return adapter.evaluate(model, ds, cfg, batch_size=batch_size,
+                                shard_size=shard_size)
+    from .mitigations import mitigation_partials
+    from .pipeline import default_decode_cache
+    cache = default_decode_cache()
+    acc = adapter.accumulator(ds)
+    for _, _, part in mitigation_partials(
+            mitigation, adapter, model, ds, cfg, [(0, len(ds))], cache=cache,
+            batch_size=batch_size, chunk_size=shard_size, chunk_cache=cache):
+        acc.merge(part)
+    return acc.value()
 
 
 def evaluate_partial_for_task(task: str, model, ds, cfg: NoiseConfig,
                               start: int, stop: int, *,
-                              batch_size: int | None = None) -> dict:
+                              batch_size: int | None = None,
+                              mitigation: dict | None = None) -> dict:
     """One shard's evaluation → the accumulator's JSON-safe ``state()``.
 
     The picklable shard work unit a process-mode sharded sweep ships to its
@@ -104,13 +122,22 @@ def evaluate_partial_for_task(task: str, model, ds, cfg: NoiseConfig,
     engine's :func:`~repro.core.datapipe.shard_bounds` alignment guarantees.
     The worker's process-local decode cache doubles as the chunk cache, so
     shards whose decode was pre-seeded (or repeats across configs) skip it.
+    A test-time ``mitigation`` identity reroutes the shard through that
+    mitigation's streaming hook (same alignment contract).
     """
     from .pipeline import default_decode_cache
     adapter = get_task(task)
     cache = default_decode_cache()
-    for _, _, acc in adapter.evaluate_partials(
-            model, ds, cfg, [(start, stop)], cache=cache,
-            batch_size=batch_size, chunk_cache=cache):
+    if mitigation is not None:
+        from .mitigations import mitigation_partials
+        parts = mitigation_partials(mitigation, adapter, model, ds, cfg,
+                                    [(start, stop)], cache=cache,
+                                    batch_size=batch_size, chunk_cache=cache)
+    else:
+        parts = adapter.evaluate_partials(model, ds, cfg, [(start, stop)],
+                                          cache=cache, batch_size=batch_size,
+                                          chunk_cache=cache)
+    for _, _, acc in parts:
         return acc.state()
     raise ValueError(f"empty shard [{start}, {stop})")
 
@@ -257,6 +284,12 @@ class _ImageStreamMixin:
         return rebatch(chunks, batch)
 
 
+def _predict_argmax(noised, xb):
+    """Default classification predict: no-grad forward + argmax."""
+    with no_grad():
+        return noised(Tensor(xb)).data.argmax(axis=-1)
+
+
 @register_task
 class ClassificationAdapter(_ImageStreamMixin, TaskAdapter):
     """Top-1 accuracy (percent) on the synthetic ImageNet stand-in."""
@@ -325,21 +358,28 @@ class ClassificationAdapter(_ImageStreamMixin, TaskAdapter):
                           cache: DecodeCache | None = None,
                           batch_size: int | None = None,
                           chunk_size: int | None = None,
-                          chunk_cache: DecodeCache | None = None):
+                          chunk_cache: DecodeCache | None = None,
+                          predict=None):
         # The calibration shard (streams[:n_calib]) pre-processes to the
         # same bits as the monolithic full-dataset slice.
+        #
+        # ``predict(deployment_model, xb) -> labels`` is the test-time
+        # mitigation hook: because minibatches are cut at global offsets
+        # and shards align to the batch grid, any per-batch predict (e.g.
+        # episodic TENT) stays bit-identical across shard layouts.
         noised = self._prepare(model, ds, cfg, cache,
                                streams=ds.streams[:self.n_calib])
         noised.eval()
+        if predict is None:
+            predict = _predict_argmax
         batch = self._batch(batch_size) or len(ds)
         for start, stop in bounds:
             acc = self.accumulator(ds)
-            with no_grad():
-                for off, xb in self._iter_batches(ds, cfg, start, stop,
-                                                  batch, chunk_cache,
-                                                  chunk_size):
-                    pred = noised(Tensor(xb)).data.argmax(axis=-1)
-                    acc.update(pred, ds.labels[off:off + len(xb)])
+            for off, xb in self._iter_batches(ds, cfg, start, stop,
+                                              batch, chunk_cache,
+                                              chunk_size):
+                acc.update(predict(noised, xb),
+                           ds.labels[off:off + len(xb)])
             yield start, stop, acc
 
 

@@ -1,0 +1,21 @@
+"""Deprecation plumbing for the pre-registry mitigation entry points.
+
+The direct-call functions (``train_with_mix``, ``adversarial_train``,
+``tent_adapt``, ``evaluate_with_tent``) predate the mitigation registry
+(:mod:`repro.core.mitigations`) and survive as shims: they still work, but
+warn at call time so callers migrate to ``BenchmarkSession.mitigate`` /
+the registered specs.  Matches the ``repro.core.benchmark`` shim
+convention.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+__all__ = ["warn_deprecated"]
+
+
+def warn_deprecated(name: str, replacement: str) -> None:
+    warnings.warn(f"repro.mitigation.{name} is deprecated; "
+                  f"use {replacement} instead",
+                  DeprecationWarning, stacklevel=3)

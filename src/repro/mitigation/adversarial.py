@@ -13,6 +13,8 @@ import repro.nn as nn
 from repro.nn import Tensor
 from repro.nn import functional as F
 
+from ._compat import warn_deprecated
+
 __all__ = ["pgd_attack", "adversarial_train"]
 
 
@@ -34,6 +36,19 @@ def pgd_attack(model: nn.Module, x: np.ndarray, y: np.ndarray,
 def adversarial_train(model: nn.Module, x: np.ndarray, y: np.ndarray,
                       cfg: nn.TrainConfig | None = None,
                       epsilon: float = 8 / 255, pgd_steps: int = 3) -> nn.Module:
+    """Madry-style adversarial training (see :func:`_adversarial_train`).
+
+    .. deprecated:: use the registered ``adversarial`` mitigation via
+       ``BenchmarkSession.mitigate('adversarial', ...)``.
+    """
+    warn_deprecated("adversarial_train",
+                    "BenchmarkSession.mitigate('adversarial', ...)")
+    return _adversarial_train(model, x, y, cfg, epsilon, pgd_steps)
+
+
+def _adversarial_train(model: nn.Module, x: np.ndarray, y: np.ndarray,
+                       cfg: nn.TrainConfig | None = None,
+                       epsilon: float = 8 / 255, pgd_steps: int = 3) -> nn.Module:
     """Madry-style adversarial training: fit on PGD examples each step."""
     cfg = cfg or nn.TrainConfig(epochs=20, batch_size=32, lr=0.05)
     rng = np.random.default_rng(cfg.seed)

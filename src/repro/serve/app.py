@@ -8,6 +8,7 @@ Method Path                           Meaning
 GET    /v1/healthz                    liveness + capacity (rate-limit exempt)
 GET    /v1/noises                     the live noise registry
 GET    /v1/tasks                      the task-adapter registry
+GET    /v1/mitigations                the mitigation registry
 GET    /v1/jobs                       all known jobs (status summaries)
 POST   /v1/jobs                       submit a job spec (202; 200 on dedup)
 GET    /v1/jobs/<id>                  one job's status + ledger progress
@@ -34,7 +35,7 @@ import threading
 from .http import HTTPServer, Request, Response
 from .jobs import Draining, JobManager, QueueFull, ValidationError
 from .ratelimit import RateLimiter
-from .serializers import noises_doc, runs_doc, tasks_doc
+from .serializers import mitigations_doc, noises_doc, runs_doc, tasks_doc
 
 __all__ = ["EvalService"]
 
@@ -92,6 +93,8 @@ class EvalService:
                                             request.query.get("stage")))
         if path == "/v1/tasks" and method == "GET":
             return Response.json(tasks_doc())
+        if path == "/v1/mitigations" and method == "GET":
+            return Response.json(mitigations_doc())
         if path == "/v1/runs" and method == "GET":
             return Response.json(runs_doc(self.manager.store))
         if path == "/v1/jobs":

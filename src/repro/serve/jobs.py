@@ -76,7 +76,7 @@ class JobSpec:
 
     FIELDS = ("kind", "task", "model", "n", "train_frac", "epochs", "seed",
               "noises", "include_combined", "batch_size", "shard_size",
-              "workers", "mode", "retries", "deadline")
+              "workers", "mode", "retries", "deadline", "mitigation")
 
     def __init__(self, doc: dict):
         if not isinstance(doc, dict):
@@ -136,6 +136,51 @@ class JobSpec:
         self.deadline = (None if doc.get("deadline") is None
                          else self._float(doc, "deadline", None,
                                           lo=0.1, hi=86_400.0))
+        # Mitigations: a list of CLI-format specs ("tent", "tent:steps=2",
+        # "augment:augmix").  Normalised to registry-resolved identity
+        # dicts, so the job digest (dedup / response-cache key) is the
+        # *identity*, not the spelling — "tent" and "tent:steps=1" are the
+        # same job.  Only sweep jobs carry a mitigation axis.
+        raw = doc.get("mitigation")
+        self.mitigation_raw = []
+        self.mitigation = []
+        if raw:
+            if not isinstance(raw, list):
+                raise ValidationError(
+                    "mitigation must be a list of spec strings, e.g. "
+                    '["tent:steps=2", "augment:augmix"] — see GET '
+                    "/v1/mitigations")
+            if self.kind != "sweep":
+                raise ValidationError("mitigation is only valid for kind "
+                                      "'sweep'")
+            from repro.cli.run_cmd import _parse_mitigate
+            from repro.core.mitigations import (get_mitigation,
+                                                mitigation_identity)
+            for item in raw:
+                try:
+                    if isinstance(item, str):
+                        name, params = _parse_mitigate(item)
+                    elif isinstance(item, dict):   # restart-recovery path:
+                        # normalized() emits identity dicts, which recover()
+                        # feeds straight back into this constructor.
+                        name = item.get("name", "")
+                        params = dict(item.get("params", {}))
+                    else:
+                        raise ValueError(f"mitigation entries must be spec "
+                                         f"strings, got {item!r}")
+                    spec = get_mitigation(name)
+                    if self.task not in spec.tasks:
+                        raise ValueError(
+                            f"mitigation {name!r} does not support task "
+                            f"{self.task!r}")
+                    identity = mitigation_identity(name, **params)
+                except (ValueError, TypeError) as exc:
+                    raise ValidationError(str(exc)) from exc
+                if identity in self.mitigation:
+                    raise ValidationError(f"duplicate mitigation {item!r}")
+                self.mitigation_raw.append(item if isinstance(item, str)
+                                           else identity["name"])
+                self.mitigation.append(identity)
 
     @staticmethod
     def _int(doc, key, default, *, lo, hi):
@@ -184,7 +229,8 @@ class JobSpec:
         return {"model": self.model, "data": self.data_kw(),
                 "fit": {"epochs": self.epochs}, "workers": self.workers,
                 "mode": self.mode, "batch_size": self.batch_size,
-                "shard_size": self.shard_size, "retries": self.retries}
+                "shard_size": self.shard_size, "retries": self.retries,
+                "mitigate": list(self.mitigation_raw)}
 
 
 # ---------------------------------------------------------------------------
@@ -406,6 +452,7 @@ class JobManager:
             metric=get_task(spec.task).metric_name,
             eval_geometry={"batch_size": spec.batch_size,
                            "shard_size": spec.shard_size},
+            mitigations=list(spec.mitigation),
             data=spec.data_kw(), cli=spec.cli_block(),
             serve={"spec": spec.normalized(), "digest": spec.digest(),
                    "submitted": time.time(), "client": client})
@@ -696,9 +743,15 @@ class JobManager:
                    .data(**spec.data_kw())
                    .noises(*spec.noises)
                    .skip(*spec.skip)
-                   .combined(spec.include_combined)
-                   .store(self.store, run_id=run_id, data=spec.data_kw(),
-                          cli=spec.cli_block()))
+                   .combined(spec.include_combined))
+        for mit in spec.mitigation:
+            # Re-resolving the identity through .mitigate() keeps one code
+            # path; the params are already registry-validated, so the
+            # session derives byte-identical identities (and therefore the
+            # same manifest the submit-time run directory recorded).
+            session.mitigate(mit["name"], **mit["params"])
+        session.store(self.store, run_id=run_id, data=spec.data_kw(),
+                      cli=spec.cli_block())
         return session
 
     def _run_job(self, job: Job) -> None:

@@ -10,6 +10,7 @@ field added for the API is a field the CLI prints, and vice versa.
 from __future__ import annotations
 
 __all__ = ["noise_info", "noises_doc", "task_info", "tasks_doc",
+           "mitigation_info", "mitigations_doc",
            "runs_doc", "entry_event", "json_safe"]
 
 
@@ -68,6 +69,24 @@ def task_info(name: str) -> dict:
 def tasks_doc() -> dict:
     from repro.core import task_names
     return {"tasks": [task_info(n) for n in task_names()]}
+
+
+def mitigation_info(spec) -> dict:
+    """One :class:`~repro.core.mitigations.MitigationSpec` as JSON."""
+    return {
+        "name": spec.name,
+        "stage": spec.stage,
+        "tasks": list(spec.tasks),
+        "takes_arg": bool(spec.takes_arg),
+        "defaults": {k: json_safe(v) for k, v in spec.defaults.items()},
+    }
+
+
+def mitigations_doc() -> dict:
+    """The live mitigation registry — valid values for ``--mitigate`` and
+    the ``mitigation`` job field."""
+    from repro.core.mitigations import iter_mitigations
+    return {"mitigations": [mitigation_info(s) for s in iter_mitigations()]}
 
 
 # ---------------------------------------------------------------------------
