@@ -34,8 +34,10 @@ from .passes import (DEFAULT_PASSES, PLAN_PASSES, dead_code_elimination,
                      fuse_elementwise, optimize)
 from .plan import ExecutionPlan, compile_cached, compile_plan
 from .profile import GraphProfile, OpProfile, profile_graph, render_profile
-from .quantize import calibrate_ranges, quantize_graph
-from .serialize import GRAPH_FORMAT_VERSION, load_graph, save_graph
+from .quantize import calibrate_ranges, lower_integer, quantize_graph
+from .serialize import (GRAPH_FORMAT_VERSION, PLAN_FORMAT_VERSION,
+                        PlanFormatError, load_graph, load_plan, plan_info,
+                        save_graph, save_plan)
 from .shapes import ShapeError, infer_shapes, summary_with_shapes
 
 __all__ = [
@@ -52,7 +54,9 @@ __all__ = [
     "LayerDiff", "backend_diff", "first_divergence", "diff_report",
     "accuracy_under_backend", "predict",
     "save_graph", "load_graph", "GRAPH_FORMAT_VERSION",
+    "save_plan", "load_plan", "plan_info", "PLAN_FORMAT_VERSION",
+    "PlanFormatError",
     "infer_shapes", "summary_with_shapes", "ShapeError",
     "OpProfile", "GraphProfile", "profile_graph", "render_profile",
-    "quantize_graph", "calibrate_ranges",
+    "quantize_graph", "calibrate_ranges", "lower_integer",
 ]

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import threading
 import weakref
+from collections import OrderedDict
 from dataclasses import dataclass, replace
 
 import numpy as np
@@ -32,7 +33,7 @@ from .ir import Graph, Node
 
 __all__ = ["BackendOptions", "Executor", "ReferenceExecutor",
            "DeploymentExecutor", "BACKEND_PRESETS", "create_backend",
-           "prepare_cached"]
+           "prepare_cached", "prepared_cache_stats", "clear_prepared_cache"]
 
 
 @dataclass(frozen=True)
@@ -68,15 +69,33 @@ BACKEND_PRESETS: dict[str, BackendOptions] = {
 
 
 # ---------------------------------------------------------------------------
-# Prepared-graph cache: load-time rewrites (e.g. conv+BN fusion) run once per
-# (graph, BackendOptions) pair instead of on every Executor.run() call.
-# Keys are never-recycled identity tokens (the object_token scheme shared
-# with :mod:`repro.core.cache`), so a recycled ``id()`` can never serve a
-# stale prepared graph; dead entries are evicted by a weakref finalizer.
+# Prepared-graph cache: load-time rewrites (e.g. conv+BN fusion) and compiled
+# plans run once per (graph, key) pair instead of on every Executor.run()
+# call.  Keys are never-recycled identity tokens (the object_token scheme
+# shared with :mod:`repro.core.cache`), so a recycled ``id()`` can never
+# serve a stale prepared graph.  The cache is a count- *and* byte-bounded
+# LRU (the DecodeCache discipline): prepared graphs and plans carry whole
+# weight sets, so an unbounded cache would pin every model a long-lived
+# process (the serve layer, a sweep worker) ever touched.  Dead graphs are
+# additionally evicted eagerly by a weakref finalizer.
 # ---------------------------------------------------------------------------
 
-_PREPARED: dict[int, dict] = {}
-_PREPARE_LOCK = threading.Lock()
+#: Prepared-cache bounds.  Byte accounting counts each entry's initializer
+#: bytes (pre-cast kernel weight copies scale with the same quantity);
+#: tests may lower these to exercise eviction.
+PREPARED_CACHE_ENTRIES = 64
+PREPARED_CACHE_BYTES = 256 << 20
+
+_PREPARED: "OrderedDict[tuple, object]" = OrderedDict()
+_PREPARED_TOKENS: set[int] = set()    # tokens with a registered finalizer
+_PREPARED_NBYTES = 0
+_PREPARED_HITS = 0
+_PREPARED_MISSES = 0
+# Reentrant: _evict_token runs as a weakref finalizer, which the cyclic GC
+# may fire on *this* thread mid-critical-section (any allocation can trigger
+# a collection).  Re-entry is safe — a finalizer only pops the dead graph's
+# own keys, never one a live caller is working on.
+_PREPARE_LOCK = threading.RLock()
 
 
 def _graph_token(graph: Graph) -> int:
@@ -84,6 +103,25 @@ def _graph_token(graph: Graph) -> int:
     # backend package must not require at import time.
     from repro.core.cache import object_token
     return object_token(graph)
+
+
+def _prepared_sizeof(value) -> int:
+    """Approximate retained bytes of a prepared graph or compiled plan."""
+    graph = getattr(value, "graph", value)
+    inits = getattr(graph, "initializers", None)
+    if not isinstance(inits, dict):
+        return 0
+    return sum(int(getattr(a, "nbytes", 0)) for a in inits.values())
+
+
+def _evict_token(token: int) -> None:
+    """weakref finalizer: drop every entry of a collected graph."""
+    global _PREPARED_NBYTES
+    with _PREPARE_LOCK:
+        _PREPARED_TOKENS.discard(token)
+        stale = [k for k in _PREPARED if k[0] == token]
+        for k in stale:
+            _PREPARED_NBYTES -= _prepared_sizeof(_PREPARED.pop(k))
 
 
 def prepare_cached(graph: Graph, key, transform):
@@ -94,23 +132,52 @@ def prepare_cached(graph: Graph, key, transform):
     compiled plans (:func:`repro.backend.plan.compile_cached` delegates
     here).  Graphs are treated as immutable once executed — the standard
     contract everywhere in :mod:`repro.backend` (passes return new graphs).
+    Misses compute outside the lock; two threads may race to prepare the
+    same entry and the result is simply stored twice (preparation is pure).
     """
+    global _PREPARED_NBYTES, _PREPARED_HITS, _PREPARED_MISSES
     token = _graph_token(graph)
+    full_key = (token, key)
     with _PREPARE_LOCK:
-        per_graph = _PREPARED.get(token)
-        if per_graph is not None:
-            hit = per_graph.get(key)
-            if hit is not None:
-                return hit
+        hit = _PREPARED.get(full_key)
+        if hit is not None:
+            _PREPARED_HITS += 1
+            _PREPARED.move_to_end(full_key)
+            return hit
+        _PREPARED_MISSES += 1
     out = transform(graph)
     with _PREPARE_LOCK:
-        per_graph = _PREPARED.get(token)
-        if per_graph is None:
-            per_graph = _PREPARED[token] = {}
-            # dict.pop is atomic under the GIL, so the finalizer needs no lock.
-            weakref.finalize(graph, _PREPARED.pop, token, None)
-        per_graph[key] = out
+        if token not in _PREPARED_TOKENS:
+            _PREPARED_TOKENS.add(token)
+            weakref.finalize(graph, _evict_token, token)
+        old = _PREPARED.pop(full_key, None)
+        if old is not None:
+            _PREPARED_NBYTES -= _prepared_sizeof(old)
+        _PREPARED[full_key] = out
+        _PREPARED_NBYTES += _prepared_sizeof(out)
+        while len(_PREPARED) > PREPARED_CACHE_ENTRIES or (
+                _PREPARED_NBYTES > PREPARED_CACHE_BYTES
+                and len(_PREPARED) > 1):
+            _, evicted = _PREPARED.popitem(last=False)
+            _PREPARED_NBYTES -= _prepared_sizeof(evicted)
     return out
+
+
+def prepared_cache_stats() -> dict:
+    """Entry/byte/hit counters of the prepared-graph cache (for tests and
+    the profiler's cache report)."""
+    with _PREPARE_LOCK:
+        return {"entries": len(_PREPARED), "bytes": _PREPARED_NBYTES,
+                "hits": _PREPARED_HITS, "misses": _PREPARED_MISSES}
+
+
+def clear_prepared_cache() -> None:
+    """Drop every prepared graph/plan (tests; frees pinned weight copies)."""
+    global _PREPARED_NBYTES, _PREPARED_HITS, _PREPARED_MISSES
+    with _PREPARE_LOCK:
+        _PREPARED.clear()
+        _PREPARED_NBYTES = 0
+        _PREPARED_HITS = _PREPARED_MISSES = 0
 
 
 def create_backend(name_or_options: "str | BackendOptions") -> "Executor":
@@ -207,6 +274,29 @@ class ReferenceExecutor(Executor):
         if op == "linear":
             x, w, *rest = args
             return ops.linear(x, w, rest[0] if rest else None)
+        # Integer fast-path ops (lower_integer): exact code-space arithmetic,
+        # identical bits under every executor — the deployment interpreter
+        # deliberately has no override for them.
+        if op == "qconv2d":
+            x, w, ws, *rest = args
+            return ops.qconv2d(x, w, ws, rest[0] if rest else None,
+                               stride=a["stride"], padding=a["padding"],
+                               dilation=a["dilation"], groups=a["groups"],
+                               x_scale=a["x_scale"],
+                               x_zero_point=a["x_zero_point"],
+                               y_scale=a["y_scale"],
+                               y_zero_point=a["y_zero_point"],
+                               activation=a.get("activation"))
+        if op == "qlinear":
+            x, w, ws, *rest = args
+            return ops.qlinear(x, w, ws, rest[0] if rest else None,
+                               x_scale=a["x_scale"],
+                               x_zero_point=a["x_zero_point"],
+                               y_scale=a["y_scale"],
+                               y_zero_point=a["y_zero_point"],
+                               activation=a.get("activation"))
+        if op == "qrelu":
+            return np.maximum(args[0], a["zero_point"])
         if op == "batchnorm":
             return ops.batchnorm(*args, eps=a["eps"])
         if op == "relu":

@@ -1,0 +1,144 @@
+"""Shared intra-op worker-thread pool for the backend kernels.
+
+The sweep engine parallelises *across* variants; this module parallelises
+*inside* a single heavy operator.  :func:`parallel_map` fans a list of
+independent tiles out over one process-wide ``ThreadPoolExecutor`` — NumPy
+releases the GIL inside its BLAS calls, so the tiles genuinely overlap.
+
+**Determinism contract.**  Callers may only submit tiles whose results are
+combined in a *fixed, input-independent order* (``parallel_map`` returns
+results in submission order regardless of completion order), and each tile
+must be the exact computation the serial path would perform.  Under that
+contract threaded results are bit-identical to serial at every thread
+count, which is what lets threading default-on without perturbing any of
+the repo's bit-exactness gates (see docs/performance.md).
+
+Pool width comes from ``REPRO_NUM_THREADS`` when set, else from the cores
+actually available to the process (affinity/cgroup aware — the same probe
+as :func:`repro.core.sweep.available_cores`).  On a 1-core host every
+``parallel_map`` degrades to a plain loop with no pool, no locks and no
+overhead.  Nested calls (a tile that itself reaches ``parallel_map``) run
+serially in the worker thread, so the pool cannot deadlock on itself.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+__all__ = ["num_threads", "parallel_map", "collect_stats", "TILE_MIN_WORK"]
+
+#: Minimum estimated FLOPs before a kernel bothers with the pool; below
+#: this, submit/collect overhead beats any overlap.
+TILE_MIN_WORK = 1 << 20
+
+_lock = threading.Lock()
+_pool: ThreadPoolExecutor | None = None
+_pool_width = 0
+_tls = threading.local()
+_stats_sink: list | None = None
+
+
+def _available_cores() -> int:
+    """Cores available to this process (affinity/cgroup aware).
+
+    Duplicates :func:`repro.core.sweep.available_cores` so the backend
+    keeps no dependency on ``repro.core``.
+    """
+    count = getattr(os, "process_cpu_count", None)
+    if count is not None:
+        n = count()
+    else:
+        try:
+            n = len(os.sched_getaffinity(0))
+        except (AttributeError, OSError):
+            n = os.cpu_count()
+    return n or 1
+
+
+def num_threads() -> int:
+    """Intra-op pool width: ``REPRO_NUM_THREADS`` if set (>= 1), else the
+    available core count.  Re-read on every call so tests (and pool
+    initializers that pin workers to one thread) can flip the env var."""
+    env = os.environ.get("REPRO_NUM_THREADS")
+    if env:
+        try:
+            n = int(env)
+        except ValueError:
+            n = 0
+        if n >= 1:
+            return n
+    return _available_cores()
+
+
+def _get_pool(width: int) -> ThreadPoolExecutor:
+    """The shared pool, grown (never shrunk) to at least ``width``."""
+    global _pool, _pool_width
+    with _lock:
+        if _pool is None or _pool_width < width:
+            if _pool is not None:
+                _pool.shutdown(wait=False)
+            _pool = ThreadPoolExecutor(
+                max_workers=width, thread_name_prefix="repro-intra-op")
+            _pool_width = width
+        return _pool
+
+
+class collect_stats:
+    """Context manager routing per-call tiling stats into ``sink``.
+
+    While active, every :func:`parallel_map` call appends
+    ``{"tag": ..., "tiles": n, "workers": w}`` — including serial
+    degradations (``workers=1``), so the profiler can report utilization
+    honestly on 1-core hosts.
+    """
+
+    def __init__(self, sink: list):
+        self.sink = sink
+        self._prev: list | None = None
+
+    def __enter__(self):
+        global _stats_sink
+        self._prev = _stats_sink
+        _stats_sink = self.sink
+        return self.sink
+
+    def __exit__(self, *exc):
+        global _stats_sink
+        _stats_sink = self._prev
+        return False
+
+
+def _record(tag: str, tiles: int, workers: int) -> None:
+    sink = _stats_sink
+    if sink is not None:
+        sink.append({"tag": tag, "tiles": tiles, "workers": workers})
+
+
+def parallel_map(fn, items: list, *, workers: int | None = None,
+                 tag: str = "tile") -> list:
+    """``[fn(x) for x in items]`` fanned over the shared pool, results in
+    submission order.
+
+    ``workers`` caps the fan-out (defaults to :func:`num_threads`).  Runs
+    serially when the cap, the item count, or nesting (already inside a
+    pool worker) makes threading pointless.
+    """
+    n = len(items)
+    w = num_threads() if workers is None else workers
+    w = max(1, min(w, n))
+    if w <= 1 or n <= 1 or getattr(_tls, "inside", False):
+        _record(tag, n, 1)
+        return [fn(item) for item in items]
+    _record(tag, n, w)
+    pool = _get_pool(w)
+
+    def run(item):
+        _tls.inside = True
+        try:
+            return fn(item)
+        finally:
+            _tls.inside = False
+
+    return list(pool.map(run, items))

@@ -1,0 +1,181 @@
+"""``repro plan``: export / inspect / run serialized compiled plans.
+
+The plan artefact (``plan.npz``, see :mod:`repro.backend.serialize`) is the
+"export once, deploy many" unit: ``plan save`` compiles a model on a chosen
+backend persona and serializes the finished :class:`ExecutionPlan`;
+``plan run`` loads it in a few milliseconds — no export, no calibration, no
+pass pipeline — and executes a batch; ``plan info`` prints the checked
+metadata.  ``plan run --parity`` additionally recompiles from the model and
+asserts the loaded plan's outputs are bit-identical, printing the
+cold-start comparison (load vs compile wall time).
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+__all__ = ["register"]
+
+
+def register(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("plan",
+                       help="save / inspect / run serialized compiled plans")
+    psub = p.add_subparsers(dest="plan_command", required=True)
+
+    s = psub.add_parser("save",
+                        help="compile a zoo model and serialize the plan")
+    s.add_argument("--model", default="resnet18x0.25")
+    s.add_argument("--out", required=True, help="output plan .npz path")
+    s.add_argument("--backend", default="reference",
+                   help="backend persona to compile for")
+    s.add_argument("--int8", action="store_true",
+                   help="quantise (QDQ) and lower to the integer fast path "
+                        "before compiling")
+    s.add_argument("--no-optimize", action="store_true",
+                   help="skip the plan-level optimisation passes")
+    s.add_argument("--checkpoint", default=None,
+                   help="load trained weights (.npz) before exporting")
+    s.add_argument("--seed", type=int, default=0)
+    s.set_defaults(func=cmd_plan_save)
+
+    s = psub.add_parser("info", help="checked metadata of a plan artefact")
+    s.add_argument("file", help="plan .npz path")
+    s.set_defaults(func=cmd_plan_info)
+
+    s = psub.add_parser("run", help="load a plan artefact and run a batch")
+    s.add_argument("file", help="plan .npz path")
+    s.add_argument("--batch", type=int, default=4)
+    s.add_argument("--seed", type=int, default=0)
+    s.add_argument("--parity", action="store_true",
+                   help="also recompile from --model and assert the loaded "
+                        "plan is bit-identical (prints load vs compile time)")
+    s.add_argument("--model", default=None,
+                   help="zoo model for --parity (must match the artefact)")
+    s.set_defaults(func=cmd_plan_run)
+
+
+def _compile_model(args):
+    """model -> compiled plan, mirroring ``plan save``'s build pipeline."""
+    import numpy as np
+
+    from repro.backend import (compile_plan, create_backend, export_module,
+                               fuse_conv_bn_relu, lower_integer,
+                               quantize_graph)
+    from repro.models import create_model
+    from repro.nn import load_checkpoint
+
+    model = create_model(args.model, seed=args.seed)
+    if getattr(args, "checkpoint", None):
+        load_checkpoint(model, args.checkpoint)
+    graph = export_module(model, args.model)
+    if getattr(args, "int8", False):
+        graph = fuse_conv_bn_relu(graph)
+        calib = np.random.default_rng(args.seed).normal(
+            size=(16, 3, 32, 32)) * 0.25
+        graph = quantize_graph(graph, calib)
+        graph = lower_integer(graph)
+    executor = create_backend(args.backend)
+    return compile_plan(graph, executor,
+                        optimize=not getattr(args, "no_optimize", False))
+
+
+def cmd_plan_save(args: argparse.Namespace) -> int:
+    from repro.backend import BACKEND_PRESETS, ExportError, save_plan
+    from repro.nn import CheckpointError
+
+    if args.backend not in BACKEND_PRESETS:
+        print(f"error: --backend must be one of {sorted(BACKEND_PRESETS)}")
+        return 2
+    try:
+        start = time.perf_counter()
+        plan = _compile_model(args)
+        compile_s = time.perf_counter() - start
+    except (ValueError, ExportError, CheckpointError,
+            FileNotFoundError) as exc:
+        print(f"error: {exc}")
+        return 2
+    path = save_plan(plan, args.out)
+    size_kb = path.stat().st_size / 1024
+    print(f"saved plan for {args.model} [{plan.backend}] "
+          f"({len(plan.graph.nodes)} nodes, compiled in {compile_s:.2f}s) "
+          f"-> {path} ({size_kb:.0f} KiB)")
+    return 0
+
+
+def cmd_plan_info(args: argparse.Namespace) -> int:
+    from repro.backend import PlanFormatError, plan_info
+
+    try:
+        info = plan_info(args.file)
+    except (PlanFormatError, FileNotFoundError) as exc:
+        print(f"error: {exc}")
+        return 2
+    print(f"plan artefact {args.file}")
+    print(f"  graph        {info['graph_name']}")
+    print(f"  backend      {info['backend']}")
+    print(f"  nodes        {info['nodes']}")
+    print(f"  initializers {info['initializers']} "
+          f"({info['parameters']} parameters)")
+    opts = info["options"]
+    if opts:
+        flags = ", ".join(f"{k}={v}" for k, v in sorted(opts.items()))
+        print(f"  options      {flags}")
+    return 0
+
+
+def cmd_plan_run(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.backend import PlanFormatError, load_plan
+
+    try:
+        start = time.perf_counter()
+        plan = load_plan(args.file)
+        load_s = time.perf_counter() - start
+    except (PlanFormatError, FileNotFoundError) as exc:
+        print(f"error: {exc}")
+        return 2
+    x = np.random.default_rng(args.seed).normal(
+        size=(args.batch, 3, 32, 32))
+    start = time.perf_counter()
+    y = plan.run(x)
+    run_s = time.perf_counter() - start
+    print(f"{args.file}: loaded in {load_s*1e3:.1f}ms, "
+          f"batch {args.batch} -> {tuple(y.shape)} in {run_s*1e3:.1f}ms "
+          f"(argmax {y.argmax(axis=-1).tolist()})")
+    if not args.parity:
+        return 0
+    if args.model is None:
+        print("error: --parity requires --model")
+        return 2
+    # The artefact records what it was compiled from; recompile the same way.
+    args.backend = _persona_of(plan)
+    args.int8 = any(n.op.startswith("q") or "quantize" in n.op
+                    for n in plan.graph.nodes)
+    from repro.backend import ExportError
+    try:
+        start = time.perf_counter()
+        fresh = _compile_model(args)
+        compile_s = time.perf_counter() - start
+    except (ValueError, ExportError) as exc:
+        print(f"error: {exc}")
+        return 2
+    y2 = fresh.run(x)
+    exact = (np.asarray(y) == np.asarray(y2)).all()
+    speedup = compile_s / load_s if load_s > 0 else float("inf")
+    print(f"parity vs fresh compile: bit_identical={bool(exact)} "
+          f"(load {load_s*1e3:.1f}ms vs compile {compile_s*1e3:.0f}ms, "
+          f"{speedup:.0f}x cold-start)")
+    return 0 if exact else 1
+
+
+def _persona_of(plan) -> str:
+    """Recover the ``create_backend`` persona name a plan was compiled for."""
+    from repro.backend import BACKEND_PRESETS
+    if plan.options is None:
+        return "reference"
+    for name, opts in BACKEND_PRESETS.items():
+        if opts == plan.options:
+            return name
+    return "reference"

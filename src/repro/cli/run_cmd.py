@@ -98,6 +98,13 @@ def register(sub: argparse._SubParsersAction) -> None:
                         "`repro worker` fleets")
     p.add_argument("--mitigate", action="append", default=None,
                    metavar="NAME[:K=V,...]", help=_MITIGATE_HELP)
+    p.add_argument("--inference", choices=("module", "plan"),
+                   default="module",
+                   help="evaluation substrate: 'module' runs the model's "
+                        "forward; 'plan' compiles it to an execution plan "
+                        "once, publishes plan.npz in the run directory, and "
+                        "every joining worker loads it instead of "
+                        "recompiling (run identity — resume inherits it)")
     _add_engine_args(p)
     p.set_defaults(func=cmd_run)
 
@@ -124,7 +131,7 @@ def register(sub: argparse._SubParsersAction) -> None:
 
 def _build_stored_session(model: str, seed: int, data_kw: dict,
                           workers, mode: str, batch_size, retries: int,
-                          shard_size=None):
+                          shard_size=None, inference: str = "module"):
     from repro.core import BenchmarkSession
 
     return (BenchmarkSession()
@@ -134,6 +141,7 @@ def _build_stored_session(model: str, seed: int, data_kw: dict,
             .batch(batch_size)
             .shards(shard_size)
             .retries(retries)
+            .inference(inference)
             .model(model)
             .data(**data_kw))
 
@@ -161,10 +169,15 @@ def cmd_run(args: argparse.Namespace) -> int:
               f"choose from {list(CLS_NOISES)}")
         return 2
     data_kw = dict(n=args.n, train_frac=args.train_frac, **_DATA_DEFAULTS)
-    session = _build_stored_session(
-        args.model, args.seed, data_kw, args.workers,
-        getattr(args, "mode", "thread"), args.batch_size, args.retries,
-        getattr(args, "shard_size", None))
+    try:
+        session = _build_stored_session(
+            args.model, args.seed, data_kw, args.workers,
+            getattr(args, "mode", "thread"), args.batch_size, args.retries,
+            getattr(args, "shard_size", None),
+            inference=getattr(args, "inference", "module"))
+    except ValueError as exc:                # e.g. plan + process pool
+        print(f"error: {exc}")
+        return 2
     session.noises(*noises).combined(not args.no_combined)
     _apply_zoo_skips(session, args.model)
     if _apply_mitigations(session, args.mitigate):
@@ -178,6 +191,7 @@ def cmd_run(args: argparse.Namespace) -> int:
                        "batch_size": args.batch_size,
                        "shard_size": getattr(args, "shard_size", None),
                        "retries": args.retries,
+                       "inference": getattr(args, "inference", "module"),
                        "mitigate": list(args.mitigate or ())})
     try:
         ledger = session.ledger            # creates or resumes the run
@@ -222,10 +236,16 @@ def cmd_resume(args: argparse.Namespace) -> int:
                else cli.get("retries", 0))
     # Shard geometry is resume identity: per-shard ledger entries only
     # satisfy lookups for exactly the bounds the original run derived.
-    session = _build_stored_session(
-        cli.get("model", manifest["model"]), manifest["seed"], cli["data"],
-        workers, mode, cli.get("batch_size"), retries,
-        cli.get("shard_size"))
+    # The inference substrate is run identity (it folds into every ledger
+    # key), so a resume always inherits the recorded mode.
+    try:
+        session = _build_stored_session(
+            cli.get("model", manifest["model"]), manifest["seed"], cli["data"],
+            workers, mode, cli.get("batch_size"), retries,
+            cli.get("shard_size"), inference=cli.get("inference", "module"))
+    except ValueError as exc:
+        print(f"error: {exc}")
+        return 2
     session.noises(*manifest["noises"]).skip(*manifest.get("skip", ()))
     session.combined(manifest.get("include_combined", True))
     # Mitigations are run identity, never an override: a resume either

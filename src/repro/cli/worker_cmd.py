@@ -62,10 +62,12 @@ def cmd_worker(args: argparse.Namespace) -> int:
     # Identical session geometry to the run that created the manifest —
     # dataset seed, shard/batch sizes — is what makes every worker derive
     # the same cell identities and the same final table.
+    # (that includes the inference substrate: a plan-mode run's workers
+    # load the published plan.npz artefact instead of recompiling).
     session = _build_stored_session(
         cli.get("model", manifest["model"]), manifest["seed"], cli["data"],
         None, "shared", cli.get("batch_size"), retries,
-        cli.get("shard_size"))
+        cli.get("shard_size"), inference=cli.get("inference", "module"))
     session.lease(args.lease_ttl, args.max_claims)
     session.noises(*manifest["noises"]).skip(*manifest.get("skip", ()))
     session.combined(manifest.get("include_combined", True))

@@ -1,0 +1,175 @@
+"""Compiled-plan inference for sweeps: export once, deploy many.
+
+A sweep's cold start is dominated by turning the trained model into
+something fast to run: export to the graph IR, backend rewrites, the
+bit-exact plan passes, kernel binding.  With many workers joining one run
+(``repro worker``, the serve layer's job runners), every process repeats
+that work.  :class:`PlanPredictor` closes the loop:
+
+* the first process to need the plan compiles it and publishes the
+  artefact — ``plan.npz`` in the run directory — via
+  :func:`repro.backend.serialize.save_plan` (atomic tmp + rename), and
+  records its content digest in the run manifest under the same
+  ``checkpoints`` discipline as ``weights.npz``;
+* every later process loads the artefact instead of recompiling
+  (:func:`~repro.backend.serialize.load_plan` verifies the format version
+  and the embedded CRC32; the manifest digest is re-verified first, so a
+  swapped-in foreign artefact is refused exactly like a wrong checkpoint);
+* the loaded plan's outputs are bit-identical to a fresh compile — kernel
+  rebinding is deterministic — so ledger cells computed by loaders and
+  compilers splice losslessly.
+
+Plan inference is opt-in (``SweepEngine(inference="plan")`` /
+``BenchmarkSession.inference("plan")``) because the compiled graph
+substrate is *not* float-identical to the training runtime's module
+forward (different GEMM association, ~1e-15 relative); the mode therefore
+folds into every cache and ledger key.
+
+Scope: configs that modify the model — precision wrappers replace module
+forwards with closures the graph exporter cannot see — fall back to the
+module-forward path, per cell and deterministically, so a cell is either
+always-plan or always-module under the mode.  See docs/performance.md.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+from pathlib import Path
+
+import numpy as np
+
+from .cache import object_token
+
+__all__ = ["PLAN_ARTIFACT", "PlanPredictor", "INFERENCE_MODES"]
+
+logger = logging.getLogger(__name__)
+
+#: The compiled-plan artefact a stored run publishes next to ``weights.npz``.
+PLAN_ARTIFACT = "plan.npz"
+
+#: Accepted values for the engine/session ``inference`` knob.
+INFERENCE_MODES = ("module", "plan")
+
+
+def _module_predict(noised, xb):
+    """The default module-forward classification predict (argmax logits)."""
+    from .tasks import _predict_argmax
+    return _predict_argmax(noised, xb)
+
+
+class PlanPredictor:
+    """Builds ``predict(noised, xb) -> labels`` hooks backed by compiled plans.
+
+    One instance is shared across a session's engines; compiled plans are
+    memoised per model identity token, so the clean row, worst-case curve
+    and every preprocessing-noise cell reuse a single plan.  ``artifact``
+    (with its owning ``ledger``) designates the on-disk home for *one*
+    model's plan — :meth:`attach_artifact` binds it; other models (e.g.
+    train-time-mitigated rows) compile in process only.
+    """
+
+    def __init__(self, backend: str = "reference"):
+        self.backend = backend
+        self._plans: dict[int, object] = {}
+        self._artifact: Path | None = None
+        self._artifact_ledger = None
+        self._artifact_token: int | None = None
+        #: Counters for tests and the cold-start benchmark.
+        self.loads = 0
+        self.compiles = 0
+
+    # -- wiring --------------------------------------------------------------
+
+    def attach_artifact(self, model, path, ledger=None) -> None:
+        """Publish/consume ``model``'s plan at ``path`` (usually the run
+        directory's ``plan.npz``), recording its digest in ``ledger``'s
+        manifest when given."""
+        self._artifact = Path(path)
+        self._artifact_ledger = ledger
+        self._artifact_token = object_token(model)
+
+    # -- plan resolution -----------------------------------------------------
+
+    def plan_for(self, model):
+        """The compiled :class:`~repro.backend.plan.ExecutionPlan` for
+        ``model`` — loaded from the attached artefact when present and
+        digest-verified, else compiled (and published when this model owns
+        the artefact)."""
+        token = object_token(model)
+        plan = self._plans.get(token)
+        if plan is not None:
+            return plan
+        plan = None
+        if token == self._artifact_token and self._artifact is not None:
+            plan = self._load_artifact()
+        if plan is None:
+            plan = self._compile(model)
+            self.compiles += 1
+            if token == self._artifact_token and self._artifact is not None:
+                self._publish(plan)
+        self._plans[token] = plan
+        return plan
+
+    def _load_artifact(self):
+        from repro.backend.serialize import PlanFormatError, load_plan
+        path = self._artifact
+        if not path.exists():
+            return None
+        if self._artifact_ledger is not None:
+            from .integrity import verify_checkpoint
+            check = verify_checkpoint(self._artifact_ledger, name=path.name)
+            if check["status"] == "mismatch":
+                # Same refusal as a wrong weights.npz: a foreign plan would
+                # make this worker's cells disagree with the run's ledger.
+                logger.warning(
+                    "plan artefact %s fails its recorded content digest; "
+                    "refusing it and recompiling", path)
+                return None
+        try:
+            plan = load_plan(path)
+        except PlanFormatError as exc:
+            logger.warning("plan artefact %s rejected (%s); recompiling",
+                           path, exc)
+            return None
+        self.loads += 1
+        return plan
+
+    def _publish(self, plan) -> None:
+        """Atomic artefact publish + manifest digest (best-effort: a full
+        disk must not abort the sweep the plan merely accelerates)."""
+        from repro.backend.serialize import save_plan
+        path = self._artifact
+        try:
+            tmp = save_plan(plan, path.with_name(f"plan.tmp{os.getpid()}.npz"))
+            os.replace(tmp, path)
+            if self._artifact_ledger is not None:
+                self._artifact_ledger.record_checkpoint(path)
+        except Exception as exc:               # noqa: BLE001 — I/O errors
+            logger.warning("could not publish plan artefact %s (%s); "
+                           "later workers will recompile", path, exc)
+
+    def _compile(self, model):
+        from repro.backend import compile_plan, create_backend, export_module
+        graph = export_module(model)
+        return compile_plan(graph, create_backend(self.backend))
+
+    # -- the predict hook ----------------------------------------------------
+
+    def bind(self, model):
+        """A ``predict(noised, xb) -> labels`` hook for sweep cells of
+        ``model``.
+
+        Cells whose config leaves the model untouched (``deployment_model``
+        returned the model itself) run through the compiled plan; cells
+        that received a modified copy fall back to the module forward —
+        the exporter cannot see precision wrappers' replaced ``forward``
+        closures, and a silently wrong lowering is worse than a slower
+        exact one.
+        """
+        def predict(noised, xb):
+            if noised is not model:
+                return _module_predict(noised, xb)
+            plan = self.plan_for(model)
+            return plan.run(np.asarray(xb)).argmax(axis=-1)
+        return predict

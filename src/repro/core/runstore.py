@@ -210,7 +210,7 @@ def run_manifest(*, task: str, model: str, seed: int, noises,
 #: ledgers from before the geometry field existed) are unaffected.
 _IDENTITY_FIELDS = ("task", "model", "seed", "noises", "skip",
                     "include_combined", "data", "eval_geometry",
-                    "mitigations")
+                    "mitigations", "inference")
 
 
 # ---------------------------------------------------------------------------

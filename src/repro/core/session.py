@@ -139,6 +139,8 @@ class BenchmarkSession:
         self._lease_ttl = 30.0
         self._max_claims = 3
         self._should_stop = None
+        self._inference = "module"
+        self._plan_predictor = None
         self._store = None
         self._run_id: str | None = None
         self._manifest_extra: dict = {}
@@ -229,6 +231,11 @@ class BenchmarkSession:
         if identity in self._mitigations:
             raise ValueError(f"mitigation {name!r} with these parameters is "
                              f"already on the session's axis")
+        if (self._inference == "plan"
+                and mitigation_stage(identity) == "test"):
+            raise ValueError(f"test-time mitigation {name!r} cannot combine "
+                             f"with inference='plan' (its streaming hook "
+                             f"owns the predict path)")
         self._mitigations.append(identity)
         return self
 
@@ -284,6 +291,40 @@ class BenchmarkSession:
         if shard_size is not None and shard_size < 1:
             raise ValueError(f"shard_size must be >= 1, got {shard_size}")
         self._shard_size = shard_size
+        return self
+
+    def inference(self, mode: str) -> "BenchmarkSession":
+        """Choose the inference substrate for evaluations.
+
+        ``"module"`` (default) runs the training runtime's forward;
+        ``"plan"`` runs a compiled :class:`~repro.backend.plan.ExecutionPlan`
+        — with a store attached, the plan is published into the run
+        directory as a checksummed artefact (``plan.npz``) the first time
+        it is compiled, and every later worker/resume loads it instead of
+        recompiling ("export once, deploy many" — see docs/performance.md).
+        The substrates differ at float rounding level, so the mode is run
+        identity: it folds into every cache/ledger key and the run
+        manifest.  Plan inference covers cells whose config leaves the
+        model untouched; model-modifying configs (precision, ceil-mode...)
+        keep the module path per cell.
+        """
+        from .planner import INFERENCE_MODES
+        if mode not in INFERENCE_MODES:
+            raise ValueError(f"inference must be one of "
+                             f"{list(INFERENCE_MODES)}, got {mode!r}")
+        if mode == "plan":
+            bad = [m["name"] for m in self._mitigations
+                   if mitigation_stage(m) == "test"]
+            if bad:
+                raise ValueError(f"inference='plan' cannot combine with "
+                                 f"test-time mitigation(s) {bad}: their "
+                                 f"streaming hooks own the predict path")
+            if self._mode == "process":
+                raise ValueError("inference='plan' cannot use the process "
+                                 "pool: compiled plans hold bound kernels "
+                                 "that do not pickle (use mode='thread' or "
+                                 "'shared')")
+        self._inference = mode
         return self
 
     def retries(self, n: int) -> "BenchmarkSession":
@@ -423,6 +464,17 @@ class BenchmarkSession:
             os.replace(tmp, ckpt)
             ledger.record_checkpoint(ckpt)
         self._fit_or_load_mitigated(ledger, log)
+        if self._inference == "plan":
+            # Publish the compiled plan next to the weights at prepare time,
+            # so `--prepare-only` leaves workers an artefact to load (cold
+            # start = load + verify, not export + compile).
+            import time as _time
+            start = _time.perf_counter()
+            predictor = self._ensure_plan_predictor()
+            predictor.plan_for(self.trained_model)
+            verb = "loaded" if predictor.loads else "compiled"
+            log(f"{verb} inference plan ({ledger.path / 'plan.npz'}) "
+                f"in {_time.perf_counter() - start:.2f}s")
         return self
 
     def _fit_or_load_mitigated(self, ledger, log) -> None:
@@ -578,7 +630,24 @@ class BenchmarkSession:
                            should_stop=self._should_stop,
                            lease_ttl=self._lease_ttl,
                            max_claims=self._max_claims,
-                           mitigation=mitigation)
+                           mitigation=mitigation,
+                           inference=self._inference,
+                           plan_predictor=(self._ensure_plan_predictor()
+                                           if self._inference == "plan"
+                                           else None))
+
+    def _ensure_plan_predictor(self):
+        """The session-wide plan predictor, its artefact wired to the run
+        directory when a store is attached (one compiled plan shared by
+        every engine/row this session creates)."""
+        from .planner import PLAN_ARTIFACT, PlanPredictor
+        if self._plan_predictor is None:
+            self._plan_predictor = PlanPredictor()
+        ledger = self.ledger
+        if ledger is not None:
+            self._plan_predictor.attach_artifact(
+                self.trained_model, ledger.path / PLAN_ARTIFACT, ledger)
+        return self._plan_predictor
 
     def _selected_noises(self) -> list[str]:
         return list(self._noises if self._noises is not None
@@ -607,6 +676,10 @@ class BenchmarkSession:
                 # so a resume with a *different* --mitigate set is an
                 # identity mismatch, never a silent cell splice.
                 mitigations=list(self._mitigations),
+                # Inference substrate identity: plan-substrate metrics
+                # differ from module-forward ones at float rounding level,
+                # so resuming a run under the other substrate must refuse.
+                inference=self._inference,
                 **self._manifest_extra)
             self._ledger_obj = self._store.open_or_create(manifest,
                                                           self._run_id)
@@ -675,6 +748,14 @@ class BenchmarkSession:
             return functools.partial(evaluate_for_task, self._task_name,
                                      batch_size=self._batch_size,
                                      mitigation=test_mit)
+        if self._inference == "plan" and test_mit is None:
+            predictor = self._ensure_plan_predictor()
+
+            def evaluate_plan(model, ds, cfg: NoiseConfig) -> float:
+                return adapter.evaluate(model, ds, cfg, cache=self.cache,
+                                        batch_size=self._batch_size,
+                                        predict=predictor.bind(model))
+            return evaluate_plan
         if test_mit is not None:
             from .mitigations import mitigation_partials
 

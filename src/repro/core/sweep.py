@@ -195,10 +195,26 @@ class SweepEngine:
                  shard_size: int | None = None, task: str | None = None,
                  batch_size: int | None = None, pipeline_cache=None,
                  should_stop=None, lease_ttl: float = 30.0,
-                 max_claims: int = 3, mitigation: dict | None = None):
+                 max_claims: int = 3, mitigation: dict | None = None,
+                 inference: str = "module", plan_predictor=None):
         if mode not in ("thread", "process", "shared"):
             raise ValueError(f"mode must be 'thread', 'process' or "
                              f"'shared', got {mode!r}")
+        from .planner import INFERENCE_MODES
+        if inference not in INFERENCE_MODES:
+            raise ValueError(f"inference must be one of "
+                             f"{list(INFERENCE_MODES)}, got {inference!r}")
+        if inference == "plan":
+            if mode == "process":
+                raise ValueError(
+                    "inference='plan' cannot run with mode='process': "
+                    "compiled plans hold bound kernels that do not pickle "
+                    "into worker processes; use thread or shared mode")
+            if task not in (None, "cls"):
+                raise ValueError(
+                    f"inference='plan' is only wired for task 'cls' today "
+                    f"(got task={task!r}): other adapters' streaming "
+                    f"protocols have no predict hook yet")
         if retries < 0:
             raise ValueError(f"retries must be >= 0, got {retries}")
         if shard_size is not None and shard_size < 1:
@@ -245,6 +261,23 @@ class SweepEngine:
             from .mitigations import mitigation_stage
             stage = mitigation_stage(mitigation)
             self._test_mitigation = mitigation if stage == "test" else None
+        #: Inference substrate: ``"module"`` (the training runtime's
+        #: forward) or ``"plan"`` (a compiled ExecutionPlan, loaded from the
+        #: run directory's artefact when present — see
+        #: :mod:`repro.core.planner`).  The substrates differ at float
+        #: rounding level, so the mode folds into every cache and ledger
+        #: key — plan-mode cells never splice with module-mode ones.
+        self.inference = inference
+        if inference == "plan" and self._test_mitigation is not None:
+            raise ValueError(
+                "inference='plan' cannot combine with a test-time "
+                "mitigation: the mitigation's streaming hook owns the "
+                "predict path (run the mitigation row with the default "
+                "module inference)")
+        if inference == "plan" and plan_predictor is None:
+            from .planner import PlanPredictor
+            plan_predictor = PlanPredictor()
+        self._plan_predictor = plan_predictor
         self._workqueue = None
         self._ledger_writes_failed = False
         self.eval_cache = eval_cache if eval_cache is not None else EvalCache()
@@ -290,6 +323,10 @@ class SweepEngine:
             base = eval_key(model, ds, cfg)
         except TypeError:
             return None
+        if self.inference != "module":
+            # Plan-substrate metrics differ from module-forward ones at
+            # float rounding level; never serve one for the other.
+            base = (base, "inference", self.inference)
         if self.mitigation is None:
             return base
         from .runstore import config_digest
@@ -307,7 +344,15 @@ class SweepEngine:
             return None
         from .mitigations import mitigated_digest
         model_key = self.model_key or type(model).__name__
-        return (model_key, token, mitigated_digest(cfg, self.mitigation))
+        digest = mitigated_digest(cfg, self.mitigation)
+        if self.inference != "module":
+            # The same folding rule as mitigations: the inference substrate
+            # is part of the cell's identity, so a plan-mode worker can
+            # never splice its cells into a module-mode run (or vice versa).
+            from .runstore import config_digest
+            digest = config_digest({"cfg": digest,
+                                    "inference": self.inference})
+        return (model_key, token, digest)
 
     def _ledger_hit(self, lkey) -> float | None:
         if lkey is None:
@@ -401,6 +446,13 @@ class SweepEngine:
             return mitigation_partials(
                 self._test_mitigation, adapter, model, ds, cfg, bounds,
                 cache=self.pipeline_cache, batch_size=self.batch_size)
+        if self.inference == "plan":
+            # The plan predict hook slots into the same per-batch seam as
+            # test-time mitigations, so shard layouts stay bit-identical.
+            return adapter.evaluate_partials(
+                model, ds, cfg, bounds, cache=self.pipeline_cache,
+                batch_size=self.batch_size,
+                predict=self._plan_predictor.bind(model))
         return adapter.evaluate_partials(model, ds, cfg, bounds,
                                          cache=self.pipeline_cache,
                                          batch_size=self.batch_size)
@@ -1237,6 +1289,11 @@ def _share_decoded_dataset(ds):
 
 
 def _process_worker_init(payload: bytes, shm_meta, shard_ctx=None) -> None:
+    # Inter-op × intra-op widths multiply: a pool of N sweep workers each
+    # spinning available_cores() backend threads oversubscribes the host
+    # N-fold.  Workers default to serial kernels; an explicit
+    # REPRO_NUM_THREADS set by the operator is honoured as-is.
+    os.environ.setdefault("REPRO_NUM_THREADS", "1")
     evaluate, model, ds = pickle.loads(payload)
     _WORKER.update(evaluate=evaluate, model=model, ds=ds,
                    shard_ctx=shard_ctx)

@@ -1,0 +1,185 @@
+"""Plan artefact tests: save -> load -> run bit-exactness and rejection.
+
+The ``plan.npz`` artefact (:mod:`repro.backend.serialize`) carries a
+*prepared* execution plan — backend rewrites and plan passes already
+applied — plus the compiling backend's identity/options and a CRC32 over
+the whole document.  The contract: a loaded plan's outputs are
+bit-identical to the plan that was saved (kernel rebinding is
+deterministic), corrupted or version-skewed artefacts are refused with
+:class:`PlanFormatError`, and the ``repro plan`` CLI round-trips all of
+it from the shell.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.backend import (BACKEND_PRESETS, DeploymentExecutor,
+                           PLAN_FORMAT_VERSION, PlanFormatError,
+                           ReferenceExecutor, compile_plan, export_module,
+                           fuse_conv_bn_relu, load_plan, lower_integer,
+                           plan_info, quantize_graph, save_plan)
+from repro.models import create_model
+
+RNG = np.random.default_rng(5)
+X = RNG.normal(size=(4, 3, 32, 32))
+
+ZOO = ["resnet18x0.25", "mcunet-293kb", "mobilenetv2-0.5", "vit-tiny"]
+
+
+def graph_for(name: str):
+    return export_module(create_model(name, num_classes=5, seed=0), name)
+
+
+def executor_for(backend: str):
+    return (ReferenceExecutor() if backend == "reference"
+            else DeploymentExecutor(BACKEND_PRESETS[backend]))
+
+
+# ---------------------------------------------------------------------------
+# Round-trip bit-exactness: zoo x {fp32, fp16, int8}
+# ---------------------------------------------------------------------------
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("model_name", ZOO)
+    @pytest.mark.parametrize("backend", ["reference", "gpu-fp16", "dsp"])
+    def test_zoo_roundtrip_bit_exact(self, model_name, backend, tmp_path):
+        plan = compile_plan(graph_for(model_name), executor_for(backend))
+        want = plan.run(X)
+        path = save_plan(plan, tmp_path / "plan.npz")
+        loaded = load_plan(path)
+        got = loaded.run(X)
+        assert got.dtype == want.dtype
+        np.testing.assert_array_equal(got, want)
+
+    def test_int8_lowered_roundtrip(self, tmp_path):
+        g = fuse_conv_bn_relu(graph_for("mcunet-293kb"))
+        lowered = lower_integer(quantize_graph(g, X))
+        for backend in ("reference", "dsp"):
+            plan = compile_plan(lowered, executor_for(backend))
+            path = save_plan(plan, tmp_path / f"{backend}.npz")
+            np.testing.assert_array_equal(load_plan(path).run(X),
+                                          plan.run(X))
+
+    def test_loaded_plan_preserves_backend_identity(self, tmp_path):
+        plan = compile_plan(graph_for("mcunet-293kb"), executor_for("dsp"))
+        path = save_plan(plan, tmp_path / "plan.npz")
+        loaded = load_plan(path)
+        assert loaded.backend == plan.backend
+        assert loaded.options == plan.options
+
+    def test_loaded_plan_handles_other_batch_sizes(self, tmp_path):
+        plan = compile_plan(graph_for("resnet18x0.25"),
+                            executor_for("reference"))
+        path = save_plan(plan, tmp_path / "plan.npz")
+        loaded = load_plan(path)
+        for b in (1, 7):
+            xb = RNG.normal(size=(b, 3, 32, 32))
+            np.testing.assert_array_equal(loaded.run(xb), plan.run(xb))
+
+    def test_plan_info_reports_checked_metadata(self, tmp_path):
+        plan = compile_plan(graph_for("mcunet-293kb"), executor_for("dsp"))
+        path = save_plan(plan, tmp_path / "plan.npz")
+        info = plan_info(path)
+        assert info["backend"] == plan.backend
+        assert info["nodes"] == len(plan.graph.nodes)
+        assert info["options"]["dtype"] == "float32"
+        assert info["parameters"] > 0
+
+
+# ---------------------------------------------------------------------------
+# Rejection: corruption and version skew
+# ---------------------------------------------------------------------------
+
+def _saved(tmp_path):
+    plan = compile_plan(graph_for("mcunet-293kb"), executor_for("reference"))
+    return save_plan(plan, tmp_path / "plan.npz")
+
+
+class TestRejection:
+    def test_corrupted_payload_rejected(self, tmp_path):
+        path = _saved(tmp_path)
+        data = bytearray(path.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        path.write_bytes(bytes(data))
+        with pytest.raises((PlanFormatError, Exception)):
+            load_plan(path)
+
+    def test_tampered_array_fails_crc(self, tmp_path):
+        """A well-formed npz whose weight bytes were swapped must fail the
+        CRC, not load silently with different numbers."""
+        path = _saved(tmp_path)
+        arrays = dict(np.load(path, allow_pickle=False))
+        doc = json.loads(arrays["__plan_json__"].tobytes().decode())
+        victim = next(n for n in doc["graph"]["initializer_names"])
+        arrays[victim] = arrays[victim] + 1
+        np.savez(path, **arrays)
+        with pytest.raises(PlanFormatError, match="checksum mismatch"):
+            load_plan(path)
+
+    def test_version_mismatch_rejected_before_crc(self, tmp_path):
+        path = _saved(tmp_path)
+        arrays = dict(np.load(path, allow_pickle=False))
+        doc = json.loads(arrays["__plan_json__"].tobytes().decode())
+        doc["version"] = PLAN_FORMAT_VERSION + 99
+        arrays["__plan_json__"] = np.frombuffer(
+            json.dumps(doc).encode(), dtype=np.uint8)
+        np.savez(path, **arrays)
+        with pytest.raises(PlanFormatError, match="version"):
+            load_plan(path)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises((PlanFormatError, FileNotFoundError)):
+            load_plan(tmp_path / "nope.npz")
+
+    def test_plan_info_rejects_corruption_too(self, tmp_path):
+        path = _saved(tmp_path)
+        data = bytearray(path.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        path.write_bytes(bytes(data))
+        with pytest.raises((PlanFormatError, Exception)):
+            plan_info(path)
+
+
+# ---------------------------------------------------------------------------
+# The `repro plan` CLI
+# ---------------------------------------------------------------------------
+
+class TestPlanCli:
+    def run_cli(self, *argv):
+        from repro.cli import main
+        return main(list(argv))
+
+    def test_save_info_run_roundtrip(self, tmp_path, capsys):
+        out = tmp_path / "p.npz"
+        assert self.run_cli("plan", "save", "--model", "mcunet-293kb",
+                            "--out", str(out)) == 0
+        assert out.exists()
+        assert self.run_cli("plan", "info", str(out)) == 0
+        text = capsys.readouterr().out
+        assert "mcunet" in text and "backend" in text
+        assert self.run_cli("plan", "run", str(out), "--batch", "2") == 0
+
+    def test_parity_flag_checks_bit_identity(self, tmp_path, capsys):
+        out = tmp_path / "p.npz"
+        assert self.run_cli("plan", "save", "--model", "mcunet-293kb",
+                            "--out", str(out), "--backend", "dsp",
+                            "--int8") == 0
+        assert self.run_cli("plan", "run", str(out), "--parity",
+                            "--model", "mcunet-293kb") == 0
+        assert "bit_identical=True" in capsys.readouterr().out
+
+    def test_run_rejects_corrupted_artifact(self, tmp_path, capsys):
+        out = tmp_path / "p.npz"
+        assert self.run_cli("plan", "save", "--model", "mcunet-293kb",
+                            "--out", str(out)) == 0
+        data = bytearray(out.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        out.write_bytes(bytes(data))
+        assert self.run_cli("plan", "run", str(out)) == 2
+
+    def test_save_rejects_unknown_backend(self, capsys, tmp_path):
+        assert self.run_cli("plan", "save", "--model", "mcunet-293kb",
+                            "--out", str(tmp_path / "p.npz"),
+                            "--backend", "tpu-v9") == 2
